@@ -1,0 +1,45 @@
+//! Ablation: the §4.1 *hybrid environment*.
+//!
+//! "Instead of working with only a set of propositions while type
+//! checking, it is helpful to use an environment with two distinct parts
+//! … it is easy to iteratively refine the standard type environment with
+//! the update metafunction while traversing the abstract syntax tree
+//! instead of saving all logical reasoning for checking non-trivial
+//! terms." This bench checks narrowing-chain programs with the hybrid
+//! environment on (types refined eagerly, once per assumption) and off
+//! (the formal model's pure-proposition environment: atoms recorded and
+//! replayed through `update±` at every query). Both configurations
+//! verify the same programs; the ablation measures the cost gap, which
+//! grows with the number of live narrowed variables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtr_bench::narrowing_chain_src;
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_lang::check_source;
+
+fn bench_narrowing_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_env_narrowing");
+    group.sample_size(15);
+    for n in [2usize, 4, 8, 12] {
+        let src = narrowing_chain_src(n);
+        let on = Checker::default();
+        assert!(check_source(&src, &on).is_ok(), "fixture must verify (hybrid)");
+        group.bench_with_input(BenchmarkId::new("hybrid_on", n), &src, |b, src| {
+            b.iter(|| check_source(src, &on).expect("verifies"))
+        });
+        let off = Checker::with_config(CheckerConfig {
+            hybrid_env: false,
+            ..CheckerConfig::default()
+        });
+        assert!(check_source(&src, &off).is_ok(), "fixture must verify (pure)");
+        group.bench_with_input(BenchmarkId::new("hybrid_off", n), &src, |b, src| {
+            b.iter(|| check_source(src, &off).expect("verifies"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_narrowing_chains);
+criterion_main!(benches);

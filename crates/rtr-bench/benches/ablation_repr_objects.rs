@@ -1,0 +1,41 @@
+//! Ablation: the §4.1 *representative objects* optimization.
+//!
+//! "By eagerly substituting and using a single representative member in
+//! the environment, large complex propositions … can be omitted entirely,
+//! resulting in major performance improvements for real world Typed
+//! Racket programs." This bench checks alias-chain programs of growing
+//! depth with the optimization on (eager substitution) and off (aliases
+//! recorded as theory-level equalities, pushing every proof through the
+//! solver). Both configurations verify the same programs; the ablation
+//! measures the cost gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtr_bench::alias_chain_src;
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_lang::check_source;
+
+fn bench_alias_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repr_objects_alias_chain");
+    group.sample_size(20);
+    for depth in [2usize, 4, 8, 16] {
+        let src = alias_chain_src(depth);
+        let on = Checker::default();
+        assert!(check_source(&src, &on).is_ok(), "fixture must verify (on)");
+        group.bench_with_input(BenchmarkId::new("repr_on", depth), &src, |b, src| {
+            b.iter(|| check_source(src, &on).expect("verifies"))
+        });
+        let cfg =
+            CheckerConfig { representative_objects: false, ..CheckerConfig::default() };
+        let off = Checker::with_config(cfg);
+        assert!(check_source(&src, &off).is_ok(), "fixture must verify (off)");
+        group.bench_with_input(BenchmarkId::new("repr_off", depth), &src, |b, src| {
+            b.iter(|| check_source(src, &off).expect("verifies"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alias_chains);
+criterion_main!(benches);

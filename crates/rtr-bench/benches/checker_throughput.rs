@@ -1,0 +1,41 @@
+//! Benchmark: end-to-end type-checking throughput on the paper programs
+//! and on module-sized inputs (lines/second, the §4.1 "real world Typed
+//! Racket programs" concern).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rtr_bench::{filler_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC};
+use rtr_core::check::Checker;
+use rtr_lang::check_source;
+
+fn bench_paper_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_paper_programs");
+    let checker = Checker::default();
+    for (name, src) in [
+        ("fig1_max", MAX_SRC),
+        ("s21_dot_prod", DOT_PROD_SRC),
+        ("s22_xtime", XTIME_SRC),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| check_source(src, &checker).expect("fixture checks"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_module_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_module_lines");
+    group.sample_size(10);
+    let checker = Checker::default();
+    for defs in [10usize, 50, 200] {
+        let src = filler_module_src(defs);
+        group.throughput(Throughput::Elements(src.lines().count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(defs), &src, |b, src| {
+            b.iter(|| check_source(src, &checker).expect("module checks"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_programs, bench_module_throughput);
+criterion_main!(benches);

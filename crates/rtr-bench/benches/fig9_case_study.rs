@@ -1,0 +1,44 @@
+//! Benchmark: the Figure 9 case-study pipeline.
+//!
+//! Times the staged classification of corpus samples per library (what
+//! the `fig9` binary runs in full) and the RTR-vs-λTR cost gap: the
+//! baseline checker does strictly less work per access, which bounds the
+//! "price of theories".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_corpus::classify::classify_library;
+use rtr_corpus::gen::{generate, Library};
+use rtr_corpus::profiles::libraries;
+
+fn sample(profile_idx: usize, n: usize) -> Library {
+    let profile = &libraries()[profile_idx];
+    let lib = generate(profile, 2016);
+    Library {
+        profile: lib.profile.clone(),
+        sites: lib.sites.into_iter().take(n).collect(),
+        filler: Vec::new(),
+    }
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_classification");
+    group.sample_size(10);
+    for (idx, name) in [(0usize, "plot"), (1, "pict3d"), (2, "math")] {
+        let lib = sample(idx, 25);
+        let rtr = Checker::default();
+        group.bench_with_input(BenchmarkId::new("rtr", name), &lib, |b, lib| {
+            b.iter(|| classify_library(lib, &rtr))
+        });
+        let tr = Checker::with_config(CheckerConfig::lambda_tr());
+        group.bench_with_input(BenchmarkId::new("lambda_tr_baseline", name), &lib, |b, lib| {
+            b.iter(|| classify_library(lib, &tr))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

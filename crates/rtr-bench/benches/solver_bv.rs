@@ -1,0 +1,70 @@
+//! Benchmark: the bitvector theory (bit-blasting + CDCL SAT).
+//!
+//! The xtime-class obligations of §2.2 across widths, plus raw SAT
+//! throughput on pigeonhole instances (the CDCL core's stress test).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtr_solver::bv::{BvAtom, BvLit, BvSolver, BvTerm};
+use rtr_solver::lin::SolverVar;
+use rtr_solver::sat::{Cnf, Lit, Solver, Var};
+
+/// num ≤ mask ⊢ ((2·num) & mask) ⊕ 0x1b ≤ mask — the xtime obligation,
+/// parameterized by width.
+fn xtime_query(width: u32) -> (Vec<BvLit>, BvLit) {
+    let mask = (1u64 << (width.clamp(9, 16) - 1)) - 1; // byte-like bound
+    let num = BvTerm::var(SolverVar(0), width);
+    let k = |v: u64| BvTerm::constant(v, width);
+    let fact = BvLit::positive(BvAtom::ule(num.clone(), k(mask)));
+    let value = num.mul(k(2)).and(k(mask)).xor(k(0x1b));
+    let goal = BvLit::positive(BvAtom::ule(value, k(mask)));
+    (vec![fact], goal)
+}
+
+fn bench_xtime_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bv_xtime_obligation");
+    group.sample_size(20);
+    for width in [10u32, 12, 16] {
+        let (facts, goal) = xtime_query(width);
+        let solver = BvSolver::default();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| solver.entails(&facts, &goal))
+        });
+    }
+    group.finish();
+}
+
+fn pigeonhole(n: u32) -> Cnf {
+    let mut cnf = Cnf::new();
+    let pigeons = n + 1;
+    let var = |p: u32, h: u32| Var(p * n + h);
+    for _ in 0..pigeons * n {
+        cnf.fresh_var();
+    }
+    for p in 0..pigeons {
+        cnf.add_clause((0..n).map(|h| Lit::pos(var(p, h))));
+    }
+    for h in 0..n {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    cnf
+}
+
+fn bench_sat_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_pigeonhole");
+    group.sample_size(10);
+    for n in [4u32, 5, 6] {
+        let cnf = pigeonhole(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cnf, |b, cnf| {
+            b.iter(|| Solver::new().solve(cnf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xtime_widths, bench_sat_pigeonhole);
+criterion_main!(benches);

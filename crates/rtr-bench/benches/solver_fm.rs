@@ -1,0 +1,85 @@
+//! Benchmark: the Fourier–Motzkin theory solver.
+//!
+//! Scaling in the number of variables/constraints for the query shapes
+//! the type checker actually issues (bounds chains), plus the
+//! brute-force enumeration baseline on small boxes, and the integer-
+//! tightening ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rtr_solver::lin::{
+    BruteForce, Constraint, FmConfig, FourierMotzkin, LinExpr, SolverVar,
+};
+use rtr_solver::rational::Rat;
+
+/// A satisfiable "bounds chain": 0 ≤ x₀ ≤ x₁ ≤ … ≤ x_{n-1} ≤ 100 with
+/// random offsets — the shape of accumulated index facts.
+fn bounds_chain(n: u32, rng: &mut StdRng) -> Vec<Constraint> {
+    let mut cs = vec![Constraint::ge(LinExpr::var(SolverVar(0)), LinExpr::constant(0))];
+    for k in 1..n {
+        let off = rng.gen_range(0..3i64);
+        cs.push(Constraint::le(
+            LinExpr::var(SolverVar(k - 1)).add(&LinExpr::constant(off)),
+            LinExpr::var(SolverVar(k)),
+        ));
+    }
+    cs.push(Constraint::le(
+        LinExpr::var(SolverVar(n - 1)),
+        LinExpr::constant(100),
+    ));
+    cs
+}
+
+fn bench_fm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_bounds_chain");
+    for n in [2u32, 4, 8, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cs = bounds_chain(n, &mut rng);
+        let goal = Constraint::le(LinExpr::var(SolverVar(0)), LinExpr::constant(100));
+        let fm = FourierMotzkin::default();
+        group.bench_with_input(BenchmarkId::new("entails", n), &cs, |b, cs| {
+            b.iter(|| fm.entails(cs, &goal))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fm_vs_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_vs_brute_force");
+    for n in [2u32, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(n as u64 + 100);
+        let cs = bounds_chain(n, &mut rng);
+        let fm = FourierMotzkin::default();
+        group.bench_with_input(BenchmarkId::new("fourier_motzkin", n), &cs, |b, cs| {
+            b.iter(|| fm.check(cs))
+        });
+        let brute = BruteForce { bound: 12, max_assignments: 100_000_000 };
+        group.bench_with_input(BenchmarkId::new("brute_force_baseline", n), &cs, |b, cs| {
+            b.iter(|| brute.check(cs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tightening_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_integer_tightening");
+    // A query where tightening prunes early: parity-style gaps.
+    let x = || LinExpr::var(SolverVar(0));
+    let two_x = x().scale(Rat::from_int(2));
+    let cs = vec![
+        Constraint::ge(two_x.clone(), LinExpr::constant(1)),
+        Constraint::le(two_x, LinExpr::constant(1)),
+        Constraint::ge(x(), LinExpr::constant(-50)),
+        Constraint::le(x(), LinExpr::constant(50)),
+    ];
+    let on = FourierMotzkin::new(FmConfig::default());
+    group.bench_function("tightening_on", |b| b.iter(|| on.check(&cs)));
+    let off = FourierMotzkin::new(FmConfig { integer_tightening: false, ..FmConfig::default() });
+    group.bench_function("tightening_off", |b| b.iter(|| off.check(&cs)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fm_scaling, bench_fm_vs_brute, bench_tightening_ablation);
+criterion_main!(benches);

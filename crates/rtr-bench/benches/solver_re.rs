@@ -1,0 +1,100 @@
+//! Benchmark: the regex theory (automata construction + emptiness).
+//!
+//! The §7 extension's solver cost, measured on the query shapes the
+//! checker issues: entailment between validation patterns (DFA product +
+//! emptiness), DFA construction scaling in pattern size, and the
+//! end-to-end checking latency of the guarded-router program from
+//! `examples/input_validation.rs`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtr_core::check::Checker;
+use rtr_lang::module::check_source;
+use rtr_solver::lin::SolverVar;
+use rtr_solver::re::{Dfa, ReConstraint, ReSolver, Regex};
+
+/// `s ∈ L(specific) ⊢ s ∈ L(general)` — the subtype-as-inclusion query.
+fn bench_entailment_shapes(c: &mut Criterion) {
+    let cases = [
+        ("digits4_in_digits", "[0-9]{4}", "[0-9]+"),
+        ("ident_in_word", "[A-Za-z_][A-Za-z_0-9]{0,15}", r"\w+"),
+        ("ip_in_dotted", r"\d{1,3}(\.\d{1,3}){3}", r"[0-9.]+"),
+    ];
+    let mut group = c.benchmark_group("re_entailment");
+    group.sample_size(30);
+    for (name, specific, general) in cases {
+        let v = SolverVar(0);
+        let fact = ReConstraint::member(v, Arc::new(Regex::parse(specific).expect("parses")));
+        let goal = ReConstraint::member(v, Arc::new(Regex::parse(general).expect("parses")));
+        let solver = ReSolver::default();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                assert!(solver.entails(std::slice::from_ref(&fact), &goal));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DFA construction scaling in counted-repetition size (the state count
+/// grows linearly with `n`; this measures the subset-construction cost
+/// the budget guards against).
+fn bench_dfa_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("re_dfa_construction");
+    group.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let re = Regex::parse(&format!("[0-9]{{{n}}}")).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let d = Dfa::compile(&re, 1 << 13).expect("in budget");
+                assert!(!d.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end: checking the guarded-router program (regex theory on the
+/// hot path) vs. its λTR-shaped unguarded sibling with plain types (no
+/// theory queries at all) — the "price of the regex theory" analogue of
+/// the fig9 rtr-vs-λTR comparison.
+fn bench_checker_regex_programs(c: &mut Criterion) {
+    let guarded = r#"
+        (: serve-port : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+        (define (serve-port s) (string-length s))
+        (: route : Str -> Int)
+        (define (route req)
+          (if (regexp-match? #rx"[0-9]+" req)
+              (serve-port req)
+              -1))
+    "#;
+    let plain = r#"
+        (: serve-port : Str -> Int)
+        (define (serve-port s) (string-length s))
+        (: route : Str -> Int)
+        (define (route req)
+          (if (regexp-match? #rx"[0-9]+" req)
+              (serve-port req)
+              -1))
+    "#;
+    let mut group = c.benchmark_group("check_regex_programs");
+    group.sample_size(30);
+    let checker = Checker::default();
+    group.bench_function("guarded_router", |b| {
+        b.iter(|| check_source(guarded, &checker).expect("checks"))
+    });
+    group.bench_function("plain_types_baseline", |b| {
+        b.iter(|| check_source(plain, &checker).expect("checks"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_entailment_shapes,
+    bench_dfa_construction,
+    bench_checker_regex_programs
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Shared fixtures for the benchmark suite: the paper programs and
+//! synthetic workload builders every bench target uses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Fig. 1's `max` with its refined range.
+pub const MAX_SRC: &str = r#"
+    (: max : [x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])
+    (define (max x y) (if (> x y) x y))
+"#;
+
+/// §2.1's `dot-prod` with the dynamic length guard (verifies the loop).
+pub const DOT_PROD_SRC: &str = r#"
+    (: dot-prod : [A : (Vecof Int)] [B : (Vecof Int)] -> Int)
+    (define (dot-prod A B)
+      (begin
+        (unless (= (len A) (len B))
+          (error "invalid vector lengths!"))
+        (for/sum ([i (in-range (len A))])
+          (* (safe-vec-ref A i) (safe-vec-ref B i)))))
+"#;
+
+/// §2.2's `xtime` (bitvector theory).
+pub const XTIME_SRC: &str = r#"
+    (: xtime : [num : Byte] -> Byte)
+    (define (xtime num)
+      (let ([n (AND (bv* #x02 num) #xff)])
+        (cond
+          [(bv= #x00 (AND num #x80)) n]
+          [else (XOR n #x1b)])))
+"#;
+
+/// A guarded access behind a chain of `n` let-aliases — the workload the
+/// §4.1 representative-objects optimization targets.
+pub fn alias_chain_src(n: usize) -> String {
+    assert!(n >= 1);
+    let mut binds = String::new();
+    binds.push_str("  (let ([a0 (len v)])\n");
+    for k in 1..n {
+        binds.push_str(&format!("  (let ([a{k} a{}])\n", k - 1));
+    }
+    let last = n - 1;
+    let closes = ")".repeat(n);
+    format!(
+        "(define (chain [v : (Vecof Int)] [i : Int])\n\
+         {binds}\
+         \x20 (if (and (<= 0 i) (< i a{last}))\n\
+         \x20     (safe-vec-ref v i)\n\
+         \x20     0){closes})\n"
+    )
+}
+
+/// A function with `n` union-typed parameters, each narrowed by a test
+/// before all are used — the workload that separates the §4.1 hybrid
+/// environment (each test refines the stored type once) from the formal
+/// model's pure-proposition environment (each *use* replays every
+/// recorded atom).
+pub fn narrowing_chain_src(n: usize) -> String {
+    assert!(n >= 1);
+    let params: String =
+        (0..n).map(|k| format!("[x{k} : (U Int Bool)] ")).collect();
+    let mut body = {
+        let mut sum = "0".to_string();
+        for k in (0..n).rev() {
+            sum = format!("(+ x{k} {sum})");
+        }
+        sum
+    };
+    for k in (0..n).rev() {
+        body = format!("(if (int? x{k}) {body} 0)");
+    }
+    format!(
+        "(: narrow : {params}-> Int)
+(define (narrow {}) {body})
+",
+        (0..n).map(|k| format!("x{k}")).collect::<Vec<_>>().join(" ")
+    )
+}
+
+/// A module of `n` simple well-typed definitions (checker throughput).
+pub fn filler_module_src(n: usize) -> String {
+    let mut out = String::new();
+    for k in 0..n {
+        out.push_str(&format!(
+            "(: u{k} : [x : Int] [y : Int] -> Int)\n\
+             (define (u{k} x y) (+ (* 2 x) (- y {})))\n",
+            k % 7
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::check::Checker;
+    use rtr_lang::check_source;
+
+    #[test]
+    fn fixtures_type_check() {
+        let c = Checker::default();
+        assert!(check_source(MAX_SRC, &c).is_ok());
+        assert!(check_source(DOT_PROD_SRC, &c).is_ok());
+        assert!(check_source(XTIME_SRC, &c).is_ok());
+        assert!(check_source(&alias_chain_src(8), &c).is_ok());
+        assert!(check_source(&narrowing_chain_src(6), &c).is_ok());
+        let pure = Checker::with_config(rtr_core::config::CheckerConfig {
+            hybrid_env: false,
+            ..Default::default()
+        });
+        assert!(check_source(&narrowing_chain_src(6), &pure).is_ok());
+        assert!(check_source(&filler_module_src(5), &c).is_ok());
+    }
+}

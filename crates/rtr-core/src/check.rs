@@ -1,0 +1,726 @@
+//! The typing judgment `Γ ⊢ e : (τ; ψ₊|ψ₋; o)` (Fig. 4), in algorithmic
+//! (synthesis) form.
+//!
+//! Differences from the declarative rules are exactly the implementation
+//! techniques of §4.1: subsumption is inlined as result subtyping at the
+//! leaves that need it, existential bindings on subterm results are
+//! propagated upward instead of eagerly simplified, and let-bound aliases
+//! are applied eagerly (representative objects).
+
+use crate::config::CheckerConfig;
+use crate::env::Env;
+use crate::errors::TypeError;
+use crate::mutation::mutated_vars;
+use crate::prims::delta;
+use crate::syntax::{
+    Expr, FunTy, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult,
+};
+
+/// The λ_RTR type checker.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_core::check::Checker;
+/// use rtr_core::syntax::{Expr, Prim, Ty};
+///
+/// // (if (int? #t) 1 2) : Int
+/// let e = Expr::if_(
+///     Expr::prim_app(Prim::IsInt, vec![Expr::Bool(true)]),
+///     Expr::Int(1),
+///     Expr::Int(2),
+/// );
+/// let r = Checker::default().check_program(&e).unwrap();
+/// assert_eq!(r.ty, Ty::Int);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    /// Configuration (theories, ablations, budgets).
+    pub config: CheckerConfig,
+}
+
+impl Checker {
+    /// A checker with the default (full λ_RTR) configuration.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// A checker with an explicit configuration.
+    pub fn with_config(config: CheckerConfig) -> Checker {
+        Checker { config }
+    }
+
+    /// Type checks a whole program: runs the mutation pre-pass (§4.2) and
+    /// synthesizes a type-result in the empty environment.
+    ///
+    /// Checking runs on a dedicated thread with a large stack: the
+    /// judgments are deeply recursive and real modules nest `let`/`begin`
+    /// chains hundreds of levels deep once macros expand.
+    pub fn check_program(&self, e: &Expr) -> Result<TyResult, TypeError> {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("rtr-checker".into())
+                .stack_size(256 * 1024 * 1024)
+                .spawn_scoped(scope, || {
+                    let mut env = Env::new();
+                    for x in mutated_vars(e) {
+                        env.mark_mutable(x);
+                    }
+                    self.synth(&env, e)
+                })
+                .expect("spawning the checker thread")
+                .join()
+                .expect("checker thread must not panic")
+        })
+    }
+
+    /// Synthesizes the type-result of `e` under `env`.
+    pub fn synth(&self, env: &Env, e: &Expr) -> Result<TyResult, TypeError> {
+        let fuel = self.config.logic_fuel;
+        match e {
+            // T-Int (enriched per §3.4: the literal is its own object).
+            Expr::Int(n) => {
+                let obj = if self.config.theories { Obj::int(*n) } else { Obj::Null };
+                Ok(TyResult::truthy(Ty::Int, obj))
+            }
+            // T-True / T-False.
+            Expr::Bool(true) => Ok(TyResult::new(Ty::True, Prop::TT, Prop::FF, Obj::Null)),
+            Expr::Bool(false) => Ok(TyResult::new(Ty::False, Prop::FF, Prop::TT, Obj::Null)),
+            Expr::BvLit(v) => {
+                let obj = if self.config.theories { Obj::bv(*v) } else { Obj::Null };
+                Ok(TyResult::truthy(Ty::BitVec, obj))
+            }
+            // T-Str / T-Regex (theory RE enrichments: literals are their
+            // own objects, like integers under theory LI).
+            Expr::Str(s) => {
+                let obj = if self.config.theories {
+                    Obj::str_const(s.clone())
+                } else {
+                    Obj::Null
+                };
+                Ok(TyResult::truthy(Ty::Str, obj))
+            }
+            Expr::ReLit(r) => {
+                let obj = if self.config.theories { Obj::re(r.clone()) } else { Obj::Null };
+                Ok(TyResult::truthy(Ty::Regex, obj))
+            }
+            // T-Prim.
+            Expr::Prim(p) => Ok(TyResult::truthy(delta(*p), Obj::Null)),
+            // T-Var.
+            Expr::Var(x) => {
+                if !env.is_bound(*x) {
+                    return Err(TypeError::UnboundVariable(*x));
+                }
+                if env.is_mutable(*x) {
+                    // §4.2: mutable variables have no symbolic object and
+                    // their tests teach the system nothing.
+                    let t = env.raw_ty(*x).cloned().unwrap_or(Ty::Top);
+                    return Ok(TyResult::of_type(t));
+                }
+                let o = env.resolve(&Obj::var(*x));
+                let t = self.ty_of_obj(env, &o);
+                Ok(TyResult::new(
+                    t,
+                    Prop::is_not(o.clone(), Ty::False),
+                    Prop::is(o.clone(), Ty::False),
+                    o,
+                ))
+            }
+            // T-Abs.
+            Expr::Lam(l) => {
+                let mut env2 = env.clone();
+                for (x, t) in &l.params {
+                    self.bind(&mut env2, *x, t, fuel);
+                }
+                let r = self.synth(&env2, &l.body)?;
+                Ok(TyResult::truthy(Ty::fun(l.params.clone(), r), Obj::Null))
+            }
+            // T-App.
+            Expr::App(f, args) => self.synth_app(env, f, args, &e.to_string()),
+            // T-If.
+            Expr::If(c, t, f) => {
+                let rc = self.synth(env, c)?;
+                let mut env2 = env.clone();
+                let exes = rc.existentials.clone();
+                for (x, t) in &exes {
+                    self.bind(&mut env2, *x, t, fuel);
+                }
+                let mut env_then = env2.clone();
+                self.assume(&mut env_then, &rc.then_p, fuel);
+                let rt = self.synth_branch(&env_then, t)?;
+                let mut env_else = env2;
+                self.assume(&mut env_else, &rc.else_p, fuel);
+                let rf = self.synth_branch(&env_else, f)?;
+                Ok(self.join_if(&rc, rt, rf).with_existentials(exes))
+            }
+            // T-Let.
+            Expr::Let(x, rhs, body) => {
+                let r1 = self.synth(env, rhs)?;
+                let mut env2 = env.clone();
+                let mut exes = r1.existentials.clone();
+                for (g, t) in &exes {
+                    self.bind(&mut env2, *g, t, fuel);
+                }
+                self.bind(&mut env2, *x, &r1.ty, fuel);
+                let o1 = env2.resolve(&r1.obj);
+                let mutable = env2.is_mutable(*x);
+                if !o1.is_null() && !mutable {
+                    self.assume(&mut env2, &Prop::alias(Obj::var(*x), o1.clone()), fuel);
+                }
+                // ψx = (x ∉ F ∧ ψ₁₊) ∨ (x ∈ F ∧ ψ₁₋).
+                let ox = if o1.is_null() || mutable { Obj::var(*x) } else { o1.clone() };
+                let ox = if mutable { Obj::Null } else { ox };
+                let psi_x = Prop::or(
+                    Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
+                    Prop::and(Prop::is(ox, Ty::False), r1.else_p.clone()),
+                );
+                self.assume(&mut env2, &psi_x, fuel);
+                let r2 = self.synth(&env2, body)?;
+                // Lifting substitution on exit (T-Let's R₂[x ⟹τ₁ o₁]).
+                let lifted = if mutable {
+                    r2.lift_subst(*x, &r1.ty, &Obj::Null)
+                } else {
+                    r2.lift_subst(*x, &r1.ty, &o1)
+                };
+                Ok(lifted.with_existentials(std::mem::take(&mut exes)))
+            }
+            Expr::LetRec(fname, fty, lam, body) => {
+                let mut env2 = env.clone();
+                self.bind(&mut env2, *fname, fty, fuel);
+                self.check_lambda(&env2, lam, fty, &format!("(letrec {fname} …)"))?;
+                let r = self.synth(&env2, body)?;
+                Ok(r.lift_subst(*fname, fty, &Obj::Null))
+            }
+            // T-Cons.
+            Expr::Cons(a, b) => {
+                let (ra, rb) = (self.synth(env, a)?, self.synth(env, b)?);
+                let mut exes = ra.existentials.clone();
+                exes.extend(rb.existentials.clone());
+                let obj = Obj::pair(env.resolve(&ra.obj), env.resolve(&rb.obj));
+                Ok(TyResult::truthy(Ty::pair(ra.ty, rb.ty), obj).with_existentials(exes))
+            }
+            // T-Fst / T-Snd.
+            Expr::Fst(a) | Expr::Snd(a) => {
+                let is_fst = matches!(e, Expr::Fst(_));
+                let r = self.synth(env, a)?;
+                let mut env2 = env.clone();
+                let exes = r.existentials.clone();
+                for (g, t) in &exes {
+                    self.bind(&mut env2, *g, t, fuel);
+                }
+                let pairish = Ty::pair(Ty::Top, Ty::Top);
+                if !self.subtype(&env2, &r.ty, &pairish, fuel) {
+                    return Err(TypeError::NotAPair { context: a.to_string(), got: r.ty });
+                }
+                let field = if is_fst {
+                    crate::syntax::Field::Fst
+                } else {
+                    crate::syntax::Field::Snd
+                };
+                let comp = self.project_field(&r.ty, field);
+                let obj = env2.resolve(&r.obj);
+                let obj = if is_fst { obj.fst() } else { obj.snd() };
+                Ok(TyResult::new(comp, Prop::TT, Prop::TT, obj).with_existentials(exes))
+            }
+            Expr::VecLit(es) => {
+                let mut exes = Vec::new();
+                let mut elem_tys = Vec::new();
+                for el in es {
+                    let r = self.synth(env, el)?;
+                    exes.extend(r.existentials.clone());
+                    elem_tys.push(r.ty);
+                }
+                let elem = if elem_tys.is_empty() {
+                    Ty::bot()
+                } else {
+                    // Generalize singleton boolean types: vectors are
+                    // mutable (invariant element), so `(vec #t)` must be a
+                    // (Vecof Bool), not a (Vecof True) — the same
+                    // generalization Typed Racket applies at mutable
+                    // container construction.
+                    generalize_literal(&Ty::union_of(elem_tys))
+                };
+                let ty = if self.config.theories {
+                    let v = Symbol::fresh("vlit");
+                    Ty::refine(
+                        v,
+                        Ty::vec(elem),
+                        Prop::lin(Obj::var(v).len(), LinCmp::Eq, Obj::int(es.len() as i64)),
+                    )
+                } else {
+                    Ty::vec(elem)
+                };
+                Ok(TyResult::truthy(ty, Obj::Null).with_existentials(exes))
+            }
+            Expr::Ann(inner, ty) => {
+                // Lambdas are checked against function annotations
+                // (bidirectional); everything else synthesizes and
+                // subsumes.
+                if let (Expr::Lam(l), Ty::Fun(_) | Ty::Poly(_)) = (&**inner, ty) {
+                    self.check_lambda(env, l, ty, &inner.to_string())?;
+                    return Ok(TyResult::truthy(ty.clone(), Obj::Null));
+                }
+                let r = self.synth(env, inner)?;
+                let mut env2 = env.clone();
+                for (g, t) in &r.existentials {
+                    self.bind(&mut env2, *g, t, fuel);
+                }
+                let inner_r = TyResult { existentials: Vec::new(), ..r.clone() };
+                if !self.subtype_result(&env2, &inner_r, &TyResult::of_type(ty.clone()), fuel) {
+                    return Err(TypeError::Mismatch {
+                        context: inner.to_string(),
+                        expected: ty.clone(),
+                        got: r.ty,
+                    });
+                }
+                Ok(TyResult {
+                    existentials: r.existentials,
+                    ty: ty.clone(),
+                    then_p: r.then_p,
+                    else_p: r.else_p,
+                    obj: r.obj,
+                })
+            }
+            Expr::Error(_) => Ok(TyResult::new(Ty::bot(), Prop::FF, Prop::FF, Obj::Null)),
+            Expr::Set(x, rhs) => {
+                let declared = env
+                    .raw_ty(*x)
+                    .cloned()
+                    .ok_or(TypeError::UnboundVariable(*x))?;
+                let r = self.synth(env, rhs)?;
+                let mut env2 = env.clone();
+                for (g, t) in &r.existentials {
+                    self.bind(&mut env2, *g, t, fuel);
+                }
+                let inner = TyResult { existentials: Vec::new(), ..r.clone() };
+                if !self.subtype_result(&env2, &inner, &TyResult::of_type(declared.clone()), fuel)
+                {
+                    return Err(TypeError::BadAssignment {
+                        var: *x,
+                        reason: format!("expected {declared} but given {}", r.ty),
+                    });
+                }
+                Ok(TyResult::truthy(Ty::Unit, Obj::Null))
+            }
+            Expr::Begin(es) => {
+                let mut last = TyResult::truthy(Ty::Unit, Obj::Null);
+                for e in es {
+                    last = self.synth(env, e)?;
+                }
+                Ok(last)
+            }
+        }
+    }
+
+    /// Checks `e` against an expected type-result (T-Subsume, applied
+    /// inside each conditional branch rather than at the join — the
+    /// algorithmic counterpart of the declarative system typing both
+    /// branches of an `if` at the same result `R`). This is what lets
+    /// `max`'s two branches each prove the refined range with their own
+    /// branch facts.
+    pub fn check_result(
+        &self,
+        env: &Env,
+        e: &Expr,
+        expected: &TyResult,
+    ) -> Result<(), TypeError> {
+        let fuel = self.config.logic_fuel;
+        match e {
+            Expr::If(c, t, f) => {
+                let rc = self.synth(env, c)?;
+                let mut env2 = env.clone();
+                for (x, ty) in &rc.existentials {
+                    self.bind(&mut env2, *x, ty, fuel);
+                }
+                let mut env_then = env2.clone();
+                self.assume(&mut env_then, &rc.then_p, fuel);
+                if !self.env_inconsistent(&env_then, fuel) {
+                    self.check_result(&env_then, t, expected)?;
+                }
+                let mut env_else = env2;
+                self.assume(&mut env_else, &rc.else_p, fuel);
+                if !self.env_inconsistent(&env_else, fuel) {
+                    self.check_result(&env_else, f, expected)?;
+                }
+                Ok(())
+            }
+            Expr::Let(x, rhs, body) => {
+                // Push through the binding unless the bound name shadows a
+                // variable the expected result mentions.
+                let mut fv = std::collections::HashSet::new();
+                expected.ty.free_tvars(&mut std::collections::HashSet::new());
+                expected.then_p.free_vars(&mut fv);
+                expected.else_p.free_vars(&mut fv);
+                let mut ty_fv = std::collections::HashSet::new();
+                collect_ty_free_vars(&expected.ty, &mut ty_fv);
+                if fv.contains(x) || ty_fv.contains(x) {
+                    return self.check_via_synth(env, e, expected);
+                }
+                let r1 = self.synth(env, rhs)?;
+                let mut env2 = env.clone();
+                for (g, t) in &r1.existentials {
+                    self.bind(&mut env2, *g, t, fuel);
+                }
+                self.bind(&mut env2, *x, &r1.ty, fuel);
+                let o1 = env2.resolve(&r1.obj);
+                let mutable = env2.is_mutable(*x);
+                if !o1.is_null() && !mutable {
+                    self.assume(&mut env2, &Prop::alias(Obj::var(*x), o1.clone()), fuel);
+                }
+                let ox = if o1.is_null() || mutable { Obj::var(*x) } else { o1 };
+                let ox = if mutable { Obj::Null } else { ox };
+                let psi_x = Prop::or(
+                    Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
+                    Prop::and(Prop::is(ox, Ty::False), r1.else_p.clone()),
+                );
+                self.assume(&mut env2, &psi_x, fuel);
+                self.check_result(&env2, body, expected)
+            }
+            Expr::Begin(es) => match es.split_last() {
+                None => self.check_via_synth(env, e, expected),
+                Some((last, init)) => {
+                    for e in init {
+                        self.synth(env, e)?;
+                    }
+                    self.check_result(env, last, expected)
+                }
+            },
+            _ => self.check_via_synth(env, e, expected),
+        }
+    }
+
+    fn check_via_synth(&self, env: &Env, e: &Expr, expected: &TyResult) -> Result<(), TypeError> {
+        let fuel = self.config.logic_fuel;
+        let r = self.synth(env, e)?;
+        let mut env2 = env.clone();
+        for (g, t) in &r.existentials {
+            self.bind(&mut env2, *g, t, fuel);
+        }
+        let inner = TyResult { existentials: Vec::new(), ..r.clone() };
+        if !self.subtype_result(&env2, &inner, expected, fuel) {
+            return Err(TypeError::Mismatch {
+                context: e.to_string(),
+                expected: expected.ty.clone(),
+                got: r.ty,
+            });
+        }
+        Ok(())
+    }
+
+    /// Synthesizes a conditional branch, short-circuiting unreachable
+    /// branches to ⊥ (their environment proves `ff`, so any result is
+    /// derivable — and errors inside them are not reported, matching the
+    /// implementation).
+    fn synth_branch(&self, env: &Env, e: &Expr) -> Result<TyResult, TypeError> {
+        if self.env_inconsistent(env, self.config.logic_fuel) {
+            return Ok(TyResult::new(Ty::bot(), Prop::FF, Prop::FF, Obj::Null));
+        }
+        self.synth(env, e)
+    }
+
+    /// T-If's result join: `R` must subsume both branch results; the
+    /// algorithmic join unions the types and tags each branch's
+    /// propositions with the test's.
+    fn join_if(&self, rc: &TyResult, rt: TyResult, rf: TyResult) -> TyResult {
+        let ty = Ty::union_of(vec![rt.ty.clone(), rf.ty.clone()]);
+        let then_p = Prop::or(
+            Prop::and(rc.then_p.clone(), rt.then_p.clone()),
+            Prop::and(rc.else_p.clone(), rf.then_p.clone()),
+        );
+        let else_p = Prop::or(
+            Prop::and(rc.then_p.clone(), rt.else_p.clone()),
+            Prop::and(rc.else_p.clone(), rf.else_p.clone()),
+        );
+        let obj = if !rt.obj.is_null() && rt.obj == rf.obj {
+            rt.obj.clone()
+        } else if rt.ty.is_bot() {
+            rf.obj.clone()
+        } else if rf.ty.is_bot() {
+            rt.obj.clone()
+        } else {
+            Obj::Null
+        };
+        let mut exes = rt.existentials.clone();
+        exes.extend(rf.existentials);
+        TyResult { existentials: exes, ty, then_p, else_p, obj }
+    }
+
+    fn synth_app(
+        &self,
+        env: &Env,
+        f: &Expr,
+        args: &[Expr],
+        context: &str,
+    ) -> Result<TyResult, TypeError> {
+        let fuel = self.config.logic_fuel;
+        // Synthesize the operator and arguments.
+        let rf = self.synth(env, f)?;
+        let mut arg_results = Vec::with_capacity(args.len());
+        for a in args {
+            arg_results.push(self.synth(env, a)?);
+        }
+
+        let mut env2 = env.clone();
+        let mut ghosts: Vec<(Symbol, Ty)> = Vec::new();
+        for (g, t) in &rf.existentials {
+            self.bind(&mut env2, *g, t, fuel);
+            ghosts.push((*g, t.clone()));
+        }
+
+        // Peel refinements off the operator type (S-Weaken).
+        let mut fun_ty = rf.ty.clone();
+        while let Ty::Refine(r) = fun_ty {
+            fun_ty = r.base.clone();
+        }
+        let fun: FunTy = match fun_ty {
+            Ty::Fun(f) => *f,
+            Ty::Poly(p) => {
+                let arg_tys: Vec<Ty> = arg_results.iter().map(|r| r.ty.clone()).collect();
+                self.instantiate_poly(&p, &arg_tys, context)?
+            }
+            other => {
+                return Err(TypeError::NotAFunction { context: context.to_owned(), got: other })
+            }
+        };
+        if fun.params.len() != args.len() {
+            return Err(TypeError::Arity {
+                context: context.to_owned(),
+                expected: fun.params.len(),
+                got: args.len(),
+            });
+        }
+
+        // Check each argument against its (progressively substituted)
+        // domain, then substitute its object into the remaining domains
+        // and the range (the lifting substitution, with ghost variables
+        // standing in for object-less arguments).
+        let mut params = fun.params.clone();
+        let mut range = fun.range.clone();
+        let mut arg_objs: Vec<Obj> = Vec::with_capacity(args.len());
+        for (idx, r_arg) in arg_results.iter().enumerate() {
+            for (g, t) in &r_arg.existentials {
+                self.bind(&mut env2, *g, t, fuel);
+                ghosts.push((*g, t.clone()));
+            }
+            let (x, dom) = params[idx].clone();
+            let o = {
+                let o = env2.resolve(&r_arg.obj);
+                if o.is_null() {
+                    let g = Symbol::fresh(x.as_str());
+                    self.bind(&mut env2, g, &r_arg.ty, fuel);
+                    ghosts.push((g, r_arg.ty.clone()));
+                    Obj::var(g)
+                } else {
+                    o
+                }
+            };
+            let fitted = TyResult {
+                existentials: Vec::new(),
+                ty: r_arg.ty.clone(),
+                then_p: Prop::TT,
+                else_p: Prop::TT,
+                obj: o.clone(),
+            };
+            if !self.subtype_result(&env2, &fitted, &TyResult::of_type(dom.clone()), fuel) {
+                return Err(TypeError::Mismatch {
+                    context: format!("{context}, argument {}", idx + 1),
+                    expected: dom,
+                    got: r_arg.ty.clone(),
+                });
+            }
+            for (_, d) in params.iter_mut().skip(idx + 1) {
+                *d = d.subst_obj(x, &o);
+            }
+            range = range.subst_obj(x, &o);
+            arg_objs.push(o);
+        }
+
+        let mut result = range.with_existentials(ghosts);
+
+        // Special enrichments the Δ-table templates cannot express.
+        if let Expr::Prim(p) = f {
+            result = self.enrich_prim_app(env, *p, &arg_results, &arg_objs, result);
+        }
+        Ok(result)
+    }
+
+    /// `*` objects (linear only with a literal factor) and `equal?` on
+    /// integers (one of the paper's 36 enriched base functions).
+    fn enrich_prim_app(
+        &self,
+        env: &Env,
+        p: Prim,
+        arg_results: &[TyResult],
+        arg_objs: &[Obj],
+        mut result: TyResult,
+    ) -> TyResult {
+        if !self.config.theories {
+            return result;
+        }
+        match p {
+            Prim::Times => {
+                if let [o1, o2] = arg_objs {
+                    result.obj = o1.mul(o2);
+                }
+            }
+            Prim::Equal => {
+                if let ([r1, r2], [o1, o2]) = (arg_results, arg_objs) {
+                    let fuel = self.config.logic_fuel;
+                    let both_int = self.subtype(env, &r1.ty, &Ty::Int, fuel)
+                        && self.subtype(env, &r2.ty, &Ty::Int, fuel);
+                    if both_int {
+                        result.then_p = Prop::lin(o1.clone(), LinCmp::Eq, o2.clone());
+                        result.else_p = Prop::lin(o1.clone(), LinCmp::Ne, o2.clone());
+                    }
+                }
+            }
+            // (regexp-match? r s): when the regex argument resolves to a
+            // literal, the test's outcome is exactly the membership atom
+            // `s ∈ L(r)` — the theory-RE analogue of `(≤ x y)` emitting a
+            // linear atom (§3.4).
+            Prim::StrMatch => {
+                if let [o_re, o_s] = arg_objs {
+                    let atom = Prop::re_match(o_s, o_re);
+                    if let Some(neg) = atom.negate() {
+                        result.then_p = atom;
+                        result.else_p = neg;
+                    }
+                }
+            }
+            _ => {}
+        }
+        result
+    }
+
+    /// Checks a lambda against an expected (possibly polymorphic)
+    /// function type.
+    pub fn check_lambda(
+        &self,
+        env: &Env,
+        lam: &Lambda,
+        expected: &Ty,
+        context: &str,
+    ) -> Result<(), TypeError> {
+        let fuel = self.config.logic_fuel;
+        let fun: &FunTy = match expected {
+            Ty::Fun(f) => f,
+            // Type variables of a ∀ are checked opaquely (they only match
+            // themselves in subtyping).
+            Ty::Poly(p) => {
+                return match &p.body {
+                    Ty::Fun(_) => self.check_lambda(env, lam, &p.body, context),
+                    other => Err(TypeError::Mismatch {
+                        context: context.to_owned(),
+                        expected: (*other).clone(),
+                        got: Ty::Top,
+                    }),
+                };
+            }
+            other => {
+                return Err(TypeError::NotAFunction {
+                    context: context.to_owned(),
+                    got: other.clone(),
+                })
+            }
+        };
+        if fun.params.len() != lam.params.len() {
+            return Err(TypeError::Arity {
+                context: context.to_owned(),
+                expected: fun.params.len(),
+                got: lam.params.len(),
+            });
+        }
+        let mut env2 = env.clone();
+        // Rename the signature's parameters to the lambda's names.
+        let mut doms: Vec<Ty> = fun.params.iter().map(|(_, d)| d.clone()).collect();
+        let mut range = fun.range.clone();
+        for i in 0..doms.len() {
+            let sig_name = fun.params[i].0;
+            let lam_name = lam.params[i].0;
+            if sig_name != lam_name {
+                let rep = Obj::var(lam_name);
+                for d in doms.iter_mut().skip(i + 1) {
+                    *d = d.subst_obj(sig_name, &rep);
+                }
+                range = range.subst_obj(sig_name, &rep);
+            }
+        }
+        for (i, (x, ann)) in lam.params.iter().enumerate() {
+            // The signature's domain must satisfy any explicit annotation.
+            if *ann != Ty::Top && !self.subtype(&env2, &doms[i], ann, fuel) {
+                return Err(TypeError::Mismatch {
+                    context: format!("{context}, parameter {x}"),
+                    expected: ann.clone(),
+                    got: doms[i].clone(),
+                });
+            }
+            self.bind(&mut env2, *x, &doms[i], fuel);
+        }
+        self.check_result(&env2, &lam.body, &range)
+    }
+
+    /// Projects the component type of a pair-typed expression.
+    pub(crate) fn project_field(&self, t: &Ty, f: crate::syntax::Field) -> Ty {
+        match t {
+            Ty::Pair(a, b) => {
+                if f == crate::syntax::Field::Fst {
+                    (**a).clone()
+                } else {
+                    (**b).clone()
+                }
+            }
+            Ty::Union(ts) => {
+                Ty::union_of(ts.iter().map(|t| self.project_field(t, f)).collect())
+            }
+            Ty::Refine(r) => self.project_field(&r.base, f),
+            _ => Ty::Top,
+        }
+    }
+}
+
+/// Widens singleton boolean types to `Bool` (recursively through pairs
+/// and unions) for mutable-container element positions.
+fn generalize_literal(t: &Ty) -> Ty {
+    match t {
+        Ty::True | Ty::False => Ty::bool_ty(),
+        Ty::Pair(a, b) => Ty::pair(generalize_literal(a), generalize_literal(b)),
+        Ty::Union(ts) => Ty::union_of(ts.iter().map(generalize_literal).collect()),
+        _ => t.clone(),
+    }
+}
+
+/// Free object-level variables of a type (refinement props and dependent
+/// function positions), respecting binders.
+fn collect_ty_free_vars(t: &Ty, out: &mut std::collections::HashSet<Symbol>) {
+    match t {
+        Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
+        | Ty::Regex | Ty::TVar(_) => {}
+        Ty::Pair(a, b) => {
+            collect_ty_free_vars(a, out);
+            collect_ty_free_vars(b, out);
+        }
+        Ty::Vec(e) => collect_ty_free_vars(e, out),
+        Ty::Union(ts) => ts.iter().for_each(|t| collect_ty_free_vars(t, out)),
+        Ty::Refine(r) => {
+            collect_ty_free_vars(&r.base, out);
+            let mut inner = std::collections::HashSet::new();
+            r.prop.free_vars(&mut inner);
+            inner.remove(&r.var);
+            out.extend(inner);
+        }
+        Ty::Fun(f) => {
+            let mut inner = std::collections::HashSet::new();
+            for (_, d) in &f.params {
+                collect_ty_free_vars(d, &mut inner);
+            }
+            collect_ty_free_vars(&f.range.ty, &mut inner);
+            f.range.then_p.free_vars(&mut inner);
+            f.range.else_p.free_vars(&mut inner);
+            for (x, _) in &f.params {
+                inner.remove(x);
+            }
+            out.extend(inner);
+        }
+        Ty::Poly(p) => collect_ty_free_vars(&p.body, out),
+    }
+}

@@ -1,0 +1,87 @@
+//! Checker configuration: theory switches, solver budgets, ablation
+//! toggles.
+
+use rtr_solver::lin::FmConfig;
+use rtr_solver::re::ReConfig;
+use rtr_solver::sat::SolverConfig;
+
+/// Configuration for [`crate::check::Checker`].
+///
+/// The default is full λ_RTR: occurrence typing with the linear-arithmetic
+/// and bitvector theories enabled and the §4.1 representative-objects
+/// optimization on. [`CheckerConfig::lambda_tr`] reproduces the paper's
+/// implicit baseline — plain occurrence typing (λ_TR / stock Typed
+/// Racket) with no theory reasoning.
+#[derive(Clone, Debug)]
+pub struct CheckerConfig {
+    /// Enable solver-backed theories (linear arithmetic, bitvectors).
+    /// Off = the λ_TR baseline: comparison primitives return plain
+    /// booleans, integer literals have no symbolic object.
+    pub theories: bool,
+    /// Apply aliases eagerly, storing facts about a single representative
+    /// member of each alias class (§4.1). When disabled, aliases are
+    /// recorded as theory-level equalities instead and every proof goes
+    /// through the solver — the ablation benchmark measures the cost.
+    pub representative_objects: bool,
+    /// Maintain the hybrid environment of §4.1: type atoms learned from
+    /// tests refine the stored per-variable types eagerly via `update±`.
+    /// When disabled (the formal model's pure-proposition environment),
+    /// learned atoms are merely *recorded* and replayed through `update±`
+    /// at every query — same verdicts, paid per lookup instead of once
+    /// per assumption; the ablation benchmark measures the gap.
+    pub hybrid_env: bool,
+    /// Maximum depth of disjunction case splits during proving.
+    pub case_split_budget: u32,
+    /// Recursion fuel for the mutually recursive subtype/proof judgments.
+    pub logic_fuel: u32,
+    /// Fourier–Motzkin budget.
+    pub fm: FmConfig,
+    /// SAT budget for bitvector queries.
+    pub sat: SolverConfig,
+    /// DFA state budget for regex-theory queries.
+    pub re: ReConfig,
+    /// Bit width used by the bitvector theory adapter. 16 bits makes the
+    /// paper's `Byte = {b:BV | 0 ≤ b ≤ #xff}` refinement non-trivial.
+    pub bv_width: u32,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> CheckerConfig {
+        CheckerConfig {
+            theories: true,
+            representative_objects: true,
+            hybrid_env: true,
+            case_split_budget: 6,
+            logic_fuel: 128,
+            fm: FmConfig::default(),
+            sat: SolverConfig::default(),
+            re: ReConfig::default(),
+            bv_width: 16,
+        }
+    }
+}
+
+impl CheckerConfig {
+    /// Full λ_RTR (the paper's system).
+    pub fn rtr() -> CheckerConfig {
+        CheckerConfig::default()
+    }
+
+    /// The λ_TR baseline: occurrence typing without theories, i.e. what
+    /// stock Typed Racket proves.
+    pub fn lambda_tr() -> CheckerConfig {
+        CheckerConfig { theories: false, ..CheckerConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(CheckerConfig::rtr().theories);
+        assert!(!CheckerConfig::lambda_tr().theories);
+        assert!(CheckerConfig::default().representative_objects);
+    }
+}

@@ -1,0 +1,284 @@
+//! The hybrid type-checking environment (§4.1).
+//!
+//! The formal model's environment is a bag of propositions; the paper
+//! notes that a real implementation should split it into (a) a standard
+//! mapping from objects to known positive/negative type information —
+//! iteratively refined with the `update` metafunction — and (b) the set of
+//! remaining compound propositions. This module implements that split,
+//! together with the *representative objects* optimization: aliases
+//! (`x ≡ o`) are applied eagerly, so every stored fact speaks about a
+//! canonical representative.
+//!
+//! `Env` is pure data; the judgments that manipulate it (assumption,
+//! proving, subtyping, update) live on [`crate::check::Checker`].
+
+use std::collections::{HashMap, HashSet};
+
+use crate::syntax::{BvAtomProp, LinAtom, Obj, Path, Prop, StrAtomProp, Symbol, Ty};
+
+/// A type-checking environment Γ.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    /// Eager alias substitutions: `x ↦ o` (representative objects, §4.1).
+    aliases: HashMap<Symbol, Obj>,
+    /// Positive type information per variable, refined via `update`.
+    types: HashMap<Symbol, Ty>,
+    /// Negative type information per path (`o ∉ τ` facts).
+    negs: HashMap<Path, Vec<Ty>>,
+    /// Remaining compound propositions (disjunctions), case-split on
+    /// demand at proof time.
+    disjs: Vec<(Prop, Prop)>,
+    /// Linear-arithmetic theory literals.
+    lin_facts: Vec<LinAtom>,
+    /// Bitvector theory literals.
+    bv_facts: Vec<BvAtomProp>,
+    /// Regex theory literals.
+    str_facts: Vec<StrAtomProp>,
+    /// Deferred type atoms `(path, τ, positive)` — only populated in the
+    /// pure-proposition-environment ablation (`hybrid_env = false`),
+    /// where they are replayed through `update±` at query time instead of
+    /// refining the stored types eagerly.
+    pending: Vec<(Path, Ty, bool)>,
+    /// Variables the mutation analysis flagged (§4.2); they never get
+    /// symbolic objects and runtime tests on them teach the system
+    /// nothing.
+    mutables: HashSet<Symbol>,
+    /// Set when `ff` (or a contradiction) has been assumed.
+    absurd: bool,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Marks `x` as mutable (no symbolic object, §4.2).
+    pub fn mark_mutable(&mut self, x: Symbol) {
+        self.mutables.insert(x);
+    }
+
+    /// Is `x` mutable?
+    pub fn is_mutable(&self, x: Symbol) -> bool {
+        self.mutables.contains(&x)
+    }
+
+    /// Records that the environment is contradictory.
+    pub fn mark_absurd(&mut self) {
+        self.absurd = true;
+    }
+
+    /// Has `ff` been assumed (directly or via a detected contradiction)?
+    pub fn is_absurd(&self) -> bool {
+        self.absurd
+    }
+
+    /// Adds an eager alias `x ↦ o`. The caller must ensure `o` does not
+    /// (transitively) mention `x`; aliases are only created for freshly
+    /// bound variables, which guarantees acyclicity.
+    pub fn add_alias(&mut self, x: Symbol, o: Obj) {
+        debug_assert!({
+            let mut fv = HashSet::new();
+            o.free_vars(&mut fv);
+            !fv.contains(&x)
+        });
+        self.aliases.insert(x, o);
+    }
+
+    /// Forgets everything recorded about `x`: its type, aliases from or
+    /// through it, negative facts, theory literals and disjunctions that
+    /// mention it, and any embedded reference from other bindings' types.
+    /// Used when a binder *shadows* an existing variable — the facts about
+    /// the outer `x` must not leak onto the inner one. Dropping facts is
+    /// always sound (it only weakens the environment).
+    pub fn unbind(&mut self, x: Symbol) {
+        let mentions_obj = |o: &Obj| {
+            let mut fv = HashSet::new();
+            o.free_vars(&mut fv);
+            fv.contains(&x)
+        };
+        self.types.remove(&x);
+        self.aliases.remove(&x);
+        self.aliases.retain(|_, o| !mentions_obj(o));
+        self.negs.retain(|p, _| p.base != x);
+        for ts in self.negs.values_mut() {
+            for t in ts.iter_mut() {
+                *t = t.subst_obj(x, &Obj::Null);
+            }
+        }
+        for t in self.types.values_mut() {
+            *t = t.subst_obj(x, &Obj::Null);
+        }
+        let mentions_prop = |p: &Prop| {
+            let mut fv = HashSet::new();
+            p.free_vars(&mut fv);
+            fv.contains(&x)
+        };
+        self.disjs.retain(|(p, q)| !mentions_prop(p) && !mentions_prop(q));
+        self.lin_facts.retain(|a| {
+            !mentions_prop(&Prop::Lin(a.clone()))
+        });
+        self.bv_facts.retain(|a| {
+            !mentions_prop(&Prop::Bv(a.clone()))
+        });
+        self.str_facts.retain(|a| {
+            !mentions_prop(&Prop::Str(a.clone()))
+        });
+        self.pending.retain(|(p, t, _)| {
+            if p.base == x {
+                return false;
+            }
+            let mut fv = HashSet::new();
+            Prop::is(Obj::Path(p.clone()), t.clone()).free_vars(&mut fv);
+            !fv.contains(&x)
+        });
+    }
+
+    /// Resolves an object to its representative by applying aliases to a
+    /// fixpoint.
+    pub fn resolve(&self, o: &Obj) -> Obj {
+        let mut cur = o.clone();
+        for _ in 0..64 {
+            let mut fv = HashSet::new();
+            cur.free_vars(&mut fv);
+            let Some(&x) = fv.iter().find(|x| self.aliases.contains_key(x)) else {
+                return cur;
+            };
+            cur = cur.subst(x, &self.aliases[&x]);
+        }
+        cur
+    }
+
+    /// The raw recorded type of variable `x`, if any.
+    pub fn raw_ty(&self, x: Symbol) -> Option<&Ty> {
+        self.types.get(&x)
+    }
+
+    /// Overwrites the recorded type of `x`.
+    pub fn set_ty(&mut self, x: Symbol, t: Ty) {
+        self.types.insert(x, t);
+    }
+
+    /// Is `x` bound (has a recorded type or an alias)?
+    pub fn is_bound(&self, x: Symbol) -> bool {
+        self.types.contains_key(&x) || self.aliases.contains_key(&x)
+    }
+
+    /// Records a negative type fact for `path`.
+    pub fn add_neg(&mut self, path: Path, t: Ty) {
+        self.negs.entry(path).or_default().push(t);
+    }
+
+    /// The negative facts recorded for `path`.
+    pub fn negs_of(&self, path: &Path) -> &[Ty] {
+        self.negs.get(path).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All `(path, negated types)` entries.
+    pub fn negs(&self) -> impl Iterator<Item = (&Path, &[Ty])> {
+        self.negs.iter().map(|(p, ts)| (p, ts.as_slice()))
+    }
+
+    /// All `(variable, positive type)` entries.
+    pub fn types(&self) -> impl Iterator<Item = (Symbol, &Ty)> {
+        self.types.iter().map(|(&x, t)| (x, t))
+    }
+
+    /// Stores a disjunction for later case splitting.
+    pub fn add_disj(&mut self, lhs: Prop, rhs: Prop) {
+        self.disjs.push((lhs, rhs));
+    }
+
+    /// The stored disjunctions.
+    pub fn disjs(&self) -> &[(Prop, Prop)] {
+        &self.disjs
+    }
+
+    /// Removes and returns the `i`-th stored disjunction.
+    pub fn take_disj(&mut self, i: usize) -> (Prop, Prop) {
+        self.disjs.swap_remove(i)
+    }
+
+    /// Appends a linear-arithmetic fact.
+    pub fn add_lin_fact(&mut self, a: LinAtom) {
+        self.lin_facts.push(a);
+    }
+
+    /// The accumulated linear facts.
+    pub fn lin_facts(&self) -> &[LinAtom] {
+        &self.lin_facts
+    }
+
+    /// Appends a bitvector fact.
+    pub fn add_bv_fact(&mut self, a: BvAtomProp) {
+        self.bv_facts.push(a);
+    }
+
+    /// The accumulated bitvector facts.
+    pub fn bv_facts(&self) -> &[BvAtomProp] {
+        &self.bv_facts
+    }
+
+    /// Appends a regex-membership fact.
+    pub fn add_str_fact(&mut self, a: StrAtomProp) {
+        self.str_facts.push(a);
+    }
+
+    /// The accumulated regex-membership facts.
+    pub fn str_facts(&self) -> &[StrAtomProp] {
+        &self.str_facts
+    }
+
+    /// Defers a type atom for query-time replay (pure-proposition mode).
+    pub fn add_pending(&mut self, p: Path, t: Ty, positive: bool) {
+        self.pending.push((p, t, positive));
+    }
+
+    /// The deferred type atoms, in assumption order.
+    pub fn pending(&self) -> &[(Path, Ty, bool)] {
+        &self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn alias_resolution_reaches_fixpoint() {
+        let mut env = Env::new();
+        // x ↦ y + 1, y ↦ z
+        env.add_alias(s("res_x"), Obj::var(s("res_y")).add(&Obj::int(1)));
+        env.add_alias(s("res_y"), Obj::var(s("res_z")));
+        let got = env.resolve(&Obj::var(s("res_x")));
+        assert_eq!(got, Obj::var(s("res_z")).add(&Obj::int(1)));
+    }
+
+    #[test]
+    fn resolve_is_identity_without_aliases() {
+        let env = Env::new();
+        let o = Obj::var(s("plain")).len();
+        assert_eq!(env.resolve(&o), o);
+    }
+
+    #[test]
+    fn mutability_flag() {
+        let mut env = Env::new();
+        assert!(!env.is_mutable(s("m")));
+        env.mark_mutable(s("m"));
+        assert!(env.is_mutable(s("m")));
+    }
+
+    #[test]
+    fn negs_round_trip() {
+        let mut env = Env::new();
+        let p = Path::var(s("n"));
+        env.add_neg(p.clone(), Ty::Int);
+        assert_eq!(env.negs_of(&p), &[Ty::Int]);
+        assert!(env.negs_of(&Path::var(s("other"))).is_empty());
+    }
+}

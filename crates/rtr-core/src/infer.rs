@@ -1,0 +1,193 @@
+//! Local type inference for polymorphic applications (§4.3).
+//!
+//! Typed Racket instantiates polymorphic functions with Pierce & Turner's
+//! local type inference; the paper extends the constraint generation
+//! judgment `Γ ⊢ S <: T ⇒ C` with the rules CG-Ref / CG-RefLower /
+//! CG-RefUpper that recurse through refinement types (carrying the full
+//! proposition environment). This module implements the bound-collection
+//! flavour of that algorithm: argument types flow into type-variable
+//! positions structurally, refinements are peeled per the CG rules, and
+//! each variable is solved to the join of its lower bounds (minimal
+//! instantiation). Validation happens afterwards via ordinary subtyping of
+//! each argument against the instantiated domain, so an unsound guess can
+//! only cause rejection, never unsoundness.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::check::Checker;
+use crate::errors::TypeError;
+use crate::syntax::{FunTy, PolyTy, Symbol, Ty};
+
+impl Checker {
+    /// Instantiates `poly` against the synthesized argument types,
+    /// returning the monomorphic function type.
+    pub(crate) fn instantiate_poly(
+        &self,
+        poly: &PolyTy,
+        arg_tys: &[Ty],
+        context: &str,
+    ) -> Result<FunTy, TypeError> {
+        let Ty::Fun(fun) = &poly.body else {
+            return Err(TypeError::CannotInfer {
+                context: context.to_owned(),
+                reason: format!("polymorphic type {} is not a function", poly.body),
+            });
+        };
+        if fun.params.len() != arg_tys.len() {
+            return Err(TypeError::Arity {
+                context: context.to_owned(),
+                expected: fun.params.len(),
+                got: arg_tys.len(),
+            });
+        }
+        let vars: HashSet<Symbol> = poly.vars.iter().copied().collect();
+        let mut bounds: HashMap<Symbol, Vec<Ty>> = HashMap::new();
+        for ((_, dom), arg) in fun.params.iter().zip(arg_tys) {
+            collect(dom, arg, &vars, &mut bounds);
+        }
+        let mut solution = HashMap::new();
+        for v in &poly.vars {
+            let tys = bounds.remove(v).unwrap_or_default();
+            // Join of lower bounds; unconstrained variables solve to ⊥
+            // (the minimal solution of local type inference).
+            solution.insert(*v, Ty::union_of(tys));
+        }
+        let body = poly.body.subst_tvars(&solution);
+        match body {
+            Ty::Fun(f) => Ok(*f),
+            other => Err(TypeError::CannotInfer {
+                context: context.to_owned(),
+                reason: format!("instantiation produced non-function {other}"),
+            }),
+        }
+    }
+}
+
+/// Structural bound collection (`Γ ⊢ S <: T ⇒ C` in spirit).
+fn collect(dom: &Ty, arg: &Ty, vars: &HashSet<Symbol>, bounds: &mut HashMap<Symbol, Vec<Ty>>) {
+    match (dom, arg) {
+        (Ty::TVar(a), t) if vars.contains(a) => {
+            // Refinements on the argument stay: `A := {x:Int|…}` is a fine
+            // instantiation and the validation pass checks it.
+            bounds.entry(*a).or_default().push(t.clone());
+        }
+        // CG-RefLower: {x:τ|ψ} <: σ recurses on τ <: σ.
+        (Ty::Refine(r), t) => collect(&r.base, t, vars, bounds),
+        // CG-RefUpper: τ <: {x:σ|ψ} recurses on τ <: σ.
+        (d, Ty::Refine(r)) => collect(d, &r.base, vars, bounds),
+        (Ty::Vec(d), Ty::Vec(t)) => collect(d, t, vars, bounds),
+        (Ty::Pair(d1, d2), Ty::Pair(t1, t2)) => {
+            collect(d1, t1, vars, bounds);
+            collect(d2, t2, vars, bounds);
+        }
+        (Ty::Union(ds), t) => {
+            for d in ds {
+                collect(d, t, vars, bounds);
+            }
+        }
+        (d, Ty::Union(ts)) => {
+            for t in ts {
+                collect(d, t, vars, bounds);
+            }
+        }
+        (Ty::Fun(f1), Ty::Fun(f2)) if f1.params.len() == f2.params.len() => {
+            for ((_, d), (_, t)) in f1.params.iter().zip(&f2.params) {
+                // Contravariant: the argument function's domain is an
+                // *upper* bound; we still record it as a candidate and let
+                // validation sort it out.
+                collect(d, t, vars, bounds);
+            }
+            collect(&f1.range.ty, &f2.range.ty, vars, bounds);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prims::delta;
+    use crate::syntax::{Prim, TyResult};
+
+    fn checker() -> Checker {
+        Checker::default()
+    }
+
+    fn poly_of(p: Prim) -> PolyTy {
+        match delta(p) {
+            Ty::Poly(p) => *p,
+            other => panic!("expected poly, got {other}"),
+        }
+    }
+
+    #[test]
+    fn vec_ref_instantiation() {
+        let c = checker();
+        let f = c
+            .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int), Ty::Int], "(vec-ref v i)")
+            .unwrap();
+        assert_eq!(f.params[0].1, Ty::vec(Ty::Int));
+        assert_eq!(f.range.ty, Ty::Int);
+    }
+
+    #[test]
+    fn refined_vector_argument_peels() {
+        // arg : {v:(Vecof Bool) | len v = 2}  ⇒  A := Bool.
+        let c = checker();
+        let v = Symbol::intern("vv");
+        let arg = Ty::refine(
+            v,
+            Ty::vec(Ty::bool_ty()),
+            crate::syntax::Prop::lin(
+                crate::syntax::Obj::var(v).len(),
+                crate::syntax::LinCmp::Eq,
+                crate::syntax::Obj::int(2),
+            ),
+        );
+        let f = c
+            .instantiate_poly(&poly_of(Prim::Len), &[arg], "(len v)")
+            .unwrap();
+        assert_eq!(f.params[0].1, Ty::vec(Ty::bool_ty()));
+    }
+
+    #[test]
+    fn unconstrained_variables_solve_to_bottom() {
+        let c = checker();
+        let a = Symbol::intern("A0");
+        let x = Symbol::intern("x0");
+        // ∀A. (x:Int) → A applied to Int: A unconstrained.
+        let poly = PolyTy {
+            vars: vec![a],
+            body: Ty::fun(vec![(x, Ty::Int)], TyResult::of_type(Ty::TVar(a))),
+        };
+        let f = c.instantiate_poly(&poly, &[Ty::Int], "ctx").unwrap();
+        assert!(f.range.ty.is_bot());
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let c = checker();
+        let err = c
+            .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int)], "(vec-ref v)")
+            .unwrap_err();
+        assert!(matches!(err, TypeError::Arity { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn multiple_lower_bounds_join() {
+        let c = checker();
+        let a = Symbol::intern("A1");
+        let x = Symbol::intern("x1");
+        let y = Symbol::intern("y1");
+        // ∀A. (x:A, y:A) → A applied to (True, False) ⇒ A := (U True False).
+        let poly = PolyTy {
+            vars: vec![a],
+            body: Ty::fun(
+                vec![(x, Ty::TVar(a)), (y, Ty::TVar(a))],
+                TyResult::of_type(Ty::TVar(a)),
+            ),
+        };
+        let f = c.instantiate_poly(&poly, &[Ty::True, Ty::False], "ctx").unwrap();
+        assert_eq!(f.range.ty, Ty::bool_ty());
+    }
+}

@@ -1,0 +1,705 @@
+//! Big-step reduction semantics (Fig. 8).
+//!
+//! The evaluation judgment `ρ ⊢ e ⇓ v` with the paper's conventions: every
+//! non-`false` value is truthy in conditional tests (B-IfTrue/B-IfFalse),
+//! and primitive application goes through the δ metafunction.
+//!
+//! The evaluator distinguishes three failure modes, which is what makes
+//! the soundness theorem *testable*:
+//!
+//! * [`EvalError::Stuck`] — a dynamic type error (δ undefined). Theorem 1
+//!   says well-typed programs never produce this. `unsafe-vec-ref` out of
+//!   bounds is deliberately Stuck: it models memory unsafety.
+//! * [`EvalError::UserError`] — the `(error …)` primitive and the *checked*
+//!   `vec-ref`'s bounds failure: well-typed programs may raise these.
+//! * [`EvalError::OutOfFuel`] — the fuel bound; big-step soundness says
+//!   nothing about divergence (§3.5.2).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::syntax::{Expr, Lambda, Prim, Symbol};
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A bitvector (width fixed by the checker's theory adapter; values
+    /// are stored masked to 16 bits to match).
+    Bv(u64),
+    /// A pair `⟨v, v⟩`.
+    Pair(Rc<Value>, Rc<Value>),
+    /// A mutable vector.
+    Vector(Rc<RefCell<Vec<Value>>>),
+    /// A closure `[ρ, λx:τ.e]`.
+    Closure(Rc<Closure>),
+    /// A primitive operation as a value.
+    Prim(Prim),
+    /// A string.
+    Str(std::sync::Arc<str>),
+    /// A regex literal.
+    Re(std::sync::Arc<rtr_solver::re::Regex>),
+    /// The unit value (result of `set!` and friends).
+    Unit,
+}
+
+/// A closure: captured environment plus lambda.
+#[derive(Debug)]
+pub struct Closure {
+    /// The captured runtime environment ρ.
+    pub env: RtEnv,
+    /// The code.
+    pub lambda: std::sync::Arc<Lambda>,
+    /// For `letrec`-bound closures, the function's own name (looked up
+    /// through itself on application).
+    pub rec_name: Option<Symbol>,
+}
+
+impl Value {
+    /// The paper's truthiness convention: everything but `false` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false))
+    }
+
+    /// Structural equality (`equal?`). Closures and primitives compare by
+    /// identity-ish (never equal unless same primitive).
+    pub fn structurally_equal(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Bv(a), Value::Bv(b)) => a == b,
+            (Value::Unit, Value::Unit) => true,
+            (Value::Pair(a1, b1), Value::Pair(a2, b2)) => {
+                a1.structurally_equal(a2) && b1.structurally_equal(b2)
+            }
+            (Value::Vector(a), Value::Vector(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x.structurally_equal(y))
+            }
+            (Value::Prim(a), Value::Prim(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Re(a), Value::Re(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(true) => write!(f, "#t"),
+            Value::Bool(false) => write!(f, "#f"),
+            Value::Bv(v) => write!(f, "#x{v:x}"),
+            Value::Pair(a, b) => write!(f, "⟨{a}, {b}⟩"),
+            Value::Vector(v) => {
+                write!(f, "(vec")?;
+                for x in v.borrow().iter() {
+                    write!(f, " {x}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Re(r) => write!(f, "#rx\"{r}\""),
+            Value::Closure(_) => write!(f, "#<procedure>"),
+            Value::Prim(p) => write!(f, "#<procedure:{p}>"),
+            Value::Unit => write!(f, "#<void>"),
+        }
+    }
+}
+
+/// A runtime environment ρ: a persistent map from variables to values.
+#[derive(Clone, Debug, Default)]
+pub struct RtEnv {
+    // Cells make `set!` visible through closures, as in Racket.
+    vars: HashMap<Symbol, Rc<RefCell<Value>>>,
+}
+
+impl RtEnv {
+    /// The empty environment.
+    pub fn new() -> RtEnv {
+        RtEnv::default()
+    }
+
+    /// Looks up a variable's current value.
+    pub fn lookup(&self, x: Symbol) -> Option<Value> {
+        self.vars.get(&x).map(|c| c.borrow().clone())
+    }
+
+    /// Extends with a new binding (`ρ[x := v]`), persistently.
+    pub fn extend(&self, x: Symbol, v: Value) -> RtEnv {
+        let mut vars = self.vars.clone();
+        vars.insert(x, Rc::new(RefCell::new(v)));
+        RtEnv { vars }
+    }
+
+    /// Mutates an existing binding (`set!`).
+    pub fn assign(&self, x: Symbol, v: Value) -> Result<(), EvalError> {
+        match self.vars.get(&x) {
+            Some(cell) => {
+                *cell.borrow_mut() = v;
+                Ok(())
+            }
+            None => Err(EvalError::Stuck(format!("set! of unbound variable {x}"))),
+        }
+    }
+
+    /// Iterates over the bindings (used by the model relation).
+    pub fn bindings(&self) -> impl Iterator<Item = (Symbol, Value)> + '_ {
+        self.vars.iter().map(|(&x, c)| (x, c.borrow().clone()))
+    }
+}
+
+/// Evaluation failure.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EvalError {
+    /// A dynamic type error — the thing Theorem 1 rules out.
+    Stuck(String),
+    /// A user-level `(error …)` (or a checked bounds failure).
+    UserError(String),
+    /// Fuel exhausted (possible divergence).
+    OutOfFuel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Stuck(m) => write!(f, "stuck: {m}"),
+            EvalError::UserError(m) => write!(f, "error: {m}"),
+            EvalError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+const BV_MASK: u64 = 0xffff; // matches CheckerConfig::bv_width = 16
+
+/// Evaluates `e` in the empty environment with a step budget.
+pub fn eval_program(e: &Expr, fuel: u64) -> Result<Value, EvalError> {
+    let mut fuel = fuel;
+    eval(&RtEnv::new(), e, &mut fuel)
+}
+
+/// The big-step judgment `ρ ⊢ e ⇓ v` (Fig. 8).
+pub fn eval(rho: &RtEnv, e: &Expr, fuel: &mut u64) -> Result<Value, EvalError> {
+    if *fuel == 0 {
+        return Err(EvalError::OutOfFuel);
+    }
+    *fuel -= 1;
+    match e {
+        // B-Val / B-Var / B-Abs.
+        Expr::Int(n) => Ok(Value::Int(*n)),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::BvLit(v) => Ok(Value::Bv(*v & BV_MASK)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::ReLit(r) => Ok(Value::Re(r.clone())),
+        Expr::Prim(p) => Ok(Value::Prim(*p)),
+        Expr::Var(x) => rho
+            .lookup(*x)
+            .ok_or_else(|| EvalError::Stuck(format!("unbound variable {x}"))),
+        Expr::Lam(l) => Ok(Value::Closure(Rc::new(Closure {
+            env: rho.clone(),
+            lambda: l.clone(),
+            rec_name: None,
+        }))),
+        // B-Beta / B-Prim.
+        Expr::App(f, args) => {
+            let fv = eval(rho, f, fuel)?;
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval(rho, a, fuel)?);
+            }
+            apply(&fv, &argv, fuel)
+        }
+        // B-IfTrue / B-IfFalse.
+        Expr::If(c, t, f) => {
+            let cv = eval(rho, c, fuel)?;
+            if cv.is_truthy() {
+                eval(rho, t, fuel)
+            } else {
+                eval(rho, f, fuel)
+            }
+        }
+        // B-Let.
+        Expr::Let(x, rhs, body) => {
+            let v = eval(rho, rhs, fuel)?;
+            eval(&rho.extend(*x, v), body, fuel)
+        }
+        Expr::LetRec(fname, _, lam, body) => {
+            let clo = Value::Closure(Rc::new(Closure {
+                env: rho.clone(),
+                lambda: lam.clone(),
+                rec_name: Some(*fname),
+            }));
+            eval(&rho.extend(*fname, clo), body, fuel)
+        }
+        // B-Pair / B-Fst / B-Snd.
+        Expr::Cons(a, b) => {
+            let av = eval(rho, a, fuel)?;
+            let bv = eval(rho, b, fuel)?;
+            Ok(Value::Pair(Rc::new(av), Rc::new(bv)))
+        }
+        Expr::Fst(a) => match eval(rho, a, fuel)? {
+            Value::Pair(x, _) => Ok((*x).clone()),
+            v => Err(EvalError::Stuck(format!("(fst {v}) on a non-pair"))),
+        },
+        Expr::Snd(a) => match eval(rho, a, fuel)? {
+            Value::Pair(_, y) => Ok((*y).clone()),
+            v => Err(EvalError::Stuck(format!("(snd {v}) on a non-pair"))),
+        },
+        Expr::VecLit(es) => {
+            let mut out = Vec::with_capacity(es.len());
+            for e in es {
+                out.push(eval(rho, e, fuel)?);
+            }
+            Ok(Value::Vector(Rc::new(RefCell::new(out))))
+        }
+        Expr::Ann(inner, _) => eval(rho, inner, fuel),
+        Expr::Error(msg) => Err(EvalError::UserError(msg.clone())),
+        Expr::Set(x, rhs) => {
+            let v = eval(rho, rhs, fuel)?;
+            rho.assign(*x, v)?;
+            Ok(Value::Unit)
+        }
+        Expr::Begin(es) => {
+            let mut last = Value::Unit;
+            for e in es {
+                last = eval(rho, e, fuel)?;
+            }
+            Ok(last)
+        }
+    }
+}
+
+/// Applies a function value (B-Beta for closures, B-Prim/δ for
+/// primitives).
+pub fn apply(f: &Value, args: &[Value], fuel: &mut u64) -> Result<Value, EvalError> {
+    match f {
+        Value::Closure(c) => {
+            if c.lambda.params.len() != args.len() {
+                return Err(EvalError::Stuck(format!(
+                    "arity mismatch: expected {}, got {}",
+                    c.lambda.params.len(),
+                    args.len()
+                )));
+            }
+            let mut env = c.env.clone();
+            if let Some(name) = c.rec_name {
+                env = env.extend(name, f.clone());
+            }
+            for ((x, _), v) in c.lambda.params.iter().zip(args) {
+                env = env.extend(*x, v.clone());
+            }
+            eval(&env, &c.lambda.body, fuel)
+        }
+        Value::Prim(p) => delta_rt(*p, args),
+        v => Err(EvalError::Stuck(format!("application of non-function {v}"))),
+    }
+}
+
+fn int1(p: Prim, args: &[Value]) -> Result<i64, EvalError> {
+    match args {
+        [Value::Int(a)] => Ok(*a),
+        _ => Err(EvalError::Stuck(format!("({p} …): expected one integer"))),
+    }
+}
+
+fn int2(p: Prim, args: &[Value]) -> Result<(i64, i64), EvalError> {
+    match args {
+        [Value::Int(a), Value::Int(b)] => Ok((*a, *b)),
+        _ => Err(EvalError::Stuck(format!("({p} …): expected two integers"))),
+    }
+}
+
+fn bv2(p: Prim, args: &[Value]) -> Result<(u64, u64), EvalError> {
+    match args {
+        [Value::Bv(a), Value::Bv(b)] => Ok((*a, *b)),
+        _ => Err(EvalError::Stuck(format!("({p} …): expected two bitvectors"))),
+    }
+}
+
+/// Shared handle to a runtime vector's storage.
+type VecHandle = Rc<RefCell<Vec<Value>>>;
+
+fn vec_and_index(p: Prim, args: &[Value]) -> Result<(VecHandle, i64), EvalError> {
+    match args {
+        [Value::Vector(v), Value::Int(i), ..] => Ok((v.clone(), *i)),
+        _ => Err(EvalError::Stuck(format!("({p} …): expected a vector and an index"))),
+    }
+}
+
+/// The runtime δ metafunction.
+fn delta_rt(p: Prim, args: &[Value]) -> Result<Value, EvalError> {
+    let arity_err = || EvalError::Stuck(format!("({p} …): wrong arity {}", args.len()));
+    match p {
+        Prim::IsInt => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Int(_)))),
+            _ => Err(arity_err()),
+        },
+        Prim::IsBool => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Bool(_)))),
+            _ => Err(arity_err()),
+        },
+        Prim::IsPair => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Pair(..)))),
+            _ => Err(arity_err()),
+        },
+        Prim::IsVec => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Vector(_)))),
+            _ => Err(arity_err()),
+        },
+        Prim::IsProc => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Closure(_) | Value::Prim(_)))),
+            _ => Err(arity_err()),
+        },
+        Prim::IsBv => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Bv(_)))),
+            _ => Err(arity_err()),
+        },
+        Prim::Not => match args {
+            [v] => Ok(Value::Bool(!v.is_truthy())),
+            _ => Err(arity_err()),
+        },
+        Prim::IsZero => Ok(Value::Bool(int1(p, args)? == 0)),
+        Prim::IsEven => Ok(Value::Bool(int1(p, args)? % 2 == 0)),
+        Prim::IsOdd => Ok(Value::Bool(int1(p, args)?.rem_euclid(2) == 1)),
+        Prim::Add1 => Ok(Value::Int(int1(p, args)?.wrapping_add(1))),
+        Prim::Sub1 => Ok(Value::Int(int1(p, args)?.wrapping_sub(1))),
+        Prim::Plus => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Int(a.wrapping_add(b)))
+        }
+        Prim::Minus => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Int(a.wrapping_sub(b)))
+        }
+        Prim::Times => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Int(a.wrapping_mul(b)))
+        }
+        Prim::Quotient => {
+            let (a, b) = int2(p, args)?;
+            if b == 0 {
+                return Err(EvalError::UserError("quotient: division by zero".into()));
+            }
+            Ok(Value::Int(a.wrapping_div(b)))
+        }
+        Prim::Remainder => {
+            let (a, b) = int2(p, args)?;
+            if b == 0 {
+                return Err(EvalError::UserError("remainder: division by zero".into()));
+            }
+            Ok(Value::Int(a.wrapping_rem(b)))
+        }
+        Prim::Lt => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Bool(a < b))
+        }
+        Prim::Le => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Bool(a <= b))
+        }
+        Prim::Gt => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Bool(a > b))
+        }
+        Prim::Ge => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Bool(a >= b))
+        }
+        Prim::NumEq => {
+            let (a, b) = int2(p, args)?;
+            Ok(Value::Bool(a == b))
+        }
+        Prim::Equal => match args {
+            [a, b] => Ok(Value::Bool(a.structurally_equal(b))),
+            _ => Err(arity_err()),
+        },
+        Prim::Len => match args {
+            [Value::Vector(v)] => Ok(Value::Int(v.borrow().len() as i64)),
+            _ => Err(EvalError::Stuck(format!("({p} …): expected a vector"))),
+        },
+        Prim::VecRef => {
+            // Dynamically checked: OOB is a *user* error (B-Prim is
+            // defined; the program chose to signal).
+            let (v, i) = vec_and_index(p, args)?;
+            let v = v.borrow();
+            if i < 0 || i as usize >= v.len() {
+                return Err(EvalError::UserError(format!("vec-ref: index {i} out of range")));
+            }
+            Ok(v[i as usize].clone())
+        }
+        Prim::UnsafeVecRef | Prim::SafeVecRef => {
+            // Raw access: OOB is undefined behaviour, i.e. Stuck.
+            let (v, i) = vec_and_index(p, args)?;
+            let v = v.borrow();
+            if i < 0 || i as usize >= v.len() {
+                return Err(EvalError::Stuck(format!(
+                    "{p}: out-of-bounds raw access at {i} (len {})",
+                    v.len()
+                )));
+            }
+            Ok(v[i as usize].clone())
+        }
+        Prim::VecSet => {
+            let (v, i) = vec_and_index(p, args)?;
+            let Some(x) = args.get(2) else { return Err(arity_err()) };
+            let mut v = v.borrow_mut();
+            if i < 0 || i as usize >= v.len() {
+                return Err(EvalError::UserError(format!("vec-set!: index {i} out of range")));
+            }
+            v[i as usize] = x.clone();
+            Ok(Value::Unit)
+        }
+        Prim::UnsafeVecSet | Prim::SafeVecSet => {
+            let (v, i) = vec_and_index(p, args)?;
+            let Some(x) = args.get(2) else { return Err(arity_err()) };
+            let mut v = v.borrow_mut();
+            if i < 0 || i as usize >= v.len() {
+                return Err(EvalError::Stuck(format!(
+                    "{p}: out-of-bounds raw store at {i} (len {})",
+                    v.len()
+                )));
+            }
+            v[i as usize] = x.clone();
+            Ok(Value::Unit)
+        }
+        Prim::MakeVec => match args {
+            [Value::Int(n), init] => {
+                if *n < 0 {
+                    return Err(EvalError::Stuck(format!("make-vec: negative length {n}")));
+                }
+                Ok(Value::Vector(Rc::new(RefCell::new(vec![init.clone(); *n as usize]))))
+            }
+            _ => Err(EvalError::Stuck("make-vec: expected an integer and a value".into())),
+        },
+        Prim::IsStr => match args {
+            [v] => Ok(Value::Bool(matches!(v, Value::Str(_)))),
+            _ => Err(arity_err()),
+        },
+        Prim::StrLen => match args {
+            [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
+            _ => Err(EvalError::Stuck(format!("({p} …): expected a string"))),
+        },
+        Prim::StrEq => match args {
+            [Value::Str(a), Value::Str(b)] => Ok(Value::Bool(a == b)),
+            _ => Err(EvalError::Stuck(format!("({p} …): expected two strings"))),
+        },
+        Prim::StrMatch => match args {
+            [Value::Re(r), Value::Str(s)] => Ok(Value::Bool(r.is_match(s))),
+            _ => Err(EvalError::Stuck(format!(
+                "({p} …): expected a regex and a string"
+            ))),
+        },
+        Prim::BvAnd => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bv(a & b))
+        }
+        Prim::BvOr => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bv(a | b))
+        }
+        Prim::BvXor => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bv(a ^ b))
+        }
+        Prim::BvAdd => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bv(a.wrapping_add(b) & BV_MASK))
+        }
+        Prim::BvSub => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bv(a.wrapping_sub(b) & BV_MASK))
+        }
+        Prim::BvMul => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bv(a.wrapping_mul(b) & BV_MASK))
+        }
+        Prim::BvNot => match args {
+            [Value::Bv(a)] => Ok(Value::Bv(!a & BV_MASK)),
+            _ => Err(EvalError::Stuck("bvnot: expected a bitvector".into())),
+        },
+        Prim::BvEq => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bool(a == b))
+        }
+        Prim::BvUle => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bool(a <= b))
+        }
+        Prim::BvUlt => {
+            let (a, b) = bv2(p, args)?;
+            Ok(Value::Bool(a < b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Ty;
+
+    fn s(n: &str) -> Symbol {
+        Symbol::intern(n)
+    }
+
+    fn run(e: &Expr) -> Result<Value, EvalError> {
+        eval_program(e, 100_000)
+    }
+
+    #[test]
+    fn literals_and_arith() {
+        let e = Expr::prim_app(Prim::Plus, vec![Expr::Int(2), Expr::Int(3)]);
+        assert!(matches!(run(&e), Ok(Value::Int(5))));
+        let e = Expr::prim_app(Prim::Times, vec![Expr::Int(4), Expr::Int(-2)]);
+        assert!(matches!(run(&e), Ok(Value::Int(-8))));
+    }
+
+    #[test]
+    fn truthiness_follows_the_paper() {
+        // (if 0 1 2) = 1 — zero is truthy; only #f is false.
+        let e = Expr::if_(Expr::Int(0), Expr::Int(1), Expr::Int(2));
+        assert!(matches!(run(&e), Ok(Value::Int(1))));
+        let e = Expr::if_(Expr::Bool(false), Expr::Int(1), Expr::Int(2));
+        assert!(matches!(run(&e), Ok(Value::Int(2))));
+    }
+
+    #[test]
+    fn beta_and_closures() {
+        let x = s("bx");
+        let e = Expr::app(
+            Expr::lam(vec![(x, Ty::Int)], Expr::prim_app(Prim::Add1, vec![Expr::Var(x)])),
+            vec![Expr::Int(41)],
+        );
+        assert!(matches!(run(&e), Ok(Value::Int(42))));
+    }
+
+    #[test]
+    fn letrec_recursion() {
+        // (letrec (f (λ n. if (zero? n) 0 (+ 2 (f (sub1 n))))) (f 5)) = 10
+        let (f, n) = (s("rf"), s("rn"));
+        let body = Expr::if_(
+            Expr::prim_app(Prim::IsZero, vec![Expr::Var(n)]),
+            Expr::Int(0),
+            Expr::prim_app(Prim::Plus, vec![
+                Expr::Int(2),
+                Expr::app(Expr::Var(f), vec![Expr::prim_app(Prim::Sub1, vec![Expr::Var(n)])]),
+            ]),
+        );
+        let e = Expr::LetRec(
+            f,
+            Ty::simple_fun(vec![Ty::Int], Ty::Int),
+            std::sync::Arc::new(Lambda { params: vec![(n, Ty::Int)], body }),
+            Box::new(Expr::app(Expr::Var(f), vec![Expr::Int(5)])),
+        );
+        assert!(matches!(run(&e), Ok(Value::Int(10))));
+    }
+
+    #[test]
+    fn divergence_hits_fuel() {
+        let (f, n) = (s("df"), s("dn"));
+        let e = Expr::LetRec(
+            f,
+            Ty::simple_fun(vec![Ty::Int], Ty::Int),
+            std::sync::Arc::new(Lambda {
+                params: vec![(n, Ty::Int)],
+                body: Expr::app(Expr::Var(f), vec![Expr::Var(n)]),
+            }),
+            Box::new(Expr::app(Expr::Var(f), vec![Expr::Int(0)])),
+        );
+        // Keep the fuel modest: the evaluator is recursive, so fuel also
+        // bounds Rust stack depth.
+        assert!(matches!(eval_program(&e, 800), Err(EvalError::OutOfFuel)));
+    }
+
+    #[test]
+    fn pairs_and_projections() {
+        let e = Expr::Fst(Box::new(Expr::Cons(
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Bool(true)),
+        )));
+        assert!(matches!(run(&e), Ok(Value::Int(1))));
+        let stuck = Expr::Fst(Box::new(Expr::Int(3)));
+        assert!(matches!(run(&stuck), Err(EvalError::Stuck(_))));
+    }
+
+    #[test]
+    fn vector_semantics() {
+        let v = Expr::VecLit(vec![Expr::Int(10), Expr::Int(20)]);
+        let e = Expr::prim_app(Prim::VecRef, vec![v.clone(), Expr::Int(1)]);
+        assert!(matches!(run(&e), Ok(Value::Int(20))));
+        // Checked access: user error. Raw access: stuck.
+        let checked = Expr::prim_app(Prim::VecRef, vec![v.clone(), Expr::Int(5)]);
+        assert!(matches!(run(&checked), Err(EvalError::UserError(_))));
+        let raw = Expr::prim_app(Prim::UnsafeVecRef, vec![v.clone(), Expr::Int(5)]);
+        assert!(matches!(run(&raw), Err(EvalError::Stuck(_))));
+        // Stores mutate in place.
+        let x = s("vx");
+        let prog = Expr::let_(
+            x,
+            v,
+            Expr::Begin(vec![
+                Expr::prim_app(Prim::VecSet, vec![Expr::Var(x), Expr::Int(0), Expr::Int(99)]),
+                Expr::prim_app(Prim::VecRef, vec![Expr::Var(x), Expr::Int(0)]),
+            ]),
+        );
+        assert!(matches!(run(&prog), Ok(Value::Int(99))));
+    }
+
+    #[test]
+    fn set_mutates_through_closures() {
+        // (let (c 0) (begin ((λ u. (set! c 7)) 0) c)) = 7
+        let (c, u) = (s("sc"), s("su"));
+        let e = Expr::let_(
+            c,
+            Expr::Int(0),
+            Expr::Begin(vec![
+                Expr::app(
+                    Expr::lam(vec![(u, Ty::Int)], Expr::Set(c, Box::new(Expr::Int(7)))),
+                    vec![Expr::Int(0)],
+                ),
+                Expr::Var(c),
+            ]),
+        );
+        assert!(matches!(run(&e), Ok(Value::Int(7))));
+    }
+
+    #[test]
+    fn error_propagates() {
+        let e = Expr::prim_app(Prim::Add1, vec![Expr::Error("boom".into())]);
+        assert!(matches!(run(&e), Err(EvalError::UserError(m)) if m == "boom"));
+    }
+
+    #[test]
+    fn bitvector_ops() {
+        let e = Expr::prim_app(Prim::BvAnd, vec![
+            Expr::prim_app(Prim::BvMul, vec![Expr::BvLit(2), Expr::BvLit(0xab)]),
+            Expr::BvLit(0xff),
+        ]);
+        match run(&e) {
+            Ok(Value::Bv(v)) => assert_eq!(v, (2 * 0xab) & 0xff),
+            other => panic!("expected bv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_is_structural() {
+        let pair = |a: i64, b: i64| {
+            Expr::Cons(Box::new(Expr::Int(a)), Box::new(Expr::Int(b)))
+        };
+        let e = Expr::prim_app(Prim::Equal, vec![pair(1, 2), pair(1, 2)]);
+        assert!(matches!(run(&e), Ok(Value::Bool(true))));
+        let e = Expr::prim_app(Prim::Equal, vec![pair(1, 2), pair(1, 3)]);
+        assert!(matches!(run(&e), Ok(Value::Bool(false))));
+    }
+}

@@ -1,0 +1,86 @@
+//! The mutation pre-pass (§4.2).
+//!
+//! Before type checking, a syntactic pass collects every variable that may
+//! be mutated (`set!` targets). The checker then refuses to assign those
+//! variables symbolic objects, so runtime tests on them produce no logical
+//! information — exactly the conservative treatment that caught the
+//! `math` library's mutable `cache-size` bug in the paper's case study.
+
+use std::collections::HashSet;
+
+use crate::syntax::{Expr, Symbol};
+
+/// Collects every variable that appears as a `set!` target anywhere in
+/// `e`. Shadowing is ignored (conservatively: a name mutated anywhere is
+/// treated as mutable everywhere).
+pub fn mutated_vars(e: &Expr) -> HashSet<Symbol> {
+    let mut out = HashSet::new();
+    collect(e, &mut out);
+    out
+}
+
+fn collect(e: &Expr, out: &mut HashSet<Symbol>) {
+    match e {
+        Expr::Set(x, rhs) => {
+            out.insert(*x);
+            collect(rhs, out);
+        }
+        Expr::Var(_)
+        | Expr::Int(_)
+        | Expr::Bool(_)
+        | Expr::BvLit(_)
+        | Expr::Str(_)
+        | Expr::ReLit(_)
+        | Expr::Prim(_)
+        | Expr::Error(_) => {}
+        Expr::Lam(l) => collect(&l.body, out),
+        Expr::App(f, args) => {
+            collect(f, out);
+            args.iter().for_each(|a| collect(a, out));
+        }
+        Expr::If(a, b, c) => {
+            collect(a, out);
+            collect(b, out);
+            collect(c, out);
+        }
+        Expr::Let(_, a, b) | Expr::Cons(a, b) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        Expr::LetRec(_, _, l, b) => {
+            collect(&l.body, out);
+            collect(b, out);
+        }
+        Expr::Fst(a) | Expr::Snd(a) | Expr::Ann(a, _) => collect(a, out),
+        Expr::VecLit(es) | Expr::Begin(es) => es.iter().for_each(|e| collect(e, out)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Prim, Ty};
+
+    #[test]
+    fn finds_nested_mutation() {
+        let cache = Symbol::intern("cache");
+        let e = Expr::let_(
+            cache,
+            Expr::Int(10),
+            Expr::if_(
+                Expr::prim_app(Prim::IsZero, vec![Expr::Var(cache)]),
+                Expr::Set(cache, Box::new(Expr::Int(5))),
+                Expr::lam(vec![(Symbol::intern("u"), Ty::Top)], Expr::Set(cache, Box::new(Expr::Int(7)))),
+            ),
+        );
+        let m = mutated_vars(&e);
+        assert!(m.contains(&cache));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn pure_programs_have_no_mutables() {
+        let e = Expr::prim_app(Prim::Plus, vec![Expr::Int(1), Expr::Int(2)]);
+        assert!(mutated_vars(&e).is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! The primitive type table Δ (Fig. 3), enriched per §3.4 and §5.
+//!
+//! Comparison primitives return theory propositions in their then/else
+//! positions (e.g. `(≤ x y)` is `(B ; x ≤ y | y < x ; ∅)`), arithmetic
+//! primitives return linear symbolic objects (`(+ x y)` has object
+//! `x + y`), `len` returns the `len` field object, and the safe vector
+//! operations demand refinement-typed indices. These enrichments are what
+//! the paper describes as modifying "the type of 36 functions" in Typed
+//! Racket's base environment.
+
+use crate::syntax::{BvCmp, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
+
+fn x() -> Symbol {
+    Symbol::intern("x")
+}
+fn y() -> Symbol {
+    Symbol::intern("y")
+}
+fn v() -> Symbol {
+    Symbol::intern("v")
+}
+fn i() -> Symbol {
+    Symbol::intern("i")
+}
+fn n() -> Symbol {
+    Symbol::intern("n")
+}
+fn a() -> Symbol {
+    Symbol::intern("A")
+}
+
+/// A unary type predicate: `x:⊤ → (B ; x ∈ τ | x ∉ τ ; ∅)`.
+fn predicate(test_ty: Ty) -> Ty {
+    Ty::fun(
+        vec![(x(), Ty::Top)],
+        TyResult::new(
+            Ty::bool_ty(),
+            Prop::is(Obj::var(x()), test_ty.clone()),
+            Prop::is_not(Obj::var(x()), test_ty),
+            Obj::Null,
+        ),
+    )
+}
+
+/// A binary integer comparison with theory then/else propositions.
+fn comparison(then_p: Prop, else_p: Prop) -> Ty {
+    Ty::fun(
+        vec![(x(), Ty::Int), (y(), Ty::Int)],
+        TyResult::new(Ty::bool_ty(), then_p, else_p, Obj::Null),
+    )
+}
+
+/// Integer arithmetic returning a linear object.
+fn arith(params: Vec<(Symbol, Ty)>, obj: Obj) -> Ty {
+    Ty::fun(params, TyResult::truthy(Ty::Int, obj))
+}
+
+/// A bitvector binary operator returning a bitvector object.
+fn bv_binop(obj: Obj) -> Ty {
+    Ty::fun(
+        vec![(x(), Ty::BitVec), (y(), Ty::BitVec)],
+        TyResult::truthy(Ty::BitVec, obj),
+    )
+}
+
+/// A bitvector comparison with theory then/else propositions.
+fn bv_comparison(cmp: BvCmp) -> Ty {
+    let atom = Prop::bv(Obj::var(x()), cmp, Obj::var(y()));
+    let neg = atom.negate().expect("bv atoms are negatable");
+    Ty::fun(
+        vec![(x(), Ty::BitVec), (y(), Ty::BitVec)],
+        TyResult::new(Ty::bool_ty(), atom, neg, Obj::Null),
+    )
+}
+
+/// `{i:Int | 0 ≤ i ∧ i < (len v)}` — the provably-in-bounds index type of
+/// §2.1's `safe-vec-ref`.
+pub fn safe_index_ty(vec_var: Symbol) -> Ty {
+    Ty::refine(
+        i(),
+        Ty::Int,
+        Prop::and(
+            Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i())),
+            Prop::lin(Obj::var(i()), LinCmp::Lt, Obj::var(vec_var).len()),
+        ),
+    )
+}
+
+/// `Δ(p)` — the type of primitive `p`.
+pub fn delta(p: Prim) -> Ty {
+    match p {
+        // -- predicates (Fig. 3) ---------------------------------------------
+        Prim::IsInt => predicate(Ty::Int),
+        Prim::IsBool => predicate(Ty::bool_ty()),
+        Prim::IsPair => predicate(Ty::pair(Ty::Top, Ty::Top)),
+        Prim::IsVec => predicate(Ty::vec(Ty::Top)),
+        Prim::IsBv => predicate(Ty::BitVec),
+        Prim::IsProc => Ty::fun(
+            vec![(x(), Ty::Top)],
+            TyResult::of_type(Ty::bool_ty()),
+        ),
+        Prim::Not => Ty::fun(
+            vec![(x(), Ty::Top)],
+            TyResult::new(
+                Ty::bool_ty(),
+                Prop::is(Obj::var(x()), Ty::False),
+                Prop::is_not(Obj::var(x()), Ty::False),
+                Obj::Null,
+            ),
+        ),
+        Prim::IsZero => Ty::fun(
+            vec![(x(), Ty::Int)],
+            TyResult::new(
+                Ty::bool_ty(),
+                Prop::lin(Obj::var(x()), LinCmp::Eq, Obj::int(0)),
+                Prop::lin(Obj::var(x()), LinCmp::Ne, Obj::int(0)),
+                Obj::Null,
+            ),
+        ),
+        Prim::IsEven | Prim::IsOdd => {
+            Ty::fun(vec![(x(), Ty::Int)], TyResult::of_type(Ty::bool_ty()))
+        }
+        // -- linear arithmetic (§3.4) ------------------------------------------
+        Prim::Add1 => arith(vec![(x(), Ty::Int)], Obj::var(x()).add(&Obj::int(1))),
+        Prim::Sub1 => arith(vec![(x(), Ty::Int)], Obj::var(x()).sub(&Obj::int(1))),
+        Prim::Plus => arith(
+            vec![(x(), Ty::Int), (y(), Ty::Int)],
+            Obj::var(x()).add(&Obj::var(y())),
+        ),
+        Prim::Minus => arith(
+            vec![(x(), Ty::Int), (y(), Ty::Int)],
+            Obj::var(x()).sub(&Obj::var(y())),
+        ),
+        // The product object is computed by the checker when one side is a
+        // literal (`n · o` is linear; `x · y` is not).
+        Prim::Times => arith(vec![(x(), Ty::Int), (y(), Ty::Int)], Obj::Null),
+        // quotient/remainder are deliberately un-enriched (no symbolic
+        // object, no propositions): the "unimplemented feature" of §5.1.
+        Prim::Quotient | Prim::Remainder => {
+            arith(vec![(x(), Ty::Int), (y(), Ty::Int)], Obj::Null)
+        }
+        Prim::Lt => comparison(
+            Prop::lin(Obj::var(x()), LinCmp::Lt, Obj::var(y())),
+            Prop::lin(Obj::var(y()), LinCmp::Le, Obj::var(x())),
+        ),
+        Prim::Le => comparison(
+            Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y())),
+            Prop::lin(Obj::var(y()), LinCmp::Lt, Obj::var(x())),
+        ),
+        Prim::Gt => comparison(
+            Prop::lin(Obj::var(y()), LinCmp::Lt, Obj::var(x())),
+            Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y())),
+        ),
+        Prim::Ge => comparison(
+            Prop::lin(Obj::var(y()), LinCmp::Le, Obj::var(x())),
+            Prop::lin(Obj::var(x()), LinCmp::Lt, Obj::var(y())),
+        ),
+        Prim::NumEq => comparison(
+            Prop::lin(Obj::var(x()), LinCmp::Eq, Obj::var(y())),
+            Prop::lin(Obj::var(x()), LinCmp::Ne, Obj::var(y())),
+        ),
+        // `equal?` is enriched by the checker when both arguments are
+        // integers; its base type is unrestricted.
+        Prim::Equal => Ty::fun(
+            vec![(x(), Ty::Top), (y(), Ty::Top)],
+            TyResult::of_type(Ty::bool_ty()),
+        ),
+        // -- vectors (§5) -----------------------------------------------------
+        Prim::Len => Ty::poly(
+            vec![a()],
+            Ty::fun(
+                vec![(v(), Ty::vec(Ty::TVar(a())))],
+                TyResult::truthy(Ty::Int, Obj::var(v()).len()),
+            ),
+        ),
+        Prim::VecRef => Ty::poly(
+            vec![a()],
+            Ty::fun(
+                vec![(v(), Ty::vec(Ty::TVar(a()))), (i(), Ty::Int)],
+                TyResult::of_type(Ty::TVar(a())),
+            ),
+        ),
+        Prim::UnsafeVecRef | Prim::SafeVecRef => Ty::poly(
+            vec![a()],
+            Ty::fun(
+                vec![(v(), Ty::vec(Ty::TVar(a()))), (i(), safe_index_ty(v()))],
+                TyResult::of_type(Ty::TVar(a())),
+            ),
+        ),
+        Prim::VecSet => Ty::poly(
+            vec![a()],
+            Ty::fun(
+                vec![
+                    (v(), Ty::vec(Ty::TVar(a()))),
+                    (i(), Ty::Int),
+                    (x(), Ty::TVar(a())),
+                ],
+                TyResult::truthy(Ty::Unit, Obj::Null),
+            ),
+        ),
+        Prim::UnsafeVecSet | Prim::SafeVecSet => Ty::poly(
+            vec![a()],
+            Ty::fun(
+                vec![
+                    (v(), Ty::vec(Ty::TVar(a()))),
+                    (i(), safe_index_ty(v())),
+                    (x(), Ty::TVar(a())),
+                ],
+                TyResult::truthy(Ty::Unit, Obj::Null),
+            ),
+        ),
+        Prim::MakeVec => Ty::poly(
+            vec![a()],
+            Ty::fun(
+                vec![
+                    (
+                        n(),
+                        Ty::refine(
+                            i(),
+                            Ty::Int,
+                            Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i())),
+                        ),
+                    ),
+                    (x(), Ty::TVar(a())),
+                ],
+                TyResult::truthy(
+                    Ty::refine(
+                        v(),
+                        Ty::vec(Ty::TVar(a())),
+                        Prop::lin(Obj::var(v()).len(), LinCmp::Eq, Obj::var(n())),
+                    ),
+                    Obj::Null,
+                ),
+            ),
+        ),
+        // -- strings and regexes (theory RE, §7 extension) ------------------------
+        Prim::IsStr => predicate(Ty::Str),
+        // string-length emits the `len` field object, exactly like the
+        // vector `len`, so string lengths participate in linear reasoning.
+        Prim::StrLen => Ty::fun(
+            vec![(x(), Ty::Str)],
+            TyResult::truthy(Ty::Int, Obj::var(x()).len()),
+        ),
+        Prim::StrEq => Ty::fun(
+            vec![(x(), Ty::Str), (y(), Ty::Str)],
+            TyResult::of_type(Ty::bool_ty()),
+        ),
+        // The membership propositions depend on the *literal* regex
+        // argument, which the Δ-table template cannot name; the checker
+        // enriches applications whose regex argument resolves to a literal
+        // (the same mechanism that computes `*`'s product object).
+        Prim::StrMatch => Ty::fun(
+            vec![(x(), Ty::Regex), (y(), Ty::Str)],
+            TyResult::of_type(Ty::bool_ty()),
+        ),
+        // -- bitvectors (§2.2) --------------------------------------------------
+        Prim::BvAnd => bv_binop(Obj::var(x()).bv_and(&Obj::var(y()))),
+        Prim::BvOr => bv_binop(Obj::var(x()).bv_or(&Obj::var(y()))),
+        Prim::BvXor => bv_binop(Obj::var(x()).bv_xor(&Obj::var(y()))),
+        Prim::BvAdd => bv_binop(Obj::var(x()).bv_add(&Obj::var(y()))),
+        Prim::BvSub => bv_binop(Obj::var(x()).bv_sub(&Obj::var(y()))),
+        Prim::BvMul => bv_binop(Obj::var(x()).bv_mul(&Obj::var(y()))),
+        Prim::BvNot => Ty::fun(
+            vec![(x(), Ty::BitVec)],
+            TyResult::truthy(Ty::BitVec, Obj::var(x()).bv_not()),
+        ),
+        Prim::BvEq => bv_comparison(BvCmp::Eq),
+        Prim::BvUle => bv_comparison(BvCmp::Ule),
+        Prim::BvUlt => bv_comparison(BvCmp::Ult),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_prim_has_a_function_type() {
+        for &p in Prim::all() {
+            let t = delta(p);
+            let body = match &t {
+                Ty::Poly(poly) => poly.body.clone(),
+                other => other.clone(),
+            };
+            assert!(matches!(body, Ty::Fun(_)), "Δ({p}) must be a function type, got {t}");
+        }
+    }
+
+    #[test]
+    fn int_predicate_matches_figure_3() {
+        // Δ(int?) = x:⊤ → (B ; x ∈ I | x ∉ I ; ∅)
+        let Ty::Fun(f) = delta(Prim::IsInt) else { panic!("not a function") };
+        assert_eq!(f.params, vec![(x(), Ty::Top)]);
+        assert_eq!(f.range.ty, Ty::bool_ty());
+        assert_eq!(f.range.then_p, Prop::is(Obj::var(x()), Ty::Int));
+        assert_eq!(f.range.else_p, Prop::is_not(Obj::var(x()), Ty::Int));
+        assert_eq!(f.range.obj, Obj::Null);
+    }
+
+    #[test]
+    fn add1_matches_enriched_delta() {
+        // Enriched Δ(add1) = x:I → (I ; tt | ff ; x + 1)
+        let Ty::Fun(f) = delta(Prim::Add1) else { panic!("not a function") };
+        assert_eq!(f.range.ty, Ty::Int);
+        assert_eq!(f.range.obj, Obj::var(x()).add(&Obj::int(1)));
+        assert_eq!(f.range.else_p, Prop::FF);
+    }
+
+    #[test]
+    fn le_emits_theory_propositions() {
+        let Ty::Fun(f) = delta(Prim::Le) else { panic!("not a function") };
+        assert_eq!(f.range.then_p, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y())));
+        assert_eq!(f.range.else_p, Prop::lin(Obj::var(y()), LinCmp::Lt, Obj::var(x())));
+    }
+
+    #[test]
+    fn safe_vec_ref_demands_proof() {
+        let Ty::Poly(p) = delta(Prim::SafeVecRef) else { panic!("not poly") };
+        let Ty::Fun(f) = &p.body else { panic!("not a function") };
+        assert!(matches!(f.params[1].1, Ty::Refine(_)), "index must be refined");
+        // And the plain vec-ref does not.
+        let Ty::Poly(p) = delta(Prim::VecRef) else { panic!("not poly") };
+        let Ty::Fun(f) = &p.body else { panic!("not a function") };
+        assert_eq!(f.params[1].1, Ty::Int);
+    }
+
+    #[test]
+    fn len_returns_the_len_object() {
+        let Ty::Poly(p) = delta(Prim::Len) else { panic!("not poly") };
+        let Ty::Fun(f) = &p.body else { panic!("not a function") };
+        assert_eq!(f.range.obj, Obj::var(v()).len());
+    }
+
+    #[test]
+    fn not_matches_figure_3() {
+        let Ty::Fun(f) = delta(Prim::Not) else { panic!("not a function") };
+        assert_eq!(f.range.then_p, Prop::is(Obj::var(x()), Ty::False));
+        assert_eq!(f.range.else_p, Prop::is_not(Obj::var(x()), Ty::False));
+    }
+}

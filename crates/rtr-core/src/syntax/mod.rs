@@ -1,0 +1,16 @@
+//! Abstract syntax of λ_RTR (Fig. 2): expressions, types, propositions,
+//! symbolic objects, fields, and type-results.
+
+mod expr;
+mod obj;
+mod prop;
+mod result;
+mod symbol;
+mod ty;
+
+pub use expr::{Expr, Lambda, Prim};
+pub use obj::{BvObj, Field, LinObj, Obj, Path, StrObj};
+pub use prop::{BvAtomProp, BvCmp, LinAtom, LinCmp, Prop, StrAtomProp};
+pub use result::TyResult;
+pub use symbol::Symbol;
+pub use ty::{FunTy, PolyTy, RefineTy, Ty};

@@ -1,0 +1,118 @@
+//! Interned identifiers.
+//!
+//! Symbols are cheap to copy, hash and compare; the checker allocates many
+//! fresh names (existential binders, §4.1's propagated existentials), so
+//! interning keeps types and propositions compact.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_core::syntax::Symbol;
+///
+/// let x = Symbol::intern("x");
+/// assert_eq!(x, Symbol::intern("x"));
+/// assert_eq!(x.as_str(), "x");
+/// assert_ne!(x, Symbol::intern("y"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    lookup: std::collections::HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { names: Vec::new(), lookup: std::collections::HashMap::new() })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its unique symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.lookup.get(name) {
+            return Symbol(id);
+        }
+        let id = i.names.len() as u32;
+        // Interned strings live for the program's duration by design.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.push(leaked);
+        i.lookup.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner poisoned").names[self.0 as usize]
+    }
+
+    /// Creates a fresh symbol guaranteed distinct from every symbol
+    /// interned so far, derived from `base` for readability.
+    pub fn fresh(base: &str) -> Symbol {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Symbol::intern(&format!("{base}%{n}"))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::intern("a"), Symbol::intern("b"));
+    }
+
+    #[test]
+    fn fresh_is_fresh() {
+        let x = Symbol::intern("tmp");
+        let f1 = Symbol::fresh("tmp");
+        let f2 = Symbol::fresh("tmp");
+        assert_ne!(f1, x);
+        assert_ne!(f1, f2);
+        assert!(f1.as_str().starts_with("tmp%"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::intern("disp");
+        assert_eq!(format!("{s}"), "disp");
+        assert_eq!(format!("{s:?}"), "disp");
+    }
+}

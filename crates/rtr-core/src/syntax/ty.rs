@@ -1,0 +1,421 @@
+//! Types (Fig. 2): base types, pairs, vectors, ad-hoc unions, dependent
+//! function types, refinement types, and the polymorphism used by the
+//! implementation (§4.3).
+
+use std::fmt;
+
+use super::obj::Obj;
+use super::prop::Prop;
+use super::result::TyResult;
+use super::symbol::Symbol;
+
+/// A λ_RTR type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// The universal type `⊤` of all well-typed values.
+    Top,
+    /// Integers `I`.
+    Int,
+    /// The singleton type of `true`.
+    True,
+    /// The singleton type of `false`.
+    False,
+    /// The unit value produced by effects such as `set!`/`vec-set!`
+    /// (implementation extension; the calculus does not need it).
+    Unit,
+    /// Fixed-width bitvectors (theory extension, §2.2).
+    BitVec,
+    /// Strings (theory RE extension, §7).
+    Str,
+    /// Regex literals (theory RE extension, §7); not first-class in the
+    /// theory, but regexes are values, so they need a type.
+    Regex,
+    /// Pair type `τ × σ`.
+    Pair(Box<Ty>, Box<Ty>),
+    /// Vector type `(Vecof τ)` (implementation extension, §5). Invariant
+    /// in its element type because vectors are mutable.
+    Vec(Box<Ty>),
+    /// Ad-hoc ("true") union `(⋃ τ…)`. The empty union is bottom `⊥`.
+    Union(Vec<Ty>),
+    /// Dependent function type `(x:τ, …) → R`; parameter names scope over
+    /// later parameter types and the range.
+    Fun(Box<FunTy>),
+    /// Refinement type `{x:τ | ψ}`.
+    Refine(Box<RefineTy>),
+    /// A type variable, bound by an enclosing [`Ty::Poly`] (§4.3).
+    TVar(Symbol),
+    /// A polymorphic function type `∀ Ā. τ` (§4.3); instantiated by local
+    /// type inference at application sites.
+    Poly(Box<PolyTy>),
+}
+
+/// A (possibly multi-parameter) dependent function type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FunTy {
+    /// Named parameters; each name is in scope in subsequent parameter
+    /// types and in the range.
+    pub params: Vec<(Symbol, Ty)>,
+    /// The dependent range.
+    pub range: TyResult,
+}
+
+/// A refinement type `{x:τ | ψ}`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RefineTy {
+    /// The refinement variable, bound in `prop`.
+    pub var: Symbol,
+    /// The refined (base) type.
+    pub base: Ty,
+    /// The refinement proposition.
+    pub prop: Prop,
+}
+
+/// A polymorphic type `∀ Ā. body`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PolyTy {
+    /// Bound type variables.
+    pub vars: Vec<Symbol>,
+    /// The quantified body (usually a [`Ty::Fun`]).
+    pub body: Ty,
+}
+
+impl Ty {
+    /// The boolean type `B = (⋃ T F)`.
+    pub fn bool_ty() -> Ty {
+        Ty::Union(vec![Ty::True, Ty::False])
+    }
+
+    /// The uninhabited bottom type `⊥ = (⋃)`.
+    pub fn bot() -> Ty {
+        Ty::Union(Vec::new())
+    }
+
+    /// A pair type.
+    pub fn pair(a: Ty, b: Ty) -> Ty {
+        Ty::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// A vector type.
+    pub fn vec(elem: Ty) -> Ty {
+        Ty::Vec(Box::new(elem))
+    }
+
+    /// A refinement type `{var:base | prop}`; collapses to `base` when the
+    /// proposition is trivial.
+    pub fn refine(var: Symbol, base: Ty, prop: Prop) -> Ty {
+        if prop == Prop::TT {
+            base
+        } else {
+            Ty::Refine(Box::new(RefineTy { var, base, prop }))
+        }
+    }
+
+    /// A function type.
+    pub fn fun(params: Vec<(Symbol, Ty)>, range: TyResult) -> Ty {
+        Ty::Fun(Box::new(FunTy { params, range }))
+    }
+
+    /// A simple (non-dependent) function type with trivial propositions.
+    pub fn simple_fun(doms: Vec<Ty>, rng: Ty) -> Ty {
+        let params = doms
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (Symbol::fresh(&format!("arg{i}")), t))
+            .collect();
+        Ty::fun(params, TyResult::of_type(rng))
+    }
+
+    /// A polymorphic type.
+    pub fn poly(vars: Vec<Symbol>, body: Ty) -> Ty {
+        if vars.is_empty() {
+            body
+        } else {
+            Ty::Poly(Box::new(PolyTy { vars, body }))
+        }
+    }
+
+    /// Is this syntactically the bottom type?
+    pub fn is_bot(&self) -> bool {
+        matches!(self, Ty::Union(ts) if ts.is_empty())
+    }
+
+    /// Flattens nested unions and deduplicates members.
+    pub fn union_of(members: Vec<Ty>) -> Ty {
+        let mut flat: Vec<Ty> = Vec::new();
+        fn push(flat: &mut Vec<Ty>, t: Ty) {
+            match t {
+                Ty::Union(ts) => {
+                    for t in ts {
+                        push(flat, t);
+                    }
+                }
+                t => {
+                    if !flat.contains(&t) {
+                        flat.push(t);
+                    }
+                }
+            }
+        }
+        for t in members {
+            push(&mut flat, t);
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("len checked")
+        } else {
+            Ty::Union(flat)
+        }
+    }
+
+    /// Substitutes object `rep` for variable `x` in every proposition and
+    /// dependent position, capture-avoidingly.
+    pub fn subst_obj(&self, x: Symbol, rep: &Obj) -> Ty {
+        match self {
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
+            | Ty::Regex
+            | Ty::TVar(_) => self.clone(),
+            Ty::Pair(a, b) => Ty::pair(a.subst_obj(x, rep), b.subst_obj(x, rep)),
+            Ty::Vec(e) => Ty::vec(e.subst_obj(x, rep)),
+            Ty::Union(ts) => Ty::Union(ts.iter().map(|t| t.subst_obj(x, rep)).collect()),
+            Ty::Fun(f) => {
+                let mut f = (**f).clone();
+                let mut shadowed = false;
+                for i in 0..f.params.len() {
+                    if shadowed {
+                        break;
+                    }
+                    f.params[i].1 = f.params[i].1.subst_obj(x, rep);
+                    if f.params[i].0 == x {
+                        shadowed = true;
+                    }
+                }
+                if !shadowed {
+                    f.range = f.range.subst_obj(x, rep);
+                }
+                Ty::Fun(Box::new(f))
+            }
+            Ty::Refine(r) => {
+                if r.var == x {
+                    Ty::refine(r.var, r.base.subst_obj(x, rep), r.prop.clone())
+                } else {
+                    Ty::refine(
+                        r.var,
+                        r.base.subst_obj(x, rep),
+                        r.prop.subst(x, rep),
+                    )
+                }
+            }
+            Ty::Poly(p) => {
+                Ty::poly(p.vars.clone(), p.body.subst_obj(x, rep))
+            }
+        }
+    }
+
+    /// Substitutes types for type variables (instantiation, §4.3).
+    pub fn subst_tvars(&self, map: &std::collections::HashMap<Symbol, Ty>) -> Ty {
+        match self {
+            Ty::TVar(a) => map.get(a).cloned().unwrap_or_else(|| self.clone()),
+            Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
+            | Ty::Regex => self.clone(),
+            Ty::Pair(a, b) => Ty::pair(a.subst_tvars(map), b.subst_tvars(map)),
+            Ty::Vec(e) => Ty::vec(e.subst_tvars(map)),
+            Ty::Union(ts) => Ty::Union(ts.iter().map(|t| t.subst_tvars(map)).collect()),
+            Ty::Fun(f) => {
+                let params = f
+                    .params
+                    .iter()
+                    .map(|(x, t)| (*x, t.subst_tvars(map)))
+                    .collect();
+                Ty::fun(params, f.range.subst_tvars(map))
+            }
+            Ty::Refine(r) => Ty::refine(r.var, r.base.subst_tvars(map), r.prop.subst_tvars(map)),
+            Ty::Poly(p) => {
+                let mut inner = map.clone();
+                for v in &p.vars {
+                    inner.remove(v);
+                }
+                Ty::poly(p.vars.clone(), p.body.subst_tvars(&inner))
+            }
+        }
+    }
+
+    /// Collects free type variables.
+    pub fn free_tvars(&self, out: &mut std::collections::HashSet<Symbol>) {
+        match self {
+            Ty::TVar(a) => {
+                out.insert(*a);
+            }
+            Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
+            | Ty::Regex => {}
+            Ty::Pair(a, b) => {
+                a.free_tvars(out);
+                b.free_tvars(out);
+            }
+            Ty::Vec(e) => e.free_tvars(out),
+            Ty::Union(ts) => ts.iter().for_each(|t| t.free_tvars(out)),
+            Ty::Fun(f) => {
+                for (_, t) in &f.params {
+                    t.free_tvars(out);
+                }
+                f.range.free_tvars(out);
+            }
+            Ty::Refine(r) => {
+                r.base.free_tvars(out);
+                r.prop.free_tvars(out);
+            }
+            Ty::Poly(p) => {
+                let mut inner = std::collections::HashSet::new();
+                p.body.free_tvars(&mut inner);
+                for v in &p.vars {
+                    inner.remove(v);
+                }
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Size of the type term (used to bound recursion in tests/fuzzing).
+    pub fn size(&self) -> usize {
+        match self {
+            Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
+            | Ty::Regex | Ty::TVar(_) => 1,
+            Ty::Pair(a, b) => 1 + a.size() + b.size(),
+            Ty::Vec(e) => 1 + e.size(),
+            Ty::Union(ts) => 1 + ts.iter().map(Ty::size).sum::<usize>(),
+            Ty::Fun(f) => {
+                1 + f.params.iter().map(|(_, t)| t.size()).sum::<usize>() + f.range.ty.size()
+            }
+            Ty::Refine(r) => 1 + r.base.size(),
+            Ty::Poly(p) => 1 + p.body.size(),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Top => write!(f, "⊤"),
+            Ty::Int => write!(f, "Int"),
+            Ty::True => write!(f, "True"),
+            Ty::False => write!(f, "False"),
+            Ty::Unit => write!(f, "Unit"),
+            Ty::BitVec => write!(f, "BitVec"),
+            Ty::Str => write!(f, "Str"),
+            Ty::Regex => write!(f, "Regex"),
+            Ty::Pair(a, b) => write!(f, "({a} × {b})"),
+            Ty::Vec(e) => write!(f, "(Vecof {e})"),
+            Ty::Union(ts) if ts.is_empty() => write!(f, "⊥"),
+            Ty::Union(ts) if ts.len() == 2 && ts[0] == Ty::True && ts[1] == Ty::False => {
+                write!(f, "Bool")
+            }
+            Ty::Union(ts) => {
+                write!(f, "(U")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            Ty::Fun(fun) => {
+                write!(f, "(")?;
+                for (i, (x, t)) in fun.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "[{x} : {t}]")?;
+                }
+                write!(f, " → {})", fun.range)
+            }
+            Ty::Refine(r) => write!(f, "{{{} : {} | {}}}", r.var, r.base, r.prop),
+            Ty::TVar(a) => write!(f, "{a}"),
+            Ty::Poly(p) => {
+                write!(f, "(∀ (")?;
+                for (i, v) in p.vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ") {})", p.body)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::prop::{LinCmp, Prop};
+
+    fn x() -> Symbol {
+        Symbol::intern("x")
+    }
+
+    #[test]
+    fn union_flattening() {
+        let t = Ty::union_of(vec![
+            Ty::Int,
+            Ty::Union(vec![Ty::True, Ty::Union(vec![Ty::False, Ty::Int])]),
+        ]);
+        assert_eq!(t, Ty::Union(vec![Ty::Int, Ty::True, Ty::False]));
+        assert_eq!(Ty::union_of(vec![Ty::Int]), Ty::Int);
+        assert!(Ty::union_of(vec![]).is_bot());
+    }
+
+    #[test]
+    fn refine_collapses_trivial() {
+        assert_eq!(Ty::refine(x(), Ty::Int, Prop::TT), Ty::Int);
+        let r = Ty::refine(x(), Ty::Int, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(5)));
+        assert!(matches!(r, Ty::Refine(_)));
+    }
+
+    #[test]
+    fn subst_respects_refinement_binder() {
+        // {x:Int | x ≤ y}[y ↦ 3] rewrites y; [x ↦ 3] must not touch the
+        // bound occurrence.
+        let y = Symbol::intern("y");
+        let t = Ty::refine(x(), Ty::Int, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y)));
+        let t2 = t.subst_obj(y, &Obj::int(3));
+        assert_eq!(
+            t2,
+            Ty::refine(x(), Ty::Int, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(3)))
+        );
+        let t3 = t.subst_obj(x(), &Obj::int(0));
+        assert_eq!(t3, t);
+    }
+
+    #[test]
+    fn tvar_substitution() {
+        let a = Symbol::intern("A");
+        let t = Ty::vec(Ty::TVar(a));
+        let mut map = std::collections::HashMap::new();
+        map.insert(a, Ty::Int);
+        assert_eq!(t.subst_tvars(&map), Ty::vec(Ty::Int));
+        // Bound tvars are not substituted.
+        let p = Ty::poly(vec![a], Ty::TVar(a));
+        assert_eq!(p.subst_tvars(&map), p);
+    }
+
+    #[test]
+    fn free_tvars() {
+        let a = Symbol::intern("A");
+        let b = Symbol::intern("B");
+        let t = Ty::pair(Ty::TVar(a), Ty::poly(vec![b], Ty::TVar(b)));
+        let mut fv = std::collections::HashSet::new();
+        t.free_tvars(&mut fv);
+        assert!(fv.contains(&a));
+        assert!(!fv.contains(&b));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::bool_ty().to_string(), "Bool");
+        assert_eq!(Ty::bot().to_string(), "⊥");
+        assert_eq!(Ty::pair(Ty::Int, Ty::Top).to_string(), "(Int × ⊤)");
+        assert_eq!(Ty::vec(Ty::Int).to_string(), "(Vecof Int)");
+    }
+}

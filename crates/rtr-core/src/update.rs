@@ -1,0 +1,252 @@
+//! The `update`, `restrict` and `remove` metafunctions (Fig. 7).
+//!
+//! `update⁺(τ, ϕ⃗, σ)` refines what we know about an object of type `τ`
+//! once we learn its field `(ϕ⃗ o)` **is** of type `σ`; `update⁻` once we
+//! learn it **is not**. At the empty path, positive knowledge computes a
+//! conservative intersection (`restrict`) and negative knowledge a
+//! conservative difference (`remove`). Structural fields (`fst`/`snd`)
+//! walk into pair types; the vector-length field `len` carries no
+//! type-structure information (lengths live in the linear theory).
+
+use crate::check::Checker;
+use crate::env::Env;
+use crate::syntax::{Field, Ty};
+
+impl Checker {
+    /// `update±(τ, ϕ⃗, σ)` — Fig. 7. `fields` is innermost-first, matching
+    /// [`crate::syntax::Path`].
+    pub fn update_ty(
+        &self,
+        env: &Env,
+        t: &Ty,
+        fields: &[Field],
+        s: &Ty,
+        positive: bool,
+        fuel: u32,
+    ) -> Ty {
+        let Some(next_fuel) = fuel.checked_sub(1) else { return t.clone() };
+        match fields.split_first() {
+            None => {
+                if positive {
+                    self.restrict(env, t, s, next_fuel)
+                } else {
+                    self.remove(env, t, s, next_fuel)
+                }
+            }
+            Some((Field::Len, rest)) => {
+                // Lengths are integers; the type structure of the vector is
+                // unaffected. (The linear theory tracks the length facts.)
+                let _ = rest;
+                t.clone()
+            }
+            Some((f @ (Field::Fst | Field::Snd), rest)) => match t {
+                Ty::Pair(a, b) => {
+                    if *f == Field::Fst {
+                        Ty::pair(self.update_ty(env, a, rest, s, positive, next_fuel), (**b).clone())
+                    } else {
+                        Ty::pair((**a).clone(), self.update_ty(env, b, rest, s, positive, next_fuel))
+                    }
+                }
+                Ty::Union(ts) => Ty::union_of(
+                    ts.iter()
+                        .map(|t| self.update_ty(env, t, fields, s, positive, next_fuel))
+                        .collect(),
+                ),
+                Ty::Refine(r) => Ty::refine(
+                    r.var,
+                    self.update_ty(env, &r.base, fields, s, positive, next_fuel),
+                    r.prop.clone(),
+                ),
+                // Learning about (fst o) implies o is a pair: refine ⊤
+                // through ⊤×⊤ first.
+                Ty::Top => self.update_ty(
+                    env,
+                    &Ty::pair(Ty::Top, Ty::Top),
+                    fields,
+                    s,
+                    positive,
+                    next_fuel,
+                ),
+                // A non-pair cannot have the field at all.
+                _ => Ty::bot(),
+            },
+        }
+    }
+
+    /// `restrictΓ(τ, σ)` — a conservative intersection (Fig. 7).
+    pub fn restrict(&self, env: &Env, t: &Ty, s: &Ty, fuel: u32) -> Ty {
+        let Some(next_fuel) = fuel.checked_sub(1) else { return t.clone() };
+        if !self.overlap(t, s) {
+            return Ty::bot();
+        }
+        match t {
+            Ty::Union(ts) => Ty::union_of(
+                ts.iter().map(|t| self.restrict(env, t, s, next_fuel)).collect(),
+            ),
+            Ty::Refine(r) => {
+                Ty::refine(r.var, self.restrict(env, &r.base, s, next_fuel), r.prop.clone())
+            }
+            _ => {
+                if self.subtype(env, t, s, next_fuel) {
+                    t.clone()
+                } else {
+                    s.clone()
+                }
+            }
+        }
+    }
+
+    /// `removeΓ(τ, σ)` — a conservative difference (Fig. 7).
+    pub fn remove(&self, env: &Env, t: &Ty, s: &Ty, fuel: u32) -> Ty {
+        let Some(next_fuel) = fuel.checked_sub(1) else { return t.clone() };
+        if self.subtype(env, t, s, next_fuel) {
+            return Ty::bot();
+        }
+        match t {
+            Ty::Union(ts) => {
+                Ty::union_of(ts.iter().map(|t| self.remove(env, t, s, next_fuel)).collect())
+            }
+            Ty::Refine(r) => {
+                Ty::refine(r.var, self.remove(env, &r.base, s, next_fuel), r.prop.clone())
+            }
+            _ => t.clone(),
+        }
+    }
+
+    /// May values of `t` and `s` overlap? A conservative (may-)analysis:
+    /// `false` is a proof of disjointness, `true` is inconclusive.
+    pub fn overlap(&self, t: &Ty, s: &Ty) -> bool {
+        use Ty::*;
+        match (t, s) {
+            (u, _) | (_, u) if u.is_bot() => false,
+            (Top, _) | (_, Top) => true,
+            (TVar(_), _) | (_, TVar(_)) => true,
+            (Poly(_), _) | (_, Poly(_)) => true,
+            (Union(ts), s) => ts.iter().any(|t| self.overlap(t, s)),
+            (t, Union(ss)) => ss.iter().any(|s| self.overlap(t, s)),
+            (Refine(r), s) => self.overlap(&r.base, s),
+            (t, Refine(r)) => self.overlap(t, &r.base),
+            (Int, Int) | (True, True) | (False, False) | (Unit, Unit) | (BitVec, BitVec)
+            | (Str, Str) | (Regex, Regex) => true,
+            (Pair(a1, b1), Pair(a2, b2)) => self.overlap(a1, a2) && self.overlap(b1, b2),
+            // The empty vector inhabits every vector type, so vector types
+            // always overlap.
+            (Vec(_), Vec(_)) => true,
+            (Fun(_), Fun(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Is `t` provably uninhabited (structurally)?
+    pub fn is_empty_ty(&self, t: &Ty) -> bool {
+        match t {
+            Ty::Union(ts) => ts.iter().all(|t| self.is_empty_ty(t)),
+            Ty::Pair(a, b) => self.is_empty_ty(a) || self.is_empty_ty(b),
+            Ty::Refine(r) => self.is_empty_ty(&r.base),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::Checker;
+    use crate::syntax::{LinCmp, Obj, Prop, Symbol};
+
+    fn checker() -> Checker {
+        Checker::default()
+    }
+    fn env() -> Env {
+        Env::new()
+    }
+
+    #[test]
+    fn restrict_computes_occurrence_narrowing() {
+        // The §2 example: (U Int (Listof Bit)) restricted by Int — here
+        // (U Int (Int × Int)) restricted by Int = Int.
+        let c = checker();
+        let t = Ty::union_of(vec![Ty::Int, Ty::pair(Ty::Int, Ty::Int)]);
+        assert_eq!(c.restrict(&env(), &t, &Ty::Int, 32), Ty::Int);
+    }
+
+    #[test]
+    fn remove_computes_else_branch_narrowing() {
+        let c = checker();
+        let t = Ty::union_of(vec![Ty::Int, Ty::pair(Ty::Int, Ty::Int)]);
+        assert_eq!(c.remove(&env(), &t, &Ty::Int, 32), Ty::pair(Ty::Int, Ty::Int));
+        // Removing everything yields ⊥.
+        assert!(c.remove(&env(), &Ty::Int, &Ty::Int, 32).is_bot());
+    }
+
+    #[test]
+    fn restrict_disjoint_is_bottom() {
+        let c = checker();
+        assert!(c.restrict(&env(), &Ty::Int, &Ty::bool_ty(), 32).is_bot());
+    }
+
+    #[test]
+    fn restrict_keeps_refinements() {
+        // restrict({x:(U Int Bool) | ψ}, Int) = {x:Int | ψ}
+        let c = checker();
+        let x = Symbol::intern("x");
+        let psi = Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5));
+        let t = Ty::refine(x, Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), psi.clone());
+        let got = c.restrict(&env(), &t, &Ty::Int, 32);
+        assert_eq!(got, Ty::refine(x, Ty::Int, psi));
+    }
+
+    #[test]
+    fn update_walks_pair_fields() {
+        // update+((U Int Bool) × Int, [fst], Int) = Int × Int
+        let c = checker();
+        let t = Ty::pair(Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), Ty::Int);
+        let got = c.update_ty(&env(), &t, &[Field::Fst], &Ty::Int, true, 32);
+        assert_eq!(got, Ty::pair(Ty::Int, Ty::Int));
+        // update−(Bool × Int, [fst], False) = True × Int
+        let t = Ty::pair(Ty::bool_ty(), Ty::Int);
+        let got = c.update_ty(&env(), &t, &[Field::Fst], &Ty::False, false, 32);
+        assert_eq!(got, Ty::pair(Ty::True, Ty::Int));
+    }
+
+    #[test]
+    fn update_on_top_assumes_pair_structure() {
+        let c = checker();
+        let got = c.update_ty(&env(), &Ty::Top, &[Field::Fst], &Ty::Int, true, 32);
+        assert_eq!(got, Ty::pair(Ty::Int, Ty::Top));
+    }
+
+    #[test]
+    fn update_len_leaves_type_alone() {
+        let c = checker();
+        let t = Ty::vec(Ty::Int);
+        assert_eq!(c.update_ty(&env(), &t, &[Field::Len], &Ty::Int, true, 32), t);
+    }
+
+    #[test]
+    fn update_field_of_non_pair_is_absurd() {
+        let c = checker();
+        assert!(c.update_ty(&env(), &Ty::Int, &[Field::Fst], &Ty::Top, true, 32).is_bot());
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let c = checker();
+        assert!(c.overlap(&Ty::Int, &Ty::Int));
+        assert!(!c.overlap(&Ty::Int, &Ty::bool_ty()));
+        assert!(c.overlap(&Ty::Top, &Ty::Int));
+        assert!(!c.overlap(&Ty::bot(), &Ty::Top));
+        assert!(c.overlap(&Ty::vec(Ty::Int), &Ty::vec(Ty::bool_ty())));
+        assert!(!c.overlap(&Ty::pair(Ty::Int, Ty::Int), &Ty::pair(Ty::Int, Ty::True)));
+    }
+
+    #[test]
+    fn emptiness() {
+        let c = checker();
+        assert!(c.is_empty_ty(&Ty::bot()));
+        assert!(c.is_empty_ty(&Ty::pair(Ty::bot(), Ty::Int)));
+        assert!(c.is_empty_ty(&Ty::Union(vec![Ty::bot(), Ty::pair(Ty::Int, Ty::bot())])));
+        assert!(!c.is_empty_ty(&Ty::Int));
+        assert!(!c.is_empty_ty(&Ty::vec(Ty::bot()))); // the empty vector
+    }
+}

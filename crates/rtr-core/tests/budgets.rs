@@ -1,0 +1,212 @@
+//! Failure injection: resource budgets, conservative degradation, and
+//! pathological inputs.
+//!
+//! λ_RTR is designed so that every resource-limited component degrades
+//! *conservatively*: a solver that gives up means "not proved", never
+//! "proved". These tests starve each budget and assert that the checker
+//! (a) never panics and (b) only ever errs toward rejection.
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_core::syntax::{Expr, LinCmp, Obj, Prim, Prop, Symbol, Ty};
+use rtr_solver::lin::FmConfig;
+use rtr_solver::sat::SolverConfig;
+
+fn s(n: &str) -> Symbol {
+    Symbol::intern(n)
+}
+
+/// The guarded access that normally verifies.
+fn guarded_access() -> Expr {
+    let (v, i) = (s("v"), s("i"));
+    Expr::lam(
+        vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        Expr::if_(
+            Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+            Expr::if_(
+                Expr::prim_app(Prim::Lt, vec![
+                    Expr::Var(i),
+                    Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+                ]),
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+                Expr::Int(0),
+            ),
+            Expr::Int(0),
+        ),
+    )
+}
+
+#[test]
+fn starved_fm_budget_rejects_conservatively() {
+    let cfg = CheckerConfig {
+        fm: FmConfig { max_rows: 1, max_splits: 0, integer_tightening: true },
+        ..CheckerConfig::default()
+    };
+    let checker = Checker::with_config(cfg);
+    // Must not panic; must not crash. (A 1-row FM can still prove the
+    // trivial, so we only require: no panic, and no unsoundness on a
+    // program whose proof genuinely needs rows.)
+    let _ = checker.check_program(&guarded_access());
+}
+
+#[test]
+fn starved_logic_fuel_rejects() {
+    let checker =
+        Checker::with_config(CheckerConfig { logic_fuel: 3, ..CheckerConfig::default() });
+    let result = checker.check_program(&guarded_access());
+    assert!(result.is_err(), "with no fuel the proof must fail, not succeed");
+}
+
+#[test]
+fn zero_case_split_budget_weakens_but_stays_sound() {
+    let checker = Checker::with_config(CheckerConfig {
+        case_split_budget: 0,
+        ..CheckerConfig::default()
+    });
+    // Disjunction elimination is off: the or-based proof fails…
+    let mut env = rtr_core::env::Env::new();
+    let x = Symbol::fresh("csx");
+    checker.bind(&mut env, x, &Ty::Int, 64);
+    checker.assume(
+        &mut env,
+        &Prop::or(
+            Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(3)),
+            Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)),
+        ),
+        64,
+    );
+    assert!(!checker.proves(&env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)), 64));
+    // …but direct proofs still work.
+    checker.assume(&mut env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(4)), 64);
+    assert!(checker.proves(&env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)), 64));
+}
+
+#[test]
+fn starved_sat_budget_rejects_bv_obligations() {
+    // Multiplication commutativity needs real CDCL search (it is not
+    // decided by unit propagation alone), so it separates the budgets.
+    let goal = |c: &Checker| {
+        let mut env = rtr_core::env::Env::new();
+        let (x, y) = (Symbol::fresh("bx"), Symbol::fresh("by"));
+        c.bind(&mut env, x, &Ty::BitVec, 64);
+        c.bind(&mut env, y, &Ty::BitVec, 64);
+        let p = Prop::bv(
+            Obj::var(x).bv_mul(&Obj::var(y)),
+            rtr_core::syntax::BvCmp::Eq,
+            Obj::var(y).bv_mul(&Obj::var(x)),
+        );
+        c.proves(&env, &p, 64)
+    };
+    let ok_cfg = CheckerConfig { bv_width: 6, ..CheckerConfig::default() };
+    assert!(goal(&Checker::with_config(ok_cfg.clone())), "normal budget proves x·y = y·x");
+    let starved_cfg = CheckerConfig {
+        sat: SolverConfig { max_conflicts: 0, ..SolverConfig::default() },
+        ..ok_cfg
+    };
+    assert!(
+        !goal(&Checker::with_config(starved_cfg)),
+        "zero conflict budget must degrade to 'not proved'"
+    );
+}
+
+#[test]
+fn deep_nesting_does_not_blow_the_stack() {
+    // 200 nested lets: exercises the recursive checker on a deep AST.
+    let mut e = Expr::Var(s("d0"));
+    for k in (0..200).rev() {
+        let x = s(&format!("d{k}"));
+        let next = s(&format!("d{}", k + 1));
+        let _ = next;
+        e = Expr::let_(x, Expr::Int(k), e);
+    }
+    let r = Checker::default().check_program(&e);
+    assert!(r.is_ok(), "deep let nesting should check: {r:?}");
+}
+
+#[test]
+fn huge_union_types_are_handled() {
+    let members: Vec<Ty> = (0..64)
+        .map(|k| {
+            if k % 2 == 0 {
+                Ty::pair(Ty::Int, Ty::Int)
+            } else {
+                Ty::Int
+            }
+        })
+        .collect();
+    let u = Ty::union_of(members);
+    // Deduplication collapses to two members.
+    if let Ty::Union(ts) = &u {
+        assert_eq!(ts.len(), 2);
+    } else {
+        panic!("expected a union");
+    }
+    let n = s("un");
+    let e = Expr::lam(
+        vec![(n, u)],
+        Expr::if_(
+            Expr::prim_app(Prim::IsInt, vec![Expr::Var(n)]),
+            Expr::prim_app(Prim::Add1, vec![Expr::Var(n)]),
+            Expr::Fst(Box::new(Expr::Var(n))),
+        ),
+    );
+    assert!(Checker::default().check_program(&e).is_ok());
+}
+
+#[test]
+fn ill_typed_programs_error_not_panic() {
+    let cases: Vec<Expr> = vec![
+        // unbound variable
+        Expr::Var(s("nope")),
+        // applying a non-function
+        Expr::app(Expr::Int(3), vec![Expr::Int(4)]),
+        // arity error
+        Expr::prim_app(Prim::Add1, vec![Expr::Int(1), Expr::Int(2)]),
+        // fst of an int
+        Expr::Fst(Box::new(Expr::Int(1))),
+        // adding a bool
+        Expr::prim_app(Prim::Plus, vec![Expr::Int(1), Expr::Bool(true)]),
+        // set! of unbound var
+        Expr::Set(s("ghost"), Box::new(Expr::Int(1))),
+        // bitvector op on ints
+        Expr::prim_app(Prim::BvAnd, vec![Expr::Int(1), Expr::Int(2)]),
+        // annotation mismatch
+        Expr::ann(Expr::Bool(true), Ty::Int),
+    ];
+    let checker = Checker::default();
+    for e in cases {
+        let r = checker.check_program(&e);
+        assert!(r.is_err(), "must reject {e}, got {r:?}");
+    }
+}
+
+#[test]
+fn conservative_rejection_is_never_unsound() {
+    // Crank every budget to the floor and fuzz a handful of accepted
+    // programs: anything still accepted must evaluate without getting
+    // stuck.
+    let weak = Checker::with_config(CheckerConfig {
+        logic_fuel: 8,
+        case_split_budget: 1,
+        fm: FmConfig { max_rows: 16, max_splits: 1, integer_tightening: true },
+        ..CheckerConfig::default()
+    });
+    let programs = vec![
+        Expr::prim_app(Prim::Plus, vec![Expr::Int(1), Expr::Int(2)]),
+        guarded_access(),
+        Expr::if_(
+            Expr::prim_app(Prim::IsInt, vec![Expr::Int(3)]),
+            Expr::Int(1),
+            Expr::Int(0),
+        ),
+    ];
+    for e in programs {
+        if weak.check_program(&e).is_ok() {
+            let v = rtr_core::interp::eval_program(&e, 100_000);
+            assert!(
+                !matches!(v, Err(rtr_core::interp::EvalError::Stuck(_))),
+                "weak-budget acceptance must still be sound for {e}"
+            );
+        }
+    }
+}

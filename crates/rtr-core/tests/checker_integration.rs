@@ -1,0 +1,575 @@
+//! End-to-end typing tests: the paper's example programs, built directly
+//! as core ASTs (the surface syntax lives in `rtr-lang`).
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_core::errors::TypeError;
+use rtr_core::syntax::{Expr, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
+
+fn s(name: &str) -> Symbol {
+    Symbol::intern(name)
+}
+
+fn rtr() -> Checker {
+    Checker::default()
+}
+
+fn lambda_tr() -> Checker {
+    Checker::with_config(CheckerConfig::lambda_tr())
+}
+
+/// `{z:Int | (x ≤ z) ∧ (y ≤ z)}` — the range of Fig. 1's `max`.
+fn max_range(x: Symbol, y: Symbol) -> Ty {
+    let z = s("z");
+    Ty::refine(
+        z,
+        Ty::Int,
+        Prop::and(
+            Prop::lin(Obj::var(x), LinCmp::Le, Obj::var(z)),
+            Prop::lin(Obj::var(y), LinCmp::Le, Obj::var(z)),
+        ),
+    )
+}
+
+/// Fig. 1: `(define (max x y) (if (> x y) x y))` with the refined range.
+#[test]
+fn fig1_max_with_refined_range() {
+    let (x, y) = (s("x"), s("y"));
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Gt, vec![Expr::Var(x), Expr::Var(y)]),
+        Expr::Var(x),
+        Expr::Var(y),
+    );
+    let sig = Ty::fun(
+        vec![(x, Ty::Int), (y, Ty::Int)],
+        TyResult::of_type(max_range(x, y)),
+    );
+    let e = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), sig);
+    rtr().check_program(&e).expect("max must type check in RTR");
+}
+
+/// The same program must fail with a *wrong* (min-like) range.
+#[test]
+fn fig1_max_wrong_range_rejected() {
+    let (x, y) = (s("x"), s("y"));
+    let z = s("z");
+    let wrong = Ty::refine(
+        z,
+        Ty::Int,
+        Prop::and(
+            Prop::lin(Obj::var(z), LinCmp::Le, Obj::var(x)),
+            Prop::lin(Obj::var(z), LinCmp::Le, Obj::var(y)),
+        ),
+    );
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Gt, vec![Expr::Var(x), Expr::Var(y)]),
+        Expr::Var(x),
+        Expr::Var(y),
+    );
+    let sig = Ty::fun(vec![(x, Ty::Int), (y, Ty::Int)], TyResult::of_type(wrong));
+    let e = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), sig);
+    assert!(rtr().check_program(&e).is_err(), "min-range for max must be rejected");
+}
+
+/// …and stock occurrence typing (λ_TR) cannot verify the refined range.
+#[test]
+fn fig1_max_needs_theories() {
+    let (x, y) = (s("x"), s("y"));
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Gt, vec![Expr::Var(x), Expr::Var(y)]),
+        Expr::Var(x),
+        Expr::Var(y),
+    );
+    let sig = Ty::fun(
+        vec![(x, Ty::Int), (y, Ty::Int)],
+        TyResult::of_type(max_range(x, y)),
+    );
+    let e = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), sig);
+    assert!(lambda_tr().check_program(&e).is_err(), "λTR must fail on refined max");
+}
+
+/// §2's `least-significant-bit`, with pairs standing in for lists:
+/// `(λ (n : (U Int (Int × Int))) (if (int? n) (if (even? n) 0 1) (fst n)))`.
+#[test]
+fn least_significant_bit_union_elimination() {
+    let n = s("n");
+    let e = Expr::lam(
+        vec![(n, Ty::union_of(vec![Ty::Int, Ty::pair(Ty::Int, Ty::Int)]))],
+        Expr::if_(
+            Expr::prim_app(Prim::IsInt, vec![Expr::Var(n)]),
+            Expr::if_(
+                Expr::prim_app(Prim::IsEven, vec![Expr::Var(n)]),
+                Expr::Int(0),
+                Expr::Int(1),
+            ),
+            // In the else branch n must be the pair.
+            Expr::Fst(Box::new(Expr::Var(n))),
+        ),
+    );
+    let r = rtr().check_program(&e).expect("lsb must type check");
+    // λTR handles this too — it is pure occurrence typing.
+    lambda_tr().check_program(&e).expect("lsb must type check in λTR");
+    match r.ty {
+        Ty::Fun(f) => assert_eq!(f.range.ty, Ty::Int),
+        other => panic!("expected function, got {other}"),
+    }
+}
+
+/// Without the `int?` guard the same body must NOT type check ((even? n)
+/// on a possible pair).
+#[test]
+fn lsb_without_guard_rejected() {
+    let n = s("n");
+    let e = Expr::lam(
+        vec![(n, Ty::union_of(vec![Ty::Int, Ty::pair(Ty::Int, Ty::Int)]))],
+        Expr::prim_app(Prim::IsEven, vec![Expr::Var(n)]),
+    );
+    assert!(matches!(
+        rtr().check_program(&e),
+        Err(TypeError::Mismatch { .. })
+    ));
+}
+
+/// §2.1 `vec-ref`: the guarded implementation in terms of the unsafe
+/// primitive type checks.
+#[test]
+fn guarded_vec_ref_verifies() {
+    let (v, i) = (s("v"), s("i"));
+    // (λ (v:(Vecof Int)) (i:Int)
+    //   (if (<= 0 i) (if (< i (len v)) (safe-vec-ref v i) (error …)) (error …)))
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+        Expr::if_(
+            Expr::prim_app(Prim::Lt, vec![
+                Expr::Var(i),
+                Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+            ]),
+            Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+            Expr::Error("invalid vector index!".into()),
+        ),
+        Expr::Error("invalid vector index!".into()),
+    );
+    let e = Expr::lam(vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)], body);
+    let r = rtr().check_program(&e).expect("guarded vec-ref must verify");
+    match r.ty {
+        Ty::Fun(f) => assert_eq!(f.range.ty, Ty::Int),
+        other => panic!("expected function, got {other}"),
+    }
+}
+
+/// The unguarded unsafe access must be rejected — this is the paper's §2.1
+/// error message scenario.
+#[test]
+fn unguarded_safe_vec_ref_rejected() {
+    let (v, i) = (s("v"), s("i"));
+    let e = Expr::lam(
+        vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+    );
+    match rtr().check_program(&e) {
+        Err(TypeError::Mismatch { context, .. }) => {
+            assert!(context.contains("argument 2"), "wrong argument flagged: {context}");
+        }
+        other => panic!("expected a mismatch on the index, got {other:?}"),
+    }
+}
+
+/// λTR rejects even the *guarded* access: the whole point of the paper.
+#[test]
+fn lambda_tr_cannot_verify_guarded_access() {
+    let (v, i) = (s("v"), s("i"));
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+        Expr::if_(
+            Expr::prim_app(Prim::Lt, vec![
+                Expr::Var(i),
+                Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+            ]),
+            Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+            Expr::Error("bad".into()),
+        ),
+        Expr::Error("bad".into()),
+    );
+    let e = Expr::lam(vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)], body);
+    assert!(lambda_tr().check_program(&e).is_err());
+}
+
+/// §2.1 `safe-dot-prod`: accessing B at an index bounded by (len A) must
+/// fail without the length equation…
+#[test]
+fn dot_prod_without_length_check_rejected() {
+    let (a, b, i) = (s("A"), s("B"), s("i"));
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+        Expr::if_(
+            Expr::prim_app(Prim::Lt, vec![
+                Expr::Var(i),
+                Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
+            ]),
+            Expr::prim_app(Prim::Times, vec![
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(a), Expr::Var(i)]),
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(b), Expr::Var(i)]),
+            ]),
+            Expr::Int(0),
+        ),
+        Expr::Int(0),
+    );
+    let e = Expr::lam(
+        vec![(a, Ty::vec(Ty::Int)), (b, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        body,
+    );
+    match rtr().check_program(&e) {
+        Err(TypeError::Mismatch { context, .. }) => {
+            assert!(context.contains("argument 2"));
+        }
+        other => panic!("expected B-access rejection, got {other:?}"),
+    }
+}
+
+/// …and succeed with the paper's `dot-prod` dynamic guard
+/// `(unless (= (len A) (len B)) (error …))`.
+#[test]
+fn dot_prod_with_length_guard_verifies() {
+    let (a, b, i) = (s("A"), s("B"), s("i"));
+    let accesses = Expr::if_(
+        Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+        Expr::if_(
+            Expr::prim_app(Prim::Lt, vec![
+                Expr::Var(i),
+                Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
+            ]),
+            Expr::prim_app(Prim::Times, vec![
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(a), Expr::Var(i)]),
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(b), Expr::Var(i)]),
+            ]),
+            Expr::Int(0),
+        ),
+        Expr::Int(0),
+    );
+    // (if (= (len A) (len B)) <accesses> (error …))  — `unless` inverted.
+    let body = Expr::if_(
+        Expr::prim_app(Prim::NumEq, vec![
+            Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
+            Expr::prim_app(Prim::Len, vec![Expr::Var(b)]),
+        ]),
+        accesses,
+        Expr::Error("invalid vector lengths!".into()),
+    );
+    let e = Expr::lam(
+        vec![(a, Ty::vec(Ty::Int)), (b, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        body,
+    );
+    rtr().check_program(&e).expect("guarded dot-prod access must verify");
+}
+
+/// §2.2 `xtime` — the bitvector theory example, at width 16 with
+/// `Byte = {b:BitVec | b ≤bv #xff}`.
+#[test]
+fn xtime_bitvector_verification() {
+    use rtr_core::syntax::BvCmp;
+    let num = s("num");
+    let n = s("n");
+    let b = s("b");
+    let byte = Ty::refine(b, Ty::BitVec, Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)));
+    // (λ (num:Byte)
+    //   (let (n (bvand (bvmul #x02 num) #xff))
+    //     (if (bv= #x00 (bvand num #x80)) n (bvxor n #x1b))))
+    let body = Expr::let_(
+        n,
+        Expr::prim_app(Prim::BvAnd, vec![
+            Expr::prim_app(Prim::BvMul, vec![Expr::BvLit(0x02), Expr::Var(num)]),
+            Expr::BvLit(0xff),
+        ]),
+        Expr::if_(
+            Expr::prim_app(Prim::BvEq, vec![
+                Expr::BvLit(0x00),
+                Expr::prim_app(Prim::BvAnd, vec![Expr::Var(num), Expr::BvLit(0x80)]),
+            ]),
+            Expr::Var(n),
+            Expr::prim_app(Prim::BvXor, vec![Expr::Var(n), Expr::BvLit(0x1b)]),
+        ),
+    );
+    let sig = Ty::fun(vec![(num, byte.clone())], TyResult::of_type(byte.clone()));
+    let e = Expr::ann(Expr::lam(vec![(num, byte)], body), sig);
+    rtr().check_program(&e).expect("xtime must type check with the BV theory");
+}
+
+/// §4.2: tests on a mutable variable produce no usable information.
+#[test]
+fn mutable_cache_size_is_not_trusted() {
+    let (cache, v) = (s("cache-size"), s("data"));
+    // (λ (v:(Vecof Int))
+    //   (let (cache-size (len v))
+    //     (begin (set! cache-size 0)
+    //            (if (< 0 cache-size) (safe-vec-ref v 0) 0))))
+    let body = Expr::let_(
+        cache,
+        Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+        Expr::Begin(vec![
+            Expr::Set(cache, Box::new(Expr::Int(0))),
+            Expr::if_(
+                Expr::prim_app(Prim::Lt, vec![Expr::Int(0), Expr::Var(cache)]),
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Int(0)]),
+                Expr::Int(0),
+            ),
+        ]),
+    );
+    let e = Expr::lam(vec![(v, Ty::vec(Ty::Int))], body);
+    assert!(
+        rtr().check_program(&e).is_err(),
+        "mutable guard must not justify the access"
+    );
+    // The same program with an immutable binding verifies.
+    let immut = s("csize");
+    let body = Expr::let_(
+        immut,
+        Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+        Expr::if_(
+            Expr::prim_app(Prim::Lt, vec![Expr::Int(0), Expr::Var(immut)]),
+            Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Int(0)]),
+            Expr::Int(0),
+        ),
+    );
+    let e = Expr::lam(vec![(v, Ty::vec(Ty::Int))], body);
+    rtr().check_program(&e).expect("immutable guard must verify the access");
+}
+
+/// Vector literals carry their length: (safe-vec-ref (vec 1 2 3) 2) is
+/// provably safe, index 3 is not.
+#[test]
+fn vector_literal_lengths() {
+    let vlit = Expr::VecLit(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]);
+    let ok = Expr::prim_app(Prim::SafeVecRef, vec![vlit.clone(), Expr::Int(2)]);
+    rtr().check_program(&ok).expect("in-bounds literal access verifies");
+    let bad = Expr::prim_app(Prim::SafeVecRef, vec![vlit, Expr::Int(3)]);
+    assert!(rtr().check_program(&bad).is_err(), "index 3 of len-3 vector rejected");
+}
+
+/// make-vec's length refinement flows: (safe-vec-ref (make-vec 10 0) 9).
+#[test]
+fn make_vec_length_refinement() {
+    let mk = Expr::prim_app(Prim::MakeVec, vec![Expr::Int(10), Expr::Int(0)]);
+    let ok = Expr::prim_app(Prim::SafeVecRef, vec![mk.clone(), Expr::Int(9)]);
+    rtr().check_program(&ok).expect("(make-vec 10 0)[9] verifies");
+    let bad = Expr::prim_app(Prim::SafeVecRef, vec![mk, Expr::Int(10)]);
+    assert!(rtr().check_program(&bad).is_err());
+    // A negative length is rejected by make-vec's own domain.
+    let neg = Expr::prim_app(Prim::MakeVec, vec![Expr::Int(-1), Expr::Int(0)]);
+    assert!(rtr().check_program(&neg).is_err());
+}
+
+/// §5.1's annotated recursive loop:
+/// (let loop ([i : {i:Nat | i ≤ len ds}] [res : Int])
+///   (cond [(zero? i) res] [else (loop (- i 1) (* res (safe-vec-ref ds (- i 1))))]))
+/// Note the paper's snippet accesses (safe-vec-ref ds i) after narrowing
+/// i ≠ 0 with upper bound i ≤ len ds — we reproduce it with the
+/// (sub1 i) access which is in [0, len ds).
+#[test]
+fn annotated_recursive_loop_verifies() {
+    let (ds, loop_f, i, res) = (s("ds"), s("loop"), s("i"), s("res"));
+    let iv = s("iv");
+    let idx_ty = Ty::refine(
+        iv,
+        Ty::Int,
+        Prop::and(
+            Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(iv)),
+            Prop::lin(Obj::var(iv), LinCmp::Le, Obj::var(ds).len()),
+        ),
+    );
+    let loop_ty = Ty::fun(
+        vec![(i, idx_ty.clone()), (res, Ty::Int)],
+        TyResult::of_type(Ty::Int),
+    );
+    let body = Expr::if_(
+        Expr::prim_app(Prim::IsZero, vec![Expr::Var(i)]),
+        Expr::Var(res),
+        Expr::app(
+            Expr::Var(loop_f),
+            vec![
+                Expr::prim_app(Prim::Sub1, vec![Expr::Var(i)]),
+                Expr::prim_app(Prim::Times, vec![
+                    Expr::Var(res),
+                    Expr::prim_app(Prim::SafeVecRef, vec![
+                        Expr::Var(ds),
+                        Expr::prim_app(Prim::Sub1, vec![Expr::Var(i)]),
+                    ]),
+                ]),
+            ],
+        ),
+    );
+    let e = Expr::lam(
+        vec![(ds, Ty::vec(Ty::Int))],
+        Expr::LetRec(
+            loop_f,
+            loop_ty,
+            std::sync::Arc::new(rtr_core::syntax::Lambda {
+                params: vec![(i, idx_ty), (res, Ty::Int)],
+                body,
+            }),
+            Box::new(Expr::app(
+                Expr::Var(loop_f),
+                vec![
+                    Expr::prim_app(Prim::Len, vec![Expr::Var(ds)]),
+                    Expr::Int(1),
+                ],
+            )),
+        ),
+    );
+    rtr().check_program(&e).expect("annotated loop must verify");
+}
+
+/// vec-swap! (§5.1 "code modified"): the two added index guards make four
+/// safe operations verify.
+#[test]
+fn vec_swap_with_guards_verifies() {
+    let (vs, i, j) = (s("vs"), s("i"), s("j"));
+    let in_bounds = |idx: Symbol, vs: Symbol| {
+        Expr::if_(
+            Expr::prim_app(Prim::Lt, vec![Expr::Int(-1), Expr::Var(idx)]),
+            Expr::prim_app(Prim::Lt, vec![
+                Expr::Var(idx),
+                Expr::prim_app(Prim::Len, vec![Expr::Var(vs)]),
+            ]),
+            Expr::Bool(false),
+        )
+    };
+    let swap = Expr::let_(
+        s("i-val"),
+        Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(vs), Expr::Var(i)]),
+        Expr::let_(
+            s("j-val"),
+            Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(vs), Expr::Var(j)]),
+            Expr::Begin(vec![
+                Expr::prim_app(Prim::SafeVecSet, vec![
+                    Expr::Var(vs),
+                    Expr::Var(i),
+                    Expr::Var(s("j-val")),
+                ]),
+                Expr::prim_app(Prim::SafeVecSet, vec![
+                    Expr::Var(vs),
+                    Expr::Var(j),
+                    Expr::Var(s("i-val")),
+                ]),
+            ]),
+        ),
+    );
+    let body = Expr::if_(
+        in_bounds(i, vs),
+        Expr::if_(in_bounds(j, vs), swap, Expr::Error("bad index(s)!".into())),
+        Expr::Error("bad index(s)!".into()),
+    );
+    let e = Expr::lam(vec![(vs, Ty::vec(Ty::Int)), (i, Ty::Int), (j, Ty::Int)], body);
+    rtr().check_program(&e).expect("guarded vec-swap! must verify");
+}
+
+/// Aliasing through let: (let (n (len v)) (if (< i n) … (safe-vec-ref v i)))
+/// — the §4.1 representative-objects machinery.
+#[test]
+fn let_bound_length_aliases() {
+    let (v, i, n) = (s("v"), s("i"), s("n"));
+    let body = Expr::let_(
+        n,
+        Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+        Expr::if_(
+            Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+            Expr::if_(
+                Expr::prim_app(Prim::Lt, vec![Expr::Var(i), Expr::Var(n)]),
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+                Expr::Int(0),
+            ),
+            Expr::Int(0),
+        ),
+    );
+    let e = Expr::lam(vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)], body);
+    rtr().check_program(&e).expect("alias-guarded access must verify");
+
+    // The ablation config (no representative objects) must still verify it
+    // via theory-level equalities.
+    let cfg = CheckerConfig { representative_objects: false, ..CheckerConfig::default() };
+    Checker::with_config(cfg)
+        .check_program(&e)
+        .expect("ablation mode must also verify via theory equalities");
+}
+
+/// Errors carry usable messages (§2.1's error shape).
+#[test]
+fn error_messages_name_the_argument() {
+    let (v, i) = (s("v"), s("i"));
+    let e = Expr::lam(
+        vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+    );
+    let err = rtr().check_program(&e).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("argument 2"), "message should flag the index: {msg}");
+    assert!(msg.contains("expected"), "message should show the expected type: {msg}");
+}
+
+/// The §4.1 hybrid-environment ablation is verdict-preserving on the
+/// paper programs: the pure-proposition configuration accepts and rejects
+/// the same things, just more slowly (see the `hybrid_env_narrowing`
+/// bench for the cost gap).
+#[test]
+fn pure_proposition_env_preserves_verdicts() {
+    let pure = Checker::with_config(CheckerConfig {
+        hybrid_env: false,
+        ..CheckerConfig::default()
+    });
+
+    // Fig. 1's max (accept).
+    let (x, y, z) = (s("pmx"), s("pmy"), s("pmz"));
+    let range = Ty::refine(
+        z,
+        Ty::Int,
+        Prop::and(
+            Prop::lin(Obj::var(x), LinCmp::Le, Obj::var(z)),
+            Prop::lin(Obj::var(y), LinCmp::Le, Obj::var(z)),
+        ),
+    );
+    let fty = Ty::fun(vec![(x, Ty::Int), (y, Ty::Int)], TyResult::of_type(range));
+    let body = Expr::if_(
+        Expr::prim_app(Prim::Gt, vec![Expr::Var(x), Expr::Var(y)]),
+        Expr::Var(x),
+        Expr::Var(y),
+    );
+    let max = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), fty.clone());
+    pure.check_program(&max).expect("pure mode must verify max");
+
+    // Unguarded safe access (reject).
+    let (v, i) = (s("ppv"), s("ppi"));
+    let bad = Expr::lam(
+        vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+    );
+    assert!(pure.check_program(&bad).is_err(), "pure mode must still reject");
+
+    // Guarded safe access (accept) — narrowing via replayed atoms.
+    let guarded = Expr::lam(
+        vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
+        Expr::if_(
+            Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
+            Expr::if_(
+                Expr::prim_app(
+                    Prim::Lt,
+                    vec![Expr::Var(i), Expr::prim_app(Prim::Len, vec![Expr::Var(v)])],
+                ),
+                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
+                Expr::Int(0),
+            ),
+            Expr::Int(0),
+        ),
+    );
+    pure.check_program(&guarded).expect("pure mode must verify the guarded access");
+
+    // Union elimination (accept): (λ (n : (U Int Bool)) (if (int? n) n 0)).
+    let n = s("ppn");
+    let union_elim = Expr::lam(
+        vec![(n, Ty::union_of(vec![Ty::Int, Ty::bool_ty()]))],
+        Expr::if_(
+            Expr::prim_app(Prim::IsInt, vec![Expr::Var(n)]),
+            Expr::prim_app(Prim::Add1, vec![Expr::Var(n)]),
+            Expr::Int(0),
+        ),
+    );
+    pure.check_program(&union_elim).expect("pure mode must narrow unions");
+}

@@ -1,0 +1,319 @@
+//! Property tests for the structural metatheory: subtyping laws, the
+//! semantic soundness of `restrict`/`remove` (Fig. 7), proposition
+//! negation, and selfification — each checked against the executable
+//! model relation of Fig. 8.
+
+use proptest::prelude::*;
+
+use rtr_core::check::Checker;
+use rtr_core::env::Env;
+use rtr_core::interp::{RtEnv, Value};
+use rtr_core::model::{satisfies, value_has_type};
+use rtr_core::syntax::{LinCmp, Obj, Prop, Symbol, Ty};
+
+const FUEL: u32 = 64;
+
+/// A small pool of regexes for refinement generators (parsed once per
+/// call; patterns chosen to overlap partially so inclusion checks are
+/// non-trivial).
+fn regex_pool() -> Vec<std::sync::Arc<rtr_solver::re::Regex>> {
+    ["a*", "[ab]+", "a{2}", "b?a", "[abc]{1,3}", "c.*"]
+        .iter()
+        .map(|p| std::sync::Arc::new(rtr_solver::re::Regex::parse(p).expect("pool parses")))
+        .collect()
+}
+
+// --- generators ---------------------------------------------------------------
+
+/// First-order types (no functions: their semantics needs closures).
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        Just(Ty::Top),
+        Just(Ty::Int),
+        Just(Ty::True),
+        Just(Ty::False),
+        Just(Ty::Unit),
+        Just(Ty::bot()),
+        Just(Ty::bool_ty()),
+        Just(Ty::Str),
+        Just(Ty::Regex),
+        // A refinement over Int with a closed bound.
+        (-5i64..=5, any::<bool>()).prop_map(|(k, le)| {
+            let x = Symbol::fresh("pt");
+            let p = if le {
+                Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(k))
+            } else {
+                Prop::lin(Obj::int(k), LinCmp::Le, Obj::var(x))
+            };
+            Ty::refine(x, Ty::Int, p)
+        }),
+        // A refinement over Str with a pool regex (theory RE).
+        (0usize..6, any::<bool>()).prop_map(|(i, pos)| {
+            let x = Symbol::fresh("ps");
+            let atom = Prop::re_match(&Obj::var(x), &Obj::re(regex_pool()[i].clone()));
+            let p = if pos { atom } else { atom.negate().expect("re atoms negate") };
+            Ty::refine(x, Ty::Str, p)
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::pair(a, b)),
+            inner.clone().prop_map(Ty::vec),
+            proptest::collection::vec(inner, 0..3).prop_map(Ty::union_of),
+        ]
+    })
+}
+
+/// First-order runtime values.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (-8i64..=8).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Unit),
+        // Strings over the pool regexes' alphabet (plus outliers).
+        prop_oneof![
+            Just(""), Just("a"), Just("b"), Just("aa"), Just("ab"), Just("ba"),
+            Just("abc"), Just("ccc"), Just("PLDI"), Just("2016"),
+        ]
+        .prop_map(|s: &str| Value::Str(std::sync::Arc::from(s))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Value::Pair(std::rc::Rc::new(a), std::rc::Rc::new(b))
+            }),
+            proptest::collection::vec(inner, 0..3).prop_map(|vs| {
+                Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(vs)))
+            }),
+        ]
+    })
+}
+
+/// Ground propositions over a single Int variable bound in ρ.
+fn arb_ground_prop(x: Symbol) -> impl Strategy<Value = Prop> {
+    let atom = (
+        prop_oneof![
+            Just(LinCmp::Lt),
+            Just(LinCmp::Le),
+            Just(LinCmp::Eq),
+            Just(LinCmp::Ne)
+        ],
+        -5i64..=5,
+        any::<bool>(),
+    )
+        .prop_map(move |(cmp, k, flip)| {
+            if flip {
+                Prop::lin(Obj::int(k), cmp, Obj::var(x))
+            } else {
+                Prop::lin(Obj::var(x), cmp, Obj::int(k))
+            }
+        });
+    let leaf = prop_oneof![
+        Just(Prop::TT),
+        Just(Prop::FF),
+        atom,
+        Just(Prop::is(Obj::var(x), Ty::Int)),
+        Just(Prop::is_not(Obj::var(x), Ty::bool_ty())),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prop::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Prop::or(a, b)),
+        ]
+    })
+}
+
+// --- properties ----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// S-Refl, S-Top, S-Union2 as laws over random types.
+    #[test]
+    fn subtype_reflexive_top_union(t in arb_ty(), s in arb_ty()) {
+        let c = Checker::default();
+        let env = Env::new();
+        prop_assert!(c.subtype(&env, &t, &t, FUEL), "{t} <: {t}");
+        prop_assert!(c.subtype(&env, &t, &Ty::Top, FUEL));
+        let u = Ty::union_of(vec![t.clone(), s.clone()]);
+        prop_assert!(c.subtype(&env, &t, &u, FUEL), "{t} <: {u}");
+        prop_assert!(c.subtype(&env, &s, &u, FUEL), "{s} <: {u}");
+    }
+
+    /// Transitivity, sampled: t <: s and s <: r implies t <: r.
+    #[test]
+    fn subtype_transitive(t in arb_ty(), s in arb_ty(), r in arb_ty()) {
+        let c = Checker::default();
+        let env = Env::new();
+        if c.subtype(&env, &t, &s, FUEL) && c.subtype(&env, &s, &r, FUEL) {
+            prop_assert!(c.subtype(&env, &t, &r, FUEL), "{t} <: {s} <: {r} but not {t} <: {r}");
+        }
+    }
+
+    /// Semantic soundness of subtyping: if t <: s, every value of t is a
+    /// value of s (the subtyping relation respects the model).
+    #[test]
+    fn subtype_respects_values(t in arb_ty(), s in arb_ty(), v in arb_value()) {
+        let c = Checker::default();
+        let env = Env::new();
+        let rho = RtEnv::new();
+        if c.subtype(&env, &t, &s, FUEL) && value_has_type(&c, &rho, &v, &t) {
+            prop_assert!(
+                value_has_type(&c, &rho, &v, &s),
+                "{t} <: {s} but value {v} inhabits only the subtype"
+            );
+        }
+    }
+
+    /// Fig. 7 `restrict` is a sound intersection: v ∈ t ∧ v ∈ s ⇒
+    /// v ∈ restrict(t, s).
+    #[test]
+    fn restrict_is_sound(t in arb_ty(), s in arb_ty(), v in arb_value()) {
+        let c = Checker::default();
+        let env = Env::new();
+        let rho = RtEnv::new();
+        if value_has_type(&c, &rho, &v, &t) && value_has_type(&c, &rho, &v, &s) {
+            let r = c.restrict(&env, &t, &s, FUEL);
+            prop_assert!(
+                value_has_type(&c, &rho, &v, &r),
+                "v = {v} ∈ {t} ∩ {s} but not ∈ restrict = {r}"
+            );
+        }
+    }
+
+    /// Fig. 7 `remove` is a sound difference: v ∈ t ∧ v ∉ s ⇒
+    /// v ∈ remove(t, s).
+    #[test]
+    fn remove_is_sound(t in arb_ty(), s in arb_ty(), v in arb_value()) {
+        let c = Checker::default();
+        let env = Env::new();
+        let rho = RtEnv::new();
+        if value_has_type(&c, &rho, &v, &t) && !value_has_type(&c, &rho, &v, &s) {
+            let r = c.remove(&env, &t, &s, FUEL);
+            prop_assert!(
+                value_has_type(&c, &rho, &v, &r),
+                "v = {v} ∈ {t} ∖ {s} but not ∈ remove = {r}"
+            );
+        }
+    }
+
+    /// `overlap` is complete for disjointness: if it says the types are
+    /// disjoint, no value inhabits both.
+    #[test]
+    fn overlap_never_misses(t in arb_ty(), s in arb_ty(), v in arb_value()) {
+        let c = Checker::default();
+        let rho = RtEnv::new();
+        if !c.overlap(&t, &s) {
+            prop_assert!(
+                !(value_has_type(&c, &rho, &v, &t) && value_has_type(&c, &rho, &v, &s)),
+                "overlap({t}, {s}) = false but {v} inhabits both"
+            );
+        }
+    }
+
+    /// Negation is semantically exact on ground propositions:
+    /// ρ ⊨ ¬ψ ⇔ ρ ⊭ ψ (M-rules).
+    #[test]
+    fn negation_flips_satisfaction(p_gen in (-8i64..=8).prop_flat_map(|n| {
+        let x = Symbol::fresh("gx");
+        arb_ground_prop(x).prop_map(move |p| (x, n, p))
+    })) {
+        let (x, n, p) = p_gen;
+        let c = Checker::default();
+        let rho = RtEnv::new().extend(x, Value::Int(n));
+        if let Some(neg) = p.negate() {
+            let sp = satisfies(&c, &rho, &p);
+            let sn = satisfies(&c, &rho, &neg);
+            if let (Some(a), Some(b)) = (sp, sn) {
+                prop_assert_eq!(a, !b, "ψ = {}, ¬ψ = {}, at x={}", p, neg, n);
+            }
+        }
+    }
+
+    /// The proof system is sound w.r.t. ground models: if the empty-env
+    /// checker extended with facts about x proves ψ, then every integer
+    /// value of x satisfying the facts satisfies ψ.
+    #[test]
+    fn proves_respects_ground_models(
+        seed in any::<u64>(),
+        lo in -5i64..=0,
+        hi in 0i64..=5,
+    ) {
+        let _ = seed;
+        let c = Checker::default();
+        let x = Symbol::fresh("mx");
+        let mut env = Env::new();
+        c.bind(&mut env, x, &Ty::Int, FUEL);
+        c.assume(&mut env, &Prop::lin(Obj::int(lo), LinCmp::Le, Obj::var(x)), FUEL);
+        c.assume(&mut env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(hi)), FUEL);
+        // Goal: lo - 1 < x (always true given the facts).
+        let goal = Prop::lin(Obj::int(lo - 1), LinCmp::Lt, Obj::var(x));
+        prop_assert!(c.proves(&env, &goal, FUEL));
+        // And the model check agrees for every admissible value.
+        for n in lo..=hi {
+            let rho = RtEnv::new().extend(x, Value::Int(n));
+            prop_assert_eq!(satisfies(&c, &rho, &goal), Some(true));
+        }
+        // A goal stronger than the facts is NOT proved: x ≤ lo - 1.
+        let bad = Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(lo - 1));
+        prop_assert!(!c.proves(&env, &bad, FUEL));
+    }
+
+    /// The regex theory is sound w.r.t. ground models: whatever the
+    /// checker proves from `s ∈ L(r₁)` holds of every short string in
+    /// L(r₁) (M-Theory agreement between solver and matcher).
+    #[test]
+    fn regex_proofs_respect_ground_models(i in 0usize..6, j in 0usize..6) {
+        let pool = regex_pool();
+        let c = Checker::default();
+        let s = Symbol::fresh("rs");
+        let mut env = Env::new();
+        c.bind(&mut env, s, &Ty::Str, FUEL);
+        c.assume(
+            &mut env,
+            &Prop::re_match(&Obj::var(s), &Obj::re(pool[i].clone())),
+            FUEL,
+        );
+        let goal = Prop::re_match(&Obj::var(s), &Obj::re(pool[j].clone()));
+        if c.proves(&env, &goal, FUEL) {
+            // Enumerate strings over {a,b,c} up to length 4.
+            let mut frontier: Vec<String> = vec![String::new()];
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for w in &frontier {
+                    for ch in ['a', 'b', 'c'] {
+                        let mut t = w.clone();
+                        t.push(ch);
+                        next.push(t);
+                    }
+                }
+                frontier.extend(next.iter().cloned());
+                frontier.dedup();
+            }
+            for w in frontier {
+                if pool[i].is_match(&w) {
+                    let rho = RtEnv::new()
+                        .extend(s, Value::Str(std::sync::Arc::from(w.as_str())));
+                    prop_assert_eq!(
+                        satisfies(&c, &rho, &goal),
+                        Some(true),
+                        "proved {} ⊢ {} but {:?} breaks it", pool[i], pool[j], w
+                    );
+                }
+            }
+        }
+    }
+
+    /// Selfification is semantically faithful: a value inhabits
+    /// selfify(τ, o) in any ρ where o evaluates to that value.
+    #[test]
+    fn selfify_faithful(n in -8i64..=8) {
+        let c = Checker::default();
+        let x = Symbol::fresh("sfx");
+        let t = c.selfify(&Ty::Int, &Obj::var(x));
+        let rho = RtEnv::new().extend(x, Value::Int(n));
+        prop_assert!(value_has_type(&c, &rho, &Value::Int(n), &t));
+        // And a *different* value does not.
+        prop_assert!(!value_has_type(&c, &rho, &Value::Int(n + 1), &t));
+    }
+}

@@ -1,0 +1,159 @@
+//! The staged classification methodology of §5.
+//!
+//! For every access site we ask, in order: does it verify as written?
+//! With stronger annotations? After the local code modification? Each
+//! stage mirrors the paper's workflow, and the result is *measured* (by
+//! actually running the type checker), never assumed from the template.
+
+use rtr_core::check::Checker;
+use rtr_lang::check_source;
+
+use crate::gen::Library;
+use crate::patterns::{Class, Site};
+
+/// The measured outcome for one site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Verified with no changes.
+    Auto,
+    /// Verified once annotations were strengthened.
+    WithAnnotations,
+    /// Verified once the code was locally modified.
+    WithModifications,
+    /// Not verified by any stage.
+    Unverified,
+}
+
+/// Classifies one site with the staged methodology.
+pub fn classify_site(site: &Site, checker: &Checker) -> Outcome {
+    if check_source(&site.plain, checker).is_ok() {
+        return Outcome::Auto;
+    }
+    if let Some(ann) = &site.annotated {
+        if check_source(ann, checker).is_ok() {
+            return Outcome::WithAnnotations;
+        }
+    }
+    if let Some(m) = &site.modified {
+        if check_source(m, checker).is_ok() {
+            return Outcome::WithModifications;
+        }
+    }
+    Outcome::Unverified
+}
+
+/// Aggregated, op-weighted results for one library.
+#[derive(Clone, Debug, Default)]
+pub struct Tally {
+    /// Ops verified automatically.
+    pub auto_ops: usize,
+    /// Ops verified with added annotations.
+    pub annotated_ops: usize,
+    /// Ops verified after code modifications.
+    pub modified_ops: usize,
+    /// Ops not verified (any reason).
+    pub unverified_ops: usize,
+    /// Of the unverified: ops whose template is beyond the theory.
+    pub beyond_scope_ops: usize,
+    /// Of the unverified: ops needing unimplemented features.
+    pub unimplemented_ops: usize,
+    /// Of the unverified: genuinely unsafe ops (correct rejections).
+    pub unsafe_ops: usize,
+    /// Sites whose measured outcome disagreed with the template design
+    /// (should always be zero; a canary for harness bugs).
+    pub misclassified: usize,
+}
+
+impl Tally {
+    /// Total ops.
+    pub fn total(&self) -> usize {
+        self.auto_ops + self.annotated_ops + self.modified_ops + self.unverified_ops
+    }
+
+    /// Percentage helper.
+    pub fn pct(&self, n: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Classifies every site in a library.
+pub fn classify_library(lib: &Library, checker: &Checker) -> Tally {
+    let mut t = Tally::default();
+    for site in &lib.sites {
+        let outcome = classify_site(site, checker);
+        match outcome {
+            Outcome::Auto => t.auto_ops += site.num_ops,
+            Outcome::WithAnnotations => t.annotated_ops += site.num_ops,
+            Outcome::WithModifications => t.modified_ops += site.num_ops,
+            Outcome::Unverified => {
+                t.unverified_ops += site.num_ops;
+                match site.expected {
+                    Class::BeyondScope => t.beyond_scope_ops += site.num_ops,
+                    Class::Unimplemented => t.unimplemented_ops += site.num_ops,
+                    Class::Unsafe => t.unsafe_ops += site.num_ops,
+                    _ => {}
+                }
+            }
+        }
+        let expected = match site.expected {
+            Class::Auto => Outcome::Auto,
+            Class::Annotation => Outcome::WithAnnotations,
+            Class::Modification => Outcome::WithModifications,
+            _ => Outcome::Unverified,
+        };
+        if outcome != expected {
+            t.misclassified += 1;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::profiles::libraries;
+    use rtr_core::config::CheckerConfig;
+
+    #[test]
+    fn staged_methodology_on_a_small_sample() {
+        // A fast smoke test over a small slice of each library (the full
+        // run is the fig9 binary / benchmark).
+        let checker = Checker::default();
+        for profile in libraries() {
+            let lib = generate(&profile, 2016);
+            let sample = Library {
+                profile: lib.profile.clone(),
+                sites: lib.sites.iter().take(12).cloned().collect(),
+                filler: Vec::new(),
+            };
+            let tally = classify_library(&sample, &checker);
+            assert_eq!(
+                tally.misclassified, 0,
+                "{}: measured classes diverged from design",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_tr_baseline_verifies_nothing() {
+        // The λTR baseline (stock occurrence typing) cannot prove any
+        // refinement-typed access: its auto column is 0%.
+        let baseline = Checker::with_config(CheckerConfig::lambda_tr());
+        let profile = &libraries()[0];
+        let lib = generate(profile, 2016);
+        for site in lib.sites.iter().take(10) {
+            assert_eq!(
+                classify_site(site, &baseline),
+                Outcome::Unverified,
+                "λTR unexpectedly verified {}",
+                site.pattern
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # rtr-corpus — the §5 case study, reproduced
+//!
+//! The paper evaluates RTR by replacing every vector access in three large
+//! Typed Racket libraries (`math`, `plot`, `pict3d`; 56k lines, 1,085
+//! unique vector operations) with its `safe-` counterpart and measuring
+//! how many still type check — automatically, after added annotations, or
+//! after local code modifications (Figure 9).
+//!
+//! We do not have the Racket libraries; per the reproduction's
+//! substitution policy, this crate generates *synthetic corpora* from the
+//! access-pattern distributions the paper reports for each library (see
+//! `profiles`), then runs the same staged methodology (`classify`) and
+//! regenerates the paper's tables (`report`). Because each pattern's
+//! verifiability class is intrinsic to its shape, matching the pattern
+//! mix reproduces the figure's shape; the absolute counts match the
+//! paper's per-library op counts exactly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod gen;
+pub mod patterns;
+pub mod profiles;
+pub mod report;

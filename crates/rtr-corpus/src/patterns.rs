@@ -1,0 +1,522 @@
+//! Vector-access pattern templates.
+//!
+//! Each template generates a small self-contained RTR module containing a
+//! vector access whose *verifiability class* is determined by its shape —
+//! the classes the paper's §5 case study tallies:
+//!
+//! * **Auto** — verifies with every access replaced by its `safe-`
+//!   counterpart and no other change (the paper's methodology);
+//! * **Annotation** — verifies only after strengthening a type annotation
+//!   (§5.1 "Annotations Added", e.g. the `Nat` loop counter that needs an
+//!   upper bound);
+//! * **Modification** — verifies only after a small local code change
+//!   (§5.1 "Code Modified", e.g. `vec-swap!`'s added index guards);
+//! * **BeyondScope** — the invariant is outside the linear theory
+//!   (§5.1 "Beyond our scope", e.g. indices from higher-order code);
+//! * **Unimplemented** — would be amenable but needs an unimplemented
+//!   feature (§5.1, e.g. dependent pair/record fields);
+//! * **Unsafe** — genuinely unsafe code the checker must reject
+//!   (§4.2/§5.1's mutable `cache-size` bug).
+
+use rand::Rng;
+
+/// The verifiability class a site is designed to land in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Class {
+    /// Verifies automatically.
+    Auto,
+    /// Verifies after a type-annotation strengthening.
+    Annotation,
+    /// Verifies after a local code modification.
+    Modification,
+    /// Invariant outside the (linear) theory.
+    BeyondScope,
+    /// Needs a feature the implementation lacks.
+    Unimplemented,
+    /// Unsafe code: must NOT verify (and the paper patched it).
+    Unsafe,
+}
+
+impl Class {
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Auto => "automatically verified",
+            Class::Annotation => "verified with type annotations added",
+            Class::Modification => "verified after code modifications",
+            Class::BeyondScope => "beyond scope",
+            Class::Unimplemented => "unimplemented features",
+            Class::Unsafe => "unsafe code",
+        }
+    }
+}
+
+/// A generated access site: the original source plus the staged variants
+/// the paper's methodology tries in order.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Unique id within its library.
+    pub id: usize,
+    /// The template that produced it (for reporting).
+    pub pattern: &'static str,
+    /// The class the template is designed to land in.
+    pub expected: Class,
+    /// The module as written (accesses already `safe-`).
+    pub plain: String,
+    /// With stronger annotations, if the template supports it.
+    pub annotated: Option<String>,
+    /// With local code modifications, if the template supports it.
+    pub modified: Option<String>,
+    /// Number of distinct vector operations in the module.
+    pub num_ops: usize,
+}
+
+/// Builds one site of the requested class, with template choice and
+/// cosmetic variety driven by `rng`.
+pub fn build_site<R: Rng>(rng: &mut R, class: Class, id: usize) -> Site {
+    match class {
+        Class::Auto => auto_site(rng, id),
+        Class::Annotation => annotation_site(rng, id),
+        Class::Modification => modification_site(rng, id),
+        Class::BeyondScope => beyond_scope_site(rng, id),
+        Class::Unimplemented => unimplemented_site(rng, id),
+        Class::Unsafe => unsafe_site(rng, id),
+    }
+}
+
+fn auto_site<R: Rng>(rng: &mut R, id: usize) -> Site {
+    match rng.gen_range(0..5u8) {
+        // A1 — length-bounded for/sum loop (plot's dominant pattern).
+        0 => Site {
+            id,
+            pattern: "length-bounded-loop",
+            expected: Class::Auto,
+            plain: format!(
+                "(: sum{id} : [A : (Vecof Int)] -> Int)\n\
+                 (define (sum{id} A)\n\
+                 \x20 (for/sum ([i (in-range (len A))])\n\
+                 \x20   (safe-vec-ref A i)))\n"
+            ),
+            annotated: None,
+            modified: None,
+            num_ops: 1,
+        },
+        // A2 — explicit two-sided guard.
+        1 => {
+            let default = rng.gen_range(-3..=3);
+            Site {
+                id,
+                pattern: "guarded-access",
+                expected: Class::Auto,
+                plain: format!(
+                    "(: ref{id} : [v : (Vecof Int)] [i : Int] -> Int)\n\
+                     (define (ref{id} v i)\n\
+                     \x20 (if (and (<= 0 i) (< i (len v)))\n\
+                     \x20     (safe-vec-ref v i)\n\
+                     \x20     {default}))\n"
+                ),
+                annotated: None,
+                modified: None,
+                num_ops: 1,
+            }
+        }
+        // A3 — "pattern matching" on the vector's length (fixed arity),
+        // extremely common in plot per §5.
+        2 => {
+            let n = rng.gen_range(2..=4usize);
+            let adds = (0..n)
+                .map(|k| format!("(safe-vec-ref v {k})"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let sum = (0..n).fold("0".to_owned(), |acc, _| format!("(+ {acc} X)"));
+            let mut body = sum;
+            for k in (0..n).rev() {
+                body = body.replacen('X', &format!("(safe-vec-ref v {k})"), 1);
+            }
+            let _ = adds;
+            Site {
+                id,
+                pattern: "length-match",
+                expected: Class::Auto,
+                plain: format!(
+                    "(: norm{id} : [v : (Vecof Int)] -> Int)\n\
+                     (define (norm{id} v)\n\
+                     \x20 (if (= (len v) {n})\n\
+                     \x20     {body}\n\
+                     \x20     0))\n"
+                ),
+                annotated: None,
+                modified: None,
+                num_ops: n,
+            }
+        }
+        // A4 — literal vector, constant index.
+        3 => {
+            let n = rng.gen_range(1..=5usize);
+            let items = (0..n)
+                .map(|_| rng.gen_range(-9..=9i64).to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let idx = rng.gen_range(0..n);
+            Site {
+                id,
+                pattern: "literal-vector",
+                expected: Class::Auto,
+                plain: format!(
+                    "(define table{id} (vec {items}))\n\
+                     (safe-vec-ref table{id} {idx})\n"
+                ),
+                annotated: None,
+                modified: None,
+                num_ops: 1,
+            }
+        }
+        // A5 — dot product with the §2.1 length guard.
+        _ => Site {
+            id,
+            pattern: "guarded-dot-prod",
+            expected: Class::Auto,
+            plain: format!(
+                "(: dot{id} : [A : (Vecof Int)] [B : (Vecof Int)] -> Int)\n\
+                 (define (dot{id} A B)\n\
+                 \x20 (begin\n\
+                 \x20   (unless (= (len A) (len B))\n\
+                 \x20     (error \"invalid vector lengths!\"))\n\
+                 \x20   (for/sum ([i (in-range (len A))])\n\
+                 \x20     (* (safe-vec-ref A i) (safe-vec-ref B i)))))\n"
+            ),
+            annotated: None,
+            modified: None,
+            num_ops: 2,
+        },
+    }
+}
+
+fn annotation_site<R: Rng>(rng: &mut R, id: usize) -> Site {
+    match rng.gen_range(0..2u8) {
+        // N1 — the §5.1 recursive loop: `Nat` lacks the upper bound.
+        0 => {
+            let plain = format!(
+                "(: prod{id} : [ds : (Vecof Int)] -> Int)\n\
+                 (define (prod{id} ds)\n\
+                 \x20 (let loop : Int ([i : Nat (len ds)] [res : Int 1])\n\
+                 \x20   (cond\n\
+                 \x20     [(zero? i) res]\n\
+                 \x20     [else (loop (- i 1) (* res (safe-vec-ref ds (- i 1))))])))\n"
+            );
+            let annotated = plain.replace(
+                "[i : Nat (len ds)]",
+                "[i : (Refine [i : Int] (<= 0 i (len ds))) (len ds)]",
+            );
+            Site {
+                id,
+                pattern: "recursive-loop-nat",
+                expected: Class::Annotation,
+                plain,
+                annotated: Some(annotated),
+                modified: None,
+                num_ops: 1,
+            }
+        }
+        // N2 — a helper whose index parameter needs the refined type.
+        _ => {
+            let plain = format!(
+                "(: pick{id} : [v : (Vecof Int)] [i : Nat] -> Int)\n\
+                 (define (pick{id} v i) (safe-vec-ref v i))\n"
+            );
+            let annotated = format!(
+                "(: pick{id} : [v : (Vecof Int)] \
+                 [i : (Refine [i : Int] (and (<= 0 i) (< i (len v))))] -> Int)\n\
+                 (define (pick{id} v i) (safe-vec-ref v i))\n"
+            );
+            Site {
+                id,
+                pattern: "helper-index-param",
+                expected: Class::Annotation,
+                plain,
+                annotated: Some(annotated),
+                modified: None,
+                num_ops: 1,
+            }
+        }
+    }
+}
+
+fn modification_site<R: Rng>(rng: &mut R, id: usize) -> Site {
+    match rng.gen_range(0..3u8) {
+        // M1 — vec-swap! (§5.1): guards added around the four operations.
+        0 => {
+            let plain = format!(
+                "(: swap{id} : [vs : (Vecof Int)] [i : Int] [j : Int] -> Unit)\n\
+                 (define (swap{id} vs i j)\n\
+                 \x20 (unless (= i j)\n\
+                 \x20   (let ([i-val (safe-vec-ref vs i)]\n\
+                 \x20         [j-val (safe-vec-ref vs j)])\n\
+                 \x20     (begin\n\
+                 \x20       (safe-vec-set! vs i j-val)\n\
+                 \x20       (safe-vec-set! vs j i-val)))))\n"
+            );
+            let modified = format!(
+                "(: swap{id} : [vs : (Vecof Int)] [i : Int] [j : Int] -> Unit)\n\
+                 (define (swap{id} vs i j)\n\
+                 \x20 (unless (= i j)\n\
+                 \x20   (cond\n\
+                 \x20     [(and (< -1 i (len vs))\n\
+                 \x20           (< -1 j (len vs)))\n\
+                 \x20      (let ([i-val (safe-vec-ref vs i)]\n\
+                 \x20            [j-val (safe-vec-ref vs j)])\n\
+                 \x20        (begin\n\
+                 \x20          (safe-vec-set! vs i j-val)\n\
+                 \x20          (safe-vec-set! vs j i-val)))]\n\
+                 \x20     [else (error \"bad index(s)!\")])))\n"
+            );
+            Site {
+                id,
+                pattern: "vec-swap",
+                expected: Class::Modification,
+                plain,
+                annotated: None,
+                modified: Some(modified),
+                num_ops: 4,
+            }
+        }
+        // M2 — arithmetic on the index; a dynamic check makes it safe.
+        1 => {
+            let off = rng.gen_range(1..=3i64);
+            let plain = format!(
+                "(: shift{id} : [v : (Vecof Int)] [i : Int] -> Int)\n\
+                 (define (shift{id} v i) (safe-vec-ref v (+ i {off})))\n"
+            );
+            let modified = format!(
+                "(: shift{id} : [v : (Vecof Int)] [i : Int] -> Int)\n\
+                 (define (shift{id} v i)\n\
+                 \x20 (let ([j (+ i {off})])\n\
+                 \x20   (if (and (<= 0 j) (< j (len v)))\n\
+                 \x20       (safe-vec-ref v j)\n\
+                 \x20       (error \"bad index\"))))\n"
+            );
+            Site {
+                id,
+                pattern: "index-arith",
+                expected: Class::Modification,
+                plain,
+                annotated: None,
+                modified: Some(modified),
+                num_ops: 1,
+            }
+        }
+        // M3 — dot product missing the length guard; add it (§2.1's
+        // middle ground).
+        _ => {
+            let plain = format!(
+                "(: dotm{id} : [A : (Vecof Int)] [B : (Vecof Int)] -> Int)\n\
+                 (define (dotm{id} A B)\n\
+                 \x20 (for/sum ([i (in-range (len A))])\n\
+                 \x20   (* (safe-vec-ref A i) (safe-vec-ref B i))))\n"
+            );
+            let modified = format!(
+                "(: dotm{id} : [A : (Vecof Int)] [B : (Vecof Int)] -> Int)\n\
+                 (define (dotm{id} A B)\n\
+                 \x20 (begin\n\
+                 \x20   (unless (= (len A) (len B))\n\
+                 \x20     (error \"invalid vector lengths!\"))\n\
+                 \x20   (for/sum ([i (in-range (len A))])\n\
+                 \x20     (* (safe-vec-ref A i) (safe-vec-ref B i)))))\n"
+            );
+            Site {
+                id,
+                pattern: "unguarded-dot-prod",
+                expected: Class::Modification,
+                plain,
+                annotated: None,
+                modified: Some(modified),
+                num_ops: 2,
+            }
+        }
+    }
+}
+
+fn beyond_scope_site<R: Rng>(rng: &mut R, id: usize) -> Site {
+    match rng.gen_range(0..2u8) {
+        // B1 — the index flows through an opaque higher-order function
+        // (the paper's `(apply max (map len dss))` analogue).
+        0 => Site {
+            id,
+            pattern: "higher-order-index",
+            expected: Class::BeyondScope,
+            plain: format!(
+                "(: ho{id} : [v : (Vecof Int)] [f : ([x : Int] -> Int)] [i : Int] -> Int)\n\
+                 (define (ho{id} v f i) (safe-vec-ref v (f i)))\n"
+            ),
+            annotated: None,
+            modified: None,
+            num_ops: 1,
+        },
+        // B2 — non-linear index arithmetic: outside the linear theory
+        // even with a guard (the product has no symbolic object).
+        _ => Site {
+            id,
+            pattern: "nonlinear-index",
+            expected: Class::BeyondScope,
+            plain: format!(
+                "(: sq{id} : [v : (Vecof Int)] [i : Int] -> Int)\n\
+                 (define (sq{id} v i)\n\
+                 \x20 (if (and (<= 0 (* i i)) (< (* i i) (len v)))\n\
+                 \x20     (safe-vec-ref v (* i i))\n\
+                 \x20     0))\n"
+            ),
+            annotated: None,
+            modified: None,
+            num_ops: 1,
+        },
+    }
+}
+
+fn unimplemented_site<R: Rng>(rng: &mut R, id: usize) -> Site {
+    // The un-enriched `quotient` primitive (§5.1 "unimplemented
+    // features"): division by a constant *is* linearizable, but the base
+    // environment does not teach the solver about it, so the guard on the
+    // raw quotient expression carries no information. (Guards on a
+    // let-bound result would work — these sites test the raw expression,
+    // as the original code did.)
+    let d = rng.gen_range(2..=4);
+    Site {
+        id,
+        pattern: "unenriched-quotient",
+        expected: Class::Unimplemented,
+        plain: format!(
+            "(: half{id} : [v : (Vecof Int)] [i : Int] -> Int)\n\
+             (define (half{id} v i)\n\
+             \x20 (if (and (<= 0 (quotient i {d})) (< (quotient i {d}) (len v)))\n\
+             \x20     (safe-vec-ref v (quotient i {d}))\n\
+             \x20     0))\n"
+        ),
+        annotated: None,
+        modified: None,
+        num_ops: 1,
+    }
+}
+
+fn unsafe_site<R: Rng>(_rng: &mut R, id: usize) -> Site {
+    // §4.2's mutable cache-size bug: a test on a mutable variable guards
+    // the access; a concurrent shrink invalidates it. Must NOT verify.
+    Site {
+        id,
+        pattern: "mutable-cache",
+        expected: Class::Unsafe,
+        plain: format!(
+            "(: cache{id} : [data : (Vecof Int)] -> Int)\n\
+             (define (cache{id} data)\n\
+             \x20 (let ([cache-size 0])\n\
+             \x20   (begin\n\
+             \x20     (set! cache-size (len data))\n\
+             \x20     (if (< 0 cache-size)\n\
+             \x20         (safe-vec-ref data (- cache-size 1))\n\
+             \x20         0))))\n"
+        ),
+        annotated: None,
+        modified: None,
+        num_ops: 1,
+    }
+}
+
+/// A filler (non-vector) definition, used to make generated libraries'
+/// line counts match the paper's corpus statistics.
+pub fn filler_def<R: Rng>(rng: &mut R, id: usize) -> String {
+    match rng.gen_range(0..3u8) {
+        0 => {
+            let a = rng.gen_range(1..=9);
+            let b = rng.gen_range(-9..=9);
+            format!(
+                "(: util{id} : [x : Int] [y : Int] -> Int)\n\
+                 (define (util{id} x y)\n\
+                 \x20 (+ (* {a} x) (- y {b})))\n"
+            )
+        }
+        1 => format!(
+            "(: clamp{id} : [x : Int] [lo : Int] [hi : Int] -> Int)\n\
+             (define (clamp{id} x lo hi)\n\
+             \x20 (cond [(< x lo) lo]\n\
+             \x20       [(> x hi) hi]\n\
+             \x20       [else x]))\n"
+        ),
+        _ => format!(
+            "(: both{id} : [p : (Pairof Int Int)] -> Int)\n\
+             (define (both{id} p)\n\
+             \x20 (+ (fst p) (snd p)))\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rtr_core::check::Checker;
+    use rtr_lang::check_source;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Every template must land in its designed class when run through the
+    /// paper's staged methodology.
+    #[test]
+    fn templates_classify_as_designed() {
+        let checker = Checker::default();
+        let mut r = rng();
+        for class in [
+            Class::Auto,
+            Class::Annotation,
+            Class::Modification,
+            Class::BeyondScope,
+            Class::Unimplemented,
+            Class::Unsafe,
+        ] {
+            for k in 0..12 {
+                let site = build_site(&mut r, class, k);
+                let plain_ok = check_source(&site.plain, &checker).is_ok();
+                match class {
+                    Class::Auto => assert!(
+                        plain_ok,
+                        "auto template {} failed:\n{}",
+                        site.pattern, site.plain
+                    ),
+                    Class::Annotation => {
+                        assert!(!plain_ok, "{} verified plain", site.pattern);
+                        let ann = site.annotated.as_ref().expect("annotation variant");
+                        assert!(
+                            check_source(ann, &checker).is_ok(),
+                            "annotated {} failed:\n{ann}",
+                            site.pattern
+                        );
+                    }
+                    Class::Modification => {
+                        assert!(!plain_ok, "{} verified plain", site.pattern);
+                        let m = site.modified.as_ref().expect("modified variant");
+                        assert!(
+                            check_source(m, &checker).is_ok(),
+                            "modified {} failed:\n{m}",
+                            site.pattern
+                        );
+                    }
+                    Class::BeyondScope | Class::Unimplemented | Class::Unsafe => {
+                        assert!(!plain_ok, "{} should not verify", site.pattern);
+                        assert!(site.annotated.is_none() && site.modified.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fillers_always_check() {
+        let checker = Checker::default();
+        let mut r = rng();
+        for k in 0..20 {
+            let src = filler_def(&mut r, k);
+            assert!(check_source(&src, &checker).is_ok(), "filler failed:\n{src}");
+        }
+    }
+}

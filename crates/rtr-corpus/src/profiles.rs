@@ -1,0 +1,189 @@
+//! Library profiles: the corpus statistics and verifiability mixes the
+//! paper reports for `math`, `plot` and `pict3d` (§5, Fig. 9).
+
+use crate::patterns::Class;
+
+/// The published statistics of one library in the case study.
+#[derive(Clone, Debug)]
+pub struct LibraryProfile {
+    /// Library name.
+    pub name: &'static str,
+    /// Lines of code the paper reports.
+    pub paper_loc: usize,
+    /// Unique vector operations the paper reports.
+    pub paper_ops: usize,
+    /// Fraction of operations per verifiability class, as read off
+    /// Figure 9 and §5.1 (fractions of *all* ops; they sum to 1).
+    pub mix: Vec<(Class, f64)>,
+    /// The paper's Fig. 9 bar values `(auto, annotations, modifications)`
+    /// in percent, used as the reference column in reports.
+    pub paper_bars: (f64, f64, f64),
+}
+
+/// The three libraries of the case study.
+pub fn libraries() -> Vec<LibraryProfile> {
+    vec![
+        // plot: "unusually high automatic success rate … pattern matching
+        // on vectors and loops using a vector's length as an explicit
+        // bound were extremely common" (§5). Fig. 9: 74% auto + 6% after
+        // code modifications.
+        LibraryProfile {
+            name: "plot",
+            paper_loc: 14_987,
+            paper_ops: 655,
+            mix: vec![
+                (Class::Auto, 0.74),
+                (Class::Modification, 0.06),
+                (Class::BeyondScope, 0.14),
+                (Class::Unimplemented, 0.06),
+            ],
+            paper_bars: (74.0, 0.0, 6.0),
+        },
+        // pict3d: 13% auto + 33% after code modifications (Fig. 9).
+        LibraryProfile {
+            name: "pict3d",
+            paper_loc: 19_345,
+            paper_ops: 129,
+            mix: vec![
+                (Class::Auto, 0.13),
+                (Class::Modification, 0.33),
+                (Class::BeyondScope, 0.40),
+                (Class::Unimplemented, 0.14),
+            ],
+            paper_bars: (13.0, 0.0, 33.0),
+        },
+        // math (§5.1 in-depth): 25% auto, +34% annotations, +13% code
+        // modified, 22% beyond scope, 6% unimplemented, 2 unsafe ops.
+        LibraryProfile {
+            name: "math",
+            paper_loc: 22_503,
+            paper_ops: 301,
+            mix: vec![
+                (Class::Auto, 0.25),
+                (Class::Annotation, 0.34),
+                (Class::Modification, 0.13),
+                (Class::BeyondScope, 0.213), // 22% minus the 2 unsafe ops
+                (Class::Unimplemented, 0.06),
+                (Class::Unsafe, 0.007), // the 2 ops found and patched
+            ],
+            paper_bars: (25.0, 34.0, 13.0),
+        },
+    ]
+}
+
+/// Converts a mix into integer per-class counts summing to `total`,
+/// largest-remainder rounding.
+pub fn class_counts(profile: &LibraryProfile, total: usize) -> Vec<(Class, usize)> {
+    let mut out: Vec<(Class, usize, f64)> = profile
+        .mix
+        .iter()
+        .map(|&(c, f)| {
+            let exact = f * total as f64;
+            (c, exact.floor() as usize, exact - exact.floor())
+        })
+        .collect();
+    let assigned: usize = out.iter().map(|(_, n, _)| n).sum();
+    let mut remainder = total.saturating_sub(assigned);
+    // Give leftover ops to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..out.len()).collect();
+    order.sort_by(|&a, &b| out[b].2.partial_cmp(&out[a].2).expect("finite"));
+    for i in order {
+        if remainder == 0 {
+            break;
+        }
+        out[i].1 += 1;
+        remainder -= 1;
+    }
+    // The math library's two unsafe ops are an exact count in the paper.
+    if profile.name == "math" {
+        ensure_exact(&mut out, Class::Unsafe, 2);
+    }
+    out.into_iter().map(|(c, n, _)| (c, n)).collect()
+}
+
+fn ensure_exact(out: &mut [(Class, usize, f64)], class: Class, want: usize) {
+    let Some(pos) = out.iter().position(|(c, _, _)| *c == class) else { return };
+    let have = out[pos].1;
+    if have == want {
+        return;
+    }
+    // Borrow from / donate to the largest other bucket.
+    let donor = (0..out.len())
+        .filter(|&i| i != pos)
+        .max_by_key(|&i| out[i].1)
+        .expect("at least two classes");
+    if have < want {
+        let need = want - have;
+        out[donor].1 = out[donor].1.saturating_sub(need);
+        out[pos].1 = want;
+    } else {
+        out[donor].1 += have - want;
+        out[pos].1 = want;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_statistics_match() {
+        let libs = libraries();
+        assert_eq!(libs.len(), 3);
+        let total_loc: usize = libs.iter().map(|l| l.paper_loc).sum();
+        assert!(total_loc > 56_000, "the paper reports >56k lines, got {total_loc}");
+        let total_ops: usize = libs.iter().map(|l| l.paper_ops).sum();
+        assert_eq!(total_ops, 1085);
+    }
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for lib in libraries() {
+            let s: f64 = lib.mix.iter().map(|(_, f)| f).sum();
+            assert!((s - 1.0).abs() < 1e-6, "{}: mix sums to {s}", lib.name);
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_totals() {
+        for lib in libraries() {
+            let counts = class_counts(&lib, lib.paper_ops);
+            let total: usize = counts.iter().map(|(_, n)| n).sum();
+            assert_eq!(total, lib.paper_ops, "{}", lib.name);
+        }
+    }
+
+    #[test]
+    fn math_has_exactly_two_unsafe_ops() {
+        let libs = libraries();
+        let math = libs.iter().find(|l| l.name == "math").expect("math");
+        let counts = class_counts(math, math.paper_ops);
+        let unsafe_n = counts
+            .iter()
+            .find(|(c, _)| *c == Class::Unsafe)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert_eq!(unsafe_n, 2);
+    }
+
+    #[test]
+    fn aggregate_auto_rate_is_about_half() {
+        // §5: "approximately 50% of the vector accesses are provably safe
+        // with no code changes".
+        let libs = libraries();
+        let auto: f64 = libs
+            .iter()
+            .map(|l| {
+                l.paper_ops as f64
+                    * l.mix
+                        .iter()
+                        .find(|(c, _)| *c == Class::Auto)
+                        .map(|(_, f)| *f)
+                        .unwrap_or(0.0)
+            })
+            .sum();
+        let total: f64 = libs.iter().map(|l| l.paper_ops as f64).sum();
+        let rate = auto / total;
+        assert!((0.48..0.58).contains(&rate), "aggregate auto rate {rate}");
+    }
+}

@@ -1,0 +1,133 @@
+//! The base environment: surface names for the enriched primitives.
+//!
+//! This is the surface counterpart of the paper's base-type-environment
+//! enrichment (§5: "modifying the type of 36 functions … 7 vector
+//! operations, 16 arithmetic operations, 12 fixnum operations, and
+//! `equal?`"). Racket-style aliases (`vector-ref`, `vector-length`, the
+//! AES example's `AND`/`XOR`) map onto the same primitives.
+
+use rtr_core::syntax::Prim;
+
+/// Looks up a surface identifier in the base environment.
+pub fn lookup_prim(name: &str) -> Option<Prim> {
+    Some(match name {
+        "int?" | "integer?" | "exact-integer?" | "fixnum?" => Prim::IsInt,
+        "bool?" | "boolean?" => Prim::IsBool,
+        "pair?" | "cons?" => Prim::IsPair,
+        "vec?" | "vector?" => Prim::IsVec,
+        "proc?" | "procedure?" => Prim::IsProc,
+        "bv?" | "bitvector?" => Prim::IsBv,
+        "not" | "false?" => Prim::Not,
+        "zero?" => Prim::IsZero,
+        "even?" => Prim::IsEven,
+        "odd?" => Prim::IsOdd,
+        "add1" | "fx+1" => Prim::Add1,
+        "sub1" | "fx-1" => Prim::Sub1,
+        "+" | "fx+" => Prim::Plus,
+        "-" | "fx-" => Prim::Minus,
+        "*" | "fx*" => Prim::Times,
+        "quotient" | "div" | "fxquotient" => Prim::Quotient,
+        "remainder" | "modulo" | "mod" | "fxremainder" => Prim::Remainder,
+        "<" | "fx<" => Prim::Lt,
+        "<=" | "fx<=" | "≤" => Prim::Le,
+        ">" | "fx>" => Prim::Gt,
+        ">=" | "fx>=" | "≥" => Prim::Ge,
+        "=" | "fx=" => Prim::NumEq,
+        "equal?" | "eqv?" => Prim::Equal,
+        "len" | "vector-length" | "vec-length" => Prim::Len,
+        "vec-ref" | "vector-ref" => Prim::VecRef,
+        "unsafe-vec-ref" | "unsafe-vector-ref" => Prim::UnsafeVecRef,
+        "safe-vec-ref" | "safe-vector-ref" => Prim::SafeVecRef,
+        "vec-set!" | "vector-set!" => Prim::VecSet,
+        "unsafe-vec-set!" | "unsafe-vector-set!" => Prim::UnsafeVecSet,
+        "safe-vec-set!" | "safe-vector-set!" => Prim::SafeVecSet,
+        "make-vec" | "make-vector" => Prim::MakeVec,
+        "string?" => Prim::IsStr,
+        "string-length" => Prim::StrLen,
+        "string=?" => Prim::StrEq,
+        "regexp-match?" => Prim::StrMatch,
+        "bvand" | "AND" => Prim::BvAnd,
+        "bvor" | "OR" | "IOR" => Prim::BvOr,
+        "bvxor" | "XOR" => Prim::BvXor,
+        "bvnot" | "NOT" => Prim::BvNot,
+        "bvadd" | "bv+" => Prim::BvAdd,
+        "bvsub" | "bv-" => Prim::BvSub,
+        "bvmul" | "bv*" => Prim::BvMul,
+        "bv=" => Prim::BvEq,
+        "bv<=" => Prim::BvUle,
+        "bv<" => Prim::BvUlt,
+        _ => return None,
+    })
+}
+
+/// Is this name reserved syntax (not available as a variable)?
+pub fn is_reserved(name: &str) -> bool {
+    matches!(
+        name,
+        "define"
+            | "lambda"
+            | "λ"
+            | "let"
+            | "let*"
+            | "letrec"
+            | "if"
+            | "cond"
+            | "else"
+            | "and"
+            | "or"
+            | "when"
+            | "unless"
+            | "begin"
+            | "set!"
+            | "ann"
+            | "error"
+            | "cons"
+            | "fst"
+            | "snd"
+            | "car"
+            | "cdr"
+            | "vec"
+            | "vector"
+            | "for/sum"
+            | "in-range"
+            | ":"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_resolve() {
+        assert_eq!(lookup_prim("int?"), Some(Prim::IsInt));
+        assert_eq!(lookup_prim("vector-ref"), Some(Prim::VecRef));
+        assert_eq!(lookup_prim("safe-vec-ref"), Some(Prim::SafeVecRef));
+        assert_eq!(lookup_prim("XOR"), Some(Prim::BvXor));
+        assert_eq!(lookup_prim("nonsense"), None);
+    }
+
+    #[test]
+    fn every_prim_is_reachable_from_the_surface() {
+        use std::collections::HashSet;
+        let mut reached = HashSet::new();
+        for name in [
+            "int?", "bool?", "pair?", "vec?", "proc?", "bv?", "not", "zero?", "even?", "odd?",
+            "add1", "sub1", "+", "-", "*", "quotient", "remainder", "<", "<=", ">", ">=", "=", "equal?", "len",
+            "vec-ref", "unsafe-vec-ref", "safe-vec-ref", "vec-set!", "unsafe-vec-set!",
+            "safe-vec-set!", "make-vec", "string?", "string-length", "string=?",
+            "regexp-match?", "bvand", "bvor", "bvxor", "bvnot", "bvadd",
+            "bvsub", "bvmul", "bv=", "bv<=", "bv<",
+        ] {
+            reached.insert(lookup_prim(name).expect(name));
+        }
+        assert_eq!(reached.len(), Prim::all().len());
+    }
+
+    #[test]
+    fn reserved_words() {
+        assert!(is_reserved("define"));
+        assert!(is_reserved("for/sum"));
+        assert!(!is_reserved("max"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Derived-form expansion, including the `for/sum` → `letrec` expansion
+//! of §4.4 with its index-annotation heuristic.
+//!
+//! Typed Racket type checks *after* macro expansion, so the checker never
+//! sees `for/sum` — it sees the recursive loop the macro leaves behind.
+//! We reproduce that pipeline: `for/sum` elaborates into exactly the
+//! paper's `letrec` skeleton, and the loop parameter's type is chosen by
+//! the §4.4 heuristic — `Nat` when the iteration variable (directly or
+//! through an alias) indexes a vector in the body, `Int` otherwise. As in
+//! the paper, the heuristic succeeds for forward iteration and fails for
+//! reverse iteration (`(in-range e 0 -1)`), whose final index value
+//! would be -1.
+
+use rtr_core::syntax::{Expr, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
+
+use crate::elab::{err, ElabError, Elaborator};
+use crate::sexp::{Pos, Sexp};
+
+/// `(and e …)` as nested conditionals.
+pub fn and_form(mut es: Vec<Expr>) -> Expr {
+    match es.len() {
+        0 => Expr::Bool(true),
+        1 => es.pop().expect("len checked"),
+        _ => {
+            let first = es.remove(0);
+            Expr::if_(first, and_form(es), Expr::Bool(false))
+        }
+    }
+}
+
+/// `(or e …)` as let-bound conditionals (the binding keeps the tested
+/// value for the result position, as Racket's `or` does).
+pub fn or_form(mut es: Vec<Expr>) -> Expr {
+    match es.len() {
+        0 => Expr::Bool(false),
+        1 => es.pop().expect("len checked"),
+        _ => {
+            let first = es.remove(0);
+            let t = Symbol::fresh("or");
+            Expr::let_(t, first, Expr::if_(Expr::Var(t), Expr::Var(t), or_form(es)))
+        }
+    }
+}
+
+/// `(begin e … last)` as a `let` chain, so the occurrence information of
+/// each statement (e.g. an `unless` guard) scopes over the rest.
+pub fn begin_form(mut es: Vec<Expr>) -> Expr {
+    match es.len() {
+        0 => Expr::Begin(vec![]),
+        1 => es.pop().expect("len checked"),
+        _ => {
+            let first = es.remove(0);
+            Expr::let_(Symbol::fresh("ignored"), first, begin_form(es))
+        }
+    }
+}
+
+/// Variadic comparison `(< a b c …)`: each operand is let-bound once,
+/// then adjacent pairs are conjoined with `and`.
+pub fn cmp_chain(op: &str, args: Vec<Expr>) -> Expr {
+    let prim = match op {
+        "<" => Prim::Lt,
+        "<=" => Prim::Le,
+        ">" => Prim::Gt,
+        ">=" => Prim::Ge,
+        _ => Prim::NumEq,
+    };
+    let names: Vec<Symbol> = (0..args.len()).map(|_| Symbol::fresh("cmp")).collect();
+    let mut body = and_form(
+        names
+            .windows(2)
+            .map(|w| Expr::prim_app(prim, vec![Expr::Var(w[0]), Expr::Var(w[1])]))
+            .collect(),
+    );
+    for (x, e) in names.into_iter().zip(args).rev() {
+        body = Expr::let_(x, e, body);
+    }
+    body
+}
+
+/// Named `let`: `(let loop : R ([x : T e] …) body …)` → an annotated
+/// `letrec` applied to the initial values.
+pub fn named_let(
+    elab: &mut Elaborator,
+    name: &str,
+    rest: &[Sexp],
+    pos: Pos,
+) -> Result<Expr, ElabError> {
+    let [colon, range, bindings, body @ ..] = rest else {
+        return err(pos, "(let loop : R ([x : T e] …) body …)");
+    };
+    if colon.as_symbol() != Some(":") {
+        return err(colon.pos(), "named let needs a `: R` range annotation");
+    }
+    let range_ty = elab.ty(range)?;
+    let Some(binds) = bindings.as_list() else {
+        return err(bindings.pos(), "named let expects a binding list");
+    };
+    let mut params = Vec::new();
+    let mut inits = Vec::new();
+    for b in binds {
+        let Some([x, colon, t, e]) = b.as_list().filter(|l| l.len() == 4).map(|l| {
+            [&l[0], &l[1], &l[2], &l[3]]
+        }) else {
+            return err(b.pos(), "named-let binding must be [x : T e]");
+        };
+        if colon.as_symbol() != Some(":") {
+            return err(b.pos(), "named-let binding must be [x : T e]");
+        }
+        let Some(param) = x.as_symbol() else {
+            return err(x.pos(), "binding name must be a symbol");
+        };
+        params.push((Symbol::intern(param), elab.ty(t)?));
+        inits.push(elab.expr(e)?);
+    }
+    if body.is_empty() {
+        return err(pos, "named let needs a body");
+    }
+    let loop_sym = Symbol::intern(name);
+    let fun_ty = Ty::fun(params.clone(), TyResult::of_type(range_ty));
+    let body = begin_form(elab.exprs(body)?);
+    Ok(Expr::LetRec(
+        loop_sym,
+        fun_ty,
+        std::sync::Arc::new(Lambda { params, body }),
+        Box::new(Expr::app(Expr::Var(loop_sym), inits)),
+    ))
+}
+
+/// The §4.4 heuristic: does the loop variable (or a single-`let` alias of
+/// it) appear as the index argument of a vector access in the body?
+fn used_as_index(body: &[Sexp], var: &str) -> bool {
+    fn scan(s: &Sexp, names: &mut Vec<String>) -> bool {
+        let Some(items) = s.as_list() else { return false };
+        let head = items.first().and_then(Sexp::as_symbol).unwrap_or("");
+        if matches!(
+            head,
+            "vec-ref"
+                | "vector-ref"
+                | "safe-vec-ref"
+                | "safe-vector-ref"
+                | "unsafe-vec-ref"
+                | "unsafe-vector-ref"
+                | "vec-set!"
+                | "vector-set!"
+                | "safe-vec-set!"
+                | "unsafe-vec-set!"
+        ) {
+            if let Some(idx) = items.get(2) {
+                if let Some(name) = idx.as_symbol() {
+                    if names.iter().any(|n| n == name) {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Track single-level aliases: (let ([i pos]) …) / (define i pos).
+        if head == "let" || head == "let*" {
+            if let Some(binds) = items.get(1).and_then(Sexp::as_list) {
+                for b in binds {
+                    if let Some([x, e]) = b.as_list().filter(|l| l.len() == 2).map(|l| [&l[0], &l[1]]) {
+                        if let (Some(x), Some(e)) = (x.as_symbol(), e.as_symbol()) {
+                            if names.iter().any(|n| n == e) {
+                                names.push(x.to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        items.iter().any(|i| scan(i, names))
+    }
+    let mut names = vec![var.to_owned()];
+    body.iter().any(|s| scan(s, &mut names))
+}
+
+/// `(for/sum ([i (in-range …)]) body …)` — the paper's §4.4 expansion:
+///
+/// ```racket
+/// (letrec ([loop (λ (pos acc)
+///                  (cond [(< pos end)
+///                         (define i pos)
+///                         (loop (+ step pos) (+ acc BODY))]
+///                        [else acc]))])
+///   (loop start 0))
+/// ```
+///
+/// The loop parameter `pos` gets type `Nat` when the §4.4 heuristic fires
+/// (the variable indexes a vector), `Int` otherwise.
+pub fn for_sum(elab: &mut Elaborator, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
+    let [clauses, body @ ..] = rest else {
+        return err(pos, "(for/sum ([i (in-range …)]) body …)");
+    };
+    let Some([clause]) = clauses.as_list().filter(|l| l.len() == 1) else {
+        return err(clauses.pos(), "for/sum supports exactly one iteration clause");
+    };
+    let Some([ivar, range]) = clause.as_list().filter(|l| l.len() == 2).map(|l| [&l[0], &l[1]])
+    else {
+        return err(clause.pos(), "iteration clause must be [i (in-range …)]");
+    };
+    let Some(iname) = ivar.as_symbol() else {
+        return err(ivar.pos(), "iteration variable must be a symbol");
+    };
+    let Some(range_items) = range.as_list() else {
+        return err(range.pos(), "expected (in-range …)");
+    };
+    if range_items.first().and_then(Sexp::as_symbol) != Some("in-range") {
+        return err(range.pos(), "expected (in-range …)");
+    }
+    // (in-range end) | (in-range start end) | (in-range start end step)
+    let (start_e, end_e, step): (Expr, Expr, i64) = match &range_items[1..] {
+        [end] => (Expr::Int(0), elab.expr(end)?, 1),
+        [start, end] => (elab.expr(start)?, elab.expr(end)?, 1),
+        [start, end, Sexp::Int(step, _)] if *step != 0 => {
+            (elab.expr(start)?, elab.expr(end)?, *step)
+        }
+        _ => return err(range.pos(), "(in-range start end [non-zero literal step])"),
+    };
+    if body.is_empty() {
+        return err(pos, "for/sum needs a body");
+    }
+
+    // §4.4 heuristic for the loop parameter's annotation.
+    let pos_ty = if used_as_index(body, iname) {
+        let n = Symbol::fresh("nat");
+        Ty::refine(n, Ty::Int, Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(n)))
+    } else {
+        Ty::Int
+    };
+
+    let loop_sym = Symbol::fresh("loop");
+    let pos_sym = Symbol::fresh("pos");
+    let acc_sym = Symbol::fresh("acc");
+    let start_sym = Symbol::fresh("start");
+    let end_sym = Symbol::fresh("end");
+    let i_sym = Symbol::intern(iname);
+
+    let body = begin_form(elab.exprs(body)?);
+    // Reverse iteration visits start-1 … end (the paper's reading of
+    // (in-range e 0 -1): "i steps from (sub1 (len A)) to 0").
+    let (test, next, first) = if step > 0 {
+        (
+            Expr::prim_app(Prim::Lt, vec![Expr::Var(pos_sym), Expr::Var(end_sym)]),
+            Expr::prim_app(Prim::Plus, vec![Expr::Var(pos_sym), Expr::Int(step)]),
+            Expr::Var(start_sym),
+        )
+    } else {
+        (
+            Expr::prim_app(Prim::Ge, vec![Expr::Var(pos_sym), Expr::Var(end_sym)]),
+            Expr::prim_app(Prim::Plus, vec![Expr::Var(pos_sym), Expr::Int(step)]),
+            Expr::prim_app(Prim::Sub1, vec![Expr::Var(start_sym)]),
+        )
+    };
+
+    let loop_body = Expr::if_(
+        test,
+        Expr::let_(
+            i_sym,
+            Expr::Var(pos_sym),
+            Expr::app(
+                Expr::Var(loop_sym),
+                vec![
+                    next,
+                    Expr::prim_app(Prim::Plus, vec![Expr::Var(acc_sym), body]),
+                ],
+            ),
+        ),
+        Expr::Var(acc_sym),
+    );
+    let fun_ty = Ty::fun(
+        vec![(pos_sym, pos_ty.clone()), (acc_sym, Ty::Int)],
+        TyResult::of_type(Ty::Int),
+    );
+    Ok(Expr::let_(
+        start_sym,
+        start_e,
+        Expr::let_(
+            end_sym,
+            end_e,
+            Expr::LetRec(
+                loop_sym,
+                fun_ty,
+                std::sync::Arc::new(Lambda {
+                    params: vec![(pos_sym, pos_ty), (acc_sym, Ty::Int)],
+                    body: loop_body,
+                }),
+                Box::new(Expr::app(Expr::Var(loop_sym), vec![first, Expr::Int(0)])),
+            ),
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexp::read_one;
+
+    #[test]
+    fn and_or_base_cases() {
+        assert_eq!(and_form(vec![]), Expr::Bool(true));
+        assert_eq!(or_form(vec![]), Expr::Bool(false));
+        assert_eq!(and_form(vec![Expr::Int(1)]), Expr::Int(1));
+    }
+
+    #[test]
+    fn begin_chains_lets() {
+        let e = begin_form(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]);
+        let Expr::Let(_, _, rest) = e else { panic!("let expected") };
+        assert!(matches!(*rest, Expr::Let(..)));
+    }
+
+    #[test]
+    fn index_heuristic_direct_and_aliased() {
+        let body = [read_one("(vec-ref A i)").unwrap()];
+        assert!(used_as_index(&body, "i"));
+        let body = [read_one("(let ([j i]) (safe-vec-ref A j))").unwrap()];
+        assert!(used_as_index(&body, "i"));
+        let body = [read_one("(+ i 1)").unwrap()];
+        assert!(!used_as_index(&body, "i"));
+        let body = [read_one("(vec-ref A k)").unwrap()];
+        assert!(!used_as_index(&body, "i"));
+    }
+
+    #[test]
+    fn for_sum_produces_letrec() {
+        let mut elab = Elaborator::new();
+        let sexp = read_one("(for/sum ([i (in-range (len A))]) (vec-ref A i))").unwrap();
+        let items = sexp.as_list().unwrap();
+        let e = for_sum(&mut elab, &items[1..], sexp.pos()).unwrap();
+        // let start, let end, letrec loop …
+        let Expr::Let(_, _, rest) = e else { panic!("expected let") };
+        let Expr::Let(_, _, rest) = *rest else { panic!("expected let") };
+        let Expr::LetRec(_, fun_ty, lam, _) = *rest else { panic!("expected letrec") };
+        // Heuristic fired: pos parameter is Nat (a refinement).
+        assert!(matches!(lam.params[0].1, Ty::Refine(_)));
+        assert!(matches!(fun_ty, Ty::Fun(_)));
+    }
+
+    #[test]
+    fn for_sum_without_index_use_keeps_int() {
+        let mut elab = Elaborator::new();
+        let sexp = read_one("(for/sum ([i (in-range 10)]) i)").unwrap();
+        let items = sexp.as_list().unwrap();
+        let e = for_sum(&mut elab, &items[1..], sexp.pos()).unwrap();
+        let Expr::Let(_, _, rest) = e else { panic!() };
+        let Expr::Let(_, _, rest) = *rest else { panic!() };
+        let Expr::LetRec(_, _, lam, _) = *rest else { panic!() };
+        assert_eq!(lam.params[0].1, Ty::Int);
+    }
+}

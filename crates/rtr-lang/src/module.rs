@@ -1,0 +1,297 @@
+//! Module-level elaboration: signatures, definitions, and the program
+//! driver (`check_source` / `run_source`).
+//!
+//! A module is a sequence of forms:
+//!
+//! ```racket
+//! (: max : [x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])
+//! (define (max x y) (if (> x y) x y))
+//! (max 3 4)
+//! ```
+//!
+//! Signatures attach to the next `define` of the same name; annotated
+//! functions elaborate to `letrec` (so they may recur), unannotated
+//! non-function definitions to `let`. Trailing expressions run in order;
+//! the module's value is the last one.
+
+use std::collections::HashMap;
+
+use rtr_core::check::Checker;
+use rtr_core::interp::{eval_program, EvalError, Value};
+use rtr_core::syntax::{Expr, Lambda, Symbol, Ty};
+
+use crate::elab::{err, ElabError, Elaborator};
+use crate::expand::begin_form;
+use crate::sexp::{read_all, ReadError, Sexp};
+
+/// Any error arising from source text processing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LangError {
+    /// Reader (lexical) error.
+    Read(ReadError),
+    /// Elaboration (syntax) error.
+    Syntax(ElabError),
+    /// Type error from the core checker.
+    Type(rtr_core::errors::TypeError),
+    /// Runtime error from the evaluator.
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Read(e) => write!(f, "{e}"),
+            LangError::Syntax(e) => write!(f, "{e}"),
+            LangError::Type(e) => write!(f, "{e}"),
+            LangError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ReadError> for LangError {
+    fn from(e: ReadError) -> LangError {
+        LangError::Read(e)
+    }
+}
+impl From<ElabError> for LangError {
+    fn from(e: ElabError) -> LangError {
+        LangError::Syntax(e)
+    }
+}
+impl From<rtr_core::errors::TypeError> for LangError {
+    fn from(e: rtr_core::errors::TypeError) -> LangError {
+        LangError::Type(e)
+    }
+}
+impl From<EvalError> for LangError {
+    fn from(e: EvalError) -> LangError {
+        LangError::Eval(e)
+    }
+}
+
+/// Elaborates a whole module into a single core expression.
+pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
+    let forms = read_all(src)?;
+    let mut elab = Elaborator::new();
+    let mut signatures: HashMap<Symbol, Ty> = HashMap::new();
+    let mut builders: Vec<Box<dyn FnOnce(Expr) -> Expr>> = Vec::new();
+    let mut trailing: Vec<Expr> = Vec::new();
+
+    for form in &forms {
+        let head = form
+            .as_list()
+            .and_then(|l| l.first())
+            .and_then(Sexp::as_symbol)
+            .unwrap_or("");
+        match head {
+            ":" => {
+                let items = form.as_list().expect("head checked");
+                // (: name T)  or the paper's (: name : dom … -> rng).
+                let Some(name) = items.get(1).and_then(Sexp::as_symbol) else {
+                    return Err(err::<()>(form.pos(), "(: name T)").unwrap_err().into());
+                };
+                let ty = if items.get(2).and_then(Sexp::as_symbol) == Some(":") {
+                    let arrow = Sexp::List(items[3..].to_vec(), form.pos());
+                    elab.ty(&arrow)?
+                } else if items.len() == 3 {
+                    elab.ty(&items[2])?
+                } else {
+                    let arrow = Sexp::List(items[2..].to_vec(), form.pos());
+                    elab.ty(&arrow)?
+                };
+                signatures.insert(Symbol::intern(name), ty);
+            }
+            "define" => {
+                let items = form.as_list().expect("head checked");
+                match items.get(1) {
+                    // (define (f params…) body…)
+                    Some(Sexp::List(header, _)) => {
+                        let Some(fname) = header.first().and_then(Sexp::as_symbol) else {
+                            return Err(err::<()>(form.pos(), "(define (f …) …)")
+                                .unwrap_err()
+                                .into());
+                        };
+                        let fsym = Symbol::intern(fname);
+                        let mut params = Vec::new();
+                        for p in &header[1..] {
+                            if let Some(name) = p.as_symbol() {
+                                params.push((Symbol::intern(name), Ty::Top));
+                            } else if let Some([x, colon, t]) =
+                                p.as_list().filter(|l| l.len() == 3).map(|l| [&l[0], &l[1], &l[2]])
+                            {
+                                if colon.as_symbol() != Some(":") {
+                                    return Err(err::<()>(p.pos(), "parameter must be x or [x : T]")
+                                        .unwrap_err()
+                                        .into());
+                                }
+                                let Some(name) = x.as_symbol() else {
+                                    return Err(err::<()>(x.pos(), "parameter name must be a symbol")
+                                        .unwrap_err()
+                                        .into());
+                                };
+                                params.push((Symbol::intern(name), elab.ty(t)?));
+                            } else {
+                                return Err(err::<()>(p.pos(), "parameter must be x or [x : T]")
+                                    .unwrap_err()
+                                    .into());
+                            }
+                        }
+                        let body = begin_form(elab.exprs(&items[2..])?);
+                        match signatures.remove(&fsym) {
+                            Some(sig) => {
+                                let lam = std::sync::Arc::new(Lambda { params, body });
+                                builders.push(Box::new(move |rest| {
+                                    Expr::LetRec(fsym, sig, lam, Box::new(rest))
+                                }));
+                            }
+                            None => {
+                                // No signature: all parameters need
+                                // annotations; bind non-recursively with a
+                                // synthesized function type.
+                                let lam = Expr::lam(params, body);
+                                builders.push(Box::new(move |rest| {
+                                    Expr::let_(fsym, lam, rest)
+                                }));
+                            }
+                        }
+                    }
+                    // (define x e) / (define x : T e) / (define x) with a
+                    // prior signature.
+                    Some(Sexp::Symbol(name, _)) => {
+                        let xsym = Symbol::intern(name);
+                        let value = match &items[2..] {
+                            [e] => {
+                                let e = elab.expr(e)?;
+                                match signatures.remove(&xsym) {
+                                    // `define` of a lambda with a prior
+                                    // polymorphic/functional signature:
+                                    // still use letrec for recursion.
+                                    Some(sig) => {
+                                        if let Expr::Lam(lam) = e {
+                                            builders.push(Box::new(move |rest| {
+                                                Expr::LetRec(xsym, sig, lam, Box::new(rest))
+                                            }));
+                                            continue;
+                                        }
+                                        Expr::ann(e, sig)
+                                    }
+                                    None => e,
+                                }
+                            }
+                            [colon, t, e] if colon.as_symbol() == Some(":") => {
+                                let ty = elab.ty(t)?;
+                                Expr::ann(elab.expr(e)?, ty)
+                            }
+                            _ => {
+                                return Err(err::<()>(form.pos(), "(define x e)")
+                                    .unwrap_err()
+                                    .into())
+                            }
+                        };
+                        builders.push(Box::new(move |rest| Expr::let_(xsym, value, rest)));
+                    }
+                    _ => {
+                        return Err(err::<()>(form.pos(), "malformed define").unwrap_err().into())
+                    }
+                }
+            }
+            _ => trailing.push(elab.expr(form)?),
+        }
+    }
+
+    let mut program = begin_form(trailing);
+    if matches!(program, Expr::Begin(ref es) if es.is_empty()) {
+        program = Expr::Bool(true);
+    }
+    for b in builders.into_iter().rev() {
+        program = b(program);
+    }
+    Ok(program)
+}
+
+/// Parses, elaborates and type checks a module; returns its type-result.
+pub fn check_source(
+    src: &str,
+    checker: &Checker,
+) -> Result<rtr_core::syntax::TyResult, LangError> {
+    let e = elaborate_module(src)?;
+    Ok(checker.check_program(&e)?)
+}
+
+/// Parses, elaborates, type checks and runs a module.
+pub fn run_source(src: &str, checker: &Checker, fuel: u64) -> Result<Value, LangError> {
+    let e = elaborate_module(src)?;
+    checker.check_program(&e)?;
+    Ok(eval_program(&e, fuel)?)
+}
+
+/// Runs a module without type checking (used to demonstrate dynamic
+/// failures the checker would have prevented).
+pub fn run_source_unchecked(src: &str, fuel: u64) -> Result<Value, LangError> {
+    let e = elaborate_module(src)?;
+    Ok(eval_program(&e, fuel)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> Checker {
+        Checker::default()
+    }
+
+    #[test]
+    fn fig1_max_source() {
+        let src = r#"
+            (: max : [x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])
+            (define (max x y) (if (> x y) x y))
+            (max 3 7)
+        "#;
+        let r = check_source(src, &checker()).expect("max module must check");
+        // The range is dependent: instantiated with the literal arguments.
+        assert_eq!(r.ty.to_string(), "{z : Int | ((3 ≤ z) ∧ (7 ≤ z))}");
+        let v = run_source(src, &checker(), 10_000).unwrap();
+        assert!(matches!(v, Value::Int(7)));
+    }
+
+    #[test]
+    fn define_without_signature_needs_annotations() {
+        let src = "(define (id [x : Int]) x) (id 4)";
+        let v = run_source(src, &checker(), 10_000).unwrap();
+        assert!(matches!(v, Value::Int(4)));
+    }
+
+    #[test]
+    fn value_definitions() {
+        let src = "(define n 10) (define m : Int (+ n 1)) (+ n m)";
+        let v = run_source(src, &checker(), 10_000).unwrap();
+        assert!(matches!(v, Value::Int(21)));
+    }
+
+    #[test]
+    fn empty_module_is_true() {
+        let v = run_source("", &checker(), 10).unwrap();
+        assert!(matches!(v, Value::Bool(true)));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let src = "(define (f [x : Int]) (add1 x)) (f #t)";
+        assert!(matches!(check_source(src, &checker()), Err(LangError::Type(_))));
+    }
+
+    #[test]
+    fn paper_colon_style_signature() {
+        // The exact Fig. 1 header shape: (: max : [x : Int] … -> …).
+        let src = r#"
+            (: lsb : [n : (U Int (Pairof Int Int))] -> Int)
+            (define (lsb n)
+              (if (int? n) (if (even? n) 0 1) (fst n)))
+            (lsb 6)
+        "#;
+        let v = run_source(src, &checker(), 10_000).unwrap();
+        assert!(matches!(v, Value::Int(0)));
+    }
+}

@@ -1,0 +1,60 @@
+//! Fuzz the reader/elaborator: arbitrary input must produce errors, never
+//! panics, and valid input must round-trip.
+
+use proptest::prelude::*;
+
+use rtr_lang::sexp::{read_all, read_one, Sexp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: the reader returns Ok or Err but never panics.
+    #[test]
+    fn reader_total_on_arbitrary_input(src in "\\PC*") {
+        let _ = read_all(&src);
+    }
+
+    /// Arbitrary parenthesis soup: likewise total.
+    #[test]
+    fn reader_total_on_paren_soup(src in "[()\\[\\] a-z0-9#:;\"\\\\.-]*") {
+        let _ = read_all(&src);
+    }
+
+    /// Elaboration is total too: whatever the reader accepts, the
+    /// elaborator must accept or reject without panicking.
+    #[test]
+    fn elaborator_total(src in "[()\\[\\] a-z0-9#:<>=+*-]*") {
+        if let Ok(forms) = read_all(&src) {
+            let mut elab = rtr_lang::elab::Elaborator::new();
+            for f in &forms {
+                let _ = elab.expr(f);
+                let _ = rtr_lang::elab::Elaborator::new().ty(f);
+                let _ = rtr_lang::elab::Elaborator::new().prop(f);
+            }
+            let _ = rtr_lang::elaborate_module(&src);
+        }
+    }
+}
+
+/// Printed s-expressions re-read to the same datum (a structured
+/// round-trip, complementing the fuzz above).
+#[test]
+fn print_read_round_trip() {
+    let sources = [
+        "(define (f [x : Int]) (+ x 1))",
+        "(let ([a 1] [b #t]) (if b a 0))",
+        "(vec #x1b #xff)",
+        "(: g : [v : (Vecof Int)] -> [z : Int #:where (<= 0 z (len v))])",
+        "[x : (U Int Bool (Pairof Int Int))]",
+    ];
+    for src in sources {
+        let d1 = read_one(src).unwrap();
+        let d2 = read_one(&d1.to_string()).unwrap();
+        assert_eq!(strip_pos(&d1), strip_pos(&d2), "round trip failed for {src}");
+    }
+}
+
+/// Structural comparison ignoring positions.
+fn strip_pos(s: &Sexp) -> String {
+    s.to_string()
+}

@@ -1,0 +1,213 @@
+//! End-to-end tests for the regex theory — the extension §7 of the paper
+//! anticipates ("theories of regular expressions"). The shape mirrors the
+//! §2.1 vector story: a *checked* primitive (`regexp-match?`) plays the
+//! role of the bounds test, and a refinement-typed function plays the role
+//! of `safe-vec-ref`.
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_core::interp::Value;
+use rtr_lang::module::{check_source, run_source, LangError};
+
+fn rtr() -> Checker {
+    Checker::default()
+}
+
+fn lambda_tr() -> Checker {
+    Checker::with_config(CheckerConfig::lambda_tr())
+}
+
+/// The header shared by most tests: a function whose domain demands a
+/// proof that the string is all digits.
+const DIGITS_FN: &str = r#"
+(: digits-only : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (digits-only s) (string-length s))
+"#;
+
+#[test]
+fn guarded_call_verifies() {
+    // (regexp-match? #rx"[0-9]+" s) is the occurrence-typing test: its
+    // then-proposition is the membership atom the domain demands.
+    let src = format!(
+        r#"{DIGITS_FN}
+(: parse-port : Str -> Int)
+(define (parse-port s)
+  (if (regexp-match? #rx"[0-9]+" s)
+      (digits-only s)
+      0))
+(parse-port "8080")"#
+    );
+    let v = run_source(&src, &rtr(), 100_000).expect("checks and runs");
+    assert!(matches!(v, Value::Int(4)));
+}
+
+#[test]
+fn unguarded_call_is_rejected() {
+    let src = format!(
+        r#"{DIGITS_FN}
+(: broken : Str -> Int)
+(define (broken s) (digits-only s))"#
+    );
+    match check_source(&src, &rtr()) {
+        Err(LangError::Type(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("argument"), "unexpected message: {msg}");
+        }
+        other => panic!("expected a type error, got {other:?}"),
+    }
+}
+
+#[test]
+fn string_literals_are_ground() {
+    // Literal arguments are decided by running the matcher at type-check
+    // time — the theory-RE analogue of constant folding in theory LI.
+    let ok = format!("{DIGITS_FN}(digits-only \"2016\")");
+    assert!(check_source(&ok, &rtr()).is_ok());
+    let bad = format!("{DIGITS_FN}(digits-only \"pldi\")");
+    assert!(matches!(check_source(&bad, &rtr()), Err(LangError::Type(_))));
+}
+
+#[test]
+fn literals_flow_through_let_aliases() {
+    // Representative objects (§4.1) resolve s to the literal, so the
+    // membership atom is ground even through the binding.
+    let src = format!(
+        r#"{DIGITS_FN}
+(let ([s "413"]) (digits-only s))"#
+    );
+    assert!(check_source(&src, &rtr()).is_ok());
+}
+
+#[test]
+fn else_branch_learns_the_negation() {
+    let src = r#"
+(: no-digits : [s : Str #:where (!~ s #rx"[0-9]+")] -> Int)
+(define (no-digits s) 0)
+(: classify : Str -> Int)
+(define (classify s)
+  (if (regexp-match? #rx"[0-9]+" s)
+      1
+      (no-digits s)))
+(classify "abc")"#;
+    let v = run_source(src, &rtr(), 100_000).expect("checks and runs");
+    assert!(matches!(v, Value::Int(0)));
+}
+
+#[test]
+fn subtyping_is_language_inclusion() {
+    // {s:Str | s ∈ L([0-9]{4})} <: {s:Str | s ∈ L([0-9]+)} — decided by
+    // the automata solver inside S-Refine1/2.
+    let src = r#"
+(: any-digits : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (any-digits s) 1)
+(: use : [s : Str #:where (=~ s #rx"[0-9]{4}")] -> Int)
+(define (use s) (any-digits s))"#;
+    assert!(check_source(src, &rtr()).is_ok());
+    // And the reverse inclusion fails: [0-9]+ ⊄ [0-9]{4}.
+    let bad = r#"
+(: year-only : [s : Str #:where (=~ s #rx"[0-9]{4}")] -> Int)
+(define (year-only s) 1)
+(: use : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (use s) (year-only s))"#;
+    assert!(matches!(check_source(bad, &rtr()), Err(LangError::Type(_))));
+}
+
+#[test]
+fn occurrence_typing_composes_with_the_theory() {
+    // A (U Str Int) input: string? narrows the union, then the regex test
+    // refines the narrowed string — both facts in one environment.
+    let src = format!(
+        r#"{DIGITS_FN}
+(: handle : (U Str Int) -> Int)
+(define (handle x)
+  (if (string? x)
+      (if (regexp-match? #rx"[0-9]+" x)
+          (digits-only x)
+          0)
+      x))
+(+ (handle "99") (handle 1))"#
+    );
+    let v = run_source(&src, &rtr(), 100_000).expect("checks and runs");
+    assert!(matches!(v, Value::Int(3)));
+}
+
+#[test]
+fn string_length_feeds_the_linear_theory() {
+    // string-length emits the `len` field object, so the guard's linear
+    // fact proves the refined domain — two theories about one variable.
+    let src = r#"
+(: nonempty : [s : Str #:where (<= 1 (string-length s))] -> Int)
+(define (nonempty s) (string-length s))
+(: f : Str -> Int)
+(define (f s)
+  (if (< 0 (string-length s))
+      (nonempty s)
+      0))
+(f "hi")"#;
+    let v = run_source(src, &rtr(), 100_000).expect("checks and runs");
+    assert!(matches!(v, Value::Int(2)));
+}
+
+#[test]
+fn lambda_tr_baseline_rejects_the_guarded_program() {
+    // Without the theory the guard teaches nothing — the same shape as
+    // the λTR baseline failing to verify guarded vector accesses.
+    let src = format!(
+        r#"{DIGITS_FN}
+(: parse-port : Str -> Int)
+(define (parse-port s)
+  (if (regexp-match? #rx"[0-9]+" s)
+      (digits-only s)
+      0))"#
+    );
+    assert!(check_source(&src, &rtr()).is_ok());
+    assert!(matches!(check_source(&src, &lambda_tr()), Err(LangError::Type(_))));
+}
+
+#[test]
+fn runtime_matcher_agrees_with_the_static_theory() {
+    let src = r#"
+(regexp-match? #rx"a(b|c)*d" "abccbd")"#;
+    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Bool(true))));
+    let src = r#"
+(regexp-match? #rx"a(b|c)*d" "abce")"#;
+    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Bool(false))));
+}
+
+#[test]
+fn bad_regex_literals_are_positioned_syntax_errors() {
+    let src = r#"(regexp-match? #rx"[a-" "x")"#;
+    match check_source(src, &rtr()) {
+        Err(LangError::Syntax(e)) => {
+            assert!(e.message.contains("regex"), "unexpected message: {}", e.message);
+        }
+        other => panic!("expected a syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn string_equality_and_predicates_run() {
+    let src = r#"
+(if (string=? "a" "a")
+    (if (string? "x") 1 2)
+    3)"#;
+    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Int(1))));
+}
+
+#[test]
+fn mutable_strings_learn_nothing() {
+    // §4.2 discipline carries over: a mutated string variable gets no
+    // symbolic object, so the regex test cannot justify the call.
+    let src = format!(
+        r#"{DIGITS_FN}
+(: f : Str -> Int)
+(define (f init)
+  (let ([s : Str init])
+    (begin
+      (set! s "oops")
+      (if (regexp-match? #rx"[0-9]+" s)
+          (digits-only s)
+          0))))"#
+    );
+    assert!(matches!(check_source(&src, &rtr()), Err(LangError::Type(_))));
+}

@@ -1,0 +1,313 @@
+//! Bitvector terms, atoms and literals.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::lin::SolverVar;
+
+/// A fixed-width bitvector term. Widths are 1–64 bits; all operators
+/// require equal widths and wrap modulo `2^width` (the machine semantics
+/// the paper's `Byte` arithmetic relies on).
+///
+/// Terms are immutable and cheaply cloneable (`Rc`-shared).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BvTerm {
+    node: Rc<Node>,
+    width: u32,
+}
+
+#[derive(PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Node {
+    Const(u64),
+    Var(SolverVar),
+    Not(BvTerm),
+    And(BvTerm, BvTerm),
+    Or(BvTerm, BvTerm),
+    Xor(BvTerm, BvTerm),
+    Add(BvTerm, BvTerm),
+    Sub(BvTerm, BvTerm),
+    Mul(BvTerm, BvTerm),
+    Shl(BvTerm, u32),
+    Lshr(BvTerm, u32),
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // not/and/add/mul are the BV combinators
+impl BvTerm {
+    /// A constant, truncated to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn constant(value: u64, width: u32) -> BvTerm {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        BvTerm { node: Rc::new(Node::Const(value & mask(width))), width }
+    }
+
+    /// A solver variable of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn var(v: SolverVar, width: u32) -> BvTerm {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        BvTerm { node: Rc::new(Node::Var(v)), width }
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn binary(self, other: BvTerm, f: impl FnOnce(BvTerm, BvTerm) -> Node) -> BvTerm {
+        assert_eq!(self.width, other.width, "bitvector width mismatch");
+        let width = self.width;
+        BvTerm { node: Rc::new(f(self, other)), width }
+    }
+
+    /// Bitwise complement.
+    pub fn not(self) -> BvTerm {
+        let width = self.width;
+        BvTerm { node: Rc::new(Node::Not(self)), width }
+    }
+
+    /// Bitwise conjunction. Panics on width mismatch.
+    pub fn and(self, other: BvTerm) -> BvTerm {
+        self.binary(other, Node::And)
+    }
+
+    /// Bitwise disjunction. Panics on width mismatch.
+    pub fn or(self, other: BvTerm) -> BvTerm {
+        self.binary(other, Node::Or)
+    }
+
+    /// Bitwise exclusive or. Panics on width mismatch.
+    pub fn xor(self, other: BvTerm) -> BvTerm {
+        self.binary(other, Node::Xor)
+    }
+
+    /// Wrapping addition. Panics on width mismatch.
+    pub fn add(self, other: BvTerm) -> BvTerm {
+        self.binary(other, Node::Add)
+    }
+
+    /// Wrapping subtraction. Panics on width mismatch.
+    pub fn sub(self, other: BvTerm) -> BvTerm {
+        self.binary(other, Node::Sub)
+    }
+
+    /// Wrapping multiplication. Panics on width mismatch.
+    pub fn mul(self, other: BvTerm) -> BvTerm {
+        self.binary(other, Node::Mul)
+    }
+
+    /// Left shift by a constant amount (zero fill; shifts ≥ width yield 0).
+    pub fn shl(self, amount: u32) -> BvTerm {
+        let width = self.width;
+        BvTerm { node: Rc::new(Node::Shl(self, amount)), width }
+    }
+
+    /// Logical right shift by a constant amount.
+    pub fn lshr(self, amount: u32) -> BvTerm {
+        let width = self.width;
+        BvTerm { node: Rc::new(Node::Lshr(self, amount)), width }
+    }
+
+    /// Evaluates the term under an assignment of variables to values.
+    /// Returns `None` if a variable is unassigned.
+    pub fn eval<F>(&self, lookup: &mut F) -> Option<u64>
+    where
+        F: FnMut(SolverVar) -> Option<u64>,
+    {
+        let m = mask(self.width);
+        Some(match &*self.node {
+            Node::Const(v) => *v,
+            Node::Var(x) => lookup(*x)? & m,
+            Node::Not(a) => !a.eval(lookup)? & m,
+            Node::And(a, b) => a.eval(lookup)? & b.eval(lookup)?,
+            Node::Or(a, b) => a.eval(lookup)? | b.eval(lookup)?,
+            Node::Xor(a, b) => a.eval(lookup)? ^ b.eval(lookup)?,
+            Node::Add(a, b) => a.eval(lookup)?.wrapping_add(b.eval(lookup)?) & m,
+            Node::Sub(a, b) => a.eval(lookup)?.wrapping_sub(b.eval(lookup)?) & m,
+            Node::Mul(a, b) => a.eval(lookup)?.wrapping_mul(b.eval(lookup)?) & m,
+            Node::Shl(a, k) => {
+                if *k >= self.width {
+                    0
+                } else {
+                    (a.eval(lookup)? << k) & m
+                }
+            }
+            Node::Lshr(a, k) => {
+                if *k >= self.width {
+                    0
+                } else {
+                    a.eval(lookup)? >> k
+                }
+            }
+        })
+    }
+
+    pub(crate) fn node(&self) -> &Node {
+        &self.node
+    }
+}
+
+impl fmt::Display for BvTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.node {
+            Node::Const(v) => write!(f, "#x{v:x}"),
+            Node::Var(x) => write!(f, "{x}"),
+            Node::Not(a) => write!(f, "(not {a})"),
+            Node::And(a, b) => write!(f, "(and {a} {b})"),
+            Node::Or(a, b) => write!(f, "(or {a} {b})"),
+            Node::Xor(a, b) => write!(f, "(xor {a} {b})"),
+            Node::Add(a, b) => write!(f, "(+ {a} {b})"),
+            Node::Sub(a, b) => write!(f, "(- {a} {b})"),
+            Node::Mul(a, b) => write!(f, "(* {a} {b})"),
+            Node::Shl(a, k) => write!(f, "(shl {a} {k})"),
+            Node::Lshr(a, k) => write!(f, "(lshr {a} {k})"),
+        }
+    }
+}
+
+/// An atomic bitvector predicate.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BvAtom {
+    /// `a = b`
+    Eq(BvTerm, BvTerm),
+    /// `a ≤ b` (unsigned)
+    Ule(BvTerm, BvTerm),
+    /// `a < b` (unsigned)
+    Ult(BvTerm, BvTerm),
+}
+
+impl BvAtom {
+    /// `a = b`. Panics on width mismatch; see [`BvAtom::try_eq`].
+    pub fn eq(a: BvTerm, b: BvTerm) -> BvAtom {
+        BvAtom::try_eq(a, b).expect("bitvector width mismatch")
+    }
+
+    /// `a = b`, or `None` on width mismatch.
+    pub fn try_eq(a: BvTerm, b: BvTerm) -> Option<BvAtom> {
+        (a.width() == b.width()).then_some(BvAtom::Eq(a, b))
+    }
+
+    /// `a ≤ b` unsigned. Panics on width mismatch.
+    pub fn ule(a: BvTerm, b: BvTerm) -> BvAtom {
+        assert_eq!(a.width(), b.width(), "bitvector width mismatch");
+        BvAtom::Ule(a, b)
+    }
+
+    /// `a < b` unsigned. Panics on width mismatch.
+    pub fn ult(a: BvTerm, b: BvTerm) -> BvAtom {
+        assert_eq!(a.width(), b.width(), "bitvector width mismatch");
+        BvAtom::Ult(a, b)
+    }
+
+    /// Evaluates the atom under an assignment.
+    pub fn eval<F>(&self, lookup: &mut F) -> Option<bool>
+    where
+        F: FnMut(SolverVar) -> Option<u64>,
+    {
+        Some(match self {
+            BvAtom::Eq(a, b) => a.eval(lookup)? == b.eval(lookup)?,
+            BvAtom::Ule(a, b) => a.eval(lookup)? <= b.eval(lookup)?,
+            BvAtom::Ult(a, b) => a.eval(lookup)? < b.eval(lookup)?,
+        })
+    }
+}
+
+/// A bitvector literal: an atom or its negation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BvLit {
+    /// The underlying atom.
+    pub atom: BvAtom,
+    /// `true` for the atom itself, `false` for its negation.
+    pub positive: bool,
+}
+
+impl BvLit {
+    /// The positive literal of `atom`.
+    pub fn positive(atom: BvAtom) -> BvLit {
+        BvLit { atom, positive: true }
+    }
+
+    /// The negative literal of `atom`.
+    pub fn negative(atom: BvAtom) -> BvLit {
+        BvLit { atom, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negated(&self) -> BvLit {
+        BvLit { atom: self.atom.clone(), positive: !self.positive }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval<F>(&self, lookup: &mut F) -> Option<bool>
+    where
+        F: FnMut(SolverVar) -> Option<u64>,
+    {
+        self.atom.eval(lookup).map(|b| b == self.positive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_truncate() {
+        assert_eq!(BvTerm::constant(0x1ff, 8).eval(&mut |_| None), Some(0xff));
+        assert_eq!(BvTerm::constant(u64::MAX, 64).eval(&mut |_| None), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        let _ = BvTerm::constant(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = BvTerm::constant(0, 8).add(BvTerm::constant(0, 16));
+    }
+
+    #[test]
+    fn eval_matches_machine_arithmetic() {
+        let x = BvTerm::var(SolverVar(0), 8);
+        let mut env = |_| Some(0xabu64);
+        let t = x.clone().mul(BvTerm::constant(2, 8));
+        assert_eq!(t.eval(&mut env), Some((0xabu64 * 2) & 0xff));
+        let t = x.clone().sub(BvTerm::constant(0xff, 8));
+        assert_eq!(t.eval(&mut env), Some(0xabu64.wrapping_sub(0xff) & 0xff));
+        let t = x.clone().shl(9);
+        assert_eq!(t.eval(&mut env), Some(0));
+        let t = x.lshr(4);
+        assert_eq!(t.eval(&mut env), Some(0x0a));
+    }
+
+    #[test]
+    fn atom_eval() {
+        let x = BvTerm::var(SolverVar(0), 8);
+        let mut at5 = |_| Some(5u64);
+        assert_eq!(BvAtom::eq(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5), Some(true));
+        assert_eq!(BvAtom::ult(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5), Some(false));
+        assert_eq!(BvAtom::ule(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5), Some(true));
+        let lit = BvLit::negative(BvAtom::eq(x, BvTerm::constant(5, 8)));
+        assert_eq!(lit.eval(&mut at5), Some(false));
+    }
+
+    #[test]
+    fn unassigned_variable_is_none() {
+        let x = BvTerm::var(SolverVar(0), 8);
+        assert_eq!(x.eval(&mut |_| None), None);
+    }
+}

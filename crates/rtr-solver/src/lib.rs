@@ -1,0 +1,54 @@
+//! Solver substrate for *Occurrence Typing Modulo Theories* (PLDI 2016).
+//!
+//! The paper's type system λ_RTR is parameterized by external theories with
+//! sound solvers (§3.4: rule L-Theory consults "a solver for theory T with
+//! the relevant knowledge from Γ"). This crate provides those solvers,
+//! implemented from scratch:
+//!
+//! * [`lin`] — the theory of **linear integer arithmetic**, decided by
+//!   Fourier–Motzkin elimination with integer tightening, exactly the
+//!   "lightweight solver" the paper used for the vector-bounds case study;
+//!   plus a brute-force baseline used as a test oracle and benchmark
+//!   comparator.
+//! * [`sat`] — a CDCL **SAT solver** (watched literals, first-UIP clause
+//!   learning, activity heuristics, restarts).
+//! * [`bv`] — the theory of fixed-width **bitvectors**, bit-blasted onto
+//!   the SAT solver; this replaces the paper's use of Z3 (§2.2) with an
+//!   equally complete in-tree decision procedure.
+//! * [`re`] — the theory of **regular expressions** (the extension the
+//!   paper's conclusion anticipates, §7): a from-scratch regex engine with
+//!   an automata-based decision procedure for membership constraints.
+//! * [`rational`] — exact rational arithmetic underpinning the linear
+//!   solver.
+//!
+//! The crate is deliberately ignorant of the type system: it speaks only
+//! [`lin::SolverVar`]s, linear constraints, CNF and bitvector terms. The
+//! `rtr-core` crate translates type-level symbolic objects into these
+//! vocabularies.
+//!
+//! # Examples
+//!
+//! Proving the bound check that makes a vector access safe (§2.1):
+//!
+//! ```
+//! use rtr_solver::lin::{Constraint, FourierMotzkin, LinExpr, SolverVar};
+//!
+//! let i = LinExpr::var(SolverVar(0));
+//! let len = LinExpr::var(SolverVar(1));
+//! let facts = [
+//!     Constraint::ge(i.clone(), LinExpr::constant(0)),
+//!     Constraint::lt(i.clone(), len.clone()),
+//! ];
+//! // facts ⊢ i ≤ len - 1
+//! let goal = Constraint::le(i, len.sub(&LinExpr::constant(1)));
+//! assert!(FourierMotzkin::default().entails(&facts, &goal));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bv;
+pub mod lin;
+pub mod rational;
+pub mod re;
+pub mod sat;

@@ -1,0 +1,150 @@
+//! Brute-force integer model search over a bounded box.
+//!
+//! This is the differential-testing oracle and benchmark baseline for
+//! [`FourierMotzkin`](super::FourierMotzkin): it enumerates every integer
+//! assignment in `[-bound, bound]^n` and reports whether any satisfies the
+//! conjunction. Complete *within the box* only, so in tests it is used in
+//! the direction "brute found a model ⇒ FM must not say Unsat" and, with a
+//! box large enough for the generated coefficients, "brute found none ⇒ FM
+//! must not say Sat".
+
+use super::constraint::Constraint;
+use super::{LinResult, SolverVar};
+use crate::rational::Rat;
+
+/// Exhaustive integer search within `[-bound, bound]` per variable.
+#[derive(Clone, Copy, Debug)]
+pub struct BruteForce {
+    /// Half-width of the search box.
+    pub bound: i64,
+    /// Cap on the number of assignments tried before giving up.
+    pub max_assignments: u64,
+}
+
+impl Default for BruteForce {
+    fn default() -> BruteForce {
+        BruteForce { bound: 6, max_assignments: 2_000_000 }
+    }
+}
+
+impl BruteForce {
+    /// Searches the box for a model of the conjunction.
+    ///
+    /// Returns [`LinResult::Sat`] with certainty, [`LinResult::Unsat`]
+    /// meaning "no model *in the box*", or [`LinResult::Unknown`] if the
+    /// assignment budget was exhausted.
+    pub fn check(&self, constraints: &[Constraint]) -> LinResult {
+        let mut vars: Vec<SolverVar> = Vec::new();
+        for c in constraints {
+            for x in c.expr.vars() {
+                if !vars.contains(&x) {
+                    vars.push(x);
+                }
+            }
+        }
+        vars.sort();
+        let width = (2 * self.bound + 1) as u64;
+        let total: u64 = match width.checked_pow(vars.len() as u32) {
+            Some(t) => t,
+            None => return LinResult::Unknown,
+        };
+        if total > self.max_assignments {
+            return LinResult::Unknown;
+        }
+        let mut assignment = vec![0i64; vars.len()];
+        'outer: for idx in 0..total {
+            let mut rem = idx;
+            for slot in assignment.iter_mut() {
+                *slot = (rem % width) as i64 - self.bound;
+                rem /= width;
+            }
+            for c in constraints {
+                let ok = c.holds(|x| {
+                    let pos = vars.binary_search(&x).expect("var collected above");
+                    Rat::from(assignment[pos])
+                });
+                if ok != Some(true) {
+                    continue 'outer;
+                }
+            }
+            return LinResult::Sat;
+        }
+        LinResult::Unsat
+    }
+
+    /// Finds a model if one exists in the box, for debugging and tests.
+    pub fn find_model(&self, constraints: &[Constraint]) -> Option<Vec<(SolverVar, i64)>> {
+        let mut vars: Vec<SolverVar> = Vec::new();
+        for c in constraints {
+            for x in c.expr.vars() {
+                if !vars.contains(&x) {
+                    vars.push(x);
+                }
+            }
+        }
+        vars.sort();
+        let width = (2 * self.bound + 1) as u64;
+        let total = width.checked_pow(vars.len() as u32)?;
+        if total > self.max_assignments {
+            return None;
+        }
+        let mut assignment = vec![0i64; vars.len()];
+        'outer: for idx in 0..total {
+            let mut rem = idx;
+            for slot in assignment.iter_mut() {
+                *slot = (rem % width) as i64 - self.bound;
+                rem /= width;
+            }
+            for c in constraints {
+                let ok = c.holds(|x| {
+                    let pos = vars.binary_search(&x).expect("var collected above");
+                    Rat::from(assignment[pos])
+                });
+                if ok != Some(true) {
+                    continue 'outer;
+                }
+            }
+            return Some(vars.iter().copied().zip(assignment.iter().copied()).collect());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lin::LinExpr;
+
+    fn v(i: u32) -> LinExpr {
+        LinExpr::var(SolverVar(i))
+    }
+    fn k(n: i64) -> LinExpr {
+        LinExpr::constant(n)
+    }
+
+    #[test]
+    fn finds_models() {
+        let cs = [Constraint::ge(v(0), k(2)), Constraint::le(v(0), k(3))];
+        let brute = BruteForce::default();
+        assert!(brute.check(&cs).is_sat());
+        let model = brute.find_model(&cs).unwrap();
+        assert!(model[0].1 == 2 || model[0].1 == 3);
+    }
+
+    #[test]
+    fn reports_box_unsat() {
+        let cs = [Constraint::gt(v(0), k(0)), Constraint::lt(v(0), k(1))];
+        assert!(BruteForce::default().check(&cs).is_unsat());
+    }
+
+    #[test]
+    fn budget() {
+        let brute = BruteForce { bound: 6, max_assignments: 10 };
+        let cs = [
+            Constraint::le(v(0), v(1)),
+            Constraint::le(v(1), v(2)),
+            Constraint::le(v(2), v(3)),
+        ];
+        assert_eq!(brute.check(&cs), LinResult::Unknown);
+    }
+}

@@ -1,0 +1,306 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The Fourier–Motzkin eliminator ([`crate::lin`]) performs exact pivoting on
+//! rational coefficients; floating point would be unsound (a rounded
+//! coefficient can flip the satisfiability verdict, and the verdict is used
+//! as a *proof*). Numerators and denominators are kept gcd-normalized with a
+//! strictly positive denominator.
+//!
+//! All arithmetic is overflow-checked: the `checked_*` methods return `None`
+//! on overflow so callers (the solver) can degrade to a conservative
+//! "unknown" answer instead of panicking or silently wrapping.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtr_solver::rational::Rat;
+//!
+//! let a = Rat::new(1, 3);
+//! let b = Rat::new(1, 6);
+//! assert_eq!(a.checked_add(b), Some(Rat::new(1, 2)));
+//! assert!(Rat::new(2, 4) == Rat::new(1, 2));
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// Invariants: the denominator is strictly positive and
+/// `gcd(|numer|, denom) == 1` (zero is represented as `0/1`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    numer: i128,
+    denom: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { numer: 0, denom: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { numer: 1, denom: 1 };
+
+    /// Creates a new rational `numer / denom`, normalizing signs and common
+    /// factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0` or if `numer` or `denom` is `i128::MIN`
+    /// (whose negation overflows).
+    pub fn new(numer: i128, denom: i128) -> Rat {
+        assert!(denom != 0, "rational with zero denominator");
+        Rat::checked_new(numer, denom).expect("rational normalization overflow")
+    }
+
+    /// Creates a new normalized rational, returning `None` on overflow.
+    pub fn checked_new(numer: i128, denom: i128) -> Option<Rat> {
+        if denom == 0 || numer == i128::MIN || denom == i128::MIN {
+            return None;
+        }
+        let (numer, denom) = if denom < 0 { (-numer, -denom) } else { (numer, denom) };
+        let g = gcd(numer.abs(), denom);
+        if g == 0 {
+            Some(Rat { numer: 0, denom: 1 })
+        } else {
+            Some(Rat { numer: numer / g, denom: denom / g })
+        }
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { numer: n, denom: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.numer
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.denom
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub fn is_zero(self) -> bool {
+        self.numer == 0
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub fn is_integer(self) -> bool {
+        self.denom == 1
+    }
+
+    /// Returns `true` if this rational is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.numer > 0
+    }
+
+    /// Returns `true` if this rational is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.numer < 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, other: Rat) -> Option<Rat> {
+        let n1 = self.numer.checked_mul(other.denom)?;
+        let n2 = other.numer.checked_mul(self.denom)?;
+        Rat::checked_new(n1.checked_add(n2)?, self.denom.checked_mul(other.denom)?)
+    }
+
+    /// Checked subtraction; `None` on overflow.
+    pub fn checked_sub(self, other: Rat) -> Option<Rat> {
+        self.checked_add(other.checked_neg()?)
+    }
+
+    /// Checked multiplication; `None` on overflow.
+    pub fn checked_mul(self, other: Rat) -> Option<Rat> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.numer.abs(), other.denom);
+        let g2 = gcd(other.numer.abs(), self.denom);
+        let n = (self.numer / g1).checked_mul(other.numer / g2)?;
+        let d = (self.denom / g2).checked_mul(other.denom / g1)?;
+        Rat::checked_new(n, d)
+    }
+
+    /// Checked division; `None` on overflow or division by zero.
+    pub fn checked_div(self, other: Rat) -> Option<Rat> {
+        if other.is_zero() {
+            return None;
+        }
+        self.checked_mul(other.checked_recip()?)
+    }
+
+    /// Checked negation; `None` on overflow (`i128::MIN` numerator).
+    pub fn checked_neg(self) -> Option<Rat> {
+        Some(Rat { numer: self.numer.checked_neg()?, denom: self.denom })
+    }
+
+    /// Checked reciprocal; `None` if zero or on overflow.
+    pub fn checked_recip(self) -> Option<Rat> {
+        if self.is_zero() {
+            return None;
+        }
+        Rat::checked_new(self.denom, self.numer)
+    }
+
+    /// Largest integer `<= self` (floor), as a rational.
+    pub fn floor(self) -> Rat {
+        Rat::from_int(self.floor_int())
+    }
+
+    /// Largest integer `<= self` (floor), as an `i128`.
+    pub fn floor_int(self) -> i128 {
+        self.numer.div_euclid(self.denom)
+    }
+
+    /// Smallest integer `>= self` (ceiling), as an `i128`.
+    pub fn ceil_int(self) -> i128 {
+        -((-self.numer).div_euclid(self.denom))
+    }
+
+    /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerator is `i128::MIN`.
+    pub fn abs(self) -> Rat {
+        Rat { numer: self.numer.abs(), denom: self.denom }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0).
+        // Fall back to wide comparison through f64 only if exact products
+        // overflow; this cannot happen for gcd-normalized i64-range inputs,
+        // which is all the solver produces.
+        match self.numer.checked_mul(other.denom).zip(other.numer.checked_mul(self.denom)) {
+            Some((l, r)) => l.cmp(&r),
+            None => {
+                let l = self.numer as f64 / self.denom as f64;
+                let r = other.numer as f64 / other.denom as f64;
+                l.partial_cmp(&r).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom == 1 {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Rat {
+        Rat::from_int(n)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 17), Rat::ZERO);
+        assert_eq!(Rat::new(0, -17).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rat::new(1, 2);
+        let third = Rat::new(1, 3);
+        assert_eq!(half.checked_add(third), Some(Rat::new(5, 6)));
+        assert_eq!(half.checked_sub(third), Some(Rat::new(1, 6)));
+        assert_eq!(half.checked_mul(third), Some(Rat::new(1, 6)));
+        assert_eq!(half.checked_div(third), Some(Rat::new(3, 2)));
+        assert_eq!(third.checked_recip(), Some(Rat::from_int(3)));
+        assert_eq!(Rat::ZERO.checked_recip(), None);
+        assert_eq!(half.checked_div(Rat::ZERO), None);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(7, 3) > Rat::from_int(2));
+        let mut v = vec![Rat::new(3, 2), Rat::new(-1, 5), Rat::ONE];
+        v.sort();
+        assert_eq!(v, vec![Rat::new(-1, 5), Rat::ONE, Rat::new(3, 2)]);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor_int(), 3);
+        assert_eq!(Rat::new(7, 2).ceil_int(), 4);
+        assert_eq!(Rat::new(-7, 2).floor_int(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil_int(), -3);
+        assert_eq!(Rat::from_int(5).floor_int(), 5);
+        assert_eq!(Rat::from_int(5).ceil_int(), 5);
+        assert_eq!(Rat::new(-1, 3).floor_int(), -1);
+        assert_eq!(Rat::new(-1, 3).ceil_int(), 0);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let big = Rat::from_int(i128::MAX / 2);
+        assert_eq!(big.checked_mul(Rat::from_int(4)), None);
+        assert_eq!(big.checked_add(big).and_then(|x| x.checked_add(big)), None);
+        assert!(Rat::checked_new(i128::MIN, 1).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-3, 7).to_string(), "-3/7");
+    }
+}

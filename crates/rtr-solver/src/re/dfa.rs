@@ -1,0 +1,428 @@
+//! Deterministic automata: subset construction, boolean combinations and
+//! emptiness — the decision procedures behind the regex theory.
+//!
+//! Satisfiability of a conjunction of memberships `s ∈ L(r₁) ∧ … ∧
+//! s ∉ L(rₖ)` reduces to non-emptiness of `⋂ L(rᵢ) ∩ ⋂ L(rⱼ)ᶜ`; DFAs make
+//! complement trivial (they are complete by construction) and product
+//! automata give intersection.
+
+use std::collections::HashMap;
+
+use super::nfa::{Nfa, StateId};
+use super::syntax::{Regex, ALPHABET};
+
+/// A complete deterministic finite automaton over the ASCII alphabet.
+///
+/// Every state has a transition on every symbol (a dead state is materialized
+/// during construction), which makes [`Dfa::complement`] a pure accept-flip.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_solver::re::{Dfa, Regex};
+///
+/// let digits = Dfa::compile(&Regex::parse("[0-9]+")?, 1 << 12).unwrap();
+/// assert!(digits.matches(b"42"));
+/// let no_digits = digits.complement();
+/// assert!(no_digits.matches(b"forty-two"));
+/// assert!(!no_digits.matches(b"42"));
+/// # Ok::<(), rtr_solver::re::ReParseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// `trans[s][c]` — the successor of state `s` on symbol `c`.
+    trans: Vec<Box<[StateId; ALPHABET]>>,
+    accept: Vec<bool>,
+    start: StateId,
+}
+
+impl Dfa {
+    /// Compiles a regex into a DFA via Thompson + subset construction,
+    /// giving up (returning `None`) if more than `max_states` DFA states
+    /// materialize. Callers treat `None` as *unknown* (conservative).
+    pub fn compile(re: &Regex, max_states: usize) -> Option<Dfa> {
+        Dfa::from_nfa(&Nfa::compile(re), max_states)
+    }
+
+    /// Subset construction.
+    pub fn from_nfa(nfa: &Nfa, max_states: usize) -> Option<Dfa> {
+        let mut start_set = vec![nfa.start()];
+        nfa.eps_closure(&mut start_set);
+
+        let mut builder = Builder::<Vec<StateId>>::default();
+        let start = builder.intern(start_set, |set| set.iter().any(|&s| nfa.is_accept(s))).0;
+        let mut work = vec![start];
+        while let Some(id) = work.pop() {
+            if builder.keys.len() > max_states {
+                return None;
+            }
+            let set = builder.keys[id as usize].clone();
+            for c in 0..ALPHABET as u8 {
+                let mut next = nfa.step(&set, c);
+                nfa.eps_closure(&mut next);
+                let (next_id, is_new) =
+                    builder.intern(next, |set| set.iter().any(|&s| nfa.is_accept(s)));
+                if is_new {
+                    work.push(next_id);
+                }
+                builder.trans[id as usize][c as usize] = next_id;
+            }
+        }
+        Some(builder.finish(start))
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The complement automaton (`L(self)ᶜ` within ASCII strings).
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            trans: self.trans.clone(),
+            accept: self.accept.iter().map(|a| !a).collect(),
+            start: self.start,
+        }
+    }
+
+    /// The product automaton accepting `L(self) ∩ L(other)`, or `None` if
+    /// it would exceed `max_states` (treated as unknown by callers).
+    pub fn intersect(&self, other: &Dfa, max_states: usize) -> Option<Dfa> {
+        let accepts = |(a, b): &(StateId, StateId)| {
+            self.accept[*a as usize] && other.accept[*b as usize]
+        };
+        let mut builder = Builder::<(StateId, StateId)>::default();
+        let start = builder.intern((self.start, other.start), accepts).0;
+        let mut work = vec![start];
+        while let Some(id) = work.pop() {
+            if builder.keys.len() > max_states {
+                return None;
+            }
+            let (a, b) = builder.keys[id as usize];
+            for c in 0..ALPHABET {
+                let next = (self.trans[a as usize][c], other.trans[b as usize][c]);
+                let (next_id, is_new) = builder.intern(next, accepts);
+                if is_new {
+                    work.push(next_id);
+                }
+                builder.trans[id as usize][c] = next_id;
+            }
+        }
+        Some(builder.finish(start))
+    }
+
+    /// Is the accepted language empty?
+    pub fn is_empty(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// A shortest accepted string (BFS), or `None` if the language is
+    /// empty. This is the *witness* the solver returns in models.
+    pub fn shortest_accepted(&self) -> Option<Vec<u8>> {
+        // parent[s] = (predecessor, symbol) along a shortest path.
+        let mut parent: Vec<Option<(StateId, u8)>> = vec![None; self.trans.len()];
+        let mut visited = vec![false; self.trans.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[self.start as usize] = true;
+        queue.push_back(self.start);
+        while let Some(s) = queue.pop_front() {
+            if self.accept[s as usize] {
+                let mut out = Vec::new();
+                let mut cur = s;
+                while let Some((prev, c)) = parent[cur as usize] {
+                    out.push(c);
+                    cur = prev;
+                }
+                out.reverse();
+                return Some(out);
+            }
+            for c in 0..ALPHABET as u8 {
+                let t = self.trans[s as usize][c as usize];
+                if !visited[t as usize] {
+                    visited[t as usize] = true;
+                    parent[t as usize] = Some((s, c));
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Anchored match (deterministic run). Non-ASCII input is rejected.
+    pub fn matches(&self, input: &[u8]) -> bool {
+        self.matches_inner(input)
+    }
+
+    /// The minimal equivalent DFA (Moore's partition refinement).
+    ///
+    /// Construction only creates reachable states, so minimization is
+    /// pure block refinement: start from the accept/reject partition and
+    /// split blocks until every state in a block has the same
+    /// block-transition signature. The solver minimizes between product
+    /// steps to keep intersection chains from compounding.
+    pub fn minimize(&self) -> Dfa {
+        let n = self.trans.len();
+        // Initial partition: accepting vs non-accepting.
+        let mut block: Vec<u32> = self.accept.iter().map(|&a| a as u32).collect();
+        let mut num_blocks = {
+            let accepting = self.accept.iter().filter(|&&a| a).count();
+            if accepting == 0 || accepting == n {
+                // Single block; normalize ids.
+                block.iter_mut().for_each(|b| *b = 0);
+                1
+            } else {
+                2
+            }
+        };
+        loop {
+            let mut ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut next = vec![0u32; n];
+            for s in 0..n {
+                let sig = (
+                    block[s],
+                    (0..ALPHABET)
+                        .map(|c| block[self.trans[s][c] as usize])
+                        .collect::<Vec<u32>>(),
+                );
+                let fresh = ids.len() as u32;
+                next[s] = *ids.entry(sig).or_insert(fresh);
+            }
+            let refined = ids.len();
+            block = next;
+            if refined == num_blocks {
+                break;
+            }
+            num_blocks = refined;
+        }
+        // One representative state per block.
+        let mut repr: Vec<Option<usize>> = vec![None; num_blocks];
+        for s in 0..n {
+            let b = block[s] as usize;
+            if repr[b].is_none() {
+                repr[b] = Some(s);
+            }
+        }
+        let mut trans = Vec::with_capacity(num_blocks);
+        let mut accept = Vec::with_capacity(num_blocks);
+        for b in 0..num_blocks {
+            let s = repr[b].expect("every block has a member");
+            let mut row = Box::new([0u32; ALPHABET]);
+            for c in 0..ALPHABET {
+                row[c] = block[self.trans[s][c] as usize];
+            }
+            trans.push(row);
+            accept.push(self.accept[s]);
+        }
+        Dfa { trans, accept, start: block[self.start as usize] }
+    }
+}
+
+/// Shared state-interning machinery for the two worklist constructions
+/// (subset construction keyed by NFA-state sets, products keyed by state
+/// pairs).
+struct Builder<K> {
+    ids: HashMap<K, StateId>,
+    keys: Vec<K>,
+    trans: Vec<Box<[StateId; ALPHABET]>>,
+    accept: Vec<bool>,
+}
+
+impl<K> Default for Builder<K> {
+    fn default() -> Builder<K> {
+        Builder { ids: HashMap::new(), keys: Vec::new(), trans: Vec::new(), accept: Vec::new() }
+    }
+}
+
+impl<K: Clone + Eq + std::hash::Hash> Builder<K> {
+    /// Returns the id for `key`, creating a state (and computing its
+    /// acceptance) the first time; the flag reports whether it was new.
+    fn intern(&mut self, key: K, accepts: impl Fn(&K) -> bool) -> (StateId, bool) {
+        if let Some(&id) = self.ids.get(&key) {
+            return (id, false);
+        }
+        let id = self.keys.len() as StateId;
+        self.accept.push(accepts(&key));
+        self.ids.insert(key.clone(), id);
+        self.keys.push(key);
+        self.trans.push(Box::new([0; ALPHABET]));
+        (id, true)
+    }
+
+    fn finish(self, start: StateId) -> Dfa {
+        Dfa { trans: self.trans, accept: self.accept, start }
+    }
+}
+
+impl Dfa {
+    fn matches_inner(&self, input: &[u8]) -> bool {
+        let mut s = self.start;
+        for &c in input {
+            if c as usize >= ALPHABET {
+                return false;
+            }
+            s = self.trans[s as usize][c as usize];
+        }
+        self.accept[s as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: usize = 1 << 12;
+
+    fn dfa(pattern: &str) -> Dfa {
+        Dfa::compile(&Regex::parse(pattern).expect("pattern parses"), BUDGET)
+            .expect("within budget")
+    }
+
+    /// All strings over {a, b} up to length `n`.
+    fn strings_up_to(n: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..n {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for c in [b'a', b'b'] {
+                    let mut t = s.clone();
+                    t.push(c);
+                    out.push(t.clone());
+                    next.push(t);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa() {
+        for pattern in ["(a|b)*a", "a*b*", "(ab)+", "a{2,4}", "[^b]*"] {
+            let re = Regex::parse(pattern).expect("pattern parses");
+            let nfa = Nfa::compile(&re);
+            let d = Dfa::from_nfa(&nfa, BUDGET).expect("within budget");
+            for s in strings_up_to(6) {
+                assert_eq!(
+                    d.matches(&s),
+                    nfa.matches(&s),
+                    "{pattern} on {:?}",
+                    String::from_utf8_lossy(&s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = dfa("(a|b)*a");
+        let c = d.complement();
+        for s in strings_up_to(5) {
+            assert_ne!(d.matches(&s), c.matches(&s));
+        }
+        // Complement is involutive.
+        let cc = c.complement();
+        for s in strings_up_to(4) {
+            assert_eq!(d.matches(&s), cc.matches(&s));
+        }
+    }
+
+    #[test]
+    fn intersection_is_conjunction() {
+        let d1 = dfa("a*b*");
+        let d2 = dfa("(ab)*|a+");
+        let i = d1.intersect(&d2, BUDGET).expect("within budget");
+        for s in strings_up_to(5) {
+            assert_eq!(i.matches(&s), d1.matches(&s) && d2.matches(&s));
+        }
+    }
+
+    #[test]
+    fn emptiness_and_witnesses() {
+        assert!(Dfa::compile(&Regex::Empty, BUDGET).unwrap().is_empty());
+        let d = dfa("a+b");
+        let w = d.shortest_accepted().expect("nonempty");
+        assert_eq!(w, b"ab");
+        assert!(d.matches(&w));
+        // a+ ∩ b+ is empty.
+        let i = dfa("a+").intersect(&dfa("b+"), BUDGET).expect("within budget");
+        assert!(i.is_empty());
+        // a* ∩ (a|b)*b is nonempty? No: strings of a's never end in b —
+        // except the intersection contains nothing. Check the machinery.
+        let i = dfa("a*").intersect(&dfa("(a|b)*b"), BUDGET).expect("within budget");
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn shortest_witness_is_shortest() {
+        let d = dfa("aaa|a");
+        assert_eq!(d.shortest_accepted().expect("nonempty"), b"a");
+        let e = dfa("a*");
+        assert_eq!(e.shortest_accepted().expect("nonempty"), b"");
+    }
+
+    #[test]
+    fn minimize_preserves_the_language() {
+        for pattern in ["(a|b)*a", "a*b*", "(ab)+|a", "a{2,4}", "[^b]*b?"] {
+            let d = dfa(pattern);
+            let m = d.minimize();
+            assert!(m.num_states() <= d.num_states());
+            for s in strings_up_to(6) {
+                assert_eq!(
+                    m.matches(&s),
+                    d.matches(&s),
+                    "{pattern} on {:?}",
+                    String::from_utf8_lossy(&s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_is_canonical_up_to_state_count() {
+        // Two syntactically different regexes for the same language reach
+        // the same minimal size.
+        let m1 = dfa("(ab)*").minimize();
+        let m2 = dfa("((ab)*)?|(ab)*").minimize();
+        assert_eq!(m1.num_states(), m2.num_states());
+        // Minimization is idempotent.
+        assert_eq!(m1.minimize().num_states(), m1.num_states());
+    }
+
+    #[test]
+    fn minimize_collapses_redundancy() {
+        // a|aa|aaa|aa has duplicate alternatives whose Thompson NFA
+        // produces redundant subset states.
+        let d = dfa("a|aa|aaa|aa");
+        let m = d.minimize();
+        // Minimal complete DFA for {a, aa, aaa}: start, a, aa, aaa, dead.
+        assert_eq!(m.num_states(), 5, "from {} states", d.num_states());
+        assert!(m.matches(b"aa") && !m.matches(b"aaaa"));
+    }
+
+    #[test]
+    fn minimize_handles_trivial_partitions() {
+        // All-rejecting (∅) and all-accepting (Σ* via [^]-complement)
+        // collapse to a single state.
+        let empty = Dfa::compile(&Regex::Empty, BUDGET).unwrap().minimize();
+        assert_eq!(empty.num_states(), 1);
+        assert!(empty.is_empty());
+        let all = dfa(".*").minimize();
+        assert_eq!(all.num_states(), 1);
+        assert!(all.matches(b"anything"));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // A regex whose DFA needs > 2 states with budget 1.
+        let re = Regex::parse("ab").expect("pattern parses");
+        assert!(Dfa::compile(&re, 1).is_none());
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        let d = dfa(".*");
+        assert!(!d.matches("é".as_bytes()));
+        assert!(d.matches(b"e"));
+    }
+}

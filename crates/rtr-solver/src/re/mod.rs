@@ -1,0 +1,46 @@
+//! The theory of **regular expressions** — the extension the paper's
+//! conclusion anticipates ("we anticipate that other programs, ranging
+//! from fixed-width arithmetic to theories of regular expressions, can
+//! similarly benefit", §7).
+//!
+//! Following the §3.4 recipe for integrating a new theory, this module
+//! provides the solver side: a from-scratch regex engine (parser →
+//! Thompson NFA → subset-construction DFA) and a decision procedure for
+//! conjunctions of (possibly negated) membership constraints
+//! `s ∈ L(r)` / `s ∉ L(r)`. `rtr-core` lifts `(regexp-match? #rx"…" s)`
+//! tests into these constraints exactly the way `(≤ i (len v))` tests are
+//! lifted into linear arithmetic.
+//!
+//! Matching is **anchored** (the whole string must match) and the alphabet
+//! is ASCII; non-ASCII strings match no regex, in both the runtime matcher
+//! and the solver, so the two semantics agree everywhere — which is what
+//! the model relation (M-Theory) requires.
+//!
+//! # Examples
+//!
+//! Deciding that a validated string is a well-formed decimal number:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rtr_solver::lin::SolverVar;
+//! use rtr_solver::re::{ReConstraint, ReSolver, Regex};
+//!
+//! let s = SolverVar(0);
+//! let decimal = Arc::new(Regex::parse("-?[0-9]+")?);
+//! let digits = Arc::new(Regex::parse("[0-9]+")?);
+//! let solver = ReSolver::default();
+//!
+//! // s ∈ [0-9]+ ⊢ s ∈ -?[0-9]+   (membership is monotone in the language)
+//! assert!(solver.entails(&[ReConstraint::member(s, digits)], &ReConstraint::member(s, decimal)));
+//! # Ok::<(), rtr_solver::re::ReParseError>(())
+//! ```
+
+mod dfa;
+mod nfa;
+mod solver;
+mod syntax;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use solver::{ReConfig, ReConstraint, ReResult, ReSolver};
+pub use syntax::{ClassSet, ReParseError, Regex, ALPHABET};

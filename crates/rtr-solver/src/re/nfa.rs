@@ -1,0 +1,249 @@
+//! Thompson construction and NFA simulation.
+//!
+//! The NFA is the runtime matcher (linear in `|input| · |regex|`) and the
+//! input to the DFA's subset construction.
+
+use super::syntax::{ClassSet, Regex};
+
+/// A state index within an [`Nfa`].
+pub type StateId = u32;
+
+#[derive(Clone, Debug, Default)]
+struct State {
+    /// ε-transitions.
+    eps: Vec<StateId>,
+    /// Character-class transitions.
+    trans: Vec<(ClassSet, StateId)>,
+}
+
+/// A Thompson-constructed nondeterministic finite automaton with a single
+/// accepting state.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_solver::re::{Nfa, Regex};
+///
+/// let nfa = Nfa::compile(&Regex::parse("(ab)+")?);
+/// assert!(nfa.matches(b"abab"));
+/// assert!(!nfa.matches(b"aba"));
+/// # Ok::<(), rtr_solver::re::ReParseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: StateId,
+    accept: StateId,
+}
+
+impl Nfa {
+    /// Compiles a regex via Thompson's construction (one fragment per AST
+    /// node, ε-wired).
+    pub fn compile(re: &Regex) -> Nfa {
+        let mut nfa = Nfa { states: Vec::new(), start: 0, accept: 0 };
+        let (s, a) = nfa.fragment(re);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    /// Number of states (used to bound subset-construction inputs).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Is `s` the accepting state?
+    pub fn is_accept(&self, s: StateId) -> bool {
+        s == self.accept
+    }
+
+    fn fresh(&mut self) -> StateId {
+        self.states.push(State::default());
+        (self.states.len() - 1) as StateId
+    }
+
+    fn eps(&mut self, from: StateId, to: StateId) {
+        self.states[from as usize].eps.push(to);
+    }
+
+    /// Builds the fragment for `re`, returning `(entry, exit)`.
+    fn fragment(&mut self, re: &Regex) -> (StateId, StateId) {
+        match re {
+            Regex::Empty => (self.fresh(), self.fresh()), // disconnected
+            Regex::Epsilon => {
+                let s = self.fresh();
+                (s, s)
+            }
+            Regex::Class(cls) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.states[s as usize].trans.push((*cls, a));
+                (s, a)
+            }
+            Regex::Concat(rs) => {
+                let first = self.fresh();
+                let mut cur = first;
+                for r in rs {
+                    let (s, a) = self.fragment(r);
+                    self.eps(cur, s);
+                    cur = a;
+                }
+                (first, cur)
+            }
+            Regex::Alt(rs) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                for r in rs {
+                    let (rs_, ra) = self.fragment(r);
+                    self.eps(s, rs_);
+                    self.eps(ra, a);
+                }
+                (s, a)
+            }
+            Regex::Star(r) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (rs_, ra) = self.fragment(r);
+                self.eps(s, rs_);
+                self.eps(s, a);
+                self.eps(ra, rs_);
+                self.eps(ra, a);
+                (s, a)
+            }
+        }
+    }
+
+    /// The ε-closure of `set`, in sorted order without duplicates.
+    pub(crate) fn eps_closure(&self, set: &mut Vec<StateId>) {
+        let mut seen: Vec<bool> = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(set.len());
+        for &s in set.iter() {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s as usize].eps {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        set.clear();
+        set.extend(
+            (0..self.states.len() as StateId).filter(|&s| seen[s as usize]),
+        );
+    }
+
+    /// All states reachable from `set` on character `c` (before closure).
+    pub(crate) fn step(&self, set: &[StateId], c: u8) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for &s in set {
+            for (cls, t) in &self.states[s as usize].trans {
+                if cls.contains(c) && !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Anchored match: does the NFA accept exactly `input`? Bytes ≥ 128
+    /// match no class, so non-ASCII input is always rejected.
+    pub fn matches(&self, input: &[u8]) -> bool {
+        let mut current = vec![self.start];
+        self.eps_closure(&mut current);
+        for &c in input {
+            if current.is_empty() {
+                return false;
+            }
+            let mut next = self.step(&current, c);
+            self.eps_closure(&mut next);
+            current = next;
+        }
+        current.contains(&self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Nfa::compile(&Regex::parse(pattern).expect("pattern parses"))
+            .matches(input.as_bytes())
+    }
+
+    #[test]
+    fn literal_matching_is_anchored() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abcd"));
+        assert!(!m("abc", "xabc"));
+        assert!(!m("abc", ""));
+    }
+
+    #[test]
+    fn alternation_and_star() {
+        assert!(m("a|b", "a"));
+        assert!(m("a|b", "b"));
+        assert!(!m("a|b", "ab"));
+        assert!(m("(ab)*", ""));
+        assert!(m("(ab)*", "ababab"));
+        assert!(!m("(ab)*", "aba"));
+    }
+
+    #[test]
+    fn plus_opt_classes() {
+        assert!(m("[0-9]+", "2016"));
+        assert!(!m("[0-9]+", ""));
+        assert!(m("-?[0-9]+", "-7"));
+        assert!(m("-?[0-9]+", "7"));
+        assert!(!m("-?[0-9]+", "--7"));
+    }
+
+    #[test]
+    fn empty_language_matches_nothing() {
+        let nfa = Nfa::compile(&Regex::Empty);
+        assert!(!nfa.matches(b""));
+        assert!(!nfa.matches(b"a"));
+    }
+
+    #[test]
+    fn epsilon_matches_only_empty() {
+        let nfa = Nfa::compile(&Regex::Epsilon);
+        assert!(nfa.matches(b""));
+        assert!(!nfa.matches(b"a"));
+    }
+
+    #[test]
+    fn non_ascii_input_never_matches() {
+        assert!(!m(".*", "héllo")); // é is multi-byte, ≥ 0x80
+        assert!(m(".*", "hello"));
+    }
+
+    #[test]
+    fn nested_stars_terminate() {
+        // (a*)* has ε-cycles; closure must not loop.
+        assert!(m("(a*)*", ""));
+        assert!(m("(a*)*", "aaaa"));
+        assert!(!m("(a*)*", "b"));
+    }
+
+    #[test]
+    fn realistic_patterns() {
+        let ipish = r"\d{1,3}(\.\d{1,3}){3}";
+        assert!(m(ipish, "192.168.0.1"));
+        assert!(!m(ipish, "192.168.0"));
+        let ident = r"[A-Za-z_]\w*";
+        assert!(m(ident, "safe_vec_ref2"));
+        assert!(!m(ident, "2fast"));
+    }
+}

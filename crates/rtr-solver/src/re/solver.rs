@@ -1,0 +1,319 @@
+//! The regex theory solver: satisfiability and entailment for
+//! conjunctions of (possibly negated) regex-membership constraints.
+//!
+//! Constraints mention string-valued solver variables; constraints on
+//! *different* variables are independent, so the solver decides each
+//! variable's conjunction separately by intersecting membership DFAs with
+//! complements of non-membership DFAs and testing emptiness. The check is
+//! a *decision procedure* (complete) up to the configurable DFA state
+//! budget; budget exhaustion yields [`ReResult::Unknown`], which the type
+//! checker treats as "not proved" — conservative, like the paper's other
+//! theories.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use super::dfa::Dfa;
+use super::syntax::Regex;
+use crate::lin::SolverVar;
+
+/// One membership literal: `var ∈ L(regex)` (or `∉` when not positive).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReConstraint {
+    /// The string-valued variable.
+    pub var: SolverVar,
+    /// The regular expression.
+    pub regex: Arc<Regex>,
+    /// `true` for membership, `false` for non-membership.
+    pub positive: bool,
+}
+
+impl ReConstraint {
+    /// A positive membership constraint.
+    pub fn member(var: SolverVar, regex: Arc<Regex>) -> ReConstraint {
+        ReConstraint { var, regex, positive: true }
+    }
+
+    /// A negative membership constraint.
+    pub fn not_member(var: SolverVar, regex: Arc<Regex>) -> ReConstraint {
+        ReConstraint { var, regex, positive: false }
+    }
+
+    /// The negated literal.
+    pub fn negate(&self) -> ReConstraint {
+        ReConstraint { positive: !self.positive, ..self.clone() }
+    }
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReResult {
+    /// Satisfiable, with a witness string per constrained variable.
+    Sat(BTreeMap<SolverVar, String>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The DFA state budget was exhausted; treat as "not proved".
+    Unknown,
+}
+
+impl ReResult {
+    /// Is this `Unsat`?
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, ReResult::Unsat)
+    }
+}
+
+/// Budget configuration for [`ReSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReConfig {
+    /// Maximum DFA states per construction/product before giving up.
+    pub max_dfa_states: usize,
+}
+
+impl Default for ReConfig {
+    fn default() -> ReConfig {
+        ReConfig { max_dfa_states: 1 << 13 }
+    }
+}
+
+/// Decision procedure for the regex theory.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rtr_solver::lin::SolverVar;
+/// use rtr_solver::re::{ReConstraint, ReSolver, Regex};
+///
+/// let s = SolverVar(0);
+/// let digits = Arc::new(Regex::parse("[0-9]+")?);
+/// let nonempty = Arc::new(Regex::parse(".+")?);
+/// // s ∈ [0-9]+ ⊢ s ∈ .+
+/// let solver = ReSolver::default();
+/// assert!(solver.entails(
+///     &[ReConstraint::member(s, digits.clone())],
+///     &ReConstraint::member(s, nonempty),
+/// ));
+/// // but not the converse
+/// assert!(!solver.entails(
+///     &[ReConstraint::member(s, Arc::new(Regex::parse(".+")?))],
+///     &ReConstraint::member(s, digits),
+/// ));
+/// # Ok::<(), rtr_solver::re::ReParseError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReSolver {
+    config: ReConfig,
+}
+
+impl ReSolver {
+    /// A solver with the given budget.
+    pub fn new(config: ReConfig) -> ReSolver {
+        ReSolver { config }
+    }
+
+    /// Is the conjunction of `constraints` satisfiable?
+    ///
+    /// Returns a witness assignment on success. Unconstrained variables do
+    /// not appear in the model.
+    pub fn check(&self, constraints: &[ReConstraint]) -> ReResult {
+        let budget = self.config.max_dfa_states;
+        let mut by_var: BTreeMap<SolverVar, Vec<&ReConstraint>> = BTreeMap::new();
+        for c in constraints {
+            by_var.entry(c.var).or_default().push(c);
+        }
+        let mut model = BTreeMap::new();
+        let mut unknown = false;
+        for (var, cs) in by_var {
+            // Start from Σ* and intersect each literal's language.
+            let mut acc: Option<Dfa> = None;
+            for c in cs {
+                let Some(mut d) = Dfa::compile(&c.regex, budget) else {
+                    unknown = true;
+                    continue;
+                };
+                if !c.positive {
+                    d = d.complement();
+                }
+                // Minimizing between steps keeps intersection chains from
+                // compounding state counts.
+                let d = d.minimize();
+                acc = Some(match acc {
+                    None => d,
+                    Some(prev) => match prev.intersect(&d, budget) {
+                        Some(i) => i.minimize(),
+                        None => {
+                            unknown = true;
+                            prev
+                        }
+                    },
+                });
+            }
+            match acc.as_ref().and_then(Dfa::shortest_accepted) {
+                Some(witness) => {
+                    let s = String::from_utf8(witness)
+                        .expect("witnesses are ASCII by construction");
+                    model.insert(var, s);
+                }
+                None => {
+                    if acc.is_some() {
+                        // The (possibly partial) intersection is empty.
+                        // Dropping budget-blown literals only *grows* the
+                        // language, so emptiness of the partial
+                        // intersection still refutes the full conjunction.
+                        return ReResult::Unsat;
+                    }
+                    // Every literal for this variable blew the budget.
+                    unknown = true;
+                }
+            }
+        }
+        if unknown {
+            // Witnesses found for other variables are still valid, but a
+            // skipped literal somewhere means the conjunction as a whole is
+            // undecided.
+            return ReResult::Unknown;
+        }
+        ReResult::Sat(model)
+    }
+
+    /// Do `facts` entail `goal`? Decided as UNSAT of `facts ∧ ¬goal`;
+    /// `Unknown` is conservatively `false`.
+    pub fn entails(&self, facts: &[ReConstraint], goal: &ReConstraint) -> bool {
+        let mut query: Vec<ReConstraint> = facts.to_vec();
+        query.push(goal.negate());
+        self.check(&query).is_unsat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Arc<Regex> {
+        Arc::new(Regex::parse(p).expect("pattern parses"))
+    }
+    fn v(n: u32) -> SolverVar {
+        SolverVar(n)
+    }
+
+    #[test]
+    fn single_membership_is_sat_with_witness() {
+        let solver = ReSolver::default();
+        match solver.check(&[ReConstraint::member(v(0), re("ab*c"))]) {
+            ReResult::Sat(m) => {
+                let w = &m[&v(0)];
+                assert!(Regex::parse("ab*c").unwrap().is_match(w), "witness {w:?}");
+                assert_eq!(w, "ac", "BFS gives the shortest witness");
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_memberships_are_unsat() {
+        let solver = ReSolver::default();
+        let cs = [
+            ReConstraint::member(v(0), re("a+")),
+            ReConstraint::member(v(0), re("b+")),
+        ];
+        assert_eq!(solver.check(&cs), ReResult::Unsat);
+        // Positive and negative of the same language.
+        let cs = [
+            ReConstraint::member(v(0), re("a*")),
+            ReConstraint::not_member(v(0), re("a*")),
+        ];
+        assert_eq!(solver.check(&cs), ReResult::Unsat);
+    }
+
+    #[test]
+    fn distinct_variables_are_independent() {
+        let solver = ReSolver::default();
+        let cs = [
+            ReConstraint::member(v(0), re("a+")),
+            ReConstraint::member(v(1), re("b+")),
+        ];
+        match solver.check(&cs) {
+            ReResult::Sat(m) => {
+                assert_eq!(m[&v(0)], "a");
+                assert_eq!(m[&v(1)], "b");
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entailment_by_language_inclusion() {
+        let solver = ReSolver::default();
+        // x ∈ [0-9]{4} ⊢ x ∈ [0-9]+
+        assert!(solver.entails(
+            &[ReConstraint::member(v(0), re("[0-9]{4}"))],
+            &ReConstraint::member(v(0), re("[0-9]+")),
+        ));
+        // x ∈ [0-9]+ ⊬ x ∈ [0-9]{4}
+        assert!(!solver.entails(
+            &[ReConstraint::member(v(0), re("[0-9]+"))],
+            &ReConstraint::member(v(0), re("[0-9]{4}")),
+        ));
+        // x ∈ a+, x ∉ aa* a ⊢ x ∈ a  (a+ minus aa+ is exactly "a")
+        assert!(solver.entails(
+            &[
+                ReConstraint::member(v(0), re("a+")),
+                ReConstraint::not_member(v(0), re("aaa*")),
+            ],
+            &ReConstraint::member(v(0), re("a")),
+        ));
+    }
+
+    #[test]
+    fn negative_goals() {
+        let solver = ReSolver::default();
+        // x ∈ a+ ⊢ x ∉ b+
+        assert!(solver.entails(
+            &[ReConstraint::member(v(0), re("a+"))],
+            &ReConstraint::not_member(v(0), re("b+")),
+        ));
+        // x ∈ (a|b)+ ⊬ x ∉ b+
+        assert!(!solver.entails(
+            &[ReConstraint::member(v(0), re("(a|b)+"))],
+            &ReConstraint::not_member(v(0), re("b+")),
+        ));
+    }
+
+    #[test]
+    fn no_facts_entail_only_tautologies() {
+        let solver = ReSolver::default();
+        // ⊢ x ∈ .* (every string matches)
+        assert!(solver.entails(&[], &ReConstraint::member(v(0), re(".*"))));
+        // ⊬ x ∈ a+
+        assert!(!solver.entails(&[], &ReConstraint::member(v(0), re("a+"))));
+    }
+
+    #[test]
+    fn empty_constraint_set_is_sat() {
+        assert_eq!(ReSolver::default().check(&[]), ReResult::Sat(BTreeMap::new()));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown_not_wrong() {
+        let solver = ReSolver::new(ReConfig { max_dfa_states: 1 });
+        let cs = [ReConstraint::member(v(0), re("abc"))];
+        assert_eq!(solver.check(&cs), ReResult::Unknown);
+        // Entailment under an exhausted budget is conservatively false.
+        assert!(!solver.entails(&[], &ReConstraint::member(v(0), re("abc"))));
+    }
+
+    #[test]
+    fn unsat_survives_partial_budget_exhaustion() {
+        // One literal blows the tiny budget but the remaining two already
+        // contradict: dropping literals only grows the language, so the
+        // refutation is still sound.
+        let solver = ReSolver::new(ReConfig { max_dfa_states: 4 });
+        let cs = [
+            ReConstraint::member(v(0), re("a{40,60}b{40,60}")), // too big
+            ReConstraint::member(v(0), re("a")),
+            ReConstraint::member(v(0), re("b")),
+        ];
+        assert_eq!(solver.check(&cs), ReResult::Unsat);
+    }
+}

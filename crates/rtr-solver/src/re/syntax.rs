@@ -1,0 +1,832 @@
+//! Regular-expression syntax: character classes, the regex AST, and a
+//! parser for the surface pattern language.
+//!
+//! The alphabet is ASCII (bytes `0..=127`). Strings containing non-ASCII
+//! bytes match no regex — a deliberate, conservative choice shared by the
+//! runtime matcher and the solver so their verdicts always agree.
+
+use std::fmt;
+
+/// Number of symbols in the regex alphabet (ASCII).
+pub const ALPHABET: usize = 128;
+
+/// A set of ASCII characters, stored as a 128-bit set.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_solver::re::ClassSet;
+///
+/// let digits = ClassSet::range(b'0', b'9');
+/// assert!(digits.contains(b'7'));
+/// assert!(!digits.contains(b'a'));
+/// assert_eq!(digits.len(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ClassSet {
+    bits: [u64; 2],
+}
+
+impl ClassSet {
+    /// The empty class (matches no character).
+    pub fn empty() -> ClassSet {
+        ClassSet::default()
+    }
+
+    /// The full class (any ASCII character) — the class of `.`.
+    pub fn full() -> ClassSet {
+        ClassSet { bits: [u64::MAX, u64::MAX] }
+    }
+
+    /// The singleton class `{c}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not ASCII.
+    pub fn singleton(c: u8) -> ClassSet {
+        let mut s = ClassSet::empty();
+        s.insert(c);
+        s
+    }
+
+    /// The inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not ASCII or `lo > hi`.
+    pub fn range(lo: u8, hi: u8) -> ClassSet {
+        assert!(lo <= hi, "empty class range");
+        let mut s = ClassSet::empty();
+        for c in lo..=hi {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Adds a character to the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not ASCII.
+    pub fn insert(&mut self, c: u8) {
+        assert!((c as usize) < ALPHABET, "non-ASCII character in class");
+        self.bits[(c >> 6) as usize] |= 1 << (c & 63);
+    }
+
+    /// Does the class contain `c`? Non-ASCII bytes are never contained.
+    pub fn contains(&self, c: u8) -> bool {
+        (c as usize) < ALPHABET && self.bits[(c >> 6) as usize] & (1 << (c & 63)) != 0
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ClassSet) -> ClassSet {
+        ClassSet { bits: [self.bits[0] | other.bits[0], self.bits[1] | other.bits[1]] }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ClassSet) -> ClassSet {
+        ClassSet { bits: [self.bits[0] & other.bits[0], self.bits[1] & other.bits[1]] }
+    }
+
+    /// Complement within the ASCII alphabet.
+    pub fn complement(&self) -> ClassSet {
+        ClassSet { bits: [!self.bits[0], !self.bits[1]] }
+    }
+
+    /// Is the class empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0, 0]
+    }
+
+    /// Number of characters in the class.
+    pub fn len(&self) -> usize {
+        (self.bits[0].count_ones() + self.bits[1].count_ones()) as usize
+    }
+
+    /// Iterates over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..ALPHABET as u8).filter(move |&c| self.contains(c))
+    }
+
+    /// `\d` — ASCII digits.
+    pub fn digits() -> ClassSet {
+        ClassSet::range(b'0', b'9')
+    }
+
+    /// `\w` — word characters (`[A-Za-z0-9_]`).
+    pub fn word() -> ClassSet {
+        ClassSet::range(b'a', b'z')
+            .union(&ClassSet::range(b'A', b'Z'))
+            .union(&ClassSet::digits())
+            .union(&ClassSet::singleton(b'_'))
+    }
+
+    /// `\s` — whitespace (`[ \t\n\r\x0b\x0c]`).
+    pub fn space() -> ClassSet {
+        let mut s = ClassSet::empty();
+        for c in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClassSet[")?;
+        let mut first = true;
+        // Render as compact ranges.
+        let mut it = self.iter().peekable();
+        while let Some(lo) = it.next() {
+            let mut hi = lo;
+            while it.peek() == Some(&(hi + 1)) {
+                hi = it.next().expect("peeked");
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            if lo == hi {
+                write!(f, "{:?}", lo as char)?;
+            } else {
+                write!(f, "{:?}-{:?}", lo as char, hi as char)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A regular expression over the ASCII alphabet.
+///
+/// Matching is *anchored* (full-match semantics): a regex used as a
+/// type-level refinement describes the whole string, the same convention
+/// Racket's `#rx"^…$"` patterns and type-level regex proposals use.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_solver::re::Regex;
+///
+/// let r = Regex::parse("[0-9]+").unwrap();
+/// assert!(r.is_match("2016"));
+/// assert!(!r.is_match("pldi16"));   // anchored: the whole string must match
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Regex {
+    /// The empty language ∅ (matches nothing).
+    Empty,
+    /// The empty string ε.
+    Epsilon,
+    /// One character drawn from a class.
+    Class(ClassSet),
+    /// Concatenation `r₁ r₂ …`.
+    Concat(Vec<Regex>),
+    /// Alternation `r₁ | r₂ | …`.
+    Alt(Vec<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// The single-character regex `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not ASCII.
+    pub fn char(c: u8) -> Regex {
+        Regex::Class(ClassSet::singleton(c))
+    }
+
+    /// The literal string `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not ASCII.
+    pub fn lit(s: &str) -> Regex {
+        Regex::concat(s.bytes().map(Regex::char).collect())
+    }
+
+    /// Concatenation with unit/absorption simplification.
+    pub fn concat(rs: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(rs.len());
+        for r in rs {
+            match r {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                r => out.push(r),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Alternation with unit simplification; single-character
+    /// alternatives fuse into one class (`a|b|c` ≡ `[abc]`), which keeps
+    /// the automata small.
+    pub fn alt(rs: Vec<Regex>) -> Regex {
+        let mut classes = ClassSet::empty();
+        let mut has_class = false;
+        let mut out = Vec::with_capacity(rs.len());
+        let mut push = |r: Regex, classes: &mut ClassSet, has_class: &mut bool| match r {
+            Regex::Empty => {}
+            Regex::Class(s) => {
+                *classes = classes.union(&s);
+                *has_class = true;
+            }
+            r => {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        };
+        for r in rs {
+            match r {
+                Regex::Alt(inner) => {
+                    for r in inner {
+                        push(r, &mut classes, &mut has_class);
+                    }
+                }
+                r => push(r, &mut classes, &mut has_class),
+            }
+        }
+        if has_class && !classes.is_empty() {
+            out.insert(0, Regex::Class(classes));
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Kleene star, simplifying `∅* = ε* = ε` and `(r*)* = r*`.
+    pub fn star(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            r @ Regex::Star(_) => r,
+            r => Regex::Star(Box::new(r)),
+        }
+    }
+
+    /// `r+ = r r*`.
+    pub fn plus(r: Regex) -> Regex {
+        Regex::concat(vec![r.clone(), Regex::star(r)])
+    }
+
+    /// `r? = ε | r`.
+    pub fn opt(r: Regex) -> Regex {
+        Regex::alt(vec![Regex::Epsilon, r])
+    }
+
+    /// Does the regex accept the empty string? (Syntactic nullability.)
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Class(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(rs) => rs.iter().all(Regex::nullable),
+            Regex::Alt(rs) => rs.iter().any(Regex::nullable),
+        }
+    }
+
+    /// AST node count (bounds solver budgets and fuzzers).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Class(_) => 1,
+            Regex::Concat(rs) | Regex::Alt(rs) => {
+                1 + rs.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(r) => 1 + r.size(),
+        }
+    }
+
+    /// Matches `input` against the whole regex (anchored) by compiling a
+    /// Thompson NFA and simulating it. Non-ASCII input never matches.
+    ///
+    /// This is the *runtime* matcher (the `regexp-match?` primitive); the
+    /// solver decides satisfiability questions over the same semantics.
+    pub fn is_match(&self, input: &str) -> bool {
+        crate::re::Nfa::compile(self).matches(input.as_bytes())
+    }
+
+    /// Parses a pattern. See the module docs for the supported syntax:
+    /// alternation `|`, postfix `*` `+` `?` `{m}` `{m,}` `{m,n}`, groups
+    /// `(…)`, classes `[a-z]` `[^…]`, `.`, and escapes
+    /// (`\d \D \w \W \s \S \n \t \r` and `\c` for literal punctuation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReParseError`] (with a byte position) on malformed
+    /// patterns, non-ASCII patterns, and counted repetitions that would
+    /// expand past an internal size limit.
+    pub fn parse(pattern: &str) -> Result<Regex, ReParseError> {
+        Parser { input: pattern.as_bytes(), pos: 0 }.parse_top()
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Renders the regex back to pattern syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn class(f: &mut fmt::Formatter<'_>, s: &ClassSet) -> fmt::Result {
+            if *s == ClassSet::full() {
+                return write!(f, ".");
+            }
+            if s.len() == 1 {
+                let c = s.iter().next().expect("len checked");
+                return write!(f, "{}", escape_char(c));
+            }
+            write!(f, "[")?;
+            let mut it = s.iter().peekable();
+            while let Some(lo) = it.next() {
+                let mut hi = lo;
+                while it.peek() == Some(&(hi + 1)) {
+                    hi = it.next().expect("peeked");
+                }
+                if hi > lo + 1 {
+                    write!(f, "{}-{}", escape_in_class(lo), escape_in_class(hi))?;
+                } else {
+                    write!(f, "{}", escape_in_class(lo))?;
+                    if hi > lo {
+                        write!(f, "{}", escape_in_class(hi))?;
+                    }
+                }
+            }
+            write!(f, "]")
+        }
+        fn go(f: &mut fmt::Formatter<'_>, r: &Regex, prec: u8) -> fmt::Result {
+            match r {
+                // ∅ has no primitive syntax; an empty class is equivalent.
+                Regex::Empty => write!(f, "[^\\x00-\\x7f]"),
+                Regex::Epsilon => write!(f, "()"),
+                Regex::Class(s) => class(f, s),
+                Regex::Concat(rs) => {
+                    let wrap = prec > 1;
+                    if wrap {
+                        write!(f, "(")?;
+                    }
+                    for r in rs {
+                        go(f, r, 2)?;
+                    }
+                    if wrap {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Alt(rs) => {
+                    let wrap = prec > 0;
+                    if wrap {
+                        write!(f, "(")?;
+                    }
+                    for (i, r) in rs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "|")?;
+                        }
+                        go(f, r, 1)?;
+                    }
+                    if wrap {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(r) => {
+                    go(f, r, 3)?;
+                    write!(f, "*")
+                }
+            }
+        }
+        go(f, self, 0)
+    }
+}
+
+fn escape_char(c: u8) -> String {
+    match c {
+        b'\\' | b'|' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'{' | b'}'
+        | b'.' | b'^' | b'$' => format!("\\{}", c as char),
+        b'\n' => "\\n".into(),
+        b'\t' => "\\t".into(),
+        b'\r' => "\\r".into(),
+        c if (0x20..0x7f).contains(&c) => (c as char).to_string(),
+        c => format!("\\x{c:02x}"),
+    }
+}
+
+fn escape_in_class(c: u8) -> String {
+    match c {
+        b'\\' | b']' | b'^' | b'-' => format!("\\{}", c as char),
+        b'\n' => "\\n".into(),
+        b'\t' => "\\t".into(),
+        b'\r' => "\\r".into(),
+        c if (0x20..0x7f).contains(&c) => (c as char).to_string(),
+        c => format!("\\x{c:02x}"),
+    }
+}
+
+/// A regex pattern parse failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReParseError {
+    /// Byte offset of the failure within the pattern.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ReParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ReParseError {}
+
+/// Counted repetitions expand; cap the result so `a{64}{64}` cannot blow
+/// up the AST.
+const MAX_EXPANDED_SIZE: usize = 4096;
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ReParseError> {
+        Err(ReParseError { pos: self.pos, msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_top(&mut self) -> Result<Regex, ReParseError> {
+        if let Some(c) = self.input.iter().find(|c| !c.is_ascii()) {
+            return self.err(format!("non-ASCII byte 0x{c:02x} in pattern"));
+        }
+        let r = self.parse_alt()?;
+        if self.pos != self.input.len() {
+            return self.err(format!("unexpected '{}'", self.input[self.pos] as char));
+        }
+        Ok(r)
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, ReParseError> {
+        let mut arms = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            arms.push(self.parse_concat()?);
+        }
+        Ok(Regex::alt(arms))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ReParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == b'|' || c == b')' {
+                break;
+            }
+            parts.push(self.parse_postfix()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, ReParseError> {
+        let mut r = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    r = Regex::star(r);
+                }
+                Some(b'+') => {
+                    self.bump();
+                    r = Regex::plus(r);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    r = Regex::opt(r);
+                }
+                Some(b'{') => {
+                    self.bump();
+                    r = self.parse_counted(r)?;
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    /// `{m}`, `{m,}`, `{m,n}` — expanded into concatenations.
+    fn parse_counted(&mut self, r: Regex) -> Result<Regex, ReParseError> {
+        let lo = self.parse_count()?;
+        let hi = match self.peek() {
+            Some(b',') => {
+                self.bump();
+                if self.peek() == Some(b'}') {
+                    None // {m,}
+                } else {
+                    Some(self.parse_count()?)
+                }
+            }
+            _ => Some(lo), // {m}
+        };
+        if self.bump() != Some(b'}') {
+            return self.err("expected '}' after repetition count");
+        }
+        if let Some(hi) = hi {
+            if hi < lo {
+                return self.err(format!("repetition range {{{lo},{hi}}} is backwards"));
+            }
+        }
+        let mut parts: Vec<Regex> = std::iter::repeat_n(r.clone(), lo).collect();
+        match hi {
+            None => parts.push(Regex::star(r)),
+            Some(hi) => parts.extend(std::iter::repeat_n(Regex::opt(r), hi - lo)),
+        }
+        let out = Regex::concat(parts);
+        if out.size() > MAX_EXPANDED_SIZE {
+            return self.err("counted repetition expands past the size limit");
+        }
+        Ok(out)
+    }
+
+    fn parse_count(&mut self) -> Result<usize, ReParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return self.err("expected a repetition count");
+        }
+        let digits = std::str::from_utf8(&self.input[start..self.pos]).expect("ASCII digits");
+        match digits.parse::<usize>() {
+            Ok(n) if n <= 256 => Ok(n),
+            _ => self.err("repetition count too large (max 256)"),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ReParseError> {
+        match self.bump() {
+            None => self.err("expected an atom"),
+            Some(b'(') => {
+                let r = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return self.err("unclosed group");
+                }
+                Ok(r)
+            }
+            Some(b'[') => self.parse_class(),
+            Some(b'.') => Ok(Regex::Class(ClassSet::full())),
+            Some(b'\\') => Ok(Regex::Class(self.parse_escape()?)),
+            Some(c @ (b'*' | b'+' | b'?' | b'{')) => {
+                self.pos -= 1;
+                self.err(format!("dangling quantifier '{}'", c as char))
+            }
+            Some(c @ (b')' | b']' | b'}')) => {
+                self.pos -= 1;
+                self.err(format!("unmatched '{}'", c as char))
+            }
+            Some(b'^') | Some(b'$') => {
+                // Matching is always anchored; explicit anchors at the ends
+                // are harmless no-ops for familiarity.
+                Ok(Regex::Epsilon)
+            }
+            Some(c) => Ok(Regex::char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<ClassSet, ReParseError> {
+        match self.bump() {
+            None => self.err("dangling escape"),
+            Some(b'd') => Ok(ClassSet::digits()),
+            Some(b'D') => Ok(ClassSet::digits().complement()),
+            Some(b'w') => Ok(ClassSet::word()),
+            Some(b'W') => Ok(ClassSet::word().complement()),
+            Some(b's') => Ok(ClassSet::space()),
+            Some(b'S') => Ok(ClassSet::space().complement()),
+            Some(b'n') => Ok(ClassSet::singleton(b'\n')),
+            Some(b't') => Ok(ClassSet::singleton(b'\t')),
+            Some(b'r') => Ok(ClassSet::singleton(b'\r')),
+            Some(b'x') => {
+                let hex = |p: &mut Parser<'_>| -> Result<u8, ReParseError> {
+                    match p.bump() {
+                        Some(c) if c.is_ascii_hexdigit() => {
+                            Ok((c as char).to_digit(16).expect("hex digit") as u8)
+                        }
+                        _ => p.err("expected two hex digits after \\x"),
+                    }
+                };
+                let hi = hex(self)?;
+                let lo = hex(self)?;
+                let c = hi * 16 + lo;
+                if c as usize >= ALPHABET {
+                    return self.err("\\x escape beyond ASCII");
+                }
+                Ok(ClassSet::singleton(c))
+            }
+            Some(c) if c.is_ascii_alphanumeric() => {
+                self.pos -= 1;
+                self.err(format!("unknown escape \\{}", c as char))
+            }
+            Some(c) => Ok(ClassSet::singleton(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Regex, ReParseError> {
+        let negated = self.peek() == Some(b'^');
+        if negated {
+            self.bump();
+        }
+        let mut set = ClassSet::empty();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return self.err("unclosed character class"),
+                Some(b']') if !first => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            first = false;
+            let item = self.parse_class_item()?;
+            // A range `a-z` requires a single-char left side and a
+            // single-char right side separated by '-'.
+            if self.peek() == Some(b'-')
+                && self.input.get(self.pos + 1).is_some_and(|&c| c != b']')
+            {
+                self.bump(); // '-'
+                let (Some(lo), rhs) = (one_char(&item), self.parse_class_item()?) else {
+                    return self.err("class range must start with a single character");
+                };
+                let Some(hi) = one_char(&rhs) else {
+                    return self.err("class range must end with a single character");
+                };
+                if lo > hi {
+                    return self.err(format!(
+                        "class range {}-{} is backwards",
+                        lo as char, hi as char
+                    ));
+                }
+                set = set.union(&ClassSet::range(lo, hi));
+            } else {
+                set = set.union(&item);
+            }
+        }
+        if negated {
+            set = set.complement();
+        }
+        Ok(Regex::Class(set))
+    }
+
+    fn parse_class_item(&mut self) -> Result<ClassSet, ReParseError> {
+        match self.bump() {
+            None => self.err("unclosed character class"),
+            Some(b'\\') => self.parse_escape(),
+            Some(c) => Ok(ClassSet::singleton(c)),
+        }
+    }
+}
+
+/// The single character of a singleton class, if it is one.
+fn one_char(s: &ClassSet) -> Option<u8> {
+    if s.len() == 1 {
+        s.iter().next()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Regex {
+        Regex::parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"))
+    }
+
+    #[test]
+    fn class_set_basics() {
+        let d = ClassSet::digits();
+        assert_eq!(d.len(), 10);
+        assert!(d.contains(b'0') && d.contains(b'9') && !d.contains(b'a'));
+        assert!(!d.contains(200)); // non-ASCII is never contained
+        assert_eq!(d.union(&d), d);
+        assert_eq!(d.intersect(&d.complement()), ClassSet::empty());
+        assert_eq!(d.union(&d.complement()), ClassSet::full());
+        assert_eq!(ClassSet::full().len(), ALPHABET);
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
+        assert_eq!(Regex::concat(vec![Regex::Epsilon, Regex::char(b'a')]), Regex::char(b'a'));
+        assert_eq!(Regex::concat(vec![Regex::char(b'a'), Regex::Empty]), Regex::Empty);
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(Regex::alt(vec![Regex::Empty, Regex::char(b'a')]), Regex::char(b'a'));
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::star(Regex::char(b'a'))), Regex::star(Regex::char(b'a')));
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(p("a*").nullable());
+        assert!(p("a?b?").nullable());
+        assert!(!p("a+").nullable());
+        assert!(!Regex::Empty.nullable());
+    }
+
+    #[test]
+    fn parse_literals_and_alternation() {
+        assert_eq!(p("abc"), Regex::lit("abc"));
+        assert_eq!(
+            p("a|b|c"),
+            Regex::alt(vec![Regex::char(b'a'), Regex::char(b'b'), Regex::char(b'c')])
+        );
+        assert_eq!(p(""), Regex::Epsilon);
+        assert_eq!(p("(ab)*"), Regex::star(Regex::lit("ab")));
+    }
+
+    #[test]
+    fn parse_classes() {
+        assert_eq!(p("[abc]"), p("a|b|c"));
+        assert_eq!(p("[a-c]"), p("[abc]"));
+        let Regex::Class(s) = p("[^a]") else { panic!("expected class") };
+        assert!(!s.contains(b'a') && s.contains(b'b') && s.contains(b'\n'));
+        // ']' immediately after '[' is a literal.
+        let Regex::Class(s) = p("[]a]") else { panic!("expected class") };
+        assert!(s.contains(b']') && s.contains(b'a'));
+        // Trailing '-' is a literal.
+        let Regex::Class(s) = p("[a-]") else { panic!("expected class") };
+        assert!(s.contains(b'a') && s.contains(b'-'));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        assert_eq!(p(r"\d"), Regex::Class(ClassSet::digits()));
+        assert_eq!(p(r"\."), Regex::char(b'.'));
+        assert_eq!(p(r"\x41"), Regex::char(b'A'));
+        assert_eq!(p(r"\n"), Regex::char(b'\n'));
+        assert!(Regex::parse(r"\q").is_err());
+        assert!(Regex::parse(r"\x8f").is_err());
+    }
+
+    #[test]
+    fn parse_counted_repetition() {
+        assert_eq!(p("a{3}"), Regex::lit("aaa"));
+        assert_eq!(p("a{2,}"), Regex::concat(vec![
+            Regex::char(b'a'),
+            Regex::char(b'a'),
+            Regex::star(Regex::char(b'a')),
+        ]));
+        assert!(p("a{1,3}").is_match("aa"));
+        assert!(!p("a{1,3}").is_match(""));
+        assert!(!p("a{1,3}").is_match("aaaa"));
+        assert!(Regex::parse("a{3,1}").is_err());
+        assert!(Regex::parse("a{999}").is_err());
+        assert!(Regex::parse("(a{64}){64}{64}").is_err(), "expansion limit");
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        for bad in ["(a", "a)", "[a", "*a", "a{", "a{2", "a\\"] {
+            let err = Regex::parse(bad).unwrap_err();
+            assert!(err.pos <= bad.len(), "{bad:?} gave position {}", err.pos);
+            assert!(!err.to_string().is_empty());
+        }
+        let err = Regex::parse("héllo").unwrap_err();
+        assert!(err.msg.contains("non-ASCII"));
+    }
+
+    #[test]
+    fn anchors_are_no_ops() {
+        assert_eq!(p("^abc$"), Regex::lit("abc"));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for s in [
+            "abc", "a|bc", "(a|b)*c", "[a-z0-9]+", "[^x]", r"\d{2,4}", "a?b+",
+            r"\.\*", ".*",
+        ] {
+            let r = p(s);
+            let printed = r.to_string();
+            let back = Regex::parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} (from {s:?}): {e}"));
+            assert_eq!(back, r, "round-trip of {s:?} via {printed:?}");
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Regex::char(b'a').size(), 1);
+        assert_eq!(p("ab").size(), 3);
+        assert_eq!(p("a*").size(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! CNF formulas: variables, literals, clauses.
+
+use std::fmt;
+
+/// A propositional variable, numbered from zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation, encoded as `2·var + sign`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`true` = positive).
+    pub fn with_sign(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` when this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index for watch lists (`0..2·num_vars`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negated()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A CNF formula under construction.
+///
+/// The empty clause is representable (and makes the formula trivially
+/// unsatisfiable).
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions a variable that was never allocated.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(l.var().0 < self.num_vars, "literal {l} uses unallocated variable");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Iterates over the clauses.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(|c| c.as_slice())
+    }
+
+    /// Evaluates the formula under a total assignment (`assignment[v]` is
+    /// the value of variable `v`). Used by the truth-table test oracle.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|l| assignment[l.var().0 as usize] == l.is_positive())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::pos(v).is_positive());
+        assert!(!Lit::neg(v).is_positive());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+        assert_eq!(Lit::with_sign(v, true), Lit::pos(v));
+        assert_eq!(Lit::with_sign(v, false), Lit::neg(v));
+    }
+
+    #[test]
+    fn cnf_building_and_eval() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert!(cnf.eval(&[true, false]));
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn unallocated_variable_panics() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Lit::pos(Var(3))]);
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let mut cnf = Cnf::new();
+        let _ = cnf.fresh_var();
+        cnf.add_clause([]);
+        assert!(!cnf.eval(&[true]));
+    }
+}

@@ -1,0 +1,556 @@
+//! Conflict-driven clause learning (CDCL) search.
+
+use super::cnf::{Cnf, Lit, Var};
+
+/// Search budget and tuning parameters for [`Solver`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Abort with [`SatResult::Unknown`] after this many conflicts.
+    pub max_conflicts: u64,
+    /// Initial conflicts-between-restarts; grows geometrically.
+    pub restart_interval: u64,
+    /// Multiplicative bump applied to variables involved in conflicts.
+    pub activity_bump: f64,
+    /// Exponential decay factor applied after every conflict.
+    pub activity_decay: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            max_conflicts: 2_000_000,
+            restart_interval: 128,
+            activity_bump: 1.0,
+            activity_decay: 0.95,
+        }
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value of `v` in the model.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.0 as usize]
+    }
+
+    /// The value of a literal in the model.
+    pub fn lit_value(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_positive()
+    }
+
+    /// The raw assignment, indexed by variable number.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Verdict of a SAT query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted.
+    Unknown,
+}
+
+impl SatResult {
+    /// Returns `true` for [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// Returns `true` for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// A CDCL SAT solver. One-shot: build a [`Cnf`], call [`Solver::solve`].
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<i8>, // -1 unassigned, 0 false, 1 true
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<u32>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    seen: Vec<bool>,
+    propagate_head: usize,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver { config, var_inc: 1.0, ..Solver::default() }
+    }
+
+    /// Decides satisfiability of `cnf`.
+    pub fn solve(&mut self, cnf: &Cnf) -> SatResult {
+        let n = cnf.num_vars() as usize;
+        self.clauses.clear();
+        self.watches = vec![Vec::new(); 2 * n];
+        self.assign = vec![-1; n];
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.reason = vec![NO_REASON; n];
+        self.level = vec![0; n];
+        self.activity = vec![0.0; n];
+        self.seen = vec![false; n];
+        self.propagate_head = 0;
+        self.var_inc = 1.0;
+
+        for clause in cnf.clauses() {
+            if !self.add_clause(clause) {
+                return SatResult::Unsat;
+            }
+        }
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts: u64 = 0;
+        let mut restart_limit = self.config.restart_interval;
+        let mut conflicts_since_restart: u64 = 0;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                if conflicts > self.config.max_conflicts {
+                    return SatResult::Unknown;
+                }
+                let (learnt, back_level) = self.analyze(confl);
+                self.cancel_until(back_level);
+                self.learn(learnt);
+                self.decay_activity();
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit.saturating_mul(3) / 2 + 1;
+                    self.cancel_until(0);
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        let values =
+                            self.assign.iter().map(|&v| v == 1).collect::<Vec<bool>>();
+                        return SatResult::Sat(Model { values });
+                    }
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        // Negative phase first: bit-blasted queries are often
+                        // satisfied with mostly-zero words.
+                        self.enqueue(Lit::neg(v), NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        match self.assign[l.var().0 as usize] {
+            -1 => -1,
+            v => {
+                if (v == 1) == l.is_positive() {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Adds an original clause; returns `false` on immediate (level-0)
+    /// unsatisfiability.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // Sanitize: dedupe, drop tautologies, strip level-0 false literals.
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if clause.contains(&l) {
+                continue;
+            }
+            if clause.contains(&!l) {
+                return true; // tautology, trivially satisfied
+            }
+            match self.value(l) {
+                1 => return true, // already satisfied at level 0
+                0 => continue,    // already false at level 0: drop literal
+                _ => clause.push(l),
+            }
+        }
+        match clause.len() {
+            0 => false,
+            1 => self.enqueue(clause[0], NO_REASON),
+            _ => {
+                self.attach(clause);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, clause: Vec<Lit>) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[(!clause[0]).index()].push(idx);
+        self.watches[(!clause[1]).index()].push(idx);
+        self.clauses.push(clause);
+        idx
+    }
+
+    /// Installs a learnt clause and enqueues its asserting literal.
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        debug_assert!(!learnt.is_empty());
+        if learnt.len() == 1 {
+            let ok = self.enqueue(learnt[0], NO_REASON);
+            debug_assert!(ok, "asserting unit must not conflict after backjump");
+        } else {
+            let first = learnt[0];
+            let idx = self.attach(learnt);
+            let ok = self.enqueue(first, idx);
+            debug_assert!(ok, "asserting literal must not conflict after backjump");
+        }
+    }
+
+    /// Assigns `l` true with the given reason; `false` if it contradicts
+    /// the current assignment.
+    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+        match self.value(l) {
+            1 => true,
+            0 => false,
+            _ => {
+                let v = l.var().0 as usize;
+                self.assign[v] = if l.is_positive() { 1 } else { 0 };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.propagate_head < self.trail.len() {
+            let p = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            // Clauses in watches[p.index()] watch ¬p, which just became false.
+            let mut watch_list = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let false_lit = !p;
+                // Normalize: watched literals live at positions 0 and 1.
+                {
+                    let clause = &mut self.clauses[ci as usize];
+                    if clause[0] == false_lit {
+                        clause.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause[1], false_lit);
+                }
+                if self.value(self.clauses[ci as usize][0]) == 1 {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                let len = self.clauses[ci as usize].len();
+                for k in 2..len {
+                    let cand = self.clauses[ci as usize][k];
+                    if self.value(cand) != 0 {
+                        self.clauses[ci as usize].swap(1, k);
+                        let new_watch = self.clauses[ci as usize][1];
+                        self.watches[(!new_watch).index()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting under the first literal.
+                let first = self.clauses[ci as usize][0];
+                if !self.enqueue(first, ci) {
+                    // Conflict: restore remaining watches before returning.
+                    self.watches[p.index()] = watch_list;
+                    self.propagate_head = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[p.index()] = watch_list;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            let clause = self.clauses[confl as usize].clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &clause[start..] {
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_activity(q.var());
+                    if self.level[v] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().0 as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().0 as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            let r = self.reason[lit.var().0 as usize];
+            debug_assert_ne!(r, NO_REASON, "non-UIP literal must have a reason");
+            // Put the implied literal first so the skip logic above works.
+            let clause = &mut self.clauses[r as usize];
+            if clause[0] != lit {
+                let pos = clause.iter().position(|&x| x == lit).expect("reason contains lit");
+                clause.swap(0, pos);
+            }
+            p = Some(lit);
+            confl = r;
+        }
+
+        let uip = p.expect("loop sets p before breaking");
+        let mut result = vec![!uip];
+        result.extend(learnt.iter().copied());
+        for l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+        // Backjump to the second-highest level in the clause and place a
+        // literal of that level in watch position 1.
+        let mut back_level = 0;
+        let mut pos = 0;
+        for (i, l) in result.iter().enumerate().skip(1) {
+            let lvl = self.level[l.var().0 as usize];
+            if lvl > back_level {
+                back_level = lvl;
+                pos = i;
+            }
+        }
+        if pos != 0 {
+            result.swap(1, pos);
+        }
+        (result, back_level)
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail non-empty above limit");
+                let v = l.var().0 as usize;
+                self.assign[v] = -1;
+                self.reason[v] = NO_REASON;
+            }
+        }
+        self.propagate_head = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(usize, f64)> = None;
+        for (v, &a) in self.assign.iter().enumerate() {
+            if a == -1 {
+                let act = self.activity[v];
+                if best.map(|(_, b)| act > b).unwrap_or(true) {
+                    best = Some((v, act));
+                }
+            }
+        }
+        best.map(|(v, _)| Var(v as u32))
+    }
+
+    fn bump_activity(&mut self, v: Var) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.var_inc *= self.config.activity_bump / self.config.activity_decay;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, sign: bool) -> Lit {
+        Lit::with_sign(Var(v), sign)
+    }
+
+    /// Pigeonhole principle: n+1 pigeons into n holes — classically hard,
+    /// provably unsat.
+    fn pigeonhole(n: u32) -> Cnf {
+        let mut cnf = Cnf::new();
+        let pigeons = n + 1;
+        let var = |p: u32, h: u32| Var(p * n + h);
+        for _ in 0..pigeons * n {
+            cnf.fresh_var();
+        }
+        for p in 0..pigeons {
+            cnf.add_clause((0..n).map(|h| Lit::pos(var(p, h))));
+        }
+        for h in 0..n {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(Solver::new().solve(&Cnf::new()).is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert!(Solver::new().solve(&cnf).is_unsat());
+    }
+
+    #[test]
+    fn unit_and_conflict() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        cnf.add_clause([Lit::pos(a)]);
+        cnf.add_clause([Lit::neg(a)]);
+        assert!(Solver::new().solve(&cnf).is_unsat());
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        let c = cnf.fresh_var();
+        cnf.add_clause([lit(a.0, true), lit(b.0, true)]);
+        cnf.add_clause([lit(a.0, false), lit(c.0, true)]);
+        cnf.add_clause([lit(b.0, false), lit(c.0, false)]);
+        match Solver::new().solve(&cnf) {
+            SatResult::Sat(m) => {
+                assert!(cnf.eval(m.values()), "model must satisfy the formula");
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_chain_forces_unsat() {
+        // a, a→b, b→c, ¬c
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        let c = cnf.fresh_var();
+        cnf.add_clause([Lit::pos(a)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(b), Lit::pos(c)]);
+        cnf.add_clause([Lit::neg(c)]);
+        assert!(Solver::new().solve(&cnf).is_unsat());
+    }
+
+    #[test]
+    fn tautology_and_duplicates_handled() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        cnf.add_clause([Lit::pos(a), Lit::neg(a)]);
+        cnf.add_clause([Lit::pos(a), Lit::pos(a)]);
+        match Solver::new().solve(&cnf) {
+            SatResult::Sat(m) => assert!(m.value(a)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=5 {
+            assert!(
+                Solver::new().solve(&pigeonhole(n)).is_unsat(),
+                "PHP({}) must be unsat",
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, ... encoded as CNF; always satisfiable.
+        let mut cnf = Cnf::new();
+        let n = 12;
+        let vars: Vec<Var> = (0..n).map(|_| cnf.fresh_var()).collect();
+        for w in vars.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+            cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+        }
+        match Solver::new().solve(&cnf) {
+            SatResult::Sat(m) => assert!(cnf.eval(m.values())),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let cfg = SolverConfig { max_conflicts: 1, ..SolverConfig::default() };
+        let result = Solver::with_config(cfg).solve(&pigeonhole(6));
+        assert!(
+            matches!(result, SatResult::Unknown | SatResult::Unsat),
+            "tiny budget must not claim Sat on an unsat instance"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Differential property tests for the regex theory: the NFA, the DFA and
+//! the solver are all checked against a naive reference matcher and
+//! against brute-force string enumeration, mirroring how the linear and
+//! bitvector solvers are validated.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtr_solver::lin::SolverVar;
+use rtr_solver::re::{ClassSet, Dfa, Nfa, ReConstraint, ReResult, ReSolver, Regex};
+
+const BUDGET: usize = 1 << 12;
+
+/// A naive, obviously-correct matcher: structural recursion with string
+/// splitting. Exponential, so only usable on tiny inputs — which is
+/// exactly what a test oracle needs to be.
+fn naive_match(re: &Regex, s: &[u8]) -> bool {
+    match re {
+        Regex::Empty => false,
+        Regex::Epsilon => s.is_empty(),
+        Regex::Class(cls) => s.len() == 1 && cls.contains(s[0]),
+        Regex::Concat(rs) => match rs.split_first() {
+            None => s.is_empty(),
+            Some((head, rest)) => (0..=s.len()).any(|i| {
+                naive_match(head, &s[..i])
+                    && naive_match(&Regex::Concat(rest.to_vec()), &s[i..])
+            }),
+        },
+        Regex::Alt(rs) => rs.iter().any(|r| naive_match(r, s)),
+        Regex::Star(r) => {
+            s.is_empty()
+                || (1..=s.len())
+                    .any(|i| naive_match(r, &s[..i]) && naive_match(re, &s[i..]))
+        }
+    }
+}
+
+/// Random regexes over the alphabet {a, b, c}, depth-bounded.
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::char(b'a')),
+        Just(Regex::char(b'b')),
+        Just(Regex::char(b'c')),
+        Just(Regex::Class(ClassSet::range(b'a', b'b'))),
+        Just(Regex::Class(ClassSet::range(b'a', b'c'))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::opt),
+        ]
+    })
+}
+
+/// Random strings over {a, b, c} up to length 6.
+fn arb_string() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..=6)
+}
+
+/// All strings over {a, b, c} up to length `n`.
+fn enumerate(n: usize) -> Vec<Vec<u8>> {
+    let mut out = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for c in [b'a', b'b', b'c'] {
+                let mut t = s.clone();
+                t.push(c);
+                out.push(t.clone());
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// NFA simulation, DFA run and the naive matcher agree on every input.
+    #[test]
+    fn matchers_agree(re in arb_regex(), s in arb_string()) {
+        let want = naive_match(&re, &s);
+        let nfa = Nfa::compile(&re);
+        prop_assert_eq!(nfa.matches(&s), want, "NFA vs naive on {:?}", re);
+        let dfa = Dfa::from_nfa(&nfa, BUDGET).expect("small regexes stay in budget");
+        prop_assert_eq!(dfa.matches(&s), want, "DFA vs naive on {:?}", re);
+    }
+
+    /// `w ∈ L(¬r) ⇔ w ∉ L(r)` and `w ∈ L(r₁∩r₂) ⇔ w ∈ L(r₁) ∧ w ∈ L(r₂)`.
+    #[test]
+    fn boolean_structure(r1 in arb_regex(), r2 in arb_regex(), s in arb_string()) {
+        let d1 = Dfa::compile(&r1, BUDGET).expect("in budget");
+        let d2 = Dfa::compile(&r2, BUDGET).expect("in budget");
+        prop_assert_eq!(d1.complement().matches(&s), !d1.matches(&s));
+        let i = d1.intersect(&d2, BUDGET).expect("in budget");
+        prop_assert_eq!(i.matches(&s), d1.matches(&s) && d2.matches(&s));
+    }
+
+    /// Minimization preserves the language and never grows the DFA.
+    #[test]
+    fn minimize_agrees(re in arb_regex(), s in arb_string()) {
+        let d = Dfa::compile(&re, BUDGET).expect("in budget");
+        let m = d.minimize();
+        prop_assert!(m.num_states() <= d.num_states());
+        prop_assert_eq!(m.matches(&s), d.matches(&s), "{:?}", re);
+    }
+
+    /// Emptiness via witness: a returned witness is accepted; `None` means
+    /// no enumerated string is accepted either.
+    #[test]
+    fn witnesses_are_sound(re in arb_regex()) {
+        let d = Dfa::compile(&re, BUDGET).expect("in budget");
+        match d.shortest_accepted() {
+            Some(w) => prop_assert!(naive_match(&re, &w), "witness {:?} for {:?}", w, re),
+            None => {
+                for s in enumerate(4) {
+                    prop_assert!(!naive_match(&re, &s), "{:?} ∈ L({:?}) but DFA says empty", s, re);
+                }
+            }
+        }
+    }
+
+    /// Solver verdicts are sound: `Sat` models really satisfy every
+    /// constraint; `Unsat` verdicts are never contradicted by any
+    /// enumerated assignment.
+    #[test]
+    fn solver_verdicts_sound(
+        r1 in arb_regex(),
+        r2 in arb_regex(),
+        pos1 in any::<bool>(),
+        pos2 in any::<bool>(),
+    ) {
+        let v = SolverVar(0);
+        let mk = |r: &Regex, pos: bool| ReConstraint {
+            var: v,
+            regex: Arc::new(r.clone()),
+            positive: pos,
+        };
+        let cs = [mk(&r1, pos1), mk(&r2, pos2)];
+        let satisfies = |s: &[u8]| {
+            (naive_match(&r1, s) == pos1) && (naive_match(&r2, s) == pos2)
+        };
+        match ReSolver::default().check(&cs) {
+            ReResult::Sat(model) => {
+                let w = model.get(&v).cloned().unwrap_or_default();
+                prop_assert!(satisfies(w.as_bytes()), "model {:?} for {:?}", w, cs);
+            }
+            ReResult::Unsat => {
+                for s in enumerate(4) {
+                    prop_assert!(!satisfies(&s), "{:?} satisfies 'unsat' {:?}", s, cs);
+                }
+            }
+            ReResult::Unknown => {
+                prop_assert!(false, "small constraints must not exhaust the budget");
+            }
+        }
+    }
+
+    /// Entailment is sound: if `facts ⊢ goal` then every enumerated string
+    /// satisfying the facts satisfies the goal.
+    #[test]
+    fn entailment_sound(facts_re in arb_regex(), goal_re in arb_regex()) {
+        let v = SolverVar(0);
+        let fact = ReConstraint::member(v, Arc::new(facts_re.clone()));
+        let goal = ReConstraint::member(v, Arc::new(goal_re.clone()));
+        if ReSolver::default().entails(std::slice::from_ref(&fact), &goal) {
+            for s in enumerate(4) {
+                if naive_match(&facts_re, &s) {
+                    prop_assert!(
+                        naive_match(&goal_re, &s),
+                        "{:?} ⊬ {:?} at witness {:?}", facts_re, goal_re, s
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parsing is total over printable candidates: it either errors or
+    /// yields a regex whose printed form reparses to the same AST.
+    #[test]
+    fn parse_print_parse(re in arb_regex()) {
+        let printed = re.to_string();
+        let back = Regex::parse(&printed);
+        prop_assert_eq!(back.as_ref(), Ok(&re), "printed {:?}", printed);
+    }
+}
+
+#[test]
+fn naive_matcher_sanity() {
+    let re = Regex::parse("(ab)*c?").expect("pattern parses");
+    assert!(naive_match(&re, b""));
+    assert!(naive_match(&re, b"ababc"));
+    assert!(!naive_match(&re, b"abab_"));
+}

@@ -1,0 +1,46 @@
+//! The §5 case study end to end: generate the synthetic corpora, run the
+//! staged verification methodology, print Figure 9.
+//!
+//! ```sh
+//! cargo run --release --example case_study            # full 1,085 ops
+//! cargo run --release --example case_study -- --quick # sampled subset
+//! ```
+
+use rtr::corpus::classify::classify_library;
+use rtr::corpus::gen::{generate, Library};
+use rtr::corpus::report::{fig9_table, math_breakdown, run_case_study, stats_table};
+use rtr::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    if quick {
+        // A sampled run: ~60 sites instead of all of them.
+        let checker = Checker::default();
+        println!("quick sample (first 20 sites per library):\n");
+        for profile in rtr::corpus::profiles::libraries() {
+            let lib = generate(&profile, 2016);
+            let sample = Library {
+                profile: lib.profile.clone(),
+                sites: lib.sites.into_iter().take(20).collect(),
+                filler: Vec::new(),
+            };
+            let tally = classify_library(&sample, &checker);
+            println!(
+                "{:<8} sampled {:>3} ops: auto {:>4.1}%  +annot {:>4.1}%  +modif {:>4.1}%",
+                profile.name,
+                tally.total(),
+                tally.pct(tally.auto_ops),
+                tally.pct(tally.annotated_ops),
+                tally.pct(tally.modified_ops),
+            );
+        }
+        println!("\n(run without --quick for the full Figure 9 numbers)");
+        return;
+    }
+
+    let study = run_case_study(2016, true);
+    println!("{}", stats_table(&study));
+    println!("{}", fig9_table(&study));
+    println!("{}", math_breakdown(&study));
+}

@@ -1,0 +1,100 @@
+//! Input validation with the regex theory — the extension the paper's
+//! conclusion anticipates ("theories of regular expressions", §7).
+//!
+//! The shape is exactly the §2.1 vector story transposed to strings: a
+//! refinement-typed "safe" function demands a proof about its input, and
+//! an ordinary `regexp-match?` test in the caller is what supplies the
+//! proof, via occurrence typing.
+//!
+//! ```sh
+//! cargo run --example input_validation
+//! ```
+
+use rtr::prelude::*;
+
+fn main() {
+    // A tiny request router. `serve-port` refuses to be called unless the
+    // port string is provably all digits; `route` validates with an
+    // ordinary regex test — no casts, no proof terms.
+    let src = r#"
+        (: serve-port : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+        (define (serve-port s) (string-length s))
+
+        (: route : Str -> Int)
+        (define (route req)
+          (if (regexp-match? #rx"[0-9]+" req)
+              (serve-port req)
+              -1))
+
+        (+ (route "8080") (route "not-a-port"))
+    "#;
+
+    let checker = Checker::default();
+    let result = check_source(src, &checker).expect("router type checks");
+    println!("type of the module: {}", result.ty);
+    let value = run_source(src, &checker, 100_000).expect("router runs");
+    println!("(route \"8080\") + (route \"not-a-port\") = {value}");
+
+    // Forget the validation and the call is rejected at compile time.
+    let unvalidated = r#"
+        (: serve-port : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+        (define (serve-port s) (string-length s))
+        (: route : Str -> Int)
+        (define (route req) (serve-port req))
+    "#;
+    match check_source(unvalidated, &checker) {
+        Err(e) => println!("\nunvalidated call correctly rejected:\n  {e}"),
+        Ok(_) => unreachable!("the unvalidated router must not type check"),
+    }
+
+    // Subtyping is language inclusion, decided by the automata solver: a
+    // four-digit year is in particular a digit string…
+    let inclusion = r#"
+        (: any-digits : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+        (define (any-digits s) 0)
+        (: year->n : [y : Str #:where (=~ y #rx"[0-9]{4}")] -> Int)
+        (define (year->n y) (any-digits y))
+    "#;
+    check_source(inclusion, &checker).expect("L([0-9]{4}) ⊆ L([0-9]+)");
+    println!("\nL([0-9]{{4}}) ⊆ L([0-9]+): year->n may call any-digits — verified");
+
+    // …but not conversely.
+    let bad_inclusion = r#"
+        (: year-only : [y : Str #:where (=~ y #rx"[0-9]{4}")] -> Int)
+        (define (year-only y) 0)
+        (: leaky : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+        (define (leaky s) (year-only s))
+    "#;
+    match check_source(bad_inclusion, &checker) {
+        Err(e) => println!("reverse inclusion correctly rejected:\n  {e}"),
+        Ok(_) => unreachable!("[0-9]+ is not contained in [0-9]{{4}}"),
+    }
+
+    // Two theories about one variable: the regex theory knows the shape,
+    // the linear theory knows the length (string-length emits the same
+    // `len` field object vectors use).
+    let combined = r#"
+        (: short-code : [s : Str #:where (and (=~ s #rx"[A-Z]+")
+                                              (<= (string-length s) 8))] -> Int)
+        (define (short-code s) (string-length s))
+
+        (: intake : Str -> Int)
+        (define (intake s)
+          (if (regexp-match? #rx"[A-Z]+" s)
+              (if (<= (string-length s) 8)
+                  (short-code s)
+                  -1)
+              -1))
+
+        (intake "PLDI")
+    "#;
+    let v = run_source(combined, &checker, 100_000).expect("combined theories verify");
+    println!("\n(intake \"PLDI\") = {v}  — regex + linear facts on one string");
+
+    // The λTR baseline (no theories) cannot verify any of it.
+    let baseline = Checker::with_config(CheckerConfig::lambda_tr());
+    match check_source(src, &baseline) {
+        Err(_) => println!("\nλTR baseline (no theories) rejects the router — as expected"),
+        Ok(_) => unreachable!("λTR must not prove regex refinements"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: Fig. 1's `max` — refinement types riding on occurrence
+//! typing.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rtr::prelude::*;
+
+fn main() {
+    // The paper's Fig. 1, in the surface syntax: the range promises the
+    // result is at least both arguments, and the ordinary conditional in
+    // the body is what proves it — no changes to the code, no proof
+    // terms, just occurrence typing + the linear-arithmetic theory.
+    let src = r#"
+        (: max : [x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])
+        (define (max x y) (if (> x y) x y))
+        (max 3 7)
+    "#;
+
+    let checker = Checker::default();
+    let result = check_source(src, &checker).expect("max type checks");
+    println!("type of (max 3 7): {}", result.ty);
+
+    let value = run_source(src, &checker, 10_000).expect("max runs");
+    println!("value of (max 3 7): {value}");
+
+    // The same program with a *wrong* specification is rejected: swap the
+    // comparison so the body computes min while the type still claims max.
+    let wrong = src.replace("(if (> x y) x y)", "(if (> x y) y x)");
+    match check_source(&wrong, &checker) {
+        Err(e) => println!("\nwrong body correctly rejected:\n  {e}"),
+        Ok(_) => unreachable!("min body must not satisfy max's type"),
+    }
+
+    // And without the theory (stock occurrence typing, the λTR baseline)
+    // even the correct body cannot satisfy the refined range.
+    let baseline = Checker::with_config(CheckerConfig::lambda_tr());
+    match check_source(src, &baseline) {
+        Err(_) => println!("\nλTR baseline (no theories) cannot verify the range — as expected"),
+        Ok(_) => unreachable!("λTR must not prove refinements"),
+    }
+}

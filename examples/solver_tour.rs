@@ -1,0 +1,72 @@
+//! A tour of the solver substrate (`rtr-solver`) on its own: the pieces
+//! the type system consults through rule L-Theory.
+//!
+//! ```sh
+//! cargo run --example solver_tour
+//! ```
+
+use rtr::solver::bv::{BvAtom, BvLit, BvSolver, BvTerm};
+use rtr::solver::lin::{Constraint, FourierMotzkin, LinExpr, SolverVar};
+use rtr::solver::sat::{Cnf, Lit, SatResult, Solver};
+
+fn main() {
+    // --- linear integer arithmetic: Fourier–Motzkin --------------------
+    // The vector-bounds query behind safe-vec-ref:
+    //   0 ≤ i, i < len(A), len(A) = len(B)  ⊢  i < len(B)
+    let i = LinExpr::var(SolverVar(0));
+    let len_a = LinExpr::var(SolverVar(1));
+    let len_b = LinExpr::var(SolverVar(2));
+    let facts = [
+        Constraint::ge(i.clone(), LinExpr::constant(0)),
+        Constraint::lt(i.clone(), len_a.clone()),
+        Constraint::eq(len_a.clone(), len_b.clone()),
+    ];
+    let goal = Constraint::lt(i.clone(), len_b.clone());
+    let fm = FourierMotzkin::default();
+    println!("FM: {{0≤i, i<len A, len A = len B}} ⊢ i < len B : {}", fm.entails(&facts, &goal));
+    let weak = [Constraint::ge(i.clone(), LinExpr::constant(0)), Constraint::lt(i, len_a)];
+    println!("FM: without the length equation          : {}", fm.entails(&weak, &goal));
+
+    // Integer tightening at work: 0 < x < 1 has rational but no integer
+    // solutions.
+    let x = LinExpr::var(SolverVar(7));
+    let gap = [
+        Constraint::gt(x.clone(), LinExpr::constant(0)),
+        Constraint::lt(x, LinExpr::constant(1)),
+    ];
+    println!("FM: 0 < x < 1 over ℤ is unsat            : {}", fm.check(&gap).is_unsat());
+
+    // --- SAT: the CDCL core ----------------------------------------------
+    let mut cnf = Cnf::new();
+    let a = cnf.fresh_var();
+    let b = cnf.fresh_var();
+    let c = cnf.fresh_var();
+    cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+    cnf.add_clause([Lit::neg(a), Lit::pos(c)]);
+    cnf.add_clause([Lit::neg(b), Lit::neg(c)]);
+    match Solver::new().solve(&cnf) {
+        SatResult::Sat(model) => println!(
+            "SAT: (a∨b)(¬a∨c)(¬b∨¬c) satisfied by a={} b={} c={}",
+            model.value(a),
+            model.value(b),
+            model.value(c)
+        ),
+        other => println!("SAT: unexpected {other:?}"),
+    }
+
+    // --- bitvectors: bit-blasting ------------------------------------------
+    // The xtime obligation: num ≤ 0xff ⊢ ((2·num) & 0xff) ⊕ 0x1b ≤ 0xff.
+    let num = BvTerm::var(SolverVar(0), 16);
+    let byte = |v: u64| BvTerm::constant(v, 16);
+    let fact = BvLit::positive(BvAtom::ule(num.clone(), byte(0xff)));
+    let masked = num.mul(byte(2)).and(byte(0xff)).xor(byte(0x1b));
+    let goal = BvLit::positive(BvAtom::ule(masked, byte(0xff)));
+    let bv = BvSolver::default();
+    println!("BV: xtime's else-branch bound            : {}", bv.entails(std::slice::from_ref(&fact), &goal));
+
+    // …and the same goal *without* the mask is refutable.
+    let num = BvTerm::var(SolverVar(0), 16);
+    let unmasked = num.mul(byte(2)).xor(byte(0x1b));
+    let goal = BvLit::positive(BvAtom::ule(unmasked, byte(0xff)));
+    println!("BV: without the #xff mask                : {}", bv.entails(&[fact], &goal));
+}

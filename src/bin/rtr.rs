@@ -1,0 +1,198 @@
+//! `rtr` — the command-line driver: type check and run RTR programs.
+//!
+//! ```sh
+//! rtr check program.rtr          # type check, print the type-result
+//! rtr run program.rtr            # type check, then evaluate
+//! rtr expand program.rtr         # show the elaborated core expression
+//! rtr repl                       # interactive read-check-eval loop
+//! ```
+//!
+//! Flags:
+//!
+//! * `--lambda-tr` — use the λTR baseline (occurrence typing only, no
+//!   solver-backed theories), the paper's implicit comparison point.
+//! * `--unchecked` — with `run`, skip type checking (dynamically-typed
+//!   Racket semantics; unsafe primitives can get stuck).
+//! * `--fuel N` — evaluation step budget (default 1,000,000).
+
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+use rtr::prelude::*;
+
+struct Options {
+    lambda_tr: bool,
+    unchecked: bool,
+    fuel: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rtr <check|run|expand> [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>\n\
+         \x20      rtr repl [--lambda-tr]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { return usage() };
+    let mut opts = Options { lambda_tr: false, unchecked: false, fuel: 1_000_000 };
+    let mut file: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--lambda-tr" => opts.lambda_tr = true,
+            "--unchecked" => opts.unchecked = true,
+            "--fuel" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.fuel = n,
+                None => return usage(),
+            },
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => return usage(),
+        }
+    }
+    let checker = if opts.lambda_tr {
+        Checker::with_config(CheckerConfig::lambda_tr())
+    } else {
+        Checker::default()
+    };
+    match command.as_str() {
+        "repl" => repl(&checker, &opts),
+        "check" | "run" | "expand" => {
+            let Some(path) = file else { return usage() };
+            let src = match std::fs::read_to_string(&path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("rtr: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_command(&command, &src, &checker, &opts)
+        }
+        _ => usage(),
+    }
+}
+
+fn run_command(command: &str, src: &str, checker: &Checker, opts: &Options) -> ExitCode {
+    match command {
+        "expand" => match elaborate_module(src) {
+            Ok(core) => {
+                println!("{core}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rtr: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "check" => match check_source(src, checker) {
+            Ok(r) => {
+                println!("{r}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rtr: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => {
+            let outcome = if opts.unchecked {
+                rtr::lang::run_source_unchecked(src, opts.fuel)
+            } else {
+                run_source(src, checker, opts.fuel)
+            };
+            match outcome {
+                Ok(v) => {
+                    println!("{v}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("rtr: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => unreachable!("dispatched in main"),
+    }
+}
+
+/// A line-oriented REPL: each line is checked in isolation and, when well
+/// typed, evaluated. Multi-line forms can be built up with trailing
+/// backslashes are not needed — unbalanced parentheses simply continue
+/// the form on the next line.
+fn repl(checker: &Checker, opts: &Options) -> ExitCode {
+    println!(
+        "rtr repl — occurrence typing modulo theories{}",
+        if opts.lambda_tr { " (λTR baseline)" } else { "" }
+    );
+    println!("enter a module form or expression; :quit exits\n");
+    let stdin = std::io::stdin();
+    let mut pending = String::new();
+    prompt(&pending);
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == ":quit" || line.trim() == ":q" {
+            break;
+        }
+        pending.push_str(&line);
+        pending.push('\n');
+        if !balanced(&pending) {
+            prompt(&pending);
+            continue;
+        }
+        let src = std::mem::take(&mut pending);
+        if src.trim().is_empty() {
+            prompt(&pending);
+            continue;
+        }
+        match check_source(&src, checker) {
+            Err(e) => eprintln!("error: {e}"),
+            Ok(r) => match run_source(&src, checker, opts.fuel) {
+                Ok(v) => println!("{v} : {}", r.ty),
+                Err(e) => eprintln!("runtime error: {e}"),
+            },
+        }
+        prompt(&pending);
+    }
+    ExitCode::SUCCESS
+}
+
+fn prompt(pending: &str) {
+    let p = if pending.is_empty() { "rtr> " } else { "...> " };
+    print!("{p}");
+    let _ = std::io::stdout().flush();
+}
+
+/// Are the parentheses/brackets of `src` balanced (ignoring strings and
+/// comments)? Used to detect multi-line forms.
+fn balanced(src: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '"' => {
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    depth <= 0
+}

@@ -1,0 +1,145 @@
+//! Integration tests for the `rtr` command-line driver: each subcommand
+//! is exercised against real files, checking both output and exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn rtr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtr"))
+}
+
+/// Writes `src` to a fresh temp file and returns its path.
+fn fixture(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rtr-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, src).expect("write fixture");
+    path
+}
+
+const MAX_SRC: &str = r#"
+(: max : [x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])
+(define (max x y) (if (> x y) x y))
+(max 3 7)
+"#;
+
+#[test]
+fn check_prints_the_type_result() {
+    let path = fixture("max.rtr", MAX_SRC);
+    let out = rtr().args(["check"]).arg(&path).output().expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Int"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn run_evaluates() {
+    let path = fixture("max_run.rtr", MAX_SRC);
+    let out = rtr().args(["run"]).arg(&path).output().expect("spawn");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
+}
+
+#[test]
+fn expand_shows_the_core_term() {
+    let path = fixture("max_expand.rtr", MAX_SRC);
+    let out = rtr().args(["expand"]).arg(&path).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("letrec"), "defines elaborate to letrec: {stdout}");
+}
+
+#[test]
+fn lambda_tr_flag_changes_the_verdict() {
+    let path = fixture("max_tr.rtr", MAX_SRC);
+    let out = rtr().args(["check", "--lambda-tr"]).arg(&path).output().expect("spawn");
+    assert!(!out.status.success(), "λTR must reject the refined range");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("expected"), "diagnostic expected: {stderr}");
+}
+
+#[test]
+fn type_errors_exit_nonzero_with_diagnostics() {
+    let path = fixture(
+        "bad.rtr",
+        r#"(: f : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (f s) 0)
+(: g : Str -> Int)
+(define (g s) (f s))"#,
+    );
+    let out = rtr().args(["check"]).arg(&path).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("argument"), "diagnostic expected: {stderr}");
+}
+
+#[test]
+fn unchecked_run_skips_the_checker() {
+    // Ill-typed (an Any-typed parameter reaches add1) but runs fine
+    // dynamically, since the actual argument is an integer.
+    let path = fixture(
+        "dyn.rtr",
+        r#"((lambda ([x : Any]) (add1 x)) 1)"#,
+    );
+    let checked = rtr().args(["run"]).arg(&path).output().expect("spawn");
+    assert!(!checked.status.success(), "the checker must reject (add1 #f)");
+    let unchecked =
+        rtr().args(["run", "--unchecked"]).arg(&path).output().expect("spawn");
+    assert!(unchecked.status.success());
+    assert_eq!(String::from_utf8_lossy(&unchecked.stdout).trim(), "2");
+}
+
+#[test]
+fn missing_file_and_bad_usage_fail_cleanly() {
+    let out = rtr().args(["check", "/nonexistent/x.rtr"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let out = rtr().args(["frobnicate"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let out = rtr().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn repl_checks_and_evaluates_lines() {
+    let mut child = rtr()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"(+ 1 2)\n(regexp-match? #rx\"[0-9]+\" \"42\")\n(add1 #f)\n:q\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 : Int"), "arith result expected: {stdout}");
+    assert!(stdout.contains("#t : Bool"), "regex result expected: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "ill-typed line must report: {stderr}");
+}
+
+#[test]
+fn multi_line_forms_continue_in_the_repl() {
+    let mut child = rtr()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"(if #t\n    1\n    2)\n:quit\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 : Int"), "multi-line form must evaluate: {stdout}");
+}

@@ -1,0 +1,81 @@
+//! Cross-crate integration test for the regex theory (§7's anticipated
+//! extension), through the facade crate's public API: solver layer, core
+//! logic layer, and surface language all in one flow.
+
+use rtr::prelude::*;
+use rtr::solver::lin::SolverVar;
+use rtr::solver::re::{ReConstraint, ReSolver, Regex};
+
+#[test]
+fn solver_layer_decides_inclusion() {
+    let v = SolverVar(0);
+    let hex = std::sync::Arc::new(Regex::parse("0x[0-9a-f]+").expect("parses"));
+    let any = std::sync::Arc::new(Regex::parse(".+").expect("parses"));
+    let solver = ReSolver::default();
+    assert!(solver.entails(
+        &[ReConstraint::member(v, hex.clone())],
+        &ReConstraint::member(v, any.clone()),
+    ));
+    assert!(!solver.entails(&[ReConstraint::member(v, any)], &ReConstraint::member(v, hex)));
+}
+
+#[test]
+fn surface_to_runtime_round_trip() {
+    // The full pipeline: read → expand → elaborate → check (regex + linear
+    // theories) → evaluate (NFA matcher at runtime).
+    let src = r#"
+        (: checksum : [s : Str #:where (and (=~ s #rx"[0-9]+")
+                                            (<= (string-length s) 4))] -> Int)
+        (define (checksum s) (string-length s))
+
+        (: safe-checksum : Str -> Int)
+        (define (safe-checksum s)
+          (if (regexp-match? #rx"[0-9]+" s)
+              (if (<= (string-length s) 4)
+                  (checksum s)
+                  -1)
+              -1))
+
+        (+ (safe-checksum "123")
+           (+ (safe-checksum "12345") (safe-checksum "abc")))
+    "#;
+    let checker = Checker::default();
+    let r = check_source(src, &checker).expect("checks");
+    assert_eq!(r.ty, Ty::Int);
+    let v = run_source(src, &checker, 200_000).expect("runs");
+    assert_eq!(v.to_string(), "1"); // 3 + (-1) + (-1)
+}
+
+#[test]
+fn theories_are_independent_switches() {
+    // A program needing only occurrence typing still checks under λTR,
+    // while the regex-guarded one does not — same split as the paper's
+    // vector study.
+    let occurrence_only = r#"
+        (: f : (U Str Int) -> Int)
+        (define (f x) (if (string? x) (string-length x) x))
+        (f "four")
+    "#;
+    let guarded = r#"
+        (: g : [s : Str #:where (=~ s #rx"a*")] -> Int)
+        (define (g s) 0)
+        (: h : Str -> Int)
+        (define (h s) (if (regexp-match? #rx"a*" s) (g s) 0))
+    "#;
+    let rtr = Checker::default();
+    let tr = Checker::with_config(CheckerConfig::lambda_tr());
+    assert!(check_source(occurrence_only, &rtr).is_ok());
+    assert!(check_source(occurrence_only, &tr).is_ok());
+    assert!(check_source(guarded, &rtr).is_ok());
+    assert!(check_source(guarded, &tr).is_err());
+}
+
+#[test]
+fn checker_rejects_theory_confusion() {
+    // Regexes are values but not strings; strings are not regexes.
+    let checker = Checker::default();
+    assert!(check_source(r#"(string-length #rx"a")"#, &checker).is_err());
+    assert!(check_source(r#"(regexp-match? "a" "a")"#, &checker).is_err());
+    // And both are fine in their right places.
+    assert!(check_source(r#"(regexp-match? #rx"a" "a")"#, &checker).is_ok());
+}
