@@ -25,7 +25,10 @@ fn bench_narrowing_chains(c: &mut Criterion) {
     for n in [2usize, 4, 8, 12] {
         let src = narrowing_chain_src(n);
         let on = Checker::default();
-        assert!(check_source(&src, &on).is_ok(), "fixture must verify (hybrid)");
+        assert!(
+            check_source(&src, &on).is_ok(),
+            "fixture must verify (hybrid)"
+        );
         group.bench_with_input(BenchmarkId::new("hybrid_on", n), &src, |b, src| {
             b.iter(|| check_source(src, &on).expect("verifies"))
         });
@@ -33,7 +36,10 @@ fn bench_narrowing_chains(c: &mut Criterion) {
             hybrid_env: false,
             ..CheckerConfig::default()
         });
-        assert!(check_source(&src, &off).is_ok(), "fixture must verify (pure)");
+        assert!(
+            check_source(&src, &off).is_ok(),
+            "fixture must verify (pure)"
+        );
         group.bench_with_input(BenchmarkId::new("hybrid_off", n), &src, |b, src| {
             b.iter(|| check_source(src, &off).expect("verifies"))
         });

@@ -26,10 +26,15 @@ fn bench_alias_chains(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("repr_on", depth), &src, |b, src| {
             b.iter(|| check_source(src, &on).expect("verifies"))
         });
-        let cfg =
-            CheckerConfig { representative_objects: false, ..CheckerConfig::default() };
+        let cfg = CheckerConfig {
+            representative_objects: false,
+            ..CheckerConfig::default()
+        };
         let off = Checker::with_config(cfg);
-        assert!(check_source(&src, &off).is_ok(), "fixture must verify (off)");
+        assert!(
+            check_source(&src, &off).is_ok(),
+            "fixture must verify (off)"
+        );
         group.bench_with_input(BenchmarkId::new("repr_off", depth), &src, |b, src| {
             b.iter(|| check_source(src, &off).expect("verifies"))
         });

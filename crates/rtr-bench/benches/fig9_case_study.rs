@@ -33,9 +33,11 @@ fn bench_fig9(c: &mut Criterion) {
             b.iter(|| classify_library(lib, &rtr))
         });
         let tr = Checker::with_config(CheckerConfig::lambda_tr());
-        group.bench_with_input(BenchmarkId::new("lambda_tr_baseline", name), &lib, |b, lib| {
-            b.iter(|| classify_library(lib, &tr))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lambda_tr_baseline", name),
+            &lib,
+            |b, lib| b.iter(|| classify_library(lib, &tr)),
+        );
     }
     group.finish();
 }

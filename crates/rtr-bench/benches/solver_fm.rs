@@ -9,15 +9,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rtr_solver::lin::{
-    BruteForce, Constraint, FmConfig, FourierMotzkin, LinExpr, SolverVar,
-};
+use rtr_solver::lin::{BruteForce, Constraint, FmConfig, FourierMotzkin, LinExpr, SolverVar};
 use rtr_solver::rational::Rat;
 
 /// A satisfiable "bounds chain": 0 ≤ x₀ ≤ x₁ ≤ … ≤ x_{n-1} ≤ 100 with
 /// random offsets — the shape of accumulated index facts.
 fn bounds_chain(n: u32, rng: &mut StdRng) -> Vec<Constraint> {
-    let mut cs = vec![Constraint::ge(LinExpr::var(SolverVar(0)), LinExpr::constant(0))];
+    let mut cs = vec![Constraint::ge(
+        LinExpr::var(SolverVar(0)),
+        LinExpr::constant(0),
+    )];
     for k in 1..n {
         let off = rng.gen_range(0..3i64);
         cs.push(Constraint::le(
@@ -55,7 +56,10 @@ fn bench_fm_vs_brute(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fourier_motzkin", n), &cs, |b, cs| {
             b.iter(|| fm.check(cs))
         });
-        let brute = BruteForce { bound: 12, max_assignments: 100_000_000 };
+        let brute = BruteForce {
+            bound: 12,
+            max_assignments: 100_000_000,
+        };
         group.bench_with_input(BenchmarkId::new("brute_force_baseline", n), &cs, |b, cs| {
             b.iter(|| brute.check(cs))
         });
@@ -76,10 +80,18 @@ fn bench_tightening_ablation(c: &mut Criterion) {
     ];
     let on = FourierMotzkin::new(FmConfig::default());
     group.bench_function("tightening_on", |b| b.iter(|| on.check(&cs)));
-    let off = FourierMotzkin::new(FmConfig { integer_tightening: false, ..FmConfig::default() });
+    let off = FourierMotzkin::new(FmConfig {
+        integer_tightening: false,
+        ..FmConfig::default()
+    });
     group.bench_function("tightening_off", |b| b.iter(|| off.check(&cs)));
     group.finish();
 }
 
-criterion_group!(benches, bench_fm_scaling, bench_fm_vs_brute, bench_tightening_ablation);
+criterion_group!(
+    benches,
+    bench_fm_scaling,
+    bench_fm_vs_brute,
+    bench_tightening_ablation
+);
 criterion_main!(benches);

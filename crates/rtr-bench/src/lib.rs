@@ -58,8 +58,7 @@ pub fn alias_chain_src(n: usize) -> String {
 /// recorded atom).
 pub fn narrowing_chain_src(n: usize) -> String {
     assert!(n >= 1);
-    let params: String =
-        (0..n).map(|k| format!("[x{k} : (U Int Bool)] ")).collect();
+    let params: String = (0..n).map(|k| format!("[x{k} : (U Int Bool)] ")).collect();
     let mut body = {
         let mut sum = "0".to_string();
         for k in (0..n).rev() {
@@ -74,7 +73,10 @@ pub fn narrowing_chain_src(n: usize) -> String {
         "(: narrow : {params}-> Int)
 (define (narrow {}) {body})
 ",
-        (0..n).map(|k| format!("x{k}")).collect::<Vec<_>>().join(" ")
+        (0..n)
+            .map(|k| format!("x{k}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     )
 }
 

@@ -12,9 +12,7 @@ use crate::env::Env;
 use crate::errors::TypeError;
 use crate::mutation::mutated_vars;
 use crate::prims::delta;
-use crate::syntax::{
-    Expr, FunTy, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult,
-};
+use crate::syntax::{Expr, FunTy, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
 
 /// The λ_RTR type checker.
 ///
@@ -80,14 +78,22 @@ impl Checker {
         match e {
             // T-Int (enriched per §3.4: the literal is its own object).
             Expr::Int(n) => {
-                let obj = if self.config.theories { Obj::int(*n) } else { Obj::Null };
+                let obj = if self.config.theories {
+                    Obj::int(*n)
+                } else {
+                    Obj::Null
+                };
                 Ok(TyResult::truthy(Ty::Int, obj))
             }
             // T-True / T-False.
             Expr::Bool(true) => Ok(TyResult::new(Ty::True, Prop::TT, Prop::FF, Obj::Null)),
             Expr::Bool(false) => Ok(TyResult::new(Ty::False, Prop::FF, Prop::TT, Obj::Null)),
             Expr::BvLit(v) => {
-                let obj = if self.config.theories { Obj::bv(*v) } else { Obj::Null };
+                let obj = if self.config.theories {
+                    Obj::bv(*v)
+                } else {
+                    Obj::Null
+                };
                 Ok(TyResult::truthy(Ty::BitVec, obj))
             }
             // T-Str / T-Regex (theory RE enrichments: literals are their
@@ -101,7 +107,11 @@ impl Checker {
                 Ok(TyResult::truthy(Ty::Str, obj))
             }
             Expr::ReLit(r) => {
-                let obj = if self.config.theories { Obj::re(r.clone()) } else { Obj::Null };
+                let obj = if self.config.theories {
+                    Obj::re(r.clone())
+                } else {
+                    Obj::Null
+                };
                 Ok(TyResult::truthy(Ty::Regex, obj))
             }
             // T-Prim.
@@ -168,7 +178,11 @@ impl Checker {
                     self.assume(&mut env2, &Prop::alias(Obj::var(*x), o1.clone()), fuel);
                 }
                 // ψx = (x ∉ F ∧ ψ₁₊) ∨ (x ∈ F ∧ ψ₁₋).
-                let ox = if o1.is_null() || mutable { Obj::var(*x) } else { o1.clone() };
+                let ox = if o1.is_null() || mutable {
+                    Obj::var(*x)
+                } else {
+                    o1.clone()
+                };
                 let ox = if mutable { Obj::Null } else { ox };
                 let psi_x = Prop::or(
                     Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
@@ -210,7 +224,10 @@ impl Checker {
                 }
                 let pairish = Ty::pair(Ty::Top, Ty::Top);
                 if !self.subtype(&env2, &r.ty, &pairish, fuel) {
-                    return Err(TypeError::NotAPair { context: a.to_string(), got: r.ty });
+                    return Err(TypeError::NotAPair {
+                        context: a.to_string(),
+                        got: r.ty,
+                    });
                 }
                 let field = if is_fst {
                     crate::syntax::Field::Fst
@@ -265,7 +282,10 @@ impl Checker {
                 for (g, t) in &r.existentials {
                     self.bind(&mut env2, *g, t, fuel);
                 }
-                let inner_r = TyResult { existentials: Vec::new(), ..r.clone() };
+                let inner_r = TyResult {
+                    existentials: Vec::new(),
+                    ..r.clone()
+                };
                 if !self.subtype_result(&env2, &inner_r, &TyResult::of_type(ty.clone()), fuel) {
                     return Err(TypeError::Mismatch {
                         context: inner.to_string(),
@@ -292,9 +312,11 @@ impl Checker {
                 for (g, t) in &r.existentials {
                     self.bind(&mut env2, *g, t, fuel);
                 }
-                let inner = TyResult { existentials: Vec::new(), ..r.clone() };
-                if !self.subtype_result(&env2, &inner, &TyResult::of_type(declared.clone()), fuel)
-                {
+                let inner = TyResult {
+                    existentials: Vec::new(),
+                    ..r.clone()
+                };
+                if !self.subtype_result(&env2, &inner, &TyResult::of_type(declared.clone()), fuel) {
                     return Err(TypeError::BadAssignment {
                         var: *x,
                         reason: format!("expected {declared} but given {}", r.ty),
@@ -318,12 +340,7 @@ impl Checker {
     /// branches of an `if` at the same result `R`). This is what lets
     /// `max`'s two branches each prove the refined range with their own
     /// branch facts.
-    pub fn check_result(
-        &self,
-        env: &Env,
-        e: &Expr,
-        expected: &TyResult,
-    ) -> Result<(), TypeError> {
+    pub fn check_result(&self, env: &Env, e: &Expr, expected: &TyResult) -> Result<(), TypeError> {
         let fuel = self.config.logic_fuel;
         match e {
             Expr::If(c, t, f) => {
@@ -348,7 +365,9 @@ impl Checker {
                 // Push through the binding unless the bound name shadows a
                 // variable the expected result mentions.
                 let mut fv = std::collections::HashSet::new();
-                expected.ty.free_tvars(&mut std::collections::HashSet::new());
+                expected
+                    .ty
+                    .free_tvars(&mut std::collections::HashSet::new());
                 expected.then_p.free_vars(&mut fv);
                 expected.else_p.free_vars(&mut fv);
                 let mut ty_fv = std::collections::HashSet::new();
@@ -367,7 +386,11 @@ impl Checker {
                 if !o1.is_null() && !mutable {
                     self.assume(&mut env2, &Prop::alias(Obj::var(*x), o1.clone()), fuel);
                 }
-                let ox = if o1.is_null() || mutable { Obj::var(*x) } else { o1 };
+                let ox = if o1.is_null() || mutable {
+                    Obj::var(*x)
+                } else {
+                    o1
+                };
                 let ox = if mutable { Obj::Null } else { ox };
                 let psi_x = Prop::or(
                     Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
@@ -396,7 +419,10 @@ impl Checker {
         for (g, t) in &r.existentials {
             self.bind(&mut env2, *g, t, fuel);
         }
-        let inner = TyResult { existentials: Vec::new(), ..r.clone() };
+        let inner = TyResult {
+            existentials: Vec::new(),
+            ..r.clone()
+        };
         if !self.subtype_result(&env2, &inner, expected, fuel) {
             return Err(TypeError::Mismatch {
                 context: e.to_string(),
@@ -442,7 +468,13 @@ impl Checker {
         };
         let mut exes = rt.existentials.clone();
         exes.extend(rf.existentials);
-        TyResult { existentials: exes, ty, then_p, else_p, obj }
+        TyResult {
+            existentials: exes,
+            ty,
+            then_p,
+            else_p,
+            obj,
+        }
     }
 
     fn synth_app(
@@ -479,7 +511,10 @@ impl Checker {
                 self.instantiate_poly(&p, &arg_tys, context)?
             }
             other => {
-                return Err(TypeError::NotAFunction { context: context.to_owned(), got: other })
+                return Err(TypeError::NotAFunction {
+                    context: context.to_owned(),
+                    got: other,
+                })
             }
         };
         if fun.params.len() != args.len() {
@@ -669,9 +704,7 @@ impl Checker {
                     (**b).clone()
                 }
             }
-            Ty::Union(ts) => {
-                Ty::union_of(ts.iter().map(|t| self.project_field(t, f)).collect())
-            }
+            Ty::Union(ts) => Ty::union_of(ts.iter().map(|t| self.project_field(t, f)).collect()),
             Ty::Refine(r) => self.project_field(&r.base, f),
             _ => Ty::Top,
         }
@@ -693,8 +726,15 @@ fn generalize_literal(t: &Ty) -> Ty {
 /// function positions), respecting binders.
 fn collect_ty_free_vars(t: &Ty, out: &mut std::collections::HashSet<Symbol>) {
     match t {
-        Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
-        | Ty::Regex | Ty::TVar(_) => {}
+        Ty::Top
+        | Ty::Int
+        | Ty::True
+        | Ty::False
+        | Ty::Unit
+        | Ty::BitVec
+        | Ty::Str
+        | Ty::Regex
+        | Ty::TVar(_) => {}
         Ty::Pair(a, b) => {
             collect_ty_free_vars(a, out);
             collect_ty_free_vars(b, out);

@@ -70,7 +70,10 @@ impl CheckerConfig {
     /// The λ_TR baseline: occurrence typing without theories, i.e. what
     /// stock Typed Racket proves.
     pub fn lambda_tr() -> CheckerConfig {
-        CheckerConfig { theories: false, ..CheckerConfig::default() }
+        CheckerConfig {
+            theories: false,
+            ..CheckerConfig::default()
+        }
     }
 }
 

@@ -114,16 +114,14 @@ impl Env {
             p.free_vars(&mut fv);
             fv.contains(&x)
         };
-        self.disjs.retain(|(p, q)| !mentions_prop(p) && !mentions_prop(q));
-        self.lin_facts.retain(|a| {
-            !mentions_prop(&Prop::Lin(a.clone()))
-        });
-        self.bv_facts.retain(|a| {
-            !mentions_prop(&Prop::Bv(a.clone()))
-        });
-        self.str_facts.retain(|a| {
-            !mentions_prop(&Prop::Str(a.clone()))
-        });
+        self.disjs
+            .retain(|(p, q)| !mentions_prop(p) && !mentions_prop(q));
+        self.lin_facts
+            .retain(|a| !mentions_prop(&Prop::Lin(a.clone())));
+        self.bv_facts
+            .retain(|a| !mentions_prop(&Prop::Bv(a.clone())));
+        self.str_facts
+            .retain(|a| !mentions_prop(&Prop::Str(a.clone())));
         self.pending.retain(|(p, t, _)| {
             if p.base == x {
                 return false;

@@ -71,22 +71,39 @@ impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
-            TypeError::Mismatch { context, expected, got } => write!(
+            TypeError::Mismatch {
+                context,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type checker error in {context}: expected {expected} but given {got}"
             ),
             TypeError::NotAFunction { context, got } => {
-                write!(f, "type checker error in {context}: not a function (has type {got})")
+                write!(
+                    f,
+                    "type checker error in {context}: not a function (has type {got})"
+                )
             }
-            TypeError::Arity { context, expected, got } => write!(
+            TypeError::Arity {
+                context,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type checker error in {context}: expected {expected} argument(s), given {got}"
             ),
             TypeError::NotAPair { context, got } => {
-                write!(f, "type checker error in {context}: not a pair (has type {got})")
+                write!(
+                    f,
+                    "type checker error in {context}: not a pair (has type {got})"
+                )
             }
             TypeError::CannotInfer { context, reason } => {
-                write!(f, "type checker error in {context}: cannot infer type arguments ({reason})")
+                write!(
+                    f,
+                    "type checker error in {context}: cannot infer type arguments ({reason})"
+                )
             }
             TypeError::BadAssignment { var, reason } => {
                 write!(f, "type checker error in (set! {var} …): {reason}")
@@ -116,7 +133,8 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> = Box::new(TypeError::UnboundVariable(Symbol::intern("q")));
+        let e: Box<dyn std::error::Error> =
+            Box::new(TypeError::UnboundVariable(Symbol::intern("q")));
         assert!(e.to_string().contains("unbound"));
     }
 }

@@ -124,7 +124,11 @@ mod tests {
     fn vec_ref_instantiation() {
         let c = checker();
         let f = c
-            .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int), Ty::Int], "(vec-ref v i)")
+            .instantiate_poly(
+                &poly_of(Prim::VecRef),
+                &[Ty::vec(Ty::Int), Ty::Int],
+                "(vec-ref v i)",
+            )
             .unwrap();
         assert_eq!(f.params[0].1, Ty::vec(Ty::Int));
         assert_eq!(f.range.ty, Ty::Int);
@@ -170,7 +174,14 @@ mod tests {
         let err = c
             .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int)], "(vec-ref v)")
             .unwrap_err();
-        assert!(matches!(err, TypeError::Arity { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            TypeError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -187,7 +198,9 @@ mod tests {
                 TyResult::of_type(Ty::TVar(a)),
             ),
         };
-        let f = c.instantiate_poly(&poly, &[Ty::True, Ty::False], "ctx").unwrap();
+        let f = c
+            .instantiate_poly(&poly, &[Ty::True, Ty::False], "ctx")
+            .unwrap();
         assert_eq!(f.range.ty, Ty::bool_ty());
     }
 }

@@ -82,8 +82,7 @@ impl Value {
                     return true;
                 }
                 let (a, b) = (a.borrow(), b.borrow());
-                a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| x.structurally_equal(y))
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.structurally_equal(y))
             }
             (Value::Prim(a), Value::Prim(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
@@ -324,7 +323,9 @@ fn int2(p: Prim, args: &[Value]) -> Result<(i64, i64), EvalError> {
 fn bv2(p: Prim, args: &[Value]) -> Result<(u64, u64), EvalError> {
     match args {
         [Value::Bv(a), Value::Bv(b)] => Ok((*a, *b)),
-        _ => Err(EvalError::Stuck(format!("({p} …): expected two bitvectors"))),
+        _ => Err(EvalError::Stuck(format!(
+            "({p} …): expected two bitvectors"
+        ))),
     }
 }
 
@@ -334,7 +335,9 @@ type VecHandle = Rc<RefCell<Vec<Value>>>;
 fn vec_and_index(p: Prim, args: &[Value]) -> Result<(VecHandle, i64), EvalError> {
     match args {
         [Value::Vector(v), Value::Int(i), ..] => Ok((v.clone(), *i)),
-        _ => Err(EvalError::Stuck(format!("({p} …): expected a vector and an index"))),
+        _ => Err(EvalError::Stuck(format!(
+            "({p} …): expected a vector and an index"
+        ))),
     }
 }
 
@@ -435,7 +438,9 @@ fn delta_rt(p: Prim, args: &[Value]) -> Result<Value, EvalError> {
             let (v, i) = vec_and_index(p, args)?;
             let v = v.borrow();
             if i < 0 || i as usize >= v.len() {
-                return Err(EvalError::UserError(format!("vec-ref: index {i} out of range")));
+                return Err(EvalError::UserError(format!(
+                    "vec-ref: index {i} out of range"
+                )));
             }
             Ok(v[i as usize].clone())
         }
@@ -453,17 +458,23 @@ fn delta_rt(p: Prim, args: &[Value]) -> Result<Value, EvalError> {
         }
         Prim::VecSet => {
             let (v, i) = vec_and_index(p, args)?;
-            let Some(x) = args.get(2) else { return Err(arity_err()) };
+            let Some(x) = args.get(2) else {
+                return Err(arity_err());
+            };
             let mut v = v.borrow_mut();
             if i < 0 || i as usize >= v.len() {
-                return Err(EvalError::UserError(format!("vec-set!: index {i} out of range")));
+                return Err(EvalError::UserError(format!(
+                    "vec-set!: index {i} out of range"
+                )));
             }
             v[i as usize] = x.clone();
             Ok(Value::Unit)
         }
         Prim::UnsafeVecSet | Prim::SafeVecSet => {
             let (v, i) = vec_and_index(p, args)?;
-            let Some(x) = args.get(2) else { return Err(arity_err()) };
+            let Some(x) = args.get(2) else {
+                return Err(arity_err());
+            };
             let mut v = v.borrow_mut();
             if i < 0 || i as usize >= v.len() {
                 return Err(EvalError::Stuck(format!(
@@ -479,9 +490,14 @@ fn delta_rt(p: Prim, args: &[Value]) -> Result<Value, EvalError> {
                 if *n < 0 {
                     return Err(EvalError::Stuck(format!("make-vec: negative length {n}")));
                 }
-                Ok(Value::Vector(Rc::new(RefCell::new(vec![init.clone(); *n as usize]))))
+                Ok(Value::Vector(Rc::new(RefCell::new(vec![
+                    init.clone();
+                    *n as usize
+                ]))))
             }
-            _ => Err(EvalError::Stuck("make-vec: expected an integer and a value".into())),
+            _ => Err(EvalError::Stuck(
+                "make-vec: expected an integer and a value".into(),
+            )),
         },
         Prim::IsStr => match args {
             [v] => Ok(Value::Bool(matches!(v, Value::Str(_)))),
@@ -578,7 +594,10 @@ mod tests {
     fn beta_and_closures() {
         let x = s("bx");
         let e = Expr::app(
-            Expr::lam(vec![(x, Ty::Int)], Expr::prim_app(Prim::Add1, vec![Expr::Var(x)])),
+            Expr::lam(
+                vec![(x, Ty::Int)],
+                Expr::prim_app(Prim::Add1, vec![Expr::Var(x)]),
+            ),
             vec![Expr::Int(41)],
         );
         assert!(matches!(run(&e), Ok(Value::Int(42))));
@@ -591,15 +610,24 @@ mod tests {
         let body = Expr::if_(
             Expr::prim_app(Prim::IsZero, vec![Expr::Var(n)]),
             Expr::Int(0),
-            Expr::prim_app(Prim::Plus, vec![
-                Expr::Int(2),
-                Expr::app(Expr::Var(f), vec![Expr::prim_app(Prim::Sub1, vec![Expr::Var(n)])]),
-            ]),
+            Expr::prim_app(
+                Prim::Plus,
+                vec![
+                    Expr::Int(2),
+                    Expr::app(
+                        Expr::Var(f),
+                        vec![Expr::prim_app(Prim::Sub1, vec![Expr::Var(n)])],
+                    ),
+                ],
+            ),
         );
         let e = Expr::LetRec(
             f,
             Ty::simple_fun(vec![Ty::Int], Ty::Int),
-            std::sync::Arc::new(Lambda { params: vec![(n, Ty::Int)], body }),
+            std::sync::Arc::new(Lambda {
+                params: vec![(n, Ty::Int)],
+                body,
+            }),
             Box::new(Expr::app(Expr::Var(f), vec![Expr::Int(5)])),
         );
         assert!(matches!(run(&e), Ok(Value::Int(10))));
@@ -649,7 +677,10 @@ mod tests {
             x,
             v,
             Expr::Begin(vec![
-                Expr::prim_app(Prim::VecSet, vec![Expr::Var(x), Expr::Int(0), Expr::Int(99)]),
+                Expr::prim_app(
+                    Prim::VecSet,
+                    vec![Expr::Var(x), Expr::Int(0), Expr::Int(99)],
+                ),
                 Expr::prim_app(Prim::VecRef, vec![Expr::Var(x), Expr::Int(0)]),
             ]),
         );
@@ -682,10 +713,13 @@ mod tests {
 
     #[test]
     fn bitvector_ops() {
-        let e = Expr::prim_app(Prim::BvAnd, vec![
-            Expr::prim_app(Prim::BvMul, vec![Expr::BvLit(2), Expr::BvLit(0xab)]),
-            Expr::BvLit(0xff),
-        ]);
+        let e = Expr::prim_app(
+            Prim::BvAnd,
+            vec![
+                Expr::prim_app(Prim::BvMul, vec![Expr::BvLit(2), Expr::BvLit(0xab)]),
+                Expr::BvLit(0xff),
+            ],
+        );
         match run(&e) {
             Ok(Value::Bv(v)) => assert_eq!(v, (2 * 0xab) & 0xff),
             other => panic!("expected bv, got {other:?}"),
@@ -694,9 +728,7 @@ mod tests {
 
     #[test]
     fn equal_is_structural() {
-        let pair = |a: i64, b: i64| {
-            Expr::Cons(Box::new(Expr::Int(a)), Box::new(Expr::Int(b)))
-        };
+        let pair = |a: i64, b: i64| Expr::Cons(Box::new(Expr::Int(a)), Box::new(Expr::Int(b)));
         let e = Expr::prim_app(Prim::Equal, vec![pair(1, 2), pair(1, 2)]);
         assert!(matches!(run(&e), Ok(Value::Bool(true))));
         let e = Expr::prim_app(Prim::Equal, vec![pair(1, 2), pair(1, 3)]);

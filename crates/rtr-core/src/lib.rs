@@ -46,13 +46,13 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
-pub mod interp;
-pub mod model;
 pub mod config;
 pub mod env;
 pub mod errors;
 pub mod infer;
+pub mod interp;
 pub mod logic;
+pub mod model;
 pub mod mutation;
 pub mod prims;
 pub mod subtype;

@@ -13,8 +13,8 @@ use rtr_solver::rational::Rat;
 use crate::check::Checker;
 use crate::env::Env;
 use crate::syntax::{
-    BvAtomProp, BvCmp, BvObj, Field, LinAtom, LinCmp, LinObj, Obj, Path, Prop, StrAtomProp,
-    StrObj, Symbol, Ty,
+    BvAtomProp, BvCmp, BvObj, Field, LinAtom, LinCmp, LinObj, Obj, Path, Prop, StrAtomProp, StrObj,
+    Symbol, Ty,
 };
 
 impl Checker {
@@ -57,7 +57,9 @@ impl Checker {
     /// Extends the environment with proposition `p` (the Γ,ψ of the
     /// typing rules).
     pub fn assume(&self, env: &mut Env, p: &Prop, fuel: u32) {
-        let Some(fuel) = fuel.checked_sub(1) else { return };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return;
+        };
         if env.is_absurd() {
             return;
         }
@@ -104,7 +106,9 @@ impl Checker {
     }
 
     fn assume_is(&self, env: &mut Env, o: &Obj, t: &Ty, fuel: u32) {
-        let Some(fuel) = fuel.checked_sub(1) else { return };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return;
+        };
         match o {
             Obj::Null => {}
             // L-RefI direction: o ∈ {x:τ|ψ} ⇔ o ∈ τ ∧ ψ[x↦o].
@@ -172,7 +176,9 @@ impl Checker {
     }
 
     fn assume_not(&self, env: &mut Env, o: &Obj, t: &Ty, fuel: u32) {
-        let Some(fuel) = fuel.checked_sub(1) else { return };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return;
+        };
         match o {
             Obj::Null => {}
             // o ∉ {x:τ|ψ} ⇔ o ∉ τ ∨ ¬ψ[x↦o]  (M-RefineNot1/2).
@@ -242,7 +248,9 @@ impl Checker {
     }
 
     fn assume_alias(&self, env: &mut Env, o1: &Obj, o2: &Obj, fuel: u32) {
-        let Some(fuel) = fuel.checked_sub(1) else { return };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return;
+        };
         match (o1, o2) {
             // L-ObjFork.
             (Obj::Pair(a, b), Obj::Pair(c, d)) => {
@@ -289,10 +297,19 @@ impl Checker {
             return;
         }
         if let (Some(l), Some(r)) = (o1.as_lin(), o2.as_lin()) {
-            env.add_lin_fact(LinAtom { lhs: l, cmp: LinCmp::Eq, rhs: r });
+            env.add_lin_fact(LinAtom {
+                lhs: l,
+                cmp: LinCmp::Eq,
+                rhs: r,
+            });
         }
         if let (Some(l), Some(r)) = (o1.as_bv(), o2.as_bv()) {
-            env.add_bv_fact(BvAtomProp { lhs: l, cmp: BvCmp::Eq, rhs: r, positive: true });
+            env.add_bv_fact(BvAtomProp {
+                lhs: l,
+                cmp: BvCmp::Eq,
+                rhs: r,
+                positive: true,
+            });
         }
         // A string path aliased to a literal is a membership in the
         // literal's exact (singleton) language, when it is expressible.
@@ -315,7 +332,11 @@ impl Checker {
         let lhs = env.resolve(&Obj::Lin(a.lhs.clone()));
         let rhs = env.resolve(&Obj::Lin(a.rhs.clone()));
         match (lhs.as_lin(), rhs.as_lin()) {
-            (Some(lhs), Some(rhs)) => LinAtom { lhs, cmp: a.cmp, rhs },
+            (Some(lhs), Some(rhs)) => LinAtom {
+                lhs,
+                cmp: a.cmp,
+                rhs,
+            },
             _ => a.clone(),
         }
     }
@@ -324,9 +345,12 @@ impl Checker {
         let lhs = env.resolve(&Obj::Bv(a.lhs.clone()));
         let rhs = env.resolve(&Obj::Bv(a.rhs.clone()));
         match (lhs.as_bv(), rhs.as_bv()) {
-            (Some(lhs), Some(rhs)) => {
-                BvAtomProp { lhs, cmp: a.cmp, rhs, positive: a.positive }
-            }
+            (Some(lhs), Some(rhs)) => BvAtomProp {
+                lhs,
+                cmp: a.cmp,
+                rhs,
+                positive: a.positive,
+            },
             _ => a.clone(),
         }
     }
@@ -337,7 +361,11 @@ impl Checker {
             StrObj::Path(p) => env.resolve(&Obj::Path(p.clone())),
         };
         match lhs.as_str_obj() {
-            Some(lhs) => StrAtomProp { lhs, re: a.re.clone(), positive: a.positive },
+            Some(lhs) => StrAtomProp {
+                lhs,
+                re: a.re.clone(),
+                positive: a.positive,
+            },
             None => a.clone(),
         }
     }
@@ -348,7 +376,9 @@ impl Checker {
     }
 
     fn proves_with_splits(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32) -> bool {
-        let Some(fuel) = fuel.checked_sub(1) else { return false };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return false;
+        };
         if env.is_absurd() {
             return true; // L-Bot
         }
@@ -398,7 +428,9 @@ impl Checker {
                 self.check_not(env, &o, t, fuel)
             }
             Prop::Alias(o1, o2) => env.resolve(o1) == env.resolve(o2),
-            Prop::Lin(a) => self.config.theories && self.lin_entails(env, &self.resolve_lin(env, a)),
+            Prop::Lin(a) => {
+                self.config.theories && self.lin_entails(env, &self.resolve_lin(env, a))
+            }
             Prop::Bv(a) => self.config.theories && self.bv_entails(env, &self.resolve_bv(env, a)),
             Prop::Str(a) => {
                 self.config.theories && self.str_entails(env, &self.resolve_str(env, a))
@@ -408,7 +440,9 @@ impl Checker {
 
     /// `Γ ⊢ o ∈ τ` for a resolved object (L-Sub / L-RefI).
     pub(crate) fn check_is(&self, env: &Env, o: &Obj, t: &Ty, fuel: u32) -> bool {
-        let Some(fuel) = fuel.checked_sub(1) else { return false };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return false;
+        };
         // L-RefI: o ∈ {x:τ|ψ} ⇐ o ∈ τ ∧ ψ[x↦o].
         if let Ty::Refine(r) = t {
             return self.check_is(env, o, &r.base, fuel)
@@ -448,7 +482,9 @@ impl Checker {
     /// `Γ ⊢ o ∉ τ` (L-Not via non-overlap, recorded negative facts, and
     /// refinement refutation).
     pub(crate) fn check_not(&self, env: &Env, o: &Obj, t: &Ty, fuel: u32) -> bool {
-        let Some(fuel) = fuel.checked_sub(1) else { return false };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return false;
+        };
         if let Ty::Refine(r) = t {
             if self.check_not(env, o, &r.base, fuel) {
                 return true;
@@ -533,7 +569,9 @@ impl Checker {
 
     /// Is the environment contradictory (a model-free Γ)?
     pub(crate) fn env_inconsistent(&self, env: &Env, fuel: u32) -> bool {
-        let Some(fuel) = fuel.checked_sub(1) else { return false };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return false;
+        };
         if env.is_absurd() {
             return true;
         }
@@ -611,7 +649,9 @@ impl Checker {
                 facts.push(l);
             }
         }
-        let Some(goal) = tx.lit(goal) else { return false };
+        let Some(goal) = tx.lit(goal) else {
+            return false;
+        };
         rtr_solver::bv::BvSolver::new(self.config.sat).entails(&facts, &goal)
     }
 
@@ -747,7 +787,10 @@ struct BvTranslator {
 
 impl BvTranslator {
     fn new(width: u32) -> BvTranslator {
-        BvTranslator { width, vars: std::collections::HashMap::new() }
+        BvTranslator {
+            width,
+            vars: std::collections::HashMap::new(),
+        }
     }
 
     fn var(&mut self, p: &Path) -> SolverVar {
@@ -780,7 +823,11 @@ impl BvTranslator {
             BvCmp::Ule => BvAtom::ule(lhs, rhs),
             BvCmp::Ult => BvAtom::ult(lhs, rhs),
         };
-        Some(if a.positive { BvLit::positive(atom) } else { BvLit::negative(atom) })
+        Some(if a.positive {
+            BvLit::positive(atom)
+        } else {
+            BvLit::negative(atom)
+        })
     }
 }
 
@@ -803,7 +850,12 @@ mod tests {
         let c = checker();
         let mut env = Env::new();
         let n = sym("n");
-        c.bind(&mut env, n, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), FUEL);
+        c.bind(
+            &mut env,
+            n,
+            &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+            FUEL,
+        );
         c.assume(&mut env, &Prop::is(Obj::var(n), Ty::Int), FUEL);
         assert!(c.proves(&env, &Prop::is(Obj::var(n), Ty::Int), FUEL));
         assert!(c.proves(&env, &Prop::is_not(Obj::var(n), Ty::bool_ty()), FUEL));
@@ -815,7 +867,12 @@ mod tests {
         let c = checker();
         let mut env = Env::new();
         let n = sym("n");
-        c.bind(&mut env, n, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), FUEL);
+        c.bind(
+            &mut env,
+            n,
+            &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+            FUEL,
+        );
         c.assume(&mut env, &Prop::is_not(Obj::var(n), Ty::Int), FUEL);
         assert!(c.proves(&env, &Prop::is(Obj::var(n), Ty::bool_ty()), FUEL));
     }
@@ -845,7 +902,11 @@ mod tests {
             FUEL,
         );
         c.assume(&mut env, &Prop::is(Obj::var(p).fst(), Ty::Int), FUEL);
-        assert!(c.proves(&env, &Prop::is(Obj::var(p), Ty::pair(Ty::Int, Ty::Int)), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::is(Obj::var(p), Ty::pair(Ty::Int, Ty::Int)),
+            FUEL
+        ));
     }
 
     #[test]
@@ -857,11 +918,23 @@ mod tests {
         let v = sym("v");
         c.bind(&mut env, i, &Ty::Int, FUEL);
         c.bind(&mut env, v, &Ty::vec(Ty::Int), FUEL);
-        c.assume(&mut env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)), FUEL);
-        c.assume(&mut env, &Prop::lin(Obj::var(i), LinCmp::Lt, Obj::var(v).len()), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)),
+            FUEL,
+        );
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::var(i), LinCmp::Lt, Obj::var(v).len()),
+            FUEL,
+        );
         let minus1 = Obj::var(v).len().add(&Obj::int(-1));
         assert!(c.proves(&env, &Prop::lin(Obj::var(i), LinCmp::Le, minus1), FUEL));
-        assert!(c.proves(&env, &Prop::lin(Obj::var(i), LinCmp::Ne, Obj::var(v).len()), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::lin(Obj::var(i), LinCmp::Ne, Obj::var(v).len()),
+            FUEL
+        ));
         // But not i ≥ 1.
         assert!(!c.proves(&env, &Prop::lin(Obj::int(1), LinCmp::Le, Obj::var(i)), FUEL));
     }
@@ -873,7 +946,11 @@ mod tests {
         let mut env = Env::new();
         let v = sym("v");
         c.bind(&mut env, v, &Ty::vec(Ty::Int), FUEL);
-        assert!(c.proves(&env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(v).len()), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(v).len()),
+            FUEL
+        ));
     }
 
     #[test]
@@ -882,8 +959,16 @@ mod tests {
         let mut env = Env::new();
         let i = sym("i");
         c.bind(&mut env, i, &Ty::Int, FUEL);
-        c.assume(&mut env, &Prop::lin(Obj::var(i), LinCmp::Lt, Obj::int(0)), FUEL);
-        c.assume(&mut env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::var(i), LinCmp::Lt, Obj::int(0)),
+            FUEL,
+        );
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)),
+            FUEL,
+        );
         assert!(c.proves(&env, &Prop::FF, FUEL));
     }
 
@@ -911,11 +996,23 @@ mod tests {
         let x = sym("x");
         let y = sym("y");
         c.bind(&mut env, x, &Ty::Int, FUEL);
-        c.assume(&mut env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(x)), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(x)),
+            FUEL,
+        );
         c.bind(&mut env, y, &Ty::Int, FUEL);
-        c.assume(&mut env, &Prop::alias(Obj::var(y), Obj::var(x).add(&Obj::int(1))), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::alias(Obj::var(y), Obj::var(x).add(&Obj::int(1))),
+            FUEL,
+        );
         assert!(c.proves(&env, &Prop::lin(Obj::int(1), LinCmp::Le, Obj::var(y)), FUEL));
-        assert!(c.proves(&env, &Prop::alias(Obj::var(y), Obj::var(x).add(&Obj::int(1))), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::alias(Obj::var(y), Obj::var(x).add(&Obj::int(1))),
+            FUEL
+        ));
     }
 
     #[test]
@@ -948,7 +1045,11 @@ mod tests {
         c.bind(&mut env, x, &Ty::Int, FUEL);
         let t = Ty::refine(v, Ty::Int, Prop::lin(Obj::var(v), LinCmp::Lt, Obj::int(10)));
         c.assume(&mut env, &Prop::is_not(Obj::var(x), t), FUEL);
-        assert!(c.proves(&env, &Prop::lin(Obj::int(10), LinCmp::Le, Obj::var(x)), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::lin(Obj::int(10), LinCmp::Le, Obj::var(x)),
+            FUEL
+        ));
     }
 
     #[test]
@@ -958,7 +1059,11 @@ mod tests {
         let mut env = Env::new();
         let b = sym("b");
         c.bind(&mut env, b, &Ty::BitVec, FUEL);
-        c.assume(&mut env, &Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)),
+            FUEL,
+        );
         let masked = Obj::var(b).bv_and(&Obj::bv(0x0f));
         assert!(c.proves(&env, &Prop::bv(masked, BvCmp::Ule, Obj::bv(0xff)), FUEL));
     }
@@ -969,7 +1074,11 @@ mod tests {
         let mut env = Env::new();
         let i = sym("i");
         c.bind(&mut env, i, &Ty::Int, FUEL);
-        c.assume(&mut env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)),
+            FUEL,
+        );
         assert!(!c.proves(&env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)), FUEL));
         // …but occurrence typing still works.
         c.assume(&mut env, &Prop::is(Obj::var(i), Ty::Int), FUEL);
@@ -980,17 +1089,30 @@ mod tests {
     fn pure_proposition_env_answers_the_same_queries() {
         // The §4.1 ablation: with the hybrid environment off, narrowing
         // is replayed at query time — verdicts must not change.
-        let cfg = crate::config::CheckerConfig { hybrid_env: false, ..Default::default() };
+        let cfg = crate::config::CheckerConfig {
+            hybrid_env: false,
+            ..Default::default()
+        };
         let c = Checker::with_config(cfg);
         let mut env = Env::new();
         let n = sym("n");
-        c.bind(&mut env, n, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), FUEL);
+        c.bind(
+            &mut env,
+            n,
+            &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+            FUEL,
+        );
         c.assume(&mut env, &Prop::is(Obj::var(n), Ty::Int), FUEL);
         assert!(c.proves(&env, &Prop::is(Obj::var(n), Ty::Int), FUEL));
         assert!(c.proves(&env, &Prop::is_not(Obj::var(n), Ty::bool_ty()), FUEL));
         // Negative narrowing too.
         let mut env2 = Env::new();
-        c.bind(&mut env2, n, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), FUEL);
+        c.bind(
+            &mut env2,
+            n,
+            &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+            FUEL,
+        );
         c.assume(&mut env2, &Prop::is_not(Obj::var(n), Ty::Int), FUEL);
         assert!(c.proves(&env2, &Prop::is(Obj::var(n), Ty::bool_ty()), FUEL));
         // And contradiction detection still works (via replay).
@@ -1000,7 +1122,10 @@ mod tests {
 
     #[test]
     fn pure_proposition_env_handles_pair_fields() {
-        let cfg = crate::config::CheckerConfig { hybrid_env: false, ..Default::default() };
+        let cfg = crate::config::CheckerConfig {
+            hybrid_env: false,
+            ..Default::default()
+        };
         let c = Checker::with_config(cfg);
         let mut env = Env::new();
         let p = sym("p");
@@ -1011,7 +1136,11 @@ mod tests {
             FUEL,
         );
         c.assume(&mut env, &Prop::is(Obj::var(p).fst(), Ty::Int), FUEL);
-        assert!(c.proves(&env, &Prop::is(Obj::var(p), Ty::pair(Ty::Int, Ty::Int)), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::is(Obj::var(p), Ty::pair(Ty::Int, Ty::Int)),
+            FUEL
+        ));
     }
 
     #[test]
@@ -1022,9 +1151,15 @@ mod tests {
         let s = sym("s");
         c.bind(&mut env, s, &Ty::Str, FUEL);
         let re = |p: &str| {
-            Obj::re(std::sync::Arc::new(rtr_solver::re::Regex::parse(p).expect("parses")))
+            Obj::re(std::sync::Arc::new(
+                rtr_solver::re::Regex::parse(p).expect("parses"),
+            ))
         };
-        c.assume(&mut env, &Prop::re_match(&Obj::var(s), &re("[0-9]{4}")), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::re_match(&Obj::var(s), &re("[0-9]{4}")),
+            FUEL,
+        );
         assert!(c.proves(&env, &Prop::re_match(&Obj::var(s), &re("[0-9]+")), FUEL));
         let in_lower = Prop::re_match(&Obj::var(s), &re("[a-z]+"));
         assert!(c.proves(&env, &in_lower.negate().expect("negatable"), FUEL));
@@ -1039,7 +1174,9 @@ mod tests {
         let s = sym("s");
         c.bind(&mut env, s, &Ty::Str, FUEL);
         let re = |p: &str| {
-            Obj::re(std::sync::Arc::new(rtr_solver::re::Regex::parse(p).expect("parses")))
+            Obj::re(std::sync::Arc::new(
+                rtr_solver::re::Regex::parse(p).expect("parses"),
+            ))
         };
         c.assume(&mut env, &Prop::re_match(&Obj::var(s), &re("a+")), FUEL);
         c.assume(&mut env, &Prop::re_match(&Obj::var(s), &re("b+")), FUEL);
@@ -1052,7 +1189,9 @@ mod tests {
         let c = checker();
         let env = Env::new();
         let re = |p: &str| {
-            Obj::re(std::sync::Arc::new(rtr_solver::re::Regex::parse(p).expect("parses")))
+            Obj::re(std::sync::Arc::new(
+                rtr_solver::re::Regex::parse(p).expect("parses"),
+            ))
         };
         let lit = Obj::str_const("2016");
         assert!(c.proves(&env, &Prop::re_match(&lit, &re("[0-9]+")), FUEL));
@@ -1071,9 +1210,15 @@ mod tests {
         let mut env = Env::new();
         let s = sym("s");
         c.bind(&mut env, s, &Ty::Str, FUEL);
-        c.assume(&mut env, &Prop::alias(Obj::var(s), Obj::str_const("abc")), FUEL);
+        c.assume(
+            &mut env,
+            &Prop::alias(Obj::var(s), Obj::str_const("abc")),
+            FUEL,
+        );
         let re = |p: &str| {
-            Obj::re(std::sync::Arc::new(rtr_solver::re::Regex::parse(p).expect("parses")))
+            Obj::re(std::sync::Arc::new(
+                rtr_solver::re::Regex::parse(p).expect("parses"),
+            ))
         };
         assert!(c.proves(&env, &Prop::re_match(&Obj::var(s), &re("[a-c]+")), FUEL));
         assert!(!c.proves(&env, &Prop::re_match(&Obj::var(s), &re("[0-9]+")), FUEL));
@@ -1086,7 +1231,11 @@ mod tests {
         let mut env = Env::new();
         let s = sym("s");
         c.bind(&mut env, s, &Ty::Str, FUEL);
-        assert!(c.proves(&env, &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(s).len()), FUEL));
+        assert!(c.proves(
+            &env,
+            &Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(s).len()),
+            FUEL
+        ));
         // And a string literal's length is a known constant.
         assert_eq!(Obj::str_const("abc").len(), Obj::int(3));
     }
@@ -1111,8 +1260,16 @@ mod tests {
         let mut env = Env::new();
         let m = sym("cache-size");
         env.mark_mutable(m);
-        c.bind(&mut env, m, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), FUEL);
+        c.bind(
+            &mut env,
+            m,
+            &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+            FUEL,
+        );
         // bind recorded the declared type…
-        assert_eq!(env.raw_ty(m), Some(&Ty::union_of(vec![Ty::Int, Ty::bool_ty()])));
+        assert_eq!(
+            env.raw_ty(m),
+            Some(&Ty::union_of(vec![Ty::Int, Ty::bool_ty()]))
+        );
     }
 }

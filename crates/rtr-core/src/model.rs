@@ -32,9 +32,7 @@ pub fn eval_obj(rho: &RtEnv, o: &Obj) -> Option<Value> {
                     (Field::Fst, Value::Pair(a, _)) => (*a).clone(),
                     (Field::Snd, Value::Pair(_, b)) => (*b).clone(),
                     (Field::Len, Value::Vector(vs)) => Value::Int(vs.borrow().len() as i64),
-                    (Field::Len, Value::Str(s)) => {
-                        Value::Int(s.chars().count() as i64)
-                    }
+                    (Field::Len, Value::Str(s)) => Value::Int(s.chars().count() as i64),
                     _ => return None,
                 };
             }
@@ -245,7 +243,9 @@ pub fn obj_agrees_with_value(rho: &RtEnv, o: &Obj, v: &Value) -> bool {
     match o {
         Obj::Null => true,
         Obj::Pair(a, b) => match v {
-            Value::Pair(x, y) => obj_agrees_with_value(rho, a, x) && obj_agrees_with_value(rho, b, y),
+            Value::Pair(x, y) => {
+                obj_agrees_with_value(rho, a, x) && obj_agrees_with_value(rho, b, y)
+            }
             _ => false,
         },
         _ => match eval_obj(rho, o) {
@@ -277,9 +277,18 @@ mod tests {
                 s("mv"),
                 Value::Vector(Rc::new(std::cell::RefCell::new(vec![Value::Int(0); 7]))),
             );
-        assert!(matches!(eval_obj(&rho, &Obj::var(s("mx"))), Some(Value::Int(5))));
-        assert!(matches!(eval_obj(&rho, &Obj::var(s("mp")).fst()), Some(Value::Int(1))));
-        assert!(matches!(eval_obj(&rho, &Obj::var(s("mv")).len()), Some(Value::Int(7))));
+        assert!(matches!(
+            eval_obj(&rho, &Obj::var(s("mx"))),
+            Some(Value::Int(5))
+        ));
+        assert!(matches!(
+            eval_obj(&rho, &Obj::var(s("mp")).fst()),
+            Some(Value::Int(1))
+        ));
+        assert!(matches!(
+            eval_obj(&rho, &Obj::var(s("mv")).len()),
+            Some(Value::Int(7))
+        ));
         // 2x + 1 = 11
         let o = Obj::var(s("mx")).scale(2).add(&Obj::int(1));
         assert!(matches!(eval_obj(&rho, &o), Some(Value::Int(11))));
@@ -292,10 +301,20 @@ mod tests {
         let c = Checker::default();
         let rho = RtEnv::new();
         assert!(value_has_type(&c, &rho, &Value::Int(3), &Ty::Int));
-        assert!(value_has_type(&c, &rho, &Value::Bool(false), &Ty::bool_ty()));
+        assert!(value_has_type(
+            &c,
+            &rho,
+            &Value::Bool(false),
+            &Ty::bool_ty()
+        ));
         assert!(!value_has_type(&c, &rho, &Value::Bool(true), &Ty::Int));
         let pair = Value::Pair(Rc::new(Value::Int(1)), Rc::new(Value::Bool(true)));
-        assert!(value_has_type(&c, &rho, &pair, &Ty::pair(Ty::Int, Ty::bool_ty())));
+        assert!(value_has_type(
+            &c,
+            &rho,
+            &pair,
+            &Ty::pair(Ty::Int, Ty::bool_ty())
+        ));
         assert!(value_has_type(&c, &rho, &pair, &Ty::Top));
     }
 
@@ -305,9 +324,7 @@ mod tests {
         let c = Checker::default();
         let rho = RtEnv::new();
         let x = s("mrx");
-        let le = |n: i64| {
-            Ty::refine(x, Ty::Int, Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(n)))
-        };
+        let le = |n: i64| Ty::refine(x, Ty::Int, Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(n)));
         assert!(value_has_type(&c, &rho, &Value::Int(5), &le(10)));
         assert!(!value_has_type(&c, &rho, &Value::Int(5), &le(3)));
     }
@@ -345,8 +362,16 @@ mod tests {
     #[test]
     fn obj_value_agreement() {
         let rho = RtEnv::new().extend(s("ax"), Value::Int(2));
-        assert!(obj_agrees_with_value(&rho, &Obj::var(s("ax")), &Value::Int(2)));
-        assert!(!obj_agrees_with_value(&rho, &Obj::var(s("ax")), &Value::Int(3)));
+        assert!(obj_agrees_with_value(
+            &rho,
+            &Obj::var(s("ax")),
+            &Value::Int(2)
+        ));
+        assert!(!obj_agrees_with_value(
+            &rho,
+            &Obj::var(s("ax")),
+            &Value::Int(3)
+        ));
         assert!(obj_agrees_with_value(&rho, &Obj::Null, &Value::Int(9)));
     }
 }

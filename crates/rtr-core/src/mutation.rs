@@ -70,7 +70,10 @@ mod tests {
             Expr::if_(
                 Expr::prim_app(Prim::IsZero, vec![Expr::Var(cache)]),
                 Expr::Set(cache, Box::new(Expr::Int(5))),
-                Expr::lam(vec![(Symbol::intern("u"), Ty::Top)], Expr::Set(cache, Box::new(Expr::Int(7)))),
+                Expr::lam(
+                    vec![(Symbol::intern("u"), Ty::Top)],
+                    Expr::Set(cache, Box::new(Expr::Int(7))),
+                ),
             ),
         );
         let m = mutated_vars(&e);

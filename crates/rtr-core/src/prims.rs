@@ -95,10 +95,7 @@ pub fn delta(p: Prim) -> Ty {
         Prim::IsPair => predicate(Ty::pair(Ty::Top, Ty::Top)),
         Prim::IsVec => predicate(Ty::vec(Ty::Top)),
         Prim::IsBv => predicate(Ty::BitVec),
-        Prim::IsProc => Ty::fun(
-            vec![(x(), Ty::Top)],
-            TyResult::of_type(Ty::bool_ty()),
-        ),
+        Prim::IsProc => Ty::fun(vec![(x(), Ty::Top)], TyResult::of_type(Ty::bool_ty())),
         Prim::Not => Ty::fun(
             vec![(x(), Ty::Top)],
             TyResult::new(
@@ -136,9 +133,7 @@ pub fn delta(p: Prim) -> Ty {
         Prim::Times => arith(vec![(x(), Ty::Int), (y(), Ty::Int)], Obj::Null),
         // quotient/remainder are deliberately un-enriched (no symbolic
         // object, no propositions): the "unimplemented feature" of §5.1.
-        Prim::Quotient | Prim::Remainder => {
-            arith(vec![(x(), Ty::Int), (y(), Ty::Int)], Obj::Null)
-        }
+        Prim::Quotient | Prim::Remainder => arith(vec![(x(), Ty::Int), (y(), Ty::Int)], Obj::Null),
         Prim::Lt => comparison(
             Prop::lin(Obj::var(x()), LinCmp::Lt, Obj::var(y())),
             Prop::lin(Obj::var(y()), LinCmp::Le, Obj::var(x())),
@@ -282,14 +277,19 @@ mod tests {
                 Ty::Poly(poly) => poly.body.clone(),
                 other => other.clone(),
             };
-            assert!(matches!(body, Ty::Fun(_)), "Δ({p}) must be a function type, got {t}");
+            assert!(
+                matches!(body, Ty::Fun(_)),
+                "Δ({p}) must be a function type, got {t}"
+            );
         }
     }
 
     #[test]
     fn int_predicate_matches_figure_3() {
         // Δ(int?) = x:⊤ → (B ; x ∈ I | x ∉ I ; ∅)
-        let Ty::Fun(f) = delta(Prim::IsInt) else { panic!("not a function") };
+        let Ty::Fun(f) = delta(Prim::IsInt) else {
+            panic!("not a function")
+        };
         assert_eq!(f.params, vec![(x(), Ty::Top)]);
         assert_eq!(f.range.ty, Ty::bool_ty());
         assert_eq!(f.range.then_p, Prop::is(Obj::var(x()), Ty::Int));
@@ -300,7 +300,9 @@ mod tests {
     #[test]
     fn add1_matches_enriched_delta() {
         // Enriched Δ(add1) = x:I → (I ; tt | ff ; x + 1)
-        let Ty::Fun(f) = delta(Prim::Add1) else { panic!("not a function") };
+        let Ty::Fun(f) = delta(Prim::Add1) else {
+            panic!("not a function")
+        };
         assert_eq!(f.range.ty, Ty::Int);
         assert_eq!(f.range.obj, Obj::var(x()).add(&Obj::int(1)));
         assert_eq!(f.range.else_p, Prop::FF);
@@ -308,32 +310,57 @@ mod tests {
 
     #[test]
     fn le_emits_theory_propositions() {
-        let Ty::Fun(f) = delta(Prim::Le) else { panic!("not a function") };
-        assert_eq!(f.range.then_p, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y())));
-        assert_eq!(f.range.else_p, Prop::lin(Obj::var(y()), LinCmp::Lt, Obj::var(x())));
+        let Ty::Fun(f) = delta(Prim::Le) else {
+            panic!("not a function")
+        };
+        assert_eq!(
+            f.range.then_p,
+            Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y()))
+        );
+        assert_eq!(
+            f.range.else_p,
+            Prop::lin(Obj::var(y()), LinCmp::Lt, Obj::var(x()))
+        );
     }
 
     #[test]
     fn safe_vec_ref_demands_proof() {
-        let Ty::Poly(p) = delta(Prim::SafeVecRef) else { panic!("not poly") };
-        let Ty::Fun(f) = &p.body else { panic!("not a function") };
-        assert!(matches!(f.params[1].1, Ty::Refine(_)), "index must be refined");
+        let Ty::Poly(p) = delta(Prim::SafeVecRef) else {
+            panic!("not poly")
+        };
+        let Ty::Fun(f) = &p.body else {
+            panic!("not a function")
+        };
+        assert!(
+            matches!(f.params[1].1, Ty::Refine(_)),
+            "index must be refined"
+        );
         // And the plain vec-ref does not.
-        let Ty::Poly(p) = delta(Prim::VecRef) else { panic!("not poly") };
-        let Ty::Fun(f) = &p.body else { panic!("not a function") };
+        let Ty::Poly(p) = delta(Prim::VecRef) else {
+            panic!("not poly")
+        };
+        let Ty::Fun(f) = &p.body else {
+            panic!("not a function")
+        };
         assert_eq!(f.params[1].1, Ty::Int);
     }
 
     #[test]
     fn len_returns_the_len_object() {
-        let Ty::Poly(p) = delta(Prim::Len) else { panic!("not poly") };
-        let Ty::Fun(f) = &p.body else { panic!("not a function") };
+        let Ty::Poly(p) = delta(Prim::Len) else {
+            panic!("not poly")
+        };
+        let Ty::Fun(f) = &p.body else {
+            panic!("not a function")
+        };
         assert_eq!(f.range.obj, Obj::var(v()).len());
     }
 
     #[test]
     fn not_matches_figure_3() {
-        let Ty::Fun(f) = delta(Prim::Not) else { panic!("not a function") };
+        let Ty::Fun(f) = delta(Prim::Not) else {
+            panic!("not a function")
+        };
         assert_eq!(f.range.then_p, Prop::is(Obj::var(x()), Ty::False));
         assert_eq!(f.range.else_p, Prop::is_not(Obj::var(x()), Ty::False));
     }

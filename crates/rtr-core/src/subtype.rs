@@ -13,7 +13,9 @@ use crate::syntax::{Obj, Prop, Symbol, Ty, TyResult};
 impl Checker {
     /// `Γ ⊢ τ₁ <: τ₂` (Fig. 5).
     pub fn subtype(&self, env: &Env, t1: &Ty, t2: &Ty, fuel: u32) -> bool {
-        let Some(fuel) = fuel.checked_sub(1) else { return false };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return false;
+        };
         // S-Refl
         if t1 == t2 {
             return true;
@@ -116,7 +118,9 @@ impl Checker {
     /// `{z:Int | z ≥ x}` (this is how `max`'s conditional meets its
     /// declared range).
     pub fn subtype_result(&self, env: &Env, r1: &TyResult, r2: &TyResult, fuel: u32) -> bool {
-        let Some(fuel) = fuel.checked_sub(1) else { return false };
+        let Some(fuel) = fuel.checked_sub(1) else {
+            return false;
+        };
         if !r2.existentials.is_empty() {
             // Only trivially identical quantified results are comparable;
             // expected ranges written by users are quantifier-free.
@@ -216,7 +220,12 @@ mod tests {
     fn reflexivity_and_top() {
         let c = checker();
         let env = Env::new();
-        for t in [Ty::Int, Ty::bool_ty(), Ty::pair(Ty::Int, Ty::Top), Ty::vec(Ty::Int)] {
+        for t in [
+            Ty::Int,
+            Ty::bool_ty(),
+            Ty::pair(Ty::Int, Ty::Top),
+            Ty::vec(Ty::Int),
+        ] {
             assert!(c.subtype(&env, &t, &t, fuel()), "{t} <: {t}");
             assert!(c.subtype(&env, &t, &Ty::Top, fuel()), "{t} <: ⊤");
         }
@@ -240,7 +249,12 @@ mod tests {
     fn pair_covariance_vector_invariance() {
         let c = checker();
         let env = Env::new();
-        assert!(c.subtype(&env, &Ty::pair(Ty::True, Ty::Int), &Ty::pair(Ty::bool_ty(), Ty::Top), fuel()));
+        assert!(c.subtype(
+            &env,
+            &Ty::pair(Ty::True, Ty::Int),
+            &Ty::pair(Ty::bool_ty(), Ty::Top),
+            fuel()
+        ));
         assert!(!c.subtype(&env, &Ty::vec(Ty::True), &Ty::vec(Ty::bool_ty()), fuel()));
         assert!(c.subtype(&env, &Ty::vec(Ty::Int), &Ty::vec(Ty::Int), fuel()));
     }
@@ -291,11 +305,19 @@ mod tests {
         let z = Symbol::intern("dz");
         let exact = Ty::fun(
             vec![(x, Ty::Int)],
-            TyResult::of_type(Ty::refine(z, Ty::Int, Prop::lin(Obj::var(z), LinCmp::Eq, Obj::var(x)))),
+            TyResult::of_type(Ty::refine(
+                z,
+                Ty::Int,
+                Prop::lin(Obj::var(z), LinCmp::Eq, Obj::var(x)),
+            )),
         );
         let loose = Ty::fun(
             vec![(x, Ty::Int)],
-            TyResult::of_type(Ty::refine(z, Ty::Int, Prop::lin(Obj::var(z), LinCmp::Le, Obj::var(x)))),
+            TyResult::of_type(Ty::refine(
+                z,
+                Ty::Int,
+                Prop::lin(Obj::var(z), LinCmp::Le, Obj::var(x)),
+            )),
         );
         assert!(c.subtype(&env, &exact, &loose, fuel()));
         assert!(!c.subtype(&env, &loose, &exact, fuel()));
@@ -311,15 +333,17 @@ mod tests {
         let z = Symbol::intern("mz");
         c.bind(&mut env, x, &Ty::Int, fuel());
         c.bind(&mut env, y, &Ty::Int, fuel());
-        c.assume(&mut env, &Prop::lin(Obj::var(y), LinCmp::Lt, Obj::var(x)), fuel());
+        c.assume(
+            &mut env,
+            &Prop::lin(Obj::var(y), LinCmp::Lt, Obj::var(x)),
+            fuel(),
+        );
         let r1 = TyResult::truthy(Ty::Int, Obj::var(x));
-        let want =
-            Ty::refine(z, Ty::Int, Prop::lin(Obj::var(z), LinCmp::Le, Obj::var(x)));
+        let want = Ty::refine(z, Ty::Int, Prop::lin(Obj::var(z), LinCmp::Le, Obj::var(x)));
         let r2 = TyResult::of_type(want);
         assert!(c.subtype_result(&env, &r1, &r2, fuel()));
         // And the y-bound holds too via transitivity.
-        let want_y =
-            Ty::refine(z, Ty::Int, Prop::lin(Obj::var(y), LinCmp::Le, Obj::var(z)));
+        let want_y = Ty::refine(z, Ty::Int, Prop::lin(Obj::var(y), LinCmp::Le, Obj::var(z)));
         assert!(c.subtype_result(&env, &r1, &TyResult::of_type(want_y), fuel()));
     }
 
@@ -343,7 +367,12 @@ mod tests {
         let c = checker();
         let mut env = Env::new();
         let x = Symbol::intern("px");
-        c.bind(&mut env, x, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), fuel());
+        c.bind(
+            &mut env,
+            x,
+            &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+            fuel(),
+        );
         let strong = TyResult::new(
             Ty::bool_ty(),
             Prop::is(Obj::var(x), Ty::Int),

@@ -329,19 +329,13 @@ impl Expr {
             Expr::LetRec(_, _, l, b) => 1 + l.body.size() + b.size(),
             Expr::Cons(a, b) => 1 + a.size() + b.size(),
             Expr::Fst(a) | Expr::Snd(a) | Expr::Ann(a, _) | Expr::Set(_, a) => 1 + a.size(),
-            Expr::VecLit(es) | Expr::Begin(es) => {
-                1 + es.iter().map(Expr::size).sum::<usize>()
-            }
+            Expr::VecLit(es) | Expr::Begin(es) => 1 + es.iter().map(Expr::size).sum::<usize>(),
         }
     }
 
     /// Collects free program variables.
     pub fn free_vars(&self, out: &mut std::collections::HashSet<Symbol>) {
-        fn go(
-            e: &Expr,
-            bound: &mut Vec<Symbol>,
-            out: &mut std::collections::HashSet<Symbol>,
-        ) {
+        fn go(e: &Expr, bound: &mut Vec<Symbol>, out: &mut std::collections::HashSet<Symbol>) {
             match e {
                 Expr::Var(x) => {
                     if !bound.contains(x) {
@@ -440,7 +434,11 @@ impl fmt::Display for Expr {
             Expr::If(a, b, c) => write!(f, "(if {a} {b} {c})"),
             Expr::Let(x, rhs, body) => write!(f, "(let ({x} {rhs}) {body})"),
             Expr::LetRec(name, ty, l, body) => {
-                write!(f, "(letrec ({name} : {ty} {}) {body})", Expr::Lam(l.clone()))
+                write!(
+                    f,
+                    "(letrec ({name} : {ty} {}) {body})",
+                    Expr::Lam(l.clone())
+                )
             }
             Expr::Cons(a, b) => write!(f, "(cons {a} {b})"),
             Expr::Fst(a) => write!(f, "(fst {a})"),

@@ -55,7 +55,10 @@ pub struct Path {
 impl Path {
     /// A bare variable path.
     pub fn var(base: Symbol) -> Path {
-        Path { base, fields: Vec::new() }
+        Path {
+            base,
+            fields: Vec::new(),
+        }
     }
 
     /// Extends the path with one more field access (outermost).
@@ -94,12 +97,18 @@ pub struct LinObj {
 impl LinObj {
     /// The constant linear object `n`.
     pub fn constant(n: i64) -> LinObj {
-        LinObj { constant: n, terms: Vec::new() }
+        LinObj {
+            constant: n,
+            terms: Vec::new(),
+        }
     }
 
     /// The linear object `1·p`.
     pub fn path(p: Path) -> LinObj {
-        LinObj { constant: 0, terms: vec![(1, p)] }
+        LinObj {
+            constant: 0,
+            terms: vec![(1, p)],
+        }
     }
 
     /// Returns the constant if the object has no variable terms.
@@ -403,11 +412,7 @@ impl Obj {
         }
     }
 
-    fn bv_binop(
-        &self,
-        other: &Obj,
-        f: impl FnOnce(Box<BvObj>, Box<BvObj>) -> BvObj,
-    ) -> Obj {
+    fn bv_binop(&self, other: &Obj, f: impl FnOnce(Box<BvObj>, Box<BvObj>) -> BvObj) -> Obj {
         match (self.as_bv(), other.as_bv()) {
             (Some(a), Some(b)) => Obj::Bv(f(Box::new(a), Box::new(b))),
             _ => Obj::Null,
@@ -487,7 +492,10 @@ impl Obj {
                             None => return Obj::Null,
                         }
                     } else {
-                        acc = acc.add(&LinObj { constant: 0, terms: vec![(*c, p.clone())] });
+                        acc = acc.add(&LinObj {
+                            constant: 0,
+                            terms: vec![(*c, p.clone())],
+                        });
                     }
                 }
                 Obj::Lin(acc)
@@ -546,24 +554,30 @@ fn subst_bv(b: &BvObj, x: Symbol, rep: &Obj) -> Option<BvObj> {
             }
         }
         BvObj::Not(a) => BvObj::Not(Box::new(subst_bv(a, x, rep)?)),
-        BvObj::And(a, c) => {
-            BvObj::And(Box::new(subst_bv(a, x, rep)?), Box::new(subst_bv(c, x, rep)?))
-        }
-        BvObj::Or(a, c) => {
-            BvObj::Or(Box::new(subst_bv(a, x, rep)?), Box::new(subst_bv(c, x, rep)?))
-        }
-        BvObj::Xor(a, c) => {
-            BvObj::Xor(Box::new(subst_bv(a, x, rep)?), Box::new(subst_bv(c, x, rep)?))
-        }
-        BvObj::Add(a, c) => {
-            BvObj::Add(Box::new(subst_bv(a, x, rep)?), Box::new(subst_bv(c, x, rep)?))
-        }
-        BvObj::Sub(a, c) => {
-            BvObj::Sub(Box::new(subst_bv(a, x, rep)?), Box::new(subst_bv(c, x, rep)?))
-        }
-        BvObj::Mul(a, c) => {
-            BvObj::Mul(Box::new(subst_bv(a, x, rep)?), Box::new(subst_bv(c, x, rep)?))
-        }
+        BvObj::And(a, c) => BvObj::And(
+            Box::new(subst_bv(a, x, rep)?),
+            Box::new(subst_bv(c, x, rep)?),
+        ),
+        BvObj::Or(a, c) => BvObj::Or(
+            Box::new(subst_bv(a, x, rep)?),
+            Box::new(subst_bv(c, x, rep)?),
+        ),
+        BvObj::Xor(a, c) => BvObj::Xor(
+            Box::new(subst_bv(a, x, rep)?),
+            Box::new(subst_bv(c, x, rep)?),
+        ),
+        BvObj::Add(a, c) => BvObj::Add(
+            Box::new(subst_bv(a, x, rep)?),
+            Box::new(subst_bv(c, x, rep)?),
+        ),
+        BvObj::Sub(a, c) => BvObj::Sub(
+            Box::new(subst_bv(a, x, rep)?),
+            Box::new(subst_bv(c, x, rep)?),
+        ),
+        BvObj::Mul(a, c) => BvObj::Mul(
+            Box::new(subst_bv(a, x, rep)?),
+            Box::new(subst_bv(c, x, rep)?),
+        ),
     })
 }
 

@@ -39,10 +39,26 @@ impl LinAtom {
     /// The negated atom (`¬(a < b)` is `b ≤ a`, etc.).
     pub fn negate(&self) -> LinAtom {
         match self.cmp {
-            LinCmp::Lt => LinAtom { lhs: self.rhs.clone(), cmp: LinCmp::Le, rhs: self.lhs.clone() },
-            LinCmp::Le => LinAtom { lhs: self.rhs.clone(), cmp: LinCmp::Lt, rhs: self.lhs.clone() },
-            LinCmp::Eq => LinAtom { lhs: self.lhs.clone(), cmp: LinCmp::Ne, rhs: self.rhs.clone() },
-            LinCmp::Ne => LinAtom { lhs: self.lhs.clone(), cmp: LinCmp::Eq, rhs: self.rhs.clone() },
+            LinCmp::Lt => LinAtom {
+                lhs: self.rhs.clone(),
+                cmp: LinCmp::Le,
+                rhs: self.lhs.clone(),
+            },
+            LinCmp::Le => LinAtom {
+                lhs: self.rhs.clone(),
+                cmp: LinCmp::Lt,
+                rhs: self.lhs.clone(),
+            },
+            LinCmp::Eq => LinAtom {
+                lhs: self.lhs.clone(),
+                cmp: LinCmp::Ne,
+                rhs: self.rhs.clone(),
+            },
+            LinCmp::Ne => LinAtom {
+                lhs: self.lhs.clone(),
+                cmp: LinCmp::Eq,
+                rhs: self.rhs.clone(),
+            },
         }
     }
 }
@@ -87,7 +103,10 @@ pub struct BvAtomProp {
 impl BvAtomProp {
     /// The negated atom.
     pub fn negate(&self) -> BvAtomProp {
-        BvAtomProp { positive: !self.positive, ..self.clone() }
+        BvAtomProp {
+            positive: !self.positive,
+            ..self.clone()
+        }
     }
 }
 
@@ -122,7 +141,10 @@ pub struct StrAtomProp {
 impl StrAtomProp {
     /// The negated atom.
     pub fn negate(&self) -> StrAtomProp {
-        StrAtomProp { positive: !self.positive, ..self.clone() }
+        StrAtomProp {
+            positive: !self.positive,
+            ..self.clone()
+        }
     }
 }
 
@@ -217,9 +239,12 @@ impl Prop {
     /// A bitvector atom over liftable objects; vacuous otherwise.
     pub fn bv(lhs: Obj, cmp: BvCmp, rhs: Obj) -> Prop {
         match (lhs.as_bv(), rhs.as_bv()) {
-            (Some(lhs), Some(rhs)) => {
-                Prop::Bv(BvAtomProp { lhs, cmp, rhs, positive: true })
-            }
+            (Some(lhs), Some(rhs)) => Prop::Bv(BvAtomProp {
+                lhs,
+                cmp,
+                rhs,
+                positive: true,
+            }),
             _ => Prop::TT,
         }
     }
@@ -228,9 +253,11 @@ impl Prop {
     /// `re` is a regex literal; vacuous otherwise.
     pub fn re_match(lhs: &Obj, re: &Obj) -> Prop {
         match (lhs.as_str_obj(), re.as_re()) {
-            (Some(lhs), Some(re)) => {
-                Prop::Str(StrAtomProp { lhs, re, positive: true })
-            }
+            (Some(lhs), Some(re)) => Prop::Str(StrAtomProp {
+                lhs,
+                re,
+                positive: true,
+            }),
             _ => Prop::TT,
         }
     }
@@ -427,14 +454,21 @@ mod tests {
         assert_eq!(p.subst(x(), &Obj::Null), Prop::TT);
         // (x < 3)[x ↦ y+1] = (y+1 < 3)
         let q = p.subst(x(), &Obj::var(y()).add(&Obj::int(1)));
-        assert_eq!(q, Prop::lin(Obj::var(y()).add(&Obj::int(1)), LinCmp::Lt, Obj::int(3)));
+        assert_eq!(
+            q,
+            Prop::lin(Obj::var(y()).add(&Obj::int(1)), LinCmp::Lt, Obj::int(3))
+        );
     }
 
     #[test]
     fn substitution_reaches_embedded_types() {
         // (y ∈ {z:Int | z < x})[x ↦ 5]
         let z = Symbol::intern("z");
-        let t = Ty::refine(z, Ty::Int, Prop::lin(Obj::var(z), LinCmp::Lt, Obj::var(x())));
+        let t = Ty::refine(
+            z,
+            Ty::Int,
+            Prop::lin(Obj::var(z), LinCmp::Lt, Obj::var(x())),
+        );
         let p = Prop::is(Obj::var(y()), t);
         let got = p.subst(x(), &Obj::int(5));
         let want = Prop::is(

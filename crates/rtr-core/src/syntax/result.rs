@@ -35,7 +35,13 @@ pub struct TyResult {
 impl TyResult {
     /// A full (non-quantified) result.
     pub fn new(ty: Ty, then_p: Prop, else_p: Prop, obj: Obj) -> TyResult {
-        TyResult { existentials: Vec::new(), ty, then_p, else_p, obj }
+        TyResult {
+            existentials: Vec::new(),
+            ty,
+            then_p,
+            else_p,
+            obj,
+        }
     }
 
     /// The conventional result for an expression only known to have type
@@ -137,7 +143,11 @@ impl fmt::Display for TyResult {
         for (x, t) in &self.existentials {
             write!(f, "∃{x}:{t}. ")?;
         }
-        write!(f, "({} ; {} | {} ; {})", self.ty, self.then_p, self.else_p, self.obj)
+        write!(
+            f,
+            "({} ; {} | {} ; {})",
+            self.ty, self.then_p, self.else_p, self.obj
+        )
     }
 }
 

@@ -30,7 +30,10 @@ struct Interner {
 fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner { names: Vec::new(), lookup: std::collections::HashMap::new() })
+        Mutex::new(Interner {
+            names: Vec::new(),
+            lookup: std::collections::HashMap::new(),
+        })
     })
 }
 

@@ -203,16 +203,10 @@ impl Ty {
                 if r.var == x {
                     Ty::refine(r.var, r.base.subst_obj(x, rep), r.prop.clone())
                 } else {
-                    Ty::refine(
-                        r.var,
-                        r.base.subst_obj(x, rep),
-                        r.prop.subst(x, rep),
-                    )
+                    Ty::refine(r.var, r.base.subst_obj(x, rep), r.prop.subst(x, rep))
                 }
             }
-            Ty::Poly(p) => {
-                Ty::poly(p.vars.clone(), p.body.subst_obj(x, rep))
-            }
+            Ty::Poly(p) => Ty::poly(p.vars.clone(), p.body.subst_obj(x, rep)),
         }
     }
 
@@ -220,7 +214,13 @@ impl Ty {
     pub fn subst_tvars(&self, map: &std::collections::HashMap<Symbol, Ty>) -> Ty {
         match self {
             Ty::TVar(a) => map.get(a).cloned().unwrap_or_else(|| self.clone()),
-            Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
             | Ty::Regex => self.clone(),
             Ty::Pair(a, b) => Ty::pair(a.subst_tvars(map), b.subst_tvars(map)),
             Ty::Vec(e) => Ty::vec(e.subst_tvars(map)),
@@ -250,7 +250,13 @@ impl Ty {
             Ty::TVar(a) => {
                 out.insert(*a);
             }
-            Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
             | Ty::Regex => {}
             Ty::Pair(a, b) => {
                 a.free_tvars(out);
@@ -282,8 +288,15 @@ impl Ty {
     /// Size of the type term (used to bound recursion in tests/fuzzing).
     pub fn size(&self) -> usize {
         match self {
-            Ty::Top | Ty::Int | Ty::True | Ty::False | Ty::Unit | Ty::BitVec | Ty::Str
-            | Ty::Regex | Ty::TVar(_) => 1,
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
+            | Ty::Regex
+            | Ty::TVar(_) => 1,
             Ty::Pair(a, b) => 1 + a.size() + b.size(),
             Ty::Vec(e) => 1 + e.size(),
             Ty::Union(ts) => 1 + ts.iter().map(Ty::size).sum::<usize>(),
@@ -369,7 +382,11 @@ mod tests {
     #[test]
     fn refine_collapses_trivial() {
         assert_eq!(Ty::refine(x(), Ty::Int, Prop::TT), Ty::Int);
-        let r = Ty::refine(x(), Ty::Int, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(5)));
+        let r = Ty::refine(
+            x(),
+            Ty::Int,
+            Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(5)),
+        );
         assert!(matches!(r, Ty::Refine(_)));
     }
 
@@ -378,11 +395,19 @@ mod tests {
         // {x:Int | x ≤ y}[y ↦ 3] rewrites y; [x ↦ 3] must not touch the
         // bound occurrence.
         let y = Symbol::intern("y");
-        let t = Ty::refine(x(), Ty::Int, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y)));
+        let t = Ty::refine(
+            x(),
+            Ty::Int,
+            Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y)),
+        );
         let t2 = t.subst_obj(y, &Obj::int(3));
         assert_eq!(
             t2,
-            Ty::refine(x(), Ty::Int, Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(3)))
+            Ty::refine(
+                x(),
+                Ty::Int,
+                Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(3))
+            )
         );
         let t3 = t.subst_obj(x(), &Obj::int(0));
         assert_eq!(t3, t);

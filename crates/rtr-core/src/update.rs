@@ -24,7 +24,9 @@ impl Checker {
         positive: bool,
         fuel: u32,
     ) -> Ty {
-        let Some(next_fuel) = fuel.checked_sub(1) else { return t.clone() };
+        let Some(next_fuel) = fuel.checked_sub(1) else {
+            return t.clone();
+        };
         match fields.split_first() {
             None => {
                 if positive {
@@ -42,9 +44,15 @@ impl Checker {
             Some((f @ (Field::Fst | Field::Snd), rest)) => match t {
                 Ty::Pair(a, b) => {
                     if *f == Field::Fst {
-                        Ty::pair(self.update_ty(env, a, rest, s, positive, next_fuel), (**b).clone())
+                        Ty::pair(
+                            self.update_ty(env, a, rest, s, positive, next_fuel),
+                            (**b).clone(),
+                        )
                     } else {
-                        Ty::pair((**a).clone(), self.update_ty(env, b, rest, s, positive, next_fuel))
+                        Ty::pair(
+                            (**a).clone(),
+                            self.update_ty(env, b, rest, s, positive, next_fuel),
+                        )
                     }
                 }
                 Ty::Union(ts) => Ty::union_of(
@@ -75,17 +83,23 @@ impl Checker {
 
     /// `restrictΓ(τ, σ)` — a conservative intersection (Fig. 7).
     pub fn restrict(&self, env: &Env, t: &Ty, s: &Ty, fuel: u32) -> Ty {
-        let Some(next_fuel) = fuel.checked_sub(1) else { return t.clone() };
+        let Some(next_fuel) = fuel.checked_sub(1) else {
+            return t.clone();
+        };
         if !self.overlap(t, s) {
             return Ty::bot();
         }
         match t {
             Ty::Union(ts) => Ty::union_of(
-                ts.iter().map(|t| self.restrict(env, t, s, next_fuel)).collect(),
+                ts.iter()
+                    .map(|t| self.restrict(env, t, s, next_fuel))
+                    .collect(),
             ),
-            Ty::Refine(r) => {
-                Ty::refine(r.var, self.restrict(env, &r.base, s, next_fuel), r.prop.clone())
-            }
+            Ty::Refine(r) => Ty::refine(
+                r.var,
+                self.restrict(env, &r.base, s, next_fuel),
+                r.prop.clone(),
+            ),
             _ => {
                 if self.subtype(env, t, s, next_fuel) {
                     t.clone()
@@ -98,17 +112,23 @@ impl Checker {
 
     /// `removeΓ(τ, σ)` — a conservative difference (Fig. 7).
     pub fn remove(&self, env: &Env, t: &Ty, s: &Ty, fuel: u32) -> Ty {
-        let Some(next_fuel) = fuel.checked_sub(1) else { return t.clone() };
+        let Some(next_fuel) = fuel.checked_sub(1) else {
+            return t.clone();
+        };
         if self.subtype(env, t, s, next_fuel) {
             return Ty::bot();
         }
         match t {
-            Ty::Union(ts) => {
-                Ty::union_of(ts.iter().map(|t| self.remove(env, t, s, next_fuel)).collect())
-            }
-            Ty::Refine(r) => {
-                Ty::refine(r.var, self.remove(env, &r.base, s, next_fuel), r.prop.clone())
-            }
+            Ty::Union(ts) => Ty::union_of(
+                ts.iter()
+                    .map(|t| self.remove(env, t, s, next_fuel))
+                    .collect(),
+            ),
+            Ty::Refine(r) => Ty::refine(
+                r.var,
+                self.remove(env, &r.base, s, next_fuel),
+                r.prop.clone(),
+            ),
             _ => t.clone(),
         }
     }
@@ -126,8 +146,13 @@ impl Checker {
             (t, Union(ss)) => ss.iter().any(|s| self.overlap(t, s)),
             (Refine(r), s) => self.overlap(&r.base, s),
             (t, Refine(r)) => self.overlap(t, &r.base),
-            (Int, Int) | (True, True) | (False, False) | (Unit, Unit) | (BitVec, BitVec)
-            | (Str, Str) | (Regex, Regex) => true,
+            (Int, Int)
+            | (True, True)
+            | (False, False)
+            | (Unit, Unit)
+            | (BitVec, BitVec)
+            | (Str, Str)
+            | (Regex, Regex) => true,
             (Pair(a1, b1), Pair(a2, b2)) => self.overlap(a1, a2) && self.overlap(b1, b2),
             // The empty vector inhabits every vector type, so vector types
             // always overlap.
@@ -174,7 +199,10 @@ mod tests {
     fn remove_computes_else_branch_narrowing() {
         let c = checker();
         let t = Ty::union_of(vec![Ty::Int, Ty::pair(Ty::Int, Ty::Int)]);
-        assert_eq!(c.remove(&env(), &t, &Ty::Int, 32), Ty::pair(Ty::Int, Ty::Int));
+        assert_eq!(
+            c.remove(&env(), &t, &Ty::Int, 32),
+            Ty::pair(Ty::Int, Ty::Int)
+        );
         // Removing everything yields ⊥.
         assert!(c.remove(&env(), &Ty::Int, &Ty::Int, 32).is_bot());
     }
@@ -220,13 +248,18 @@ mod tests {
     fn update_len_leaves_type_alone() {
         let c = checker();
         let t = Ty::vec(Ty::Int);
-        assert_eq!(c.update_ty(&env(), &t, &[Field::Len], &Ty::Int, true, 32), t);
+        assert_eq!(
+            c.update_ty(&env(), &t, &[Field::Len], &Ty::Int, true, 32),
+            t
+        );
     }
 
     #[test]
     fn update_field_of_non_pair_is_absurd() {
         let c = checker();
-        assert!(c.update_ty(&env(), &Ty::Int, &[Field::Fst], &Ty::Top, true, 32).is_bot());
+        assert!(c
+            .update_ty(&env(), &Ty::Int, &[Field::Fst], &Ty::Top, true, 32)
+            .is_bot());
     }
 
     #[test]

@@ -24,10 +24,10 @@ fn guarded_access() -> Expr {
         Expr::if_(
             Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
             Expr::if_(
-                Expr::prim_app(Prim::Lt, vec![
-                    Expr::Var(i),
-                    Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
-                ]),
+                Expr::prim_app(
+                    Prim::Lt,
+                    vec![Expr::Var(i), Expr::prim_app(Prim::Len, vec![Expr::Var(v)])],
+                ),
                 Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
                 Expr::Int(0),
             ),
@@ -39,7 +39,11 @@ fn guarded_access() -> Expr {
 #[test]
 fn starved_fm_budget_rejects_conservatively() {
     let cfg = CheckerConfig {
-        fm: FmConfig { max_rows: 1, max_splits: 0, integer_tightening: true },
+        fm: FmConfig {
+            max_rows: 1,
+            max_splits: 0,
+            integer_tightening: true,
+        },
         ..CheckerConfig::default()
     };
     let checker = Checker::with_config(cfg);
@@ -51,10 +55,15 @@ fn starved_fm_budget_rejects_conservatively() {
 
 #[test]
 fn starved_logic_fuel_rejects() {
-    let checker =
-        Checker::with_config(CheckerConfig { logic_fuel: 3, ..CheckerConfig::default() });
+    let checker = Checker::with_config(CheckerConfig {
+        logic_fuel: 3,
+        ..CheckerConfig::default()
+    });
     let result = checker.check_program(&guarded_access());
-    assert!(result.is_err(), "with no fuel the proof must fail, not succeed");
+    assert!(
+        result.is_err(),
+        "with no fuel the proof must fail, not succeed"
+    );
 }
 
 #[test]
@@ -77,7 +86,11 @@ fn zero_case_split_budget_weakens_but_stays_sound() {
     );
     assert!(!checker.proves(&env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)), 64));
     // …but direct proofs still work.
-    checker.assume(&mut env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(4)), 64);
+    checker.assume(
+        &mut env,
+        &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(4)),
+        64,
+    );
     assert!(checker.proves(&env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)), 64));
 }
 
@@ -97,10 +110,19 @@ fn starved_sat_budget_rejects_bv_obligations() {
         );
         c.proves(&env, &p, 64)
     };
-    let ok_cfg = CheckerConfig { bv_width: 6, ..CheckerConfig::default() };
-    assert!(goal(&Checker::with_config(ok_cfg.clone())), "normal budget proves x·y = y·x");
+    let ok_cfg = CheckerConfig {
+        bv_width: 6,
+        ..CheckerConfig::default()
+    };
+    assert!(
+        goal(&Checker::with_config(ok_cfg.clone())),
+        "normal budget proves x·y = y·x"
+    );
     let starved_cfg = CheckerConfig {
-        sat: SolverConfig { max_conflicts: 0, ..SolverConfig::default() },
+        sat: SolverConfig {
+            max_conflicts: 0,
+            ..SolverConfig::default()
+        },
         ..ok_cfg
     };
     assert!(
@@ -188,7 +210,11 @@ fn conservative_rejection_is_never_unsound() {
     let weak = Checker::with_config(CheckerConfig {
         logic_fuel: 8,
         case_split_budget: 1,
-        fm: FmConfig { max_rows: 16, max_splits: 1, integer_tightening: true },
+        fm: FmConfig {
+            max_rows: 16,
+            max_splits: 1,
+            integer_tightening: true,
+        },
         ..CheckerConfig::default()
     });
     let programs = vec![

@@ -68,7 +68,10 @@ fn fig1_max_wrong_range_rejected() {
     );
     let sig = Ty::fun(vec![(x, Ty::Int), (y, Ty::Int)], TyResult::of_type(wrong));
     let e = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), sig);
-    assert!(rtr().check_program(&e).is_err(), "min-range for max must be rejected");
+    assert!(
+        rtr().check_program(&e).is_err(),
+        "min-range for max must be rejected"
+    );
 }
 
 /// …and stock occurrence typing (λ_TR) cannot verify the refined range.
@@ -85,7 +88,10 @@ fn fig1_max_needs_theories() {
         TyResult::of_type(max_range(x, y)),
     );
     let e = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), sig);
-    assert!(lambda_tr().check_program(&e).is_err(), "λTR must fail on refined max");
+    assert!(
+        lambda_tr().check_program(&e).is_err(),
+        "λTR must fail on refined max"
+    );
 }
 
 /// §2's `least-significant-bit`, with pairs standing in for lists:
@@ -108,7 +114,9 @@ fn least_significant_bit_union_elimination() {
     );
     let r = rtr().check_program(&e).expect("lsb must type check");
     // λTR handles this too — it is pure occurrence typing.
-    lambda_tr().check_program(&e).expect("lsb must type check in λTR");
+    lambda_tr()
+        .check_program(&e)
+        .expect("lsb must type check in λTR");
     match r.ty {
         Ty::Fun(f) => assert_eq!(f.range.ty, Ty::Int),
         other => panic!("expected function, got {other}"),
@@ -140,17 +148,19 @@ fn guarded_vec_ref_verifies() {
     let body = Expr::if_(
         Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
         Expr::if_(
-            Expr::prim_app(Prim::Lt, vec![
-                Expr::Var(i),
-                Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
-            ]),
+            Expr::prim_app(
+                Prim::Lt,
+                vec![Expr::Var(i), Expr::prim_app(Prim::Len, vec![Expr::Var(v)])],
+            ),
             Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
             Expr::Error("invalid vector index!".into()),
         ),
         Expr::Error("invalid vector index!".into()),
     );
     let e = Expr::lam(vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)], body);
-    let r = rtr().check_program(&e).expect("guarded vec-ref must verify");
+    let r = rtr()
+        .check_program(&e)
+        .expect("guarded vec-ref must verify");
     match r.ty {
         Ty::Fun(f) => assert_eq!(f.range.ty, Ty::Int),
         other => panic!("expected function, got {other}"),
@@ -168,7 +178,10 @@ fn unguarded_safe_vec_ref_rejected() {
     );
     match rtr().check_program(&e) {
         Err(TypeError::Mismatch { context, .. }) => {
-            assert!(context.contains("argument 2"), "wrong argument flagged: {context}");
+            assert!(
+                context.contains("argument 2"),
+                "wrong argument flagged: {context}"
+            );
         }
         other => panic!("expected a mismatch on the index, got {other:?}"),
     }
@@ -181,10 +194,10 @@ fn lambda_tr_cannot_verify_guarded_access() {
     let body = Expr::if_(
         Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
         Expr::if_(
-            Expr::prim_app(Prim::Lt, vec![
-                Expr::Var(i),
-                Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
-            ]),
+            Expr::prim_app(
+                Prim::Lt,
+                vec![Expr::Var(i), Expr::prim_app(Prim::Len, vec![Expr::Var(v)])],
+            ),
             Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
             Expr::Error("bad".into()),
         ),
@@ -202,14 +215,17 @@ fn dot_prod_without_length_check_rejected() {
     let body = Expr::if_(
         Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
         Expr::if_(
-            Expr::prim_app(Prim::Lt, vec![
-                Expr::Var(i),
-                Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
-            ]),
-            Expr::prim_app(Prim::Times, vec![
-                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(a), Expr::Var(i)]),
-                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(b), Expr::Var(i)]),
-            ]),
+            Expr::prim_app(
+                Prim::Lt,
+                vec![Expr::Var(i), Expr::prim_app(Prim::Len, vec![Expr::Var(a)])],
+            ),
+            Expr::prim_app(
+                Prim::Times,
+                vec![
+                    Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(a), Expr::Var(i)]),
+                    Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(b), Expr::Var(i)]),
+                ],
+            ),
             Expr::Int(0),
         ),
         Expr::Int(0),
@@ -234,24 +250,30 @@ fn dot_prod_with_length_guard_verifies() {
     let accesses = Expr::if_(
         Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(i)]),
         Expr::if_(
-            Expr::prim_app(Prim::Lt, vec![
-                Expr::Var(i),
-                Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
-            ]),
-            Expr::prim_app(Prim::Times, vec![
-                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(a), Expr::Var(i)]),
-                Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(b), Expr::Var(i)]),
-            ]),
+            Expr::prim_app(
+                Prim::Lt,
+                vec![Expr::Var(i), Expr::prim_app(Prim::Len, vec![Expr::Var(a)])],
+            ),
+            Expr::prim_app(
+                Prim::Times,
+                vec![
+                    Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(a), Expr::Var(i)]),
+                    Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(b), Expr::Var(i)]),
+                ],
+            ),
             Expr::Int(0),
         ),
         Expr::Int(0),
     );
     // (if (= (len A) (len B)) <accesses> (error …))  — `unless` inverted.
     let body = Expr::if_(
-        Expr::prim_app(Prim::NumEq, vec![
-            Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
-            Expr::prim_app(Prim::Len, vec![Expr::Var(b)]),
-        ]),
+        Expr::prim_app(
+            Prim::NumEq,
+            vec![
+                Expr::prim_app(Prim::Len, vec![Expr::Var(a)]),
+                Expr::prim_app(Prim::Len, vec![Expr::Var(b)]),
+            ],
+        ),
         accesses,
         Expr::Error("invalid vector lengths!".into()),
     );
@@ -259,7 +281,9 @@ fn dot_prod_with_length_guard_verifies() {
         vec![(a, Ty::vec(Ty::Int)), (b, Ty::vec(Ty::Int)), (i, Ty::Int)],
         body,
     );
-    rtr().check_program(&e).expect("guarded dot-prod access must verify");
+    rtr()
+        .check_program(&e)
+        .expect("guarded dot-prod access must verify");
 }
 
 /// §2.2 `xtime` — the bitvector theory example, at width 16 with
@@ -270,28 +294,40 @@ fn xtime_bitvector_verification() {
     let num = s("num");
     let n = s("n");
     let b = s("b");
-    let byte = Ty::refine(b, Ty::BitVec, Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)));
+    let byte = Ty::refine(
+        b,
+        Ty::BitVec,
+        Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)),
+    );
     // (λ (num:Byte)
     //   (let (n (bvand (bvmul #x02 num) #xff))
     //     (if (bv= #x00 (bvand num #x80)) n (bvxor n #x1b))))
     let body = Expr::let_(
         n,
-        Expr::prim_app(Prim::BvAnd, vec![
-            Expr::prim_app(Prim::BvMul, vec![Expr::BvLit(0x02), Expr::Var(num)]),
-            Expr::BvLit(0xff),
-        ]),
+        Expr::prim_app(
+            Prim::BvAnd,
+            vec![
+                Expr::prim_app(Prim::BvMul, vec![Expr::BvLit(0x02), Expr::Var(num)]),
+                Expr::BvLit(0xff),
+            ],
+        ),
         Expr::if_(
-            Expr::prim_app(Prim::BvEq, vec![
-                Expr::BvLit(0x00),
-                Expr::prim_app(Prim::BvAnd, vec![Expr::Var(num), Expr::BvLit(0x80)]),
-            ]),
+            Expr::prim_app(
+                Prim::BvEq,
+                vec![
+                    Expr::BvLit(0x00),
+                    Expr::prim_app(Prim::BvAnd, vec![Expr::Var(num), Expr::BvLit(0x80)]),
+                ],
+            ),
             Expr::Var(n),
             Expr::prim_app(Prim::BvXor, vec![Expr::Var(n), Expr::BvLit(0x1b)]),
         ),
     );
     let sig = Ty::fun(vec![(num, byte.clone())], TyResult::of_type(byte.clone()));
     let e = Expr::ann(Expr::lam(vec![(num, byte)], body), sig);
-    rtr().check_program(&e).expect("xtime must type check with the BV theory");
+    rtr()
+        .check_program(&e)
+        .expect("xtime must type check with the BV theory");
 }
 
 /// §4.2: tests on a mutable variable produce no usable information.
@@ -331,7 +367,9 @@ fn mutable_cache_size_is_not_trusted() {
         ),
     );
     let e = Expr::lam(vec![(v, Ty::vec(Ty::Int))], body);
-    rtr().check_program(&e).expect("immutable guard must verify the access");
+    rtr()
+        .check_program(&e)
+        .expect("immutable guard must verify the access");
 }
 
 /// Vector literals carry their length: (safe-vec-ref (vec 1 2 3) 2) is
@@ -340,9 +378,14 @@ fn mutable_cache_size_is_not_trusted() {
 fn vector_literal_lengths() {
     let vlit = Expr::VecLit(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]);
     let ok = Expr::prim_app(Prim::SafeVecRef, vec![vlit.clone(), Expr::Int(2)]);
-    rtr().check_program(&ok).expect("in-bounds literal access verifies");
+    rtr()
+        .check_program(&ok)
+        .expect("in-bounds literal access verifies");
     let bad = Expr::prim_app(Prim::SafeVecRef, vec![vlit, Expr::Int(3)]);
-    assert!(rtr().check_program(&bad).is_err(), "index 3 of len-3 vector rejected");
+    assert!(
+        rtr().check_program(&bad).is_err(),
+        "index 3 of len-3 vector rejected"
+    );
 }
 
 /// make-vec's length refinement flows: (safe-vec-ref (make-vec 10 0) 9).
@@ -350,7 +393,9 @@ fn vector_literal_lengths() {
 fn make_vec_length_refinement() {
     let mk = Expr::prim_app(Prim::MakeVec, vec![Expr::Int(10), Expr::Int(0)]);
     let ok = Expr::prim_app(Prim::SafeVecRef, vec![mk.clone(), Expr::Int(9)]);
-    rtr().check_program(&ok).expect("(make-vec 10 0)[9] verifies");
+    rtr()
+        .check_program(&ok)
+        .expect("(make-vec 10 0)[9] verifies");
     let bad = Expr::prim_app(Prim::SafeVecRef, vec![mk, Expr::Int(10)]);
     assert!(rtr().check_program(&bad).is_err());
     // A negative length is rejected by make-vec's own domain.
@@ -387,13 +432,19 @@ fn annotated_recursive_loop_verifies() {
             Expr::Var(loop_f),
             vec![
                 Expr::prim_app(Prim::Sub1, vec![Expr::Var(i)]),
-                Expr::prim_app(Prim::Times, vec![
-                    Expr::Var(res),
-                    Expr::prim_app(Prim::SafeVecRef, vec![
-                        Expr::Var(ds),
-                        Expr::prim_app(Prim::Sub1, vec![Expr::Var(i)]),
-                    ]),
-                ]),
+                Expr::prim_app(
+                    Prim::Times,
+                    vec![
+                        Expr::Var(res),
+                        Expr::prim_app(
+                            Prim::SafeVecRef,
+                            vec![
+                                Expr::Var(ds),
+                                Expr::prim_app(Prim::Sub1, vec![Expr::Var(i)]),
+                            ],
+                        ),
+                    ],
+                ),
             ],
         ),
     );
@@ -408,10 +459,7 @@ fn annotated_recursive_loop_verifies() {
             }),
             Box::new(Expr::app(
                 Expr::Var(loop_f),
-                vec![
-                    Expr::prim_app(Prim::Len, vec![Expr::Var(ds)]),
-                    Expr::Int(1),
-                ],
+                vec![Expr::prim_app(Prim::Len, vec![Expr::Var(ds)]), Expr::Int(1)],
             )),
         ),
     );
@@ -426,10 +474,13 @@ fn vec_swap_with_guards_verifies() {
     let in_bounds = |idx: Symbol, vs: Symbol| {
         Expr::if_(
             Expr::prim_app(Prim::Lt, vec![Expr::Int(-1), Expr::Var(idx)]),
-            Expr::prim_app(Prim::Lt, vec![
-                Expr::Var(idx),
-                Expr::prim_app(Prim::Len, vec![Expr::Var(vs)]),
-            ]),
+            Expr::prim_app(
+                Prim::Lt,
+                vec![
+                    Expr::Var(idx),
+                    Expr::prim_app(Prim::Len, vec![Expr::Var(vs)]),
+                ],
+            ),
             Expr::Bool(false),
         )
     };
@@ -440,16 +491,14 @@ fn vec_swap_with_guards_verifies() {
             s("j-val"),
             Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(vs), Expr::Var(j)]),
             Expr::Begin(vec![
-                Expr::prim_app(Prim::SafeVecSet, vec![
-                    Expr::Var(vs),
-                    Expr::Var(i),
-                    Expr::Var(s("j-val")),
-                ]),
-                Expr::prim_app(Prim::SafeVecSet, vec![
-                    Expr::Var(vs),
-                    Expr::Var(j),
-                    Expr::Var(s("i-val")),
-                ]),
+                Expr::prim_app(
+                    Prim::SafeVecSet,
+                    vec![Expr::Var(vs), Expr::Var(i), Expr::Var(s("j-val"))],
+                ),
+                Expr::prim_app(
+                    Prim::SafeVecSet,
+                    vec![Expr::Var(vs), Expr::Var(j), Expr::Var(s("i-val"))],
+                ),
             ]),
         ),
     );
@@ -458,8 +507,13 @@ fn vec_swap_with_guards_verifies() {
         Expr::if_(in_bounds(j, vs), swap, Expr::Error("bad index(s)!".into())),
         Expr::Error("bad index(s)!".into()),
     );
-    let e = Expr::lam(vec![(vs, Ty::vec(Ty::Int)), (i, Ty::Int), (j, Ty::Int)], body);
-    rtr().check_program(&e).expect("guarded vec-swap! must verify");
+    let e = Expr::lam(
+        vec![(vs, Ty::vec(Ty::Int)), (i, Ty::Int), (j, Ty::Int)],
+        body,
+    );
+    rtr()
+        .check_program(&e)
+        .expect("guarded vec-swap! must verify");
 }
 
 /// Aliasing through let: (let (n (len v)) (if (< i n) … (safe-vec-ref v i)))
@@ -481,11 +535,16 @@ fn let_bound_length_aliases() {
         ),
     );
     let e = Expr::lam(vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)], body);
-    rtr().check_program(&e).expect("alias-guarded access must verify");
+    rtr()
+        .check_program(&e)
+        .expect("alias-guarded access must verify");
 
     // The ablation config (no representative objects) must still verify it
     // via theory-level equalities.
-    let cfg = CheckerConfig { representative_objects: false, ..CheckerConfig::default() };
+    let cfg = CheckerConfig {
+        representative_objects: false,
+        ..CheckerConfig::default()
+    };
     Checker::with_config(cfg)
         .check_program(&e)
         .expect("ablation mode must also verify via theory equalities");
@@ -501,8 +560,14 @@ fn error_messages_name_the_argument() {
     );
     let err = rtr().check_program(&e).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("argument 2"), "message should flag the index: {msg}");
-    assert!(msg.contains("expected"), "message should show the expected type: {msg}");
+    assert!(
+        msg.contains("argument 2"),
+        "message should flag the index: {msg}"
+    );
+    assert!(
+        msg.contains("expected"),
+        "message should show the expected type: {msg}"
+    );
 }
 
 /// The §4.1 hybrid-environment ablation is verdict-preserving on the
@@ -532,7 +597,10 @@ fn pure_proposition_env_preserves_verdicts() {
         Expr::Var(x),
         Expr::Var(y),
     );
-    let max = Expr::ann(Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body), fty.clone());
+    let max = Expr::ann(
+        Expr::lam(vec![(x, Ty::Int), (y, Ty::Int)], body),
+        fty.clone(),
+    );
     pure.check_program(&max).expect("pure mode must verify max");
 
     // Unguarded safe access (reject).
@@ -541,7 +609,10 @@ fn pure_proposition_env_preserves_verdicts() {
         vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
         Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
     );
-    assert!(pure.check_program(&bad).is_err(), "pure mode must still reject");
+    assert!(
+        pure.check_program(&bad).is_err(),
+        "pure mode must still reject"
+    );
 
     // Guarded safe access (accept) — narrowing via replayed atoms.
     let guarded = Expr::lam(
@@ -559,7 +630,8 @@ fn pure_proposition_env_preserves_verdicts() {
             Expr::Int(0),
         ),
     );
-    pure.check_program(&guarded).expect("pure mode must verify the guarded access");
+    pure.check_program(&guarded)
+        .expect("pure mode must verify the guarded access");
 
     // Union elimination (accept): (λ (n : (U Int Bool)) (if (int? n) n 0)).
     let n = s("ppn");
@@ -571,5 +643,6 @@ fn pure_proposition_env_preserves_verdicts() {
             Expr::Int(0),
         ),
     );
-    pure.check_program(&union_elim).expect("pure mode must narrow unions");
+    pure.check_program(&union_elim)
+        .expect("pure mode must narrow unions");
 }

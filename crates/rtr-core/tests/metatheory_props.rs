@@ -51,7 +51,11 @@ fn arb_ty() -> impl Strategy<Value = Ty> {
         (0usize..6, any::<bool>()).prop_map(|(i, pos)| {
             let x = Symbol::fresh("ps");
             let atom = Prop::re_match(&Obj::var(x), &Obj::re(regex_pool()[i].clone()));
-            let p = if pos { atom } else { atom.negate().expect("re atoms negate") };
+            let p = if pos {
+                atom
+            } else {
+                atom.negate().expect("re atoms negate")
+            };
             Ty::refine(x, Ty::Str, p)
         }),
     ];
@@ -72,19 +76,25 @@ fn arb_value() -> impl Strategy<Value = Value> {
         Just(Value::Unit),
         // Strings over the pool regexes' alphabet (plus outliers).
         prop_oneof![
-            Just(""), Just("a"), Just("b"), Just("aa"), Just("ab"), Just("ba"),
-            Just("abc"), Just("ccc"), Just("PLDI"), Just("2016"),
+            Just(""),
+            Just("a"),
+            Just("b"),
+            Just("aa"),
+            Just("ab"),
+            Just("ba"),
+            Just("abc"),
+            Just("ccc"),
+            Just("PLDI"),
+            Just("2016"),
         ]
         .prop_map(|s: &str| Value::Str(std::sync::Arc::from(s))),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Value::Pair(std::rc::Rc::new(a), std::rc::Rc::new(b))
-            }),
-            proptest::collection::vec(inner, 0..3).prop_map(|vs| {
-                Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(vs)))
-            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Value::Pair(std::rc::Rc::new(a), std::rc::Rc::new(b)) }),
+            proptest::collection::vec(inner, 0..3)
+                .prop_map(|vs| { Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(vs))) }),
         ]
     })
 }

@@ -73,7 +73,10 @@ fn t_cons_builds_pair_objects() {
 #[test]
 fn t_fst_snd_objects_normalize() {
     // (fst (cons 1 2)) has object 1 — normalization of (fst ⟨1,2⟩).
-    let e = Expr::Fst(Box::new(Expr::Cons(Box::new(Expr::Int(1)), Box::new(Expr::Int(2)))));
+    let e = Expr::Fst(Box::new(Expr::Cons(
+        Box::new(Expr::Int(1)),
+        Box::new(Expr::Int(2)),
+    )));
     let r = c().check_program(&e).unwrap();
     assert_eq!(r.obj, Obj::int(1));
     // On a variable, the object is the field path.
@@ -81,7 +84,9 @@ fn t_fst_snd_objects_normalize() {
     let mut env = Env::new();
     let p = s("tfp");
     checker.bind(&mut env, p, &Ty::pair(Ty::Int, Ty::Top), FUEL);
-    let r = checker.synth(&env, &Expr::Snd(Box::new(Expr::Var(p)))).unwrap();
+    let r = checker
+        .synth(&env, &Expr::Snd(Box::new(Expr::Var(p))))
+        .unwrap();
     assert_eq!(r.obj, Obj::var(p).snd());
 }
 
@@ -108,7 +113,10 @@ fn t_app_existential_for_objectless_arguments() {
     checker.bind(&mut env, v, &Ty::vec(Ty::Int), FUEL);
     let e = Expr::prim_app(
         Prim::Add1,
-        vec![Expr::prim_app(Prim::VecRef, vec![Expr::Var(v), Expr::Int(0)])],
+        vec![Expr::prim_app(
+            Prim::VecRef,
+            vec![Expr::Var(v), Expr::Int(0)],
+        )],
     );
     let r = checker.synth(&env, &e).unwrap();
     assert!(
@@ -126,7 +134,12 @@ fn t_if_props_combine_branch_and_test() {
     let checker = c();
     let mut env = Env::new();
     let x = s("tix");
-    checker.bind(&mut env, x, &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), FUEL);
+    checker.bind(
+        &mut env,
+        x,
+        &Ty::union_of(vec![Ty::Int, Ty::bool_ty()]),
+        FUEL,
+    );
     let test = Expr::prim_app(Prim::IsInt, vec![Expr::Var(x)]);
     let e = Expr::if_(test.clone(), Expr::Bool(true), test);
     let r = checker.synth(&env, &e).unwrap();
@@ -163,7 +176,11 @@ fn t_let_shadowing_is_capture_avoiding() {
     let e = Expr::let_(
         x,
         Expr::Int(1),
-        Expr::let_(x, Expr::Bool(true), Expr::if_(Expr::Var(x), Expr::Int(1), Expr::Int(0))),
+        Expr::let_(
+            x,
+            Expr::Bool(true),
+            Expr::if_(Expr::Var(x), Expr::Int(1), Expr::Int(0)),
+        ),
     );
     let r = c().check_program(&e).unwrap();
     assert_eq!(r.ty, Ty::Int);
@@ -173,9 +190,14 @@ fn t_let_shadowing_is_capture_avoiding() {
 fn t_abs_range_records_body_result() {
     // T-Abs: the function type's range is the body's full type-result.
     let x = s("tabx");
-    let e = Expr::lam(vec![(x, Ty::Top)], Expr::prim_app(Prim::IsInt, vec![Expr::Var(x)]));
+    let e = Expr::lam(
+        vec![(x, Ty::Top)],
+        Expr::prim_app(Prim::IsInt, vec![Expr::Var(x)]),
+    );
     let r = c().check_program(&e).unwrap();
-    let Ty::Fun(f) = r.ty else { panic!("expected a function") };
+    let Ty::Fun(f) = r.ty else {
+        panic!("expected a function")
+    };
     assert_eq!(f.range.then_p, Prop::is(Obj::var(x), Ty::Int));
     assert_eq!(f.range.else_p, Prop::is_not(Obj::var(x), Ty::Int));
 }
@@ -189,7 +211,10 @@ fn predicate_abstraction_composes() {
     // f = (λ (x:⊤) (int? x)) ; (λ (y : (U Int Bool)) (if (f y) (add1 y) 0))
     let e = Expr::let_(
         f,
-        Expr::lam(vec![(x, Ty::Top)], Expr::prim_app(Prim::IsInt, vec![Expr::Var(x)])),
+        Expr::lam(
+            vec![(x, Ty::Top)],
+            Expr::prim_app(Prim::IsInt, vec![Expr::Var(x)]),
+        ),
         Expr::lam(
             vec![(y, Ty::union_of(vec![Ty::Int, Ty::bool_ty()]))],
             Expr::if_(
@@ -199,7 +224,8 @@ fn predicate_abstraction_composes() {
             ),
         ),
     );
-    c().check_program(&e).expect("user predicates must narrow like primitives");
+    c().check_program(&e)
+        .expect("user predicates must narrow like primitives");
 }
 
 // --- Fig. 6: logic rules ----------------------------------------------------------
@@ -251,7 +277,11 @@ fn l_refl_sym_transport() {
     checker.assume(&mut env, &Prop::alias(Obj::var(y), Obj::var(x)), FUEL);
     assert!(checker.proves(&env, &Prop::alias(Obj::var(x), Obj::var(y)), FUEL));
     // Transport: a fact about x holds of y.
-    checker.assume(&mut env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)), FUEL);
+    checker.assume(
+        &mut env,
+        &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(5)),
+        FUEL,
+    );
     assert!(checker.proves(&env, &Prop::lin(Obj::var(y), LinCmp::Le, Obj::int(5)), FUEL));
 }
 
@@ -279,8 +309,16 @@ fn l_update_neg_through_fields() {
         &Ty::pair(Ty::union_of(vec![Ty::Int, Ty::bool_ty()]), Ty::Int),
         FUEL,
     );
-    checker.assume(&mut env, &Prop::is_not(Obj::var(p).fst(), Ty::bool_ty()), FUEL);
-    assert!(checker.proves(&env, &Prop::is(Obj::var(p), Ty::pair(Ty::Int, Ty::Int)), FUEL));
+    checker.assume(
+        &mut env,
+        &Prop::is_not(Obj::var(p).fst(), Ty::bool_ty()),
+        FUEL,
+    );
+    assert!(checker.proves(
+        &env,
+        &Prop::is(Obj::var(p), Ty::pair(Ty::Int, Ty::Int)),
+        FUEL
+    ));
 }
 
 // --- polymorphism (§4.3) -----------------------------------------------------------
@@ -302,7 +340,8 @@ fn polymorphic_signature_checks_lambda() {
         vec![(v, Ty::Top)],
         Expr::prim_app(Prim::VecRef, vec![Expr::Var(v), Expr::Int(0)]),
     );
-    c().check_program(&Expr::ann(lam, sig)).expect("polymorphic identity-ish checks");
+    c().check_program(&Expr::ann(lam, sig))
+        .expect("polymorphic identity-ish checks");
     // And a body returning the wrong thing is rejected.
     let bad = Expr::lam(vec![(v, Ty::Top)], Expr::Int(0));
     let sig = Ty::poly(
@@ -348,18 +387,26 @@ fn dependent_pair_fields_are_supported() {
     let e = Expr::lam(
         vec![(p, Ty::pair(nat, Ty::vec(Ty::Int)))],
         Expr::if_(
-            Expr::prim_app(Prim::Lt, vec![
-                Expr::Fst(Box::new(Expr::Var(p))),
-                Expr::prim_app(Prim::Len, vec![Expr::Snd(Box::new(Expr::Var(p)))]),
-            ]),
-            Expr::prim_app(Prim::SafeVecRef, vec![
-                Expr::Snd(Box::new(Expr::Var(p))),
-                Expr::Fst(Box::new(Expr::Var(p))),
-            ]),
+            Expr::prim_app(
+                Prim::Lt,
+                vec![
+                    Expr::Fst(Box::new(Expr::Var(p))),
+                    Expr::prim_app(Prim::Len, vec![Expr::Snd(Box::new(Expr::Var(p)))]),
+                ],
+            ),
+            Expr::prim_app(
+                Prim::SafeVecRef,
+                vec![
+                    Expr::Snd(Box::new(Expr::Var(p))),
+                    Expr::Fst(Box::new(Expr::Var(p))),
+                ],
+            ),
             Expr::Int(0),
         ),
     );
-    checker.check_program(&e).expect("dependent pair fields verify");
+    checker
+        .check_program(&e)
+        .expect("dependent pair fields verify");
 }
 
 #[test]
@@ -371,25 +418,37 @@ fn unenriched_quotient_defeats_guards_on_raw_expressions() {
     let raw = Expr::lam(
         vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
         Expr::if_(
-            Expr::prim_app(Prim::Le, vec![
-                Expr::Int(0),
-                Expr::prim_app(Prim::Quotient, vec![Expr::Var(i), Expr::Int(2)]),
-            ]),
+            Expr::prim_app(
+                Prim::Le,
+                vec![
+                    Expr::Int(0),
+                    Expr::prim_app(Prim::Quotient, vec![Expr::Var(i), Expr::Int(2)]),
+                ],
+            ),
             Expr::if_(
-                Expr::prim_app(Prim::Lt, vec![
-                    Expr::prim_app(Prim::Quotient, vec![Expr::Var(i), Expr::Int(2)]),
-                    Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
-                ]),
-                Expr::prim_app(Prim::SafeVecRef, vec![
-                    Expr::Var(v),
-                    Expr::prim_app(Prim::Quotient, vec![Expr::Var(i), Expr::Int(2)]),
-                ]),
+                Expr::prim_app(
+                    Prim::Lt,
+                    vec![
+                        Expr::prim_app(Prim::Quotient, vec![Expr::Var(i), Expr::Int(2)]),
+                        Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
+                    ],
+                ),
+                Expr::prim_app(
+                    Prim::SafeVecRef,
+                    vec![
+                        Expr::Var(v),
+                        Expr::prim_app(Prim::Quotient, vec![Expr::Var(i), Expr::Int(2)]),
+                    ],
+                ),
                 Expr::Int(0),
             ),
             Expr::Int(0),
         ),
     );
-    assert!(checker.check_program(&raw).is_err(), "raw quotient guard must not verify");
+    assert!(
+        checker.check_program(&raw).is_err(),
+        "raw quotient guard must not verify"
+    );
 
     let bound = Expr::lam(
         vec![(v, Ty::vec(Ty::Int)), (i, Ty::Int)],
@@ -399,10 +458,10 @@ fn unenriched_quotient_defeats_guards_on_raw_expressions() {
             Expr::if_(
                 Expr::prim_app(Prim::Le, vec![Expr::Int(0), Expr::Var(j)]),
                 Expr::if_(
-                    Expr::prim_app(Prim::Lt, vec![
-                        Expr::Var(j),
-                        Expr::prim_app(Prim::Len, vec![Expr::Var(v)]),
-                    ]),
+                    Expr::prim_app(
+                        Prim::Lt,
+                        vec![Expr::Var(j), Expr::prim_app(Prim::Len, vec![Expr::Var(v)])],
+                    ),
                     Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(j)]),
                     Expr::Int(0),
                 ),
@@ -410,5 +469,7 @@ fn unenriched_quotient_defeats_guards_on_raw_expressions() {
             ),
         ),
     );
-    checker.check_program(&bound).expect("guard on the let-bound quotient verifies");
+    checker
+        .check_program(&bound)
+        .expect("guard on the let-bound quotient verifies");
 }

@@ -66,9 +66,7 @@ fn gen_with_scope(target: Target, depth: u32, scope: Scope) -> BoxedStrategy<Exp
         Target::Bool => leaves.push(any::<bool>().prop_map(Expr::Bool).boxed()),
         Target::IntPair => leaves.push(
             ((-9i64..=9), (-9i64..=9))
-                .prop_map(|(a, b)| {
-                    Expr::Cons(Box::new(Expr::Int(a)), Box::new(Expr::Int(b)))
-                })
+                .prop_map(|(a, b)| Expr::Cons(Box::new(Expr::Int(a)), Box::new(Expr::Int(b))))
                 .boxed(),
         ),
         Target::IntVec => leaves.push(
@@ -78,7 +76,12 @@ fn gen_with_scope(target: Target, depth: u32, scope: Scope) -> BoxedStrategy<Exp
         ),
         Target::Str => leaves.push(
             prop_oneof![
-                Just(""), Just("ab"), Just("42"), Just("abc"), Just("b"), Just("2016"),
+                Just(""),
+                Just("ab"),
+                Just("42"),
+                Just("abc"),
+                Just("b"),
+                Just("2016"),
             ]
             .prop_map(|s: &str| Expr::Str(std::sync::Arc::from(s)))
             .boxed(),
@@ -122,9 +125,8 @@ fn gen_with_scope(target: Target, depth: u32, scope: Scope) -> BoxedStrategy<Exp
                         _ => Target::IntVec,
                     };
                     let x = fresh("g");
-                    let s2: Scope = std::rc::Rc::new(
-                        s.iter().cloned().chain([(x, bound_target)]).collect(),
-                    );
+                    let s2: Scope =
+                        std::rc::Rc::new(s.iter().cloned().chain([(x, bound_target)]).collect());
                     let rhs_strategy = gen_with_scope(bound_target, d, s.clone());
                     let _ = rhs; // rhs regenerated per bound type
                     (rhs_strategy, gen_with_scope(target, d, s2))

@@ -81,7 +81,11 @@ pub fn generate(profile: &LibraryProfile, seed: u64) -> Library {
         fid += 1;
     }
 
-    Library { profile: profile.clone(), sites, filler }
+    Library {
+        profile: profile.clone(),
+        sites,
+        filler,
+    }
 }
 
 fn fxhash(s: &str) -> u64 {
@@ -105,7 +109,11 @@ mod tests {
         assert_eq!(a.sites[0].plain, b.sites[0].plain);
         let c = generate(lib, 2017);
         // Different seed ⇒ (almost surely) different first site.
-        assert!(a.sites.iter().zip(&c.sites).any(|(x, y)| x.plain != y.plain));
+        assert!(a
+            .sites
+            .iter()
+            .zip(&c.sites)
+            .any(|(x, y)| x.plain != y.plain));
     }
 
     #[test]

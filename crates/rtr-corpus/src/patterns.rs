@@ -516,7 +516,10 @@ mod tests {
         let mut r = rng();
         for k in 0..20 {
             let src = filler_def(&mut r, k);
-            assert!(check_source(&src, &checker).is_ok(), "filler failed:\n{src}");
+            assert!(
+                check_source(&src, &checker).is_ok(),
+                "filler failed:\n{src}"
+            );
         }
     }
 }

@@ -102,7 +102,9 @@ pub fn class_counts(profile: &LibraryProfile, total: usize) -> Vec<(Class, usize
 }
 
 fn ensure_exact(out: &mut [(Class, usize, f64)], class: Class, want: usize) {
-    let Some(pos) = out.iter().position(|(c, _, _)| *c == class) else { return };
+    let Some(pos) = out.iter().position(|(c, _, _)| *c == class) else {
+        return;
+    };
     let have = out[pos].1;
     if have == want {
         return;
@@ -131,7 +133,10 @@ mod tests {
         let libs = libraries();
         assert_eq!(libs.len(), 3);
         let total_loc: usize = libs.iter().map(|l| l.paper_loc).sum();
-        assert!(total_loc > 56_000, "the paper reports >56k lines, got {total_loc}");
+        assert!(
+            total_loc > 56_000,
+            "the paper reports >56k lines, got {total_loc}"
+        );
         let total_ops: usize = libs.iter().map(|l| l.paper_ops).sum();
         assert_eq!(total_ops, 1085);
     }

@@ -29,7 +29,11 @@ pub fn run_case_study(seed: u64, with_baseline: bool) -> CaseStudy {
         let tr = Checker::with_config(CheckerConfig::lambda_tr());
         libs.iter().map(|l| classify_library(l, &tr)).collect()
     });
-    CaseStudy { libs, tallies, baseline }
+    CaseStudy {
+        libs,
+        tallies,
+        baseline,
+    }
 }
 
 /// The corpus statistics table (§5's library descriptions).
@@ -66,7 +70,10 @@ pub fn stats_table(study: &CaseStudy) -> String {
 /// with the paper's bar values as the reference column.
 pub fn fig9_table(study: &CaseStudy) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 9 — safe-vec-ref case study (measured vs paper)");
+    let _ = writeln!(
+        out,
+        "Figure 9 — safe-vec-ref case study (measured vs paper)"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>10} {:>10} {:>10} {:>10} | {:>22}",
@@ -97,7 +104,10 @@ pub fn fig9_table(study: &CaseStudy) -> String {
         100.0 * auto as f64 / total as f64
     );
     if let Some(baseline) = &study.baseline {
-        let bauto: usize = baseline.iter().map(|t| t.auto_ops + t.annotated_ops + t.modified_ops).sum();
+        let bauto: usize = baseline
+            .iter()
+            .map(|t| t.auto_ops + t.annotated_ops + t.modified_ops)
+            .sum();
         let _ = writeln!(
             out,
             "{:<8} {:>10.1}   (λTR baseline: occurrence typing without theories)",

@@ -112,12 +112,51 @@ mod tests {
         use std::collections::HashSet;
         let mut reached = HashSet::new();
         for name in [
-            "int?", "bool?", "pair?", "vec?", "proc?", "bv?", "not", "zero?", "even?", "odd?",
-            "add1", "sub1", "+", "-", "*", "quotient", "remainder", "<", "<=", ">", ">=", "=", "equal?", "len",
-            "vec-ref", "unsafe-vec-ref", "safe-vec-ref", "vec-set!", "unsafe-vec-set!",
-            "safe-vec-set!", "make-vec", "string?", "string-length", "string=?",
-            "regexp-match?", "bvand", "bvor", "bvxor", "bvnot", "bvadd",
-            "bvsub", "bvmul", "bv=", "bv<=", "bv<",
+            "int?",
+            "bool?",
+            "pair?",
+            "vec?",
+            "proc?",
+            "bv?",
+            "not",
+            "zero?",
+            "even?",
+            "odd?",
+            "add1",
+            "sub1",
+            "+",
+            "-",
+            "*",
+            "quotient",
+            "remainder",
+            "<",
+            "<=",
+            ">",
+            ">=",
+            "=",
+            "equal?",
+            "len",
+            "vec-ref",
+            "unsafe-vec-ref",
+            "safe-vec-ref",
+            "vec-set!",
+            "unsafe-vec-set!",
+            "safe-vec-set!",
+            "make-vec",
+            "string?",
+            "string-length",
+            "string=?",
+            "regexp-match?",
+            "bvand",
+            "bvor",
+            "bvxor",
+            "bvnot",
+            "bvadd",
+            "bvsub",
+            "bvmul",
+            "bv=",
+            "bv<=",
+            "bv<",
         ] {
             reached.insert(lookup_prim(name).expect(name));
         }

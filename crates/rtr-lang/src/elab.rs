@@ -10,9 +10,7 @@
 
 use std::collections::HashSet;
 
-use rtr_core::syntax::{
-    BvCmp, Expr, LinCmp, Obj, Prop, Symbol, Ty, TyResult,
-};
+use rtr_core::syntax::{BvCmp, Expr, LinCmp, Obj, Prop, Symbol, Ty, TyResult};
 
 use crate::base_env::{is_reserved, lookup_prim};
 use crate::expand;
@@ -36,7 +34,10 @@ impl std::fmt::Display for ElabError {
 impl std::error::Error for ElabError {}
 
 pub(crate) fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, ElabError> {
-    Err(ElabError { message: message.into(), pos })
+    Err(ElabError {
+        message: message.into(),
+        pos,
+    })
 }
 
 /// The elaborator. Tracks bound type variables (from `All`) so they
@@ -69,7 +70,9 @@ impl Elaborator {
                 }
                 let head = items.first().and_then(Sexp::as_symbol).unwrap_or("");
                 match head {
-                    "->" => self.arrow_ty(&items[1..items.len() - 1], &items[items.len() - 1..], *pos),
+                    "->" => {
+                        self.arrow_ty(&items[1..items.len() - 1], &items[items.len() - 1..], *pos)
+                    }
                     "Vecof" | "Vectorof" => {
                         if items.len() != 2 {
                             return err(*pos, "Vecof takes one type");
@@ -148,7 +151,11 @@ impl Elaborator {
             // Byte = {b:BitVec | b ≤ #xff} (§2.2).
             "Byte" => {
                 let b = Symbol::fresh("byte");
-                Ty::refine(b, Ty::BitVec, Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)))
+                Ty::refine(
+                    b,
+                    Ty::BitVec,
+                    Prop::bv(Obj::var(b), BvCmp::Ule, Obj::bv(0xff)),
+                )
             }
             other => {
                 let sym = Symbol::intern(other);
@@ -174,7 +181,7 @@ impl Elaborator {
                 let x = Symbol::intern(name);
                 match &items[2..] {
                     [t] => return Ok((x, self.ty(t)?)),
-                    [t, kw, prop] if matches!(kw, Sexp::Keyword(k, _) if k == "where") => {
+                    [t, Sexp::Keyword(k, _), prop] if k == "where" => {
                         let base = self.ty(t)?;
                         // The refinement binds the parameter's own name, so
                         // the proposition may mention it directly.
@@ -346,15 +353,21 @@ impl Elaborator {
                 let rest = &items[1..];
                 match head {
                     "len" | "vector-length" | "string-length" => {
-                        let [o] = rest else { return err(*pos, "(len o)") };
+                        let [o] = rest else {
+                            return err(*pos, "(len o)");
+                        };
                         Ok(self.obj(o)?.len())
                     }
                     "fst" | "car" => {
-                        let [o] = rest else { return err(*pos, "(fst o)") };
+                        let [o] = rest else {
+                            return err(*pos, "(fst o)");
+                        };
                         Ok(self.obj(o)?.fst())
                     }
                     "snd" | "cdr" => {
-                        let [o] = rest else { return err(*pos, "(snd o)") };
+                        let [o] = rest else {
+                            return err(*pos, "(snd o)");
+                        };
                         Ok(self.obj(o)?.snd())
                     }
                     "+" => {
@@ -370,15 +383,21 @@ impl Elaborator {
                         _ => err(*pos, "(- o o)"),
                     },
                     "*" => {
-                        let [a, b] = rest else { return err(*pos, "(* n o)") };
+                        let [a, b] = rest else {
+                            return err(*pos, "(* n o)");
+                        };
                         Ok(self.obj(a)?.mul(&self.obj(b)?))
                     }
                     "add1" => {
-                        let [a] = rest else { return err(*pos, "(add1 o)") };
+                        let [a] = rest else {
+                            return err(*pos, "(add1 o)");
+                        };
                         Ok(self.obj(a)?.add(&Obj::int(1)))
                     }
                     "sub1" => {
-                        let [a] = rest else { return err(*pos, "(sub1 o)") };
+                        let [a] = rest else {
+                            return err(*pos, "(sub1 o)");
+                        };
                         Ok(self.obj(a)?.sub(&Obj::int(1)))
                     }
                     "bvand" | "AND" => self.bv_obj2(rest, *pos, Obj::bv_and),
@@ -388,7 +407,9 @@ impl Elaborator {
                     "bvsub" => self.bv_obj2(rest, *pos, Obj::bv_sub),
                     "bvmul" => self.bv_obj2(rest, *pos, Obj::bv_mul),
                     "bvnot" | "NOT" => {
-                        let [a] = rest else { return err(*pos, "(bvnot o)") };
+                        let [a] = rest else {
+                            return err(*pos, "(bvnot o)");
+                        };
                         Ok(self.obj(a)?.bv_not())
                     }
                     _ => err(*pos, format!("unknown object form {s}")),
@@ -404,7 +425,9 @@ impl Elaborator {
         pos: Pos,
         f: impl Fn(&Obj, &Obj) -> Obj,
     ) -> Result<Obj, ElabError> {
-        let [a, b] = rest else { return err(pos, "bitvector op takes two objects") };
+        let [a, b] = rest else {
+            return err(pos, "bitvector op takes two objects");
+        };
         Ok(f(&self.obj(a)?, &self.obj(b)?))
     }
 
@@ -444,7 +467,9 @@ impl Elaborator {
                     "and" => Ok(expand::and_form(self.exprs(&items[1..])?)),
                     "or" => Ok(expand::or_form(self.exprs(&items[1..])?)),
                     "when" => {
-                        let [c, body @ ..] = &items[1..] else { return err(*pos, "(when c e …)") };
+                        let [c, body @ ..] = &items[1..] else {
+                            return err(*pos, "(when c e …)");
+                        };
                         let body = expand::begin_form(self.exprs(body)?);
                         Ok(Expr::if_(self.expr(c)?, body, Expr::Begin(vec![])))
                     }
@@ -457,15 +482,21 @@ impl Elaborator {
                     }
                     "begin" => Ok(expand::begin_form(self.exprs(&items[1..])?)),
                     "cons" => {
-                        let [a, b] = &items[1..] else { return err(*pos, "(cons a b)") };
+                        let [a, b] = &items[1..] else {
+                            return err(*pos, "(cons a b)");
+                        };
                         Ok(Expr::Cons(Box::new(self.expr(a)?), Box::new(self.expr(b)?)))
                     }
                     "fst" | "car" => {
-                        let [a] = &items[1..] else { return err(*pos, "(fst e)") };
+                        let [a] = &items[1..] else {
+                            return err(*pos, "(fst e)");
+                        };
                         Ok(Expr::Fst(Box::new(self.expr(a)?)))
                     }
                     "snd" | "cdr" => {
-                        let [a] = &items[1..] else { return err(*pos, "(snd e)") };
+                        let [a] = &items[1..] else {
+                            return err(*pos, "(snd e)");
+                        };
                         Ok(Expr::Snd(Box::new(self.expr(a)?)))
                     }
                     "vec" | "vector" => Ok(Expr::VecLit(self.exprs(&items[1..])?)),
@@ -474,14 +505,18 @@ impl Elaborator {
                         _ => err(*pos, "(error \"message\")"),
                     },
                     "set!" => {
-                        let [x, e] = &items[1..] else { return err(*pos, "(set! x e)") };
+                        let [x, e] = &items[1..] else {
+                            return err(*pos, "(set! x e)");
+                        };
                         let Some(name) = x.as_symbol() else {
                             return err(x.pos(), "set! target must be a variable");
                         };
                         Ok(Expr::Set(Symbol::intern(name), Box::new(self.expr(e)?)))
                     }
                     "ann" => {
-                        let [e, t] = &items[1..] else { return err(*pos, "(ann e T)") };
+                        let [e, t] = &items[1..] else {
+                            return err(*pos, "(ann e T)");
+                        };
                         Ok(Expr::ann(self.expr(e)?, self.ty(t)?))
                     }
                     "for/sum" => expand::for_sum(self, &items[1..], *pos),
@@ -510,7 +545,9 @@ impl Elaborator {
     }
 
     fn lambda(&mut self, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
-        let [params, body @ ..] = rest else { return err(pos, "(lambda (params) body …)") };
+        let [params, body @ ..] = rest else {
+            return err(pos, "(lambda (params) body …)");
+        };
         let Some(param_list) = params.as_list() else {
             return err(params.pos(), "lambda expects a parameter list");
         };
@@ -541,7 +578,9 @@ impl Elaborator {
         if let Some(name) = rest.first().and_then(Sexp::as_symbol) {
             return expand::named_let(self, name, &rest[1..], pos);
         }
-        let [bindings, body @ ..] = rest else { return err(pos, "(let (bindings) body …)") };
+        let [bindings, body @ ..] = rest else {
+            return err(pos, "(let (bindings) body …)");
+        };
         let Some(binds) = bindings.as_list() else {
             return err(bindings.pos(), "let expects a binding list");
         };
@@ -573,8 +612,10 @@ impl Elaborator {
         if parallel && parsed.len() > 1 {
             // Evaluate all right-hand sides into temporaries first, then
             // bind the visible names — Racket's parallel `let`.
-            let temps: Vec<Symbol> =
-                parsed.iter().map(|(x, _, _)| Symbol::fresh(x.as_str())).collect();
+            let temps: Vec<Symbol> = parsed
+                .iter()
+                .map(|(x, _, _)| Symbol::fresh(x.as_str()))
+                .collect();
             for ((x, ann, _), tmp) in parsed.iter().zip(&temps).rev() {
                 let rhs = match ann {
                     Some(t) => Expr::ann(Expr::Var(*tmp), t.clone()),
@@ -598,7 +639,9 @@ impl Elaborator {
     }
 
     fn letrec_form(&mut self, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
-        let [bindings, body @ ..] = rest else { return err(pos, "(letrec (bindings) body …)") };
+        let [bindings, body @ ..] = rest else {
+            return err(pos, "(letrec (bindings) body …)");
+        };
         let Some(binds) = bindings.as_list() else {
             return err(bindings.pos(), "letrec expects a binding list");
         };
@@ -607,9 +650,11 @@ impl Elaborator {
         }
         let mut out = expand::begin_form(self.exprs(body)?);
         for b in binds.iter().rev() {
-            let Some([x, colon, t, e]) = b.as_list().filter(|l| l.len() == 4).map(|l| {
-                [&l[0], &l[1], &l[2], &l[3]]
-            }) else {
+            let Some([x, colon, t, e]) = b
+                .as_list()
+                .filter(|l| l.len() == 4)
+                .map(|l| [&l[0], &l[1], &l[2], &l[3]])
+            else {
                 return err(b.pos(), "letrec binding must be [f : T (lambda …)]");
             };
             if colon.as_symbol() != Some(":") {
@@ -671,7 +716,10 @@ mod tests {
         assert_eq!(elab_ty("Int"), Ty::Int);
         assert_eq!(elab_ty("Bool"), Ty::bool_ty());
         assert_eq!(elab_ty("(Vecof Int)"), Ty::vec(Ty::Int));
-        assert_eq!(elab_ty("(U Int Bool)"), Ty::union_of(vec![Ty::Int, Ty::bool_ty()]));
+        assert_eq!(
+            elab_ty("(U Int Bool)"),
+            Ty::union_of(vec![Ty::Int, Ty::bool_ty()])
+        );
         assert!(matches!(elab_ty("Nat"), Ty::Refine(_)));
         assert!(matches!(elab_ty("Byte"), Ty::Refine(_)));
     }
@@ -690,9 +738,7 @@ mod tests {
     #[test]
     fn refined_range_sugar() {
         // Fig. 1's max type.
-        let t = elab_ty(
-            "([x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])",
-        );
+        let t = elab_ty("([x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])");
         let Ty::Fun(f) = &t else { panic!("not a fun") };
         assert!(matches!(f.range.ty, Ty::Refine(_)));
     }
@@ -728,7 +774,10 @@ mod tests {
         assert_eq!(elab_expr("42"), Expr::Int(42));
         assert_eq!(
             elab_expr("(+ 1 2)"),
-            Expr::prim_app(rtr_core::syntax::Prim::Plus, vec![Expr::Int(1), Expr::Int(2)])
+            Expr::prim_app(
+                rtr_core::syntax::Prim::Plus,
+                vec![Expr::Int(1), Expr::Int(2)]
+            )
         );
         assert!(matches!(elab_expr("(lambda ([x : Int]) x)"), Expr::Lam(_)));
         assert!(matches!(elab_expr("(if #t 1 2)"), Expr::If(..)));
@@ -742,7 +791,9 @@ mod tests {
         // application" (regression: the head-symbol dispatch used to
         // reject any non-symbol operator).
         let e = elab_expr("((lambda ([x : Int]) (add1 x)) 1)");
-        let Expr::App(f, args) = e else { panic!("expected application") };
+        let Expr::App(f, args) = e else {
+            panic!("expected application")
+        };
         assert!(matches!(*f, Expr::Lam(_)));
         assert_eq!(args, vec![Expr::Int(1)]);
         // The empty list is still an error.
@@ -752,7 +803,9 @@ mod tests {
     #[test]
     fn cond_expands_to_ifs() {
         let e = elab_expr("(cond [(zero? x) 1] [(int? x) 2] [else 3])");
-        let Expr::If(_, _, else1) = e else { panic!("expected if") };
+        let Expr::If(_, _, else1) = e else {
+            panic!("expected if")
+        };
         assert!(matches!(*else1, Expr::If(..)));
     }
 
@@ -770,14 +823,21 @@ mod tests {
     #[test]
     fn begin_threads_through_lets() {
         let e = elab_expr("(begin (set! x 1) 2)");
-        assert!(matches!(e, Expr::Let(..)), "begin must elaborate to let-chains, got {e}");
+        assert!(
+            matches!(e, Expr::Let(..)),
+            "begin must elaborate to let-chains, got {e}"
+        );
     }
 
     #[test]
     fn syntax_errors_are_positioned() {
-        let e = Elaborator::new().expr(&read_one("(if #t)").unwrap()).unwrap_err();
+        let e = Elaborator::new()
+            .expr(&read_one("(if #t)").unwrap())
+            .unwrap_err();
         assert!(e.message.contains("if"));
         assert!(Elaborator::new().ty(&read_one("(Vecof)").unwrap()).is_err());
-        assert!(Elaborator::new().expr(&read_one("(error 42)").unwrap()).is_err());
+        assert!(Elaborator::new()
+            .expr(&read_one("(error 42)").unwrap())
+            .is_err());
     }
 }

@@ -99,9 +99,11 @@ pub fn named_let(
     let mut params = Vec::new();
     let mut inits = Vec::new();
     for b in binds {
-        let Some([x, colon, t, e]) = b.as_list().filter(|l| l.len() == 4).map(|l| {
-            [&l[0], &l[1], &l[2], &l[3]]
-        }) else {
+        let Some([x, colon, t, e]) = b
+            .as_list()
+            .filter(|l| l.len() == 4)
+            .map(|l| [&l[0], &l[1], &l[2], &l[3]])
+        else {
             return err(b.pos(), "named-let binding must be [x : T e]");
         };
         if colon.as_symbol() != Some(":") {
@@ -131,7 +133,9 @@ pub fn named_let(
 /// it) appear as the index argument of a vector access in the body?
 fn used_as_index(body: &[Sexp], var: &str) -> bool {
     fn scan(s: &Sexp, names: &mut Vec<String>) -> bool {
-        let Some(items) = s.as_list() else { return false };
+        let Some(items) = s.as_list() else {
+            return false;
+        };
         let head = items.first().and_then(Sexp::as_symbol).unwrap_or("");
         if matches!(
             head,
@@ -158,7 +162,9 @@ fn used_as_index(body: &[Sexp], var: &str) -> bool {
         if head == "let" || head == "let*" {
             if let Some(binds) = items.get(1).and_then(Sexp::as_list) {
                 for b in binds {
-                    if let Some([x, e]) = b.as_list().filter(|l| l.len() == 2).map(|l| [&l[0], &l[1]]) {
+                    if let Some([x, e]) =
+                        b.as_list().filter(|l| l.len() == 2).map(|l| [&l[0], &l[1]])
+                    {
                         if let (Some(x), Some(e)) = (x.as_symbol(), e.as_symbol()) {
                             if names.iter().any(|n| n == e) {
                                 names.push(x.to_owned());
@@ -192,9 +198,15 @@ pub fn for_sum(elab: &mut Elaborator, rest: &[Sexp], pos: Pos) -> Result<Expr, E
         return err(pos, "(for/sum ([i (in-range …)]) body …)");
     };
     let Some([clause]) = clauses.as_list().filter(|l| l.len() == 1) else {
-        return err(clauses.pos(), "for/sum supports exactly one iteration clause");
+        return err(
+            clauses.pos(),
+            "for/sum supports exactly one iteration clause",
+        );
     };
-    let Some([ivar, range]) = clause.as_list().filter(|l| l.len() == 2).map(|l| [&l[0], &l[1]])
+    let Some([ivar, range]) = clause
+        .as_list()
+        .filter(|l| l.len() == 2)
+        .map(|l| [&l[0], &l[1]])
     else {
         return err(clause.pos(), "iteration clause must be [i (in-range …)]");
     };
@@ -305,7 +317,9 @@ mod tests {
     #[test]
     fn begin_chains_lets() {
         let e = begin_form(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]);
-        let Expr::Let(_, _, rest) = e else { panic!("let expected") };
+        let Expr::Let(_, _, rest) = e else {
+            panic!("let expected")
+        };
         assert!(matches!(*rest, Expr::Let(..)));
     }
 
@@ -328,9 +342,15 @@ mod tests {
         let items = sexp.as_list().unwrap();
         let e = for_sum(&mut elab, &items[1..], sexp.pos()).unwrap();
         // let start, let end, letrec loop …
-        let Expr::Let(_, _, rest) = e else { panic!("expected let") };
-        let Expr::Let(_, _, rest) = *rest else { panic!("expected let") };
-        let Expr::LetRec(_, fun_ty, lam, _) = *rest else { panic!("expected letrec") };
+        let Expr::Let(_, _, rest) = e else {
+            panic!("expected let")
+        };
+        let Expr::Let(_, _, rest) = *rest else {
+            panic!("expected let")
+        };
+        let Expr::LetRec(_, fun_ty, lam, _) = *rest else {
+            panic!("expected letrec")
+        };
         // Heuristic fired: pos parameter is Nat (a refinement).
         assert!(matches!(lam.params[0].1, Ty::Refine(_)));
         assert!(matches!(fun_ty, Ty::Fun(_)));
@@ -343,8 +363,12 @@ mod tests {
         let items = sexp.as_list().unwrap();
         let e = for_sum(&mut elab, &items[1..], sexp.pos()).unwrap();
         let Expr::Let(_, _, rest) = e else { panic!() };
-        let Expr::Let(_, _, rest) = *rest else { panic!() };
-        let Expr::LetRec(_, _, lam, _) = *rest else { panic!() };
+        let Expr::Let(_, _, rest) = *rest else {
+            panic!()
+        };
+        let Expr::LetRec(_, _, lam, _) = *rest else {
+            panic!()
+        };
         assert_eq!(lam.params[0].1, Ty::Int);
     }
 }

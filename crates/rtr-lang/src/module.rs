@@ -118,18 +118,26 @@ pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
                         for p in &header[1..] {
                             if let Some(name) = p.as_symbol() {
                                 params.push((Symbol::intern(name), Ty::Top));
-                            } else if let Some([x, colon, t]) =
-                                p.as_list().filter(|l| l.len() == 3).map(|l| [&l[0], &l[1], &l[2]])
+                            } else if let Some([x, colon, t]) = p
+                                .as_list()
+                                .filter(|l| l.len() == 3)
+                                .map(|l| [&l[0], &l[1], &l[2]])
                             {
                                 if colon.as_symbol() != Some(":") {
-                                    return Err(err::<()>(p.pos(), "parameter must be x or [x : T]")
-                                        .unwrap_err()
-                                        .into());
+                                    return Err(err::<()>(
+                                        p.pos(),
+                                        "parameter must be x or [x : T]",
+                                    )
+                                    .unwrap_err()
+                                    .into());
                                 }
                                 let Some(name) = x.as_symbol() else {
-                                    return Err(err::<()>(x.pos(), "parameter name must be a symbol")
-                                        .unwrap_err()
-                                        .into());
+                                    return Err(err::<()>(
+                                        x.pos(),
+                                        "parameter name must be a symbol",
+                                    )
+                                    .unwrap_err()
+                                    .into());
                                 };
                                 params.push((Symbol::intern(name), elab.ty(t)?));
                             } else {
@@ -151,9 +159,7 @@ pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
                                 // annotations; bind non-recursively with a
                                 // synthesized function type.
                                 let lam = Expr::lam(params, body);
-                                builders.push(Box::new(move |rest| {
-                                    Expr::let_(fsym, lam, rest)
-                                }));
+                                builders.push(Box::new(move |rest| Expr::let_(fsym, lam, rest)));
                             }
                         }
                     }
@@ -193,7 +199,9 @@ pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
                         builders.push(Box::new(move |rest| Expr::let_(xsym, value, rest)));
                     }
                     _ => {
-                        return Err(err::<()>(form.pos(), "malformed define").unwrap_err().into())
+                        return Err(err::<()>(form.pos(), "malformed define")
+                            .unwrap_err()
+                            .into())
                     }
                 }
             }
@@ -212,10 +220,7 @@ pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
 }
 
 /// Parses, elaborates and type checks a module; returns its type-result.
-pub fn check_source(
-    src: &str,
-    checker: &Checker,
-) -> Result<rtr_core::syntax::TyResult, LangError> {
+pub fn check_source(src: &str, checker: &Checker) -> Result<rtr_core::syntax::TyResult, LangError> {
     let e = elaborate_module(src)?;
     Ok(checker.check_program(&e)?)
 }
@@ -279,7 +284,10 @@ mod tests {
     #[test]
     fn type_errors_surface() {
         let src = "(define (f [x : Int]) (add1 x)) (f #t)";
-        assert!(matches!(check_source(src, &checker()), Err(LangError::Type(_))));
+        assert!(matches!(
+            check_source(src, &checker()),
+            Err(LangError::Type(_))
+        ));
     }
 
     #[test]

@@ -126,7 +126,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(src: &'a str) -> Reader<'a> {
-        Reader { chars: src.chars().peekable(), pos: Pos { line: 1, col: 1 } }
+        Reader {
+            chars: src.chars().peekable(),
+            pos: Pos { line: 1, col: 1 },
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -145,7 +148,10 @@ impl<'a> Reader<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ReadError {
-        ReadError { message: message.into(), pos: self.pos }
+        ReadError {
+            message: message.into(),
+            pos: self.pos,
+        }
     }
 
     fn skip_trivia(&mut self) {
@@ -197,7 +203,9 @@ impl<'a> Reader<'a> {
                             return Ok(Sexp::List(items, pos));
                         }
                         Some(')') | Some(']') => {
-                            return Err(self.error(format!("mismatched delimiter, wanted `{close}`")));
+                            return Err(
+                                self.error(format!("mismatched delimiter, wanted `{close}`"))
+                            );
                         }
                         _ => items.push(self.read_datum()?),
                     }
@@ -280,9 +288,7 @@ impl<'a> Reader<'a> {
                                         pat.push('\\');
                                         pat.push(c);
                                     }
-                                    None => {
-                                        return Err(self.error("unterminated regex literal"))
-                                    }
+                                    None => return Err(self.error("unterminated regex literal")),
                                 },
                                 Some(c) => pat.push(c),
                             }

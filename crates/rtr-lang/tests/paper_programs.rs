@@ -23,7 +23,10 @@ fn fig1_max() {
         (max 3 7)
     "#;
     assert!(check_source(src, &rtr()).is_ok());
-    assert!(check_source(src, &tr()).is_err(), "λTR cannot prove the range");
+    assert!(
+        check_source(src, &tr()).is_err(),
+        "λTR cannot prove the range"
+    );
     assert!(matches!(run_source(src, &rtr(), 10_000), Ok(Value::Int(7))));
 }
 
@@ -39,7 +42,10 @@ fn section2_least_significant_bit() {
         (+ (least-significant-bit 7) (least-significant-bit (cons 1 0)))
     "#;
     assert!(check_source(src, &rtr()).is_ok());
-    assert!(check_source(src, &tr()).is_ok(), "pure occurrence typing suffices here");
+    assert!(
+        check_source(src, &tr()).is_ok(),
+        "pure occurrence typing suffices here"
+    );
     assert!(matches!(run_source(src, &rtr(), 10_000), Ok(Value::Int(2))));
 }
 
@@ -58,7 +64,10 @@ fn section21_guarded_vec_ref() {
         (my-vec-ref (vec 10 20 30) 2)
     "#;
     assert!(check_source(src, &rtr()).is_ok());
-    assert!(matches!(run_source(src, &rtr(), 10_000), Ok(Value::Int(30))));
+    assert!(matches!(
+        run_source(src, &rtr(), 10_000),
+        Ok(Value::Int(30))
+    ));
     // The λTR baseline rejects the unsafe call even though it is guarded.
     assert!(check_source(src, &tr()).is_err());
 }
@@ -96,8 +105,14 @@ fn section21_dot_prod_with_guard() {
               (* (safe-vec-ref A i) (safe-vec-ref B i)))))
         (dot-prod (vec 1 2 3) (vec 4 5 6))
     "#;
-    assert!(check_source(src, &rtr()).is_ok(), "guarded dot-prod must verify");
-    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Int(32))));
+    assert!(
+        check_source(src, &rtr()).is_ok(),
+        "guarded dot-prod must verify"
+    );
+    assert!(matches!(
+        run_source(src, &rtr(), 100_000),
+        Ok(Value::Int(32))
+    ));
     // And the guard actually fires at runtime on mismatched lengths.
     let bad = src.replace("(vec 4 5 6)", "(vec 4 5)");
     match run_source(&bad, &rtr(), 100_000) {
@@ -135,13 +150,22 @@ fn section22_xtime() {
               [else (XOR n #x1b)])))
         (xtime #x57)
     "#;
-    assert!(check_source(src, &rtr()).is_ok(), "xtime must verify with the BV theory");
+    assert!(
+        check_source(src, &rtr()).is_ok(),
+        "xtime must verify with the BV theory"
+    );
     // 0x57·x = 0xae (no reduction: high bit of 0x57 is 0).
-    assert!(matches!(run_source(src, &rtr(), 10_000), Ok(Value::Bv(0xae))));
+    assert!(matches!(
+        run_source(src, &rtr(), 10_000),
+        Ok(Value::Bv(0xae))
+    ));
     // With the high bit set, the reduction polynomial applies:
     // xtime(0x80) = (0x00) ⊕ 0x1b = 0x1b.
     let src2 = src.replace("(xtime #x57)", "(xtime #x80)");
-    assert!(matches!(run_source(&src2, &rtr(), 10_000), Ok(Value::Bv(0x1b))));
+    assert!(matches!(
+        run_source(&src2, &rtr(), 10_000),
+        Ok(Value::Bv(0x1b))
+    ));
 }
 
 /// §5.1's annotated recursive loop over a vector, surface form.
@@ -157,8 +181,14 @@ fn section51_annotated_loop() {
               [else (loop (- i 1) (* res (safe-vec-ref ds (- i 1))))])))
         (prod (vec 2 3 4))
     "#;
-    assert!(check_source(src, &rtr()).is_ok(), "annotated loop must verify");
-    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Int(24))));
+    assert!(
+        check_source(src, &rtr()).is_ok(),
+        "annotated loop must verify"
+    );
+    assert!(matches!(
+        run_source(src, &rtr(), 100_000),
+        Ok(Value::Int(24))
+    ));
 }
 
 /// §5.1's vec-swap! with the two added guards.
@@ -180,8 +210,14 @@ fn section51_vec_swap() {
         (define v (vec 1 2 3))
         (begin (vec-swap! v 0 2) (vec-ref v 0))
     "#;
-    assert!(check_source(src, &rtr()).is_ok(), "guarded swap must verify");
-    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Int(3))));
+    assert!(
+        check_source(src, &rtr()).is_ok(),
+        "guarded swap must verify"
+    );
+    assert!(matches!(
+        run_source(src, &rtr(), 100_000),
+        Ok(Value::Int(3))
+    ));
 }
 
 /// §4.2: the mutable cache-size exploit. The checker rejects the
@@ -235,7 +271,10 @@ fn section43_polymorphic_instantiation() {
         (second-of (vec #t #f #t))
     "#;
     assert!(check_source(src, &rtr()).is_ok());
-    assert!(matches!(run_source(src, &rtr(), 10_000), Ok(Value::Bool(false))));
+    assert!(matches!(
+        run_source(src, &rtr(), 10_000),
+        Ok(Value::Bool(false))
+    ));
 }
 
 /// The checked vec-ref needs no proof but fails at runtime when out of

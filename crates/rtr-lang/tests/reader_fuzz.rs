@@ -50,7 +50,11 @@ fn print_read_round_trip() {
     for src in sources {
         let d1 = read_one(src).unwrap();
         let d2 = read_one(&d1.to_string()).unwrap();
-        assert_eq!(strip_pos(&d1), strip_pos(&d2), "round trip failed for {src}");
+        assert_eq!(
+            strip_pos(&d1),
+            strip_pos(&d2),
+            "round trip failed for {src}"
+        );
     }
 }
 

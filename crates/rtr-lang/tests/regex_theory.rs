@@ -64,7 +64,10 @@ fn string_literals_are_ground() {
     let ok = format!("{DIGITS_FN}(digits-only \"2016\")");
     assert!(check_source(&ok, &rtr()).is_ok());
     let bad = format!("{DIGITS_FN}(digits-only \"pldi\")");
-    assert!(matches!(check_source(&bad, &rtr()), Err(LangError::Type(_))));
+    assert!(matches!(
+        check_source(&bad, &rtr()),
+        Err(LangError::Type(_))
+    ));
 }
 
 #[test]
@@ -161,17 +164,26 @@ fn lambda_tr_baseline_rejects_the_guarded_program() {
       0))"#
     );
     assert!(check_source(&src, &rtr()).is_ok());
-    assert!(matches!(check_source(&src, &lambda_tr()), Err(LangError::Type(_))));
+    assert!(matches!(
+        check_source(&src, &lambda_tr()),
+        Err(LangError::Type(_))
+    ));
 }
 
 #[test]
 fn runtime_matcher_agrees_with_the_static_theory() {
     let src = r#"
 (regexp-match? #rx"a(b|c)*d" "abccbd")"#;
-    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Bool(true))));
+    assert!(matches!(
+        run_source(src, &rtr(), 100_000),
+        Ok(Value::Bool(true))
+    ));
     let src = r#"
 (regexp-match? #rx"a(b|c)*d" "abce")"#;
-    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Bool(false))));
+    assert!(matches!(
+        run_source(src, &rtr(), 100_000),
+        Ok(Value::Bool(false))
+    ));
 }
 
 #[test]
@@ -179,7 +191,11 @@ fn bad_regex_literals_are_positioned_syntax_errors() {
     let src = r#"(regexp-match? #rx"[a-" "x")"#;
     match check_source(src, &rtr()) {
         Err(LangError::Syntax(e)) => {
-            assert!(e.message.contains("regex"), "unexpected message: {}", e.message);
+            assert!(
+                e.message.contains("regex"),
+                "unexpected message: {}",
+                e.message
+            );
         }
         other => panic!("expected a syntax error, got {other:?}"),
     }
@@ -191,7 +207,10 @@ fn string_equality_and_predicates_run() {
 (if (string=? "a" "a")
     (if (string? "x") 1 2)
     3)"#;
-    assert!(matches!(run_source(src, &rtr(), 100_000), Ok(Value::Int(1))));
+    assert!(matches!(
+        run_source(src, &rtr(), 100_000),
+        Ok(Value::Int(1))
+    ));
 }
 
 #[test]
@@ -209,5 +228,8 @@ fn mutable_strings_learn_nothing() {
           (digits-only s)
           0))))"#
     );
-    assert!(matches!(check_source(&src, &rtr()), Err(LangError::Type(_))));
+    assert!(matches!(
+        check_source(&src, &rtr()),
+        Err(LangError::Type(_))
+    ));
 }

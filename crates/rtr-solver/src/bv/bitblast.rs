@@ -125,7 +125,9 @@ impl<'a> BitBlaster<'a> {
             Node::Const(v) => {
                 let tt = self.constant_true();
                 let ff = self.constant_false();
-                (0..width).map(|i| if (v >> i) & 1 == 1 { tt } else { ff }).collect()
+                (0..width)
+                    .map(|i| if (v >> i) & 1 == 1 { tt } else { ff })
+                    .collect()
             }
             Node::Var(x) => {
                 if let Some(bits) = self.vars.get(&(*x, t.width())) {
@@ -201,7 +203,10 @@ impl<'a> BitBlaster<'a> {
     ) -> Result<Vec<Lit>, BlastBudgetExceeded> {
         let a = self.blast_term(a)?;
         let b = self.blast_term(b)?;
-        a.into_iter().zip(b).map(|(x, y)| gate(self, x, y)).collect()
+        a.into_iter()
+            .zip(b)
+            .map(|(x, y)| gate(self, x, y))
+            .collect()
     }
 
     fn ripple_add(
@@ -254,7 +259,11 @@ impl<'a> BitBlaster<'a> {
         let av = self.blast_term(a)?;
         let bv = self.blast_term(b)?;
         // result = a < b, built LSB→MSB:  lt_i = (¬aᵢ ∧ bᵢ) ∨ (aᵢ↔bᵢ) ∧ lt_{i-1}
-        let mut lt = if or_equal { self.constant_true() } else { self.constant_false() };
+        let mut lt = if or_equal {
+            self.constant_true()
+        } else {
+            self.constant_false()
+        };
         for (x, y) in av.into_iter().zip(bv) {
             let strictly = {
                 let nx = !x;
@@ -291,27 +300,39 @@ mod tests {
         let mut blaster = BitBlaster::new(&mut cnf);
         blaster.assert_lit(&BvLit::positive(atom.clone())).unwrap();
         let sat = Solver::new().solve(&cnf).is_sat();
-        assert_eq!(sat, truth_any, "solver disagrees with enumeration on {atom:?}");
+        assert_eq!(
+            sat, truth_any,
+            "solver disagrees with enumeration on {atom:?}"
+        );
     }
 
     #[test]
     fn add_circuit_matches_semantics() {
         check_against_enumeration(|x| {
-            BvAtom::eq(x.clone().add(BvTerm::constant(3, 4)), BvTerm::constant(2, 4))
+            BvAtom::eq(
+                x.clone().add(BvTerm::constant(3, 4)),
+                BvTerm::constant(2, 4),
+            )
         });
     }
 
     #[test]
     fn sub_circuit_matches_semantics() {
         check_against_enumeration(|x| {
-            BvAtom::eq(x.clone().sub(BvTerm::constant(5, 4)), BvTerm::constant(15, 4))
+            BvAtom::eq(
+                x.clone().sub(BvTerm::constant(5, 4)),
+                BvTerm::constant(15, 4),
+            )
         });
     }
 
     #[test]
     fn mul_circuit_matches_semantics() {
         check_against_enumeration(|x| {
-            BvAtom::eq(x.clone().mul(BvTerm::constant(3, 4)), BvTerm::constant(6, 4))
+            BvAtom::eq(
+                x.clone().mul(BvTerm::constant(3, 4)),
+                BvTerm::constant(6, 4),
+            )
         });
     }
 
@@ -333,7 +354,9 @@ mod tests {
     fn bitwise_ops_match_semantics() {
         check_against_enumeration(|x| {
             BvAtom::eq(
-                x.clone().and(BvTerm::constant(0b1010, 4)).or(BvTerm::constant(1, 4)),
+                x.clone()
+                    .and(BvTerm::constant(0b1010, 4))
+                    .or(BvTerm::constant(1, 4)),
                 BvTerm::constant(0b1011, 4),
             )
         });

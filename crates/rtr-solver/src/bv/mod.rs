@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn shift_is_mul_by_two() {
-        let goal = BvLit::positive(BvAtom::eq(
-            x().shl(1),
-            x().mul(BvTerm::constant(2, 8)),
-        ));
+        let goal = BvLit::positive(BvAtom::eq(x().shl(1), x().mul(BvTerm::constant(2, 8))));
         assert!(BvSolver::default().entails(&[], &goal));
     }
 

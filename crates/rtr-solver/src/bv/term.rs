@@ -48,7 +48,10 @@ impl BvTerm {
     /// Panics if `width` is 0 or exceeds 64.
     pub fn constant(value: u64, width: u32) -> BvTerm {
         assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
-        BvTerm { node: Rc::new(Node::Const(value & mask(width))), width }
+        BvTerm {
+            node: Rc::new(Node::Const(value & mask(width))),
+            width,
+        }
     }
 
     /// A solver variable of the given width.
@@ -58,7 +61,10 @@ impl BvTerm {
     /// Panics if `width` is 0 or exceeds 64.
     pub fn var(v: SolverVar, width: u32) -> BvTerm {
         assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
-        BvTerm { node: Rc::new(Node::Var(v)), width }
+        BvTerm {
+            node: Rc::new(Node::Var(v)),
+            width,
+        }
     }
 
     /// The width in bits.
@@ -69,13 +75,19 @@ impl BvTerm {
     fn binary(self, other: BvTerm, f: impl FnOnce(BvTerm, BvTerm) -> Node) -> BvTerm {
         assert_eq!(self.width, other.width, "bitvector width mismatch");
         let width = self.width;
-        BvTerm { node: Rc::new(f(self, other)), width }
+        BvTerm {
+            node: Rc::new(f(self, other)),
+            width,
+        }
     }
 
     /// Bitwise complement.
     pub fn not(self) -> BvTerm {
         let width = self.width;
-        BvTerm { node: Rc::new(Node::Not(self)), width }
+        BvTerm {
+            node: Rc::new(Node::Not(self)),
+            width,
+        }
     }
 
     /// Bitwise conjunction. Panics on width mismatch.
@@ -111,13 +123,19 @@ impl BvTerm {
     /// Left shift by a constant amount (zero fill; shifts ≥ width yield 0).
     pub fn shl(self, amount: u32) -> BvTerm {
         let width = self.width;
-        BvTerm { node: Rc::new(Node::Shl(self, amount)), width }
+        BvTerm {
+            node: Rc::new(Node::Shl(self, amount)),
+            width,
+        }
     }
 
     /// Logical right shift by a constant amount.
     pub fn lshr(self, amount: u32) -> BvTerm {
         let width = self.width;
-        BvTerm { node: Rc::new(Node::Lshr(self, amount)), width }
+        BvTerm {
+            node: Rc::new(Node::Lshr(self, amount)),
+            width,
+        }
     }
 
     /// Evaluates the term under an assignment of variables to values.
@@ -236,17 +254,26 @@ pub struct BvLit {
 impl BvLit {
     /// The positive literal of `atom`.
     pub fn positive(atom: BvAtom) -> BvLit {
-        BvLit { atom, positive: true }
+        BvLit {
+            atom,
+            positive: true,
+        }
     }
 
     /// The negative literal of `atom`.
     pub fn negative(atom: BvAtom) -> BvLit {
-        BvLit { atom, positive: false }
+        BvLit {
+            atom,
+            positive: false,
+        }
     }
 
     /// The complementary literal.
     pub fn negated(&self) -> BvLit {
-        BvLit { atom: self.atom.clone(), positive: !self.positive }
+        BvLit {
+            atom: self.atom.clone(),
+            positive: !self.positive,
+        }
     }
 
     /// Evaluates the literal under an assignment.
@@ -265,7 +292,10 @@ mod tests {
     #[test]
     fn constants_truncate() {
         assert_eq!(BvTerm::constant(0x1ff, 8).eval(&mut |_| None), Some(0xff));
-        assert_eq!(BvTerm::constant(u64::MAX, 64).eval(&mut |_| None), Some(u64::MAX));
+        assert_eq!(
+            BvTerm::constant(u64::MAX, 64).eval(&mut |_| None),
+            Some(u64::MAX)
+        );
     }
 
     #[test]
@@ -298,9 +328,18 @@ mod tests {
     fn atom_eval() {
         let x = BvTerm::var(SolverVar(0), 8);
         let mut at5 = |_| Some(5u64);
-        assert_eq!(BvAtom::eq(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5), Some(true));
-        assert_eq!(BvAtom::ult(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5), Some(false));
-        assert_eq!(BvAtom::ule(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5), Some(true));
+        assert_eq!(
+            BvAtom::eq(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5),
+            Some(true)
+        );
+        assert_eq!(
+            BvAtom::ult(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5),
+            Some(false)
+        );
+        assert_eq!(
+            BvAtom::ule(x.clone(), BvTerm::constant(5, 8)).eval(&mut at5),
+            Some(true)
+        );
         let lit = BvLit::negative(BvAtom::eq(x, BvTerm::constant(5, 8)));
         assert_eq!(lit.eval(&mut at5), Some(false));
     }

@@ -23,7 +23,10 @@ pub struct BruteForce {
 
 impl Default for BruteForce {
     fn default() -> BruteForce {
-        BruteForce { bound: 6, max_assignments: 2_000_000 }
+        BruteForce {
+            bound: 6,
+            max_assignments: 2_000_000,
+        }
     }
 }
 
@@ -104,7 +107,12 @@ impl BruteForce {
                     continue 'outer;
                 }
             }
-            return Some(vars.iter().copied().zip(assignment.iter().copied()).collect());
+            return Some(
+                vars.iter()
+                    .copied()
+                    .zip(assignment.iter().copied())
+                    .collect(),
+            );
         }
         None
     }
@@ -139,7 +147,10 @@ mod tests {
 
     #[test]
     fn budget() {
-        let brute = BruteForce { bound: 6, max_assignments: 10 };
+        let brute = BruteForce {
+            bound: 6,
+            max_assignments: 10,
+        };
         let cs = [
             Constraint::le(v(0), v(1)),
             Constraint::le(v(1), v(2)),

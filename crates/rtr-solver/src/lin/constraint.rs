@@ -33,12 +33,18 @@ pub struct Constraint {
 impl Constraint {
     /// `a ≤ b`.
     pub fn le(a: LinExpr, b: LinExpr) -> Constraint {
-        Constraint { expr: a.sub(&b), cmp: Cmp::Le }
+        Constraint {
+            expr: a.sub(&b),
+            cmp: Cmp::Le,
+        }
     }
 
     /// `a < b`.
     pub fn lt(a: LinExpr, b: LinExpr) -> Constraint {
-        Constraint { expr: a.sub(&b), cmp: Cmp::Lt }
+        Constraint {
+            expr: a.sub(&b),
+            cmp: Cmp::Lt,
+        }
     }
 
     /// `a ≥ b`.
@@ -53,21 +59,39 @@ impl Constraint {
 
     /// `a = b`.
     pub fn eq(a: LinExpr, b: LinExpr) -> Constraint {
-        Constraint { expr: a.sub(&b), cmp: Cmp::Eq }
+        Constraint {
+            expr: a.sub(&b),
+            cmp: Cmp::Eq,
+        }
     }
 
     /// `a ≠ b`.
     pub fn ne(a: LinExpr, b: LinExpr) -> Constraint {
-        Constraint { expr: a.sub(&b), cmp: Cmp::Ne }
+        Constraint {
+            expr: a.sub(&b),
+            cmp: Cmp::Ne,
+        }
     }
 
     /// The logical negation of this constraint (`¬(e ≤ 0)` is `e > 0`, etc.).
     pub fn negate(&self) -> Constraint {
         match self.cmp {
-            Cmp::Le => Constraint { expr: self.expr.scale(Rat::from_int(-1)), cmp: Cmp::Lt },
-            Cmp::Lt => Constraint { expr: self.expr.scale(Rat::from_int(-1)), cmp: Cmp::Le },
-            Cmp::Eq => Constraint { expr: self.expr.clone(), cmp: Cmp::Ne },
-            Cmp::Ne => Constraint { expr: self.expr.clone(), cmp: Cmp::Eq },
+            Cmp::Le => Constraint {
+                expr: self.expr.scale(Rat::from_int(-1)),
+                cmp: Cmp::Lt,
+            },
+            Cmp::Lt => Constraint {
+                expr: self.expr.scale(Rat::from_int(-1)),
+                cmp: Cmp::Le,
+            },
+            Cmp::Eq => Constraint {
+                expr: self.expr.clone(),
+                cmp: Cmp::Ne,
+            },
+            Cmp::Ne => Constraint {
+                expr: self.expr.clone(),
+                cmp: Cmp::Eq,
+            },
         }
     }
 

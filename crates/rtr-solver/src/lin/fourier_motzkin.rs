@@ -43,7 +43,11 @@ pub struct FmConfig {
 
 impl Default for FmConfig {
     fn default() -> FmConfig {
-        FmConfig { max_rows: 50_000, max_splits: 8, integer_tightening: true }
+        FmConfig {
+            max_rows: 50_000,
+            max_splits: 8,
+            integer_tightening: true,
+        }
     }
 }
 
@@ -134,7 +138,9 @@ impl FourierMotzkin {
 
         loop {
             // Gaussian elimination of equalities first: cheap and exact.
-            if let Some(pos) = rows.iter().position(|c| c.cmp == Cmp::Eq && !c.expr.is_constant())
+            if let Some(pos) = rows
+                .iter()
+                .position(|c| c.cmp == Cmp::Eq && !c.expr.is_constant())
             {
                 let eq = rows.swap_remove(pos);
                 // Integer gcd test: Σ aᵢxᵢ + c = 0 with integer aᵢ is
@@ -152,8 +158,9 @@ impl FourierMotzkin {
                 // x = -(rest)/a
                 let mut rest = eq.expr.clone();
                 rest.add_term(a.checked_neg().expect("coefficient overflow"), x);
-                let Some(solution) =
-                    a.checked_recip().and_then(|ra| rest.checked_scale(ra.checked_neg()?))
+                let Some(solution) = a
+                    .checked_recip()
+                    .and_then(|ra| rest.checked_scale(ra.checked_neg()?))
                 else {
                     return LinResult::Unknown;
                 };
@@ -206,7 +213,7 @@ impl FourierMotzkin {
                 for up in &upper {
                     let a = up.expr.coeff(x); // > 0
                     let b = lo.expr.coeff(x).abs(); // > 0 after abs
-                    // resolvent: b·up + a·lo  (x cancels)
+                                                    // resolvent: b·up + a·lo  (x cancels)
                     let Some(expr) = up
                         .expr
                         .checked_scale(b)
@@ -260,7 +267,11 @@ impl FourierMotzkin {
     /// over ℤ, divides by the coefficient gcd and rounds the constant.
     fn tighten(&self, c: Constraint) -> Tightened {
         if let Some(truth) = c.constant_truth() {
-            return if truth { Tightened::True } else { Tightened::False };
+            return if truth {
+                Tightened::True
+            } else {
+                Tightened::False
+            };
         }
         if !self.config.integer_tightening {
             return Tightened::Row(c);
@@ -276,7 +287,9 @@ impl FourierMotzkin {
                 None => return Tightened::Overflow,
             };
         }
-        lcm = match lcm.checked_mul(c.expr.constant_part().denom() / gcd_i128(lcm, c.expr.constant_part().denom())) {
+        lcm = match lcm.checked_mul(
+            c.expr.constant_part().denom() / gcd_i128(lcm, c.expr.constant_part().denom()),
+        ) {
             Some(v) => v,
             None => return Tightened::Overflow,
         };
@@ -306,7 +319,9 @@ impl FourierMotzkin {
                     let scaled_c = Rat::new(c0.numer(), 1)
                         .checked_div(Rat::from_int(g))
                         .map(|r| Rat::from_int(r.ceil_int()));
-                    let Some(new_c) = scaled_c else { return Tightened::Overflow };
+                    let Some(new_c) = scaled_c else {
+                        return Tightened::Overflow;
+                    };
                     let terms: Vec<_> = expr
                         .iter()
                         .map(|(x, a)| (Rat::from_int(a.numer() / g), x))
@@ -329,8 +344,17 @@ impl FourierMotzkin {
         } else if cmp == Cmp::Eq && gcd_test_infeasible(&expr) {
             return Tightened::False;
         }
-        if let Some(truth) = (Constraint { expr: expr.clone(), cmp }).constant_truth() {
-            return if truth { Tightened::True } else { Tightened::False };
+        if let Some(truth) = (Constraint {
+            expr: expr.clone(),
+            cmp,
+        })
+        .constant_truth()
+        {
+            return if truth {
+                Tightened::True
+            } else {
+                Tightened::False
+            };
         }
         Tightened::Row(Constraint { expr, cmp })
     }
@@ -411,12 +435,21 @@ mod tests {
         // 1 ≤ 2x ∧ 2x ≤ 1 has the rational solution x = 1/2 but no integer
         // solution; the gcd rounding must detect it.
         let two_x = v(0).scale(Rat::from_int(2));
-        let cs = [Constraint::ge(two_x.clone(), k(1)), Constraint::le(two_x, k(1))];
+        let cs = [
+            Constraint::ge(two_x.clone(), k(1)),
+            Constraint::le(two_x, k(1)),
+        ];
         assert!(fm().check(&cs).is_unsat());
         // Without tightening the rational relaxation is reported Sat.
-        let loose = FourierMotzkin::new(FmConfig { integer_tightening: false, ..FmConfig::default() });
+        let loose = FourierMotzkin::new(FmConfig {
+            integer_tightening: false,
+            ..FmConfig::default()
+        });
         let two_x = v(0).scale(Rat::from_int(2));
-        let cs = [Constraint::ge(two_x.clone(), k(1)), Constraint::le(two_x, k(1))];
+        let cs = [
+            Constraint::ge(two_x.clone(), k(1)),
+            Constraint::le(two_x, k(1)),
+        ];
         assert!(loose.check(&cs).is_sat());
     }
 
@@ -444,7 +477,9 @@ mod tests {
     #[test]
     fn gcd_test() {
         // 2x + 4y = 1 : infeasible over ℤ.
-        let e = v(0).scale(Rat::from_int(2)).add(&v(1).scale(Rat::from_int(4)));
+        let e = v(0)
+            .scale(Rat::from_int(2))
+            .add(&v(1).scale(Rat::from_int(4)));
         let cs = [Constraint::eq(e, k(1))];
         assert!(fm().check(&cs).is_unsat());
     }
@@ -502,7 +537,10 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_unknown() {
-        let tiny = FourierMotzkin::new(FmConfig { max_splits: 0, ..FmConfig::default() });
+        let tiny = FourierMotzkin::new(FmConfig {
+            max_splits: 0,
+            ..FmConfig::default()
+        });
         let cs = [Constraint::ne(v(0), k(0))];
         assert_eq!(tiny.check(&cs), LinResult::Unknown);
     }

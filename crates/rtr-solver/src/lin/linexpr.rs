@@ -31,19 +31,28 @@ pub struct LinExpr {
 impl LinExpr {
     /// The constant expression `n`.
     pub fn constant(n: i64) -> LinExpr {
-        LinExpr { terms: BTreeMap::new(), constant: Rat::from(n) }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: Rat::from(n),
+        }
     }
 
     /// The constant expression given by a rational.
     pub fn constant_rat(c: Rat) -> LinExpr {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// The expression `1·x`.
     pub fn var(x: SolverVar) -> LinExpr {
         let mut terms = BTreeMap::new();
         terms.insert(x, Rat::ONE);
-        LinExpr { terms, constant: Rat::ZERO }
+        LinExpr {
+            terms,
+            constant: Rat::ZERO,
+        }
     }
 
     /// Builds an expression from `(coeff, var)` pairs plus a constant.
@@ -51,7 +60,10 @@ impl LinExpr {
     where
         I: IntoIterator<Item = (Rat, SolverVar)>,
     {
-        let mut e = LinExpr { terms: BTreeMap::new(), constant };
+        let mut e = LinExpr {
+            terms: BTreeMap::new(),
+            constant,
+        };
         for (c, x) in terms {
             e.add_term(c, x);
         }
@@ -64,7 +76,9 @@ impl LinExpr {
             return;
         }
         let entry = self.terms.entry(x).or_insert(Rat::ZERO);
-        *entry = entry.checked_add(coeff).expect("linear-expression coefficient overflow");
+        *entry = entry
+            .checked_add(coeff)
+            .expect("linear-expression coefficient overflow");
         if entry.is_zero() {
             self.terms.remove(&x);
         }
@@ -138,7 +152,10 @@ impl LinExpr {
         for (x, c) in self.iter() {
             terms.insert(x, c.checked_mul(k)?);
         }
-        Some(LinExpr { terms, constant: self.constant.checked_mul(k)? })
+        Some(LinExpr {
+            terms,
+            constant: self.constant.checked_mul(k)?,
+        })
     }
 
     /// Substitutes `x := e` (used for Gaussian elimination of equalities).
@@ -212,7 +229,9 @@ mod tests {
 
     #[test]
     fn add_sub_scale() {
-        let e = LinExpr::var(x()).scale(Rat::from_int(2)).add(&LinExpr::constant(3));
+        let e = LinExpr::var(x())
+            .scale(Rat::from_int(2))
+            .add(&LinExpr::constant(3));
         let f = LinExpr::var(x()).add(&LinExpr::var(y()));
         let sum = e.add(&f);
         assert_eq!(sum.coeff(x()), Rat::from_int(3));
@@ -226,10 +245,7 @@ mod tests {
     #[test]
     fn substitution() {
         // (2x + y + 1)[x := y - 1] = 3y - 1
-        let e = LinExpr::from_terms(
-            [(Rat::from_int(2), x()), (Rat::ONE, y())],
-            Rat::ONE,
-        );
+        let e = LinExpr::from_terms([(Rat::from_int(2), x()), (Rat::ONE, y())], Rat::ONE);
         let repl = LinExpr::var(y()).add(&LinExpr::constant(-1));
         let got = e.substitute(x(), &repl).unwrap();
         assert_eq!(got.coeff(x()), Rat::ZERO);
@@ -244,7 +260,13 @@ mod tests {
             Rat::from_int(5),
         );
         let v = e
-            .eval(|v| if v == x() { Rat::from_int(3) } else { Rat::from_int(4) })
+            .eval(|v| {
+                if v == x() {
+                    Rat::from_int(3)
+                } else {
+                    Rat::from_int(4)
+                }
+            })
             .unwrap();
         assert_eq!(v, Rat::from_int(7));
     }

@@ -67,12 +67,19 @@ impl Rat {
         if denom == 0 || numer == i128::MIN || denom == i128::MIN {
             return None;
         }
-        let (numer, denom) = if denom < 0 { (-numer, -denom) } else { (numer, denom) };
+        let (numer, denom) = if denom < 0 {
+            (-numer, -denom)
+        } else {
+            (numer, denom)
+        };
         let g = gcd(numer.abs(), denom);
         if g == 0 {
             Some(Rat { numer: 0, denom: 1 })
         } else {
-            Some(Rat { numer: numer / g, denom: denom / g })
+            Some(Rat {
+                numer: numer / g,
+                denom: denom / g,
+            })
         }
     }
 
@@ -143,7 +150,10 @@ impl Rat {
 
     /// Checked negation; `None` on overflow (`i128::MIN` numerator).
     pub fn checked_neg(self) -> Option<Rat> {
-        Some(Rat { numer: self.numer.checked_neg()?, denom: self.denom })
+        Some(Rat {
+            numer: self.numer.checked_neg()?,
+            denom: self.denom,
+        })
     }
 
     /// Checked reciprocal; `None` if zero or on overflow.
@@ -175,7 +185,10 @@ impl Rat {
     ///
     /// Panics if the numerator is `i128::MIN`.
     pub fn abs(self) -> Rat {
-        Rat { numer: self.numer.abs(), denom: self.denom }
+        Rat {
+            numer: self.numer.abs(),
+            denom: self.denom,
+        }
     }
 }
 
@@ -191,7 +204,11 @@ impl Ord for Rat {
         // Fall back to wide comparison through f64 only if exact products
         // overflow; this cannot happen for gcd-normalized i64-range inputs,
         // which is all the solver produces.
-        match self.numer.checked_mul(other.denom).zip(other.numer.checked_mul(self.denom)) {
+        match self
+            .numer
+            .checked_mul(other.denom)
+            .zip(other.numer.checked_mul(self.denom))
+        {
             Some((l, r)) => l.cmp(&r),
             None => {
                 let l = self.numer as f64 / self.denom as f64;

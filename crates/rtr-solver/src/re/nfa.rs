@@ -40,7 +40,11 @@ impl Nfa {
     /// Compiles a regex via Thompson's construction (one fragment per AST
     /// node, ε-wired).
     pub fn compile(re: &Regex) -> Nfa {
-        let mut nfa = Nfa { states: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            states: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let (s, a) = nfa.fragment(re);
         nfa.start = s;
         nfa.accept = a;
@@ -137,9 +141,7 @@ impl Nfa {
             }
         }
         set.clear();
-        set.extend(
-            (0..self.states.len() as StateId).filter(|&s| seen[s as usize]),
-        );
+        set.extend((0..self.states.len() as StateId).filter(|&s| seen[s as usize]));
     }
 
     /// All states reachable from `set` on character `c` (before closure).
@@ -178,8 +180,7 @@ mod tests {
     use super::*;
 
     fn m(pattern: &str, input: &str) -> bool {
-        Nfa::compile(&Regex::parse(pattern).expect("pattern parses"))
-            .matches(input.as_bytes())
+        Nfa::compile(&Regex::parse(pattern).expect("pattern parses")).matches(input.as_bytes())
     }
 
     #[test]

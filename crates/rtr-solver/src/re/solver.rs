@@ -31,17 +31,28 @@ pub struct ReConstraint {
 impl ReConstraint {
     /// A positive membership constraint.
     pub fn member(var: SolverVar, regex: Arc<Regex>) -> ReConstraint {
-        ReConstraint { var, regex, positive: true }
+        ReConstraint {
+            var,
+            regex,
+            positive: true,
+        }
     }
 
     /// A negative membership constraint.
     pub fn not_member(var: SolverVar, regex: Arc<Regex>) -> ReConstraint {
-        ReConstraint { var, regex, positive: false }
+        ReConstraint {
+            var,
+            regex,
+            positive: false,
+        }
     }
 
     /// The negated literal.
     pub fn negate(&self) -> ReConstraint {
-        ReConstraint { positive: !self.positive, ..self.clone() }
+        ReConstraint {
+            positive: !self.positive,
+            ..self.clone()
+        }
     }
 }
 
@@ -72,7 +83,9 @@ pub struct ReConfig {
 
 impl Default for ReConfig {
     fn default() -> ReConfig {
-        ReConfig { max_dfa_states: 1 << 13 }
+        ReConfig {
+            max_dfa_states: 1 << 13,
+        }
     }
 }
 
@@ -151,8 +164,8 @@ impl ReSolver {
             }
             match acc.as_ref().and_then(Dfa::shortest_accepted) {
                 Some(witness) => {
-                    let s = String::from_utf8(witness)
-                        .expect("witnesses are ASCII by construction");
+                    let s =
+                        String::from_utf8(witness).expect("witnesses are ASCII by construction");
                     model.insert(var, s);
                 }
                 None => {
@@ -291,7 +304,10 @@ mod tests {
 
     #[test]
     fn empty_constraint_set_is_sat() {
-        assert_eq!(ReSolver::default().check(&[]), ReResult::Sat(BTreeMap::new()));
+        assert_eq!(
+            ReSolver::default().check(&[]),
+            ReResult::Sat(BTreeMap::new())
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl ClassSet {
 
     /// The full class (any ASCII character) — the class of `.`.
     pub fn full() -> ClassSet {
-        ClassSet { bits: [u64::MAX, u64::MAX] }
+        ClassSet {
+            bits: [u64::MAX, u64::MAX],
+        }
     }
 
     /// The singleton class `{c}`.
@@ -80,17 +82,23 @@ impl ClassSet {
 
     /// Set union.
     pub fn union(&self, other: &ClassSet) -> ClassSet {
-        ClassSet { bits: [self.bits[0] | other.bits[0], self.bits[1] | other.bits[1]] }
+        ClassSet {
+            bits: [self.bits[0] | other.bits[0], self.bits[1] | other.bits[1]],
+        }
     }
 
     /// Set intersection.
     pub fn intersect(&self, other: &ClassSet) -> ClassSet {
-        ClassSet { bits: [self.bits[0] & other.bits[0], self.bits[1] & other.bits[1]] }
+        ClassSet {
+            bits: [self.bits[0] & other.bits[0], self.bits[1] & other.bits[1]],
+        }
     }
 
     /// Complement within the ASCII alphabet.
     pub fn complement(&self) -> ClassSet {
-        ClassSet { bits: [!self.bits[0], !self.bits[1]] }
+        ClassSet {
+            bits: [!self.bits[0], !self.bits[1]],
+        }
     }
 
     /// Is the class empty?
@@ -296,9 +304,7 @@ impl Regex {
     pub fn size(&self) -> usize {
         match self {
             Regex::Empty | Regex::Epsilon | Regex::Class(_) => 1,
-            Regex::Concat(rs) | Regex::Alt(rs) => {
-                1 + rs.iter().map(Regex::size).sum::<usize>()
-            }
+            Regex::Concat(rs) | Regex::Alt(rs) => 1 + rs.iter().map(Regex::size).sum::<usize>(),
             Regex::Star(r) => 1 + r.size(),
         }
     }
@@ -323,7 +329,11 @@ impl Regex {
     /// patterns, non-ASCII patterns, and counted repetitions that would
     /// expand past an internal size limit.
     pub fn parse(pattern: &str) -> Result<Regex, ReParseError> {
-        Parser { input: pattern.as_bytes(), pos: 0 }.parse_top()
+        Parser {
+            input: pattern.as_bytes(),
+            pos: 0,
+        }
+        .parse_top()
     }
 }
 
@@ -403,8 +413,8 @@ impl fmt::Display for Regex {
 
 fn escape_char(c: u8) -> String {
     match c {
-        b'\\' | b'|' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'{' | b'}'
-        | b'.' | b'^' | b'$' => format!("\\{}", c as char),
+        b'\\' | b'|' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'.'
+        | b'^' | b'$' => format!("\\{}", c as char),
         b'\n' => "\\n".into(),
         b'\t' => "\\t".into(),
         b'\r' => "\\r".into(),
@@ -452,7 +462,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ReParseError> {
-        Err(ReParseError { pos: self.pos, msg: msg.into() })
+        Err(ReParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -657,8 +670,7 @@ impl<'a> Parser<'a> {
             let item = self.parse_class_item()?;
             // A range `a-z` requires a single-char left side and a
             // single-char right side separated by '-'.
-            if self.peek() == Some(b'-')
-                && self.input.get(self.pos + 1).is_some_and(|&c| c != b']')
+            if self.peek() == Some(b'-') && self.input.get(self.pos + 1).is_some_and(|&c| c != b']')
             {
                 self.bump(); // '-'
                 let (Some(lo), rhs) = (one_char(&item), self.parse_class_item()?) else {
@@ -725,12 +737,24 @@ mod tests {
     #[test]
     fn smart_constructors_simplify() {
         assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
-        assert_eq!(Regex::concat(vec![Regex::Epsilon, Regex::char(b'a')]), Regex::char(b'a'));
-        assert_eq!(Regex::concat(vec![Regex::char(b'a'), Regex::Empty]), Regex::Empty);
+        assert_eq!(
+            Regex::concat(vec![Regex::Epsilon, Regex::char(b'a')]),
+            Regex::char(b'a')
+        );
+        assert_eq!(
+            Regex::concat(vec![Regex::char(b'a'), Regex::Empty]),
+            Regex::Empty
+        );
         assert_eq!(Regex::alt(vec![]), Regex::Empty);
-        assert_eq!(Regex::alt(vec![Regex::Empty, Regex::char(b'a')]), Regex::char(b'a'));
+        assert_eq!(
+            Regex::alt(vec![Regex::Empty, Regex::char(b'a')]),
+            Regex::char(b'a')
+        );
         assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
-        assert_eq!(Regex::star(Regex::star(Regex::char(b'a'))), Regex::star(Regex::char(b'a')));
+        assert_eq!(
+            Regex::star(Regex::star(Regex::char(b'a'))),
+            Regex::star(Regex::char(b'a'))
+        );
     }
 
     #[test]
@@ -747,7 +771,11 @@ mod tests {
         assert_eq!(p("abc"), Regex::lit("abc"));
         assert_eq!(
             p("a|b|c"),
-            Regex::alt(vec![Regex::char(b'a'), Regex::char(b'b'), Regex::char(b'c')])
+            Regex::alt(vec![
+                Regex::char(b'a'),
+                Regex::char(b'b'),
+                Regex::char(b'c')
+            ])
         );
         assert_eq!(p(""), Regex::Epsilon);
         assert_eq!(p("(ab)*"), Regex::star(Regex::lit("ab")));
@@ -757,13 +785,19 @@ mod tests {
     fn parse_classes() {
         assert_eq!(p("[abc]"), p("a|b|c"));
         assert_eq!(p("[a-c]"), p("[abc]"));
-        let Regex::Class(s) = p("[^a]") else { panic!("expected class") };
+        let Regex::Class(s) = p("[^a]") else {
+            panic!("expected class")
+        };
         assert!(!s.contains(b'a') && s.contains(b'b') && s.contains(b'\n'));
         // ']' immediately after '[' is a literal.
-        let Regex::Class(s) = p("[]a]") else { panic!("expected class") };
+        let Regex::Class(s) = p("[]a]") else {
+            panic!("expected class")
+        };
         assert!(s.contains(b']') && s.contains(b'a'));
         // Trailing '-' is a literal.
-        let Regex::Class(s) = p("[a-]") else { panic!("expected class") };
+        let Regex::Class(s) = p("[a-]") else {
+            panic!("expected class")
+        };
         assert!(s.contains(b'a') && s.contains(b'-'));
     }
 
@@ -780,11 +814,14 @@ mod tests {
     #[test]
     fn parse_counted_repetition() {
         assert_eq!(p("a{3}"), Regex::lit("aaa"));
-        assert_eq!(p("a{2,}"), Regex::concat(vec![
-            Regex::char(b'a'),
-            Regex::char(b'a'),
-            Regex::star(Regex::char(b'a')),
-        ]));
+        assert_eq!(
+            p("a{2,}"),
+            Regex::concat(vec![
+                Regex::char(b'a'),
+                Regex::char(b'a'),
+                Regex::star(Regex::char(b'a')),
+            ])
+        );
         assert!(p("a{1,3}").is_match("aa"));
         assert!(!p("a{1,3}").is_match(""));
         assert!(!p("a{1,3}").is_match("aaaa"));
@@ -812,8 +849,15 @@ mod tests {
     #[test]
     fn display_round_trips_through_parse() {
         for s in [
-            "abc", "a|bc", "(a|b)*c", "[a-z0-9]+", "[^x]", r"\d{2,4}", "a?b+",
-            r"\.\*", ".*",
+            "abc",
+            "a|bc",
+            "(a|b)*c",
+            "[a-z0-9]+",
+            "[^x]",
+            r"\d{2,4}",
+            "a?b+",
+            r"\.\*",
+            ".*",
         ] {
             let r = p(s);
             let printed = r.to_string();

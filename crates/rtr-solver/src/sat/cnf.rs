@@ -118,7 +118,10 @@ impl Cnf {
     {
         let clause: Vec<Lit> = lits.into_iter().collect();
         for l in &clause {
-            assert!(l.var().0 < self.num_vars, "literal {l} uses unallocated variable");
+            assert!(
+                l.var().0 < self.num_vars,
+                "literal {l} uses unallocated variable"
+            );
         }
         self.clauses.push(clause);
     }

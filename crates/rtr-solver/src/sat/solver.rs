@@ -99,7 +99,11 @@ impl Solver {
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Solver {
-        Solver { config, var_inc: 1.0, ..Solver::default() }
+        Solver {
+            config,
+            var_inc: 1.0,
+            ..Solver::default()
+        }
     }
 
     /// Decides satisfiability of `cnf`.
@@ -152,8 +156,7 @@ impl Solver {
             } else {
                 match self.pick_branch_var() {
                     None => {
-                        let values =
-                            self.assign.iter().map(|&v| v == 1).collect::<Vec<bool>>();
+                        let values = self.assign.iter().map(|&v| v == 1).collect::<Vec<bool>>();
                         return SatResult::Sat(Model { values });
                     }
                     Some(v) => {
@@ -350,7 +353,10 @@ impl Solver {
             // Put the implied literal first so the skip logic above works.
             let clause = &mut self.clauses[r as usize];
             if clause[0] != lit {
-                let pos = clause.iter().position(|&x| x == lit).expect("reason contains lit");
+                let pos = clause
+                    .iter()
+                    .position(|&x| x == lit)
+                    .expect("reason contains lit");
                 clause.swap(0, pos);
             }
             p = Some(lit);
@@ -546,7 +552,10 @@ mod tests {
 
     #[test]
     fn budget_exhaustion() {
-        let cfg = SolverConfig { max_conflicts: 1, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            max_conflicts: 1,
+            ..SolverConfig::default()
+        };
         let result = Solver::with_config(cfg).solve(&pigeonhole(6));
         assert!(
             matches!(result, SatResult::Unknown | SatResult::Unsat),

@@ -24,16 +24,17 @@ fn arb_linexpr(num_vars: u32) -> impl Strategy<Value = LinExpr> {
     )
         .prop_map(|(terms, c)| {
             LinExpr::from_terms(
-                terms
-                    .into_iter()
-                    .map(|(a, x)| (Rat::from(a), SolverVar(x))),
+                terms.into_iter().map(|(a, x)| (Rat::from(a), SolverVar(x))),
                 Rat::from(c),
             )
         })
 }
 
 fn arb_constraint(num_vars: u32) -> impl Strategy<Value = Constraint> {
-    (arb_linexpr(num_vars), prop_oneof![Just(Cmp::Le), Just(Cmp::Lt), Just(Cmp::Eq), Just(Cmp::Ne)])
+    (
+        arb_linexpr(num_vars),
+        prop_oneof![Just(Cmp::Le), Just(Cmp::Lt), Just(Cmp::Eq), Just(Cmp::Ne)],
+    )
         .prop_map(|(expr, cmp)| Constraint { expr, cmp })
 }
 

@@ -22,15 +22,13 @@ fn naive_match(re: &Regex, s: &[u8]) -> bool {
         Regex::Concat(rs) => match rs.split_first() {
             None => s.is_empty(),
             Some((head, rest)) => (0..=s.len()).any(|i| {
-                naive_match(head, &s[..i])
-                    && naive_match(&Regex::Concat(rest.to_vec()), &s[i..])
+                naive_match(head, &s[..i]) && naive_match(&Regex::Concat(rest.to_vec()), &s[i..])
             }),
         },
         Regex::Alt(rs) => rs.iter().any(|r| naive_match(r, s)),
         Regex::Star(r) => {
             s.is_empty()
-                || (1..=s.len())
-                    .any(|i| naive_match(r, &s[..i]) && naive_match(re, &s[i..]))
+                || (1..=s.len()).any(|i| naive_match(r, &s[..i]) && naive_match(re, &s[i..]))
         }
     }
 }

@@ -60,8 +60,10 @@ fn main() {
 
     // Drop one conjunct of the guard and verification fails — the
     // missing `j < 4` bound leaves 4i+j potentially out of range.
-    let broken = MATRIX_LIB.replace("(and (<= 0 i) (< i rows) (<= 0 j) (< j 4))",
-                                    "(and (<= 0 i) (< i rows) (<= 0 j))");
+    let broken = MATRIX_LIB.replace(
+        "(and (<= 0 i) (< i rows) (<= 0 j) (< j 4))",
+        "(and (<= 0 i) (< i rows) (<= 0 j))",
+    );
     match check_source(&broken, &checker) {
         Err(e) => println!("\nwithout `j < 4` the access is rejected:\n  {e}"),
         Ok(_) => unreachable!("the weakened guard must not verify"),

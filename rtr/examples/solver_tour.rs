@@ -23,9 +23,18 @@ fn main() {
     ];
     let goal = Constraint::lt(i.clone(), len_b.clone());
     let fm = FourierMotzkin::default();
-    println!("FM: {{0≤i, i<len A, len A = len B}} ⊢ i < len B : {}", fm.entails(&facts, &goal));
-    let weak = [Constraint::ge(i.clone(), LinExpr::constant(0)), Constraint::lt(i, len_a)];
-    println!("FM: without the length equation          : {}", fm.entails(&weak, &goal));
+    println!(
+        "FM: {{0≤i, i<len A, len A = len B}} ⊢ i < len B : {}",
+        fm.entails(&facts, &goal)
+    );
+    let weak = [
+        Constraint::ge(i.clone(), LinExpr::constant(0)),
+        Constraint::lt(i, len_a),
+    ];
+    println!(
+        "FM: without the length equation          : {}",
+        fm.entails(&weak, &goal)
+    );
 
     // Integer tightening at work: 0 < x < 1 has rational but no integer
     // solutions.
@@ -34,7 +43,10 @@ fn main() {
         Constraint::gt(x.clone(), LinExpr::constant(0)),
         Constraint::lt(x, LinExpr::constant(1)),
     ];
-    println!("FM: 0 < x < 1 over ℤ is unsat            : {}", fm.check(&gap).is_unsat());
+    println!(
+        "FM: 0 < x < 1 over ℤ is unsat            : {}",
+        fm.check(&gap).is_unsat()
+    );
 
     // --- SAT: the CDCL core ----------------------------------------------
     let mut cnf = Cnf::new();
@@ -62,11 +74,17 @@ fn main() {
     let masked = num.mul(byte(2)).and(byte(0xff)).xor(byte(0x1b));
     let goal = BvLit::positive(BvAtom::ule(masked, byte(0xff)));
     let bv = BvSolver::default();
-    println!("BV: xtime's else-branch bound            : {}", bv.entails(std::slice::from_ref(&fact), &goal));
+    println!(
+        "BV: xtime's else-branch bound            : {}",
+        bv.entails(std::slice::from_ref(&fact), &goal)
+    );
 
     // …and the same goal *without* the mask is refutable.
     let num = BvTerm::var(SolverVar(0), 16);
     let unmasked = num.mul(byte(2)).xor(byte(0x1b));
     let goal = BvLit::positive(BvAtom::ule(unmasked, byte(0xff)));
-    println!("BV: without the #xff mask                : {}", bv.entails(&[fact], &goal));
+    println!(
+        "BV: without the #xff mask                : {}",
+        bv.entails(&[fact], &goal)
+    );
 }

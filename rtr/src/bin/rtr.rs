@@ -26,18 +26,29 @@ struct Options {
     fuel: u64,
 }
 
+const USAGE: &str =
+    "usage: rtr <check|run|expand> [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>\n\
+                     \x20      rtr repl [--lambda-tr]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: rtr <check|run|expand> [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>\n\
-         \x20      rtr repl [--lambda-tr]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(command) = args.next() else { return usage() };
-    let mut opts = Options { lambda_tr: false, unchecked: false, fuel: 1_000_000 };
+    let Some(command) = args.next() else {
+        return usage();
+    };
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut opts = Options {
+        lambda_tr: false,
+        unchecked: false,
+        fuel: 1_000_000,
+    };
     let mut file: Option<String> = None;
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -124,7 +135,11 @@ fn run_command(command: &str, src: &str, checker: &Checker, opts: &Options) -> E
 fn repl(checker: &Checker, opts: &Options) -> ExitCode {
     println!(
         "rtr repl — occurrence typing modulo theories{}",
-        if opts.lambda_tr { " (λTR baseline)" } else { "" }
+        if opts.lambda_tr {
+            " (λTR baseline)"
+        } else {
+            ""
+        }
     );
     println!("enter a module form or expression; :quit exits\n");
     let stdin = std::io::stdin();
@@ -195,4 +210,67 @@ fn balanced(src: &str) -> bool {
         }
     }
     depth <= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICKSTART: &str = r#"
+        (: max : [x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])
+        (define (max x y) (if (> x y) x y))
+        (max 3 7)
+    "#;
+
+    fn opts() -> Options {
+        Options {
+            lambda_tr: false,
+            unchecked: false,
+            fuel: 100_000,
+        }
+    }
+
+    #[test]
+    fn check_accepts_the_quickstart_program() {
+        let checker = Checker::default();
+        assert_eq!(
+            run_command("check", QUICKSTART, &checker, &opts()),
+            ExitCode::SUCCESS
+        );
+    }
+
+    #[test]
+    fn run_evaluates_the_quickstart_program() {
+        let checker = Checker::default();
+        assert_eq!(
+            run_command("run", QUICKSTART, &checker, &opts()),
+            ExitCode::SUCCESS
+        );
+    }
+
+    #[test]
+    fn expand_elaborates_the_quickstart_program() {
+        let checker = Checker::default();
+        assert_eq!(
+            run_command("expand", QUICKSTART, &checker, &opts()),
+            ExitCode::SUCCESS
+        );
+    }
+
+    #[test]
+    fn check_rejects_an_ill_typed_program() {
+        let checker = Checker::default();
+        assert_eq!(
+            run_command("check", "(+ 1 #t)", &checker, &opts()),
+            ExitCode::FAILURE
+        );
+    }
+
+    #[test]
+    fn balanced_tracks_parens_strings_and_comments() {
+        assert!(balanced("(+ 1 2)"));
+        assert!(!balanced("(let ([x 1])"));
+        assert!(balanced("\"(\" ; (((\n"));
+        assert!(balanced(""));
+    }
 }

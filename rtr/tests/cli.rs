@@ -27,7 +27,11 @@ const MAX_SRC: &str = r#"
 fn check_prints_the_type_result() {
     let path = fixture("max.rtr", MAX_SRC);
     let out = rtr().args(["check"]).arg(&path).output().expect("spawn");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Int"), "unexpected output: {stdout}");
 }
@@ -46,13 +50,20 @@ fn expand_shows_the_core_term() {
     let out = rtr().args(["expand"]).arg(&path).output().expect("spawn");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("letrec"), "defines elaborate to letrec: {stdout}");
+    assert!(
+        stdout.contains("letrec"),
+        "defines elaborate to letrec: {stdout}"
+    );
 }
 
 #[test]
 fn lambda_tr_flag_changes_the_verdict() {
     let path = fixture("max_tr.rtr", MAX_SRC);
-    let out = rtr().args(["check", "--lambda-tr"]).arg(&path).output().expect("spawn");
+    let out = rtr()
+        .args(["check", "--lambda-tr"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
     assert!(!out.status.success(), "λTR must reject the refined range");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("expected"), "diagnostic expected: {stderr}");
@@ -77,21 +88,41 @@ fn type_errors_exit_nonzero_with_diagnostics() {
 fn unchecked_run_skips_the_checker() {
     // Ill-typed (an Any-typed parameter reaches add1) but runs fine
     // dynamically, since the actual argument is an integer.
-    let path = fixture(
-        "dyn.rtr",
-        r#"((lambda ([x : Any]) (add1 x)) 1)"#,
-    );
+    let path = fixture("dyn.rtr", r#"((lambda ([x : Any]) (add1 x)) 1)"#);
     let checked = rtr().args(["run"]).arg(&path).output().expect("spawn");
-    assert!(!checked.status.success(), "the checker must reject (add1 #f)");
-    let unchecked =
-        rtr().args(["run", "--unchecked"]).arg(&path).output().expect("spawn");
+    assert!(
+        !checked.status.success(),
+        "the checker must reject (add1 #f)"
+    );
+    let unchecked = rtr()
+        .args(["run", "--unchecked"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
     assert!(unchecked.status.success());
     assert_eq!(String::from_utf8_lossy(&unchecked.stdout).trim(), "2");
 }
 
 #[test]
+fn help_prints_usage_and_exits_zero() {
+    for flag in ["--help", "-h", "help"] {
+        let out = rtr().arg(flag).output().expect("spawn");
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("usage: rtr"),
+            "usage text expected: {stdout}"
+        );
+        assert!(stdout.contains("check"), "subcommands listed: {stdout}");
+    }
+}
+
+#[test]
 fn missing_file_and_bad_usage_fail_cleanly() {
-    let out = rtr().args(["check", "/nonexistent/x.rtr"]).output().expect("spawn");
+    let out = rtr()
+        .args(["check", "/nonexistent/x.rtr"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
     let out = rtr().args(["frobnicate"]).output().expect("spawn");
@@ -118,10 +149,19 @@ fn repl_checks_and_evaluates_lines() {
     let out = child.wait_with_output().expect("wait");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("3 : Int"), "arith result expected: {stdout}");
-    assert!(stdout.contains("#t : Bool"), "regex result expected: {stdout}");
+    assert!(
+        stdout.contains("3 : Int"),
+        "arith result expected: {stdout}"
+    );
+    assert!(
+        stdout.contains("#t : Bool"),
+        "regex result expected: {stdout}"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("error"), "ill-typed line must report: {stderr}");
+    assert!(
+        stderr.contains("error"),
+        "ill-typed line must report: {stderr}"
+    );
 }
 
 #[test]
@@ -141,5 +181,8 @@ fn multi_line_forms_continue_in_the_repl() {
         .expect("write");
     let out = child.wait_with_output().expect("wait");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("1 : Int"), "multi-line form must evaluate: {stdout}");
+    assert!(
+        stdout.contains("1 : Int"),
+        "multi-line form must evaluate: {stdout}"
+    );
 }

@@ -29,8 +29,15 @@ fn auto_sites_check_and_run() {
     let mut executed = 0;
     for profile in libraries() {
         let lib = generate(&profile, 2016);
-        for site in lib.sites.iter().filter(|s| s.expected == Class::Auto).take(10) {
-            let Some(call) = driver(site.pattern, site.id) else { continue };
+        for site in lib
+            .sites
+            .iter()
+            .filter(|s| s.expected == Class::Auto)
+            .take(10)
+        {
+            let Some(call) = driver(site.pattern, site.id) else {
+                continue;
+            };
             let program = format!("{}\n{}", site.plain, call);
             check_source(&program, &checker)
                 .unwrap_or_else(|e| panic!("{} failed to check: {e}\n{program}", site.pattern));
@@ -56,8 +63,14 @@ fn modified_sites_guards_fire_at_runtime() {
     let math = libs.iter().find(|l| l.name == "math").expect("math");
     let lib = generate(math, 2016);
     let mut tried = 0;
-    for site in lib.sites.iter().filter(|s| s.expected == Class::Modification) {
-        let Some(modified) = &site.modified else { continue };
+    for site in lib
+        .sites
+        .iter()
+        .filter(|s| s.expected == Class::Modification)
+    {
+        let Some(modified) = &site.modified else {
+            continue;
+        };
         let call = match site.pattern {
             "vec-swap" => format!("(swap{} (vec 1 2 3) 0 9)", site.id),
             "index-arith" => format!("(shift{} (vec 1 2 3) 99)", site.id),
@@ -79,7 +92,10 @@ fn modified_sites_guards_fire_at_runtime() {
             break;
         }
     }
-    assert!(tried >= 3, "expected to exercise several modified sites, got {tried}");
+    assert!(
+        tried >= 3,
+        "expected to exercise several modified sites, got {tried}"
+    );
 }
 
 #[test]

@@ -22,8 +22,7 @@ fn layers_compose() {
     use rtr::solver::lin::{Constraint, FourierMotzkin, LinExpr, SolverVar};
     let x = LinExpr::var(SolverVar(0));
     let facts = [Constraint::ge(x.clone(), LinExpr::constant(3))];
-    assert!(FourierMotzkin::default()
-        .entails(&facts, &Constraint::gt(x, LinExpr::constant(0))));
+    assert!(FourierMotzkin::default().entails(&facts, &Constraint::gt(x, LinExpr::constant(0))));
 
     let e = Expr::prim_app(Prim::Plus, vec![Expr::Int(20), Expr::Int(22)]);
     let r = Checker::default().check_program(&e).unwrap();
@@ -72,7 +71,9 @@ fn checker_is_configurable_through_the_facade() {
     assert!(check_source(src, &Checker::default()).is_ok());
     let tr = Checker::with_config(CheckerConfig::lambda_tr());
     assert!(check_source(src, &tr).is_err());
-    let no_repr =
-        CheckerConfig { representative_objects: false, ..CheckerConfig::default() };
+    let no_repr = CheckerConfig {
+        representative_objects: false,
+        ..CheckerConfig::default()
+    };
     assert!(check_source(src, &Checker::with_config(no_repr)).is_ok());
 }

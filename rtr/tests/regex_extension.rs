@@ -16,7 +16,10 @@ fn solver_layer_decides_inclusion() {
         &[ReConstraint::member(v, hex.clone())],
         &ReConstraint::member(v, any.clone()),
     ));
-    assert!(!solver.entails(&[ReConstraint::member(v, any)], &ReConstraint::member(v, hex)));
+    assert!(!solver.entails(
+        &[ReConstraint::member(v, any)],
+        &ReConstraint::member(v, hex)
+    ));
 }
 
 #[test]

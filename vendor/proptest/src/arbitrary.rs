@@ -1,0 +1,60 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical [`Strategy`] (shim version of proptest's
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Sample an unconstrained value.
+    fn sample(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng)
+    }
+}
+
+/// A strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn sample(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for char {
+    fn sample(rng: &mut TestRng) -> char {
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.below(4) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{fffd}')
+        } else {
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}

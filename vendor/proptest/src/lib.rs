@@ -1,0 +1,155 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate,
+//! source-compatible with the API subset this workspace's property tests
+//! use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, `prop_filter`, `boxed`; [`strategy::BoxedStrategy`],
+//!   [`strategy::Union`], [`strategy::Just`];
+//! * integer ranges, tuples of strategies, string literals (a small regex
+//!   subset) as strategies; [`collection::vec`]; [`arbitrary::any`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, and
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_oneof!`];
+//! * [`test_runner::ProptestConfig`], [`test_runner::TestCaseError`].
+//!
+//! Differences from real proptest: generation is purely random (fixed
+//! deterministic seed per test name and case index, so runs are
+//! reproducible) and there is **no shrinking** — on failure the full
+//! failing input's `Debug` form is printed instead. That trade keeps the
+//! shim small while preserving the tests' semantics: each property is
+//! still checked on the configured number of generated cases.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The most common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module alias so `prop::collection::vec(..)` etc. resolve.
+    pub mod prop {
+        pub use crate::{collection, strategy};
+    }
+}
+
+/// Random choice between several strategies with the same value type.
+///
+/// Each arm is boxed and the union picks one uniformly per generated
+/// case. The weighted `w => strategy` arm form of real proptest is not
+/// supported (unused in this workspace).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Fail the current test case with a formatted message unless `$cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current test case unless `$left == $right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current test case unless `$left != $right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategies = ($($strategy,)+);
+            $crate::test_runner::TestRunner::new(config).run_named(
+                stringify!($name),
+                &strategies,
+                |__proptest_values| {
+                    let ($($pat,)+) = __proptest_values;
+                    let _: () = $body;
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}

@@ -1,0 +1,247 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest lets a `&str` literal act as a strategy generating
+//! strings matching the regex. This shim supports the subset the
+//! workspace's tests use: literal characters, escaped characters,
+//! character classes `[..]` (with ranges and escapes), `\PC` ("any
+//! printable"), `.`, and the repetitions `*`, `+`, `?`, `{m}`, `{m,n}`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any character from the listed inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Any printable ASCII character plus a few common unicode chars.
+    Printable,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Rep {
+    min: u32,
+    max: u32,
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, rep) in &atoms {
+        let span = u64::from(rep.max - rep.min) + 1;
+        let n = rep.min + rng.below(span) as u32;
+        for _ in 0..n {
+            out.push(gen_atom(atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut k = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = (*hi as u64) - (*lo as u64) + 1;
+                if k < size {
+                    return char::from_u32(*lo as u32 + k as u32).unwrap_or(*lo);
+                }
+                k -= size;
+            }
+            unreachable!("class sampling is exhaustive")
+        }
+        Atom::Printable => {
+            // Printable ASCII most of the time, occasional unicode.
+            if rng.below(8) == 0 {
+                ['λ', 'é', '中', '∀', '🦀'][rng.below(5) as usize]
+            } else {
+                (b' ' + rng.below(95) as u8) as char
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, Rep)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // `\PC` / `\pC`-style unicode category: treat as printable.
+                        i += 1; // skip the category letter
+                        Atom::Printable
+                    }
+                    Some(&c) => Atom::Literal(unescape(c)),
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next - 1; // will be advanced below
+                class
+            }
+            '.' => Atom::Printable,
+            c => Atom::Literal(c),
+        };
+        i += 1;
+        let rep = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                Rep { min: 0, max: 12 }
+            }
+            Some('+') => {
+                i += 1;
+                Rep { min: 1, max: 12 }
+            }
+            Some('?') => {
+                i += 1;
+                Rep { min: 0, max: 1 }
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{..}} in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
+                        hi.parse().unwrap_or_else(|_| panic!("bad repeat {spec:?}")),
+                    ),
+                    None => {
+                        let n = spec
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat {spec:?}"));
+                        (n, n)
+                    }
+                };
+                Rep { min, max }
+            }
+            _ => Rep { min: 1, max: 1 },
+        };
+        out.push((atom, rep));
+    }
+    out
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| panic!("unclosed character class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                return (Atom::Class(ranges), i + 1);
+            }
+            '\\' => {
+                i += 1;
+                let e = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in class in {pattern:?}"));
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(unescape(e));
+                i += 1;
+            }
+            '-' if pending.is_some() && chars.get(i + 1).is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("checked above");
+                i += 1;
+                let mut hi = chars[i];
+                if hi == '\\' {
+                    i += 1;
+                    hi = unescape(chars[i]);
+                }
+                assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                ranges.push((lo, hi));
+                i += 1;
+            }
+            _ => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(123, 0)
+    }
+
+    #[test]
+    fn star_repeats_class() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[ab]*", &mut rng);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn paren_soup_pattern_parses() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[()\\[\\] a-z0-9#:;\"\\\\.-]*", &mut rng);
+            for c in s.chars() {
+                assert!(
+                    "()[] #:;\"\\.-".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                    "unexpected char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = rng();
+        let s = generate_from_pattern("\\PC*", &mut rng);
+        assert!(s.len() <= 64);
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[a-z]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+        }
+    }
+}
