@@ -1,0 +1,190 @@
+//! `bench_json` — machine-readable checker benchmarks.
+//!
+//! Runs the cheap end-to-end checking workloads (the paper programs plus
+//! the synthetic alias/narrowing chains) and writes per-bench mean/min
+//! nanoseconds to a JSON report, so the perf trajectory of the checker is
+//! recorded in-repo instead of scrolling away in criterion's stdout.
+//!
+//! ```sh
+//! cargo run --release -p rtr-bench --bin bench_json -- \
+//!     [--out BENCH_checker.json] [--samples N] [--quick]
+//! ```
+//!
+//! `--quick` caps calibration so a CI smoke run finishes in seconds.
+//!
+//! Each iteration uses a **fresh `Checker`** so its per-checker memo
+//! tables start cold — the reported times are one-shot module checks,
+//! not warm steady state. (The global `Ty`/`Prop`/`Obj` interner is
+//! process-wide and stays warm, as it would in any long-lived tool.)
+
+use std::time::{Duration, Instant};
+
+use rtr_bench::{
+    alias_chain_src, filler_module_src, narrowing_chain_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
+};
+use rtr_core::check::Checker;
+use rtr_lang::check_source;
+
+struct Opts {
+    out: String,
+    samples: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        out: "BENCH_checker.json".to_owned(),
+        samples: 10,
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--samples" => {
+                opts.samples = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--samples needs a number")
+            }
+            "--quick" => opts.quick = true,
+            other => {
+                eprintln!("bench_json: unknown argument {other}");
+                eprintln!("usage: bench_json [--out PATH] [--samples N] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// A named, boxed workload closure (borrowing the checker and sources).
+type Workload<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+
+struct Record {
+    name: &'static str,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Times `f` like the criterion shim: calibrate an iteration count toward
+/// `target` per sample, then take `samples` timed samples.
+fn measure(name: &'static str, samples: usize, quick: bool, mut f: impl FnMut()) -> Record {
+    let target = if quick {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(20)
+    };
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= 1 << 16 {
+            break;
+        }
+        let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+        let goal = (target.as_nanos() / per_iter).clamp(iters as u128 + 1, iters as u128 * 16);
+        iters = goal as u64;
+    }
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min_ns = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    eprintln!(
+        "{name:<32} mean {:>12.0} ns  min {:>12.0} ns",
+        mean_ns, min_ns
+    );
+    Record {
+        name,
+        mean_ns,
+        min_ns,
+        samples,
+        iters,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let alias16 = alias_chain_src(16);
+    let alias64 = alias_chain_src(64);
+    let narrow8 = narrowing_chain_src(8);
+    let filler50 = filler_module_src(50);
+
+    let workloads: Vec<Workload> = vec![
+        (
+            "paper/fig1_max",
+            Box::new(|| {
+                check_source(MAX_SRC, &Checker::default()).expect("max checks");
+            }),
+        ),
+        (
+            "paper/dot_prod",
+            Box::new(|| {
+                check_source(DOT_PROD_SRC, &Checker::default()).expect("dot-prod checks");
+            }),
+        ),
+        (
+            "paper/xtime",
+            Box::new(|| {
+                check_source(XTIME_SRC, &Checker::default()).expect("xtime checks");
+            }),
+        ),
+        (
+            "alias_chain/16",
+            Box::new(|| {
+                check_source(&alias16, &Checker::default()).expect("alias chain checks");
+            }),
+        ),
+        (
+            "alias_chain/64",
+            Box::new(|| {
+                check_source(&alias64, &Checker::default()).expect("alias chain checks");
+            }),
+        ),
+        (
+            "narrowing_chain/8",
+            Box::new(|| {
+                check_source(&narrow8, &Checker::default()).expect("narrowing chain checks");
+            }),
+        ),
+        (
+            "module/filler_50",
+            Box::new(|| {
+                check_source(&filler50, &Checker::default()).expect("filler module checks");
+            }),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for (name, mut f) in workloads {
+        records.push(measure(name, opts.samples.max(1), opts.quick, &mut *f));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"rtr-bench-checker-v1\",\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.name,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            r.iters,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&opts.out, &json).expect("writing the report");
+    eprintln!("wrote {}", opts.out);
+}

@@ -1,0 +1,35 @@
+//! Cache-effectiveness smoke test (`stats` feature only): checking the
+//! §4.1 alias-chain workload must actually *hit* the subtype memo table —
+//! if these assertions fail, the caches compile but never fire, and the
+//! perf numbers in `BENCH_checker.json` are a lie.
+//!
+//! Run with: `cargo test -p rtr-bench --features stats --test stats_smoke`
+#![cfg(feature = "stats")]
+
+use rtr_bench::alias_chain_src;
+use rtr_core::check::Checker;
+use rtr_lang::check_source;
+
+#[test]
+fn alias_chain_hits_the_memo_tables() {
+    let checker = Checker::default();
+    let src = alias_chain_src(16);
+    check_source(&src, &checker).expect("alias chain checks");
+    let stats = checker.cache_stats();
+    assert!(
+        stats.subtype.0 > 0,
+        "subtype memo table never hit: {stats:?}"
+    );
+    assert!(
+        stats.inconsistent.0 + stats.inconsistent.1 > 0,
+        "inconsistency memo table never consulted: {stats:?}"
+    );
+    assert!(checker.cache_entry_count() > 0, "memo tables are empty");
+
+    // A second check of the same module should hit even more (environment
+    // generations differ, but env-free subtype pairs are cached globally).
+    let before = stats.subtype.0;
+    check_source(&src, &checker).expect("alias chain re-checks");
+    let after = checker.cache_stats().subtype.0;
+    assert!(after > before, "re-check produced no further hits");
+}

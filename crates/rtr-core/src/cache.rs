@@ -1,0 +1,193 @@
+//! Memo tables for the checker's mutually recursive judgments.
+//!
+//! Keys combine the environment's generation stamp (see
+//! [`crate::env::Env::generation`]) with interned ids from
+//! [`crate::intern`], so a lookup is a couple of integer hashes. Entries
+//! are **fuel-aware**: the judgments take a recursion budget, and a
+//! negative verdict obtained with little fuel must not answer a query
+//! asked with more (the extra fuel might have found a derivation). A
+//! `true` verdict is monotone — more fuel only explores a superset — so it
+//! is valid at any budget. Concretely:
+//!
+//! * `True` entries answer every query;
+//! * `FalseAt(f)` entries answer queries with `fuel <= f` and are
+//!   recomputed (and widened) otherwise.
+//!
+//! The tables live behind `Mutex`es so the checker stays `Sync` (it runs
+//! on a dedicated big-stack thread); checking itself is single-threaded,
+//! so the locks are uncontended. Each table is capped — on overflow it is
+//! simply cleared, which is always sound for a memo table.
+//!
+//! With the `stats` Cargo feature, per-table hit/miss counters are
+//! maintained and exposed through [`crate::check::Checker`]'s stats API
+//! (surfaced by `rtr check --stats`).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+#[cfg(feature = "stats")]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::intern::{PropId, TyId};
+
+/// Entries above this count trigger a table flush (memory backstop).
+const TABLE_CAP: usize = 1 << 20;
+
+/// A cached verdict for a fuel-bounded boolean judgment.
+#[derive(Clone, Copy, Debug)]
+enum Entry {
+    /// The judgment holds (valid at any fuel).
+    True,
+    /// The judgment failed when asked with this much fuel; valid for
+    /// queries with at most that much.
+    FalseAt(u32),
+}
+
+/// Hit/miss counters for one table (compiled only with `stats`).
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[cfg(feature = "stats")]
+impl Counters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A fuel-aware memo table.
+#[derive(Debug)]
+pub(crate) struct Table<K> {
+    map: Mutex<HashMap<K, Entry>>,
+    #[cfg(feature = "stats")]
+    pub(crate) counters: Counters,
+}
+
+// Manual impl: `derive(Default)` would needlessly bound `K: Default`.
+impl<K> Default for Table<K> {
+    fn default() -> Self {
+        Table {
+            map: Mutex::new(HashMap::new()),
+            #[cfg(feature = "stats")]
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy> Table<K> {
+    pub(crate) fn lookup(&self, key: K, fuel: u32) -> Option<bool> {
+        let verdict = match self.map.lock().expect("cache poisoned").get(&key) {
+            Some(Entry::True) => Some(true),
+            Some(Entry::FalseAt(f)) if fuel <= *f => Some(false),
+            _ => None,
+        };
+        #[cfg(feature = "stats")]
+        match verdict {
+            Some(_) => self.counters.hit(),
+            None => self.counters.miss(),
+        }
+        verdict
+    }
+
+    pub(crate) fn store(&self, key: K, fuel: u32, verdict: bool) {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() >= TABLE_CAP {
+            map.clear();
+        }
+        match (verdict, map.get(&key)) {
+            // True dominates (and never regresses to false).
+            (true, _) => {
+                map.insert(key, Entry::True);
+            }
+            (false, Some(Entry::True)) => {}
+            (false, Some(Entry::FalseAt(f))) if *f >= fuel => {}
+            (false, _) => {
+                map.insert(key, Entry::FalseAt(fuel));
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+}
+
+/// A fuel-free memo table (for purely structural judgments).
+#[derive(Debug)]
+pub(crate) struct SimpleTable<K> {
+    map: Mutex<HashMap<K, bool>>,
+    #[cfg(feature = "stats")]
+    pub(crate) counters: Counters,
+}
+
+impl<K> Default for SimpleTable<K> {
+    fn default() -> Self {
+        SimpleTable {
+            map: Mutex::new(HashMap::new()),
+            #[cfg(feature = "stats")]
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy> SimpleTable<K> {
+    pub(crate) fn lookup(&self, key: K) -> Option<bool> {
+        let verdict = self.map.lock().expect("cache poisoned").get(&key).copied();
+        #[cfg(feature = "stats")]
+        match verdict {
+            Some(_) => self.counters.hit(),
+            None => self.counters.miss(),
+        }
+        verdict
+    }
+
+    pub(crate) fn store(&self, key: K, verdict: bool) {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() >= TABLE_CAP {
+            map.clear();
+        }
+        map.insert(key, verdict);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+}
+
+/// The full cache set shared by a [`crate::check::Checker`] (and its
+/// clones — verdicts depend only on the immutable config, globally unique
+/// environment generations and interned ids, so sharing is sound).
+#[derive(Debug, Default)]
+pub(crate) struct Caches {
+    /// `Γ ⊢ τ₁ <: τ₂`, keyed `(generation, t1, t2)`. No in-progress set:
+    /// types are finite trees, so re-entrant identical queries are
+    /// fuel-bounded recursion, not cycles (see `Checker::subtype`).
+    pub(crate) subtype: Table<(u64, TyId, TyId)>,
+    /// `Γ ⊢ ψ`, keyed `(generation, goal, case-split budget)`.
+    pub(crate) proves: Table<(u64, PropId, u32)>,
+    /// Environment inconsistency, keyed by generation.
+    pub(crate) inconsistent: Table<u64>,
+    /// Structural type emptiness, keyed by interned type.
+    pub(crate) empty: SimpleTable<TyId>,
+}
+
+impl Caches {
+    /// Total entries across all tables (diagnostics / tests).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.subtype.len() + self.proves.len() + self.inconsistent.len() + self.empty.len()
+    }
+}

@@ -33,8 +33,31 @@ use crate::syntax::{Expr, FunTy, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, Ty
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Checker {
-    /// Configuration (theories, ablations, budgets).
-    pub config: CheckerConfig,
+    /// Configuration (theories, ablations, budgets). Crate-private on
+    /// purpose: memo verdicts depend on it and the tables are shared with
+    /// clones, so it must not change after construction — build a new
+    /// checker via [`Checker::with_config`] instead.
+    pub(crate) config: CheckerConfig,
+    /// Memo tables for the mutually recursive judgments; shared by clones
+    /// (sound: keys embed globally unique environment generations).
+    caches: std::sync::Arc<crate::cache::Caches>,
+}
+
+/// Cache-effectiveness counters, per memo table (`hits`, `misses`).
+///
+/// Only available with the `stats` Cargo feature; surfaced by
+/// `rtr check --stats`.
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Subtype memo table.
+    pub subtype: (u64, u64),
+    /// Proof (`proves`) memo table.
+    pub proves: (u64, u64),
+    /// Environment-inconsistency memo table.
+    pub inconsistent: (u64, u64),
+    /// Type-emptiness memo table.
+    pub empty: (u64, u64),
 }
 
 impl Checker {
@@ -45,16 +68,63 @@ impl Checker {
 
     /// A checker with an explicit configuration.
     pub fn with_config(config: CheckerConfig) -> Checker {
-        Checker { config }
+        Checker {
+            config,
+            caches: Default::default(),
+        }
+    }
+
+    /// The configuration this checker was built with (read-only: memoized
+    /// verdicts depend on it, so it cannot change after construction).
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    pub(crate) fn caches(&self) -> &crate::cache::Caches {
+        &self.caches
+    }
+
+    /// Total entries currently held across the memo tables.
+    pub fn cache_entry_count(&self) -> usize {
+        self.caches.entry_count()
+    }
+
+    /// Hit/miss counters for each memo table.
+    #[cfg(feature = "stats")]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            subtype: self.caches.subtype.counters.snapshot(),
+            proves: self.caches.proves.counters.snapshot(),
+            inconsistent: self.caches.inconsistent.counters.snapshot(),
+            empty: self.caches.empty.counters.snapshot(),
+        }
     }
 
     /// Type checks a whole program: runs the mutation pre-pass (§4.2) and
     /// synthesizes a type-result in the empty environment.
     ///
-    /// Checking runs on a dedicated thread with a large stack: the
-    /// judgments are deeply recursive and real modules nest `let`/`begin`
-    /// chains hundreds of levels deep once macros expand.
+    /// Deep programs are checked on a dedicated thread with a large stack:
+    /// the judgments are deeply recursive and real modules nest
+    /// `let`/`begin` chains hundreds of levels deep once macros expand.
+    /// Shallow programs (the overwhelmingly common case) are checked
+    /// inline — a thread spawn with a 256 MiB stack costs tens of
+    /// microseconds, which dominates small checks.
     pub fn check_program(&self, e: &Expr) -> Result<TyResult, TypeError> {
+        // ~160 expression levels plus the (default-sized) logic fuel
+        // bound stays well within a default 2 MiB test-thread stack. The
+        // judgments also recurse up to `logic_fuel` frames, so a raised
+        // fuel budget forces the big-stack thread even for shallow
+        // programs.
+        const INLINE_DEPTH: usize = 160;
+        const INLINE_MAX_FUEL: u32 = 256;
+        if self.config.logic_fuel <= INLINE_MAX_FUEL && e.depth_capped(INLINE_DEPTH) <= INLINE_DEPTH
+        {
+            let mut env = Env::new();
+            for x in mutated_vars(e) {
+                env.mark_mutable(x);
+            }
+            return self.synth(&env, e);
+        }
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("rtr-checker".into())
@@ -282,10 +352,7 @@ impl Checker {
                 for (g, t) in &r.existentials {
                     self.bind(&mut env2, *g, t, fuel);
                 }
-                let inner_r = TyResult {
-                    existentials: Vec::new(),
-                    ..r.clone()
-                };
+                let inner_r = r.without_existentials();
                 if !self.subtype_result(&env2, &inner_r, &TyResult::of_type(ty.clone()), fuel) {
                     return Err(TypeError::Mismatch {
                         context: inner.to_string(),
@@ -312,10 +379,7 @@ impl Checker {
                 for (g, t) in &r.existentials {
                     self.bind(&mut env2, *g, t, fuel);
                 }
-                let inner = TyResult {
-                    existentials: Vec::new(),
-                    ..r.clone()
-                };
+                let inner = r.without_existentials();
                 if !self.subtype_result(&env2, &inner, &TyResult::of_type(declared.clone()), fuel) {
                     return Err(TypeError::BadAssignment {
                         var: *x,
@@ -371,7 +435,7 @@ impl Checker {
                 expected.then_p.free_vars(&mut fv);
                 expected.else_p.free_vars(&mut fv);
                 let mut ty_fv = std::collections::HashSet::new();
-                collect_ty_free_vars(&expected.ty, &mut ty_fv);
+                expected.ty.free_obj_vars(&mut ty_fv);
                 if fv.contains(x) || ty_fv.contains(x) {
                     return self.check_via_synth(env, e, expected);
                 }
@@ -419,10 +483,7 @@ impl Checker {
         for (g, t) in &r.existentials {
             self.bind(&mut env2, *g, t, fuel);
         }
-        let inner = TyResult {
-            existentials: Vec::new(),
-            ..r.clone()
-        };
+        let inner = r.without_existentials();
         if !self.subtype_result(&env2, &inner, expected, fuel) {
             return Err(TypeError::Mismatch {
                 context: e.to_string(),
@@ -502,7 +563,7 @@ impl Checker {
         // Peel refinements off the operator type (S-Weaken).
         let mut fun_ty = rf.ty.clone();
         while let Ty::Refine(r) = fun_ty {
-            fun_ty = r.base.clone();
+            fun_ty = r.base;
         }
         let fun: FunTy = match fun_ty {
             Ty::Fun(f) => *f,
@@ -528,9 +589,12 @@ impl Checker {
         // Check each argument against its (progressively substituted)
         // domain, then substitute its object into the remaining domains
         // and the range (the lifting substitution, with ghost variables
-        // standing in for object-less arguments).
-        let mut params = fun.params.clone();
-        let mut range = fun.range.clone();
+        // standing in for object-less arguments). `fun` is owned here, so
+        // its parts move instead of cloning.
+        let FunTy {
+            mut params,
+            mut range,
+        } = fun;
         let mut arg_objs: Vec<Obj> = Vec::with_capacity(args.len());
         for (idx, r_arg) in arg_results.iter().enumerate() {
             for (g, t) in &r_arg.existentials {
@@ -719,48 +783,5 @@ fn generalize_literal(t: &Ty) -> Ty {
         Ty::Pair(a, b) => Ty::pair(generalize_literal(a), generalize_literal(b)),
         Ty::Union(ts) => Ty::union_of(ts.iter().map(generalize_literal).collect()),
         _ => t.clone(),
-    }
-}
-
-/// Free object-level variables of a type (refinement props and dependent
-/// function positions), respecting binders.
-fn collect_ty_free_vars(t: &Ty, out: &mut std::collections::HashSet<Symbol>) {
-    match t {
-        Ty::Top
-        | Ty::Int
-        | Ty::True
-        | Ty::False
-        | Ty::Unit
-        | Ty::BitVec
-        | Ty::Str
-        | Ty::Regex
-        | Ty::TVar(_) => {}
-        Ty::Pair(a, b) => {
-            collect_ty_free_vars(a, out);
-            collect_ty_free_vars(b, out);
-        }
-        Ty::Vec(e) => collect_ty_free_vars(e, out),
-        Ty::Union(ts) => ts.iter().for_each(|t| collect_ty_free_vars(t, out)),
-        Ty::Refine(r) => {
-            collect_ty_free_vars(&r.base, out);
-            let mut inner = std::collections::HashSet::new();
-            r.prop.free_vars(&mut inner);
-            inner.remove(&r.var);
-            out.extend(inner);
-        }
-        Ty::Fun(f) => {
-            let mut inner = std::collections::HashSet::new();
-            for (_, d) in &f.params {
-                collect_ty_free_vars(d, &mut inner);
-            }
-            collect_ty_free_vars(&f.range.ty, &mut inner);
-            f.range.then_p.free_vars(&mut inner);
-            f.range.else_p.free_vars(&mut inner);
-            for (x, _) in &f.params {
-                inner.remove(x);
-            }
-            out.extend(inner);
-        }
-        Ty::Poly(p) => collect_ty_free_vars(&p.body, out),
     }
 }

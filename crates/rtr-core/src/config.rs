@@ -30,6 +30,16 @@ pub struct CheckerConfig {
     /// at every query — same verdicts, paid per lookup instead of once
     /// per assumption; the ablation benchmark measures the gap.
     pub hybrid_env: bool,
+    /// Memoize the `subtype` / `proves` / `is_empty_ty` /
+    /// `env_inconsistent` judgments on interned ids keyed by the
+    /// environment generation (see [`crate::intern`]). Disable to get the
+    /// reference structural implementation — the ablation the property
+    /// tests compare against. Note: deferred disjunctions are *stored*
+    /// interned (canonicalized) in both modes — that is the environment's
+    /// representation, not a memoization — so the ablation isolates the
+    /// memo tables and id shortcuts, not ∨-canonicalization (whose
+    /// semantics the `intern` unit tests cover directly).
+    pub memoize: bool,
     /// Maximum depth of disjunction case splits during proving.
     pub case_split_budget: u32,
     /// Recursion fuel for the mutually recursive subtype/proof judgments.
@@ -51,6 +61,7 @@ impl Default for CheckerConfig {
             theories: true,
             representative_objects: true,
             hybrid_env: true,
+            memoize: true,
             case_split_budget: 6,
             logic_fuel: 128,
             fm: FmConfig::default(),

@@ -9,42 +9,69 @@
 //! (`x ≡ o`) are applied eagerly, so every stored fact speaks about a
 //! canonical representative.
 //!
+//! Two implementation techniques make environments cheap enough for the
+//! judgments' pervasive snapshot-and-extend style:
+//!
+//! * every store is `Arc`-backed copy-on-write, so [`Env::clone`] is a
+//!   handful of reference-count bumps instead of deep `HashMap` copies
+//!   (the checker clones environments at every binder, branch and case
+//!   split);
+//! * a monotonic, globally unique **generation** stamp: every mutation
+//!   assigns a fresh generation, so two environments with equal
+//!   generations have identical contents. The checker's memo tables key
+//!   judgments on `(generation, ids…)`.
+//!
+//! Deferred disjunctions are stored as interned [`PropId`]s, so cloning
+//! and case-splitting never deep-copies proposition trees.
+//!
 //! `Env` is pure data; the judgments that manipulate it (assumption,
 //! proving, subtyping, update) live on [`crate::check::Checker`].
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::intern::PropId;
 use crate::syntax::{BvAtomProp, LinAtom, Obj, Path, Prop, StrAtomProp, Symbol, Ty};
+
+/// Hands out globally unique environment generations. Generation 0 is
+/// reserved for empty environments (all of which are identical).
+fn next_generation() -> u64 {
+    static GEN: AtomicU64 = AtomicU64::new(1);
+    GEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A type-checking environment Γ.
 #[derive(Clone, Debug, Default)]
 pub struct Env {
     /// Eager alias substitutions: `x ↦ o` (representative objects, §4.1).
-    aliases: HashMap<Symbol, Obj>,
+    aliases: Arc<HashMap<Symbol, Obj>>,
     /// Positive type information per variable, refined via `update`.
-    types: HashMap<Symbol, Ty>,
+    types: Arc<HashMap<Symbol, Ty>>,
     /// Negative type information per path (`o ∉ τ` facts).
-    negs: HashMap<Path, Vec<Ty>>,
+    negs: Arc<HashMap<Path, Vec<Ty>>>,
     /// Remaining compound propositions (disjunctions), case-split on
-    /// demand at proof time.
-    disjs: Vec<(Prop, Prop)>,
+    /// demand at proof time; stored interned.
+    disjs: Arc<Vec<(PropId, PropId)>>,
     /// Linear-arithmetic theory literals.
-    lin_facts: Vec<LinAtom>,
+    lin_facts: Arc<Vec<LinAtom>>,
     /// Bitvector theory literals.
-    bv_facts: Vec<BvAtomProp>,
+    bv_facts: Arc<Vec<BvAtomProp>>,
     /// Regex theory literals.
-    str_facts: Vec<StrAtomProp>,
+    str_facts: Arc<Vec<StrAtomProp>>,
     /// Deferred type atoms `(path, τ, positive)` — only populated in the
     /// pure-proposition-environment ablation (`hybrid_env = false`),
     /// where they are replayed through `update±` at query time instead of
     /// refining the stored types eagerly.
-    pending: Vec<(Path, Ty, bool)>,
+    pending: Arc<Vec<(Path, Ty, bool)>>,
     /// Variables the mutation analysis flagged (§4.2); they never get
     /// symbolic objects and runtime tests on them teach the system
     /// nothing.
-    mutables: HashSet<Symbol>,
+    mutables: Arc<HashSet<Symbol>>,
     /// Set when `ff` (or a contradiction) has been assumed.
     absurd: bool,
+    /// Content stamp: 0 for the empty environment, else globally unique.
+    generation: u64,
 }
 
 impl Env {
@@ -53,9 +80,21 @@ impl Env {
         Env::default()
     }
 
+    /// The environment's content stamp. Two environments with the same
+    /// generation hold identical facts; every mutation produces a fresh,
+    /// globally unique generation. Memo tables use this as a cache key.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn touch(&mut self) {
+        self.generation = next_generation();
+    }
+
     /// Marks `x` as mutable (no symbolic object, §4.2).
     pub fn mark_mutable(&mut self, x: Symbol) {
-        self.mutables.insert(x);
+        self.touch();
+        Arc::make_mut(&mut self.mutables).insert(x);
     }
 
     /// Is `x` mutable?
@@ -65,6 +104,10 @@ impl Env {
 
     /// Records that the environment is contradictory.
     pub fn mark_absurd(&mut self) {
+        if self.absurd {
+            return;
+        }
+        self.touch();
         self.absurd = true;
     }
 
@@ -82,7 +125,8 @@ impl Env {
             o.free_vars(&mut fv);
             !fv.contains(&x)
         });
-        self.aliases.insert(x, o);
+        self.touch();
+        Arc::make_mut(&mut self.aliases).insert(x, o);
     }
 
     /// Forgets everything recorded about `x`: its type, aliases from or
@@ -92,21 +136,25 @@ impl Env {
     /// the outer `x` must not leak onto the inner one. Dropping facts is
     /// always sound (it only weakens the environment).
     pub fn unbind(&mut self, x: Symbol) {
+        self.touch();
         let mentions_obj = |o: &Obj| {
             let mut fv = HashSet::new();
             o.free_vars(&mut fv);
             fv.contains(&x)
         };
-        self.types.remove(&x);
-        self.aliases.remove(&x);
-        self.aliases.retain(|_, o| !mentions_obj(o));
-        self.negs.retain(|p, _| p.base != x);
-        for ts in self.negs.values_mut() {
+        let types = Arc::make_mut(&mut self.types);
+        types.remove(&x);
+        let aliases = Arc::make_mut(&mut self.aliases);
+        aliases.remove(&x);
+        aliases.retain(|_, o| !mentions_obj(o));
+        let negs = Arc::make_mut(&mut self.negs);
+        negs.retain(|p, _| p.base != x);
+        for ts in negs.values_mut() {
             for t in ts.iter_mut() {
                 *t = t.subst_obj(x, &Obj::Null);
             }
         }
-        for t in self.types.values_mut() {
+        for t in types.values_mut() {
             *t = t.subst_obj(x, &Obj::Null);
         }
         let mentions_prop = |p: &Prop| {
@@ -114,15 +162,12 @@ impl Env {
             p.free_vars(&mut fv);
             fv.contains(&x)
         };
-        self.disjs
-            .retain(|(p, q)| !mentions_prop(p) && !mentions_prop(q));
-        self.lin_facts
-            .retain(|a| !mentions_prop(&Prop::Lin(a.clone())));
-        self.bv_facts
-            .retain(|a| !mentions_prop(&Prop::Bv(a.clone())));
-        self.str_facts
-            .retain(|a| !mentions_prop(&Prop::Str(a.clone())));
-        self.pending.retain(|(p, t, _)| {
+        Arc::make_mut(&mut self.disjs)
+            .retain(|(p, q)| !mentions_prop(&p.get()) && !mentions_prop(&q.get()));
+        Arc::make_mut(&mut self.lin_facts).retain(|a| !mentions_prop(&Prop::Lin(a.clone())));
+        Arc::make_mut(&mut self.bv_facts).retain(|a| !mentions_prop(&Prop::Bv(a.clone())));
+        Arc::make_mut(&mut self.str_facts).retain(|a| !mentions_prop(&Prop::Str(a.clone())));
+        Arc::make_mut(&mut self.pending).retain(|(p, t, _)| {
             if p.base == x {
                 return false;
             }
@@ -132,9 +177,30 @@ impl Env {
         });
     }
 
+    /// Does `o` mention any variable with an alias? Allocation-free
+    /// pre-check for [`Env::resolve`].
+    fn mentions_aliased(&self, o: &Obj) -> bool {
+        fn walk(env: &Env, o: &Obj) -> bool {
+            match o {
+                Obj::Null | Obj::Str(_) | Obj::Re(_) => false,
+                Obj::Path(p) => env.aliases.contains_key(&p.base),
+                Obj::Pair(a, b) => walk(env, a) || walk(env, b),
+                Obj::Lin(l) => l
+                    .terms
+                    .iter()
+                    .any(|(_, p)| env.aliases.contains_key(&p.base)),
+                Obj::Bv(_) => true, // rare; defer to the full resolution loop
+            }
+        }
+        walk(self, o)
+    }
+
     /// Resolves an object to its representative by applying aliases to a
     /// fixpoint.
     pub fn resolve(&self, o: &Obj) -> Obj {
+        if self.aliases.is_empty() || !self.mentions_aliased(o) {
+            return o.clone();
+        }
         let mut cur = o.clone();
         for _ in 0..64 {
             let mut fv = HashSet::new();
@@ -153,8 +219,18 @@ impl Env {
     }
 
     /// Overwrites the recorded type of `x`.
+    ///
+    /// Writing back an unchanged type is a no-op — `update±` frequently
+    /// returns its input (e.g. `len`-field updates never refine the type
+    /// structure), and skipping the write both avoids a copy-on-write
+    /// clone of the shared map and keeps the generation (and with it every
+    /// memoized verdict about this environment) alive.
     pub fn set_ty(&mut self, x: Symbol, t: Ty) {
-        self.types.insert(x, t);
+        if self.types.get(&x) == Some(&t) {
+            return;
+        }
+        self.touch();
+        Arc::make_mut(&mut self.types).insert(x, t);
     }
 
     /// Is `x` bound (has a recorded type or an alias)?
@@ -162,9 +238,16 @@ impl Env {
         self.types.contains_key(&x) || self.aliases.contains_key(&x)
     }
 
-    /// Records a negative type fact for `path`.
+    /// Records a negative type fact for `path` (duplicates dropped).
     pub fn add_neg(&mut self, path: Path, t: Ty) {
-        self.negs.entry(path).or_default().push(t);
+        if self.negs.get(&path).is_some_and(|ts| ts.contains(&t)) {
+            return;
+        }
+        self.touch();
+        Arc::make_mut(&mut self.negs)
+            .entry(path)
+            .or_default()
+            .push(t);
     }
 
     /// The negative facts recorded for `path`.
@@ -182,24 +265,36 @@ impl Env {
         self.types.iter().map(|(&x, t)| (x, t))
     }
 
-    /// Stores a disjunction for later case splitting.
-    pub fn add_disj(&mut self, lhs: Prop, rhs: Prop) {
-        self.disjs.push((lhs, rhs));
+    /// Stores an (interned) disjunction for later case splitting.
+    /// Duplicates are dropped: re-proving the same disjunction adds no
+    /// information and every copy multiplies the case-split search.
+    pub fn add_disj(&mut self, lhs: PropId, rhs: PropId) {
+        if self.disjs.contains(&(lhs, rhs)) {
+            return;
+        }
+        self.touch();
+        Arc::make_mut(&mut self.disjs).push((lhs, rhs));
     }
 
     /// The stored disjunctions.
-    pub fn disjs(&self) -> &[(Prop, Prop)] {
+    pub fn disjs(&self) -> &[(PropId, PropId)] {
         &self.disjs
     }
 
     /// Removes and returns the `i`-th stored disjunction.
-    pub fn take_disj(&mut self, i: usize) -> (Prop, Prop) {
-        self.disjs.swap_remove(i)
+    pub fn take_disj(&mut self, i: usize) -> (PropId, PropId) {
+        self.touch();
+        Arc::make_mut(&mut self.disjs).swap_remove(i)
     }
 
-    /// Appends a linear-arithmetic fact.
+    /// Appends a linear-arithmetic fact (duplicates are dropped — they
+    /// only widen every later solver translation).
     pub fn add_lin_fact(&mut self, a: LinAtom) {
-        self.lin_facts.push(a);
+        if self.lin_facts.contains(&a) {
+            return;
+        }
+        self.touch();
+        Arc::make_mut(&mut self.lin_facts).push(a);
     }
 
     /// The accumulated linear facts.
@@ -209,7 +304,8 @@ impl Env {
 
     /// Appends a bitvector fact.
     pub fn add_bv_fact(&mut self, a: BvAtomProp) {
-        self.bv_facts.push(a);
+        self.touch();
+        Arc::make_mut(&mut self.bv_facts).push(a);
     }
 
     /// The accumulated bitvector facts.
@@ -219,7 +315,8 @@ impl Env {
 
     /// Appends a regex-membership fact.
     pub fn add_str_fact(&mut self, a: StrAtomProp) {
-        self.str_facts.push(a);
+        self.touch();
+        Arc::make_mut(&mut self.str_facts).push(a);
     }
 
     /// The accumulated regex-membership facts.
@@ -229,7 +326,8 @@ impl Env {
 
     /// Defers a type atom for query-time replay (pure-proposition mode).
     pub fn add_pending(&mut self, p: Path, t: Ty, positive: bool) {
-        self.pending.push((p, t, positive));
+        self.touch();
+        Arc::make_mut(&mut self.pending).push((p, t, positive));
     }
 
     /// The deferred type atoms, in assumption order.
@@ -278,5 +376,29 @@ mod tests {
         env.add_neg(p.clone(), Ty::Int);
         assert_eq!(env.negs_of(&p), &[Ty::Int]);
         assert!(env.negs_of(&Path::var(s("other"))).is_empty());
+    }
+
+    #[test]
+    fn clones_are_cheap_snapshots() {
+        let mut env = Env::new();
+        env.set_ty(s("snap"), Ty::Int);
+        let snapshot = env.clone();
+        assert_eq!(snapshot.generation(), env.generation());
+        // Mutating the clone neither disturbs the original nor keeps the
+        // old generation.
+        let mut fork = snapshot.clone();
+        fork.set_ty(s("snap"), Ty::bool_ty());
+        assert_eq!(env.raw_ty(s("snap")), Some(&Ty::Int));
+        assert_eq!(fork.raw_ty(s("snap")), Some(&Ty::bool_ty()));
+        assert_ne!(fork.generation(), env.generation());
+    }
+
+    #[test]
+    fn empty_environments_share_generation_zero() {
+        assert_eq!(Env::new().generation(), 0);
+        assert_eq!(Env::default().generation(), 0);
+        let mut env = Env::new();
+        env.mark_mutable(s("gen_bump"));
+        assert_ne!(env.generation(), 0);
     }
 }

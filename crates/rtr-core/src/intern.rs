@@ -1,0 +1,576 @@
+//! Hash-consing interner for types, propositions and symbolic objects.
+//!
+//! The checker's hot judgments (`subtype`, `proves`, `env_inconsistent`)
+//! are re-derived many times over structurally identical inputs; deep
+//! tree comparison and deep `HashMap` keys make that expensive. This
+//! module canonicalizes [`Ty`]/[`Prop`]/[`Obj`] values into arena-backed
+//! `u32` handles ([`TyId`]/[`PropId`]/[`ObjId`]) with O(1) equality and
+//! hashing, which the memo tables on [`crate::check::Checker`] use as
+//! keys, and which [`crate::env::Env`] stores for deferred disjunctions.
+//!
+//! Canonicalization normalizes on the way in:
+//!
+//! * unions are flattened, deduplicated and sorted (by member id), and
+//!   singleton unions collapse to their member;
+//! * refinements with a trivial (`tt`) proposition collapse to their base;
+//! * conjunction/disjunction chains are flattened and deduplicated with
+//!   `tt`/`ff` unit/absorption short-circuits;
+//! * type-membership and alias atoms over the null object vacate to `tt`
+//!   (§3.1), and pairs of null objects collapse to the null object.
+//!
+//! Two semantically-equal-modulo-normalization trees therefore intern to
+//! the same id, which is what makes the memo tables effective on union-
+//! and refinement-heavy programs. Ids are `Copy + Send + Sync`, so they
+//! can cross thread boundaries where deep trees cannot — the prerequisite
+//! for sharding the corpus checker.
+//!
+//! The interner is global (like [`crate::syntax::Symbol`]'s); canonical
+//! arena entries live for the program's lifetime (ids index into them),
+//! while the raw-tree memo maps that shortcut re-canonicalization are
+//! capped and flushed on overflow. Handles returned by `get` are `Arc`s
+//! into the arena. Fresh-name-bearing goals still grow the arenas
+//! slowly (a few entries per checked module); an evictable arena is a
+//! ROADMAP follow-on.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::syntax::{FunTy, Obj, PolyTy, Prop, RefineTy, Ty, TyResult};
+
+/// An interned, canonicalized type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TyId(u32);
+
+/// An interned, canonicalized proposition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PropId(u32);
+
+/// An interned, canonicalized symbolic object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjId(u32);
+
+impl TyId {
+    /// Interns (and canonicalizes) a type.
+    pub fn of(t: &Ty) -> TyId {
+        TyId(store().lock().expect("interner poisoned").ty(t))
+    }
+
+    /// Interns `t` and reports whether its subtype verdicts are
+    /// *environment-independent*: a type with no refinement, function or
+    /// polymorphic component anywhere is compared purely structurally, so
+    /// one cached verdict serves every environment.
+    pub fn of_with_env_free(t: &Ty) -> (TyId, bool) {
+        let mut s = store().lock().expect("interner poisoned");
+        let id = s.ty(t);
+        let env_free = s.ty_envfree[id as usize];
+        (TyId(id), env_free)
+    }
+
+    /// The canonical type this id stands for.
+    pub fn get(self) -> Arc<Ty> {
+        store().lock().expect("interner poisoned").tys[self.0 as usize].clone()
+    }
+
+    /// The raw arena index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl PropId {
+    /// Interns (and canonicalizes) a proposition.
+    pub fn of(p: &Prop) -> PropId {
+        PropId(store().lock().expect("interner poisoned").prop(p))
+    }
+
+    /// The canonical proposition this id stands for.
+    pub fn get(self) -> Arc<Prop> {
+        store().lock().expect("interner poisoned").props[self.0 as usize].clone()
+    }
+
+    /// The raw arena index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl ObjId {
+    /// Interns (and canonicalizes) a symbolic object.
+    pub fn of(o: &Obj) -> ObjId {
+        ObjId(store().lock().expect("interner poisoned").obj(o))
+    }
+
+    /// The canonical object this id stands for.
+    pub fn get(self) -> Arc<Obj> {
+        store().lock().expect("interner poisoned").objs[self.0 as usize].clone()
+    }
+
+    /// The raw arena index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// Canonicalizes a type (flattened/deduped/sorted unions, collapsed
+/// trivial refinements) without keeping the id.
+pub fn canon_ty(t: &Ty) -> Arc<Ty> {
+    TyId::of(t).get()
+}
+
+/// Canonicalizes a proposition.
+pub fn canon_prop(p: &Prop) -> Arc<Prop> {
+    PropId::of(p).get()
+}
+
+/// Canonicalizes a symbolic object.
+pub fn canon_obj(o: &Obj) -> Arc<Obj> {
+    ObjId::of(o).get()
+}
+
+/// Current arena sizes `(types, propositions, objects)` — a coarse gauge
+/// of interner growth for diagnostics.
+pub fn arena_sizes() -> (usize, usize, usize) {
+    let s = store().lock().expect("interner poisoned");
+    (s.tys.len(), s.props.len(), s.objs.len())
+}
+
+#[derive(Default)]
+struct Store {
+    tys: Vec<Arc<Ty>>,
+    /// Parallel to `tys`: subtype verdicts need no environment (see
+    /// [`TyId::of_with_env_free`]).
+    ty_envfree: Vec<bool>,
+    ty_canon: HashMap<Arc<Ty>, u32>,
+    ty_memo: HashMap<Ty, u32>,
+    /// Member ids of interned union types (flattening support).
+    ty_unions: HashMap<u32, Vec<u32>>,
+    props: Vec<Arc<Prop>>,
+    prop_canon: HashMap<Arc<Prop>, u32>,
+    prop_memo: HashMap<Prop, u32>,
+    /// Conjunct ids of interned `And` chains (flattening support).
+    prop_ands: HashMap<u32, Vec<u32>>,
+    /// Disjunct ids of interned `Or` chains (flattening support).
+    prop_ors: HashMap<u32, Vec<u32>>,
+    objs: Vec<Arc<Obj>>,
+    obj_canon: HashMap<Arc<Obj>, u32>,
+    obj_memo: HashMap<Obj, u32>,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+/// Cap on the raw-tree memo maps (`*_memo`). These maps clone every raw
+/// input tree as a key purely to skip re-canonicalization, and checks of
+/// fresh-name-bearing goals keep adding keys that can never recur;
+/// clearing them is always sound (the canonical arenas — which ids index
+/// into — are untouched, so existing ids stay valid).
+const MEMO_CAP: usize = 1 << 20;
+
+impl Store {
+    fn insert_ty(&mut self, t: Ty) -> u32 {
+        if let Some(&id) = self.ty_canon.get(&t) {
+            return id;
+        }
+        fn env_free(t: &Ty) -> bool {
+            match t {
+                Ty::Top
+                | Ty::Int
+                | Ty::True
+                | Ty::False
+                | Ty::Unit
+                | Ty::BitVec
+                | Ty::Str
+                | Ty::Regex
+                | Ty::TVar(_) => true,
+                Ty::Pair(a, b) => env_free(a) && env_free(b),
+                Ty::Vec(e) => env_free(e),
+                Ty::Union(ts) => ts.iter().all(env_free),
+                Ty::Fun(_) | Ty::Refine(_) | Ty::Poly(_) => false,
+            }
+        }
+        let id = self.tys.len() as u32;
+        self.ty_envfree.push(env_free(&t));
+        let arc = Arc::new(t);
+        self.tys.push(arc.clone());
+        self.ty_canon.insert(arc, id);
+        id
+    }
+
+    fn ty_tree(&self, id: u32) -> Ty {
+        (*self.tys[id as usize]).clone()
+    }
+
+    fn ty(&mut self, t: &Ty) -> u32 {
+        if let Some(&id) = self.ty_memo.get(t) {
+            return id;
+        }
+        let id = match t {
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
+            | Ty::Regex
+            | Ty::TVar(_) => self.insert_ty(t.clone()),
+            Ty::Pair(a, b) => {
+                let (a, b) = (self.ty(a), self.ty(b));
+                let tree = Ty::Pair(Box::new(self.ty_tree(a)), Box::new(self.ty_tree(b)));
+                self.insert_ty(tree)
+            }
+            Ty::Vec(e) => {
+                let e = self.ty(e);
+                let tree = Ty::Vec(Box::new(self.ty_tree(e)));
+                self.insert_ty(tree)
+            }
+            Ty::Union(ts) => {
+                // Flatten (members that canonicalize to unions splice in),
+                // then dedup + sort by id so member order never splits ids.
+                let mut ids: Vec<u32> = Vec::with_capacity(ts.len());
+                for m in ts {
+                    let mid = self.ty(m);
+                    match self.ty_unions.get(&mid) {
+                        Some(members) => ids.extend(members.iter().copied()),
+                        None => ids.push(mid),
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                if ids.len() == 1 {
+                    ids[0]
+                } else {
+                    let tree = Ty::Union(ids.iter().map(|&i| self.ty_tree(i)).collect());
+                    let id = self.insert_ty(tree);
+                    self.ty_unions.entry(id).or_insert(ids);
+                    id
+                }
+            }
+            Ty::Fun(f) => {
+                let params = f
+                    .params
+                    .iter()
+                    .map(|(x, t)| {
+                        let t = self.ty(t);
+                        (*x, self.ty_tree(t))
+                    })
+                    .collect();
+                let range = self.ty_result(&f.range);
+                self.insert_ty(Ty::Fun(Box::new(FunTy { params, range })))
+            }
+            Ty::Refine(r) => {
+                let base = self.ty(&r.base);
+                let prop = self.prop(&r.prop);
+                if matches!(&*self.props[prop as usize], Prop::TT) {
+                    base
+                } else {
+                    let tree = Ty::Refine(Box::new(RefineTy {
+                        var: r.var,
+                        base: self.ty_tree(base),
+                        prop: self.prop_tree(prop),
+                    }));
+                    self.insert_ty(tree)
+                }
+            }
+            Ty::Poly(p) => {
+                let body = self.ty(&p.body);
+                if p.vars.is_empty() {
+                    body
+                } else {
+                    let tree = Ty::Poly(Box::new(PolyTy {
+                        vars: p.vars.clone(),
+                        body: self.ty_tree(body),
+                    }));
+                    self.insert_ty(tree)
+                }
+            }
+        };
+        if self.ty_memo.len() >= MEMO_CAP {
+            self.ty_memo.clear();
+        }
+        self.ty_memo.insert(t.clone(), id);
+        id
+    }
+
+    fn ty_result(&mut self, r: &TyResult) -> TyResult {
+        let existentials = r
+            .existentials
+            .iter()
+            .map(|(x, t)| {
+                let t = self.ty(t);
+                (*x, self.ty_tree(t))
+            })
+            .collect();
+        let ty = self.ty(&r.ty);
+        let then_p = self.prop(&r.then_p);
+        let else_p = self.prop(&r.else_p);
+        let obj = self.obj(&r.obj);
+        TyResult {
+            existentials,
+            ty: self.ty_tree(ty),
+            then_p: self.prop_tree(then_p),
+            else_p: self.prop_tree(else_p),
+            obj: self.obj_tree(obj),
+        }
+    }
+
+    fn insert_prop(&mut self, p: Prop) -> u32 {
+        if let Some(&id) = self.prop_canon.get(&p) {
+            return id;
+        }
+        let id = self.props.len() as u32;
+        let arc = Arc::new(p);
+        self.props.push(arc.clone());
+        self.prop_canon.insert(arc, id);
+        id
+    }
+
+    fn prop_tree(&self, id: u32) -> Prop {
+        (*self.props[id as usize]).clone()
+    }
+
+    /// Flattens a connective chain into canonical member ids: `tt`/`ff`
+    /// units are dropped, the absorbing element short-circuits (signalled
+    /// by `None`), nested chains of the same connective splice in, and
+    /// duplicates are dropped (keeping first-occurrence order — unlike
+    /// union members, conjunct order is preserved because assumption
+    /// replays them in sequence).
+    fn flatten_chain(&mut self, p: &Prop, and: bool) -> Option<Vec<u32>> {
+        let mut out: Vec<u32> = Vec::new();
+        let mut stack: Vec<&Prop> = vec![p];
+        let mut flat: Vec<u32> = Vec::new();
+        while let Some(q) = stack.pop() {
+            match (and, q) {
+                (true, Prop::And(a, b)) | (false, Prop::Or(a, b)) => {
+                    // Preserve left-to-right order on the stack.
+                    stack.push(b);
+                    stack.push(a);
+                }
+                _ => {
+                    let id = self.prop(q);
+                    let nested = if and {
+                        self.prop_ands.get(&id)
+                    } else {
+                        self.prop_ors.get(&id)
+                    };
+                    match nested {
+                        Some(members) => flat.extend(members.iter().copied()),
+                        None => flat.push(id),
+                    }
+                }
+            }
+        }
+        let (unit, absorb) = if and {
+            (Prop::TT, Prop::FF)
+        } else {
+            (Prop::FF, Prop::TT)
+        };
+        let mut seen = std::collections::HashSet::new();
+        for id in flat {
+            let tree = &*self.props[id as usize];
+            if *tree == unit {
+                continue;
+            }
+            if *tree == absorb {
+                return None;
+            }
+            if seen.insert(id) {
+                out.push(id);
+            }
+        }
+        Some(out)
+    }
+
+    fn prop(&mut self, p: &Prop) -> u32 {
+        if let Some(&id) = self.prop_memo.get(p) {
+            return id;
+        }
+        let id = match p {
+            Prop::TT | Prop::FF | Prop::Lin(_) | Prop::Bv(_) | Prop::Str(_) => {
+                self.insert_prop(p.clone())
+            }
+            Prop::Is(o, t) => {
+                let (o, t) = (self.obj(o), self.ty(t));
+                let candidate = Prop::is(self.obj_tree(o), self.ty_tree(t));
+                self.insert_prop(candidate)
+            }
+            Prop::IsNot(o, t) => {
+                let (o, t) = (self.obj(o), self.ty(t));
+                let candidate = Prop::is_not(self.obj_tree(o), self.ty_tree(t));
+                self.insert_prop(candidate)
+            }
+            Prop::Alias(o1, o2) => {
+                let (o1, o2) = (self.obj(o1), self.obj(o2));
+                let candidate = Prop::alias(self.obj_tree(o1), self.obj_tree(o2));
+                self.insert_prop(candidate)
+            }
+            Prop::And(_, _) | Prop::Or(_, _) => {
+                let and = matches!(p, Prop::And(_, _));
+                match self.flatten_chain(p, and) {
+                    None => self.insert_prop(if and { Prop::FF } else { Prop::TT }),
+                    Some(ids) if ids.is_empty() => {
+                        self.insert_prop(if and { Prop::TT } else { Prop::FF })
+                    }
+                    Some(ids) if ids.len() == 1 => ids[0],
+                    Some(ids) => {
+                        // Rebuild right-nested from canonical members.
+                        let mut tree = self.prop_tree(ids[ids.len() - 1]);
+                        for &id in ids[..ids.len() - 1].iter().rev() {
+                            let member = self.prop_tree(id);
+                            tree = if and {
+                                Prop::And(Box::new(member), Box::new(tree))
+                            } else {
+                                Prop::Or(Box::new(member), Box::new(tree))
+                            };
+                        }
+                        let id = self.insert_prop(tree);
+                        if and {
+                            self.prop_ands.entry(id).or_insert(ids);
+                        } else {
+                            self.prop_ors.entry(id).or_insert(ids);
+                        }
+                        id
+                    }
+                }
+            }
+        };
+        if self.prop_memo.len() >= MEMO_CAP {
+            self.prop_memo.clear();
+        }
+        self.prop_memo.insert(p.clone(), id);
+        id
+    }
+
+    fn insert_obj(&mut self, o: Obj) -> u32 {
+        if let Some(&id) = self.obj_canon.get(&o) {
+            return id;
+        }
+        let id = self.objs.len() as u32;
+        let arc = Arc::new(o);
+        self.objs.push(arc.clone());
+        self.obj_canon.insert(arc, id);
+        id
+    }
+
+    fn obj_tree(&self, id: u32) -> Obj {
+        (*self.objs[id as usize]).clone()
+    }
+
+    fn obj(&mut self, o: &Obj) -> u32 {
+        if let Some(&id) = self.obj_memo.get(o) {
+            return id;
+        }
+        let id = match o {
+            Obj::Null | Obj::Path(_) | Obj::Lin(_) | Obj::Bv(_) | Obj::Str(_) | Obj::Re(_) => {
+                self.insert_obj(o.clone())
+            }
+            Obj::Pair(a, b) => {
+                let (a, b) = (self.obj(a), self.obj(b));
+                // `Obj::pair` collapses ⟨∅,∅⟩ to ∅.
+                let candidate = Obj::pair(self.obj_tree(a), self.obj_tree(b));
+                self.insert_obj(candidate)
+            }
+        };
+        if self.obj_memo.len() >= MEMO_CAP {
+            self.obj_memo.clear();
+        }
+        self.obj_memo.insert(o.clone(), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{LinCmp, Symbol};
+
+    fn x() -> Symbol {
+        Symbol::intern("ix")
+    }
+
+    #[test]
+    fn interning_is_stable_and_o1_equal() {
+        let t = Ty::pair(Ty::Int, Ty::bool_ty());
+        assert_eq!(TyId::of(&t), TyId::of(&t.clone()));
+        assert_ne!(TyId::of(&t), TyId::of(&Ty::Int));
+        assert_eq!(*TyId::of(&Ty::Int).get(), Ty::Int);
+    }
+
+    #[test]
+    fn unions_flatten_dedup_and_sort() {
+        let a = Ty::Union(vec![Ty::Int, Ty::Union(vec![Ty::True, Ty::Int]), Ty::False]);
+        let b = Ty::Union(vec![Ty::False, Ty::True, Ty::Int]);
+        assert_eq!(TyId::of(&a), TyId::of(&b));
+        // Canonical form is flat with unique members.
+        match &*TyId::of(&a).get() {
+            Ty::Union(ts) => {
+                assert_eq!(ts.len(), 3);
+                assert!(!ts.iter().any(|t| matches!(t, Ty::Union(_))));
+            }
+            other => panic!("expected union, got {other}"),
+        }
+    }
+
+    #[test]
+    fn singleton_and_empty_unions_normalize() {
+        assert_eq!(TyId::of(&Ty::Union(vec![Ty::Int])), TyId::of(&Ty::Int));
+        assert_eq!(
+            TyId::of(&Ty::Union(vec![Ty::Int, Ty::Int])),
+            TyId::of(&Ty::Int)
+        );
+        assert_eq!(
+            TyId::of(&Ty::bot()),
+            TyId::of(&Ty::Union(vec![Ty::bot(), Ty::bot()]))
+        );
+    }
+
+    #[test]
+    fn trivial_refinements_collapse() {
+        let r = Ty::Refine(Box::new(RefineTy {
+            var: x(),
+            base: Ty::Int,
+            prop: Prop::TT,
+        }));
+        assert_eq!(TyId::of(&r), TyId::of(&Ty::Int));
+    }
+
+    #[test]
+    fn and_chains_flatten_with_units() {
+        let p = Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(3));
+        let q = Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(x()));
+        let nested = Prop::And(
+            Box::new(Prop::And(Box::new(p.clone()), Box::new(Prop::TT))),
+            Box::new(Prop::And(Box::new(q.clone()), Box::new(p.clone()))),
+        );
+        let flat = Prop::And(Box::new(p.clone()), Box::new(q.clone()));
+        assert_eq!(PropId::of(&nested), PropId::of(&flat));
+        // ff absorbs.
+        let absurd = Prop::And(Box::new(p.clone()), Box::new(Prop::FF));
+        assert_eq!(PropId::of(&absurd), PropId::of(&Prop::FF));
+        // Dually for or: tt absorbs, ff is the unit.
+        let or = Prop::Or(Box::new(Prop::FF), Box::new(p.clone()));
+        assert_eq!(PropId::of(&or), PropId::of(&p));
+        let taut = Prop::Or(Box::new(p), Box::new(Prop::TT));
+        assert_eq!(PropId::of(&taut), PropId::of(&Prop::TT));
+    }
+
+    #[test]
+    fn null_objects_vacate_interned_atoms() {
+        let p = Prop::Is(Obj::Null, Box::new(Ty::Int));
+        assert_eq!(PropId::of(&p), PropId::of(&Prop::TT));
+        assert_eq!(
+            ObjId::of(&Obj::Pair(Box::new(Obj::Null), Box::new(Obj::Null))),
+            ObjId::of(&Obj::Null)
+        );
+    }
+
+    #[test]
+    fn ids_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + Copy>() {}
+        assert_send_sync::<TyId>();
+        assert_send_sync::<PropId>();
+        assert_send_sync::<ObjId>();
+    }
+}

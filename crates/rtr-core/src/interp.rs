@@ -16,7 +16,6 @@
 //!   nothing about divergence (§3.5.2).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -117,10 +116,24 @@ impl fmt::Display for Value {
 }
 
 /// A runtime environment ρ: a persistent map from variables to values.
+///
+/// Represented as an immutable cons-chain of frames so that `extend` (at
+/// every `let`/application) and the environment capture in every closure
+/// are O(1) pointer bumps instead of whole-map copies. Lookup walks the
+/// chain innermost-first, which gives shadowing for free; environments
+/// are shallow in practice, and the big-step interpreter extends far more
+/// often than it looks up deeply.
 #[derive(Clone, Debug, Default)]
 pub struct RtEnv {
+    head: Option<Rc<Frame>>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    x: Symbol,
     // Cells make `set!` visible through closures, as in Racket.
-    vars: HashMap<Symbol, Rc<RefCell<Value>>>,
+    cell: Rc<RefCell<Value>>,
+    parent: Option<Rc<Frame>>,
 }
 
 impl RtEnv {
@@ -129,21 +142,36 @@ impl RtEnv {
         RtEnv::default()
     }
 
-    /// Looks up a variable's current value.
-    pub fn lookup(&self, x: Symbol) -> Option<Value> {
-        self.vars.get(&x).map(|c| c.borrow().clone())
+    fn find(&self, x: Symbol) -> Option<&Rc<RefCell<Value>>> {
+        let mut cur = self.head.as_ref();
+        while let Some(frame) = cur {
+            if frame.x == x {
+                return Some(&frame.cell);
+            }
+            cur = frame.parent.as_ref();
+        }
+        None
     }
 
-    /// Extends with a new binding (`ρ[x := v]`), persistently.
+    /// Looks up a variable's current value.
+    pub fn lookup(&self, x: Symbol) -> Option<Value> {
+        self.find(x).map(|c| c.borrow().clone())
+    }
+
+    /// Extends with a new binding (`ρ[x := v]`), persistently and in O(1).
     pub fn extend(&self, x: Symbol, v: Value) -> RtEnv {
-        let mut vars = self.vars.clone();
-        vars.insert(x, Rc::new(RefCell::new(v)));
-        RtEnv { vars }
+        RtEnv {
+            head: Some(Rc::new(Frame {
+                x,
+                cell: Rc::new(RefCell::new(v)),
+                parent: self.head.clone(),
+            })),
+        }
     }
 
     /// Mutates an existing binding (`set!`).
     pub fn assign(&self, x: Symbol, v: Value) -> Result<(), EvalError> {
-        match self.vars.get(&x) {
+        match self.find(x) {
             Some(cell) => {
                 *cell.borrow_mut() = v;
                 Ok(())
@@ -152,9 +180,19 @@ impl RtEnv {
         }
     }
 
-    /// Iterates over the bindings (used by the model relation).
+    /// Iterates over the visible bindings (used by the model relation):
+    /// innermost first, shadowed outer bindings skipped.
     pub fn bindings(&self) -> impl Iterator<Item = (Symbol, Value)> + '_ {
-        self.vars.iter().map(|(&x, c)| (x, c.borrow().clone()))
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut cur = self.head.as_ref();
+        while let Some(frame) = cur {
+            if seen.insert(frame.x) {
+                out.push((frame.x, frame.cell.borrow().clone()));
+            }
+            cur = frame.parent.as_ref();
+        }
+        out.into_iter()
     }
 }
 

@@ -21,6 +21,8 @@
 //!   soundness theorem (Lemma 2 / Theorem 1) executably.
 //! * [`mod@env`], [`config`], [`errors`], [`mutation`], [`infer`] — the §4
 //!   scaling machinery.
+//! * [`intern`] — hash-consed `TyId`/`PropId`/`ObjId` handles backing the
+//!   checker's memo tables and the environment's cheap snapshots.
 //!
 //! # Examples
 //!
@@ -45,11 +47,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 pub mod check;
 pub mod config;
 pub mod env;
 pub mod errors;
 pub mod infer;
+pub mod intern;
 pub mod interp;
 pub mod logic;
 pub mod model;

@@ -12,6 +12,7 @@ use rtr_solver::rational::Rat;
 
 use crate::check::Checker;
 use crate::env::Env;
+use crate::intern::PropId;
 use crate::syntax::{
     BvAtomProp, BvCmp, BvObj, Field, LinAtom, LinCmp, LinObj, Obj, Path, Prop, StrAtomProp, StrObj,
     Symbol, Ty,
@@ -70,7 +71,9 @@ impl Checker {
                 self.assume(env, a, fuel);
                 self.assume(env, b, fuel);
             }
-            Prop::Or(a, b) => env.add_disj((**a).clone(), (**b).clone()),
+            // Disjunctions are deferred interned: `add_disj` takes ids by
+            // value, so no proposition tree is cloned here.
+            Prop::Or(a, b) => env.add_disj(PropId::of(a), PropId::of(b)),
             Prop::Is(o, t) => {
                 let o = env.resolve(o);
                 self.assume_is(env, &o, t, fuel);
@@ -370,12 +373,32 @@ impl Checker {
         }
     }
 
-    /// `Γ ⊢ ψ` — the proof judgment.
+    /// `Γ ⊢ ψ` — the proof judgment, memoized on
+    /// `(generation, goal, split budget)` with fuel-aware entries.
     pub fn proves(&self, env: &Env, goal: &Prop, fuel: u32) -> bool {
         self.proves_with_splits(env, goal, fuel, self.config.case_split_budget)
     }
 
     fn proves_with_splits(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32) -> bool {
+        if !self.config.memoize {
+            return self.proves_structural(env, goal, fuel, splits);
+        }
+        if fuel == 0 {
+            return false;
+        }
+        if env.is_absurd() || matches!(goal, Prop::TT) {
+            return true;
+        }
+        let key = (env.generation(), PropId::of(goal), splits);
+        if let Some(verdict) = self.caches().proves.lookup(key, fuel) {
+            return verdict;
+        }
+        let verdict = self.proves_structural(env, goal, fuel, splits);
+        self.caches().proves.store(key, fuel, verdict);
+        verdict
+    }
+
+    fn proves_structural(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32) -> bool {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };
@@ -393,6 +416,7 @@ impl Checker {
             for i in 0..env.disjs().len() {
                 let mut left = env.clone();
                 let (p, q) = left.take_disj(i);
+                let (p, q) = (p.get(), q.get());
                 let mut right = left.clone();
                 self.assume(&mut left, &p, fuel);
                 if !self.proves_with_splits(&left, goal, fuel, splits - 1) {
@@ -567,8 +591,28 @@ impl Checker {
         }
     }
 
-    /// Is the environment contradictory (a model-free Γ)?
+    /// Is the environment contradictory (a model-free Γ)? Memoized by
+    /// generation with fuel-aware entries.
     pub(crate) fn env_inconsistent(&self, env: &Env, fuel: u32) -> bool {
+        if env.is_absurd() {
+            return true;
+        }
+        if !self.config.memoize {
+            return self.env_inconsistent_structural(env, fuel);
+        }
+        if fuel == 0 {
+            return false;
+        }
+        let key = env.generation();
+        if let Some(verdict) = self.caches().inconsistent.lookup(key, fuel) {
+            return verdict;
+        }
+        let verdict = self.env_inconsistent_structural(env, fuel);
+        self.caches().inconsistent.store(key, fuel, verdict);
+        verdict
+    }
+
+    fn env_inconsistent_structural(&self, env: &Env, fuel: u32) -> bool {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };

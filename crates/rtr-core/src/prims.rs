@@ -87,7 +87,22 @@ pub fn safe_index_ty(vec_var: Symbol) -> Ty {
 }
 
 /// `Δ(p)` — the type of primitive `p`.
+///
+/// The table is built once and cached: `delta` is consulted at every
+/// primitive reference during checking, and rebuilding the type trees
+/// (with their symbol-interner round trips) on each call showed up in the
+/// checker profiles. Cloning the cached tree is much cheaper.
 pub fn delta(p: Prim) -> Ty {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<std::collections::HashMap<Prim, Ty>> = OnceLock::new();
+    TABLE
+        .get_or_init(|| Prim::all().iter().map(|&p| (p, build_delta(p))).collect())
+        .get(&p)
+        .expect("Prim::all covers every primitive")
+        .clone()
+}
+
+fn build_delta(p: Prim) -> Ty {
     match p {
         // -- predicates (Fig. 3) ---------------------------------------------
         Prim::IsInt => predicate(Ty::Int),

@@ -8,11 +8,62 @@
 
 use crate::check::Checker;
 use crate::env::Env;
+use crate::intern::TyId;
 use crate::syntax::{Obj, Prop, Symbol, Ty, TyResult};
 
 impl Checker {
-    /// `Γ ⊢ τ₁ <: τ₂` (Fig. 5).
+    /// `Γ ⊢ τ₁ <: τ₂` (Fig. 5), memoized.
+    ///
+    /// The judgment is keyed `(generation, τ₁, τ₂)` on interned ids (two
+    /// environments with equal generations are identical, see
+    /// [`Env::generation`]); entries are fuel-aware per
+    /// [`crate::cache`]'s rules. Queries whose canonical forms coincide
+    /// (e.g. permuted unions) short-circuit to `true` before any fresh
+    /// names are generated — fresh-symbol allocation happens only on the
+    /// cache-miss path, inside the structural rules.
     pub fn subtype(&self, env: &Env, t1: &Ty, t2: &Ty, fuel: u32) -> bool {
+        if !self.config.memoize {
+            return self.subtype_structural(env, t1, t2, fuel);
+        }
+        if fuel == 0 {
+            return false;
+        }
+        if t1 == t2 {
+            return true;
+        }
+        let (a, a_free) = TyId::of_with_env_free(t1);
+        let (b, b_free) = TyId::of_with_env_free(t2);
+        if a == b {
+            // Canonically equal (S-Refl modulo normalization).
+            return true;
+        }
+        // Pairs of env-free types (no refinements/functions anywhere) are
+        // compared purely structurally: cache them under generation 0 so
+        // one verdict serves every environment.
+        let generation = if a_free && b_free {
+            0
+        } else {
+            env.generation()
+        };
+        let key = (generation, a, b);
+        if let Some(verdict) = self.caches().subtype.lookup(key, fuel) {
+            return verdict;
+        }
+        // No cycle guard: λ_RTR types are finite trees, so subtyping has
+        // no true cycles — any re-entrant identical query (e.g. a
+        // singleton union collapsing to its member's id) arrives with
+        // strictly less fuel and terminates structurally. A coinductive
+        // assume-true entry here would be unsound: it would "prove"
+        // `(U {x:Int|ψ}) <: False` by answering the collapsed member
+        // query with the in-flight outer one.
+        let verdict = self.subtype_structural(env, t1, t2, fuel);
+        self.caches().subtype.store(key, fuel, verdict);
+        verdict
+    }
+
+    /// The structural (uncached) subtype rules; the reference
+    /// implementation the memoized entry point delegates to.
+    fn subtype_structural(&self, env: &Env, t1: &Ty, t2: &Ty, fuel: u32) -> bool {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };

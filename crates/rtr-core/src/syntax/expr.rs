@@ -311,6 +311,34 @@ impl Expr {
         Expr::Ann(Box::new(e), ty)
     }
 
+    /// Nesting depth, capped at `limit`: returns a value `> limit` as soon
+    /// as the tree is deeper than `limit`, without recursing further (so
+    /// the probe itself never risks a stack overflow). Used by the checker
+    /// to decide whether a program needs the big-stack checking thread.
+    pub fn depth_capped(&self, limit: usize) -> usize {
+        if limit == 0 {
+            return 1;
+        }
+        let child = |e: &Expr| e.depth_capped(limit - 1);
+        1 + match self {
+            Expr::Var(_)
+            | Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::BvLit(_)
+            | Expr::Str(_)
+            | Expr::ReLit(_)
+            | Expr::Prim(_)
+            | Expr::Error(_) => 0,
+            Expr::Lam(l) => child(&l.body),
+            Expr::App(f, args) => child(f).max(args.iter().map(child).max().unwrap_or(0)),
+            Expr::If(a, b, c) => child(a).max(child(b)).max(child(c)),
+            Expr::Let(_, a, b) | Expr::Cons(a, b) => child(a).max(child(b)),
+            Expr::LetRec(_, _, l, b) => child(&l.body).max(child(b)),
+            Expr::Fst(a) | Expr::Snd(a) | Expr::Ann(a, _) | Expr::Set(_, a) => child(a),
+            Expr::VecLit(es) | Expr::Begin(es) => es.iter().map(child).max().unwrap_or(0),
+        }
+    }
+
     /// AST node count (used for corpus statistics and fuzz bounds).
     pub fn size(&self) -> usize {
         match self {

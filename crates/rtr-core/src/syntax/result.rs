@@ -56,6 +56,19 @@ impl TyResult {
         TyResult::new(ty, Prop::TT, Prop::FF, obj)
     }
 
+    /// A copy with the existential prefix dropped — used when the binders
+    /// have already been opened into the environment. Clones only the
+    /// body fields (no `existentials` vector round trip).
+    pub fn without_existentials(&self) -> TyResult {
+        TyResult {
+            existentials: Vec::new(),
+            ty: self.ty.clone(),
+            then_p: self.then_p.clone(),
+            else_p: self.else_p.clone(),
+            obj: self.obj.clone(),
+        }
+    }
+
     /// Prepends existential bindings (innermost last).
     pub fn with_existentials(mut self, mut binds: Vec<(Symbol, Ty)>) -> TyResult {
         binds.extend(self.existentials);
@@ -69,13 +82,36 @@ impl TyResult {
     pub fn lift_subst(self, x: Symbol, arg_ty: &Ty, o: &Obj) -> TyResult {
         if o.is_null() {
             // ∃x:τ.R, renaming x to a fresh name so outer scopes never
-            // collide with it.
+            // collide with it. (The quantifier is kept even when x is
+            // unused: the binder's *type* may carry facts about other
+            // variables that downstream environments unfold.)
             let fresh = Symbol::fresh(x.as_str());
-            let renamed = self.subst_obj(x, &Obj::var(fresh));
+            let renamed = if self.mentions_var(x) {
+                self.subst_obj(x, &Obj::var(fresh))
+            } else {
+                self
+            };
             renamed.with_existentials(vec![(fresh, arg_ty.clone())])
-        } else {
+        } else if self.mentions_var(x) {
             self.subst_obj(x, o)
+        } else {
+            // Substitution would be the identity; skip the deep rebuild.
+            self
         }
+    }
+
+    /// Does `x` occur free anywhere substitution could reach? (A cheap
+    /// over-approximation used to skip identity substitutions.)
+    fn mentions_var(&self, x: Symbol) -> bool {
+        let mut fv = std::collections::HashSet::new();
+        for (_, t) in &self.existentials {
+            t.free_obj_vars(&mut fv);
+        }
+        self.ty.free_obj_vars(&mut fv);
+        self.then_p.free_vars(&mut fv);
+        self.else_p.free_vars(&mut fv);
+        self.obj.free_vars(&mut fv);
+        fv.contains(&x)
     }
 
     /// Capture-avoiding object substitution through the whole result.

@@ -63,6 +63,9 @@ impl Symbol {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        // Wrapping back to 0 would silently reuse "fresh" names; u64 makes
+        // that unreachable in practice, but make it loud in debug builds.
+        debug_assert!(n < u64::MAX, "Symbol::fresh counter overflowed");
         Symbol::intern(&format!("{base}%{n}"))
     }
 }

@@ -285,6 +285,49 @@ impl Ty {
         }
     }
 
+    /// Collects free *object-level* variables (refinement propositions and
+    /// dependent function positions), respecting binders.
+    pub fn free_obj_vars(&self, out: &mut std::collections::HashSet<Symbol>) {
+        match self {
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
+            | Ty::Regex
+            | Ty::TVar(_) => {}
+            Ty::Pair(a, b) => {
+                a.free_obj_vars(out);
+                b.free_obj_vars(out);
+            }
+            Ty::Vec(e) => e.free_obj_vars(out),
+            Ty::Union(ts) => ts.iter().for_each(|t| t.free_obj_vars(out)),
+            Ty::Refine(r) => {
+                r.base.free_obj_vars(out);
+                let mut inner = std::collections::HashSet::new();
+                r.prop.free_vars(&mut inner);
+                inner.remove(&r.var);
+                out.extend(inner);
+            }
+            Ty::Fun(f) => {
+                let mut inner = std::collections::HashSet::new();
+                for (_, d) in &f.params {
+                    d.free_obj_vars(&mut inner);
+                }
+                f.range.ty.free_obj_vars(&mut inner);
+                f.range.then_p.free_vars(&mut inner);
+                f.range.else_p.free_vars(&mut inner);
+                for (x, _) in &f.params {
+                    inner.remove(x);
+                }
+                out.extend(inner);
+            }
+            Ty::Poly(p) => p.body.free_obj_vars(out),
+        }
+    }
+
     /// Size of the type term (used to bound recursion in tests/fuzzing).
     pub fn size(&self) -> usize {
         match self {

@@ -162,8 +162,29 @@ impl Checker {
         }
     }
 
-    /// Is `t` provably uninhabited (structurally)?
+    /// Is `t` provably uninhabited (structurally)? Memoized on the
+    /// interned type id for the recursive cases (the judgment consults
+    /// nothing but the type itself).
     pub fn is_empty_ty(&self, t: &Ty) -> bool {
+        match t {
+            Ty::Union(ts) if ts.is_empty() => true,
+            Ty::Union(_) | Ty::Pair(_, _) | Ty::Refine(_) => {
+                if !self.config.memoize {
+                    return self.is_empty_structural(t);
+                }
+                let id = crate::intern::TyId::of(t);
+                if let Some(verdict) = self.caches().empty.lookup(id) {
+                    return verdict;
+                }
+                let verdict = self.is_empty_structural(t);
+                self.caches().empty.store(id, verdict);
+                verdict
+            }
+            _ => false,
+        }
+    }
+
+    fn is_empty_structural(&self, t: &Ty) -> bool {
         match t {
             Ty::Union(ts) => ts.iter().all(|t| self.is_empty_ty(t)),
             Ty::Pair(a, b) => self.is_empty_ty(a) || self.is_empty_ty(b),

@@ -1,0 +1,147 @@
+//! Property tests for the hash-consing interner and the memoized
+//! judgments: canonicalization (union flatten/dedup/sort, `tt`-refinement
+//! collapse, connective flattening) must be semantics-preserving, and the
+//! memoized `subtype` must agree with the structural reference
+//! implementation (`memoize: false`) on arbitrary type pairs.
+
+use proptest::prelude::*;
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_core::env::Env;
+use rtr_core::intern::{canon_prop, canon_ty, PropId, TyId};
+use rtr_core::syntax::{LinCmp, Obj, Prop, Symbol, Ty};
+
+const FUEL: u32 = 64;
+
+fn memoized() -> Checker {
+    Checker::default()
+}
+
+/// The reference checker: identical configuration except the memo tables
+/// (and id-based shortcuts) are disabled — the seed's structural path.
+fn structural() -> Checker {
+    Checker::with_config(CheckerConfig {
+        memoize: false,
+        ..CheckerConfig::default()
+    })
+}
+
+/// First-order types including refinements over Int (no functions: their
+/// comparison allocates fresh names either way and is covered by the
+/// deterministic suite).
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        Just(Ty::Top),
+        Just(Ty::Int),
+        Just(Ty::True),
+        Just(Ty::False),
+        Just(Ty::Unit),
+        Just(Ty::Str),
+        Just(Ty::bot()),
+        Just(Ty::bool_ty()),
+        (-5i64..=5, any::<bool>()).prop_map(|(k, le)| {
+            let x = Symbol::fresh("ip");
+            let p = if le {
+                Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(k))
+            } else {
+                Prop::lin(Obj::int(k), LinCmp::Le, Obj::var(x))
+            };
+            Ty::refine(x, Ty::Int, p)
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::pair(a, b)),
+            inner.clone().prop_map(Ty::vec),
+            // Raw unions (not via union_of) so canonicalization has
+            // nesting and duplicates to chew on.
+            proptest::collection::vec(inner, 0..3).prop_map(Ty::Union),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The memoized subtype agrees with the structural reference.
+    #[test]
+    fn memoized_subtype_agrees_with_structural(t in arb_ty(), s in arb_ty()) {
+        let env = Env::new();
+        let memo = memoized();
+        let plain = structural();
+        prop_assert_eq!(
+            memo.subtype(&env, &t, &s, FUEL),
+            plain.subtype(&env, &t, &s, FUEL),
+            "memoized and structural subtype disagree on {} <: {}", t, s
+        );
+    }
+
+    /// Canonicalization is semantics-preserving: the canonical form is
+    /// mutually subtype-equal with the original (structural reference).
+    #[test]
+    fn canonical_form_is_equivalent(t in arb_ty()) {
+        let env = Env::new();
+        let plain = structural();
+        let c = canon_ty(&t);
+        prop_assert!(plain.subtype(&env, &t, &c, FUEL), "{} </: canon {}", t, c);
+        prop_assert!(plain.subtype(&env, &c, &t, FUEL), "canon {} </: {}", c, t);
+    }
+
+    /// Canonicalizing both sides never changes the verdict.
+    #[test]
+    fn canonicalization_preserves_verdicts(t in arb_ty(), s in arb_ty()) {
+        let env = Env::new();
+        let plain = structural();
+        let (ct, cs) = (canon_ty(&t), canon_ty(&s));
+        prop_assert_eq!(
+            plain.subtype(&env, &t, &s, FUEL),
+            plain.subtype(&env, &ct, &cs, FUEL),
+            "canonicalization changed {} <: {}", t, s
+        );
+    }
+
+    /// Union member order and duplication never split ids.
+    #[test]
+    fn union_permutations_intern_identically(ts in proptest::collection::vec(arb_ty(), 0..4)) {
+        let forward = Ty::Union(ts.clone());
+        let mut rev = ts.clone();
+        rev.reverse();
+        let mut doubled = ts.clone();
+        doubled.extend(ts.iter().cloned());
+        prop_assert_eq!(TyId::of(&forward), TyId::of(&Ty::Union(rev)));
+        prop_assert_eq!(TyId::of(&forward), TyId::of(&Ty::Union(doubled)));
+        // And `union_of` (the smart constructor) lands on the same id.
+        prop_assert_eq!(TyId::of(&forward), TyId::of(&Ty::union_of(ts)));
+    }
+
+    /// Proposition canonicalization keeps `proves` verdicts: a canonical
+    /// conjunction is provable iff the original is, under an environment
+    /// that assumes a few linear facts.
+    #[test]
+    fn prop_canonicalization_preserves_proving(k in -4i64..=4, j in -4i64..=4) {
+        let c = memoized();
+        let plain = structural();
+        let mut env = Env::new();
+        let x = Symbol::fresh("pp");
+        c.bind(&mut env, x, &Ty::Int, FUEL);
+        c.assume(&mut env, &Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(k.min(j))), FUEL);
+        let goal = Prop::And(
+            Box::new(Prop::And(
+                Box::new(Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(k))),
+                Box::new(Prop::TT),
+            )),
+            Box::new(Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(j))),
+        );
+        let canon = canon_prop(&goal);
+        prop_assert_eq!(PropId::of(&goal), PropId::of(&canon));
+        prop_assert_eq!(
+            plain.proves(&env, &goal, FUEL),
+            plain.proves(&env, &canon, FUEL)
+        );
+        prop_assert_eq!(
+            plain.proves(&env, &goal, FUEL),
+            c.proves(&env, &goal, FUEL)
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The memoized/normalizing checker must classify corpus sites exactly
+//! like the structural reference (`memoize: false`): interning-level union
+//! flatten/dedup/sort and the generation-keyed memo tables are perf
+//! machinery, not a semantics change. One flipped verdict here would skew
+//! the regenerated Figure 9.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_corpus::classify::classify_site;
+use rtr_corpus::patterns::{build_site, Class};
+
+#[test]
+fn memoized_checker_classifies_sites_like_the_structural_reference() {
+    let memoized = Checker::default();
+    let structural = Checker::with_config(CheckerConfig {
+        memoize: false,
+        ..CheckerConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    let classes = [
+        Class::Auto,
+        Class::Annotation,
+        Class::Modification,
+        Class::BeyondScope,
+        Class::Unsafe,
+    ];
+    let mut id = 0usize;
+    for &class in &classes {
+        for _ in 0..3 {
+            let site = build_site(&mut rng, class, id);
+            id += 1;
+            let fast = classify_site(&site, &memoized);
+            let slow = classify_site(&site, &structural);
+            assert_eq!(
+                fast, slow,
+                "site {} (pattern {}, class {:?}) classified differently",
+                site.id, site.pattern, site.expected
+            );
+        }
+    }
+}

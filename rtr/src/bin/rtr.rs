@@ -14,6 +14,8 @@
 //! * `--unchecked` — with `run`, skip type checking (dynamically-typed
 //!   Racket semantics; unsafe primitives can get stuck).
 //! * `--fuel N` — evaluation step budget (default 1,000,000).
+//! * `--stats` — with `check`, print memo-table hit/miss counters after
+//!   checking (requires a build with the `stats` Cargo feature).
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -24,10 +26,11 @@ struct Options {
     lambda_tr: bool,
     unchecked: bool,
     fuel: u64,
+    stats: bool,
 }
 
 const USAGE: &str =
-    "usage: rtr <check|run|expand> [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>\n\
+    "usage: rtr <check|run|expand> [--lambda-tr] [--unchecked] [--fuel N] [--stats] <file.rtr>\n\
                      \x20      rtr repl [--lambda-tr]";
 
 fn usage() -> ExitCode {
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
         lambda_tr: false,
         unchecked: false,
         fuel: 1_000_000,
+        stats: false,
     };
     let mut file: Option<String> = None;
     let mut args = args.peekable();
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--lambda-tr" => opts.lambda_tr = true,
             "--unchecked" => opts.unchecked = true,
+            "--stats" => opts.stats = true,
             "--fuel" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => opts.fuel = n,
                 None => return usage(),
@@ -100,6 +105,9 @@ fn run_command(command: &str, src: &str, checker: &Checker, opts: &Options) -> E
         "check" => match check_source(src, checker) {
             Ok(r) => {
                 println!("{r}");
+                if opts.stats {
+                    print_cache_stats(checker);
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -126,6 +134,34 @@ fn run_command(command: &str, src: &str, checker: &Checker, opts: &Options) -> E
         }
         _ => unreachable!("dispatched in main"),
     }
+}
+
+/// Prints per-table memo hit/miss counters (cache effectiveness).
+#[cfg(feature = "stats")]
+fn print_cache_stats(checker: &Checker) {
+    let s = checker.cache_stats();
+    eprintln!("cache stats (hits/misses):");
+    for (name, (hits, misses)) in [
+        ("subtype", s.subtype),
+        ("proves", s.proves),
+        ("inconsistent", s.inconsistent),
+        ("empty", s.empty),
+    ] {
+        let total = hits + misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64 * 100.0
+        };
+        eprintln!("  {name:<14} {hits:>10} / {misses:<10} ({rate:.1}% hit)");
+    }
+}
+
+#[cfg(not(feature = "stats"))]
+fn print_cache_stats(_checker: &Checker) {
+    eprintln!(
+        "rtr: --stats requires a build with the `stats` feature (cargo build --features stats)"
+    );
 }
 
 /// A line-oriented REPL: each line is checked in isolation and, when well
@@ -227,6 +263,7 @@ mod tests {
             lambda_tr: false,
             unchecked: false,
             fuel: 100_000,
+            stats: false,
         }
     }
 
