@@ -20,7 +20,8 @@
 use std::time::{Duration, Instant};
 
 use rtr_bench::{
-    alias_chain_src, filler_module_src, narrowing_chain_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
+    alias_chain_src, bv_chain_src, dot_prod_module_src, filler_module_src, narrowing_chain_src,
+    xtime_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
 };
 use rtr_core::check::Checker;
 use rtr_lang::check_source;
@@ -120,6 +121,9 @@ fn main() {
     let alias64 = alias_chain_src(64);
     let narrow8 = narrowing_chain_src(8);
     let filler50 = filler_module_src(50);
+    let dot_prod8 = dot_prod_module_src(8);
+    let xtime4 = xtime_module_src(4);
+    let bv_chain6 = bv_chain_src(6);
 
     let workloads: Vec<Workload> = vec![
         (
@@ -162,6 +166,26 @@ fn main() {
             "module/filler_50",
             Box::new(|| {
                 check_source(&filler50, &Checker::default()).expect("filler module checks");
+            }),
+        ),
+        // Solver-heavy workloads (PR 3): scaled theory modules and a
+        // growing-fact-set narrowing chain.
+        (
+            "module/dot_prod_8",
+            Box::new(|| {
+                check_source(&dot_prod8, &Checker::default()).expect("dot-prod module checks");
+            }),
+        ),
+        (
+            "module/xtime_4",
+            Box::new(|| {
+                check_source(&xtime4, &Checker::default()).expect("xtime module checks");
+            }),
+        ),
+        (
+            "bv_chain/6",
+            Box::new(|| {
+                check_source(&bv_chain6, &Checker::default()).expect("bv chain checks");
             }),
         ),
     ];

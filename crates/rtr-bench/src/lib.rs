@@ -80,6 +80,68 @@ pub fn narrowing_chain_src(n: usize) -> String {
     )
 }
 
+/// A module of `n` `dot-prod`-shaped functions — the solver-heavy §2.1
+/// workload at module scale. Every function poses the same linear
+/// constraint systems modulo variable renaming, which is exactly what the
+/// canonicalized solver-verdict fingerprints are built to exploit.
+pub fn dot_prod_module_src(n: usize) -> String {
+    let mut out = String::new();
+    for k in 0..n {
+        out.push_str(&format!(
+            "(: dp{k} : [A : (Vecof Int)] [B : (Vecof Int)] -> Int)\n\
+             (define (dp{k} A B)\n\
+             \x20 (begin\n\
+             \x20   (unless (= (len A) (len B))\n\
+             \x20     (error \"invalid vector lengths!\"))\n\
+             \x20   (for/sum ([i (in-range (len A))])\n\
+             \x20     (* (safe-vec-ref A i) (safe-vec-ref B i)))))\n"
+        ));
+    }
+    out
+}
+
+/// A module of `n` `xtime`-shaped functions — the bitvector-theory §2.2
+/// workload at module scale (each function re-poses the same bit-blast
+/// queries, exercising the persistent session's term/clause reuse).
+pub fn xtime_module_src(n: usize) -> String {
+    let mut out = String::new();
+    for k in 0..n {
+        out.push_str(&format!(
+            "(: xt{k} : [num : Byte] -> Byte)\n\
+             (define (xt{k} num)\n\
+             \x20 (let ([n (AND (bv* #x02 num) #xff)])\n\
+             \x20   (cond\n\
+             \x20     [(bv= #x00 (AND num #x80)) n]\n\
+             \x20     [else (XOR n #x1b)])))\n"
+        ));
+    }
+    out
+}
+
+/// A function narrowing one bitvector through a chain of `n` mask tests,
+/// each `let`-bound so the program grows linearly — every test adds a
+/// bitvector fact, so consistency is re-decided over a growing fact set
+/// (the workload for incremental fact-set solving).
+pub fn bv_chain_src(n: usize) -> String {
+    assert!(n >= 1);
+    let mut binds = String::from("  (let ([b0 (AND num #xff)])\n");
+    for k in 1..=n {
+        let mask = 1u64 << (k % 8);
+        binds.push_str(&format!(
+            "  (let ([b{k} (if (bv= #x00 (AND num #x{mask:02x})) b{} (AND (XOR b{} #x01) #xff))])\n",
+            k - 1,
+            k - 1
+        ));
+    }
+    let closes = ")".repeat(n + 1);
+    format!(
+        "(: bvchain : [num : Byte] -> Byte)\n\
+         (define (bvchain num)\n\
+         {binds}\
+         \x20 (AND b{n} #xff){closes})\n"
+    )
+}
+
 /// A module of `n` simple well-typed definitions (checker throughput).
 pub fn filler_module_src(n: usize) -> String {
     let mut out = String::new();
@@ -113,5 +175,8 @@ mod tests {
         });
         assert!(check_source(&narrowing_chain_src(6), &pure).is_ok());
         assert!(check_source(&filler_module_src(5), &c).is_ok());
+        assert!(check_source(&dot_prod_module_src(2), &c).is_ok());
+        assert!(check_source(&xtime_module_src(2), &c).is_ok());
+        assert!(check_source(&bv_chain_src(4), &c).is_ok());
     }
 }

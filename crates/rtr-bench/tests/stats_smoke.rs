@@ -33,3 +33,33 @@ fn alias_chain_hits_the_memo_tables() {
     let after = checker.cache_stats().subtype.0;
     assert!(after > before, "re-check produced no further hits");
 }
+
+#[test]
+fn theory_heavy_programs_hit_the_solver_caches() {
+    // A scaled dot-prod module: every function re-poses alpha-renamed
+    // copies of the same linear systems, so the canonical-fingerprint
+    // verdict table must both be consulted and actually hit.
+    let checker = Checker::default();
+    let src = rtr_bench::dot_prod_module_src(4);
+    check_source(&src, &checker).expect("dot-prod module checks");
+    let stats = checker.cache_stats();
+    assert!(
+        stats.lin.0 + stats.lin.1 > 0,
+        "linear solver cache never consulted: {stats:?}"
+    );
+    assert!(stats.lin.0 > 0, "linear solver cache never hit: {stats:?}");
+
+    // Same for the bitvector table on an xtime module.
+    let checker = Checker::default();
+    let src = rtr_bench::xtime_module_src(2);
+    check_source(&src, &checker).expect("xtime module checks");
+    let stats = checker.cache_stats();
+    assert!(
+        stats.bv.0 + stats.bv.1 > 0,
+        "bitvector solver cache never consulted: {stats:?}"
+    );
+    assert!(
+        stats.bv.0 > 0,
+        "bitvector solver cache never hit: {stats:?}"
+    );
+}

@@ -22,8 +22,9 @@
 //! maintained and exposed through [`crate::check::Checker`]'s stats API
 //! (surfaced by `rtr check --stats`).
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use rtr_solver::fxhash::FxHashMap;
 #[cfg(feature = "stats")]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -72,7 +73,7 @@ impl Counters {
 /// A fuel-aware memo table.
 #[derive(Debug)]
 pub(crate) struct Table<K> {
-    map: Mutex<HashMap<K, Entry>>,
+    map: Mutex<FxHashMap<K, Entry>>,
     #[cfg(feature = "stats")]
     pub(crate) counters: Counters,
 }
@@ -81,7 +82,7 @@ pub(crate) struct Table<K> {
 impl<K> Default for Table<K> {
     fn default() -> Self {
         Table {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(FxHashMap::default()),
             #[cfg(feature = "stats")]
             counters: Counters::default(),
         }
@@ -129,7 +130,7 @@ impl<K: Eq + Hash + Copy> Table<K> {
 /// A fuel-free memo table (for purely structural judgments).
 #[derive(Debug)]
 pub(crate) struct SimpleTable<K> {
-    map: Mutex<HashMap<K, bool>>,
+    map: Mutex<FxHashMap<K, bool>>,
     #[cfg(feature = "stats")]
     pub(crate) counters: Counters,
 }
@@ -137,7 +138,7 @@ pub(crate) struct SimpleTable<K> {
 impl<K> Default for SimpleTable<K> {
     fn default() -> Self {
         SimpleTable {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(FxHashMap::default()),
             #[cfg(feature = "stats")]
             counters: Counters::default(),
         }
@@ -168,6 +169,56 @@ impl<K: Eq + Hash + Copy> SimpleTable<K> {
     }
 }
 
+/// A verdict memo for solver-level queries: non-`Copy` structural keys
+/// (canonicalized constraint-system fingerprints), `Copy` verdict values.
+/// Capped and flushed like the judgment tables — clearing a memo is
+/// always sound.
+#[derive(Debug)]
+pub(crate) struct VerdictMap<K, V> {
+    map: Mutex<FxHashMap<K, V>>,
+    #[cfg(feature = "stats")]
+    pub(crate) counters: Counters,
+}
+
+impl<K, V> Default for VerdictMap<K, V> {
+    fn default() -> Self {
+        VerdictMap {
+            map: Mutex::new(FxHashMap::default()),
+            #[cfg(feature = "stats")]
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Copy> VerdictMap<K, V> {
+    pub(crate) fn lookup(&self, key: &K) -> Option<V> {
+        let verdict = self.map.lock().expect("cache poisoned").get(key).copied();
+        #[cfg(feature = "stats")]
+        match verdict {
+            Some(_) => self.counters.hit(),
+            None => self.counters.miss(),
+        }
+        verdict
+    }
+
+    pub(crate) fn store(&self, key: K, verdict: V) {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() >= SOLVER_TABLE_CAP {
+            map.clear();
+        }
+        map.insert(key, verdict);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+}
+
+/// Cap for the solver verdict/state maps. Smaller than [`TABLE_CAP`]:
+/// these keys are token vectors (and the state map holds whole
+/// constraint systems), not a couple of integers.
+pub(crate) const SOLVER_TABLE_CAP: usize = 1 << 18;
+
 /// The full cache set shared by a [`crate::check::Checker`] (and its
 /// clones — verdicts depend only on the immutable config, globally unique
 /// environment generations and interned ids, so sharing is sound).
@@ -183,11 +234,38 @@ pub(crate) struct Caches {
     pub(crate) inconsistent: Table<u64>,
     /// Structural type emptiness, keyed by interned type.
     pub(crate) empty: SimpleTable<TyId>,
+    /// Linear-theory satisfiability keyed on the canonical constraint
+    /// system (facts, or facts ∧ ¬goal for entailment queries).
+    pub(crate) lin: VerdictMap<crate::solver_cache::TheoryFp, rtr_solver::lin::LinResult>,
+    /// Bitvector-theory satisfiability, same keying discipline.
+    pub(crate) bv: VerdictMap<crate::solver_cache::TheoryFp, rtr_solver::bv::BvResult>,
+    /// Regex-theory verdicts (`true` = the queried conjunction is
+    /// unsatisfiable / the entailment holds; see `solver_cache`).
+    pub(crate) re: VerdictMap<crate::solver_cache::TheoryFp, bool>,
+    /// Incremental Fourier–Motzkin states keyed by the environment's
+    /// linear-store epoch (see [`crate::env::Env::lin_epoch`]).
+    pub(crate) lin_stores: Mutex<FxHashMap<u64, std::sync::Arc<crate::solver_cache::LinStore>>>,
+    /// The checker's persistent bitvector session (shared bit-blast
+    /// encodings and learnt clauses), created lazily.
+    pub(crate) bv_oracle: Mutex<Option<crate::solver_cache::BvOracle>>,
+    /// Instantiated polymorphic Δ-table types, keyed
+    /// `(primitive, canonical argument type ids)` — local type inference
+    /// is deterministic in its inputs, so the monomorphic function type
+    /// can be replayed instead of re-derived at every application.
+    pub(crate) instantiations:
+        Mutex<FxHashMap<(crate::syntax::Prim, Vec<TyId>), crate::syntax::FunTy>>,
 }
 
 impl Caches {
     /// Total entries across all tables (diagnostics / tests).
     pub(crate) fn entry_count(&self) -> usize {
-        self.subtype.len() + self.proves.len() + self.inconsistent.len() + self.empty.len()
+        self.subtype.len()
+            + self.proves.len()
+            + self.inconsistent.len()
+            + self.empty.len()
+            + self.lin.len()
+            + self.bv.len()
+            + self.re.len()
+            + self.lin_stores.lock().expect("cache poisoned").len()
     }
 }

@@ -58,6 +58,12 @@ pub struct CacheStats {
     pub inconsistent: (u64, u64),
     /// Type-emptiness memo table.
     pub empty: (u64, u64),
+    /// Linear-theory fingerprint verdict table.
+    pub lin: (u64, u64),
+    /// Bitvector-theory fingerprint verdict table.
+    pub bv: (u64, u64),
+    /// Regex-theory fingerprint verdict table.
+    pub re: (u64, u64),
 }
 
 impl Checker {
@@ -97,6 +103,9 @@ impl Checker {
             proves: self.caches.proves.counters.snapshot(),
             inconsistent: self.caches.inconsistent.counters.snapshot(),
             empty: self.caches.empty.counters.snapshot(),
+            lin: self.caches.lin.counters.snapshot(),
+            bv: self.caches.bv.counters.snapshot(),
+            re: self.caches.re.counters.snapshot(),
         }
     }
 
@@ -216,7 +225,10 @@ impl Checker {
                 Ok(TyResult::truthy(Ty::fun(l.params.clone(), r), Obj::Null))
             }
             // T-App.
-            Expr::App(f, args) => self.synth_app(env, f, args, &e.to_string()),
+            // The error context renders the whole application expression;
+            // build it lazily so the happy path never pays the (recursive,
+            // quadratic-in-depth) `Display` cost.
+            Expr::App(f, args) => self.synth_app(env, f, args, &|| e.to_string()),
             // T-If.
             Expr::If(c, t, f) => {
                 let rc = self.synth(env, c)?;
@@ -271,7 +283,7 @@ impl Checker {
             Expr::LetRec(fname, fty, lam, body) => {
                 let mut env2 = env.clone();
                 self.bind(&mut env2, *fname, fty, fuel);
-                self.check_lambda(&env2, lam, fty, &format!("(letrec {fname} …)"))?;
+                self.check_lambda(&env2, lam, fty, &|| format!("(letrec {fname} …)"))?;
                 let r = self.synth(&env2, body)?;
                 Ok(r.lift_subst(*fname, fty, &Obj::Null))
             }
@@ -344,7 +356,7 @@ impl Checker {
                 // (bidirectional); everything else synthesizes and
                 // subsumes.
                 if let (Expr::Lam(l), Ty::Fun(_) | Ty::Poly(_)) = (&**inner, ty) {
-                    self.check_lambda(env, l, ty, &inner.to_string())?;
+                    self.check_lambda(env, l, ty, &|| inner.to_string())?;
                     return Ok(TyResult::truthy(ty.clone(), Obj::Null));
                 }
                 let r = self.synth(env, inner)?;
@@ -543,11 +555,17 @@ impl Checker {
         env: &Env,
         f: &Expr,
         args: &[Expr],
-        context: &str,
+        context: &dyn Fn() -> String,
     ) -> Result<TyResult, TypeError> {
         let fuel = self.config.logic_fuel;
-        // Synthesize the operator and arguments.
-        let rf = self.synth(env, f)?;
+        // Synthesize the operator and arguments. Primitive operators skip
+        // synthesis entirely: their Δ-table type is borrowed statically
+        // (truthy, object-free, no existentials), so the large
+        // refinement-bearing trees are never cloned per application.
+        let rf = match f {
+            Expr::Prim(_) => None,
+            _ => Some(self.synth(env, f)?),
+        };
         let mut arg_results = Vec::with_capacity(args.len());
         for a in args {
             arg_results.push(self.synth(env, a)?);
@@ -555,32 +573,77 @@ impl Checker {
 
         let mut env2 = env.clone();
         let mut ghosts: Vec<(Symbol, Ty)> = Vec::new();
-        for (g, t) in &rf.existentials {
-            self.bind(&mut env2, *g, t, fuel);
-            ghosts.push((*g, t.clone()));
+        if let Some(rf) = &rf {
+            for (g, t) in &rf.existentials {
+                self.bind(&mut env2, *g, t, fuel);
+                ghosts.push((*g, t.clone()));
+            }
         }
 
-        // Peel refinements off the operator type (S-Weaken).
-        let mut fun_ty = rf.ty.clone();
+        // Peel refinements off the operator type by reference (S-Weaken);
+        // only the function node itself is cloned, and polymorphic
+        // operators go straight to instantiation without any clone.
+        let mut fun_ty: &Ty = match (&rf, f) {
+            (Some(r), _) => &r.ty,
+            (None, Expr::Prim(p)) => crate::prims::delta_ref(*p),
+            (None, _) => unreachable!("rf is None only for prim operators"),
+        };
         while let Ty::Refine(r) = fun_ty {
-            fun_ty = r.base;
+            fun_ty = &r.base;
         }
         let fun: FunTy = match fun_ty {
-            Ty::Fun(f) => *f,
+            Ty::Fun(f) => (**f).clone(),
             Ty::Poly(p) => {
-                let arg_tys: Vec<Ty> = arg_results.iter().map(|r| r.ty.clone()).collect();
-                self.instantiate_poly(&p, &arg_tys, context)?
+                // Primitive operators: memoize the instantiation on the
+                // canonical argument-type ids — local type inference is a
+                // pure function of the poly type and the argument types,
+                // and modules re-apply the same primitives at the same
+                // types constantly.
+                if let Expr::Prim(prim) = f {
+                    let key = (
+                        *prim,
+                        arg_results
+                            .iter()
+                            .map(|r| crate::intern::TyId::of(&r.ty))
+                            .collect::<Vec<_>>(),
+                    );
+                    let hit = self
+                        .caches()
+                        .instantiations
+                        .lock()
+                        .expect("cache poisoned")
+                        .get(&key)
+                        .cloned();
+                    match hit {
+                        Some(fun) => fun,
+                        None => {
+                            let arg_tys: Vec<Ty> =
+                                arg_results.iter().map(|r| r.ty.clone()).collect();
+                            let fun = self.instantiate_poly(p, &arg_tys, context)?;
+                            let mut memo =
+                                self.caches().instantiations.lock().expect("cache poisoned");
+                            if memo.len() >= crate::cache::SOLVER_TABLE_CAP {
+                                memo.clear();
+                            }
+                            memo.insert(key, fun.clone());
+                            fun
+                        }
+                    }
+                } else {
+                    let arg_tys: Vec<Ty> = arg_results.iter().map(|r| r.ty.clone()).collect();
+                    self.instantiate_poly(p, &arg_tys, context)?
+                }
             }
             other => {
                 return Err(TypeError::NotAFunction {
-                    context: context.to_owned(),
-                    got: other,
+                    context: context(),
+                    got: other.clone(),
                 })
             }
         };
         if fun.params.len() != args.len() {
             return Err(TypeError::Arity {
-                context: context.to_owned(),
+                context: context(),
                 expected: fun.params.len(),
                 got: args.len(),
             });
@@ -601,7 +664,7 @@ impl Checker {
                 self.bind(&mut env2, *g, t, fuel);
                 ghosts.push((*g, t.clone()));
             }
-            let (x, dom) = params[idx].clone();
+            let x = params[idx].0;
             let o = {
                 let o = env2.resolve(&r_arg.obj);
                 if o.is_null() {
@@ -620,10 +683,13 @@ impl Checker {
                 else_p: Prop::TT,
                 obj: o.clone(),
             };
-            if !self.subtype_result(&env2, &fitted, &TyResult::of_type(dom.clone()), fuel) {
+            // One domain clone feeds the expected result; the error path
+            // (cold) re-reads it from `expected`.
+            let expected = TyResult::of_type(params[idx].1.clone());
+            if !self.subtype_result(&env2, &fitted, &expected, fuel) {
                 return Err(TypeError::Mismatch {
-                    context: format!("{context}, argument {}", idx + 1),
-                    expected: dom,
+                    context: format!("{}, argument {}", context(), idx + 1),
+                    expected: expected.ty,
                     got: r_arg.ty.clone(),
                 });
             }
@@ -698,7 +764,7 @@ impl Checker {
         env: &Env,
         lam: &Lambda,
         expected: &Ty,
-        context: &str,
+        context: &dyn Fn() -> String,
     ) -> Result<(), TypeError> {
         let fuel = self.config.logic_fuel;
         let fun: &FunTy = match expected {
@@ -709,7 +775,7 @@ impl Checker {
                 return match &p.body {
                     Ty::Fun(_) => self.check_lambda(env, lam, &p.body, context),
                     other => Err(TypeError::Mismatch {
-                        context: context.to_owned(),
+                        context: context(),
                         expected: (*other).clone(),
                         got: Ty::Top,
                     }),
@@ -717,14 +783,14 @@ impl Checker {
             }
             other => {
                 return Err(TypeError::NotAFunction {
-                    context: context.to_owned(),
+                    context: context(),
                     got: other.clone(),
                 })
             }
         };
         if fun.params.len() != lam.params.len() {
             return Err(TypeError::Arity {
-                context: context.to_owned(),
+                context: context(),
                 expected: fun.params.len(),
                 got: lam.params.len(),
             });
@@ -748,7 +814,7 @@ impl Checker {
             // The signature's domain must satisfy any explicit annotation.
             if *ann != Ty::Top && !self.subtype(&env2, &doms[i], ann, fuel) {
                 return Err(TypeError::Mismatch {
-                    context: format!("{context}, parameter {x}"),
+                    context: format!("{}, parameter {x}", context()),
                     expected: ann.clone(),
                     got: doms[i].clone(),
                 });

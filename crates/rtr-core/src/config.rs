@@ -40,6 +40,17 @@ pub struct CheckerConfig {
     /// memo tables and id shortcuts, not ∨-canonicalization (whose
     /// semantics the `intern` unit tests cover directly).
     pub memoize: bool,
+    /// Cache and solve theory queries incrementally: memoize
+    /// linear/bitvector/string entailment and consistency verdicts on
+    /// canonicalized (sorted, deduplicated, de-Bruijn-renamed) constraint
+    /// fingerprints, reuse Fourier–Motzkin elimination traces across
+    /// snapshot-extended environments, and keep one bitvector solving
+    /// session (shared bit-blast encodings + learnt clauses) per checker.
+    /// Disable to run every solver query one-shot from scratch — the
+    /// reference behaviour the equivalence tests compare against.
+    /// Canonicalization preserves the solved constraint system up to
+    /// variable renaming, so cached verdicts transfer soundly.
+    pub solver_cache: bool,
     /// Maximum depth of disjunction case splits during proving.
     pub case_split_budget: u32,
     /// Recursion fuel for the mutually recursive subtype/proof judgments.
@@ -62,6 +73,7 @@ impl Default for CheckerConfig {
             representative_objects: true,
             hybrid_env: true,
             memoize: true,
+            solver_cache: true,
             case_split_budget: 6,
             logic_fuel: 128,
             fm: FmConfig::default(),

@@ -41,6 +41,14 @@ fn next_generation() -> u64 {
     GEN.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Hands out globally unique linear-theory-store epochs. Epoch 0 is
+/// reserved for the empty store. Separate from the generation counter so
+/// solver-state caches keyed by epoch survive non-theory env mutations.
+fn next_lin_epoch() -> u64 {
+    static EPOCH: AtomicU64 = AtomicU64::new(1);
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A type-checking environment Γ.
 #[derive(Clone, Debug, Default)]
 pub struct Env {
@@ -72,6 +80,15 @@ pub struct Env {
     absurd: bool,
     /// Content stamp: 0 for the empty environment, else globally unique.
     generation: u64,
+    /// Content stamp of `lin_facts` alone: 0 when empty, else globally
+    /// unique. Unlike `generation` it survives non-theory mutations, so
+    /// solver-state caches keyed on it stay warm while the environment
+    /// learns type facts.
+    lin_epoch: u64,
+    /// The `lin_epoch` this store was extended from by appending facts
+    /// (`lin_facts[..n]` is exactly the parent's store). `None` after
+    /// non-append edits (`unbind`), which force a from-scratch solve.
+    lin_parent: Option<u64>,
 }
 
 impl Env {
@@ -164,7 +181,17 @@ impl Env {
         };
         Arc::make_mut(&mut self.disjs)
             .retain(|(p, q)| !mentions_prop(&p.get()) && !mentions_prop(&q.get()));
+        let lin_before = self.lin_facts.len();
         Arc::make_mut(&mut self.lin_facts).retain(|a| !mentions_prop(&Prop::Lin(a.clone())));
+        if self.lin_facts.len() != lin_before {
+            // Not an append: incremental solver states can't extend this.
+            self.lin_epoch = if self.lin_facts.is_empty() {
+                0
+            } else {
+                next_lin_epoch()
+            };
+            self.lin_parent = None;
+        }
         Arc::make_mut(&mut self.bv_facts).retain(|a| !mentions_prop(&Prop::Bv(a.clone())));
         Arc::make_mut(&mut self.str_facts).retain(|a| !mentions_prop(&Prop::Str(a.clone())));
         Arc::make_mut(&mut self.pending).retain(|(p, t, _)| {
@@ -294,12 +321,25 @@ impl Env {
             return;
         }
         self.touch();
+        self.lin_parent = Some(self.lin_epoch);
+        self.lin_epoch = next_lin_epoch();
         Arc::make_mut(&mut self.lin_facts).push(a);
     }
 
     /// The accumulated linear facts.
     pub fn lin_facts(&self) -> &[LinAtom] {
         &self.lin_facts
+    }
+
+    /// The linear store's content stamp (0 = empty store); see the field
+    /// docs. Solver caches key incremental elimination states on this.
+    pub fn lin_epoch(&self) -> u64 {
+        self.lin_epoch
+    }
+
+    /// The epoch this store extends by appended facts, if any.
+    pub fn lin_parent(&self) -> Option<u64> {
+        self.lin_parent
     }
 
     /// Appends a bitvector fact.

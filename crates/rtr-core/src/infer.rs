@@ -25,17 +25,17 @@ impl Checker {
         &self,
         poly: &PolyTy,
         arg_tys: &[Ty],
-        context: &str,
+        context: &dyn Fn() -> String,
     ) -> Result<FunTy, TypeError> {
         let Ty::Fun(fun) = &poly.body else {
             return Err(TypeError::CannotInfer {
-                context: context.to_owned(),
+                context: context(),
                 reason: format!("polymorphic type {} is not a function", poly.body),
             });
         };
         if fun.params.len() != arg_tys.len() {
             return Err(TypeError::Arity {
-                context: context.to_owned(),
+                context: context(),
                 expected: fun.params.len(),
                 got: arg_tys.len(),
             });
@@ -56,7 +56,7 @@ impl Checker {
         match body {
             Ty::Fun(f) => Ok(*f),
             other => Err(TypeError::CannotInfer {
-                context: context.to_owned(),
+                context: context(),
                 reason: format!("instantiation produced non-function {other}"),
             }),
         }
@@ -127,7 +127,7 @@ mod tests {
             .instantiate_poly(
                 &poly_of(Prim::VecRef),
                 &[Ty::vec(Ty::Int), Ty::Int],
-                "(vec-ref v i)",
+                &|| "(vec-ref v i)".to_owned(),
             )
             .unwrap();
         assert_eq!(f.params[0].1, Ty::vec(Ty::Int));
@@ -149,7 +149,7 @@ mod tests {
             ),
         );
         let f = c
-            .instantiate_poly(&poly_of(Prim::Len), &[arg], "(len v)")
+            .instantiate_poly(&poly_of(Prim::Len), &[arg], &|| "(len v)".to_owned())
             .unwrap();
         assert_eq!(f.params[0].1, Ty::vec(Ty::bool_ty()));
     }
@@ -164,7 +164,9 @@ mod tests {
             vars: vec![a],
             body: Ty::fun(vec![(x, Ty::Int)], TyResult::of_type(Ty::TVar(a))),
         };
-        let f = c.instantiate_poly(&poly, &[Ty::Int], "ctx").unwrap();
+        let f = c
+            .instantiate_poly(&poly, &[Ty::Int], &|| "ctx".to_owned())
+            .unwrap();
         assert!(f.range.ty.is_bot());
     }
 
@@ -172,7 +174,9 @@ mod tests {
     fn arity_mismatch_is_reported() {
         let c = checker();
         let err = c
-            .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int)], "(vec-ref v)")
+            .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int)], &|| {
+                "(vec-ref v)".to_owned()
+            })
             .unwrap_err();
         assert!(matches!(
             err,
@@ -199,7 +203,7 @@ mod tests {
             ),
         };
         let f = c
-            .instantiate_poly(&poly, &[Ty::True, Ty::False], "ctx")
+            .instantiate_poly(&poly, &[Ty::True, Ty::False], &|| "ctx".to_owned())
             .unwrap();
         assert_eq!(f.range.ty, Ty::bool_ty());
     }

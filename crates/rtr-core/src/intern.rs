@@ -32,8 +32,9 @@
 //! slowly (a few entries per checked module); an evictable arena is a
 //! ROADMAP follow-on.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+use rtr_solver::fxhash::FxHashMap;
 
 use crate::syntax::{FunTy, Obj, PolyTy, Prop, RefineTy, Ty, TyResult};
 
@@ -140,20 +141,20 @@ struct Store {
     /// Parallel to `tys`: subtype verdicts need no environment (see
     /// [`TyId::of_with_env_free`]).
     ty_envfree: Vec<bool>,
-    ty_canon: HashMap<Arc<Ty>, u32>,
-    ty_memo: HashMap<Ty, u32>,
+    ty_canon: FxHashMap<Arc<Ty>, u32>,
+    ty_memo: FxHashMap<Ty, u32>,
     /// Member ids of interned union types (flattening support).
-    ty_unions: HashMap<u32, Vec<u32>>,
+    ty_unions: FxHashMap<u32, Vec<u32>>,
     props: Vec<Arc<Prop>>,
-    prop_canon: HashMap<Arc<Prop>, u32>,
-    prop_memo: HashMap<Prop, u32>,
+    prop_canon: FxHashMap<Arc<Prop>, u32>,
+    prop_memo: FxHashMap<Prop, u32>,
     /// Conjunct ids of interned `And` chains (flattening support).
-    prop_ands: HashMap<u32, Vec<u32>>,
+    prop_ands: FxHashMap<u32, Vec<u32>>,
     /// Disjunct ids of interned `Or` chains (flattening support).
-    prop_ors: HashMap<u32, Vec<u32>>,
+    prop_ors: FxHashMap<u32, Vec<u32>>,
     objs: Vec<Arc<Obj>>,
-    obj_canon: HashMap<Arc<Obj>, u32>,
-    obj_memo: HashMap<Obj, u32>,
+    obj_canon: FxHashMap<Arc<Obj>, u32>,
+    obj_memo: FxHashMap<Obj, u32>,
 }
 
 fn store() -> &'static Mutex<Store> {

@@ -59,6 +59,7 @@ pub mod logic;
 pub mod model;
 pub mod mutation;
 pub mod prims;
+mod solver_cache;
 pub mod subtype;
 pub mod syntax;
 pub mod update;

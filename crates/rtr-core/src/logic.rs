@@ -389,6 +389,16 @@ impl Checker {
         if env.is_absurd() || matches!(goal, Prop::TT) {
             return true;
         }
+        // Theory-atom goals skip this interning-keyed table when the
+        // solver caches are on: the adapters memoize them on canonical
+        // fingerprints, which (unlike an interned-id key) transfer across
+        // fresh-name renamings — and interning a freshly-gensymed goal
+        // tree is pure miss cost. The structural search around the solver
+        // call (`env_inconsistent`, case splits) stays memoized through
+        // its own tables.
+        if self.config.solver_cache && matches!(goal, Prop::Lin(_) | Prop::Bv(_) | Prop::Str(_)) {
+            return self.proves_structural(env, goal, fuel, splits);
+        }
         let key = (env.generation(), PropId::of(goal), splits);
         if let Some(verdict) = self.caches().proves.lookup(key, fuel) {
             return verdict;
@@ -647,7 +657,7 @@ impl Checker {
             if !env.bv_facts().is_empty() && self.bv_check(env).is_unsat() {
                 return true;
             }
-            if !env.str_facts().is_empty() && self.str_check(env).is_unsat() {
+            if !env.str_facts().is_empty() && self.str_unsat(env) {
                 return true;
             }
         }
@@ -655,9 +665,18 @@ impl Checker {
     }
 
     // --- theory adapters ----------------------------------------------------
+    //
+    // Each adapter has two paths: the incremental/memoizing one in
+    // `crate::solver_cache` (fingerprint verdict transfer, trace-extended
+    // Fourier–Motzkin, the persistent bitvector session) and the one-shot
+    // reference below it, selected by `config.solver_cache`. The
+    // equivalence tests compare the two end to end.
 
     /// Does the linear theory entail `goal` under the environment's facts?
     fn lin_entails(&self, env: &Env, goal: &LinAtom) -> bool {
+        if self.config.solver_cache {
+            return self.lin_entails_cached(env, goal);
+        }
         let mut tx = LinTranslator::default();
         let mut constraints: Vec<Constraint> = Vec::new();
         for a in env.lin_facts() {
@@ -675,6 +694,9 @@ impl Checker {
         if env.lin_facts().is_empty() {
             return LinResult::Sat;
         }
+        if self.config.solver_cache {
+            return self.lin_check_cached(env);
+        }
         let mut tx = LinTranslator::default();
         let mut constraints = Vec::new();
         for a in env.lin_facts() {
@@ -686,6 +708,9 @@ impl Checker {
 
     /// Does the bitvector theory entail `goal`?
     fn bv_entails(&self, env: &Env, goal: &BvAtomProp) -> bool {
+        if self.config.solver_cache {
+            return self.bv_entails_cached(env, goal);
+        }
         let mut tx = BvTranslator::new(self.config.bv_width);
         let mut facts = Vec::new();
         for a in env.bv_facts() {
@@ -700,6 +725,9 @@ impl Checker {
     }
 
     fn bv_check(&self, env: &Env) -> rtr_solver::bv::BvResult {
+        if self.config.solver_cache {
+            return self.bv_check_cached(env);
+        }
         let mut tx = BvTranslator::new(self.config.bv_width);
         let mut facts = Vec::new();
         for a in env.bv_facts() {
@@ -715,6 +743,19 @@ impl Checker {
     /// Ground atoms (literal string on the left) are decided by running
     /// the matcher; open atoms are delegated to the automata-based solver.
     fn str_entails(&self, env: &Env, goal: &StrAtomProp) -> bool {
+        if self.config.solver_cache {
+            let fp = crate::solver_cache::str_fingerprint(env.str_facts(), Some(goal));
+            if let Some(v) = self.caches().re.lookup(&fp) {
+                return v;
+            }
+            let v = self.str_entails_structural(env, goal);
+            self.caches().re.store(fp, v);
+            return v;
+        }
+        self.str_entails_structural(env, goal)
+    }
+
+    fn str_entails_structural(&self, env: &Env, goal: &StrAtomProp) -> bool {
         let mut tx = StrTranslator::default();
         let mut facts = Vec::new();
         for a in env.str_facts() {
@@ -732,6 +773,20 @@ impl Checker {
                 rtr_solver::re::ReSolver::new(self.config.re).entails(&facts, &goal)
             }
         }
+    }
+
+    /// Is the conjunction of `env`'s regex facts unsatisfiable?
+    fn str_unsat(&self, env: &Env) -> bool {
+        if self.config.solver_cache {
+            let fp = crate::solver_cache::str_fingerprint(env.str_facts(), None);
+            if let Some(v) = self.caches().re.lookup(&fp) {
+                return v;
+            }
+            let v = self.str_check(env).is_unsat();
+            self.caches().re.store(fp, v);
+            return v;
+        }
+        self.str_check(env).is_unsat()
     }
 
     fn str_check(&self, env: &Env) -> rtr_solver::re::ReResult {

@@ -128,7 +128,9 @@ pub fn value_has_type(checker: &Checker, rho: &RtEnv, v: &Value, t: &Ty) -> bool
                 if let Some(name) = c.rec_name {
                     checker.bind(&mut env, name, t, checker.config.logic_fuel);
                 }
-                checker.check_lambda(&env, &c.lambda, t, "closure").is_ok()
+                checker
+                    .check_lambda(&env, &c.lambda, t, &|| "closure".to_owned())
+                    .is_ok()
             }
             Value::Prim(p) => {
                 let env = crate::env::Env::new();

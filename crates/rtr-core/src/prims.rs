@@ -93,13 +93,19 @@ pub fn safe_index_ty(vec_var: Symbol) -> Ty {
 /// (with their symbol-interner round trips) on each call showed up in the
 /// checker profiles. Cloning the cached tree is much cheaper.
 pub fn delta(p: Prim) -> Ty {
+    delta_ref(p).clone()
+}
+
+/// Borrowed view of the Δ-table entry. The application rule peels and
+/// instantiates operator types by reference, so most primitive
+/// applications never clone the (large, refinement-bearing) tree at all.
+pub fn delta_ref(p: Prim) -> &'static Ty {
     use std::sync::OnceLock;
     static TABLE: OnceLock<std::collections::HashMap<Prim, Ty>> = OnceLock::new();
     TABLE
         .get_or_init(|| Prim::all().iter().map(|&p| (p, build_delta(p))).collect())
         .get(&p)
         .expect("Prim::all covers every primitive")
-        .clone()
 }
 
 fn build_delta(p: Prim) -> Ty {

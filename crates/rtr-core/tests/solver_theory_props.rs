@@ -1,0 +1,160 @@
+//! Property tests for the incremental theory-solving layer
+//! (`solver_cache`): on arbitrary fact sets and goals, the checker with
+//! fingerprint memoization + incremental Fourier–Motzkin + the
+//! persistent bitvector session must prove exactly what the one-shot
+//! reference (`solver_cache: false`) proves — assumption-time narrowing,
+//! inconsistency detection and entailment alike.
+
+use proptest::prelude::*;
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_core::env::Env;
+use rtr_core::syntax::{BvCmp, LinCmp, Obj, Prop, Symbol, Ty};
+
+const FUEL: u32 = 64;
+
+fn cached() -> Checker {
+    Checker::default()
+}
+
+fn one_shot() -> Checker {
+    Checker::with_config(CheckerConfig {
+        solver_cache: false,
+        ..CheckerConfig::default()
+    })
+}
+
+/// A small pool of shared symbols so facts and goals actually interact.
+fn sym(i: usize) -> Symbol {
+    let names = ["spx", "spy", "spz", "spv"];
+    Symbol::intern(names[i % names.len()])
+}
+
+fn arb_lin_obj() -> impl Strategy<Value = Obj> {
+    prop_oneof![
+        (-6i64..=6).prop_map(Obj::int),
+        (0usize..3).prop_map(|i| Obj::var(sym(i))),
+        (0usize..3).prop_map(|i| Obj::var(sym(i)).len()),
+        (0usize..3, -3i64..=3).prop_map(|(i, k)| Obj::var(sym(i)).add(&Obj::int(k))),
+    ]
+}
+
+fn arb_lin_prop() -> impl Strategy<Value = Prop> {
+    (
+        arb_lin_obj(),
+        prop_oneof![
+            Just(LinCmp::Lt),
+            Just(LinCmp::Le),
+            Just(LinCmp::Eq),
+            Just(LinCmp::Ne)
+        ],
+        arb_lin_obj(),
+    )
+        .prop_map(|(a, cmp, b)| Prop::lin(a, cmp, b))
+}
+
+fn arb_bv_obj() -> impl Strategy<Value = Obj> {
+    let leaf = prop_oneof![
+        (0u64..=0xff).prop_map(Obj::bv),
+        (0usize..2).prop_map(|i| Obj::var(sym(i))),
+    ];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.bv_and(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.bv_xor(&b)),
+        ]
+    })
+}
+
+fn arb_bv_prop() -> impl Strategy<Value = Prop> {
+    (
+        arb_bv_obj(),
+        prop_oneof![Just(BvCmp::Eq), Just(BvCmp::Ule), Just(BvCmp::Ult)],
+        arb_bv_obj(),
+    )
+        .prop_map(|(a, cmp, b)| Prop::bv(a, cmp, b))
+}
+
+/// Builds an environment by binding the symbol pool and assuming `facts`.
+fn env_with(checker: &Checker, facts: &[Prop], bv: bool) -> Env {
+    let mut env = Env::new();
+    for i in 0..4 {
+        let t = if bv { Ty::BitVec } else { Ty::Int };
+        let t = if !bv && i == 3 { Ty::vec(Ty::Int) } else { t };
+        checker.bind(&mut env, sym(i), &t, FUEL);
+    }
+    for f in facts {
+        checker.assume(&mut env, f, FUEL);
+    }
+    env
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Linear facts + goals: cached and one-shot checkers agree on every
+    /// `proves` verdict, including the implicit inconsistency (`ff`) one.
+    #[test]
+    fn lin_proves_agree(
+        facts in proptest::collection::vec(arb_lin_prop(), 0..5),
+        goals in proptest::collection::vec(arb_lin_prop(), 1..4),
+    ) {
+        let fast = cached();
+        let slow = one_shot();
+        let env_fast = env_with(&fast, &facts, false);
+        let env_slow = env_with(&slow, &facts, false);
+        prop_assert_eq!(
+            fast.proves(&env_fast, &Prop::FF, FUEL),
+            slow.proves(&env_slow, &Prop::FF, FUEL),
+            "inconsistency verdicts diverged on {:?}", facts
+        );
+        for g in &goals {
+            prop_assert_eq!(
+                fast.proves(&env_fast, g, FUEL),
+                slow.proves(&env_slow, g, FUEL),
+                "facts {:?} goal {}", facts, g
+            );
+        }
+    }
+
+    /// Bitvector facts + goals, same property (smaller case count: each
+    /// query runs the CDCL solver).
+    #[test]
+    fn bv_proves_agree(
+        facts in proptest::collection::vec(arb_bv_prop(), 0..4),
+        goals in proptest::collection::vec(arb_bv_prop(), 1..3),
+    ) {
+        let fast = cached();
+        let slow = one_shot();
+        let env_fast = env_with(&fast, &facts, true);
+        let env_slow = env_with(&slow, &facts, true);
+        prop_assert_eq!(
+            fast.proves(&env_fast, &Prop::FF, FUEL),
+            slow.proves(&env_slow, &Prop::FF, FUEL),
+            "inconsistency verdicts diverged on {:?}", facts
+        );
+        for g in &goals {
+            prop_assert_eq!(
+                fast.proves(&env_fast, g, FUEL),
+                slow.proves(&env_slow, g, FUEL),
+                "facts {:?} goal {}", facts, g
+            );
+        }
+    }
+
+    /// Warm-cache stability: asking the same goals twice through the same
+    /// cached checker (second time fully memoized at every layer) cannot
+    /// change any verdict.
+    #[test]
+    fn warm_cache_is_stable(
+        facts in proptest::collection::vec(arb_lin_prop(), 0..4),
+        goals in proptest::collection::vec(arb_lin_prop(), 1..3),
+    ) {
+        let fast = cached();
+        let env = env_with(&fast, &facts, false);
+        let first: Vec<bool> = goals.iter().map(|g| fast.proves(&env, g, FUEL)).collect();
+        let second: Vec<bool> = goals.iter().map(|g| fast.proves(&env, g, FUEL)).collect();
+        prop_assert_eq!(first, second);
+    }
+}

@@ -6,15 +6,20 @@
 //! fig9 --table math-breakdown # §5.1 math-library categories
 //! fig9 --baseline             # adds the λTR baseline row
 //! fig9 --seed N               # corpus seed (default 2016)
+//! fig9 --jobs N               # classification worker threads
+//!                             # (default: available parallelism)
 //! ```
 
-use rtr_corpus::report::{fig9_table, math_breakdown, run_case_study, stats_table};
+use rtr_corpus::report::{fig9_table, math_breakdown, run_case_study_jobs, stats_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut table = "fig9".to_owned();
     let mut seed = 2016u64;
     let mut baseline = false;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -26,9 +31,19 @@ fn main() {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2016);
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(jobs);
+            }
             "--baseline" => baseline = true,
             "--help" | "-h" => {
-                println!("usage: fig9 [--table fig9|stats|math-breakdown] [--seed N] [--baseline]");
+                println!(
+                    "usage: fig9 [--table fig9|stats|math-breakdown] [--seed N] [--baseline] [--jobs N]"
+                );
                 return;
             }
             other => {
@@ -39,8 +54,8 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("generating corpora and classifying 1085 vector operations…");
-    let study = run_case_study(seed, baseline);
+    eprintln!("generating corpora and classifying 1085 vector operations ({jobs} worker(s))…");
+    let study = run_case_study_jobs(seed, baseline, jobs);
     match table.as_str() {
         "stats" => print!("{}", stats_table(&study)),
         "math-breakdown" => print!("{}", math_breakdown(&study)),

@@ -82,9 +82,59 @@ impl Tally {
 
 /// Classifies every site in a library.
 pub fn classify_library(lib: &Library, checker: &Checker) -> Tally {
+    classify_library_jobs(lib, checker, 1)
+}
+
+/// Classifies every site in a library, sharding the sites across `jobs`
+/// scoped worker threads.
+///
+/// The checker is shared by reference: its memo tables are `Sync`
+/// (mutex-guarded, keyed on globally unique generations and interned
+/// ids), so workers transparently share solver-cache verdicts. Outcomes
+/// are collected per shard and folded **in site order**, so the tally —
+/// and any report rendered from it — is identical to the single-threaded
+/// run. Caveat: that guarantee is as strong as the solvers' verdicts are
+/// schedule-independent — definite (`Sat`/`Unsat`) verdicts always are,
+/// while a query sitting exactly at a conflict/blast budget could in
+/// principle flip to `Unknown` under a different interleaving of the
+/// shared session; corpus queries run orders of magnitude below those
+/// budgets (the equivalence tests pin the end-to-end property).
+pub fn classify_library_jobs(lib: &Library, checker: &Checker, jobs: usize) -> Tally {
+    let jobs = jobs.max(1).min(lib.sites.len().max(1));
+    let outcomes: Vec<Outcome> = if jobs == 1 {
+        lib.sites
+            .iter()
+            .map(|s| classify_site(s, checker))
+            .collect()
+    } else {
+        let chunk = lib.sites.len().div_ceil(jobs);
+        let mut out: Vec<Vec<Outcome>> = Vec::with_capacity(jobs);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lib
+                .sites
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|s| classify_site(s, checker))
+                            .collect::<Vec<Outcome>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("classification worker must not panic"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    };
+    tally_outcomes(lib, &outcomes)
+}
+
+/// Deterministic fold of per-site outcomes (site order) into a tally.
+fn tally_outcomes(lib: &Library, outcomes: &[Outcome]) -> Tally {
     let mut t = Tally::default();
-    for site in &lib.sites {
-        let outcome = classify_site(site, checker);
+    for (site, &outcome) in lib.sites.iter().zip(outcomes) {
         match outcome {
             Outcome::Auto => t.auto_ops += site.num_ops,
             Outcome::WithAnnotations => t.annotated_ops += site.num_ops,

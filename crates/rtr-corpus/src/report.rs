@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use rtr_core::check::Checker;
 use rtr_core::config::CheckerConfig;
 
-use crate::classify::{classify_library, Tally};
+use crate::classify::{classify_library_jobs, Tally};
 use crate::gen::{generate, Library};
 use crate::profiles::libraries;
 
@@ -22,12 +22,25 @@ pub struct CaseStudy {
 
 /// Runs the whole case study (generation + classification).
 pub fn run_case_study(seed: u64, with_baseline: bool) -> CaseStudy {
+    run_case_study_jobs(seed, with_baseline, 1)
+}
+
+/// Runs the case study with site classification sharded across `jobs`
+/// worker threads (see [`crate::classify::classify_library_jobs`]). The
+/// produced study — and every table rendered from it — is byte-identical
+/// to the single-threaded run.
+pub fn run_case_study_jobs(seed: u64, with_baseline: bool, jobs: usize) -> CaseStudy {
     let checker = Checker::default();
     let libs: Vec<Library> = libraries().iter().map(|p| generate(p, seed)).collect();
-    let tallies: Vec<Tally> = libs.iter().map(|l| classify_library(l, &checker)).collect();
+    let tallies: Vec<Tally> = libs
+        .iter()
+        .map(|l| classify_library_jobs(l, &checker, jobs))
+        .collect();
     let baseline = with_baseline.then(|| {
         let tr = Checker::with_config(CheckerConfig::lambda_tr());
-        libs.iter().map(|l| classify_library(l, &tr)).collect()
+        libs.iter()
+            .map(|l| classify_library_jobs(l, &tr, jobs))
+            .collect()
     });
     CaseStudy {
         libs,

@@ -1,0 +1,72 @@
+//! The incremental theory-solving layer (fingerprint memoization,
+//! trace-extended Fourier–Motzkin, the persistent bitvector session)
+//! must classify corpus sites exactly like the one-shot reference
+//! (`solver_cache: false`): canonicalization preserves the solved
+//! constraint system up to variable renaming, so cached verdicts are the
+//! verdicts the one-shot solvers would have produced. One flipped
+//! verdict here would skew the regenerated Figure 9.
+//!
+//! This mirrors `memoization_equiv.rs`, which pins down the same
+//! property one layer up (judgment memo tables).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_corpus::classify::{classify_library_jobs, classify_site};
+use rtr_corpus::gen::generate;
+use rtr_corpus::patterns::{build_site, Class};
+use rtr_corpus::profiles::libraries;
+
+#[test]
+fn solver_cached_checker_classifies_sites_like_the_one_shot_reference() {
+    let cached = Checker::default();
+    let one_shot = Checker::with_config(CheckerConfig {
+        solver_cache: false,
+        ..CheckerConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0x50_1D_CA_FE);
+    let classes = [
+        Class::Auto,
+        Class::Annotation,
+        Class::Modification,
+        Class::BeyondScope,
+        Class::Unsafe,
+    ];
+    let mut id = 0usize;
+    for &class in &classes {
+        for _ in 0..3 {
+            let site = build_site(&mut rng, class, id);
+            id += 1;
+            let fast = classify_site(&site, &cached);
+            let slow = classify_site(&site, &one_shot);
+            assert_eq!(
+                fast, slow,
+                "site {} (pattern {}, class {:?}) classified differently with solver caching",
+                site.id, site.pattern, site.expected
+            );
+        }
+    }
+}
+
+/// The full §5 study, both configurations, all 1085 operations.
+#[test]
+fn full_corpus_classification_identical_with_and_without_solver_cache() {
+    let cached = Checker::default();
+    let one_shot = Checker::with_config(CheckerConfig {
+        solver_cache: false,
+        ..CheckerConfig::default()
+    });
+    for profile in libraries() {
+        let lib = generate(&profile, 2016);
+        let fast = classify_library_jobs(&lib, &cached, 1);
+        let slow = classify_library_jobs(&lib, &one_shot, 1);
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{slow:?}"),
+            "{}: tallies diverged",
+            profile.name
+        );
+    }
+}

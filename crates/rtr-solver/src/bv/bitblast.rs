@@ -6,9 +6,8 @@
 //! (hash-consing on the term structure), which matters for the shift-add
 //! multiplier's repeated partial sums.
 
-use std::collections::HashMap;
-
 use super::term::{BvAtom, BvLit, BvTerm, Node};
+use crate::fxhash::FxHashMap;
 use crate::lin::SolverVar;
 use crate::sat::{Cnf, Lit};
 
@@ -24,41 +23,76 @@ impl std::fmt::Display for BlastBudgetExceeded {
 
 impl std::error::Error for BlastBudgetExceeded {}
 
+/// The reusable half of the blaster: variable bit assignments, the
+/// term→bits hash-consing cache, and the reified constant-true literal.
+/// Splitting this from the CNF borrow lets a session keep the state (and
+/// with it every already-encoded term's clause block) alive across
+/// queries — repeated goals over the same terms skip re-encoding
+/// entirely (see [`crate::bv::BvSession`]).
+#[derive(Clone, Debug, Default)]
+pub struct BlastState {
+    vars: FxHashMap<(SolverVar, u32), Vec<Lit>>,
+    cache: FxHashMap<BvTerm, Vec<Lit>>,
+    true_lit: Option<Lit>,
+}
+
+impl BlastState {
+    /// Number of distinct terms whose encodings are cached.
+    pub fn num_cached_terms(&self) -> usize {
+        self.cache.len()
+    }
+}
+
 /// Incremental bit-blaster over a shared CNF.
 pub struct BitBlaster<'a> {
     cnf: &'a mut Cnf,
-    vars: HashMap<(SolverVar, u32), Vec<Lit>>,
-    cache: HashMap<BvTerm, Vec<Lit>>,
-    true_lit: Option<Lit>,
+    state: &'a mut BlastState,
     max_aux_vars: u32,
 }
 
 impl<'a> BitBlaster<'a> {
-    /// Creates a blaster appending to `cnf`.
-    pub fn new(cnf: &'a mut Cnf) -> BitBlaster<'a> {
+    /// Creates a blaster appending to `cnf`, reusing (and extending) the
+    /// encodings cached in `state`. `state` must only ever be paired with
+    /// this same `cnf` — its literals index that CNF's variables.
+    pub fn new(cnf: &'a mut Cnf, state: &'a mut BlastState) -> BitBlaster<'a> {
         BitBlaster {
             cnf,
-            vars: HashMap::new(),
-            cache: HashMap::new(),
-            true_lit: None,
+            state,
             max_aux_vars: 1_000_000,
         }
     }
 
     /// A literal constrained to be true.
     fn constant_true(&mut self) -> Lit {
-        if let Some(t) = self.true_lit {
+        if let Some(t) = self.state.true_lit {
             return t;
         }
         let v = self.cnf.fresh_var();
         let t = Lit::pos(v);
         self.cnf.add_clause([t]);
-        self.true_lit = Some(t);
+        self.state.true_lit = Some(t);
         t
     }
 
     fn constant_false(&mut self) -> Lit {
         !self.constant_true()
+    }
+
+    /// Is `l` the reified constant-true (`Some(true)`) or constant-false
+    /// (`Some(false)`) literal? Enables gate-level constant propagation:
+    /// circuits over constant operands (multiplying by a literal, masking
+    /// with `#xff`, comparing against a bound) fold into wiring instead
+    /// of Tseitin gates, which shrinks both the encoding and the CDCL
+    /// search space by orders of magnitude on constant-heavy queries.
+    fn as_const(&self, l: Lit) -> Option<bool> {
+        let t = self.state.true_lit?;
+        if l == t {
+            Some(true)
+        } else if l == !t {
+            Some(false)
+        } else {
+            None
+        }
     }
 
     fn fresh(&mut self) -> Result<Lit, BlastBudgetExceeded> {
@@ -68,13 +102,25 @@ impl<'a> BitBlaster<'a> {
         Ok(Lit::pos(self.cnf.fresh_var()))
     }
 
-    // --- gate library -----------------------------------------------------
+    // --- gate library (with constant/structural simplification) ----------
 
     fn gate_not(&mut self, a: Lit) -> Lit {
         !a
     }
 
     fn gate_and(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastBudgetExceeded> {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return Ok(self.constant_false()),
+            (Some(true), _) => return Ok(b),
+            (_, Some(true)) => return Ok(a),
+            _ => {}
+        }
+        if a == b {
+            return Ok(a);
+        }
+        if a == !b {
+            return Ok(self.constant_false());
+        }
         let o = self.fresh()?;
         self.cnf.add_clause([!o, a]);
         self.cnf.add_clause([!o, b]);
@@ -83,6 +129,18 @@ impl<'a> BitBlaster<'a> {
     }
 
     fn gate_or(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastBudgetExceeded> {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return Ok(self.constant_true()),
+            (Some(false), _) => return Ok(b),
+            (_, Some(false)) => return Ok(a),
+            _ => {}
+        }
+        if a == b {
+            return Ok(a);
+        }
+        if a == !b {
+            return Ok(self.constant_true());
+        }
         let o = self.fresh()?;
         self.cnf.add_clause([o, !a]);
         self.cnf.add_clause([o, !b]);
@@ -91,6 +149,19 @@ impl<'a> BitBlaster<'a> {
     }
 
     fn gate_xor(&mut self, a: Lit, b: Lit) -> Result<Lit, BlastBudgetExceeded> {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) => return Ok(b),
+            (_, Some(false)) => return Ok(a),
+            (Some(true), _) => return Ok(!b),
+            (_, Some(true)) => return Ok(!a),
+            _ => {}
+        }
+        if a == b {
+            return Ok(self.constant_false());
+        }
+        if a == !b {
+            return Ok(self.constant_true());
+        }
         let o = self.fresh()?;
         self.cnf.add_clause([!o, a, b]);
         self.cnf.add_clause([!o, !a, !b]);
@@ -106,6 +177,16 @@ impl<'a> BitBlaster<'a> {
 
     /// Majority of three (the carry bit of a full adder).
     fn gate_maj(&mut self, a: Lit, b: Lit, c: Lit) -> Result<Lit, BlastBudgetExceeded> {
+        // Constant inputs reduce the majority to a binary gate.
+        match (self.as_const(a), self.as_const(b), self.as_const(c)) {
+            (Some(true), ..) => return self.gate_or(b, c),
+            (Some(false), ..) => return self.gate_and(b, c),
+            (_, Some(true), _) => return self.gate_or(a, c),
+            (_, Some(false), _) => return self.gate_and(a, c),
+            (.., Some(true)) => return self.gate_or(a, b),
+            (.., Some(false)) => return self.gate_and(a, b),
+            _ => {}
+        }
         let ab = self.gate_and(a, b)?;
         let ac = self.gate_and(a, c)?;
         let bc = self.gate_and(b, c)?;
@@ -117,7 +198,7 @@ impl<'a> BitBlaster<'a> {
 
     /// The bits of `t`, LSB first.
     pub(crate) fn blast_term(&mut self, t: &BvTerm) -> Result<Vec<Lit>, BlastBudgetExceeded> {
-        if let Some(bits) = self.cache.get(t) {
+        if let Some(bits) = self.state.cache.get(t) {
             return Ok(bits.clone());
         }
         let width = t.width() as usize;
@@ -130,12 +211,12 @@ impl<'a> BitBlaster<'a> {
                     .collect()
             }
             Node::Var(x) => {
-                if let Some(bits) = self.vars.get(&(*x, t.width())) {
+                if let Some(bits) = self.state.vars.get(&(*x, t.width())) {
                     bits.clone()
                 } else {
                     let bits: Vec<Lit> =
                         (0..width).map(|_| Lit::pos(self.cnf.fresh_var())).collect();
-                    self.vars.insert((*x, t.width()), bits.clone());
+                    self.state.vars.insert((*x, t.width()), bits.clone());
                     bits
                 }
             }
@@ -191,7 +272,7 @@ impl<'a> BitBlaster<'a> {
                     .collect()
             }
         };
-        self.cache.insert(t.clone(), bits.clone());
+        self.state.cache.insert(t.clone(), bits.clone());
         Ok(bits)
     }
 
@@ -278,9 +359,17 @@ impl<'a> BitBlaster<'a> {
 
     /// Asserts a literal (adds it as a unit over its reified atom).
     pub fn assert_lit(&mut self, lit: &BvLit) -> Result<(), BlastBudgetExceeded> {
-        let l = self.blast_atom(&lit.atom)?;
-        self.cnf.add_clause([if lit.positive { l } else { !l }]);
+        let l = self.reify_lit(lit)?;
+        self.cnf.add_clause([l]);
         Ok(())
+    }
+
+    /// Reifies a literal to a single SAT literal (true ⇔ the bitvector
+    /// literal holds) without asserting it — the hook a session uses to
+    /// guard facts and goals behind activation literals.
+    pub fn reify_lit(&mut self, lit: &BvLit) -> Result<Lit, BlastBudgetExceeded> {
+        let l = self.blast_atom(&lit.atom)?;
+        Ok(if lit.positive { l } else { !l })
     }
 }
 
@@ -297,7 +386,8 @@ mod tests {
         let atom = mk(x);
         let truth_any = (0..16u64).any(|v| atom.eval(&mut |_| Some(v)) == Some(true));
         let mut cnf = Cnf::new();
-        let mut blaster = BitBlaster::new(&mut cnf);
+        let mut state = BlastState::default();
+        let mut blaster = BitBlaster::new(&mut cnf, &mut state);
         blaster.assert_lit(&BvLit::positive(atom.clone())).unwrap();
         let sat = Solver::new().solve(&cnf).is_sat();
         assert_eq!(
@@ -371,7 +461,8 @@ mod tests {
         let big = x.clone().mul(BvTerm::constant(3, 8));
         let atom = BvAtom::eq(big.clone().add(big.clone()), big.clone().shl(1));
         let mut cnf = Cnf::new();
-        let mut blaster = BitBlaster::new(&mut cnf);
+        let mut state = BlastState::default();
+        let mut blaster = BitBlaster::new(&mut cnf, &mut state);
         blaster.assert_lit(&BvLit::positive(atom)).unwrap();
         let vars_shared = cnf.num_vars();
 
@@ -380,7 +471,8 @@ mod tests {
         let big = x.clone().mul(BvTerm::constant(3, 8));
         let atom = BvAtom::eq(big.clone().add(big.clone()), big.shl(1));
         let mut cnf2 = Cnf::new();
-        let mut blaster2 = BitBlaster::new(&mut cnf2);
+        let mut state2 = BlastState::default();
+        let mut blaster2 = BitBlaster::new(&mut cnf2, &mut state2);
         blaster2.assert_lit(&BvLit::negative(atom)).unwrap();
         assert!(matches!(Solver::new().solve(&cnf2), SatResult::Unsat));
         assert!(vars_shared > 0);

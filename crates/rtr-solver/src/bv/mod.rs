@@ -24,9 +24,11 @@
 //! ```
 
 mod bitblast;
+mod session;
 mod term;
 
-pub use bitblast::BitBlaster;
+pub use bitblast::{BitBlaster, BlastState};
+pub use session::BvSession;
 pub use term::{BvAtom, BvLit, BvTerm};
 
 use crate::sat::{Cnf, SatResult, Solver, SolverConfig};
@@ -70,7 +72,8 @@ impl BvSolver {
     /// Decides satisfiability of the conjunction of `lits`.
     pub fn check(&self, lits: &[BvLit]) -> BvResult {
         let mut cnf = Cnf::new();
-        let mut blaster = BitBlaster::new(&mut cnf);
+        let mut state = BlastState::default();
+        let mut blaster = BitBlaster::new(&mut cnf, &mut state);
         for lit in lits {
             match blaster.assert_lit(lit) {
                 Ok(()) => {}

@@ -1,7 +1,7 @@
 //! Bitvector terms, atoms and literals.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::lin::SolverVar;
 
@@ -9,10 +9,10 @@ use crate::lin::SolverVar;
 /// require equal widths and wrap modulo `2^width` (the machine semantics
 /// the paper's `Byte` arithmetic relies on).
 ///
-/// Terms are immutable and cheaply cloneable (`Rc`-shared).
+/// Terms are immutable and cheaply cloneable (`Arc`-shared, so terms cross thread boundaries).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct BvTerm {
-    node: Rc<Node>,
+    node: Arc<Node>,
     width: u32,
 }
 
@@ -49,7 +49,7 @@ impl BvTerm {
     pub fn constant(value: u64, width: u32) -> BvTerm {
         assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
         BvTerm {
-            node: Rc::new(Node::Const(value & mask(width))),
+            node: Arc::new(Node::Const(value & mask(width))),
             width,
         }
     }
@@ -62,7 +62,7 @@ impl BvTerm {
     pub fn var(v: SolverVar, width: u32) -> BvTerm {
         assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
         BvTerm {
-            node: Rc::new(Node::Var(v)),
+            node: Arc::new(Node::Var(v)),
             width,
         }
     }
@@ -76,7 +76,7 @@ impl BvTerm {
         assert_eq!(self.width, other.width, "bitvector width mismatch");
         let width = self.width;
         BvTerm {
-            node: Rc::new(f(self, other)),
+            node: Arc::new(f(self, other)),
             width,
         }
     }
@@ -85,7 +85,7 @@ impl BvTerm {
     pub fn not(self) -> BvTerm {
         let width = self.width;
         BvTerm {
-            node: Rc::new(Node::Not(self)),
+            node: Arc::new(Node::Not(self)),
             width,
         }
     }
@@ -124,7 +124,7 @@ impl BvTerm {
     pub fn shl(self, amount: u32) -> BvTerm {
         let width = self.width;
         BvTerm {
-            node: Rc::new(Node::Shl(self, amount)),
+            node: Arc::new(Node::Shl(self, amount)),
             width,
         }
     }
@@ -133,7 +133,7 @@ impl BvTerm {
     pub fn lshr(self, amount: u32) -> BvTerm {
         let width = self.width;
         BvTerm {
-            node: Rc::new(Node::Lshr(self, amount)),
+            node: Arc::new(Node::Lshr(self, amount)),
             width,
         }
     }

@@ -1,0 +1,113 @@
+//! A fast, non-cryptographic hasher for internal memo tables.
+//!
+//! The solvers and the checker above them hash small structural keys
+//! (interned ids, token vectors, term trees) millions of times per
+//! checked module; SipHash's DoS resistance buys nothing there and costs
+//! 3–5× per lookup. This is the multiply-rotate scheme used by rustc
+//! (`FxHasher`): not DoS-resistant, so only for keys an attacker does not
+//! choose — every use in this workspace hashes checker-internal
+//! structures.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc multiply-rotate hasher.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h = |v: &Vec<(u32, String)>| b.hash_one(v);
+        let a = vec![(1u32, "x".to_owned()), (2, "y".to_owned())];
+        assert_eq!(h(&a), h(&a.clone()));
+        let c = vec![(1u32, "x".to_owned()), (2, "z".to_owned())];
+        assert_ne!(h(&a), h(&c), "distinct keys should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<(u64, u32), bool> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i as u32), i % 2 == 0);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(42, 42)), Some(&true));
+    }
+}

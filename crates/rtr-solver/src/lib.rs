@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bv;
+pub mod fxhash;
 pub mod lin;
 pub mod rational;
 pub mod re;

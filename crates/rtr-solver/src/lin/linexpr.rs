@@ -1,6 +1,5 @@
 //! Linear expressions `c + Σ aᵢ·xᵢ` with exact rational coefficients.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use super::SolverVar;
@@ -8,8 +7,12 @@ use crate::rational::Rat;
 
 /// A linear expression `constant + Σ coeffᵢ · varᵢ`.
 ///
-/// Zero-coefficient terms are never stored, so structural equality is
-/// semantic equality.
+/// Terms are kept in a `Vec` sorted by variable with no zero
+/// coefficients, so structural equality is semantic equality. The flat
+/// representation costs one allocation per expression instead of one per
+/// term (the systems the checker poses have a handful of variables, and
+/// Fourier–Motzkin clones rows constantly — this is the solver's hottest
+/// data structure).
 ///
 /// # Examples
 ///
@@ -24,7 +27,8 @@ use crate::rational::Rat;
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LinExpr {
-    terms: BTreeMap<SolverVar, Rat>,
+    /// Sorted by variable; no zero coefficients.
+    terms: Vec<(SolverVar, Rat)>,
     constant: Rat,
 }
 
@@ -32,7 +36,7 @@ impl LinExpr {
     /// The constant expression `n`.
     pub fn constant(n: i64) -> LinExpr {
         LinExpr {
-            terms: BTreeMap::new(),
+            terms: Vec::new(),
             constant: Rat::from(n),
         }
     }
@@ -40,17 +44,15 @@ impl LinExpr {
     /// The constant expression given by a rational.
     pub fn constant_rat(c: Rat) -> LinExpr {
         LinExpr {
-            terms: BTreeMap::new(),
+            terms: Vec::new(),
             constant: c,
         }
     }
 
     /// The expression `1·x`.
     pub fn var(x: SolverVar) -> LinExpr {
-        let mut terms = BTreeMap::new();
-        terms.insert(x, Rat::ONE);
         LinExpr {
-            terms,
+            terms: vec![(x, Rat::ONE)],
             constant: Rat::ZERO,
         }
     }
@@ -61,7 +63,7 @@ impl LinExpr {
         I: IntoIterator<Item = (Rat, SolverVar)>,
     {
         let mut e = LinExpr {
-            terms: BTreeMap::new(),
+            terms: Vec::new(),
             constant,
         };
         for (c, x) in terms {
@@ -75,18 +77,28 @@ impl LinExpr {
         if coeff.is_zero() {
             return;
         }
-        let entry = self.terms.entry(x).or_insert(Rat::ZERO);
-        *entry = entry
-            .checked_add(coeff)
-            .expect("linear-expression coefficient overflow");
-        if entry.is_zero() {
-            self.terms.remove(&x);
+        match self.terms.binary_search_by(|(v, _)| v.cmp(&x)) {
+            Ok(i) => {
+                let c = self.terms[i]
+                    .1
+                    .checked_add(coeff)
+                    .expect("linear-expression coefficient overflow");
+                if c.is_zero() {
+                    self.terms.remove(i);
+                } else {
+                    self.terms[i].1 = c;
+                }
+            }
+            Err(i) => self.terms.insert(i, (x, coeff)),
         }
     }
 
     /// The coefficient of `x` (zero if absent).
     pub fn coeff(&self, x: SolverVar) -> Rat {
-        self.terms.get(&x).copied().unwrap_or(Rat::ZERO)
+        match self.terms.binary_search_by(|(v, _)| v.cmp(&x)) {
+            Ok(i) => self.terms[i].1,
+            Err(_) => Rat::ZERO,
+        }
     }
 
     /// The constant part.
@@ -96,7 +108,7 @@ impl LinExpr {
 
     /// Iterates over the non-zero `(var, coeff)` terms in variable order.
     pub fn iter(&self) -> impl Iterator<Item = (SolverVar, Rat)> + '_ {
-        self.terms.iter().map(|(&x, &c)| (x, c))
+        self.terms.iter().copied()
     }
 
     /// Returns `true` if the expression has no variable terms.
@@ -111,7 +123,7 @@ impl LinExpr {
 
     /// The set of variables mentioned.
     pub fn vars(&self) -> impl Iterator<Item = SolverVar> + '_ {
-        self.terms.keys().copied()
+        self.terms.iter().map(|&(x, _)| x)
     }
 
     /// Pointwise sum.
@@ -119,18 +131,36 @@ impl LinExpr {
         self.checked_add(other).expect("linear-expression overflow")
     }
 
-    /// Pointwise sum, `None` on coefficient overflow.
+    /// Pointwise sum, `None` on coefficient overflow (a sorted merge).
     pub fn checked_add(&self, other: &LinExpr) -> Option<LinExpr> {
-        let mut out = self.clone();
-        out.constant = out.constant.checked_add(other.constant)?;
-        for (x, c) in other.iter() {
-            let entry = out.terms.entry(x).or_insert(Rat::ZERO);
-            *entry = entry.checked_add(c)?;
-            if entry.is_zero() {
-                out.terms.remove(&x);
+        let constant = self.constant.checked_add(other.constant)?;
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() && j < other.terms.len() {
+            let (xa, ca) = self.terms[i];
+            let (xb, cb) = other.terms[j];
+            match xa.cmp(&xb) {
+                std::cmp::Ordering::Less => {
+                    terms.push((xa, ca));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    terms.push((xb, cb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let c = ca.checked_add(cb)?;
+                    if !c.is_zero() {
+                        terms.push((xa, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
             }
         }
-        Some(out)
+        terms.extend_from_slice(&self.terms[i..]);
+        terms.extend_from_slice(&other.terms[j..]);
+        Some(LinExpr { terms, constant })
     }
 
     /// Pointwise difference.
@@ -148,9 +178,9 @@ impl LinExpr {
         if k.is_zero() {
             return Some(LinExpr::default());
         }
-        let mut terms = BTreeMap::new();
+        let mut terms = Vec::with_capacity(self.terms.len());
         for (x, c) in self.iter() {
-            terms.insert(x, c.checked_mul(k)?);
+            terms.push((x, c.checked_mul(k)?));
         }
         Some(LinExpr {
             terms,
@@ -165,7 +195,7 @@ impl LinExpr {
             return Some(self.clone());
         }
         let mut rest = self.clone();
-        rest.terms.remove(&x);
+        rest.terms.retain(|&(v, _)| v != x);
         rest.checked_add(&e.checked_scale(c)?)
     }
 

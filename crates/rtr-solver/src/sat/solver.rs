@@ -74,7 +74,21 @@ impl SatResult {
 
 const NO_REASON: u32 = u32::MAX;
 
-/// A CDCL SAT solver. One-shot: build a [`Cnf`], call [`Solver::solve`].
+/// A CDCL SAT solver.
+///
+/// Supports two usage styles:
+///
+/// * **one-shot** — build a [`Cnf`], call [`Solver::solve`]; all internal
+///   state is rebuilt from scratch;
+/// * **incremental** — keep the solver alive, grow the same `Cnf`
+///   monotonically (append-only clauses and variables) and call
+///   [`Solver::solve_assuming`] repeatedly. Only clauses added since the
+///   previous call are ingested; learnt clauses and variable activities
+///   persist across calls. Assumption literals are decided before any
+///   free decision, so an `Unsat` answer means "unsatisfiable *under the
+///   assumptions*" — the incremental-query discipline of MiniSat-style
+///   solvers, which is what lets the bitvector theory keep learnt clauses
+///   across entailment queries.
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
     config: SolverConfig,
@@ -89,6 +103,12 @@ pub struct Solver {
     var_inc: f64,
     seen: Vec<bool>,
     propagate_head: usize,
+    /// How many clauses of the caller's [`Cnf`] have been ingested
+    /// (incremental mode appends only the new suffix).
+    loaded_clauses: usize,
+    /// Latched once the clause set is unsatisfiable at level 0 —
+    /// independent of any assumptions, so every later query is `Unsat`.
+    root_unsat: bool,
 }
 
 impl Solver {
@@ -106,30 +126,50 @@ impl Solver {
         }
     }
 
-    /// Decides satisfiability of `cnf`.
+    /// Decides satisfiability of `cnf` from scratch (one-shot).
     pub fn solve(&mut self, cnf: &Cnf) -> SatResult {
-        let n = cnf.num_vars() as usize;
-        self.clauses.clear();
-        self.watches = vec![Vec::new(); 2 * n];
-        self.assign = vec![-1; n];
-        self.trail.clear();
-        self.trail_lim.clear();
-        self.reason = vec![NO_REASON; n];
-        self.level = vec![0; n];
-        self.activity = vec![0.0; n];
-        self.seen = vec![false; n];
-        self.propagate_head = 0;
-        self.var_inc = 1.0;
+        *self = Solver::with_config(self.config);
+        self.solve_assuming(cnf, &[])
+    }
 
-        for clause in cnf.clauses() {
+    /// Decides satisfiability of `cnf` under `assumptions`, incrementally.
+    ///
+    /// `cnf` must be the same formula as on previous calls, possibly grown
+    /// with new variables and clauses (append-only); only the new suffix is
+    /// ingested. Learnt clauses from earlier calls are kept — they are
+    /// resolvents of original clauses, hence implied by any superset.
+    /// Assumption literals are decided (in order) before free decisions;
+    /// `Unsat` therefore means the formula has no model *extending the
+    /// assumptions*.
+    pub fn solve_assuming(&mut self, cnf: &Cnf, assumptions: &[Lit]) -> SatResult {
+        if self.root_unsat {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        let n = cnf.num_vars() as usize;
+        if self.assign.len() < n {
+            self.watches.resize(2 * n, Vec::new());
+            self.assign.resize(n, -1);
+            self.reason.resize(n, NO_REASON);
+            self.level.resize(n, 0);
+            self.activity.resize(n, 0.0);
+            self.seen.resize(n, false);
+        }
+        for clause in cnf.clauses().skip(self.loaded_clauses) {
             if !self.add_clause(clause) {
+                self.root_unsat = true;
                 return SatResult::Unsat;
             }
         }
+        self.loaded_clauses = cnf.num_clauses();
         if self.propagate().is_some() {
+            self.root_unsat = true;
             return SatResult::Unsat;
         }
+        self.search(assumptions)
+    }
 
+    fn search(&mut self, assumptions: &[Lit]) -> SatResult {
         let mut conflicts: u64 = 0;
         let mut restart_limit = self.config.restart_interval;
         let mut conflicts_since_restart: u64 = 0;
@@ -139,9 +179,11 @@ impl Solver {
                 conflicts += 1;
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
+                    self.root_unsat = true;
                     return SatResult::Unsat;
                 }
                 if conflicts > self.config.max_conflicts {
+                    self.cancel_until(0);
                     return SatResult::Unknown;
                 }
                 let (learnt, back_level) = self.analyze(confl);
@@ -154,9 +196,33 @@ impl Solver {
                     self.cancel_until(0);
                 }
             } else {
+                // Decide pending assumptions (in order) before any free
+                // decision. An assumption already false under the current
+                // (level-0 or earlier-assumption) assignment refutes the
+                // query.
+                let mut next_assumption = None;
+                for &a in assumptions {
+                    match self.value(a) {
+                        1 => continue,
+                        0 => {
+                            self.cancel_until(0);
+                            return SatResult::Unsat;
+                        }
+                        _ => {
+                            next_assumption = Some(a);
+                            break;
+                        }
+                    }
+                }
+                if let Some(a) = next_assumption {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, NO_REASON);
+                    continue;
+                }
                 match self.pick_branch_var() {
                     None => {
                         let values = self.assign.iter().map(|&v| v == 1).collect::<Vec<bool>>();
+                        self.cancel_until(0);
                         return SatResult::Sat(Model { values });
                     }
                     Some(v) => {
@@ -547,6 +613,56 @@ mod tests {
         match Solver::new().solve(&cnf) {
             SatResult::Sat(m) => assert!(cnf.eval(m.values())),
             other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_restrict_models() {
+        // (a ∨ b): sat under any single assumption, unsat under ¬a ∧ ¬b.
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let mut solver = Solver::new();
+        assert!(solver.solve_assuming(&cnf, &[Lit::pos(a)]).is_sat());
+        assert!(solver.solve_assuming(&cnf, &[Lit::neg(a)]).is_sat());
+        assert!(solver
+            .solve_assuming(&cnf, &[Lit::neg(a), Lit::neg(b)])
+            .is_unsat());
+        // The clause set itself stays satisfiable afterwards.
+        assert!(solver.solve_assuming(&cnf, &[]).is_sat());
+    }
+
+    #[test]
+    fn incremental_clause_growth() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let mut solver = Solver::new();
+        assert!(solver.solve_assuming(&cnf, &[Lit::pos(a)]).is_sat());
+        // Grow the formula: a → b, then assume ¬b.
+        let b = cnf.fresh_var();
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        assert!(solver
+            .solve_assuming(&cnf, &[Lit::pos(a), Lit::neg(b)])
+            .is_unsat());
+        assert!(solver.solve_assuming(&cnf, &[Lit::pos(a)]).is_sat());
+        // Permanently force ¬b: a becomes unassumable, the rest stays sat.
+        cnf.add_clause([Lit::neg(b)]);
+        assert!(solver.solve_assuming(&cnf, &[Lit::pos(a)]).is_unsat());
+        assert!(solver.solve_assuming(&cnf, &[]).is_sat());
+    }
+
+    #[test]
+    fn incremental_agrees_with_one_shot_on_pigeonhole() {
+        // Same instance through the incremental entry point (no
+        // assumptions) must agree with the one-shot path, learnt clauses
+        // and all.
+        for n in 2..=4 {
+            let cnf = pigeonhole(n);
+            let mut solver = Solver::new();
+            assert!(solver.solve_assuming(&cnf, &[]).is_unsat());
+            // root unsat is latched.
+            assert!(solver.solve_assuming(&cnf, &[]).is_unsat());
         }
     }
 

@@ -217,3 +217,123 @@ proptest! {
         prop_assert_eq!(BvSolver::default().entails(&[fact], &goal), expected);
     }
 }
+
+// --- incremental Fourier–Motzkin (trace extension) --------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Incremental check via a recorded trace agrees with the one-shot
+    /// solver on arbitrary base/delta splits: whenever both produce a
+    /// definite verdict, the verdicts match. (Budget-`Unknown`s may
+    /// differ — both are conservative — but never a Sat/Unsat flip.)
+    #[test]
+    fn trace_extension_agrees_with_one_shot(
+        cs in proptest::collection::vec(arb_constraint(3), 1..7),
+        split in 0usize..7,
+    ) {
+        let fm = FourierMotzkin::default();
+        let split = split.min(cs.len());
+        let (base, delta) = cs.split_at(split);
+        let (base_result, trace) = fm.check_traced(base);
+        // The traced verdict itself must agree with the plain check.
+        prop_assert_eq!(base_result, fm.check(base));
+        if let Some(trace) = trace {
+            if let Some(incremental) = fm.check_with_trace(&trace, delta) {
+                let one_shot = fm.check(&cs);
+                if incremental != LinResult::Unknown && one_shot != LinResult::Unknown {
+                    prop_assert_eq!(
+                        incremental, one_shot,
+                        "base {:?} + delta {:?}", base, delta
+                    );
+                }
+            }
+        }
+    }
+
+    /// Entailment via trace extension (the checker's hot path: base facts
+    /// plus one negated-goal row) agrees with `FourierMotzkin::entails`.
+    #[test]
+    fn trace_entailment_agrees_with_one_shot(
+        facts in proptest::collection::vec(arb_constraint(3), 0..5),
+        goal in arb_constraint(3),
+    ) {
+        let fm = FourierMotzkin::default();
+        let (result, trace) = fm.check_traced(&facts);
+        if result == LinResult::Sat {
+            if let Some(trace) = trace {
+                if let Some(incremental) = fm.check_with_trace(&trace, &[goal.negate()]) {
+                    let mut all = facts.clone();
+                    all.push(goal.negate());
+                    let one_shot = fm.check(&all);
+                    if incremental != LinResult::Unknown && one_shot != LinResult::Unknown {
+                        prop_assert_eq!(incremental, one_shot);
+                    }
+                    // And the judgment the checker consumes:
+                    if incremental == LinResult::Unsat {
+                        prop_assert!(fm.entails(&facts, &goal));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- incremental bitvector sessions -----------------------------------------
+
+fn arb_bvterm(width: u32) -> impl Strategy<Value = BvTerm> {
+    let leaf = prop_oneof![
+        (0u64..16).prop_map(move |v| BvTerm::constant(v, width)),
+        (0u32..2).prop_map(move |x| BvTerm::var(SolverVar(x), width)),
+    ];
+    leaf.prop_recursive(2, 8, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            inner.clone().prop_map(|a| a.not()),
+        ]
+    })
+}
+
+fn arb_bvlit(width: u32) -> impl Strategy<Value = BvLit> {
+    (arb_bvterm(width), arb_bvterm(width), 0u8..3, any::<bool>()).prop_map(
+        |(a, b, cmp, positive)| {
+            let atom = match cmp {
+                0 => BvAtom::eq(a, b),
+                1 => BvAtom::ule(a, b),
+                _ => BvAtom::ult(a, b),
+            };
+            if positive {
+                BvLit::positive(atom)
+            } else {
+                BvLit::negative(atom)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A persistent session answers a *sequence* of queries exactly like
+    /// fresh one-shot solvers, despite sharing encodings, activation
+    /// literals and learnt clauses across the whole sequence.
+    #[test]
+    fn bv_session_sequence_agrees_with_one_shot(
+        queries in proptest::collection::vec(
+            proptest::collection::vec(arb_bvlit(4), 0..3), 1..5),
+    ) {
+        use rtr_solver::bv::BvSession;
+        use rtr_solver::sat::SolverConfig;
+        let mut session = BvSession::new(SolverConfig::default());
+        let one_shot = BvSolver::default();
+        for lits in &queries {
+            prop_assert_eq!(
+                session.check(lits),
+                one_shot.check(lits),
+                "session diverged on {:?}", lits
+            );
+        }
+    }
+}

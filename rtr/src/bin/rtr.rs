@@ -146,6 +146,9 @@ fn print_cache_stats(checker: &Checker) {
         ("proves", s.proves),
         ("inconsistent", s.inconsistent),
         ("empty", s.empty),
+        ("solver/lin", s.lin),
+        ("solver/bv", s.bv),
+        ("solver/re", s.re),
     ] {
         let total = hits + misses;
         let rate = if total == 0 {
