@@ -119,7 +119,9 @@ fn main() {
     let opts = parse_args();
     let alias16 = alias_chain_src(16);
     let alias64 = alias_chain_src(64);
+    let alias256 = alias_chain_src(256);
     let narrow8 = narrowing_chain_src(8);
+    let narrow32 = narrowing_chain_src(32);
     let filler50 = filler_module_src(50);
     let dot_prod8 = dot_prod_module_src(8);
     let xtime4 = xtime_module_src(4);
@@ -156,10 +158,26 @@ fn main() {
                 check_source(&alias64, &Checker::default()).expect("alias chain checks");
             }),
         ),
+        // Deep-environment workloads (PR 4): a 256-binder alias chain and
+        // an update-heavy 32-way narrowing chain — the shapes whose
+        // per-binder map copies and `update±` tree rebuilds the id-native
+        // persistent environment is built to collapse.
+        (
+            "alias_chain/256",
+            Box::new(|| {
+                check_source(&alias256, &Checker::default()).expect("alias chain checks");
+            }),
+        ),
         (
             "narrowing_chain/8",
             Box::new(|| {
                 check_source(&narrow8, &Checker::default()).expect("narrowing chain checks");
+            }),
+        ),
+        (
+            "narrowing_chain/32",
+            Box::new(|| {
+                check_source(&narrow32, &Checker::default()).expect("narrowing chain checks");
             }),
         ),
         (

@@ -24,6 +24,10 @@ fn alias_chain_hits_the_memo_tables() {
         stats.inconsistent.0 + stats.inconsistent.1 > 0,
         "inconsistency memo table never consulted: {stats:?}"
     );
+    assert!(
+        stats.update.0 > 0,
+        "id-native update± memo table never hit: {stats:?}"
+    );
     assert!(checker.cache_entry_count() > 0, "memo tables are empty");
 
     // A second check of the same module should hit even more (environment
@@ -32,6 +36,63 @@ fn alias_chain_hits_the_memo_tables() {
     check_source(&src, &checker).expect("alias chain re-checks");
     let after = checker.cache_stats().subtype.0;
     assert!(after > before, "re-check produced no further hits");
+}
+
+#[test]
+fn env_maps_share_structure_and_fresh_names_stay_out_of_the_permanent_arena() {
+    let checker = Checker::default();
+    // dot-prod mints ghost existentials (fresh names) at every
+    // application whose argument has no symbolic object — the workload
+    // whose goals used to leak permanent arena entries per check.
+    let src = rtr_bench::dot_prod_module_src(2);
+    // Warm-up: let first-seen trees (annotations, Δ-table instantiations)
+    // populate the permanent arena — including every source the *other*
+    // tests in this binary check, since they share the global interner
+    // and run concurrently.
+    for warm in [
+        src.clone(),
+        alias_chain_src(16),
+        rtr_bench::dot_prod_module_src(4),
+        rtr_bench::xtime_module_src(2),
+    ] {
+        check_source(&warm, &checker).expect("warm-up module checks");
+    }
+
+    let env_before = rtr_core::env::env_stats();
+    let arena_before = rtr_core::intern::arena_stats();
+    check_source(&src, &checker).expect("dot-prod module re-checks");
+    let env_after = rtr_core::env::env_stats();
+    let arena_after = rtr_core::intern::arena_stats();
+
+    // The persistent environment maps were written to and shared
+    // structurally: writes happened, and far fewer trie nodes were cloned
+    // than a whole-map copy-on-write would have copied.
+    let writes = env_after.pmap_writes - env_before.pmap_writes;
+    let cloned = env_after.pmap_nodes_cloned - env_before.pmap_nodes_cloned;
+    let spared = env_after.pmap_entries_spared - env_before.pmap_entries_spared;
+    assert!(writes > 0, "no persistent-map writes recorded");
+    assert!(env_after.snapshots > env_before.snapshots, "no snapshots");
+    assert!(
+        cloned < spared,
+        "structural sharing ineffective: {cloned} nodes cloned vs {spared} entries a map copy would have touched"
+    );
+
+    // Re-checking a warm module mints fresh names (ghost existentials),
+    // and those must land in the fresh region, not the permanent arena.
+    assert_eq!(
+        arena_after.tys, arena_before.tys,
+        "a warm re-check grew the permanent type arena"
+    );
+    assert_eq!(
+        arena_after.props, arena_before.props,
+        "a warm re-check grew the permanent proposition arena"
+    );
+    assert!(
+        arena_after.fresh_props > arena_before.fresh_props
+            || arena_after.fresh_tys > arena_before.fresh_tys
+            || arena_after.fresh_objs > arena_before.fresh_objs,
+        "fresh-name-bearing goals produced no fresh-region growth: {arena_after:?}"
+    );
 }
 
 #[test]

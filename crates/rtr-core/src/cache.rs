@@ -219,6 +219,35 @@ impl<K: Eq + Hash, V: Copy> VerdictMap<K, V> {
 /// constraint systems), not a couple of integers.
 pub(crate) const SOLVER_TABLE_CAP: usize = 1 << 18;
 
+/// Memo key for the id-native `update±` metafunction: the subject type,
+/// a fingerprint of the field path, the learned type, the polarity, and
+/// the fuel the query was asked with (update results are fuel-truncated,
+/// so entries are only replayed at the exact budget that produced them).
+/// Only environment-free pairs are memoized — their results consult
+/// nothing but the two types, so one entry serves every environment;
+/// environment-dependent pairs would be keyed by generation, which
+/// advances at every binder and never hits.
+pub(crate) type UpdateKey = (TyId, u64, TyId, bool, u32);
+
+/// Packs a field path into a `u64` fingerprint (2 bits per field,
+/// innermost first). Paths deeper than 31 fields are not memoized —
+/// `None` keeps the key honest instead of colliding.
+pub(crate) fn path_fingerprint(fields: &[crate::syntax::Field]) -> Option<u64> {
+    if fields.len() > 31 {
+        return None;
+    }
+    let mut fp: u64 = 1; // leading 1 delimits length
+    for f in fields {
+        fp = (fp << 2)
+            | match f {
+                crate::syntax::Field::Fst => 1,
+                crate::syntax::Field::Snd => 2,
+                crate::syntax::Field::Len => 3,
+            };
+    }
+    Some(fp)
+}
+
 /// The full cache set shared by a [`crate::check::Checker`] (and its
 /// clones — verdicts depend only on the immutable config, globally unique
 /// environment generations and interned ids, so sharing is sound).
@@ -234,6 +263,13 @@ pub(crate) struct Caches {
     pub(crate) inconsistent: Table<u64>,
     /// Structural type emptiness, keyed by interned type.
     pub(crate) empty: SimpleTable<TyId>,
+    /// `update±(τ, ϕ⃗, σ)` results, keyed per [`UpdateKey`]. Values are
+    /// interned ids, so a hit replays an alias-chain binder's whole
+    /// narrowing without rebuilding (or even touching) a type tree.
+    pub(crate) update: VerdictMap<UpdateKey, TyId>,
+    /// May-overlap verdicts keyed `(τ₁, τ₂)` — `overlap` consults only
+    /// the two types, so entries are environment- and fuel-free.
+    pub(crate) overlap: SimpleTable<(TyId, TyId)>,
     /// Linear-theory satisfiability keyed on the canonical constraint
     /// system (facts, or facts ∧ ¬goal for entailment queries).
     pub(crate) lin: VerdictMap<crate::solver_cache::TheoryFp, rtr_solver::lin::LinResult>,
@@ -263,6 +299,8 @@ impl Caches {
             + self.proves.len()
             + self.inconsistent.len()
             + self.empty.len()
+            + self.update.len()
+            + self.overlap.len()
             + self.lin.len()
             + self.bv.len()
             + self.re.len()

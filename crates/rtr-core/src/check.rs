@@ -58,6 +58,10 @@ pub struct CacheStats {
     pub inconsistent: (u64, u64),
     /// Type-emptiness memo table.
     pub empty: (u64, u64),
+    /// Id-native `update±` memo table.
+    pub update: (u64, u64),
+    /// Type-overlap memo table.
+    pub overlap: (u64, u64),
     /// Linear-theory fingerprint verdict table.
     pub lin: (u64, u64),
     /// Bitvector-theory fingerprint verdict table.
@@ -103,6 +107,8 @@ impl Checker {
             proves: self.caches.proves.counters.snapshot(),
             inconsistent: self.caches.inconsistent.counters.snapshot(),
             empty: self.caches.empty.counters.snapshot(),
+            update: self.caches.update.counters.snapshot(),
+            overlap: self.caches.overlap.counters.snapshot(),
             lin: self.caches.lin.counters.snapshot(),
             bv: self.caches.bv.counters.snapshot(),
             re: self.caches.re.counters.snapshot(),
@@ -203,7 +209,7 @@ impl Checker {
                 if env.is_mutable(*x) {
                     // §4.2: mutable variables have no symbolic object and
                     // their tests teach the system nothing.
-                    let t = env.raw_ty(*x).cloned().unwrap_or(Ty::Top);
+                    let t = env.raw_ty(*x).map(|t| (*t).clone()).unwrap_or(Ty::Top);
                     return Ok(TyResult::of_type(t));
                 }
                 let o = env.resolve(&Obj::var(*x));
@@ -384,7 +390,7 @@ impl Checker {
             Expr::Set(x, rhs) => {
                 let declared = env
                     .raw_ty(*x)
-                    .cloned()
+                    .map(|t| (*t).clone())
                     .ok_or(TypeError::UnboundVariable(*x))?;
                 let r = self.synth(env, rhs)?;
                 let mut env2 = env.clone();

@@ -1,4 +1,4 @@
-//! The hybrid type-checking environment (§4.1).
+//! The hybrid type-checking environment (§4.1), id-native.
 //!
 //! The formal model's environment is a bag of propositions; the paper
 //! notes that a real implementation should split it into (a) a standard
@@ -9,17 +9,28 @@
 //! (`x ≡ o`) are applied eagerly, so every stored fact speaks about a
 //! canonical representative.
 //!
-//! Two implementation techniques make environments cheap enough for the
+//! Three implementation techniques make environments cheap enough for the
 //! judgments' pervasive snapshot-and-extend style:
 //!
-//! * every store is `Arc`-backed copy-on-write, so [`Env::clone`] is a
-//!   handful of reference-count bumps instead of deep `HashMap` copies
-//!   (the checker clones environments at every binder, branch and case
-//!   split);
+//! * the `types` and `aliases` maps are **persistent HAMTs**
+//!   ([`crate::pmap::PMap`]): cloning an environment is a handful of
+//!   reference-count bumps, and — unlike the previous `Arc<HashMap>`
+//!   copy-on-write — the first write after a snapshot copies only the
+//!   `O(log n)` trie path to the touched key, so deep binder chains no
+//!   longer pay a quadratic map-copy toll;
+//! * the maps store **interned ids** ([`TyId`]/[`ObjId`]), not trees.
+//!   Reads and writes on the judgments' hot paths move ids around;
+//!   the tree⇄id boundary sits at the AST-facing edges (synthesis
+//!   entry and error rendering). Id storage also makes the no-op-write
+//!   check and [`Env::unbind`]'s "does anything mention `x`?" scan a few
+//!   integer comparisons against intern-time metadata;
 //! * a monotonic, globally unique **generation** stamp: every mutation
 //!   assigns a fresh generation, so two environments with equal
 //!   generations have identical contents. The checker's memo tables key
-//!   judgments on `(generation, ids…)`.
+//!   judgments on `(generation, ids…)`. Generations stay sound across
+//!   HAMT snapshots for the same reason they were sound across map
+//!   clones: a snapshot shares its parent's generation exactly until its
+//!   first mutation, which stamps a fresh one.
 //!
 //! Deferred disjunctions are stored as interned [`PropId`]s, so cloning
 //! and case-splitting never deep-copies proposition trees.
@@ -31,8 +42,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::intern::PropId;
-use crate::syntax::{BvAtomProp, LinAtom, Obj, Path, Prop, StrAtomProp, Symbol, Ty};
+use crate::intern::{ObjId, PropId, TyId};
+use crate::pmap::PMap;
+use crate::syntax::{BvAtomProp, LinAtom, Obj, Path, StrAtomProp, Symbol, Ty};
 
 /// Hands out globally unique environment generations. Generation 0 is
 /// reserved for empty environments (all of which are identical).
@@ -49,15 +61,67 @@ fn next_lin_epoch() -> u64 {
     EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Environment-level counters (`stats` feature): snapshots taken and
+/// unbind scans resolved purely from id metadata.
+#[cfg(feature = "stats")]
+pub(crate) mod stats {
+    use std::sync::atomic::AtomicU64;
+
+    /// `Env::clone` calls (the checker snapshots at every binder/branch).
+    pub static SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
+    /// `Env::unbind` calls that needed no per-binding rewrite at all
+    /// (the id metadata proved nothing mentions the unbound variable).
+    pub static UNBIND_FAST: AtomicU64 = AtomicU64::new(0);
+    /// Total `Env::unbind` calls.
+    pub static UNBIND_TOTAL: AtomicU64 = AtomicU64::new(0);
+}
+
+/// A snapshot of the environment/`PMap` counters (`stats` feature).
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnvStats {
+    /// Environment snapshots taken (`Env::clone`).
+    pub snapshots: u64,
+    /// `unbind` calls that were pure map removes.
+    pub unbind_fast: u64,
+    /// Total `unbind` calls.
+    pub unbind_total: u64,
+    /// Insert/remove operations on the persistent maps.
+    pub pmap_writes: u64,
+    /// Trie nodes physically cloned by those writes (copy-on-write hits
+    /// on shared nodes).
+    pub pmap_nodes_cloned: u64,
+    /// Entries a whole-map copy-on-write clone would have copied instead
+    /// — `1 - nodes_cloned / entries_spared` is the structural-share
+    /// rate.
+    pub pmap_entries_spared: u64,
+}
+
+/// Reads the global environment/map counters.
+#[cfg(feature = "stats")]
+pub fn env_stats() -> EnvStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    EnvStats {
+        snapshots: stats::SNAPSHOTS.load(Relaxed),
+        unbind_fast: stats::UNBIND_FAST.load(Relaxed),
+        unbind_total: stats::UNBIND_TOTAL.load(Relaxed),
+        pmap_writes: crate::pmap::stats::WRITES.load(Relaxed),
+        pmap_nodes_cloned: crate::pmap::stats::NODES_CLONED.load(Relaxed),
+        pmap_entries_spared: crate::pmap::stats::ENTRIES_SPARED.load(Relaxed),
+    }
+}
+
 /// A type-checking environment Γ.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Env {
-    /// Eager alias substitutions: `x ↦ o` (representative objects, §4.1).
-    aliases: Arc<HashMap<Symbol, Obj>>,
-    /// Positive type information per variable, refined via `update`.
-    types: Arc<HashMap<Symbol, Ty>>,
-    /// Negative type information per path (`o ∉ τ` facts).
-    negs: Arc<HashMap<Path, Vec<Ty>>>,
+    /// Eager alias substitutions: `x ↦ o` (representative objects, §4.1),
+    /// stored interned in a persistent map.
+    aliases: PMap<ObjId>,
+    /// Positive type information per variable, refined via `update`;
+    /// interned ids in a persistent map.
+    types: PMap<TyId>,
+    /// Negative type information per path (`o ∉ τ` facts), interned.
+    negs: Arc<HashMap<Path, Vec<TyId>>>,
     /// Remaining compound propositions (disjunctions), case-split on
     /// demand at proof time; stored interned.
     disjs: Arc<Vec<(PropId, PropId)>>,
@@ -71,7 +135,7 @@ pub struct Env {
     /// pure-proposition-environment ablation (`hybrid_env = false`),
     /// where they are replayed through `update±` at query time instead of
     /// refining the stored types eagerly.
-    pending: Arc<Vec<(Path, Ty, bool)>>,
+    pending: Arc<Vec<(Path, TyId, bool)>>,
     /// Variables the mutation analysis flagged (§4.2); they never get
     /// symbolic objects and runtime tests on them teach the system
     /// nothing.
@@ -89,6 +153,28 @@ pub struct Env {
     /// (`lin_facts[..n]` is exactly the parent's store). `None` after
     /// non-append edits (`unbind`), which force a from-scratch solve.
     lin_parent: Option<u64>,
+}
+
+impl Clone for Env {
+    fn clone(&self) -> Env {
+        #[cfg(feature = "stats")]
+        stats::SNAPSHOTS.fetch_add(1, Ordering::Relaxed);
+        Env {
+            aliases: self.aliases.clone(),
+            types: self.types.clone(),
+            negs: self.negs.clone(),
+            disjs: self.disjs.clone(),
+            lin_facts: self.lin_facts.clone(),
+            bv_facts: self.bv_facts.clone(),
+            str_facts: self.str_facts.clone(),
+            pending: self.pending.clone(),
+            mutables: self.mutables.clone(),
+            absurd: self.absurd,
+            generation: self.generation,
+            lin_epoch: self.lin_epoch,
+            lin_parent: self.lin_parent,
+        }
+    }
 }
 
 impl Env {
@@ -137,13 +223,10 @@ impl Env {
     /// (transitively) mention `x`; aliases are only created for freshly
     /// bound variables, which guarantees acyclicity.
     pub fn add_alias(&mut self, x: Symbol, o: Obj) {
-        debug_assert!({
-            let mut fv = HashSet::new();
-            o.free_vars(&mut fv);
-            !fv.contains(&x)
-        });
+        let id = ObjId::of(&o);
+        debug_assert!(!id.mentions_var(x));
         self.touch();
-        Arc::make_mut(&mut self.aliases).insert(x, o);
+        self.aliases.insert(x, id);
     }
 
     /// Forgets everything recorded about `x`: its type, aliases from or
@@ -152,38 +235,88 @@ impl Env {
     /// Used when a binder *shadows* an existing variable — the facts about
     /// the outer `x` must not leak onto the inner one. Dropping facts is
     /// always sound (it only weakens the environment).
+    ///
+    /// The interner's per-id variable-mention metadata makes this cheap:
+    /// instead of walking and rewriting every binding's type tree, the
+    /// scan is an id-set filter, and in the common case — nothing else
+    /// mentions `x` — unbinding is a pure map remove.
     pub fn unbind(&mut self, x: Symbol) {
+        use crate::intern::{objs_mentioning, props_mentioning, tys_mentioning};
         self.touch();
-        let mentions_obj = |o: &Obj| {
-            let mut fv = HashSet::new();
-            o.free_vars(&mut fv);
-            fv.contains(&x)
-        };
-        let types = Arc::make_mut(&mut self.types);
-        types.remove(&x);
-        let aliases = Arc::make_mut(&mut self.aliases);
-        aliases.remove(&x);
-        aliases.retain(|_, o| !mentions_obj(o));
-        let negs = Arc::make_mut(&mut self.negs);
-        negs.retain(|p, _| p.base != x);
-        for ts in negs.values_mut() {
-            for t in ts.iter_mut() {
-                *t = t.subst_obj(x, &Obj::Null);
+        #[cfg(feature = "stats")]
+        stats::UNBIND_TOTAL.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "stats")]
+        let mut pure_remove = true;
+        self.types.remove(x);
+        // Rewrite only bindings whose type actually mentions `x` (the
+        // cached mention set over-approximates, so a miss is a proof of
+        // absence and skipping the substitution is exact). Mention checks
+        // are batched: one interner lock per store, not one per id —
+        // parallel corpus workers would otherwise contend on the global
+        // interner mutex for every shadowing binder.
+        let entries: Vec<(Symbol, TyId)> = self.types.iter().map(|(y, t)| (y, *t)).collect();
+        let flags = tys_mentioning(x, entries.iter().map(|(_, t)| *t));
+        for (&(y, t), &dirty) in entries.iter().zip(&flags) {
+            if !dirty {
+                continue;
+            }
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            let rewritten = TyId::of(&t.get().subst_obj(x, &Obj::Null));
+            self.types.insert(y, rewritten);
+        }
+        self.aliases.remove(x);
+        let aliases: Vec<(Symbol, ObjId)> = self.aliases.iter().map(|(y, o)| (y, *o)).collect();
+        let flags = objs_mentioning(x, aliases.iter().map(|(_, o)| *o));
+        for (&(y, _), &dirty) in aliases.iter().zip(&flags) {
+            if !dirty {
+                continue;
+            }
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            self.aliases.remove(y);
+        }
+        let neg_ids: Vec<TyId> = self.negs.values().flatten().copied().collect();
+        let neg_dirty: std::collections::HashSet<TyId> = tys_mentioning(x, neg_ids.iter().copied())
+            .into_iter()
+            .zip(neg_ids)
+            .filter_map(|(dirty, id)| dirty.then_some(id))
+            .collect();
+        if !neg_dirty.is_empty() || self.negs.keys().any(|p| p.base == x) {
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            let negs = Arc::make_mut(&mut self.negs);
+            negs.retain(|p, _| p.base != x);
+            for ts in negs.values_mut() {
+                for t in ts.iter_mut() {
+                    if neg_dirty.contains(t) {
+                        *t = TyId::of(&t.get().subst_obj(x, &Obj::Null));
+                    }
+                }
             }
         }
-        for t in types.values_mut() {
-            *t = t.subst_obj(x, &Obj::Null);
+        let disj_flags = props_mentioning(x, self.disjs.iter().flat_map(|&(p, q)| [p, q]));
+        if disj_flags.iter().any(|&d| d) {
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            let disjs = Arc::make_mut(&mut self.disjs);
+            let mut keep = disj_flags.chunks(2).map(|c| !c[0] && !c[1]);
+            disjs.retain(|_| keep.next().expect("one flag pair per disjunction"));
         }
-        let mentions_prop = |p: &Prop| {
-            let mut fv = HashSet::new();
-            p.free_vars(&mut fv);
-            fv.contains(&x)
-        };
-        Arc::make_mut(&mut self.disjs)
-            .retain(|(p, q)| !mentions_prop(&p.get()) && !mentions_prop(&q.get()));
-        let lin_before = self.lin_facts.len();
-        Arc::make_mut(&mut self.lin_facts).retain(|a| !mentions_prop(&Prop::Lin(a.clone())));
-        if self.lin_facts.len() != lin_before {
+        if self.lin_facts.iter().any(|a| a.mentions_var(x)) {
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            Arc::make_mut(&mut self.lin_facts).retain(|a| !a.mentions_var(x));
             // Not an append: incremental solver states can't extend this.
             self.lin_epoch = if self.lin_facts.is_empty() {
                 0
@@ -192,16 +325,31 @@ impl Env {
             };
             self.lin_parent = None;
         }
-        Arc::make_mut(&mut self.bv_facts).retain(|a| !mentions_prop(&Prop::Bv(a.clone())));
-        Arc::make_mut(&mut self.str_facts).retain(|a| !mentions_prop(&Prop::Str(a.clone())));
-        Arc::make_mut(&mut self.pending).retain(|(p, t, _)| {
-            if p.base == x {
-                return false;
+        if self.bv_facts.iter().any(|a| a.mentions_var(x)) {
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
             }
-            let mut fv = HashSet::new();
-            Prop::is(Obj::Path(p.clone()), t.clone()).free_vars(&mut fv);
-            !fv.contains(&x)
-        });
+            Arc::make_mut(&mut self.bv_facts).retain(|a| !a.mentions_var(x));
+        }
+        if self.str_facts.iter().any(|a| a.mentions_var(x)) {
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            Arc::make_mut(&mut self.str_facts).retain(|a| !a.mentions_var(x));
+        }
+        if self.pending.iter().any(|(p, _, _)| p.base == x) {
+            #[cfg(feature = "stats")]
+            {
+                pure_remove = false;
+            }
+            Arc::make_mut(&mut self.pending).retain(|(p, _, _)| p.base != x);
+        }
+        #[cfg(feature = "stats")]
+        if pure_remove {
+            stats::UNBIND_FAST.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Does `o` mention any variable with an alias? Allocation-free
@@ -210,12 +358,12 @@ impl Env {
         fn walk(env: &Env, o: &Obj) -> bool {
             match o {
                 Obj::Null | Obj::Str(_) | Obj::Re(_) => false,
-                Obj::Path(p) => env.aliases.contains_key(&p.base),
+                Obj::Path(p) => env.aliases.contains_key(p.base),
                 Obj::Pair(a, b) => walk(env, a) || walk(env, b),
                 Obj::Lin(l) => l
                     .terms
                     .iter()
-                    .any(|(_, p)| env.aliases.contains_key(&p.base)),
+                    .any(|(_, p)| env.aliases.contains_key(p.base)),
                 Obj::Bv(_) => true, // rare; defer to the full resolution loop
             }
         }
@@ -232,41 +380,54 @@ impl Env {
         for _ in 0..64 {
             let mut fv = HashSet::new();
             cur.free_vars(&mut fv);
-            let Some(&x) = fv.iter().find(|x| self.aliases.contains_key(x)) else {
+            let Some(&x) = fv.iter().find(|x| self.aliases.contains_key(**x)) else {
                 return cur;
             };
-            cur = cur.subst(x, &self.aliases[&x]);
+            let rep = self.aliases.get(x).expect("checked").get();
+            cur = cur.subst(x, &rep);
         }
         cur
     }
 
-    /// The raw recorded type of variable `x`, if any.
-    pub fn raw_ty(&self, x: Symbol) -> Option<&Ty> {
-        self.types.get(&x)
+    /// The interned id of the recorded type of variable `x`, if any.
+    /// This is the judgment layer's native read — no tree is touched.
+    pub fn raw_ty_id(&self, x: Symbol) -> Option<TyId> {
+        self.types.get(x).copied()
     }
 
-    /// Overwrites the recorded type of `x`.
+    /// The raw recorded type of variable `x`, if any (canonical tree).
+    pub fn raw_ty(&self, x: Symbol) -> Option<Arc<Ty>> {
+        self.raw_ty_id(x).map(TyId::get)
+    }
+
+    /// Overwrites the recorded type of `x` by id.
     ///
     /// Writing back an unchanged type is a no-op — `update±` frequently
     /// returns its input (e.g. `len`-field updates never refine the type
-    /// structure), and skipping the write both avoids a copy-on-write
-    /// clone of the shared map and keeps the generation (and with it every
-    /// memoized verdict about this environment) alive.
-    pub fn set_ty(&mut self, x: Symbol, t: Ty) {
-        if self.types.get(&x) == Some(&t) {
+    /// structure), and with interned storage that check is one integer
+    /// compare. Skipping the write keeps the generation (and with it
+    /// every memoized verdict about this environment) alive.
+    pub fn set_ty_id(&mut self, x: Symbol, t: TyId) {
+        if self.types.get(x) == Some(&t) {
             return;
         }
         self.touch();
-        Arc::make_mut(&mut self.types).insert(x, t);
+        self.types.insert(x, t);
+    }
+
+    /// Overwrites the recorded type of `x` (tree convenience wrapper; the
+    /// judgments use [`Env::set_ty_id`]).
+    pub fn set_ty(&mut self, x: Symbol, t: Ty) {
+        self.set_ty_id(x, TyId::of(&t));
     }
 
     /// Is `x` bound (has a recorded type or an alias)?
     pub fn is_bound(&self, x: Symbol) -> bool {
-        self.types.contains_key(&x) || self.aliases.contains_key(&x)
+        self.types.contains_key(x) || self.aliases.contains_key(x)
     }
 
     /// Records a negative type fact for `path` (duplicates dropped).
-    pub fn add_neg(&mut self, path: Path, t: Ty) {
+    pub fn add_neg(&mut self, path: Path, t: TyId) {
         if self.negs.get(&path).is_some_and(|ts| ts.contains(&t)) {
             return;
         }
@@ -278,18 +439,18 @@ impl Env {
     }
 
     /// The negative facts recorded for `path`.
-    pub fn negs_of(&self, path: &Path) -> &[Ty] {
+    pub fn negs_of(&self, path: &Path) -> &[TyId] {
         self.negs.get(path).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// All `(path, negated types)` entries.
-    pub fn negs(&self) -> impl Iterator<Item = (&Path, &[Ty])> {
+    /// All `(path, negated type ids)` entries.
+    pub fn negs(&self) -> impl Iterator<Item = (&Path, &[TyId])> {
         self.negs.iter().map(|(p, ts)| (p, ts.as_slice()))
     }
 
-    /// All `(variable, positive type)` entries.
-    pub fn types(&self) -> impl Iterator<Item = (Symbol, &Ty)> {
-        self.types.iter().map(|(&x, t)| (x, t))
+    /// All `(variable, positive type id)` entries.
+    pub fn types(&self) -> impl Iterator<Item = (Symbol, TyId)> + '_ {
+        self.types.iter().map(|(x, t)| (x, *t))
     }
 
     /// Stores an (interned) disjunction for later case splitting.
@@ -365,13 +526,13 @@ impl Env {
     }
 
     /// Defers a type atom for query-time replay (pure-proposition mode).
-    pub fn add_pending(&mut self, p: Path, t: Ty, positive: bool) {
+    pub fn add_pending(&mut self, p: Path, t: TyId, positive: bool) {
         self.touch();
         Arc::make_mut(&mut self.pending).push((p, t, positive));
     }
 
     /// The deferred type atoms, in assumption order.
-    pub fn pending(&self) -> &[(Path, Ty, bool)] {
+    pub fn pending(&self) -> &[(Path, TyId, bool)] {
         &self.pending
     }
 }
@@ -413,8 +574,8 @@ mod tests {
     fn negs_round_trip() {
         let mut env = Env::new();
         let p = Path::var(s("n"));
-        env.add_neg(p.clone(), Ty::Int);
-        assert_eq!(env.negs_of(&p), &[Ty::Int]);
+        env.add_neg(p.clone(), TyId::of(&Ty::Int));
+        assert_eq!(env.negs_of(&p), &[TyId::of(&Ty::Int)]);
         assert!(env.negs_of(&Path::var(s("other"))).is_empty());
     }
 
@@ -428,8 +589,8 @@ mod tests {
         // old generation.
         let mut fork = snapshot.clone();
         fork.set_ty(s("snap"), Ty::bool_ty());
-        assert_eq!(env.raw_ty(s("snap")), Some(&Ty::Int));
-        assert_eq!(fork.raw_ty(s("snap")), Some(&Ty::bool_ty()));
+        assert_eq!(env.raw_ty(s("snap")).as_deref(), Some(&Ty::Int));
+        assert_eq!(fork.raw_ty(s("snap")).as_deref(), Some(&Ty::bool_ty()));
         assert_ne!(fork.generation(), env.generation());
     }
 
@@ -440,5 +601,56 @@ mod tests {
         let mut env = Env::new();
         env.mark_mutable(s("gen_bump"));
         assert_ne!(env.generation(), 0);
+    }
+
+    #[test]
+    fn unbind_is_a_pure_remove_when_nothing_mentions_x() {
+        let mut env = Env::new();
+        env.set_ty(s("ub_x"), Ty::Int);
+        env.set_ty(s("ub_y"), Ty::bool_ty());
+        env.unbind(s("ub_x"));
+        assert!(env.raw_ty_id(s("ub_x")).is_none());
+        assert_eq!(env.raw_ty(s("ub_y")).as_deref(), Some(&Ty::bool_ty()));
+    }
+
+    #[test]
+    fn unbind_rewrites_types_that_mention_x() {
+        use crate::syntax::{LinCmp, Prop};
+        let mut env = Env::new();
+        let x = s("ub2_x");
+        let y = s("ub2_y");
+        let v = s("ub2_v");
+        env.set_ty(x, Ty::Int);
+        // y : {v:Int | v ≤ x} — mentions x, must be rewritten on unbind.
+        env.set_ty(
+            y,
+            Ty::refine(v, Ty::Int, Prop::lin(Obj::var(v), LinCmp::Le, Obj::var(x))),
+        );
+        env.unbind(x);
+        let yt = env.raw_ty(y).expect("y still bound");
+        let mut fv = HashSet::new();
+        yt.free_obj_vars(&mut fv);
+        assert!(!fv.contains(&x), "unbind left a reference to x in {yt}");
+    }
+
+    #[test]
+    fn unbind_drops_aliases_and_facts_mentioning_x() {
+        use crate::syntax::{LinCmp, Prop};
+        let mut env = Env::new();
+        let x = s("ub3_x");
+        let y = s("ub3_y");
+        env.set_ty(x, Ty::Int);
+        env.add_alias(y, Obj::var(x).add(&Obj::int(1)));
+        if let Prop::Lin(a) = Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(3)) {
+            env.add_lin_fact(a);
+        }
+        env.add_disj(
+            PropId::of(&Prop::lin(Obj::var(x), LinCmp::Le, Obj::int(1))),
+            PropId::of(&Prop::lin(Obj::int(1), LinCmp::Le, Obj::var(x))),
+        );
+        env.unbind(x);
+        assert!(env.lin_facts().is_empty());
+        assert!(env.disjs().is_empty());
+        assert_eq!(env.resolve(&Obj::var(y)), Obj::var(y), "alias must be gone");
     }
 }

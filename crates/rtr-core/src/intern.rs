@@ -1,17 +1,24 @@
 //! Hash-consing interner for types, propositions and symbolic objects.
 //!
-//! The checker's hot judgments (`subtype`, `proves`, `env_inconsistent`)
-//! are re-derived many times over structurally identical inputs; deep
-//! tree comparison and deep `HashMap` keys make that expensive. This
-//! module canonicalizes [`Ty`]/[`Prop`]/[`Obj`] values into arena-backed
-//! `u32` handles ([`TyId`]/[`PropId`]/[`ObjId`]) with O(1) equality and
-//! hashing, which the memo tables on [`crate::check::Checker`] use as
-//! keys, and which [`crate::env::Env`] stores for deferred disjunctions.
+//! The checker's hot judgments (`subtype`, `proves`, `update±`,
+//! `env_inconsistent`) are re-derived many times over structurally
+//! identical inputs; deep tree comparison and deep `HashMap` keys make
+//! that expensive. This module canonicalizes [`Ty`]/[`Prop`]/[`Obj`]
+//! values into arena-backed `u32` handles ([`TyId`]/[`PropId`]/[`ObjId`])
+//! with O(1) equality and hashing. Since the id-native environment
+//! refactor, ids are not just memo keys: [`crate::env::Env`] *stores*
+//! `TyId`/`ObjId` in its persistent maps, and the `update±` metafunction
+//! runs id-to-id, so this module also provides **id-level constructors
+//! and destructors** (`TyId::union_of`, `TyId::pair`, `TyId::refine`,
+//! `TyId::project`, `TyId::union_members`, …) that build or take apart
+//! canonical types without ever materializing a tree on the hot path.
 //!
 //! Canonicalization normalizes on the way in:
 //!
-//! * unions are flattened, deduplicated and sorted (by member id), and
-//!   singleton unions collapse to their member;
+//! * unions are flattened, deduplicated and sorted (base-type members in
+//!   a fixed structural rank order — so `Bool` always reads
+//!   `(U True False)` — compound members by id), and singleton unions
+//!   collapse to their member;
 //! * refinements with a trivial (`tt`) proposition collapse to their base;
 //! * conjunction/disjunction chains are flattened and deduplicated with
 //!   `tt`/`ff` unit/absorption short-circuits;
@@ -19,24 +26,59 @@
 //!   (§3.1), and pairs of null objects collapse to the null object.
 //!
 //! Two semantically-equal-modulo-normalization trees therefore intern to
-//! the same id, which is what makes the memo tables effective on union-
-//! and refinement-heavy programs. Ids are `Copy + Send + Sync`, so they
-//! can cross thread boundaries where deep trees cannot — the prerequisite
-//! for sharding the corpus checker.
+//! the same id. Ids are `Copy + Send + Sync`, so they can cross thread
+//! boundaries where deep trees cannot.
 //!
-//! The interner is global (like [`crate::syntax::Symbol`]'s); canonical
-//! arena entries live for the program's lifetime (ids index into them),
-//! while the raw-tree memo maps that shortcut re-canonicalization are
-//! capped and flushed on overflow. Handles returned by `get` are `Arc`s
-//! into the arena. Fresh-name-bearing goals still grow the arenas
-//! slowly (a few entries per checked module); an evictable arena is a
-//! ROADMAP follow-on.
+//! **Per-id metadata** is computed once at intern time and cached in a
+//! side table parallel to each arena: an environment-freedom flag (no
+//! refinement/function/polymorphic component anywhere — subtype verdicts
+//! need no environment), a conservative set of mentioned object-level
+//! variables (`TyId::free_obj_vars` / `mentions_var` — this is what makes
+//! `Env::unbind` a pure map remove in the common case), a
+//! mentions-refinement flag, and a solver-relevant theory mask
+//! ([`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`]). The environment-freedom
+//! and fresh-region flags are packed into the id itself, so the hottest
+//! checks need no arena lookup at all.
+//!
+//! **Arena regions.** The interner is global (like
+//! [`crate::syntax::Symbol`]'s). Canonical entries whose symbols are all
+//! ordinary interned names go to the *permanent* arena and live for the
+//! program's lifetime. Trees that mention a [`Symbol::fresh`] name — ghost
+//! existentials, selfification binders, generated parameter names — can
+//! never recur across checked modules, so they are routed to a separate
+//! *fresh region* with its own (capped, flushed-on-overflow) raw-tree
+//! memo; the permanent arena entry vectors and the permanent raw-tree
+//! memo stop growing per checked module. Honesty note: the canonical
+//! *lookup* maps (`*_canon` and the id-level structure maps) still gain
+//! one entry per fresh-region insert — that is the dedup index the
+//! region's ids rely on, and reclaiming it together with the region's
+//! entries is what the generational-eviction ROADMAP follow-on is for;
+//! the region split plus [`arena_stats`] (which reports both regions) is
+//! the groundwork that makes eviction possible without disturbing
+//! permanent ids.
 
+use std::collections::HashSet;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rtr_solver::fxhash::FxHashMap;
 
-use crate::syntax::{FunTy, Obj, PolyTy, Prop, RefineTy, Ty, TyResult};
+use crate::syntax::{Field, FunTy, Obj, PolyTy, Prop, RefineTy, Symbol, Ty, TyResult};
+
+/// Theory-mask bit: the type mentions linear-arithmetic atoms.
+pub const THEORY_LIN: u8 = 1;
+/// Theory-mask bit: the type mentions bitvector atoms.
+pub const THEORY_BV: u8 = 2;
+/// Theory-mask bit: the type mentions regex-membership atoms.
+pub const THEORY_STR: u8 = 4;
+
+/// Id bit marking entries in the fresh-named region.
+const FRESH_BIT: u32 = 1 << 31;
+/// Id bit (types only) marking environment-free types.
+const ENV_FREE_BIT: u32 = 1 << 30;
+/// Index mask for type ids (both flag bits stripped).
+const TY_IDX: u32 = ENV_FREE_BIT - 1;
+/// Index mask for proposition/object ids (fresh bit stripped).
+const IDX: u32 = FRESH_BIT - 1;
 
 /// An interned, canonicalized type.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -57,24 +99,219 @@ impl TyId {
     }
 
     /// Interns `t` and reports whether its subtype verdicts are
-    /// *environment-independent*: a type with no refinement, function or
-    /// polymorphic component anywhere is compared purely structurally, so
-    /// one cached verdict serves every environment.
+    /// *environment-independent* (see [`TyId::env_free`]).
     pub fn of_with_env_free(t: &Ty) -> (TyId, bool) {
-        let mut s = store().lock().expect("interner poisoned");
-        let id = s.ty(t);
-        let env_free = s.ty_envfree[id as usize];
-        (TyId(id), env_free)
+        let id = TyId::of(t);
+        (id, id.env_free())
     }
 
     /// The canonical type this id stands for.
     pub fn get(self) -> Arc<Ty> {
-        store().lock().expect("interner poisoned").tys[self.0 as usize].clone()
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_arc(self.0)
+            .clone()
     }
 
-    /// The raw arena index.
+    /// The raw arena index (flag bits included).
     pub fn as_u32(self) -> u32 {
         self.0
+    }
+
+    /// Is this type *environment-free*: no refinement, function or
+    /// polymorphic component anywhere, so it is compared purely
+    /// structurally and one cached verdict serves every environment?
+    /// Read from a bit packed into the id — no arena lookup.
+    pub fn env_free(self) -> bool {
+        self.0 & ENV_FREE_BIT != 0
+    }
+
+    /// Does this type mention a [`Symbol::fresh`] name (and therefore
+    /// live in the interner's fresh region)?
+    pub fn in_fresh_region(self) -> bool {
+        self.0 & FRESH_BIT != 0
+    }
+
+    /// The canonical `⊤` id.
+    pub fn top() -> TyId {
+        static ID: OnceLock<TyId> = OnceLock::new();
+        *ID.get_or_init(|| TyId::of(&Ty::Top))
+    }
+
+    /// The canonical `⊥` (empty union) id.
+    pub fn bot() -> TyId {
+        static ID: OnceLock<TyId> = OnceLock::new();
+        *ID.get_or_init(|| TyId::of(&Ty::bot()))
+    }
+
+    /// The canonical `Int` id.
+    pub fn int() -> TyId {
+        static ID: OnceLock<TyId> = OnceLock::new();
+        *ID.get_or_init(|| TyId::of(&Ty::Int))
+    }
+
+    /// The canonical `BitVec` id.
+    pub fn bitvec() -> TyId {
+        static ID: OnceLock<TyId> = OnceLock::new();
+        *ID.get_or_init(|| TyId::of(&Ty::BitVec))
+    }
+
+    /// The canonical `Str` id.
+    pub fn str_ty() -> TyId {
+        static ID: OnceLock<TyId> = OnceLock::new();
+        *ID.get_or_init(|| TyId::of(&Ty::Str))
+    }
+
+    /// The canonical `Regex` id.
+    pub fn regex() -> TyId {
+        static ID: OnceLock<TyId> = OnceLock::new();
+        *ID.get_or_init(|| TyId::of(&Ty::Regex))
+    }
+
+    /// The canonical union of the given members (flattened, deduplicated,
+    /// canonically sorted; singletons collapse). Never materializes a
+    /// tree when the union already exists.
+    pub fn union_of(members: &[TyId]) -> TyId {
+        let mut s = store().lock().expect("interner poisoned");
+        let ids: Vec<u32> = members.iter().map(|m| m.0).collect();
+        TyId(s.make_union(ids))
+    }
+
+    /// The canonical pair type `a × b`.
+    pub fn pair(a: TyId, b: TyId) -> TyId {
+        TyId(
+            store()
+                .lock()
+                .expect("interner poisoned")
+                .make_pair(a.0, b.0),
+        )
+    }
+
+    /// The canonical vector type `(Vecof elem)`.
+    pub fn vec(elem: TyId) -> TyId {
+        TyId(store().lock().expect("interner poisoned").make_vec(elem.0))
+    }
+
+    /// The canonical refinement `{var:base | prop}`; collapses to `base`
+    /// when the proposition is trivial.
+    pub fn refine(var: Symbol, base: TyId, prop: PropId) -> TyId {
+        TyId(
+            store()
+                .lock()
+                .expect("interner poisoned")
+                .make_refine(var, base.0, prop.0),
+        )
+    }
+
+    /// The member ids of a union type (`None` for non-unions).
+    pub fn union_members(self) -> Option<Vec<TyId>> {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_unions
+            .get(&self.0)
+            .map(|ms| ms.iter().map(|&m| TyId(m)).collect())
+    }
+
+    /// The component ids of a pair type (`None` for non-pairs).
+    pub fn pair_parts(self) -> Option<(TyId, TyId)> {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_pairs
+            .get(&self.0)
+            .map(|&(a, b)| (TyId(a), TyId(b)))
+    }
+
+    /// The element id of a vector type (`None` for non-vectors).
+    pub fn vec_elem(self) -> Option<TyId> {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_vecs
+            .get(&self.0)
+            .copied()
+            .map(TyId)
+    }
+
+    /// The `(binder, base, proposition)` of a refinement type (`None`
+    /// for non-refinements).
+    pub fn refine_parts(self) -> Option<(Symbol, TyId, PropId)> {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_refines
+            .get(&self.0)
+            .map(|&(v, b, p)| (v, TyId(b), PropId(p)))
+    }
+
+    /// Field projection at the id level (memoized in the interner):
+    /// `len` projects to `Int`, pairs to their component, unions
+    /// pointwise, refinements through their base, everything else to `⊤`.
+    pub fn project(self, f: Field) -> TyId {
+        TyId(
+            store()
+                .lock()
+                .expect("interner poisoned")
+                .project(self.0, f),
+        )
+    }
+
+    /// The object-level variables this type mentions — a conservative
+    /// over-approximation (binder names are included), computed once at
+    /// intern time. `mentions_var(x) == false` is therefore a proof that
+    /// substituting for `x` leaves the type unchanged, which is what lets
+    /// `Env::unbind` skip whole-map rewrites.
+    pub fn free_obj_vars(self) -> Arc<[Symbol]> {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_meta(self.0)
+            .vars
+            .clone()
+    }
+
+    /// Does the type mention variable `x` (conservatively)? See
+    /// [`TyId::free_obj_vars`].
+    pub fn mentions_var(self, x: Symbol) -> bool {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_meta(self.0)
+            .vars
+            .binary_search(&x)
+            .is_ok()
+    }
+
+    /// Does the type mention no object-level variables at all?
+    pub fn is_closed(self) -> bool {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_meta(self.0)
+            .vars
+            .is_empty()
+    }
+
+    /// Does the type contain a refinement anywhere?
+    pub fn has_refinement(self) -> bool {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_meta(self.0)
+            .has_refinement
+    }
+
+    /// Which solver theories do the type's propositions mention? A union
+    /// of [`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`] bits, precomputed
+    /// at intern time so theory-gating is a bit test.
+    pub fn theory_mask(self) -> u8 {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .ty_meta(self.0)
+            .theory_mask
     }
 }
 
@@ -86,12 +323,34 @@ impl PropId {
 
     /// The canonical proposition this id stands for.
     pub fn get(self) -> Arc<Prop> {
-        store().lock().expect("interner poisoned").props[self.0 as usize].clone()
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .prop_arc(self.0)
+            .clone()
     }
 
-    /// The raw arena index.
+    /// The raw arena index (flag bits included).
     pub fn as_u32(self) -> u32 {
         self.0
+    }
+
+    /// Does this proposition mention a [`Symbol::fresh`] name?
+    pub fn in_fresh_region(self) -> bool {
+        self.0 & FRESH_BIT != 0
+    }
+
+    /// Does the proposition mention variable `x` free? Exactly matches
+    /// [`Prop::free_vars`] (object-level variables; types embedded in
+    /// membership atoms are not consulted), cached per id.
+    pub fn mentions_var(self, x: Symbol) -> bool {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .prop_meta(self.0)
+            .free_vars
+            .binary_search(&x)
+            .is_ok()
     }
 }
 
@@ -103,13 +362,61 @@ impl ObjId {
 
     /// The canonical object this id stands for.
     pub fn get(self) -> Arc<Obj> {
-        store().lock().expect("interner poisoned").objs[self.0 as usize].clone()
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .obj_arc(self.0)
+            .clone()
     }
 
-    /// The raw arena index.
+    /// The raw arena index (flag bits included).
     pub fn as_u32(self) -> u32 {
         self.0
     }
+
+    /// Does this object mention a [`Symbol::fresh`] name?
+    pub fn in_fresh_region(self) -> bool {
+        self.0 & FRESH_BIT != 0
+    }
+
+    /// Does the object mention variable `x`? Exactly matches
+    /// [`Obj::free_vars`], cached per id.
+    pub fn mentions_var(self, x: Symbol) -> bool {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .obj_meta(self.0)
+            .free_vars
+            .binary_search(&x)
+            .is_ok()
+    }
+}
+
+/// Batched [`TyId::mentions_var`]: one interner lock for the whole id
+/// set. `Env::unbind` uses these to scan an environment's stored ids
+/// without a per-id lock round-trip (which would serialize parallel
+/// corpus checking on the global interner mutex).
+pub fn tys_mentioning(x: Symbol, ids: impl IntoIterator<Item = TyId>) -> Vec<bool> {
+    let s = store().lock().expect("interner poisoned");
+    ids.into_iter()
+        .map(|id| s.ty_meta(id.0).vars.binary_search(&x).is_ok())
+        .collect()
+}
+
+/// Batched [`PropId::mentions_var`]; see [`tys_mentioning`].
+pub fn props_mentioning(x: Symbol, ids: impl IntoIterator<Item = PropId>) -> Vec<bool> {
+    let s = store().lock().expect("interner poisoned");
+    ids.into_iter()
+        .map(|id| s.prop_meta(id.0).free_vars.binary_search(&x).is_ok())
+        .collect()
+}
+
+/// Batched [`ObjId::mentions_var`]; see [`tys_mentioning`].
+pub fn objs_mentioning(x: Symbol, ids: impl IntoIterator<Item = ObjId>) -> Vec<bool> {
+    let s = store().lock().expect("interner poisoned");
+    ids.into_iter()
+        .map(|id| s.obj_meta(id.0).free_vars.binary_search(&x).is_ok())
+        .collect()
 }
 
 /// Canonicalizes a type (flattened/deduped/sorted unions, collapsed
@@ -128,33 +435,121 @@ pub fn canon_obj(o: &Obj) -> Arc<Obj> {
     ObjId::of(o).get()
 }
 
-/// Current arena sizes `(types, propositions, objects)` — a coarse gauge
-/// of interner growth for diagnostics.
+/// Current *total* arena sizes `(types, propositions, objects)` across
+/// both regions — a coarse gauge of interner growth for diagnostics.
 pub fn arena_sizes() -> (usize, usize, usize) {
+    let s = arena_stats();
+    (
+        s.tys + s.fresh_tys,
+        s.props + s.fresh_props,
+        s.objs + s.fresh_objs,
+    )
+}
+
+/// Per-region arena sizes. The permanent region holds canonical trees of
+/// ordinary interned names; the fresh region holds trees mentioning
+/// [`Symbol::fresh`] names, which never recur across checked modules.
+/// Comparing snapshots around a `check_source` call measures how much
+/// each module leaks into which region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Permanent type entries.
+    pub tys: usize,
+    /// Permanent proposition entries.
+    pub props: usize,
+    /// Permanent object entries.
+    pub objs: usize,
+    /// Fresh-region type entries.
+    pub fresh_tys: usize,
+    /// Fresh-region proposition entries.
+    pub fresh_props: usize,
+    /// Fresh-region object entries.
+    pub fresh_objs: usize,
+}
+
+/// Snapshot of the interner's per-region sizes.
+pub fn arena_stats() -> ArenaStats {
     let s = store().lock().expect("interner poisoned");
-    (s.tys.len(), s.props.len(), s.objs.len())
+    ArenaStats {
+        tys: s.tys.len(),
+        props: s.props.len(),
+        objs: s.objs.len(),
+        fresh_tys: s.fresh_tys.len(),
+        fresh_props: s.fresh_props.len(),
+        fresh_objs: s.fresh_objs.len(),
+    }
+}
+
+/// Intern-time metadata for a type, computed once per arena entry.
+struct TyMeta {
+    /// Conservative, sorted set of mentioned object-level variables
+    /// (binders included — an over-approximation that is exact about
+    /// *absence*).
+    vars: Arc<[Symbol]>,
+    /// Union of `THEORY_*` bits mentioned by embedded propositions.
+    theory_mask: u8,
+    /// Does the type contain a refinement anywhere?
+    has_refinement: bool,
+    /// Canonical sort rank for union members (base types in declaration
+    /// order, compound types after).
+    rank: u8,
+}
+
+/// Intern-time metadata for a proposition.
+struct PropMeta {
+    /// Sorted free object-level variables, exactly [`Prop::free_vars`].
+    free_vars: Arc<[Symbol]>,
+}
+
+/// Intern-time metadata for an object.
+struct ObjMeta {
+    /// Sorted free variables, exactly [`Obj::free_vars`].
+    free_vars: Arc<[Symbol]>,
 }
 
 #[derive(Default)]
 struct Store {
+    // --- permanent region -------------------------------------------------
     tys: Vec<Arc<Ty>>,
-    /// Parallel to `tys`: subtype verdicts need no environment (see
-    /// [`TyId::of_with_env_free`]).
-    ty_envfree: Vec<bool>,
-    ty_canon: FxHashMap<Arc<Ty>, u32>,
-    ty_memo: FxHashMap<Ty, u32>,
-    /// Member ids of interned union types (flattening support).
-    ty_unions: FxHashMap<u32, Vec<u32>>,
+    ty_metas: Vec<TyMeta>,
     props: Vec<Arc<Prop>>,
+    prop_metas: Vec<PropMeta>,
+    objs: Vec<Arc<Obj>>,
+    obj_metas: Vec<ObjMeta>,
+    // --- fresh region (trees mentioning `Symbol::fresh` names) -----------
+    fresh_tys: Vec<Arc<Ty>>,
+    fresh_ty_metas: Vec<TyMeta>,
+    fresh_props: Vec<Arc<Prop>>,
+    fresh_prop_metas: Vec<PropMeta>,
+    fresh_objs: Vec<Arc<Obj>>,
+    fresh_obj_metas: Vec<ObjMeta>,
+    // --- canonical lookup (both regions) ----------------------------------
+    ty_canon: FxHashMap<Arc<Ty>, u32>,
     prop_canon: FxHashMap<Arc<Prop>, u32>,
+    obj_canon: FxHashMap<Arc<Obj>, u32>,
+    // --- raw-tree memos (permanent names / fresh names, separately capped)
+    ty_memo: FxHashMap<Ty, u32>,
+    fresh_ty_memo: FxHashMap<Ty, u32>,
     prop_memo: FxHashMap<Prop, u32>,
+    fresh_prop_memo: FxHashMap<Prop, u32>,
+    obj_memo: FxHashMap<Obj, u32>,
+    fresh_obj_memo: FxHashMap<Obj, u32>,
+    // --- id-level structure (constructors/destructors) --------------------
+    /// Member ids of interned union types.
+    ty_unions: FxHashMap<u32, Vec<u32>>,
+    ty_union_canon: FxHashMap<Vec<u32>, u32>,
+    ty_pairs: FxHashMap<u32, (u32, u32)>,
+    ty_pair_canon: FxHashMap<(u32, u32), u32>,
+    ty_vecs: FxHashMap<u32, u32>,
+    ty_vec_canon: FxHashMap<u32, u32>,
+    ty_refines: FxHashMap<u32, (Symbol, u32, u32)>,
+    ty_refine_canon: FxHashMap<(Symbol, u32, u32), u32>,
+    /// Memoized id-level field projections.
+    ty_projections: FxHashMap<(u32, Field), u32>,
     /// Conjunct ids of interned `And` chains (flattening support).
     prop_ands: FxHashMap<u32, Vec<u32>>,
     /// Disjunct ids of interned `Or` chains (flattening support).
     prop_ors: FxHashMap<u32, Vec<u32>>,
-    objs: Vec<Arc<Obj>>,
-    obj_canon: FxHashMap<Arc<Obj>, u32>,
-    obj_memo: FxHashMap<Obj, u32>,
 }
 
 fn store() -> &'static Mutex<Store> {
@@ -162,14 +557,234 @@ fn store() -> &'static Mutex<Store> {
     STORE.get_or_init(|| Mutex::new(Store::default()))
 }
 
-/// Cap on the raw-tree memo maps (`*_memo`). These maps clone every raw
-/// input tree as a key purely to skip re-canonicalization, and checks of
-/// fresh-name-bearing goals keep adding keys that can never recur;
+/// Cap on the permanent raw-tree memo maps (`*_memo`). These maps clone
+/// every raw input tree as a key purely to skip re-canonicalization;
 /// clearing them is always sound (the canonical arenas — which ids index
 /// into — are untouched, so existing ids stay valid).
 const MEMO_CAP: usize = 1 << 20;
 
+/// Cap on the fresh-region raw-tree memos. Much smaller: fresh-named raw
+/// trees recur only within one checked module, so there is no point
+/// holding a module's worth of gensym'd keys after it finishes.
+const FRESH_MEMO_CAP: usize = 1 << 16;
+
+/// One tree-walk collecting everything the per-id metadata needs.
+#[derive(Default)]
+struct Scan {
+    /// Object-level variable mentions, binders included.
+    vars: HashSet<Symbol>,
+    /// Type-variable mentions (only consulted for freshness).
+    tvars: HashSet<Symbol>,
+    mask: u8,
+    has_refinement: bool,
+}
+
+impl Scan {
+    fn ty(&mut self, t: &Ty) {
+        match t {
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
+            | Ty::Regex => {}
+            Ty::TVar(a) => {
+                self.tvars.insert(*a);
+            }
+            Ty::Pair(a, b) => {
+                self.ty(a);
+                self.ty(b);
+            }
+            Ty::Vec(e) => self.ty(e),
+            Ty::Union(ts) => ts.iter().for_each(|t| self.ty(t)),
+            Ty::Fun(f) => {
+                for (x, d) in &f.params {
+                    self.vars.insert(*x);
+                    self.ty(d);
+                }
+                self.result(&f.range);
+            }
+            Ty::Refine(r) => {
+                self.has_refinement = true;
+                self.vars.insert(r.var);
+                self.ty(&r.base);
+                self.prop(&r.prop);
+            }
+            Ty::Poly(p) => {
+                self.tvars.extend(p.vars.iter().copied());
+                self.ty(&p.body);
+            }
+        }
+    }
+
+    fn result(&mut self, r: &TyResult) {
+        for (g, t) in &r.existentials {
+            self.vars.insert(*g);
+            self.ty(t);
+        }
+        self.ty(&r.ty);
+        self.prop(&r.then_p);
+        self.prop(&r.else_p);
+        self.obj(&r.obj);
+    }
+
+    fn prop(&mut self, p: &Prop) {
+        match p {
+            Prop::TT | Prop::FF => {}
+            Prop::Is(o, t) | Prop::IsNot(o, t) => {
+                self.obj(o);
+                self.ty(t);
+            }
+            Prop::And(a, b) | Prop::Or(a, b) => {
+                self.prop(a);
+                self.prop(b);
+            }
+            Prop::Alias(a, b) => {
+                self.obj(a);
+                self.obj(b);
+            }
+            Prop::Lin(a) => {
+                self.mask |= THEORY_LIN;
+                for (_, p) in a.lhs.terms.iter().chain(a.rhs.terms.iter()) {
+                    self.vars.insert(p.base);
+                }
+            }
+            Prop::Bv(a) => {
+                self.mask |= THEORY_BV;
+                self.bv(&a.lhs);
+                self.bv(&a.rhs);
+            }
+            Prop::Str(a) => {
+                self.mask |= THEORY_STR;
+                if let crate::syntax::StrObj::Path(p) = &a.lhs {
+                    self.vars.insert(p.base);
+                }
+            }
+        }
+    }
+
+    fn obj(&mut self, o: &Obj) {
+        o.free_vars(&mut self.vars);
+    }
+
+    fn bv(&mut self, b: &crate::syntax::BvObj) {
+        use crate::syntax::BvObj;
+        match b {
+            BvObj::Const(_) => {}
+            BvObj::Path(p) => {
+                self.vars.insert(p.base);
+            }
+            BvObj::Not(a) => self.bv(a),
+            BvObj::And(a, b)
+            | BvObj::Or(a, b)
+            | BvObj::Xor(a, b)
+            | BvObj::Add(a, b)
+            | BvObj::Sub(a, b)
+            | BvObj::Mul(a, b) => {
+                self.bv(a);
+                self.bv(b);
+            }
+        }
+    }
+
+    /// Does anything in the scan mention a `Symbol::fresh` name? One
+    /// symbol-interner lock for the whole batch.
+    fn any_fresh(&self) -> bool {
+        Symbol::any_fresh(self.vars.iter().chain(self.tvars.iter()).copied())
+    }
+
+    fn sorted_vars(&self) -> Arc<[Symbol]> {
+        let mut v: Vec<Symbol> = self.vars.iter().copied().collect();
+        v.sort_unstable();
+        v.into()
+    }
+}
+
+/// Canonical sort rank for union members: base types in a fixed order
+/// (so canonical member order is stable across processes for base-type
+/// unions — `Bool` is always `(U True False)`), compound types after,
+/// ordered among themselves by id.
+fn ty_rank(t: &Ty) -> u8 {
+    match t {
+        Ty::Top => 0,
+        Ty::Int => 1,
+        Ty::True => 2,
+        Ty::False => 3,
+        Ty::Unit => 4,
+        Ty::BitVec => 5,
+        Ty::Str => 6,
+        Ty::Regex => 7,
+        Ty::TVar(_) => 8,
+        Ty::Pair(_, _) => 9,
+        Ty::Vec(_) => 10,
+        Ty::Union(_) => 11,
+        Ty::Fun(_) => 12,
+        Ty::Refine(_) => 13,
+        Ty::Poly(_) => 14,
+    }
+}
+
 impl Store {
+    // --- region plumbing --------------------------------------------------
+
+    fn ty_arc(&self, id: u32) -> &Arc<Ty> {
+        let idx = (id & TY_IDX) as usize;
+        if id & FRESH_BIT != 0 {
+            &self.fresh_tys[idx]
+        } else {
+            &self.tys[idx]
+        }
+    }
+
+    fn ty_meta(&self, id: u32) -> &TyMeta {
+        let idx = (id & TY_IDX) as usize;
+        if id & FRESH_BIT != 0 {
+            &self.fresh_ty_metas[idx]
+        } else {
+            &self.ty_metas[idx]
+        }
+    }
+
+    fn prop_arc(&self, id: u32) -> &Arc<Prop> {
+        let idx = (id & IDX) as usize;
+        if id & FRESH_BIT != 0 {
+            &self.fresh_props[idx]
+        } else {
+            &self.props[idx]
+        }
+    }
+
+    fn prop_meta(&self, id: u32) -> &PropMeta {
+        let idx = (id & IDX) as usize;
+        if id & FRESH_BIT != 0 {
+            &self.fresh_prop_metas[idx]
+        } else {
+            &self.prop_metas[idx]
+        }
+    }
+
+    fn obj_arc(&self, id: u32) -> &Arc<Obj> {
+        let idx = (id & IDX) as usize;
+        if id & FRESH_BIT != 0 {
+            &self.fresh_objs[idx]
+        } else {
+            &self.objs[idx]
+        }
+    }
+
+    fn obj_meta(&self, id: u32) -> &ObjMeta {
+        let idx = (id & IDX) as usize;
+        if id & FRESH_BIT != 0 {
+            &self.fresh_obj_metas[idx]
+        } else {
+            &self.obj_metas[idx]
+        }
+    }
+
+    // --- types ------------------------------------------------------------
+
     fn insert_ty(&mut self, t: Ty) -> u32 {
         if let Some(&id) = self.ty_canon.get(&t) {
             return id;
@@ -191,20 +806,135 @@ impl Store {
                 Ty::Fun(_) | Ty::Refine(_) | Ty::Poly(_) => false,
             }
         }
-        let id = self.tys.len() as u32;
-        self.ty_envfree.push(env_free(&t));
+        let mut scan = Scan::default();
+        scan.ty(&t);
+        let fresh = scan.any_fresh();
+        let meta = TyMeta {
+            vars: scan.sorted_vars(),
+            theory_mask: scan.mask,
+            has_refinement: scan.has_refinement,
+            rank: ty_rank(&t),
+        };
+        let mut id_bits = if env_free(&t) { ENV_FREE_BIT } else { 0 };
         let arc = Arc::new(t);
-        self.tys.push(arc.clone());
+        let idx = if fresh {
+            id_bits |= FRESH_BIT;
+            self.fresh_tys.push(arc.clone());
+            self.fresh_ty_metas.push(meta);
+            self.fresh_tys.len() - 1
+        } else {
+            self.tys.push(arc.clone());
+            self.ty_metas.push(meta);
+            self.tys.len() - 1
+        };
+        assert!(idx < TY_IDX as usize, "type arena overflow");
+        let id = idx as u32 | id_bits;
         self.ty_canon.insert(arc, id);
         id
     }
 
     fn ty_tree(&self, id: u32) -> Ty {
-        (*self.tys[id as usize]).clone()
+        (**self.ty_arc(id)).clone()
+    }
+
+    /// The canonical union of (already canonical) member ids: members
+    /// that are unions splice in, duplicates drop, base members sort by
+    /// structural rank and compound members by id. The single code path
+    /// for both the tree-interning route and the id-level constructor.
+    fn make_union(&mut self, members: Vec<u32>) -> u32 {
+        let mut flat: Vec<u32> = Vec::with_capacity(members.len());
+        for mid in members {
+            match self.ty_unions.get(&mid) {
+                Some(ms) => flat.extend(ms.iter().copied()),
+                None => flat.push(mid),
+            }
+        }
+        flat.sort_unstable_by_key(|&id| (self.ty_meta(id).rank, id));
+        flat.dedup();
+        if flat.len() == 1 {
+            return flat[0];
+        }
+        if let Some(&id) = self.ty_union_canon.get(&flat) {
+            return id;
+        }
+        let tree = Ty::Union(flat.iter().map(|&i| self.ty_tree(i)).collect());
+        let id = self.insert_ty(tree);
+        // Recording ⊥ (the empty union) with zero members makes it splice
+        // away as a member of any later union, matching `Ty::union_of`.
+        self.ty_unions.entry(id).or_insert_with(|| flat.clone());
+        self.ty_union_canon.insert(flat, id);
+        id
+    }
+
+    fn make_pair(&mut self, a: u32, b: u32) -> u32 {
+        if let Some(&id) = self.ty_pair_canon.get(&(a, b)) {
+            return id;
+        }
+        let tree = Ty::Pair(Box::new(self.ty_tree(a)), Box::new(self.ty_tree(b)));
+        let id = self.insert_ty(tree);
+        self.ty_pair_canon.insert((a, b), id);
+        self.ty_pairs.entry(id).or_insert((a, b));
+        id
+    }
+
+    fn make_vec(&mut self, e: u32) -> u32 {
+        if let Some(&id) = self.ty_vec_canon.get(&e) {
+            return id;
+        }
+        let tree = Ty::Vec(Box::new(self.ty_tree(e)));
+        let id = self.insert_ty(tree);
+        self.ty_vec_canon.insert(e, id);
+        self.ty_vecs.entry(id).or_insert(e);
+        id
+    }
+
+    fn make_refine(&mut self, var: Symbol, base: u32, prop: u32) -> u32 {
+        if matches!(&**self.prop_arc(prop), Prop::TT) {
+            return base;
+        }
+        if let Some(&id) = self.ty_refine_canon.get(&(var, base, prop)) {
+            return id;
+        }
+        let tree = Ty::Refine(Box::new(RefineTy {
+            var,
+            base: self.ty_tree(base),
+            prop: self.prop_tree(prop),
+        }));
+        let id = self.insert_ty(tree);
+        self.ty_refine_canon.insert((var, base, prop), id);
+        self.ty_refines.entry(id).or_insert((var, base, prop));
+        id
+    }
+
+    fn project(&mut self, id: u32, f: Field) -> u32 {
+        if let Some(&p) = self.ty_projections.get(&(id, f)) {
+            return p;
+        }
+        let out = if f == Field::Len {
+            self.ty(&Ty::Int)
+        } else if let Some(&(a, b)) = self.ty_pairs.get(&id) {
+            if f == Field::Fst {
+                a
+            } else {
+                b
+            }
+        } else if let Some(ms) = self.ty_unions.get(&id).cloned() {
+            let projected: Vec<u32> = ms.into_iter().map(|m| self.project(m, f)).collect();
+            self.make_union(projected)
+        } else if let Some(&(_, base, _)) = self.ty_refines.get(&id) {
+            self.project(base, f)
+        } else {
+            self.ty(&Ty::Top)
+        };
+        self.ty_projections.insert((id, f), out);
+        out
     }
 
     fn ty(&mut self, t: &Ty) -> u32 {
         if let Some(&id) = self.ty_memo.get(t) {
+            return id;
+        }
+        if let Some(&id) = self.fresh_ty_memo.get(t) {
             return id;
         }
         let id = match t {
@@ -219,35 +949,15 @@ impl Store {
             | Ty::TVar(_) => self.insert_ty(t.clone()),
             Ty::Pair(a, b) => {
                 let (a, b) = (self.ty(a), self.ty(b));
-                let tree = Ty::Pair(Box::new(self.ty_tree(a)), Box::new(self.ty_tree(b)));
-                self.insert_ty(tree)
+                self.make_pair(a, b)
             }
             Ty::Vec(e) => {
                 let e = self.ty(e);
-                let tree = Ty::Vec(Box::new(self.ty_tree(e)));
-                self.insert_ty(tree)
+                self.make_vec(e)
             }
             Ty::Union(ts) => {
-                // Flatten (members that canonicalize to unions splice in),
-                // then dedup + sort by id so member order never splits ids.
-                let mut ids: Vec<u32> = Vec::with_capacity(ts.len());
-                for m in ts {
-                    let mid = self.ty(m);
-                    match self.ty_unions.get(&mid) {
-                        Some(members) => ids.extend(members.iter().copied()),
-                        None => ids.push(mid),
-                    }
-                }
-                ids.sort_unstable();
-                ids.dedup();
-                if ids.len() == 1 {
-                    ids[0]
-                } else {
-                    let tree = Ty::Union(ids.iter().map(|&i| self.ty_tree(i)).collect());
-                    let id = self.insert_ty(tree);
-                    self.ty_unions.entry(id).or_insert(ids);
-                    id
-                }
+                let ids: Vec<u32> = ts.iter().map(|m| self.ty(m)).collect();
+                self.make_union(ids)
             }
             Ty::Fun(f) => {
                 let params = f
@@ -264,16 +974,7 @@ impl Store {
             Ty::Refine(r) => {
                 let base = self.ty(&r.base);
                 let prop = self.prop(&r.prop);
-                if matches!(&*self.props[prop as usize], Prop::TT) {
-                    base
-                } else {
-                    let tree = Ty::Refine(Box::new(RefineTy {
-                        var: r.var,
-                        base: self.ty_tree(base),
-                        prop: self.prop_tree(prop),
-                    }));
-                    self.insert_ty(tree)
-                }
+                self.make_refine(r.var, base, prop)
             }
             Ty::Poly(p) => {
                 let body = self.ty(&p.body);
@@ -288,10 +989,17 @@ impl Store {
                 }
             }
         };
-        if self.ty_memo.len() >= MEMO_CAP {
-            self.ty_memo.clear();
+        if id & FRESH_BIT != 0 {
+            if self.fresh_ty_memo.len() >= FRESH_MEMO_CAP {
+                self.fresh_ty_memo.clear();
+            }
+            self.fresh_ty_memo.insert(t.clone(), id);
+        } else {
+            if self.ty_memo.len() >= MEMO_CAP {
+                self.ty_memo.clear();
+            }
+            self.ty_memo.insert(t.clone(), id);
         }
-        self.ty_memo.insert(t.clone(), id);
         id
     }
 
@@ -317,19 +1025,42 @@ impl Store {
         }
     }
 
-    fn insert_prop(&mut self, p: Prop) -> u32 {
+    // --- propositions ------------------------------------------------------
+
+    /// Inserts a canonical proposition. `embedded_fresh` carries
+    /// freshness of components that [`Prop::free_vars`] does not see
+    /// (types inside membership atoms, spliced chain members).
+    fn insert_prop(&mut self, p: Prop, embedded_fresh: bool) -> u32 {
         if let Some(&id) = self.prop_canon.get(&p) {
             return id;
         }
-        let id = self.props.len() as u32;
+        let mut fv = HashSet::new();
+        p.free_vars(&mut fv);
+        let fresh = (embedded_fresh || Symbol::any_fresh(fv.iter().copied()))
+            && !matches!(p, Prop::TT | Prop::FF);
+        let mut sorted: Vec<Symbol> = fv.into_iter().collect();
+        sorted.sort_unstable();
+        let meta = PropMeta {
+            free_vars: sorted.into(),
+        };
         let arc = Arc::new(p);
-        self.props.push(arc.clone());
+        let idx = if fresh {
+            self.fresh_props.push(arc.clone());
+            self.fresh_prop_metas.push(meta);
+            self.fresh_props.len() - 1
+        } else {
+            self.props.push(arc.clone());
+            self.prop_metas.push(meta);
+            self.props.len() - 1
+        };
+        assert!(idx < IDX as usize, "proposition arena overflow");
+        let id = idx as u32 | if fresh { FRESH_BIT } else { 0 };
         self.prop_canon.insert(arc, id);
         id
     }
 
     fn prop_tree(&self, id: u32) -> Prop {
-        (*self.props[id as usize]).clone()
+        (**self.prop_arc(id)).clone()
     }
 
     /// Flattens a connective chain into canonical member ids: `tt`/`ff`
@@ -368,9 +1099,9 @@ impl Store {
         } else {
             (Prop::FF, Prop::TT)
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         for id in flat {
-            let tree = &*self.props[id as usize];
+            let tree = &**self.prop_arc(id);
             if *tree == unit {
                 continue;
             }
@@ -388,35 +1119,39 @@ impl Store {
         if let Some(&id) = self.prop_memo.get(p) {
             return id;
         }
+        if let Some(&id) = self.fresh_prop_memo.get(p) {
+            return id;
+        }
         let id = match p {
             Prop::TT | Prop::FF | Prop::Lin(_) | Prop::Bv(_) | Prop::Str(_) => {
-                self.insert_prop(p.clone())
+                self.insert_prop(p.clone(), false)
             }
             Prop::Is(o, t) => {
                 let (o, t) = (self.obj(o), self.ty(t));
                 let candidate = Prop::is(self.obj_tree(o), self.ty_tree(t));
-                self.insert_prop(candidate)
+                self.insert_prop(candidate, t & FRESH_BIT != 0)
             }
             Prop::IsNot(o, t) => {
                 let (o, t) = (self.obj(o), self.ty(t));
                 let candidate = Prop::is_not(self.obj_tree(o), self.ty_tree(t));
-                self.insert_prop(candidate)
+                self.insert_prop(candidate, t & FRESH_BIT != 0)
             }
             Prop::Alias(o1, o2) => {
                 let (o1, o2) = (self.obj(o1), self.obj(o2));
                 let candidate = Prop::alias(self.obj_tree(o1), self.obj_tree(o2));
-                self.insert_prop(candidate)
+                self.insert_prop(candidate, false)
             }
             Prop::And(_, _) | Prop::Or(_, _) => {
                 let and = matches!(p, Prop::And(_, _));
                 match self.flatten_chain(p, and) {
-                    None => self.insert_prop(if and { Prop::FF } else { Prop::TT }),
+                    None => self.insert_prop(if and { Prop::FF } else { Prop::TT }, false),
                     Some(ids) if ids.is_empty() => {
-                        self.insert_prop(if and { Prop::TT } else { Prop::FF })
+                        self.insert_prop(if and { Prop::TT } else { Prop::FF }, false)
                     }
                     Some(ids) if ids.len() == 1 => ids[0],
                     Some(ids) => {
                         // Rebuild right-nested from canonical members.
+                        let embedded_fresh = ids.iter().any(|&i| i & FRESH_BIT != 0);
                         let mut tree = self.prop_tree(ids[ids.len() - 1]);
                         for &id in ids[..ids.len() - 1].iter().rev() {
                             let member = self.prop_tree(id);
@@ -426,7 +1161,7 @@ impl Store {
                                 Prop::Or(Box::new(member), Box::new(tree))
                             };
                         }
-                        let id = self.insert_prop(tree);
+                        let id = self.insert_prop(tree, embedded_fresh);
                         if and {
                             self.prop_ands.entry(id).or_insert(ids);
                         } else {
@@ -437,30 +1172,59 @@ impl Store {
                 }
             }
         };
-        if self.prop_memo.len() >= MEMO_CAP {
-            self.prop_memo.clear();
+        if id & FRESH_BIT != 0 {
+            if self.fresh_prop_memo.len() >= FRESH_MEMO_CAP {
+                self.fresh_prop_memo.clear();
+            }
+            self.fresh_prop_memo.insert(p.clone(), id);
+        } else {
+            if self.prop_memo.len() >= MEMO_CAP {
+                self.prop_memo.clear();
+            }
+            self.prop_memo.insert(p.clone(), id);
         }
-        self.prop_memo.insert(p.clone(), id);
         id
     }
+
+    // --- objects -----------------------------------------------------------
 
     fn insert_obj(&mut self, o: Obj) -> u32 {
         if let Some(&id) = self.obj_canon.get(&o) {
             return id;
         }
-        let id = self.objs.len() as u32;
+        let mut fv = HashSet::new();
+        o.free_vars(&mut fv);
+        let fresh = Symbol::any_fresh(fv.iter().copied());
+        let mut sorted: Vec<Symbol> = fv.into_iter().collect();
+        sorted.sort_unstable();
+        let meta = ObjMeta {
+            free_vars: sorted.into(),
+        };
         let arc = Arc::new(o);
-        self.objs.push(arc.clone());
+        let idx = if fresh {
+            self.fresh_objs.push(arc.clone());
+            self.fresh_obj_metas.push(meta);
+            self.fresh_objs.len() - 1
+        } else {
+            self.objs.push(arc.clone());
+            self.obj_metas.push(meta);
+            self.objs.len() - 1
+        };
+        assert!(idx < IDX as usize, "object arena overflow");
+        let id = idx as u32 | if fresh { FRESH_BIT } else { 0 };
         self.obj_canon.insert(arc, id);
         id
     }
 
     fn obj_tree(&self, id: u32) -> Obj {
-        (*self.objs[id as usize]).clone()
+        (**self.obj_arc(id)).clone()
     }
 
     fn obj(&mut self, o: &Obj) -> u32 {
         if let Some(&id) = self.obj_memo.get(o) {
+            return id;
+        }
+        if let Some(&id) = self.fresh_obj_memo.get(o) {
             return id;
         }
         let id = match o {
@@ -474,10 +1238,17 @@ impl Store {
                 self.insert_obj(candidate)
             }
         };
-        if self.obj_memo.len() >= MEMO_CAP {
-            self.obj_memo.clear();
+        if id & FRESH_BIT != 0 {
+            if self.fresh_obj_memo.len() >= FRESH_MEMO_CAP {
+                self.fresh_obj_memo.clear();
+            }
+            self.fresh_obj_memo.insert(o.clone(), id);
+        } else {
+            if self.obj_memo.len() >= MEMO_CAP {
+                self.obj_memo.clear();
+            }
+            self.obj_memo.insert(o.clone(), id);
         }
-        self.obj_memo.insert(o.clone(), id);
         id
     }
 }
@@ -512,6 +1283,12 @@ mod tests {
             }
             other => panic!("expected union, got {other}"),
         }
+        // Base-type members sort in structural rank order, so the
+        // canonical boolean really is `Bool`.
+        assert_eq!(
+            canon_ty(&Ty::Union(vec![Ty::False, Ty::True])).to_string(),
+            "Bool"
+        );
     }
 
     #[test]
@@ -573,5 +1350,132 @@ mod tests {
         assert_send_sync::<TyId>();
         assert_send_sync::<PropId>();
         assert_send_sync::<ObjId>();
+    }
+
+    #[test]
+    fn id_constructors_agree_with_tree_interning() {
+        let int = TyId::of(&Ty::Int);
+        let b = TyId::of(&Ty::bool_ty());
+        assert_eq!(
+            TyId::union_of(&[int, b]),
+            TyId::of(&Ty::union_of(vec![Ty::Int, Ty::bool_ty()]))
+        );
+        assert_eq!(TyId::union_of(&[int]), int);
+        assert_eq!(TyId::union_of(&[]), TyId::bot());
+        assert_eq!(
+            TyId::pair(int, b),
+            TyId::of(&Ty::pair(Ty::Int, Ty::bool_ty()))
+        );
+        assert_eq!(TyId::vec(int), TyId::of(&Ty::vec(Ty::Int)));
+        let psi = Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(5));
+        assert_eq!(
+            TyId::refine(x(), int, PropId::of(&psi)),
+            TyId::of(&Ty::refine(x(), Ty::Int, psi))
+        );
+        // tt-refinements collapse at the id level too.
+        assert_eq!(TyId::refine(x(), int, PropId::of(&Prop::TT)), int);
+    }
+
+    #[test]
+    fn id_destructors_recover_structure() {
+        let int = TyId::of(&Ty::Int);
+        let b = TyId::of(&Ty::bool_ty());
+        let p = TyId::pair(int, b);
+        assert_eq!(p.pair_parts(), Some((int, b)));
+        assert_eq!(int.pair_parts(), None);
+        let u = TyId::union_of(&[int, p]);
+        let ms = u.union_members().expect("union");
+        assert_eq!(ms.len(), 2);
+        assert!(ms.contains(&int) && ms.contains(&p));
+        assert_eq!(TyId::vec(int).vec_elem(), Some(int));
+        let psi = Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(5));
+        let r = TyId::refine(x(), int, PropId::of(&psi));
+        assert_eq!(r.refine_parts(), Some((x(), int, PropId::of(&psi))));
+    }
+
+    #[test]
+    fn id_projection_matches_tree_projection() {
+        let int = TyId::of(&Ty::Int);
+        let b = TyId::of(&Ty::bool_ty());
+        let p = TyId::pair(int, b);
+        assert_eq!(p.project(Field::Fst), int);
+        assert_eq!(p.project(Field::Snd), b);
+        assert_eq!(p.project(Field::Len), int);
+        // Unions project pointwise; refinements project through the base.
+        let p2 = TyId::pair(b, int);
+        let u = TyId::union_of(&[p, p2]);
+        assert_eq!(u.project(Field::Fst), TyId::union_of(&[int, b]));
+        let psi = Prop::lin(Obj::var(x()).len(), LinCmp::Le, Obj::int(5));
+        let r = TyId::refine(x(), p, PropId::of(&psi));
+        assert_eq!(r.project(Field::Fst), int);
+        // Non-pairs project to ⊤.
+        assert_eq!(int.project(Field::Fst), TyId::top());
+    }
+
+    #[test]
+    fn per_id_metadata_is_cached() {
+        let y = Symbol::intern("meta_y");
+        let psi = Prop::lin(Obj::var(x()), LinCmp::Le, Obj::var(y));
+        let t = Ty::refine(x(), Ty::Int, psi);
+        let id = TyId::of(&t);
+        assert!(!id.env_free());
+        assert!(id.has_refinement());
+        assert!(id.theory_mask() & THEORY_LIN != 0);
+        assert!(id.mentions_var(y));
+        assert!(!id.mentions_var(Symbol::intern("meta_absent")));
+        assert!(!id.is_closed());
+        let base = TyId::of(&Ty::pair(Ty::Int, Ty::bool_ty()));
+        assert!(base.env_free());
+        assert!(base.is_closed());
+        assert_eq!(base.theory_mask(), 0);
+        assert!(!base.has_refinement());
+    }
+
+    #[test]
+    fn fresh_named_trees_go_to_the_fresh_region() {
+        let before = arena_stats();
+        let g = Symbol::fresh("ghost");
+        let psi = Prop::lin(Obj::var(g), LinCmp::Le, Obj::int(1));
+        let t = Ty::refine(g, Ty::Int, psi.clone());
+        let tid = TyId::of(&t);
+        let pid = PropId::of(&psi);
+        let oid = ObjId::of(&Obj::var(g));
+        assert!(tid.in_fresh_region());
+        assert!(pid.in_fresh_region());
+        assert!(oid.in_fresh_region());
+        let after = arena_stats();
+        // Fresh entries grew the fresh region, not the permanent arena
+        // (the permanent region may still grow from this test's plain
+        // subtrees, e.g. `Int`, interned for the first time).
+        assert!(after.fresh_tys > before.fresh_tys);
+        assert!(after.fresh_props > before.fresh_props);
+        assert!(after.fresh_objs > before.fresh_objs);
+        // Ordinary names stay permanent.
+        assert!(!TyId::of(&Ty::refine(
+            Symbol::intern("plain_v"),
+            Ty::Int,
+            Prop::lin(Obj::var(Symbol::intern("plain_v")), LinCmp::Le, Obj::int(1))
+        ))
+        .in_fresh_region());
+        // Interning is still stable across regions.
+        assert_eq!(TyId::of(&t), tid);
+        assert_eq!(*tid.get(), *canon_ty(&t));
+    }
+
+    #[test]
+    fn prop_and_obj_mention_sets_match_free_vars() {
+        let y = Symbol::intern("pm_y");
+        let p = Prop::and(
+            Prop::lin(Obj::var(x()), LinCmp::Le, Obj::int(3)),
+            Prop::is(Obj::var(y), Ty::Int),
+        );
+        let pid = PropId::of(&p);
+        assert!(pid.mentions_var(x()));
+        assert!(pid.mentions_var(y));
+        assert!(!pid.mentions_var(Symbol::intern("pm_absent")));
+        let o = Obj::pair(Obj::var(x()), Obj::var(y).len());
+        let oid = ObjId::of(&o);
+        assert!(oid.mentions_var(x()) && oid.mentions_var(y));
+        assert!(!oid.mentions_var(Symbol::intern("pm_absent")));
     }
 }

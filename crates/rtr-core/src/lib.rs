@@ -22,7 +22,8 @@
 //! * [`mod@env`], [`config`], [`errors`], [`mutation`], [`infer`] — the §4
 //!   scaling machinery.
 //! * [`intern`] — hash-consed `TyId`/`PropId`/`ObjId` handles backing the
-//!   checker's memo tables and the environment's cheap snapshots.
+//!   checker's memo tables and the environment's id-native storage.
+//! * [`pmap`] — the persistent HAMT the environment stores those ids in.
 //!
 //! # Examples
 //!
@@ -58,6 +59,7 @@ pub mod interp;
 pub mod logic;
 pub mod model;
 pub mod mutation;
+pub mod pmap;
 pub mod prims;
 mod solver_cache;
 pub mod subtype;

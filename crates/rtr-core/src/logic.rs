@@ -12,7 +12,7 @@ use rtr_solver::rational::Rat;
 
 use crate::check::Checker;
 use crate::env::Env;
-use crate::intern::PropId;
+use crate::intern::{PropId, TyId};
 use crate::syntax::{
     BvAtomProp, BvCmp, BvObj, Field, LinAtom, LinCmp, LinObj, Obj, Path, Prop, StrAtomProp, StrObj,
     Symbol, Ty,
@@ -160,20 +160,23 @@ impl Checker {
                     env.mark_absurd();
                 }
             }
-            // L-Update⁺ on the stored positive type.
+            // L-Update⁺ on the stored positive type. Id-native: the
+            // stored type is read, updated and written back as an
+            // interned id; no tree is rebuilt on the memoized path.
             Obj::Path(p) => {
+                let t_id = TyId::of(t);
                 if !self.config.hybrid_env {
                     // §4.1 ablation (pure-proposition environment): record
                     // the atom; `ty_of_path` replays it at every query.
-                    env.add_pending(p.clone(), t.clone(), true);
+                    env.add_pending(p.clone(), t_id, true);
                     return;
                 }
-                let current = env.raw_ty(p.base).cloned().unwrap_or(Ty::Top);
-                let updated = self.update_ty(env, &current, &p.fields, t, true, fuel);
-                if self.is_empty_ty(&updated) {
+                let current = env.raw_ty_id(p.base).unwrap_or_else(TyId::top);
+                let updated = self.update_ty_id(env, current, &p.fields, t_id, true, fuel);
+                if self.is_empty_id(updated) {
                     env.mark_absurd();
                 }
-                env.set_ty(p.base, updated);
+                env.set_ty_id(p.base, updated);
             }
         }
     }
@@ -234,18 +237,19 @@ impl Checker {
                 }
             }
             Obj::Path(p) => {
+                let t_id = TyId::of(t);
                 if !self.config.hybrid_env {
-                    env.add_pending(p.clone(), t.clone(), false);
-                    env.add_neg(p.clone(), t.clone());
+                    env.add_pending(p.clone(), t_id, false);
+                    env.add_neg(p.clone(), t_id);
                     return;
                 }
-                let current = env.raw_ty(p.base).cloned().unwrap_or(Ty::Top);
-                let updated = self.update_ty(env, &current, &p.fields, t, false, fuel);
-                if self.is_empty_ty(&updated) {
+                let current = env.raw_ty_id(p.base).unwrap_or_else(TyId::top);
+                let updated = self.update_ty_id(env, current, &p.fields, t_id, false, fuel);
+                if self.is_empty_id(updated) {
                     env.mark_absurd();
                 }
-                env.set_ty(p.base, updated);
-                env.add_neg(p.clone(), t.clone());
+                env.set_ty_id(p.base, updated);
+                env.add_neg(p.clone(), t_id);
             }
         }
     }
@@ -272,8 +276,8 @@ impl Checker {
                     // §4.1: eagerly substitute a single representative.
                     // Copy what we already know about x onto the
                     // representative before the alias shadows it.
-                    if env.raw_ty(x).is_some() {
-                        let t = self.ty_of_path(env, &Path::var(x));
+                    if env.raw_ty_id(x).is_some() {
+                        let t = self.ty_of_path_id(env, &Path::var(x)).get();
                         self.assume_is(env, other, &t, fuel);
                     }
                     env.add_alias(x, other.clone());
@@ -507,8 +511,8 @@ impl Checker {
             Obj::Str(_) => self.subtype(env, &Ty::Str, t, fuel),
             Obj::Re(_) => self.subtype(env, &Ty::Regex, t, fuel),
             Obj::Path(p) => {
-                let known = self.ty_of_path(env, p);
-                self.subtype(env, &known, t, fuel)
+                let known = self.ty_of_path_id(env, p);
+                self.subtype_id_ty(env, known, t, fuel)
             }
         }
     }
@@ -533,15 +537,15 @@ impl Checker {
         if let Ty::Union(ss) = t {
             return ss.iter().all(|s| self.check_not(env, o, s, fuel));
         }
-        let known = self.ty_of_obj(env, o);
-        if !self.overlap(&known, t) {
+        let known = self.ty_of_obj_id(env, o);
+        if !self.overlap(&known.get(), t) {
             return true;
         }
         if let Obj::Path(p) = o {
             if env
                 .negs_of(p)
                 .iter()
-                .any(|nu| self.subtype(env, t, nu, fuel))
+                .any(|nu| self.subtype_ty_id(env, t, *nu, fuel))
             {
                 return true;
             }
@@ -549,56 +553,46 @@ impl Checker {
         false
     }
 
-    /// The most specific type the environment records for an object.
+    /// The most specific type the environment records for an object, as
+    /// a tree (AST-facing convenience over [`Checker::ty_of_obj_id`]).
     pub(crate) fn ty_of_obj(&self, env: &Env, o: &Obj) -> Ty {
+        (*self.ty_of_obj_id(env, o).get()).clone()
+    }
+
+    /// The most specific type the environment records for an object —
+    /// id-native: environment reads and pair assembly stay in id space.
+    pub(crate) fn ty_of_obj_id(&self, env: &Env, o: &Obj) -> TyId {
         match o {
-            Obj::Null => Ty::Top,
-            Obj::Path(p) => self.ty_of_path(env, p),
-            Obj::Pair(a, b) => Ty::pair(self.ty_of_obj(env, a), self.ty_of_obj(env, b)),
-            Obj::Lin(_) => Ty::Int,
-            Obj::Bv(_) => Ty::BitVec,
-            Obj::Str(_) => Ty::Str,
-            Obj::Re(_) => Ty::Regex,
+            Obj::Null => TyId::top(),
+            Obj::Path(p) => self.ty_of_path_id(env, p),
+            Obj::Pair(a, b) => TyId::pair(self.ty_of_obj_id(env, a), self.ty_of_obj_id(env, b)),
+            Obj::Lin(_) => TyId::int(),
+            Obj::Bv(_) => TyId::bitvec(),
+            Obj::Str(_) => TyId::str_ty(),
+            Obj::Re(_) => TyId::regex(),
         }
     }
 
     /// Looks up a path's type by projecting the base variable's recorded
-    /// type through the fields. In the pure-proposition-environment
+    /// type through the fields — entirely in id space (the projections
+    /// are memoized in the interner). In the pure-proposition-environment
     /// ablation the deferred atoms about the base variable are replayed
     /// through `update±` first — the per-query cost the §4.1 hybrid
     /// design pays once per assumption instead.
-    pub(crate) fn ty_of_path(&self, env: &Env, p: &Path) -> Ty {
-        let mut t = env.raw_ty(p.base).cloned().unwrap_or(Ty::Top);
+    pub(crate) fn ty_of_path_id(&self, env: &Env, p: &Path) -> TyId {
+        let mut t = env.raw_ty_id(p.base).unwrap_or_else(TyId::top);
         if !self.config.hybrid_env {
             let fuel = self.config.logic_fuel;
             for (q, s, positive) in env.pending() {
                 if q.base == p.base {
-                    t = self.update_ty(env, &t, &q.fields, s, *positive, fuel);
+                    t = self.update_ty_id(env, t, &q.fields, *s, *positive, fuel);
                 }
             }
         }
         for f in &p.fields {
-            t = self.project(&t, *f);
+            t = t.project(*f);
         }
         t
-    }
-
-    fn project(&self, t: &Ty, f: Field) -> Ty {
-        if f == Field::Len {
-            return Ty::Int;
-        }
-        match t {
-            Ty::Pair(a, b) => {
-                if f == Field::Fst {
-                    (**a).clone()
-                } else {
-                    (**b).clone()
-                }
-            }
-            Ty::Union(ts) => Ty::union_of(ts.iter().map(|t| self.project(t, f)).collect()),
-            Ty::Refine(r) => self.project(&r.base, f),
-            _ => Ty::Top,
-        }
     }
 
     /// Is the environment contradictory (a model-free Γ)? Memoized by
@@ -629,7 +623,7 @@ impl Checker {
         if env.is_absurd() {
             return true;
         }
-        if env.types().any(|(_, t)| self.is_empty_ty(t)) {
+        if env.types().any(|(_, t)| self.is_empty_id(t)) {
             return true;
         }
         if !self.config.hybrid_env {
@@ -638,15 +632,15 @@ impl Checker {
             let bases: std::collections::HashSet<Symbol> =
                 env.pending().iter().map(|(p, _, _)| p.base).collect();
             for b in bases {
-                if self.is_empty_ty(&self.ty_of_path(env, &Path::var(b))) {
+                if self.is_empty_id(self.ty_of_path_id(env, &Path::var(b))) {
                     return true;
                 }
             }
         }
         // Positive/negative conflicts: x ∈ τ with τ <: ν and x ∉ ν.
         for (p, nus) in env.negs() {
-            let known = self.ty_of_path(env, p);
-            if nus.iter().any(|nu| self.subtype(env, &known, nu, fuel)) {
+            let known = self.ty_of_path_id(env, p);
+            if nus.iter().any(|nu| self.subtype_ids(env, known, *nu, fuel)) {
                 return true;
             }
         }
@@ -1367,7 +1361,7 @@ mod tests {
         );
         // bind recorded the declared type…
         assert_eq!(
-            env.raw_ty(m),
+            env.raw_ty(m).as_deref(),
             Some(&Ty::union_of(vec![Ty::Int, Ty::bool_ty()]))
         );
     }

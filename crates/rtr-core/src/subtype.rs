@@ -31,16 +31,72 @@ impl Checker {
         if t1 == t2 {
             return true;
         }
-        let (a, a_free) = TyId::of_with_env_free(t1);
-        let (b, b_free) = TyId::of_with_env_free(t2);
+        let a = TyId::of(t1);
+        let b = TyId::of(t2);
+        self.subtype_ids_memo_with(env, a, b, fuel, Some((t1, t2)))
+    }
+
+    /// `Γ ⊢ τ₁ <: τ₂` on interned ids — the judgment layer's native
+    /// entry point: environment reads hand over ids directly, so the
+    /// memo lookup pays no re-interning toll.
+    pub fn subtype_ids(&self, env: &Env, a: TyId, b: TyId, fuel: u32) -> bool {
+        if !self.config.memoize {
+            return self.subtype_structural(env, &a.get(), &b.get(), fuel);
+        }
+        if fuel == 0 {
+            return false;
+        }
+        self.subtype_ids_memo(env, a, b, fuel)
+    }
+
+    /// Mixed entry: interned subject against a goal tree (e.g. a stored
+    /// environment type against a proposition's type).
+    pub(crate) fn subtype_id_ty(&self, env: &Env, a: TyId, t2: &Ty, fuel: u32) -> bool {
+        if !self.config.memoize {
+            return self.subtype_structural(env, &a.get(), t2, fuel);
+        }
+        if fuel == 0 {
+            return false;
+        }
+        self.subtype_ids_memo(env, a, TyId::of(t2), fuel)
+    }
+
+    /// Mixed entry: goal tree against an interned supertype (e.g. a
+    /// goal against a stored negative fact).
+    pub(crate) fn subtype_ty_id(&self, env: &Env, t1: &Ty, b: TyId, fuel: u32) -> bool {
+        if !self.config.memoize {
+            return self.subtype_structural(env, t1, &b.get(), fuel);
+        }
+        if fuel == 0 {
+            return false;
+        }
+        self.subtype_ids_memo(env, TyId::of(t1), b, fuel)
+    }
+
+    fn subtype_ids_memo(&self, env: &Env, a: TyId, b: TyId, fuel: u32) -> bool {
+        self.subtype_ids_memo_with(env, a, b, fuel, None)
+    }
+
+    /// The shared memo shell. `trees` carries the caller's raw trees when
+    /// it has them, so the structural fallback can run on the originals
+    /// instead of re-materializing canonical copies.
+    fn subtype_ids_memo_with(
+        &self,
+        env: &Env,
+        a: TyId,
+        b: TyId,
+        fuel: u32,
+        trees: Option<(&Ty, &Ty)>,
+    ) -> bool {
         if a == b {
             // Canonically equal (S-Refl modulo normalization).
             return true;
         }
         // Pairs of env-free types (no refinements/functions anywhere) are
         // compared purely structurally: cache them under generation 0 so
-        // one verdict serves every environment.
-        let generation = if a_free && b_free {
+        // one verdict serves every environment. The flag is packed into
+        // the id, so this costs two bit tests.
+        let generation = if a.env_free() && b.env_free() {
             0
         } else {
             env.generation()
@@ -56,7 +112,10 @@ impl Checker {
         // assume-true entry here would be unsound: it would "prove"
         // `(U {x:Int|ψ}) <: False` by answering the collapsed member
         // query with the in-flight outer one.
-        let verdict = self.subtype_structural(env, t1, t2, fuel);
+        let verdict = match trees {
+            Some((t1, t2)) => self.subtype_structural(env, t1, t2, fuel),
+            None => self.subtype_structural(env, &a.get(), &b.get(), fuel),
+        };
         self.caches().subtype.store(key, fuel, verdict);
         verdict
     }

@@ -131,6 +131,12 @@ impl LinObj {
         }
     }
 
+    /// Does the combination mention variable `x`? Allocation-free (used
+    /// by `Env::unbind`'s theory-fact filters).
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        self.terms.iter().any(|(_, p)| p.base == x)
+    }
+
     /// Pointwise sum.
     pub fn add(&self, other: &LinObj) -> LinObj {
         let mut out = self.clone();
@@ -215,6 +221,24 @@ pub enum BvObj {
     Mul(Box<BvObj>, Box<BvObj>),
 }
 
+impl BvObj {
+    /// Does the term mention variable `x`? Allocation-free (used by
+    /// `Env::unbind`'s theory-fact filters).
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        match self {
+            BvObj::Const(_) => false,
+            BvObj::Path(p) => p.base == x,
+            BvObj::Not(a) => a.mentions_var(x),
+            BvObj::And(a, b)
+            | BvObj::Or(a, b)
+            | BvObj::Xor(a, b)
+            | BvObj::Add(a, b)
+            | BvObj::Sub(a, b)
+            | BvObj::Mul(a, b) => a.mentions_var(x) || b.mentions_var(x),
+        }
+    }
+}
+
 impl fmt::Display for BvObj {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -240,6 +264,13 @@ pub enum StrObj {
     Const(Arc<str>),
     /// A program variable/path.
     Path(Path),
+}
+
+impl StrObj {
+    /// Does the term mention variable `x`?
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        matches!(self, StrObj::Path(p) if p.base == x)
+    }
 }
 
 impl fmt::Display for StrObj {

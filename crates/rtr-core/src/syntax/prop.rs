@@ -63,6 +63,15 @@ impl LinAtom {
     }
 }
 
+impl LinAtom {
+    /// Does either side mention variable `x`? Matches the variable set
+    /// [`Prop::free_vars`] reports for the wrapped atom, without building
+    /// a proposition or allocating.
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        self.lhs.mentions_var(x) || self.rhs.mentions_var(x)
+    }
+}
+
 impl fmt::Display for LinAtom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let op = match self.cmp {
@@ -110,6 +119,13 @@ impl BvAtomProp {
     }
 }
 
+impl BvAtomProp {
+    /// Does either side mention variable `x`? See [`LinAtom::mentions_var`].
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        self.lhs.mentions_var(x) || self.rhs.mentions_var(x)
+    }
+}
+
 impl fmt::Display for BvAtomProp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let op = match self.cmp {
@@ -145,6 +161,13 @@ impl StrAtomProp {
             positive: !self.positive,
             ..self.clone()
         }
+    }
+}
+
+impl StrAtomProp {
+    /// Does the subject mention variable `x`? See [`LinAtom::mentions_var`].
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        self.lhs.mentions_var(x)
     }
 }
 

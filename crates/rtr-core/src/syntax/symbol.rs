@@ -24,6 +24,10 @@ pub struct Symbol(u32);
 
 struct Interner {
     names: Vec<&'static str>,
+    /// Parallel to `names`: was this symbol minted by [`Symbol::fresh`]?
+    /// The type/prop interner routes fresh-named trees to its evictable
+    /// region instead of the permanent arena (see `crate::intern`).
+    fresh: Vec<bool>,
     lookup: std::collections::HashMap<&'static str, u32>,
 }
 
@@ -32,6 +36,7 @@ fn interner() -> &'static Mutex<Interner> {
     INTERNER.get_or_init(|| {
         Mutex::new(Interner {
             names: Vec::new(),
+            fresh: Vec::new(),
             lookup: std::collections::HashMap::new(),
         })
     })
@@ -48,6 +53,7 @@ impl Symbol {
         // Interned strings live for the program's duration by design.
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
         i.names.push(leaked);
+        i.fresh.push(false);
         i.lookup.insert(leaked, id);
         Symbol(id)
     }
@@ -57,16 +63,57 @@ impl Symbol {
         interner().lock().expect("interner poisoned").names[self.0 as usize]
     }
 
+    /// The raw interner index. Stable for the process lifetime; used as a
+    /// hash seed by `crate::pmap` and for id-level bookkeeping.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
     /// Creates a fresh symbol guaranteed distinct from every symbol
     /// interned so far, derived from `base` for readability.
+    ///
+    /// A generated name that happens to already exist (source programs
+    /// may legally contain `%`) is skipped rather than reused: marking an
+    /// existing, recurring user symbol as fresh would misroute its trees
+    /// to the interner's evictable fresh region. The loop terminates
+    /// because the counter strictly increases and only finitely many
+    /// names are ever interned.
     pub fn fresh(base: &str) -> Symbol {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        // Wrapping back to 0 would silently reuse "fresh" names; u64 makes
-        // that unreachable in practice, but make it loud in debug builds.
-        debug_assert!(n < u64::MAX, "Symbol::fresh counter overflowed");
-        Symbol::intern(&format!("{base}%{n}"))
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            // Wrapping back to 0 would silently reuse "fresh" names; u64
+            // makes that unreachable in practice, but make it loud in
+            // debug builds.
+            debug_assert!(n < u64::MAX, "Symbol::fresh counter overflowed");
+            let name = format!("{base}%{n}");
+            let mut i = interner().lock().expect("interner poisoned");
+            if i.lookup.contains_key(name.as_str()) {
+                continue;
+            }
+            let id = i.names.len() as u32;
+            let leaked: &'static str = Box::leak(name.into_boxed_str());
+            i.names.push(leaked);
+            i.fresh.push(true);
+            i.lookup.insert(leaked, id);
+            return Symbol(id);
+        }
+    }
+
+    /// Was this symbol minted by [`Symbol::fresh`]? Fresh names never
+    /// recur across checked modules, so trees that mention one are routed
+    /// to the interner's evictable region rather than its permanent
+    /// arena.
+    pub fn is_fresh(self) -> bool {
+        interner().lock().expect("interner poisoned").fresh[self.0 as usize]
+    }
+
+    /// Is any of the given symbols fresh? One interner lock for the whole
+    /// batch — the type interner calls this per arena insert.
+    pub fn any_fresh(syms: impl IntoIterator<Item = Symbol>) -> bool {
+        let i = interner().lock().expect("interner poisoned");
+        syms.into_iter().any(|s| i.fresh[s.0 as usize])
     }
 }
 
@@ -103,6 +150,33 @@ mod tests {
     #[test]
     fn distinct_names_distinct_symbols() {
         assert_ne!(Symbol::intern("a"), Symbol::intern("b"));
+    }
+
+    #[test]
+    fn fresh_skips_user_interned_collisions() {
+        // Pre-intern names shaped like upcoming fresh names ('%' is legal
+        // in source identifiers): fresh() must skip them, never reuse
+        // them, and never retroactively mark them fresh.
+        let probe = Symbol::fresh("cl");
+        let n: u64 = probe
+            .as_str()
+            .rsplit('%')
+            .next()
+            .expect("fresh names contain %")
+            .parse()
+            .expect("fresh suffix is a counter");
+        let users: Vec<Symbol> = (n + 1..n + 40)
+            .map(|k| Symbol::intern(&format!("cl%{k}")))
+            .collect();
+        for _ in 0..80 {
+            let g = Symbol::fresh("cl");
+            assert!(g.is_fresh());
+            assert!(!users.contains(&g), "fresh reused a user symbol");
+        }
+        assert!(
+            users.iter().all(|u| !u.is_fresh()),
+            "a user symbol was retroactively marked fresh"
+        );
     }
 
     #[test]

@@ -7,12 +7,201 @@
 //! conservative difference (`remove`). Structural fields (`fst`/`snd`)
 //! walk into pair types; the vector-length field `len` carries no
 //! type-structure information (lengths live in the linear theory).
+//!
+//! Two implementations coexist:
+//!
+//! * the original tree-to-tree versions ([`Checker::update_ty`],
+//!   [`Checker::restrict`], [`Checker::remove`]) — the reference
+//!   semantics, used when memoization is disabled and by the equivalence
+//!   property tests;
+//! * id-native versions ([`Checker::update_ty_id`] and friends) that walk
+//!   interned [`TyId`]s via the interner's id-level constructors and
+//!   destructors, memoized on `(generation, τ, path, σ, polarity, fuel)`
+//!   — generation 0 when both types are environment-free, so one entry
+//!   serves every environment. Repeated `update±` along alias/narrowing
+//!   chains previously rebuilt identical trees at every binder; a memo
+//!   hit now returns an id without touching a tree at all.
 
+use crate::cache::path_fingerprint;
 use crate::check::Checker;
 use crate::env::Env;
+use crate::intern::TyId;
 use crate::syntax::{Field, Ty};
 
 impl Checker {
+    /// Id-native `update±(τ, ϕ⃗, σ)` — the judgment layer's entry point.
+    /// Falls back to the tree-based reference when memoization is off.
+    pub fn update_ty_id(
+        &self,
+        env: &Env,
+        t: TyId,
+        fields: &[Field],
+        s: TyId,
+        positive: bool,
+        fuel: u32,
+    ) -> TyId {
+        if !self.config.memoize {
+            return TyId::of(&self.update_ty(env, &t.get(), fields, &s.get(), positive, fuel));
+        }
+        let Some(next_fuel) = fuel.checked_sub(1) else {
+            return t;
+        };
+        // Memoize environment-free pairs only: their updates consult
+        // nothing but the two types (subtype/overlap on env-free types
+        // are generation-0 judgments), so entries transfer across every
+        // environment — exactly the repeated narrowing along alias and
+        // narrowing chains. Environment-dependent pairs skip the table:
+        // a generation-stamped key would be dead weight, since every
+        // binder advances the generation.
+        let key = (t.env_free() && s.env_free())
+            .then(|| path_fingerprint(fields).map(|fp| (t, fp, s, positive, fuel)))
+            .flatten();
+        if let Some(key) = &key {
+            if let Some(hit) = self.caches().update.lookup(key) {
+                return hit;
+            }
+        }
+        let result = match fields.split_first() {
+            None => {
+                if positive {
+                    self.restrict_id(env, t, s, next_fuel)
+                } else {
+                    self.remove_id(env, t, s, next_fuel)
+                }
+            }
+            // Lengths are integers; the type structure of the vector is
+            // unaffected. (The linear theory tracks the length facts.)
+            Some((Field::Len, _)) => t,
+            Some((f @ (Field::Fst | Field::Snd), rest)) => {
+                if let Some((a, b)) = t.pair_parts() {
+                    if *f == Field::Fst {
+                        TyId::pair(self.update_ty_id(env, a, rest, s, positive, next_fuel), b)
+                    } else {
+                        TyId::pair(a, self.update_ty_id(env, b, rest, s, positive, next_fuel))
+                    }
+                } else if let Some(members) = t.union_members() {
+                    let updated: Vec<TyId> = members
+                        .into_iter()
+                        .map(|m| self.update_ty_id(env, m, fields, s, positive, next_fuel))
+                        .collect();
+                    TyId::union_of(&updated)
+                } else if let Some((var, base, prop)) = t.refine_parts() {
+                    TyId::refine(
+                        var,
+                        self.update_ty_id(env, base, fields, s, positive, next_fuel),
+                        prop,
+                    )
+                } else if t == TyId::top() {
+                    // Learning about (fst o) implies o is a pair: refine ⊤
+                    // through ⊤×⊤ first.
+                    let pairish = TyId::pair(TyId::top(), TyId::top());
+                    self.update_ty_id(env, pairish, fields, s, positive, next_fuel)
+                } else {
+                    // A non-pair cannot have the field at all.
+                    TyId::bot()
+                }
+            }
+        };
+        if let Some(key) = key {
+            self.caches().update.store(key, result);
+        }
+        result
+    }
+
+    /// Id-native `restrictΓ(τ, σ)` (Fig. 7).
+    pub(crate) fn restrict_id(&self, env: &Env, t: TyId, s: TyId, fuel: u32) -> TyId {
+        let Some(next_fuel) = fuel.checked_sub(1) else {
+            return t;
+        };
+        if !self.overlap_ids(t, s) {
+            return TyId::bot();
+        }
+        if let Some(members) = t.union_members() {
+            let restricted: Vec<TyId> = members
+                .into_iter()
+                .map(|m| self.restrict_id(env, m, s, next_fuel))
+                .collect();
+            return TyId::union_of(&restricted);
+        }
+        if let Some((var, base, prop)) = t.refine_parts() {
+            return TyId::refine(var, self.restrict_id(env, base, s, next_fuel), prop);
+        }
+        if self.subtype_ids(env, t, s, next_fuel) {
+            t
+        } else {
+            s
+        }
+    }
+
+    /// Id-native `removeΓ(τ, σ)` (Fig. 7).
+    pub(crate) fn remove_id(&self, env: &Env, t: TyId, s: TyId, fuel: u32) -> TyId {
+        let Some(next_fuel) = fuel.checked_sub(1) else {
+            return t;
+        };
+        if self.subtype_ids(env, t, s, next_fuel) {
+            return TyId::bot();
+        }
+        if let Some(members) = t.union_members() {
+            let removed: Vec<TyId> = members
+                .into_iter()
+                .map(|m| self.remove_id(env, m, s, next_fuel))
+                .collect();
+            return TyId::union_of(&removed);
+        }
+        if let Some((var, base, prop)) = t.refine_parts() {
+            return TyId::refine(var, self.remove_id(env, base, s, next_fuel), prop);
+        }
+        t
+    }
+
+    /// May-overlap on ids, memoized (the verdict consults only the two
+    /// types, so entries are environment- and fuel-free).
+    pub(crate) fn overlap_ids(&self, t: TyId, s: TyId) -> bool {
+        if !self.config.memoize {
+            return self.overlap(&t.get(), &s.get());
+        }
+        let key = (t, s);
+        if let Some(verdict) = self.caches().overlap.lookup(key) {
+            return verdict;
+        }
+        let verdict = self.overlap(&t.get(), &s.get());
+        self.caches().overlap.store(key, verdict);
+        verdict
+    }
+
+    /// Id-keyed emptiness: the single memoized implementation behind
+    /// [`Checker::is_empty_ty`] (which delegates here on the memoized
+    /// path, so the classification logic lives in one place).
+    pub(crate) fn is_empty_id(&self, t: TyId) -> bool {
+        if t == TyId::bot() {
+            return true;
+        }
+        let tree = t.get();
+        if !self.config.memoize {
+            return self.is_empty_structural_shallow(&tree);
+        }
+        match &*tree {
+            Ty::Union(ts) if ts.is_empty() => true,
+            Ty::Union(_) | Ty::Pair(_, _) | Ty::Refine(_) => {
+                if let Some(verdict) = self.caches().empty.lookup(t) {
+                    return verdict;
+                }
+                let verdict = self.is_empty_structural(&tree);
+                self.caches().empty.store(t, verdict);
+                verdict
+            }
+            _ => false,
+        }
+    }
+
+    fn is_empty_structural_shallow(&self, t: &Ty) -> bool {
+        match t {
+            Ty::Union(ts) if ts.is_empty() => true,
+            Ty::Union(_) | Ty::Pair(_, _) | Ty::Refine(_) => self.is_empty_structural(t),
+            _ => false,
+        }
+    }
+
     /// `update±(τ, ϕ⃗, σ)` — Fig. 7. `fields` is innermost-first, matching
     /// [`crate::syntax::Path`].
     pub fn update_ty(
@@ -170,15 +359,11 @@ impl Checker {
             Ty::Union(ts) if ts.is_empty() => true,
             Ty::Union(_) | Ty::Pair(_, _) | Ty::Refine(_) => {
                 if !self.config.memoize {
+                    // Structural reference: stay on the raw tree, no
+                    // interning.
                     return self.is_empty_structural(t);
                 }
-                let id = crate::intern::TyId::of(t);
-                if let Some(verdict) = self.caches().empty.lookup(id) {
-                    return verdict;
-                }
-                let verdict = self.is_empty_structural(t);
-                self.caches().empty.store(id, verdict);
-                verdict
+                self.is_empty_id(TyId::of(t))
             }
             _ => false,
         }

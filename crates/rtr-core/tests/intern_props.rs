@@ -144,4 +144,48 @@ proptest! {
             c.proves(&env, &goal, FUEL)
         );
     }
+
+    /// The id-native `update±` (memoized, interner-constructor-based)
+    /// computes exactly the tree-based reference metafunction, up to
+    /// canonicalization, on random types, field paths and polarities.
+    #[test]
+    fn id_native_update_matches_tree_reference(
+        t in arb_ty(),
+        s in arb_ty(),
+        fields in proptest::collection::vec(
+            prop_oneof![
+                Just(rtr_core::syntax::Field::Fst),
+                Just(rtr_core::syntax::Field::Snd),
+                Just(rtr_core::syntax::Field::Len),
+            ],
+            0..3,
+        ),
+        positive in any::<bool>(),
+    ) {
+        let env = Env::new();
+        let c = memoized();
+        let tree = c.update_ty(&env, &t, &fields, &s, positive, FUEL);
+        let id = c.update_ty_id(
+            &env,
+            TyId::of(&t),
+            &fields,
+            TyId::of(&s),
+            positive,
+            FUEL,
+        );
+        prop_assert_eq!(
+            TyId::of(&tree), id,
+            "update±({}, {:?}, {}) diverged: tree {} vs id {}",
+            t, fields, s, tree, id.get()
+        );
+        // The structural-reference checker must land on the same type
+        // too (its update runs entirely on trees, uncached).
+        let plain = structural();
+        let reference = plain.update_ty(&env, &t, &fields, &s, positive, FUEL);
+        prop_assert_eq!(
+            TyId::of(&reference), id,
+            "memoized and structural update± disagree on ({}, {:?}, {})",
+            t, fields, s
+        );
+    }
 }

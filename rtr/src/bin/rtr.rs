@@ -136,7 +136,8 @@ fn run_command(command: &str, src: &str, checker: &Checker, opts: &Options) -> E
     }
 }
 
-/// Prints per-table memo hit/miss counters (cache effectiveness).
+/// Prints per-table memo hit/miss counters (cache effectiveness),
+/// environment-map sharing stats and interner arena-region sizes.
 #[cfg(feature = "stats")]
 fn print_cache_stats(checker: &Checker) {
     let s = checker.cache_stats();
@@ -146,6 +147,8 @@ fn print_cache_stats(checker: &Checker) {
         ("proves", s.proves),
         ("inconsistent", s.inconsistent),
         ("empty", s.empty),
+        ("update", s.update),
+        ("overlap", s.overlap),
         ("solver/lin", s.lin),
         ("solver/bv", s.bv),
         ("solver/re", s.re),
@@ -158,6 +161,27 @@ fn print_cache_stats(checker: &Checker) {
         };
         eprintln!("  {name:<14} {hits:>10} / {misses:<10} ({rate:.1}% hit)");
     }
+    let e = rtr::core::env::env_stats();
+    eprintln!("environment maps:");
+    eprintln!(
+        "  snapshots      {:>10}   unbind fast-path {}/{}",
+        e.snapshots, e.unbind_fast, e.unbind_total
+    );
+    let share = if e.pmap_entries_spared == 0 {
+        100.0
+    } else {
+        (1.0 - e.pmap_nodes_cloned as f64 / e.pmap_entries_spared as f64) * 100.0
+    };
+    eprintln!(
+        "  pmap writes    {:>10}   nodes cloned {} / entries spared {} ({share:.1}% structural share)",
+        e.pmap_writes, e.pmap_nodes_cloned, e.pmap_entries_spared
+    );
+    let a = rtr::core::intern::arena_stats();
+    eprintln!("interner arenas (permanent / fresh-region):");
+    eprintln!(
+        "  types {} / {}   props {} / {}   objects {} / {}",
+        a.tys, a.fresh_tys, a.props, a.fresh_props, a.objs, a.fresh_objs
+    );
 }
 
 #[cfg(not(feature = "stats"))]
