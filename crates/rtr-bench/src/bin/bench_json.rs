@@ -20,11 +20,11 @@
 use std::time::{Duration, Instant};
 
 use rtr_bench::{
-    alias_chain_src, bv_chain_src, dot_prod_module_src, filler_module_src, narrowing_chain_src,
-    xtime_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
+    alias_chain_src, bv_chain_src, dot_prod_module_src, filler_module_src, many_errors_module_src,
+    narrowing_chain_src, xtime_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
 };
 use rtr_core::check::Checker;
-use rtr_lang::check_source;
+use rtr_lang::{check_module_source, check_source};
 
 struct Opts {
     out: String,
@@ -123,6 +123,7 @@ fn main() {
     let narrow8 = narrowing_chain_src(8);
     let narrow32 = narrowing_chain_src(32);
     let filler50 = filler_module_src(50);
+    let many_errors50 = many_errors_module_src(50);
     let dot_prod8 = dot_prod_module_src(8);
     let xtime4 = xtime_module_src(4);
     let bv_chain6 = bv_chain_src(6);
@@ -184,6 +185,17 @@ fn main() {
             "module/filler_50",
             Box::new(|| {
                 check_source(&filler50, &Checker::default()).expect("filler module checks");
+            }),
+        ),
+        // Multi-error recovery (PR 5): every third definition fails, and
+        // the recovering module checker reports all of them — this keeps
+        // the diagnostics path honest without regressing the well-typed
+        // hot loop (the workloads above).
+        (
+            "module/many_errors_50",
+            Box::new(|| {
+                let report = check_module_source(&many_errors50, &Checker::default());
+                assert_eq!(report.error_count(), 17, "recovery must find every error");
             }),
         ),
         // Solver-heavy workloads (PR 3): scaled theory modules and a

@@ -155,6 +155,31 @@ pub fn filler_module_src(n: usize) -> String {
     out
 }
 
+/// A module of `n` definitions where every third one is ill-typed — the
+/// multi-error *recovery* workload. The recovering module checker must
+/// report every failing definition (poisoning each and moving on), so
+/// this measures the diagnostics path without giving up the well-typed
+/// majority of the module.
+pub fn many_errors_module_src(n: usize) -> String {
+    let mut out = String::new();
+    for k in 0..n {
+        if k % 3 == 0 {
+            // Range mismatch: Bool body against an Int range.
+            out.push_str(&format!(
+                "(: e{k} : [x : Int] -> Int)\n\
+                 (define (e{k} x) (int? x))\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "(: w{k} : [x : Int] [y : Int] -> Int)\n\
+                 (define (w{k} x y) (+ (* 2 x) (- y {})))\n",
+                k % 7
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +203,13 @@ mod tests {
         assert!(check_source(&dot_prod_module_src(2), &c).is_ok());
         assert!(check_source(&xtime_module_src(2), &c).is_ok());
         assert!(check_source(&bv_chain_src(4), &c).is_ok());
+    }
+
+    #[test]
+    fn many_errors_module_reports_one_diagnostic_per_bad_define() {
+        let c = Checker::default();
+        let report = rtr_lang::check_module_source(&many_errors_module_src(9), &c);
+        assert_eq!(report.error_count(), 3);
+        assert!(report.diagnostics.iter().all(|d| d.primary.is_some()));
     }
 }

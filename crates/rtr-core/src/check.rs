@@ -8,11 +8,22 @@
 //! are applied eagerly (representative objects).
 
 use crate::config::CheckerConfig;
+use crate::diag::{Diagnostic, NodeId};
 use crate::env::Env;
-use crate::errors::TypeError;
 use crate::mutation::mutated_vars;
 use crate::prims::delta;
 use crate::syntax::{Expr, FunTy, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
+
+/// Attaches `node` to a bubbling diagnostic unless an inner (more
+/// precise) node is already recorded. Diagnostics travel boxed through
+/// the judgments so the hot `Ok` path moves a thin pointer, not the
+/// full structure.
+pub(crate) fn attach_node(mut d: Box<Diagnostic>, node: Option<NodeId>) -> Box<Diagnostic> {
+    if d.node.is_none() {
+        d.node = node;
+    }
+    d
+}
 
 /// The λ_RTR type checker.
 ///
@@ -124,33 +135,45 @@ impl Checker {
     /// Shallow programs (the overwhelmingly common case) are checked
     /// inline — a thread spawn with a 256 MiB stack costs tens of
     /// microseconds, which dominates small checks.
-    pub fn check_program(&self, e: &Expr) -> Result<TyResult, TypeError> {
+    // One call per whole-program check: the unboxed Diagnostic is the
+    // ergonomic public shape, and the hot recursive judgments box it.
+    #[allow(clippy::result_large_err)]
+    pub fn check_program(&self, e: &Expr) -> Result<TyResult, Diagnostic> {
         // ~160 expression levels plus the (default-sized) logic fuel
         // bound stays well within a default 2 MiB test-thread stack. The
         // judgments also recurse up to `logic_fuel` frames, so a raised
         // fuel budget forces the big-stack thread even for shallow
         // programs.
-        const INLINE_DEPTH: usize = 160;
-        const INLINE_MAX_FUEL: u32 = 256;
-        if self.config.logic_fuel <= INLINE_MAX_FUEL && e.depth_capped(INLINE_DEPTH) <= INLINE_DEPTH
-        {
+        let run = || {
             let mut env = Env::new();
             for x in mutated_vars(e) {
                 env.mark_mutable(x);
             }
-            return self.synth(&env, e);
+            self.synth(&env, e).map_err(|d| *d)
+        };
+        if self.fits_inline_stack(e) {
+            return run();
         }
+        self.on_big_stack(run)
+    }
+
+    /// Whether `e` (at this checker's fuel budget) can be checked on the
+    /// caller's stack, or needs the dedicated big-stack thread.
+    pub(crate) fn fits_inline_stack(&self, e: &Expr) -> bool {
+        const INLINE_DEPTH: usize = 160;
+        const INLINE_MAX_FUEL: u32 = 256;
+        self.config.logic_fuel <= INLINE_MAX_FUEL && e.depth_capped(INLINE_DEPTH) <= INLINE_DEPTH
+    }
+
+    /// Runs `f` on a dedicated thread with a 256 MiB stack — the
+    /// judgments are deeply recursive and real modules nest `let`/`begin`
+    /// chains hundreds of levels deep once macros expand.
+    pub(crate) fn on_big_stack<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("rtr-checker".into())
                 .stack_size(256 * 1024 * 1024)
-                .spawn_scoped(scope, || {
-                    let mut env = Env::new();
-                    for x in mutated_vars(e) {
-                        env.mark_mutable(x);
-                    }
-                    self.synth(&env, e)
-                })
+                .spawn_scoped(scope, f)
                 .expect("spawning the checker thread")
                 .join()
                 .expect("checker thread must not panic")
@@ -158,7 +181,23 @@ impl Checker {
     }
 
     /// Synthesizes the type-result of `e` under `env`.
-    pub fn synth(&self, env: &Env, e: &Expr) -> Result<TyResult, TypeError> {
+    ///
+    /// Errors are boxed: the `Ok` path (every well-typed subterm) moves a
+    /// pointer-sized error slot instead of the full [`Diagnostic`].
+    #[inline]
+    pub fn synth(&self, env: &Env, e: &Expr) -> Result<TyResult, Box<Diagnostic>> {
+        // Peel span wrappers without a judgment frame; the innermost
+        // wrapper is the most precise location for errors arising here.
+        let (e, node) = e.peel_spans_with_node();
+        match node {
+            None => self.synth_peeled(env, e),
+            Some(n) => self
+                .synth_peeled(env, e)
+                .map_err(|d| attach_node(d, Some(n))),
+        }
+    }
+
+    fn synth_peeled(&self, env: &Env, e: &Expr) -> Result<TyResult, Box<Diagnostic>> {
         let fuel = self.config.logic_fuel;
         match e {
             // T-Int (enriched per §3.4: the literal is its own object).
@@ -204,7 +243,7 @@ impl Checker {
             // T-Var.
             Expr::Var(x) => {
                 if !env.is_bound(*x) {
-                    return Err(TypeError::UnboundVariable(*x));
+                    return Err(Box::new(Diagnostic::unbound(*x)));
                 }
                 if env.is_mutable(*x) {
                     // §4.2: mutable variables have no symbolic object and
@@ -255,28 +294,7 @@ impl Checker {
             Expr::Let(x, rhs, body) => {
                 let r1 = self.synth(env, rhs)?;
                 let mut env2 = env.clone();
-                let mut exes = r1.existentials.clone();
-                for (g, t) in &exes {
-                    self.bind(&mut env2, *g, t, fuel);
-                }
-                self.bind(&mut env2, *x, &r1.ty, fuel);
-                let o1 = env2.resolve(&r1.obj);
-                let mutable = env2.is_mutable(*x);
-                if !o1.is_null() && !mutable {
-                    self.assume(&mut env2, &Prop::alias(Obj::var(*x), o1.clone()), fuel);
-                }
-                // ψx = (x ∉ F ∧ ψ₁₊) ∨ (x ∈ F ∧ ψ₁₋).
-                let ox = if o1.is_null() || mutable {
-                    Obj::var(*x)
-                } else {
-                    o1.clone()
-                };
-                let ox = if mutable { Obj::Null } else { ox };
-                let psi_x = Prop::or(
-                    Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
-                    Prop::and(Prop::is(ox, Ty::False), r1.else_p.clone()),
-                );
-                self.assume(&mut env2, &psi_x, fuel);
+                let (o1, mutable) = self.open_let_binding(&mut env2, *x, &r1);
                 let r2 = self.synth(&env2, body)?;
                 // Lifting substitution on exit (T-Let's R₂[x ⟹τ₁ o₁]).
                 let lifted = if mutable {
@@ -284,7 +302,7 @@ impl Checker {
                 } else {
                     r2.lift_subst(*x, &r1.ty, &o1)
                 };
-                Ok(lifted.with_existentials(std::mem::take(&mut exes)))
+                Ok(lifted.with_existentials(r1.existentials))
             }
             Expr::LetRec(fname, fty, lam, body) => {
                 let mut env2 = env.clone();
@@ -312,10 +330,9 @@ impl Checker {
                 }
                 let pairish = Ty::pair(Ty::Top, Ty::Top);
                 if !self.subtype(&env2, &r.ty, &pairish, fuel) {
-                    return Err(TypeError::NotAPair {
-                        context: a.to_string(),
-                        got: r.ty,
-                    });
+                    return Err(Box::new(
+                        Diagnostic::not_a_pair(a.to_string(), &r.ty).at(a.span_node()),
+                    ));
                 }
                 let field = if is_fst {
                     crate::syntax::Field::Fst
@@ -361,8 +378,9 @@ impl Checker {
                 // Lambdas are checked against function annotations
                 // (bidirectional); everything else synthesizes and
                 // subsumes.
-                if let (Expr::Lam(l), Ty::Fun(_) | Ty::Poly(_)) = (&**inner, ty) {
-                    self.check_lambda(env, l, ty, &|| inner.to_string())?;
+                if let (Expr::Lam(l), Ty::Fun(_) | Ty::Poly(_)) = (inner.peel_spans(), ty) {
+                    self.check_lambda(env, l, ty, &|| inner.to_string())
+                        .map_err(|d| attach_node(d, inner.span_node()))?;
                     return Ok(TyResult::truthy(ty.clone(), Obj::Null));
                 }
                 let r = self.synth(env, inner)?;
@@ -372,11 +390,9 @@ impl Checker {
                 }
                 let inner_r = r.without_existentials();
                 if !self.subtype_result(&env2, &inner_r, &TyResult::of_type(ty.clone()), fuel) {
-                    return Err(TypeError::Mismatch {
-                        context: inner.to_string(),
-                        expected: ty.clone(),
-                        got: r.ty,
-                    });
+                    return Err(Box::new(
+                        Diagnostic::mismatch(inner.to_string(), ty, &r.ty).at(inner.span_node()),
+                    ));
                 }
                 Ok(TyResult {
                     existentials: r.existentials,
@@ -391,7 +407,7 @@ impl Checker {
                 let declared = env
                     .raw_ty(*x)
                     .map(|t| (*t).clone())
-                    .ok_or(TypeError::UnboundVariable(*x))?;
+                    .ok_or_else(|| Box::new(Diagnostic::unbound(*x)))?;
                 let r = self.synth(env, rhs)?;
                 let mut env2 = env.clone();
                 for (g, t) in &r.existentials {
@@ -399,10 +415,9 @@ impl Checker {
                 }
                 let inner = r.without_existentials();
                 if !self.subtype_result(&env2, &inner, &TyResult::of_type(declared.clone()), fuel) {
-                    return Err(TypeError::BadAssignment {
-                        var: *x,
-                        reason: format!("expected {declared} but given {}", r.ty),
-                    });
+                    return Err(Box::new(
+                        Diagnostic::bad_assignment(*x, &declared, &r.ty).at(rhs.span_node()),
+                    ));
                 }
                 Ok(TyResult::truthy(Ty::Unit, Obj::Null))
             }
@@ -413,7 +428,40 @@ impl Checker {
                 }
                 Ok(last)
             }
+            Expr::Spanned(..) => unreachable!("peeled by synth"),
         }
+    }
+
+    /// Opens a `let`-binding `x = r1` into `env2` exactly as T-Let does:
+    /// binds `r1`'s existentials and `x`, records the alias to `r1`'s
+    /// object (immutable bindings only), and assumes
+    /// ψx = (x ∉ F ∧ ψ₁₊) ∨ (x ∈ F ∧ ψ₁₋). Returns the resolved object
+    /// and whether `x` is mutable — the bits the exit substitution needs.
+    /// Shared by `synth`, `check_result` and module-level checking so all
+    /// three produce identical environments.
+    pub(crate) fn open_let_binding(&self, env2: &mut Env, x: Symbol, r1: &TyResult) -> (Obj, bool) {
+        let fuel = self.config.logic_fuel;
+        for (g, t) in &r1.existentials {
+            self.bind(env2, *g, t, fuel);
+        }
+        self.bind(env2, x, &r1.ty, fuel);
+        let o1 = env2.resolve(&r1.obj);
+        let mutable = env2.is_mutable(x);
+        if !o1.is_null() && !mutable {
+            self.assume(env2, &Prop::alias(Obj::var(x), o1.clone()), fuel);
+        }
+        let ox = if o1.is_null() || mutable {
+            Obj::var(x)
+        } else {
+            o1.clone()
+        };
+        let ox = if mutable { Obj::Null } else { ox };
+        let psi_x = Prop::or(
+            Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
+            Prop::and(Prop::is(ox, Ty::False), r1.else_p.clone()),
+        );
+        self.assume(env2, &psi_x, fuel);
+        (o1, mutable)
     }
 
     /// Checks `e` against an expected type-result (T-Subsume, applied
@@ -422,7 +470,31 @@ impl Checker {
     /// branches of an `if` at the same result `R`). This is what lets
     /// `max`'s two branches each prove the refined range with their own
     /// branch facts.
-    pub fn check_result(&self, env: &Env, e: &Expr, expected: &TyResult) -> Result<(), TypeError> {
+    #[inline]
+    pub fn check_result(
+        &self,
+        env: &Env,
+        e: &Expr,
+        expected: &TyResult,
+    ) -> Result<(), Box<Diagnostic>> {
+        // As in `synth`: peel span wrappers (so the structural dispatch
+        // below still sees `if`/`let`/`begin`) and attach the location to
+        // bubbling errors.
+        let (e, node) = e.peel_spans_with_node();
+        match node {
+            None => self.check_result_peeled(env, e, expected),
+            Some(n) => self
+                .check_result_peeled(env, e, expected)
+                .map_err(|d| attach_node(d, Some(n))),
+        }
+    }
+
+    fn check_result_peeled(
+        &self,
+        env: &Env,
+        e: &Expr,
+        expected: &TyResult,
+    ) -> Result<(), Box<Diagnostic>> {
         let fuel = self.config.logic_fuel;
         match e {
             Expr::If(c, t, f) => {
@@ -459,26 +531,7 @@ impl Checker {
                 }
                 let r1 = self.synth(env, rhs)?;
                 let mut env2 = env.clone();
-                for (g, t) in &r1.existentials {
-                    self.bind(&mut env2, *g, t, fuel);
-                }
-                self.bind(&mut env2, *x, &r1.ty, fuel);
-                let o1 = env2.resolve(&r1.obj);
-                let mutable = env2.is_mutable(*x);
-                if !o1.is_null() && !mutable {
-                    self.assume(&mut env2, &Prop::alias(Obj::var(*x), o1.clone()), fuel);
-                }
-                let ox = if o1.is_null() || mutable {
-                    Obj::var(*x)
-                } else {
-                    o1
-                };
-                let ox = if mutable { Obj::Null } else { ox };
-                let psi_x = Prop::or(
-                    Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
-                    Prop::and(Prop::is(ox, Ty::False), r1.else_p.clone()),
-                );
-                self.assume(&mut env2, &psi_x, fuel);
+                self.open_let_binding(&mut env2, *x, &r1);
                 self.check_result(&env2, body, expected)
             }
             Expr::Begin(es) => match es.split_last() {
@@ -494,7 +547,12 @@ impl Checker {
         }
     }
 
-    fn check_via_synth(&self, env: &Env, e: &Expr, expected: &TyResult) -> Result<(), TypeError> {
+    fn check_via_synth(
+        &self,
+        env: &Env,
+        e: &Expr,
+        expected: &TyResult,
+    ) -> Result<(), Box<Diagnostic>> {
         let fuel = self.config.logic_fuel;
         let r = self.synth(env, e)?;
         let mut env2 = env.clone();
@@ -503,11 +561,9 @@ impl Checker {
         }
         let inner = r.without_existentials();
         if !self.subtype_result(&env2, &inner, expected, fuel) {
-            return Err(TypeError::Mismatch {
-                context: e.to_string(),
-                expected: expected.ty.clone(),
-                got: r.ty,
-            });
+            return Err(Box::new(
+                Diagnostic::mismatch(e.to_string(), &expected.ty, &r.ty).at(e.span_node()),
+            ));
         }
         Ok(())
     }
@@ -516,7 +572,7 @@ impl Checker {
     /// branches to ⊥ (their environment proves `ff`, so any result is
     /// derivable — and errors inside them are not reported, matching the
     /// implementation).
-    fn synth_branch(&self, env: &Env, e: &Expr) -> Result<TyResult, TypeError> {
+    fn synth_branch(&self, env: &Env, e: &Expr) -> Result<TyResult, Box<Diagnostic>> {
         if self.env_inconsistent(env, self.config.logic_fuel) {
             return Ok(TyResult::new(Ty::bot(), Prop::FF, Prop::FF, Obj::Null));
         }
@@ -562,13 +618,16 @@ impl Checker {
         f: &Expr,
         args: &[Expr],
         context: &dyn Fn() -> String,
-    ) -> Result<TyResult, TypeError> {
+    ) -> Result<TyResult, Box<Diagnostic>> {
         let fuel = self.config.logic_fuel;
+        // The operator is matched structurally below (primitive fast
+        // path, enrichments), so look through its span wrapper once.
+        let fp = f.peel_spans();
         // Synthesize the operator and arguments. Primitive operators skip
         // synthesis entirely: their Δ-table type is borrowed statically
         // (truthy, object-free, no existentials), so the large
         // refinement-bearing trees are never cloned per application.
-        let rf = match f {
+        let rf = match fp {
             Expr::Prim(_) => None,
             _ => Some(self.synth(env, f)?),
         };
@@ -589,7 +648,7 @@ impl Checker {
         // Peel refinements off the operator type by reference (S-Weaken);
         // only the function node itself is cloned, and polymorphic
         // operators go straight to instantiation without any clone.
-        let mut fun_ty: &Ty = match (&rf, f) {
+        let mut fun_ty: &Ty = match (&rf, fp) {
             (Some(r), _) => &r.ty,
             (None, Expr::Prim(p)) => crate::prims::delta_ref(*p),
             (None, _) => unreachable!("rf is None only for prim operators"),
@@ -605,7 +664,7 @@ impl Checker {
                 // pure function of the poly type and the argument types,
                 // and modules re-apply the same primitives at the same
                 // types constantly.
-                if let Expr::Prim(prim) = f {
+                if let Expr::Prim(prim) = fp {
                     let key = (
                         *prim,
                         arg_results
@@ -641,18 +700,17 @@ impl Checker {
                 }
             }
             other => {
-                return Err(TypeError::NotAFunction {
-                    context: context(),
-                    got: other.clone(),
-                })
+                return Err(Box::new(
+                    Diagnostic::not_a_function(context(), other).at(f.span_node()),
+                ))
             }
         };
         if fun.params.len() != args.len() {
-            return Err(TypeError::Arity {
-                context: context(),
-                expected: fun.params.len(),
-                got: args.len(),
-            });
+            return Err(Box::new(Diagnostic::arity(
+                context(),
+                fun.params.len(),
+                args.len(),
+            )));
         }
 
         // Check each argument against its (progressively substituted)
@@ -693,11 +751,14 @@ impl Checker {
             // (cold) re-reads it from `expected`.
             let expected = TyResult::of_type(params[idx].1.clone());
             if !self.subtype_result(&env2, &fitted, &expected, fuel) {
-                return Err(TypeError::Mismatch {
-                    context: format!("{}, argument {}", context(), idx + 1),
-                    expected: expected.ty,
-                    got: r_arg.ty.clone(),
-                });
+                return Err(Box::new(
+                    Diagnostic::mismatch(
+                        format!("{}, argument {}", context(), idx + 1),
+                        &expected.ty,
+                        &r_arg.ty,
+                    )
+                    .at(args[idx].span_node()),
+                ));
             }
             for (_, d) in params.iter_mut().skip(idx + 1) {
                 *d = d.subst_obj(x, &o);
@@ -709,7 +770,7 @@ impl Checker {
         let mut result = range.with_existentials(ghosts);
 
         // Special enrichments the Δ-table templates cannot express.
-        if let Expr::Prim(p) = f {
+        if let Expr::Prim(p) = fp {
             result = self.enrich_prim_app(env, *p, &arg_results, &arg_objs, result);
         }
         Ok(result)
@@ -771,7 +832,7 @@ impl Checker {
         lam: &Lambda,
         expected: &Ty,
         context: &dyn Fn() -> String,
-    ) -> Result<(), TypeError> {
+    ) -> Result<(), Box<Diagnostic>> {
         let fuel = self.config.logic_fuel;
         let fun: &FunTy = match expected {
             Ty::Fun(f) => f,
@@ -780,26 +841,17 @@ impl Checker {
             Ty::Poly(p) => {
                 return match &p.body {
                     Ty::Fun(_) => self.check_lambda(env, lam, &p.body, context),
-                    other => Err(TypeError::Mismatch {
-                        context: context(),
-                        expected: (*other).clone(),
-                        got: Ty::Top,
-                    }),
+                    other => Err(Box::new(Diagnostic::mismatch(context(), other, &Ty::Top))),
                 };
             }
-            other => {
-                return Err(TypeError::NotAFunction {
-                    context: context(),
-                    got: other.clone(),
-                })
-            }
+            other => return Err(Box::new(Diagnostic::not_a_function(context(), other))),
         };
         if fun.params.len() != lam.params.len() {
-            return Err(TypeError::Arity {
-                context: context(),
-                expected: fun.params.len(),
-                got: lam.params.len(),
-            });
+            return Err(Box::new(Diagnostic::arity(
+                context(),
+                fun.params.len(),
+                lam.params.len(),
+            )));
         }
         let mut env2 = env.clone();
         // Rename the signature's parameters to the lambda's names.
@@ -819,11 +871,11 @@ impl Checker {
         for (i, (x, ann)) in lam.params.iter().enumerate() {
             // The signature's domain must satisfy any explicit annotation.
             if *ann != Ty::Top && !self.subtype(&env2, &doms[i], ann, fuel) {
-                return Err(TypeError::Mismatch {
-                    context: format!("{}, parameter {x}", context()),
-                    expected: ann.clone(),
-                    got: doms[i].clone(),
-                });
+                return Err(Box::new(Diagnostic::mismatch(
+                    format!("{}, parameter {x}", context()),
+                    ann,
+                    &doms[i],
+                )));
             }
             self.bind(&mut env2, *x, &doms[i], fuel);
         }

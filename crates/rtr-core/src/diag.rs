@@ -1,0 +1,803 @@
+//! Structured, located diagnostics — the checker's public error shape.
+//!
+//! The §5 case study runs the checker over whole libraries and needs to
+//! classify *every* check site, so the public API is diagnostics-first:
+//! instead of a single stringly-typed `Err`, checking produces a list of
+//! [`Diagnostic`]s, each carrying
+//!
+//! * a stable machine-readable [`Code`] (`E0xxx`),
+//! * a [`Severity`],
+//! * a primary [`Span`] into the original surface source (resolved
+//!   through the [`SpanTable`] the elaborator builds, including
+//!   synthesized-from provenance for macro-expanded code),
+//! * secondary [`Label`]s,
+//! * a structured [`Payload`] (expected/got as interned [`TyId`]s, the
+//!   refinement proposition that failed as a [`PropId`], and the solver
+//!   theories it mentions), and
+//! * free-form notes.
+//!
+//! [`render`] turns a diagnostic into the human format (source snippet
+//! with caret underlines); machine consumers read the fields directly or
+//! use the facade's JSON emitter.
+
+use std::fmt;
+
+use crate::intern::{PropId, TyId, THEORY_BV, THEORY_LIN, THEORY_STR};
+use crate::syntax::{Symbol, Ty};
+
+// ---------------------------------------------------------------------------
+// Source locations
+// ---------------------------------------------------------------------------
+
+/// A source location (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Loc {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open source region: `start` is the first character of the form,
+/// `end` the position just past its last character.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Where the region starts.
+    pub start: Loc,
+    /// Just past where it ends.
+    pub end: Loc,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: Loc, end: Loc) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a single location.
+    pub fn point(at: Loc) -> Span {
+        Span { start: at, end: at }
+    }
+}
+
+impl From<Loc> for Span {
+    fn from(at: Loc) -> Span {
+        Span::point(at)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The span table
+// ---------------------------------------------------------------------------
+
+/// An index into a [`SpanTable`]: identifies one elaborated expression
+/// node. The elaborator wraps every expression it produces in
+/// [`crate::syntax::Expr::Spanned`], and errors bubbling out of the
+/// checker pick up the nearest enclosing node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw table index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SpanEntry {
+    span: Span,
+    /// For code synthesized by macro expansion: the surface node the
+    /// macro use occupies. `None` for ordinary surface spans.
+    expanded_from: Option<NodeId>,
+}
+
+/// Spans for every elaborated expression node, keyed by [`NodeId`].
+///
+/// Macro-synthesized nodes (the `letrec` skeleton `for/sum` leaves
+/// behind, a named `let`'s application, …) record *synthesized-from*
+/// provenance: their span is the macro use site and
+/// [`SpanTable::expansion_of`] reports which surface node they were
+/// expanded from, so diagnostics inside an expansion still point into
+/// the original source.
+#[derive(Clone, Debug, Default)]
+pub struct SpanTable {
+    entries: Vec<SpanEntry>,
+}
+
+impl SpanTable {
+    /// An empty table.
+    pub fn new() -> SpanTable {
+        SpanTable::default()
+    }
+
+    /// Records a surface span, returning its node.
+    pub fn insert(&mut self, span: Span) -> NodeId {
+        let id = NodeId(self.entries.len() as u32);
+        self.entries.push(SpanEntry {
+            span,
+            expanded_from: None,
+        });
+        id
+    }
+
+    /// Records a node synthesized by macro expansion from the surface
+    /// node `from` (the span is the macro use site's).
+    pub fn insert_synthesized(&mut self, from: NodeId) -> NodeId {
+        let span = self.get(from);
+        let id = NodeId(self.entries.len() as u32);
+        self.entries.push(SpanEntry {
+            span,
+            expanded_from: Some(from),
+        });
+        id
+    }
+
+    /// The span recorded for `node`.
+    pub fn get(&self, node: NodeId) -> Span {
+        self.entries[node.0 as usize].span
+    }
+
+    /// If `node` was synthesized by macro expansion, the surface node it
+    /// was expanded from.
+    pub fn expansion_of(&self, node: NodeId) -> Option<NodeId> {
+        self.entries[node.0 as usize].expanded_from
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codes and severities
+// ---------------------------------------------------------------------------
+
+/// A stable, machine-readable diagnostic code.
+///
+/// Codes are part of the public JSON schema: `E`-codes are errors,
+/// `W`-codes warnings. New codes may be added, but existing codes keep
+/// their meaning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Code {
+    /// `E0001` — a variable was referenced but never bound.
+    UnboundVariable,
+    /// `E0002` — an expression's type is not a subtype of the required
+    /// type (including refinements a theory could not discharge).
+    TypeMismatch,
+    /// `E0003` — a non-function was applied.
+    NotAFunction,
+    /// `E0004` — wrong number of arguments or parameters.
+    ArityMismatch,
+    /// `E0005` — `fst`/`snd` applied to a non-pair.
+    NotAPair,
+    /// `E0006` — local type inference could not instantiate a
+    /// polymorphic operator.
+    CannotInfer,
+    /// `E0007` — `set!` of an ill-typed value.
+    InvalidAssignment,
+    /// `E0101` — lexical (reader) error.
+    ReadError,
+    /// `E0102` — syntax (elaboration) error.
+    SyntaxError,
+    /// `E0201` — runtime failure (evaluator error surfaced through a
+    /// diagnostic-consuming driver).
+    RuntimeError,
+    /// `W0001` — a `(: name T)` signature with no matching `define`.
+    UnusedSignature,
+}
+
+impl Code {
+    /// The stable code string (`"E0002"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnboundVariable => "E0001",
+            Code::TypeMismatch => "E0002",
+            Code::NotAFunction => "E0003",
+            Code::ArityMismatch => "E0004",
+            Code::NotAPair => "E0005",
+            Code::CannotInfer => "E0006",
+            Code::InvalidAssignment => "E0007",
+            Code::ReadError => "E0101",
+            Code::SyntaxError => "E0102",
+            Code::RuntimeError => "E0201",
+            Code::UnusedSignature => "W0001",
+        }
+    }
+
+    /// The severity this code carries by default.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::UnusedSignature => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Every code, for table-driven tests and schema docs.
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::UnboundVariable,
+            Code::TypeMismatch,
+            Code::NotAFunction,
+            Code::ArityMismatch,
+            Code::NotAPair,
+            Code::CannotInfer,
+            Code::InvalidAssignment,
+            Code::ReadError,
+            Code::SyntaxError,
+            Code::RuntimeError,
+            Code::UnusedSignature,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Suspicious but not fatal; checking still succeeds.
+    Warning,
+    /// The module does not type check.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in rendered output and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payloads and labels
+// ---------------------------------------------------------------------------
+
+/// The structured (machine-readable) part of a diagnostic. Types are
+/// carried as interned [`TyId`]s and failed refinement goals as
+/// [`PropId`]s, so tools can compare them without parsing rendered
+/// strings. Ids are process-local; the JSON emitter renders them.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum Payload {
+    /// No structured payload.
+    #[default]
+    None,
+    /// An unbound variable.
+    Unbound {
+        /// The variable.
+        var: Symbol,
+    },
+    /// A subtype check failed.
+    Mismatch {
+        /// The required type.
+        expected: TyId,
+        /// The synthesized type.
+        got: TyId,
+        /// When the required type is a refinement: the proposition the
+        /// proof system could not discharge.
+        failed_prop: Option<PropId>,
+        /// Solver theories the required type mentions — a union of
+        /// [`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`] bits. Zero when
+        /// the failure is purely structural.
+        theories: u8,
+    },
+    /// A non-function was applied.
+    NotAFunction {
+        /// The operator's synthesized type.
+        got: TyId,
+    },
+    /// Wrong number of arguments.
+    Arity {
+        /// Parameters expected.
+        expected: usize,
+        /// Arguments given.
+        got: usize,
+    },
+    /// `fst`/`snd` on a non-pair.
+    NotAPair {
+        /// The argument's synthesized type.
+        got: TyId,
+    },
+    /// Local type inference failed.
+    CannotInfer {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// `set!` of an ill-typed value.
+    BadAssignment {
+        /// The assigned variable.
+        var: Symbol,
+        /// Its declared type.
+        expected: TyId,
+        /// The assigned expression's type.
+        got: TyId,
+    },
+}
+
+impl Payload {
+    /// The lowercase kind tag used in the JSON schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::None => "none",
+            Payload::Unbound { .. } => "unbound",
+            Payload::Mismatch { .. } => "mismatch",
+            Payload::NotAFunction { .. } => "not-a-function",
+            Payload::Arity { .. } => "arity",
+            Payload::NotAPair { .. } => "not-a-pair",
+            Payload::CannotInfer { .. } => "cannot-infer",
+            Payload::BadAssignment { .. } => "bad-assignment",
+        }
+    }
+}
+
+/// Renders a theory mask as human-readable theory names.
+pub fn theory_names(mask: u8) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if mask & THEORY_LIN != 0 {
+        out.push("linear arithmetic");
+    }
+    if mask & THEORY_BV != 0 {
+        out.push("bitvectors");
+    }
+    if mask & THEORY_STR != 0 {
+        out.push("regular expressions");
+    }
+    out
+}
+
+/// A secondary location attached to a diagnostic.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Label {
+    /// The node the label points at (resolved into `span` by
+    /// [`Diagnostic::resolve_spans`]).
+    pub node: Option<NodeId>,
+    /// The resolved source region, if known.
+    pub span: Option<Span>,
+    /// What to say about it.
+    pub message: String,
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// A structured, located checker diagnostic.
+///
+/// Built by the checker with a [`NodeId`] (the nearest enclosing
+/// elaborated node); drivers that hold the [`SpanTable`] call
+/// [`Diagnostic::resolve_spans`] to fill in [`Diagnostic::primary`]
+/// before handing the diagnostic to users.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// The stable machine-readable code.
+    pub code: Code,
+    /// Error / warning / note.
+    pub severity: Severity,
+    /// The headline message (complete sentence, no location).
+    pub message: String,
+    /// The nearest enclosing elaborated node, when the error arose from
+    /// elaborated source (errors from hand-built [`crate::syntax::Expr`]
+    /// trees have none).
+    pub node: Option<NodeId>,
+    /// The primary source region, once resolved.
+    pub primary: Option<Span>,
+    /// Secondary labelled regions.
+    pub labels: Vec<Label>,
+    /// The structured payload.
+    pub payload: Payload,
+    /// Free-form notes appended to rendered output.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with `code`'s default severity and no location.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            node: None,
+            primary: None,
+            labels: Vec::new(),
+            payload: Payload::None,
+            notes: Vec::new(),
+        }
+    }
+
+    // -- construction helpers for the checker's error sites ------------------
+
+    /// `E0001`: unbound variable.
+    pub fn unbound(var: Symbol) -> Diagnostic {
+        Diagnostic::new(Code::UnboundVariable, format!("unbound variable {var}"))
+            .with_payload(Payload::Unbound { var })
+    }
+
+    /// `E0002`: `context`'s expression required `expected` but got `got`.
+    ///
+    /// When `expected` is a refinement type, the failed proposition and
+    /// the solver theories it mentions are recorded in the payload and a
+    /// note names them.
+    pub fn mismatch(context: String, expected: &Ty, got: &Ty) -> Diagnostic {
+        let expected_id = TyId::of(expected);
+        let got_id = TyId::of(got);
+        let failed_prop = match expected {
+            Ty::Refine(r) => Some(PropId::of(&r.prop)),
+            _ => None,
+        };
+        let theories = expected_id.theory_mask();
+        let mut d = Diagnostic::new(
+            Code::TypeMismatch,
+            format!("type checker error in {context}: expected {expected} but given {got}"),
+        )
+        .with_payload(Payload::Mismatch {
+            expected: expected_id,
+            got: got_id,
+            failed_prop,
+            theories,
+        });
+        if let Some(p) = failed_prop {
+            let names = theory_names(theories);
+            let consulted = if names.is_empty() {
+                String::new()
+            } else {
+                format!(" (theories consulted: {})", names.join(", "))
+            };
+            d = d.with_note(format!(
+                "the refinement {} was not provable here{consulted}",
+                p.get()
+            ));
+        }
+        d
+    }
+
+    /// `E0003`: application of a non-function.
+    pub fn not_a_function(context: String, got: &Ty) -> Diagnostic {
+        Diagnostic::new(
+            Code::NotAFunction,
+            format!("type checker error in {context}: not a function (has type {got})"),
+        )
+        .with_payload(Payload::NotAFunction { got: TyId::of(got) })
+    }
+
+    /// `E0004`: wrong number of arguments.
+    pub fn arity(context: String, expected: usize, got: usize) -> Diagnostic {
+        Diagnostic::new(
+            Code::ArityMismatch,
+            format!(
+                "type checker error in {context}: expected {expected} argument(s), given {got}"
+            ),
+        )
+        .with_payload(Payload::Arity { expected, got })
+    }
+
+    /// `E0005`: `fst`/`snd` on a non-pair.
+    pub fn not_a_pair(context: String, got: &Ty) -> Diagnostic {
+        Diagnostic::new(
+            Code::NotAPair,
+            format!("type checker error in {context}: not a pair (has type {got})"),
+        )
+        .with_payload(Payload::NotAPair { got: TyId::of(got) })
+    }
+
+    /// `E0006`: polymorphic instantiation failed.
+    pub fn cannot_infer(context: String, reason: String) -> Diagnostic {
+        Diagnostic::new(
+            Code::CannotInfer,
+            format!("type checker error in {context}: cannot infer type arguments ({reason})"),
+        )
+        .with_payload(Payload::CannotInfer { reason })
+    }
+
+    /// `E0007`: `set!` of an ill-typed value.
+    pub fn bad_assignment(var: Symbol, expected: &Ty, got: &Ty) -> Diagnostic {
+        Diagnostic::new(
+            Code::InvalidAssignment,
+            format!("type checker error in (set! {var} …): expected {expected} but given {got}"),
+        )
+        .with_payload(Payload::BadAssignment {
+            var,
+            expected: TyId::of(expected),
+            got: TyId::of(got),
+        })
+    }
+
+    /// `E0101`: lexical error at `at`.
+    pub fn read_error(message: impl Into<String>, at: Span) -> Diagnostic {
+        let mut d = Diagnostic::new(Code::ReadError, message);
+        d.primary = Some(at);
+        d
+    }
+
+    /// `E0102`: elaboration error at `at`.
+    pub fn syntax_error(message: impl Into<String>, at: Span) -> Diagnostic {
+        let mut d = Diagnostic::new(Code::SyntaxError, message);
+        d.primary = Some(at);
+        d
+    }
+
+    // -- fluent field setters -------------------------------------------------
+
+    /// Sets the payload.
+    pub fn with_payload(mut self, payload: Payload) -> Diagnostic {
+        self.payload = payload;
+        self
+    }
+
+    /// Appends a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Appends a secondary label at an elaborated node.
+    pub fn with_label(mut self, node: Option<NodeId>, message: impl Into<String>) -> Diagnostic {
+        self.labels.push(Label {
+            node,
+            span: None,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Sets the primary node (construction sites that know a precise
+    /// sub-expression node use this; `None` leaves it to bubbling).
+    pub fn at(mut self, node: Option<NodeId>) -> Diagnostic {
+        if node.is_some() {
+            self.node = node;
+        }
+        self
+    }
+
+    /// Sets the primary node *if none is recorded yet* — the innermost
+    /// enclosing [`crate::syntax::Expr::Spanned`] wins as errors bubble
+    /// out of the checker.
+    pub fn or_node(mut self, node: NodeId) -> Diagnostic {
+        if self.node.is_none() {
+            self.node = Some(node);
+        }
+        self
+    }
+
+    /// Resolves the primary node and label nodes into spans using the
+    /// elaborator's table. Nodes synthesized by macro expansion resolve
+    /// to the macro use site's span and gain an explanatory note.
+    pub fn resolve_spans(&mut self, table: &SpanTable) {
+        if self.primary.is_none() {
+            if let Some(node) = self.node {
+                self.primary = Some(table.get(node));
+                if table.expansion_of(node).is_some() {
+                    self.notes
+                        .push("this code was synthesized by macro expansion; the span points at the macro use".to_owned());
+                }
+            }
+        }
+        for label in &mut self.labels {
+            if label.span.is_none() {
+                if let Some(node) = label.node {
+                    label.span = Some(table.get(node));
+                }
+            }
+        }
+    }
+
+    /// Is this an error (as opposed to a warning or note)?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(span) = self.primary {
+            write!(f, " (at {})", span.start)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+// ---------------------------------------------------------------------------
+// Human rendering
+// ---------------------------------------------------------------------------
+
+/// Renders `d` in the human format: headline, source snippet with caret
+/// underlines for the primary span, one snippet per labelled secondary
+/// span, then notes.
+///
+/// `file` is a display name; `source` the file's full text (used for the
+/// snippets — a span past the end of `source` renders without one).
+pub fn render(d: &Diagnostic, file: &str, source: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    let gutter = gutter_width(d, source);
+    if let Some(span) = d.primary {
+        render_snippet(&mut out, file, source, span, '^', "", gutter);
+    }
+    for label in &d.labels {
+        match label.span {
+            Some(span) => render_snippet(&mut out, file, source, span, '-', &label.message, gutter),
+            None => out.push_str(&format!("{:gutter$} = {}\n", "", label.message)),
+        }
+    }
+    for note in &d.notes {
+        out.push_str(&format!("{:gutter$} = note: {}\n", "", note));
+    }
+    out
+}
+
+fn gutter_width(d: &Diagnostic, source: &str) -> usize {
+    let max_line = d
+        .primary
+        .iter()
+        .chain(d.labels.iter().filter_map(|l| l.span.as_ref()))
+        .map(|s| s.start.line as usize)
+        .max()
+        .unwrap_or(1)
+        .min(source.lines().count().max(1));
+    max_line.to_string().len() + 1
+}
+
+fn render_snippet(
+    out: &mut String,
+    file: &str,
+    source: &str,
+    span: Span,
+    underline: char,
+    label: &str,
+    gutter: usize,
+) {
+    out.push_str(&format!("{:gutter$}--> {file}:{}\n", "", span.start));
+    let Some(line_text) = source.lines().nth(span.start.line as usize - 1) else {
+        return;
+    };
+    let line_no = span.start.line;
+    out.push_str(&format!("{:gutter$} |\n", ""));
+    out.push_str(&format!("{line_no:>gutter$} | {line_text}\n"));
+    // Underline from the start column to the end column (same line) or
+    // to the end of the line (multi-line spans).
+    let start_col = span.start.col.max(1) as usize;
+    let line_chars = line_text.chars().count();
+    let end_col = if span.end.line == span.start.line && span.end.col as usize > start_col {
+        (span.end.col as usize).min(line_chars + 1)
+    } else {
+        (line_chars + 1).max(start_col + 1)
+    };
+    let width = (end_col - start_col).max(1);
+    let carets: String = std::iter::repeat_n(underline, width).collect();
+    let pad = " ".repeat(start_col - 1);
+    if label.is_empty() {
+        out.push_str(&format!("{:gutter$} | {pad}{carets}\n", ""));
+    } else {
+        out.push_str(&format!("{:gutter$} | {pad}{carets} {label}\n", ""));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::all() {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+        }
+        assert_eq!(Code::TypeMismatch.as_str(), "E0002");
+        assert_eq!(Code::UnusedSignature.default_severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn mismatch_payload_carries_interned_types() {
+        let d = Diagnostic::mismatch("(f x)".into(), &Ty::Int, &Ty::bool_ty());
+        assert_eq!(d.code, Code::TypeMismatch);
+        assert!(d.is_error());
+        let Payload::Mismatch { expected, got, .. } = d.payload else {
+            panic!("expected a mismatch payload");
+        };
+        assert_eq!(expected, TyId::of(&Ty::Int));
+        assert_eq!(got, TyId::of(&Ty::bool_ty()));
+        assert!(d.message.contains("expected Int"));
+        assert!(d.message.contains("given Bool"));
+    }
+
+    #[test]
+    fn refined_mismatch_records_the_failed_prop_and_theory() {
+        use crate::syntax::{LinCmp, Obj, Prop};
+        let i = Symbol::intern("diag_i");
+        let nat = Ty::refine(i, Ty::Int, Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)));
+        let d = Diagnostic::mismatch("(f x)".into(), &nat, &Ty::Int);
+        let Payload::Mismatch {
+            failed_prop,
+            theories,
+            ..
+        } = d.payload
+        else {
+            panic!("expected a mismatch payload");
+        };
+        assert!(failed_prop.is_some());
+        assert_eq!(theories & THEORY_LIN, THEORY_LIN);
+        assert!(d.notes.iter().any(|n| n.contains("linear arithmetic")));
+    }
+
+    #[test]
+    fn span_table_provenance() {
+        let mut t = SpanTable::new();
+        let surface = t.insert(Span::new(Loc { line: 2, col: 3 }, Loc { line: 2, col: 20 }));
+        let synth = t.insert_synthesized(surface);
+        assert_eq!(t.get(synth), t.get(surface));
+        assert_eq!(t.expansion_of(synth), Some(surface));
+        assert_eq!(t.expansion_of(surface), None);
+
+        let mut d = Diagnostic::unbound(Symbol::intern("q")).or_node(synth);
+        d.resolve_spans(&t);
+        assert_eq!(d.primary, Some(t.get(surface)));
+        assert!(d.notes.iter().any(|n| n.contains("macro expansion")));
+    }
+
+    #[test]
+    fn or_node_keeps_the_innermost() {
+        let mut t = SpanTable::new();
+        let inner = t.insert(Span::point(Loc { line: 1, col: 5 }));
+        let outer = t.insert(Span::point(Loc { line: 1, col: 1 }));
+        let d = Diagnostic::unbound(Symbol::intern("q"))
+            .or_node(inner)
+            .or_node(outer);
+        assert_eq!(d.node, Some(inner));
+    }
+
+    #[test]
+    fn rendering_underlines_the_span() {
+        let source = "(define x 1)\n(add1 #t)\n";
+        let mut d = Diagnostic::mismatch("(add1 #t)".into(), &Ty::Int, &Ty::True);
+        d.primary = Some(Span::new(Loc { line: 2, col: 7 }, Loc { line: 2, col: 9 }));
+        let rendered = render(&d, "demo.rtr", source);
+        assert!(rendered.contains("error[E0002]"));
+        assert!(rendered.contains("demo.rtr:2:7"));
+        assert!(rendered.contains("(add1 #t)"));
+        assert!(rendered.contains("      ^^"), "caret line: {rendered}");
+    }
+
+    #[test]
+    fn display_appends_the_location() {
+        let mut d = Diagnostic::unbound(Symbol::intern("zz"));
+        assert_eq!(d.to_string(), "unbound variable zz");
+        d.primary = Some(Span::point(Loc { line: 4, col: 2 }));
+        assert!(d.to_string().ends_with("(at 4:2)"));
+    }
+}

@@ -1,140 +1,43 @@
-//! Type-checking errors.
+//! Type-checking errors — kept as a thin compatibility shim.
+//!
+//! The checker's error shape moved to the structured, located
+//! [`crate::diag::Diagnostic`]: stable `E0xxx` [`crate::diag::Code`]s,
+//! primary/secondary [`crate::diag::Span`]s, and a machine-readable
+//! [`crate::diag::Payload`] (expected/got as interned ids, the failed
+//! refinement proposition, the solver theories involved) instead of
+//! pre-rendered context strings.
+//!
+//! `TypeError` remains as a **deprecated alias** so downstream code and
+//! old signatures keep compiling; new code should name
+//! [`crate::diag::Diagnostic`] directly and match on
+//! [`Diagnostic::code`](crate::diag::Diagnostic::code) /
+//! [`Diagnostic::payload`](crate::diag::Diagnostic::payload) rather than
+//! message text.
 
-use std::fmt;
-
-use crate::syntax::{Symbol, Ty};
-
-/// An error produced by the type checker.
-///
-/// Following the paper's implementation, errors carry enough context to
-/// reproduce messages like the §2.1 example:
-///
-/// ```text
-/// Type Checker error in (safe-vec-ref B i)
-/// argument 2, expected: {i : Int | (0 ≤ i ∧ i < (len B))}  but given: Int
-/// ```
-#[derive(Clone, PartialEq, Debug)]
-pub enum TypeError {
-    /// A variable was referenced but never bound.
-    UnboundVariable(Symbol),
-    /// An expression was expected to have (a subtype of) `expected` but
-    /// has `got`.
-    Mismatch {
-        /// Rendered source context.
-        context: String,
-        /// The required type.
-        expected: Ty,
-        /// The synthesized type.
-        got: Ty,
-    },
-    /// A non-function was applied.
-    NotAFunction {
-        /// Rendered operator.
-        context: String,
-        /// Its synthesized type.
-        got: Ty,
-    },
-    /// Wrong number of arguments.
-    Arity {
-        /// Rendered application.
-        context: String,
-        /// Parameters expected.
-        expected: usize,
-        /// Arguments given.
-        got: usize,
-    },
-    /// `fst`/`snd` applied to a non-pair.
-    NotAPair {
-        /// Rendered argument.
-        context: String,
-        /// Its synthesized type.
-        got: Ty,
-    },
-    /// Local type inference could not instantiate a polymorphic operator.
-    CannotInfer {
-        /// Rendered application.
-        context: String,
-        /// Human-readable reason.
-        reason: String,
-    },
-    /// `set!` on a variable that was never bound, or whose declared type
-    /// rejects the assigned value.
-    BadAssignment {
-        /// The assigned variable.
-        var: Symbol,
-        /// Reason.
-        reason: String,
-    },
-}
-
-impl fmt::Display for TypeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TypeError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
-            TypeError::Mismatch {
-                context,
-                expected,
-                got,
-            } => write!(
-                f,
-                "type checker error in {context}: expected {expected} but given {got}"
-            ),
-            TypeError::NotAFunction { context, got } => {
-                write!(
-                    f,
-                    "type checker error in {context}: not a function (has type {got})"
-                )
-            }
-            TypeError::Arity {
-                context,
-                expected,
-                got,
-            } => write!(
-                f,
-                "type checker error in {context}: expected {expected} argument(s), given {got}"
-            ),
-            TypeError::NotAPair { context, got } => {
-                write!(
-                    f,
-                    "type checker error in {context}: not a pair (has type {got})"
-                )
-            }
-            TypeError::CannotInfer { context, reason } => {
-                write!(
-                    f,
-                    "type checker error in {context}: cannot infer type arguments ({reason})"
-                )
-            }
-            TypeError::BadAssignment { var, reason } => {
-                write!(f, "type checker error in (set! {var} …): {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for TypeError {}
+/// Deprecated alias for [`crate::diag::Diagnostic`] — the old name of
+/// the checker's error type.
+pub use crate::diag::Diagnostic as TypeError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diag::{Code, Payload};
+    use crate::syntax::{Symbol, Ty};
 
     #[test]
     fn messages_are_informative() {
-        let e = TypeError::Mismatch {
-            context: "(safe-vec-ref B i)".into(),
-            expected: Ty::Int,
-            got: Ty::bool_ty(),
-        };
+        let e = TypeError::mismatch("(safe-vec-ref B i)".into(), &Ty::Int, &Ty::bool_ty());
         let msg = e.to_string();
         assert!(msg.contains("safe-vec-ref"));
         assert!(msg.contains("expected Int"));
         assert!(msg.contains("given Bool"));
+        assert_eq!(e.code, Code::TypeMismatch);
+        assert!(matches!(e.payload, Payload::Mismatch { .. }));
     }
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(TypeError::UnboundVariable(Symbol::intern("q")));
+        let e: Box<dyn std::error::Error> = Box::new(TypeError::unbound(Symbol::intern("q")));
         assert!(e.to_string().contains("unbound"));
     }
 }

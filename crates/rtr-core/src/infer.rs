@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::check::Checker;
-use crate::errors::TypeError;
+use crate::diag::Diagnostic;
 use crate::syntax::{FunTy, PolyTy, Symbol, Ty};
 
 impl Checker {
@@ -26,19 +26,19 @@ impl Checker {
         poly: &PolyTy,
         arg_tys: &[Ty],
         context: &dyn Fn() -> String,
-    ) -> Result<FunTy, TypeError> {
+    ) -> Result<FunTy, Box<Diagnostic>> {
         let Ty::Fun(fun) = &poly.body else {
-            return Err(TypeError::CannotInfer {
-                context: context(),
-                reason: format!("polymorphic type {} is not a function", poly.body),
-            });
+            return Err(Box::new(Diagnostic::cannot_infer(
+                context(),
+                format!("polymorphic type {} is not a function", poly.body),
+            )));
         };
         if fun.params.len() != arg_tys.len() {
-            return Err(TypeError::Arity {
-                context: context(),
-                expected: fun.params.len(),
-                got: arg_tys.len(),
-            });
+            return Err(Box::new(Diagnostic::arity(
+                context(),
+                fun.params.len(),
+                arg_tys.len(),
+            )));
         }
         let vars: HashSet<Symbol> = poly.vars.iter().copied().collect();
         let mut bounds: HashMap<Symbol, Vec<Ty>> = HashMap::new();
@@ -55,10 +55,10 @@ impl Checker {
         let body = poly.body.subst_tvars(&solution);
         match body {
             Ty::Fun(f) => Ok(*f),
-            other => Err(TypeError::CannotInfer {
-                context: context(),
-                reason: format!("instantiation produced non-function {other}"),
-            }),
+            other => Err(Box::new(Diagnostic::cannot_infer(
+                context(),
+                format!("instantiation produced non-function {other}"),
+            ))),
         }
     }
 }
@@ -172,18 +172,19 @@ mod tests {
 
     #[test]
     fn arity_mismatch_is_reported() {
+        use crate::diag::{Code, Payload};
         let c = checker();
         let err = c
             .instantiate_poly(&poly_of(Prim::VecRef), &[Ty::vec(Ty::Int)], &|| {
                 "(vec-ref v)".to_owned()
             })
             .unwrap_err();
+        assert_eq!(err.code, Code::ArityMismatch);
         assert!(matches!(
-            err,
-            TypeError::Arity {
+            err.payload,
+            Payload::Arity {
                 expected: 2,
-                got: 1,
-                ..
+                got: 1
             }
         ));
     }

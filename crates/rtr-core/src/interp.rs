@@ -229,6 +229,9 @@ pub fn eval_program(e: &Expr, fuel: u64) -> Result<Value, EvalError> {
 
 /// The big-step judgment `ρ ⊢ e ⇓ v` (Fig. 8).
 pub fn eval(rho: &RtEnv, e: &Expr, fuel: &mut u64) -> Result<Value, EvalError> {
+    // Span wrappers are free: they are bookkeeping for diagnostics, not
+    // evaluation steps, so they consume no fuel.
+    let e = e.peel_spans();
     if *fuel == 0 {
         return Err(EvalError::OutOfFuel);
     }
@@ -315,6 +318,7 @@ pub fn eval(rho: &RtEnv, e: &Expr, fuel: &mut u64) -> Result<Value, EvalError> {
             }
             Ok(last)
         }
+        Expr::Spanned(..) => unreachable!("peeled above"),
     }
 }
 

@@ -19,8 +19,12 @@
 //! * [`interp`] — Fig. 8's big-step semantics.
 //! * [`model`] — Fig. 8's satisfaction relation, used to test the
 //!   soundness theorem (Lemma 2 / Theorem 1) executably.
-//! * [`mod@env`], [`config`], [`errors`], [`mutation`], [`infer`] — the §4
+//! * [`mod@env`], [`config`], [`mutation`], [`infer`] — the §4
 //!   scaling machinery.
+//! * [`diag`] — structured, located diagnostics (spans, `E0xxx` codes,
+//!   payloads) and the human renderer; [`module`] — module-level checking
+//!   with multi-error recovery ([`errors`] keeps the old `TypeError` name
+//!   as an alias).
 //! * [`intern`] — hash-consed `TyId`/`PropId`/`ObjId` handles backing the
 //!   checker's memo tables and the environment's id-native storage.
 //! * [`pmap`] — the persistent HAMT the environment stores those ids in.
@@ -51,6 +55,7 @@
 mod cache;
 pub mod check;
 pub mod config;
+pub mod diag;
 pub mod env;
 pub mod errors;
 pub mod infer;
@@ -58,6 +63,7 @@ pub mod intern;
 pub mod interp;
 pub mod logic;
 pub mod model;
+pub mod module;
 pub mod mutation;
 pub mod pmap;
 pub mod prims;

@@ -53,6 +53,7 @@ fn collect(e: &Expr, out: &mut HashSet<Symbol>) {
         }
         Expr::Fst(a) | Expr::Snd(a) | Expr::Ann(a, _) => collect(a, out),
         Expr::VecLit(es) | Expr::Begin(es) => es.iter().for_each(|e| collect(e, out)),
+        Expr::Spanned(_, inner) => collect(inner, out),
     }
 }
 

@@ -16,8 +16,8 @@ impl Checker {
     ///
     /// The judgment is keyed `(generation, τ₁, τ₂)` on interned ids (two
     /// environments with equal generations are identical, see
-    /// [`Env::generation`]); entries are fuel-aware per
-    /// [`crate::cache`]'s rules. Queries whose canonical forms coincide
+    /// [`Env::generation`]); entries are fuel-aware per the internal
+    /// cache module's rules. Queries whose canonical forms coincide
     /// (e.g. permuted unions) short-circuit to `true` before any fresh
     /// names are generated — fresh-symbol allocation happens only on the
     /// cache-miss path, inside the structural rules.

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use super::symbol::Symbol;
 use super::ty::Ty;
+use crate::diag::NodeId;
 
 /// Primitive operations `p` (Fig. 2/3, extended per §3.4 and §5).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -278,6 +279,11 @@ pub enum Expr {
     Set(Symbol, Box<Expr>),
     /// Sequencing `(begin e …)`; value of the last expression.
     Begin(Vec<Expr>),
+    /// A source-location wrapper: the elaborator tags every expression it
+    /// produces with a [`NodeId`] into its span table, so diagnostics can
+    /// point back into the surface source. Semantically transparent — the
+    /// checker, evaluator and all structural traversals see through it.
+    Spanned(NodeId, Box<Expr>),
 }
 
 impl Expr {
@@ -311,11 +317,87 @@ impl Expr {
         Expr::Ann(Box::new(e), ty)
     }
 
+    /// Wraps `e` with a span node.
+    pub fn spanned(node: NodeId, e: Expr) -> Expr {
+        Expr::Spanned(node, Box::new(e))
+    }
+
+    /// Sees through any [`Expr::Spanned`] wrappers to the underlying
+    /// expression.
+    pub fn peel_spans(&self) -> &Expr {
+        let mut e = self;
+        while let Expr::Spanned(_, inner) = e {
+            e = inner;
+        }
+        e
+    }
+
+    /// The underlying expression plus the *innermost* span node wrapping
+    /// it (the most precise source location), if any.
+    pub fn peel_spans_with_node(&self) -> (&Expr, Option<NodeId>) {
+        let mut e = self;
+        let mut node = None;
+        while let Expr::Spanned(n, inner) = e {
+            node = Some(*n);
+            e = inner;
+        }
+        (e, node)
+    }
+
+    /// The span node directly wrapping this expression, if any.
+    pub fn span_node(&self) -> Option<NodeId> {
+        self.peel_spans_with_node().1
+    }
+
+    /// A copy with every [`Expr::Spanned`] wrapper removed — used by
+    /// tests and tools that compare elaborated trees structurally.
+    pub fn strip_spans(&self) -> Expr {
+        match self {
+            Expr::Spanned(_, inner) => inner.strip_spans(),
+            Expr::Var(_)
+            | Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::BvLit(_)
+            | Expr::Str(_)
+            | Expr::ReLit(_)
+            | Expr::Prim(_)
+            | Expr::Error(_) => self.clone(),
+            Expr::Lam(l) => Expr::lam(l.params.clone(), l.body.strip_spans()),
+            Expr::App(f, args) => Expr::app(
+                f.strip_spans(),
+                args.iter().map(Expr::strip_spans).collect(),
+            ),
+            Expr::If(a, b, c) => Expr::if_(a.strip_spans(), b.strip_spans(), c.strip_spans()),
+            Expr::Let(x, a, b) => Expr::let_(*x, a.strip_spans(), b.strip_spans()),
+            Expr::LetRec(f, t, l, b) => Expr::LetRec(
+                *f,
+                t.clone(),
+                Arc::new(Lambda {
+                    params: l.params.clone(),
+                    body: l.body.strip_spans(),
+                }),
+                Box::new(b.strip_spans()),
+            ),
+            Expr::Cons(a, b) => Expr::Cons(Box::new(a.strip_spans()), Box::new(b.strip_spans())),
+            Expr::Fst(a) => Expr::Fst(Box::new(a.strip_spans())),
+            Expr::Snd(a) => Expr::Snd(Box::new(a.strip_spans())),
+            Expr::VecLit(es) => Expr::VecLit(es.iter().map(Expr::strip_spans).collect()),
+            Expr::Ann(a, t) => Expr::ann(a.strip_spans(), t.clone()),
+            Expr::Set(x, a) => Expr::Set(*x, Box::new(a.strip_spans())),
+            Expr::Begin(es) => Expr::Begin(es.iter().map(Expr::strip_spans).collect()),
+        }
+    }
+
     /// Nesting depth, capped at `limit`: returns a value `> limit` as soon
     /// as the tree is deeper than `limit`, without recursing further (so
     /// the probe itself never risks a stack overflow). Used by the checker
     /// to decide whether a program needs the big-stack checking thread.
     pub fn depth_capped(&self, limit: usize) -> usize {
+        // Span wrappers are transparent to the checker (peeled without a
+        // judgment frame), so they do not count as a level.
+        if let Expr::Spanned(_, inner) = self {
+            return inner.depth_capped(limit);
+        }
         if limit == 0 {
             return 1;
         }
@@ -336,6 +418,7 @@ impl Expr {
             Expr::LetRec(_, _, l, b) => child(&l.body).max(child(b)),
             Expr::Fst(a) | Expr::Snd(a) | Expr::Ann(a, _) | Expr::Set(_, a) => child(a),
             Expr::VecLit(es) | Expr::Begin(es) => es.iter().map(child).max().unwrap_or(0),
+            Expr::Spanned(..) => unreachable!("handled above"),
         }
     }
 
@@ -358,6 +441,8 @@ impl Expr {
             Expr::Cons(a, b) => 1 + a.size() + b.size(),
             Expr::Fst(a) | Expr::Snd(a) | Expr::Ann(a, _) | Expr::Set(_, a) => 1 + a.size(),
             Expr::VecLit(es) | Expr::Begin(es) => 1 + es.iter().map(Expr::size).sum::<usize>(),
+            // Transparent: a span wrapper is not an AST node of its own.
+            Expr::Spanned(_, inner) => inner.size(),
         }
     }
 
@@ -425,6 +510,7 @@ impl Expr {
                         go(e, bound, out);
                     }
                 }
+                Expr::Spanned(_, inner) => go(inner, bound, out),
             }
         }
         go(self, &mut Vec::new(), out);
@@ -488,6 +574,7 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
+            Expr::Spanned(_, inner) => write!(f, "{inner}"),
         }
     }
 }

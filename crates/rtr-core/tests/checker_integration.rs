@@ -3,7 +3,7 @@
 
 use rtr_core::check::Checker;
 use rtr_core::config::CheckerConfig;
-use rtr_core::errors::TypeError;
+use rtr_core::diag::Code;
 use rtr_core::syntax::{Expr, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
 
 fn s(name: &str) -> Symbol {
@@ -134,7 +134,7 @@ fn lsb_without_guard_rejected() {
     );
     assert!(matches!(
         rtr().check_program(&e),
-        Err(TypeError::Mismatch { .. })
+        Err(d) if d.code == Code::TypeMismatch
     ));
 }
 
@@ -177,10 +177,12 @@ fn unguarded_safe_vec_ref_rejected() {
         Expr::prim_app(Prim::SafeVecRef, vec![Expr::Var(v), Expr::Var(i)]),
     );
     match rtr().check_program(&e) {
-        Err(TypeError::Mismatch { context, .. }) => {
+        Err(d) => {
+            assert_eq!(d.code, Code::TypeMismatch);
             assert!(
-                context.contains("argument 2"),
-                "wrong argument flagged: {context}"
+                d.message.contains("argument 2"),
+                "wrong argument flagged: {}",
+                d.message
             );
         }
         other => panic!("expected a mismatch on the index, got {other:?}"),
@@ -235,8 +237,9 @@ fn dot_prod_without_length_check_rejected() {
         body,
     );
     match rtr().check_program(&e) {
-        Err(TypeError::Mismatch { context, .. }) => {
-            assert!(context.contains("argument 2"));
+        Err(d) => {
+            assert_eq!(d.code, Code::TypeMismatch);
+            assert!(d.message.contains("argument 2"));
         }
         other => panic!("expected B-access rejection, got {other:?}"),
     }

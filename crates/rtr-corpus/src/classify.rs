@@ -6,7 +6,8 @@
 //! actually running the type checker), never assumed from the template.
 
 use rtr_core::check::Checker;
-use rtr_lang::check_source;
+use rtr_core::diag::Code;
+use rtr_lang::check_module_source;
 
 use crate::gen::Library;
 use crate::patterns::{Class, Site};
@@ -24,18 +25,41 @@ pub enum Outcome {
     Unverified,
 }
 
+/// Does a module verify? Decided on the structured diagnostics of the
+/// recovering checker: clean means no error-severity [`Code`]s, not a
+/// string match against rendered messages. (For well-typed modules the
+/// recovering path builds the same environments as the nested
+/// fail-fast encoding, so this agrees with the historical
+/// `check_source(..).is_ok()` — the `diagnostics_equivalence` tests pin
+/// it.)
+fn verifies(src: &str, checker: &Checker) -> bool {
+    check_module_source(src, checker).is_clean()
+}
+
+/// The stable diagnostic codes a site's *plain* (as-written) module
+/// produces — every failure in the module, not just the first, thanks
+/// to the recovering checker.
+pub fn site_error_codes(site: &Site, checker: &Checker) -> Vec<Code> {
+    check_module_source(&site.plain, checker)
+        .diagnostics
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code)
+        .collect()
+}
+
 /// Classifies one site with the staged methodology.
 pub fn classify_site(site: &Site, checker: &Checker) -> Outcome {
-    if check_source(&site.plain, checker).is_ok() {
+    if verifies(&site.plain, checker) {
         return Outcome::Auto;
     }
     if let Some(ann) = &site.annotated {
-        if check_source(ann, checker).is_ok() {
+        if verifies(ann, checker) {
             return Outcome::WithAnnotations;
         }
     }
     if let Some(m) = &site.modified {
-        if check_source(m, checker).is_ok() {
+        if verifies(m, checker) {
             return Outcome::WithModifications;
         }
     }
@@ -188,6 +212,67 @@ mod tests {
                 profile.name
             );
         }
+    }
+
+    #[test]
+    fn diagnostics_equivalence_with_the_fail_fast_shim() {
+        // The classifier's verdict source moved from fail-fast
+        // `check_source` to the recovering `check_module_source`; the
+        // two must agree on every staged variant, or fig9 would drift.
+        let checker = Checker::default();
+        for profile in libraries() {
+            let lib = generate(&profile, 7);
+            for site in lib.sites.iter().take(8) {
+                for src in [
+                    Some(&site.plain),
+                    site.annotated.as_ref(),
+                    site.modified.as_ref(),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    let strict = rtr_lang::check_source(src, &checker).is_ok();
+                    let report = rtr_lang::check_module_source(src, &checker);
+                    assert_eq!(
+                        strict,
+                        report.is_clean(),
+                        "{}: recovery disagrees with fail-fast on\n{src}",
+                        site.pattern
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_sites_produce_stable_mismatch_codes() {
+        // The §4.2 mutable cache-size bug and friends are rejected with
+        // machine-readable codes, not matched-on message strings.
+        let checker = Checker::default();
+        let mut saw_unsafe = false;
+        for profile in libraries() {
+            let lib = generate(&profile, 2016);
+            for site in lib
+                .sites
+                .iter()
+                .filter(|s| s.expected == Class::Unsafe)
+                .take(3)
+            {
+                let codes = site_error_codes(site, &checker);
+                assert!(
+                    !codes.is_empty(),
+                    "{}: unsafe site must produce diagnostics",
+                    site.pattern
+                );
+                assert!(
+                    codes.iter().all(|c| c.as_str().starts_with('E')),
+                    "{}: unexpected codes {codes:?}",
+                    site.pattern
+                );
+                saw_unsafe = true;
+            }
+        }
+        assert!(saw_unsafe, "the corpus contains unsafe sites");
     }
 
     #[test]

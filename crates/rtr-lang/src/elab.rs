@@ -10,41 +10,56 @@
 
 use std::collections::HashSet;
 
+use rtr_core::diag::{Diagnostic, NodeId, SpanTable};
 use rtr_core::syntax::{BvCmp, Expr, LinCmp, Obj, Prop, Symbol, Ty, TyResult};
 
 use crate::base_env::{is_reserved, lookup_prim};
 use crate::expand;
-use crate::sexp::{Pos, Sexp};
+use crate::sexp::{Sexp, Span};
 
-/// An elaboration error with source position.
+/// An elaboration error with its source region.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ElabError {
     /// What went wrong.
     pub message: String,
     /// Where.
-    pub pos: Pos,
+    pub span: Span,
+}
+
+impl ElabError {
+    /// The error as a located `E0102` diagnostic.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::syntax_error(format!("syntax error: {}", self.message), self.span)
+    }
 }
 
 impl std::fmt::Display for ElabError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "syntax error at {}: {}", self.pos, self.message)
+        write!(f, "syntax error at {}: {}", self.span.start, self.message)
     }
 }
 
 impl std::error::Error for ElabError {}
 
-pub(crate) fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, ElabError> {
+pub(crate) fn err<T>(span: impl Into<Span>, message: impl Into<String>) -> Result<T, ElabError> {
     Err(ElabError {
         message: message.into(),
-        pos,
+        span: span.into(),
     })
 }
 
 /// The elaborator. Tracks bound type variables (from `All`) so they
-/// elaborate to [`Ty::TVar`]s.
+/// elaborate to [`Ty::TVar`]s, and records the span of every expression
+/// it produces in a [`SpanTable`] (wrapping the core expression in
+/// [`Expr::Spanned`]), including synthesized-from provenance for the
+/// code macro expansion fabricates.
 #[derive(Clone, Debug, Default)]
 pub struct Elaborator {
     tvars: HashSet<Symbol>,
+    spans: SpanTable,
+    /// The surface node currently being elaborated — the provenance
+    /// target for synthesized glue.
+    current: Option<NodeId>,
 }
 
 impl Elaborator {
@@ -53,9 +68,32 @@ impl Elaborator {
         Elaborator::default()
     }
 
+    /// The span table accumulated so far, consuming the elaborator.
+    pub fn into_spans(self) -> SpanTable {
+        self.spans
+    }
+
+    /// Records the span of a top-level form (a `define` or signature)
+    /// without wrapping an expression — module elaboration anchors
+    /// item-level diagnostics to these nodes.
+    pub(crate) fn form_node(&mut self, span: Span) -> NodeId {
+        self.spans.insert(span)
+    }
+
+    /// Wraps macro-synthesized glue with a node whose provenance is the
+    /// surface form currently being expanded. No-op outside a form.
+    pub(crate) fn tag_synthesized(&mut self, e: Expr) -> Expr {
+        match self.current {
+            Some(from) => Expr::spanned(self.spans.insert_synthesized(from), e),
+            None => e,
+        }
+    }
+
     // --- types ---------------------------------------------------------------
 
-    /// Elaborates a type.
+    /// Elaborates a type. (Types are not expressions: they carry no span
+    /// nodes of their own; diagnostics about them point at the
+    /// expression or definition that used them.)
     pub fn ty(&mut self, s: &Sexp) -> Result<Ty, ElabError> {
         match s {
             Sexp::Symbol(name, pos) => self.base_ty(name, *pos),
@@ -131,7 +169,7 @@ impl Elaborator {
         }
     }
 
-    fn base_ty(&self, name: &str, pos: Pos) -> Result<Ty, ElabError> {
+    fn base_ty(&self, name: &str, pos: Span) -> Result<Ty, ElabError> {
         Ok(match name {
             "Int" | "Integer" => Ty::Int,
             "Bool" | "Boolean" => Ty::bool_ty(),
@@ -194,7 +232,7 @@ impl Elaborator {
         Ok((Symbol::fresh("arg"), self.ty(s)?))
     }
 
-    fn arrow_ty(&mut self, doms: &[Sexp], rng: &[Sexp], pos: Pos) -> Result<Ty, ElabError> {
+    fn arrow_ty(&mut self, doms: &[Sexp], rng: &[Sexp], pos: Span) -> Result<Ty, ElabError> {
         let mut params = Vec::new();
         for d in doms {
             params.push(self.binder(d)?);
@@ -301,7 +339,7 @@ impl Elaborator {
     }
 
     /// N-ary comparison chains, as in the paper's `(≤ 0 i (sub1 (len v)))`.
-    fn chain_cmp(&mut self, op: &str, args: &[Sexp], pos: Pos) -> Result<Prop, ElabError> {
+    fn chain_cmp(&mut self, op: &str, args: &[Sexp], pos: Span) -> Result<Prop, ElabError> {
         if args.len() < 2 {
             return err(pos, format!("({op} …) needs at least two operands"));
         }
@@ -329,7 +367,7 @@ impl Elaborator {
     fn regex(
         &mut self,
         pat: &str,
-        pos: Pos,
+        pos: Span,
     ) -> Result<std::sync::Arc<rtr_solver::re::Regex>, ElabError> {
         match rtr_solver::re::Regex::parse(pat) {
             Ok(r) => Ok(std::sync::Arc::new(r)),
@@ -422,7 +460,7 @@ impl Elaborator {
     fn bv_obj2(
         &mut self,
         rest: &[Sexp],
-        pos: Pos,
+        pos: Span,
         f: impl Fn(&Obj, &Obj) -> Obj,
     ) -> Result<Obj, ElabError> {
         let [a, b] = rest else {
@@ -433,8 +471,19 @@ impl Elaborator {
 
     // --- expressions --------------------------------------------------------------
 
-    /// Elaborates an expression.
+    /// Elaborates an expression, recording its span: the produced core
+    /// expression is wrapped in [`Expr::Spanned`] with a node in this
+    /// elaborator's span table.
     pub fn expr(&mut self, s: &Sexp) -> Result<Expr, ElabError> {
+        let span = s.span();
+        let node = self.spans.insert(span);
+        let prev = self.current.replace(node);
+        let result = self.expr_inner(s);
+        self.current = prev;
+        Ok(Expr::spanned(node, result?))
+    }
+
+    fn expr_inner(&mut self, s: &Sexp) -> Result<Expr, ElabError> {
         match s {
             Sexp::Int(n, _) => Ok(Expr::Int(*n)),
             Sexp::Bool(b, _) => Ok(Expr::Bool(*b)),
@@ -531,8 +580,14 @@ impl Elaborator {
                         Ok(expand::cmp_chain(head, args))
                     }
                     _ => {
-                        // Application.
-                        let f = self.expr(&items[0])?;
+                        // Application. Primitive operator heads are left
+                        // unwrapped: diagnostics anchor to arguments or
+                        // the application itself, and the checker's
+                        // prim fast path stays a direct match.
+                        let f = match items[0].as_symbol().and_then(lookup_prim) {
+                            Some(p) => Expr::Prim(p),
+                            None => self.expr(&items[0])?,
+                        };
                         Ok(Expr::app(f, self.exprs(&items[1..])?))
                     }
                 }
@@ -544,7 +599,7 @@ impl Elaborator {
         items.iter().map(|s| self.expr(s)).collect()
     }
 
-    fn lambda(&mut self, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
+    fn lambda(&mut self, rest: &[Sexp], pos: Span) -> Result<Expr, ElabError> {
         let [params, body @ ..] = rest else {
             return err(pos, "(lambda (params) body …)");
         };
@@ -566,14 +621,14 @@ impl Elaborator {
         Ok(Expr::lam(ps, body))
     }
 
-    fn let_form(&mut self, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
+    fn let_form(&mut self, rest: &[Sexp], pos: Span) -> Result<Expr, ElabError> {
         self.let_like(rest, pos, /* parallel: */ true)
     }
 
     /// `let` (parallel: right-hand sides cannot see the new bindings, as
     /// in Racket — implemented with fresh temporaries) and `let*`
     /// (sequential).
-    fn let_like(&mut self, rest: &[Sexp], pos: Pos, parallel: bool) -> Result<Expr, ElabError> {
+    fn let_like(&mut self, rest: &[Sexp], pos: Span, parallel: bool) -> Result<Expr, ElabError> {
         // Named let: (let loop : R ([x : T e] …) body …).
         if let Some(name) = rest.first().and_then(Sexp::as_symbol) {
             return expand::named_let(self, name, &rest[1..], pos);
@@ -638,7 +693,7 @@ impl Elaborator {
         Ok(out)
     }
 
-    fn letrec_form(&mut self, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
+    fn letrec_form(&mut self, rest: &[Sexp], pos: Span) -> Result<Expr, ElabError> {
         let [bindings, body @ ..] = rest else {
             return err(pos, "(letrec (bindings) body …)");
         };
@@ -672,7 +727,7 @@ impl Elaborator {
         Ok(out)
     }
 
-    fn cond_form(&mut self, clauses: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
+    fn cond_form(&mut self, clauses: &[Sexp], pos: Span) -> Result<Expr, ElabError> {
         let mut out = Expr::Begin(vec![]);
         for (i, clause) in clauses.iter().enumerate().rev() {
             let Some(items) = clause.as_list() else {
@@ -708,7 +763,11 @@ mod tests {
     }
 
     fn elab_expr(src: &str) -> Expr {
-        Elaborator::new().expr(&read_one(src).unwrap()).unwrap()
+        // Structural comparisons below look through the span wrappers.
+        Elaborator::new()
+            .expr(&read_one(src).unwrap())
+            .unwrap()
+            .strip_spans()
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use rtr_core::syntax::{Expr, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
 
 use crate::elab::{err, ElabError, Elaborator};
-use crate::sexp::{Pos, Sexp};
+use crate::sexp::{Sexp, Span};
 
 /// `(and e …)` as nested conditionals.
 pub fn and_form(mut es: Vec<Expr>) -> Expr {
@@ -84,7 +84,7 @@ pub fn named_let(
     elab: &mut Elaborator,
     name: &str,
     rest: &[Sexp],
-    pos: Pos,
+    pos: Span,
 ) -> Result<Expr, ElabError> {
     let [colon, range, bindings, body @ ..] = rest else {
         return err(pos, "(let loop : R ([x : T e] …) body …)");
@@ -121,11 +121,15 @@ pub fn named_let(
     let loop_sym = Symbol::intern(name);
     let fun_ty = Ty::fun(params.clone(), TyResult::of_type(range_ty));
     let body = begin_form(elab.exprs(body)?);
+    // The initial application is synthesized glue: tag it with the
+    // macro-use provenance so errors about the initial values still
+    // point at the named-let form.
+    let initial_call = elab.tag_synthesized(Expr::app(Expr::Var(loop_sym), inits));
     Ok(Expr::LetRec(
         loop_sym,
         fun_ty,
         std::sync::Arc::new(Lambda { params, body }),
-        Box::new(Expr::app(Expr::Var(loop_sym), inits)),
+        Box::new(initial_call),
     ))
 }
 
@@ -193,7 +197,7 @@ fn used_as_index(body: &[Sexp], var: &str) -> bool {
 ///
 /// The loop parameter `pos` gets type `Nat` when the §4.4 heuristic fires
 /// (the variable indexes a vector), `Int` otherwise.
-pub fn for_sum(elab: &mut Elaborator, rest: &[Sexp], pos: Pos) -> Result<Expr, ElabError> {
+pub fn for_sum(elab: &mut Elaborator, rest: &[Sexp], pos: Span) -> Result<Expr, ElabError> {
     let [clauses, body @ ..] = rest else {
         return err(pos, "(for/sum ([i (in-range …)]) body …)");
     };
@@ -264,25 +268,23 @@ pub fn for_sum(elab: &mut Elaborator, rest: &[Sexp], pos: Pos) -> Result<Expr, E
         )
     };
 
+    // The recursive call and the accumulator sum are synthesized by the
+    // macro: tag them with the macro-use provenance so a diagnostic
+    // inside the skeleton (e.g. a body that is not an Int) points back
+    // at the `for/sum` form with an expansion note.
+    let sum = elab.tag_synthesized(Expr::prim_app(Prim::Plus, vec![Expr::Var(acc_sym), body]));
+    let recur = elab.tag_synthesized(Expr::app(Expr::Var(loop_sym), vec![next, sum]));
     let loop_body = Expr::if_(
         test,
-        Expr::let_(
-            i_sym,
-            Expr::Var(pos_sym),
-            Expr::app(
-                Expr::Var(loop_sym),
-                vec![
-                    next,
-                    Expr::prim_app(Prim::Plus, vec![Expr::Var(acc_sym), body]),
-                ],
-            ),
-        ),
+        Expr::let_(i_sym, Expr::Var(pos_sym), recur),
         Expr::Var(acc_sym),
     );
     let fun_ty = Ty::fun(
         vec![(pos_sym, pos_ty.clone()), (acc_sym, Ty::Int)],
         TyResult::of_type(Ty::Int),
     );
+    let initial_call =
+        elab.tag_synthesized(Expr::app(Expr::Var(loop_sym), vec![first, Expr::Int(0)]));
     Ok(Expr::let_(
         start_sym,
         start_e,
@@ -296,7 +298,7 @@ pub fn for_sum(elab: &mut Elaborator, rest: &[Sexp], pos: Pos) -> Result<Expr, E
                     params: vec![(pos_sym, pos_ty), (acc_sym, Ty::Int)],
                     body: loop_body,
                 }),
-                Box::new(Expr::app(Expr::Var(loop_sym), vec![first, Expr::Int(0)])),
+                Box::new(initial_call),
             ),
         ),
     ))
@@ -340,7 +342,7 @@ mod tests {
         let mut elab = Elaborator::new();
         let sexp = read_one("(for/sum ([i (in-range (len A))]) (vec-ref A i))").unwrap();
         let items = sexp.as_list().unwrap();
-        let e = for_sum(&mut elab, &items[1..], sexp.pos()).unwrap();
+        let e = for_sum(&mut elab, &items[1..], sexp.span()).unwrap();
         // let start, let end, letrec loop …
         let Expr::Let(_, _, rest) = e else {
             panic!("expected let")
@@ -361,7 +363,7 @@ mod tests {
         let mut elab = Elaborator::new();
         let sexp = read_one("(for/sum ([i (in-range 10)]) i)").unwrap();
         let items = sexp.as_list().unwrap();
-        let e = for_sum(&mut elab, &items[1..], sexp.pos()).unwrap();
+        let e = for_sum(&mut elab, &items[1..], sexp.span()).unwrap();
         let Expr::Let(_, _, rest) = e else { panic!() };
         let Expr::Let(_, _, rest) = *rest else {
             panic!()

@@ -32,4 +32,7 @@ pub mod expand;
 pub mod module;
 pub mod sexp;
 
-pub use module::{check_source, elaborate_module, run_source, run_source_unchecked, LangError};
+pub use module::{
+    check_module_source, check_source, elaborate_module, elaborate_module_items, run_source,
+    run_source_unchecked, ElaboratedModule, LangError, ModuleReport,
+};

@@ -1,5 +1,4 @@
-//! Module-level elaboration: signatures, definitions, and the program
-//! driver (`check_source` / `run_source`).
+//! Module-level elaboration and the program drivers.
 //!
 //! A module is a sequence of forms:
 //!
@@ -13,16 +12,38 @@
 //! functions elaborate to `letrec` (so they may recur), unannotated
 //! non-function definitions to `let`. Trailing expressions run in order;
 //! the module's value is the last one.
+//!
+//! Elaboration produces an [`ElaboratedModule`]: the item-structured
+//! form ([`rtr_core::module::ModuleItem`]) the recovering checker
+//! consumes, the [`SpanTable`] mapping every expression back to the
+//! surface source, and any per-form syntax errors (a malformed form is
+//! skipped — its `define`d name, when recoverable, is poisoned instead
+//! of cascading into unbound-variable errors).
+//!
+//! Two checking entry points sit on top:
+//!
+//! * [`check_module_source`] — the diagnostics-first path: never fails,
+//!   returns a [`ModuleReport`] with *every* diagnostic located in the
+//!   source. This is what [`rtr` sessions][paper] and the corpus
+//!   classifier use.
+//! * [`check_source`] — the historical fail-fast shim (first error
+//!   only), kept for compatibility. Deprecated: prefer
+//!   [`check_module_source`] or the facade's `Session`.
+//!
+//! [paper]: https://doi.org/10.1145/2908080.2908091
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rtr_core::check::Checker;
+use rtr_core::diag::{Code, Diagnostic, SpanTable};
 use rtr_core::interp::{eval_program, EvalError, Value};
-use rtr_core::syntax::{Expr, Lambda, Symbol, Ty};
+use rtr_core::module::{ItemSummary, ModuleItem};
+use rtr_core::syntax::{Expr, Lambda, Symbol, Ty, TyResult};
 
 use crate::elab::{err, ElabError, Elaborator};
 use crate::expand::begin_form;
-use crate::sexp::{read_all, ReadError, Sexp};
+use crate::sexp::{read_all, ReadError, Sexp, Span};
 
 /// Any error arising from source text processing.
 #[derive(Clone, PartialEq, Debug)]
@@ -32,9 +53,27 @@ pub enum LangError {
     /// Elaboration (syntax) error.
     Syntax(ElabError),
     /// Type error from the core checker.
-    Type(rtr_core::errors::TypeError),
+    Type(rtr_core::diag::Diagnostic),
     /// Runtime error from the evaluator.
     Eval(EvalError),
+}
+
+impl LangError {
+    /// The error as a located [`Diagnostic`] (`E0101`/`E0102` for
+    /// reader/syntax errors, `E0201` for runtime failures; type errors
+    /// pass through).
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        match self {
+            LangError::Read(e) => {
+                Diagnostic::read_error(format!("read error: {}", e.message), Span::point(e.pos))
+            }
+            LangError::Syntax(e) => e.to_diagnostic(),
+            LangError::Type(d) => d.clone(),
+            LangError::Eval(e) => {
+                Diagnostic::new(Code::RuntimeError, format!("runtime error: {e}"))
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for LangError {
@@ -60,8 +99,8 @@ impl From<ElabError> for LangError {
         LangError::Syntax(e)
     }
 }
-impl From<rtr_core::errors::TypeError> for LangError {
-    fn from(e: rtr_core::errors::TypeError) -> LangError {
+impl From<rtr_core::diag::Diagnostic> for LangError {
+    fn from(e: rtr_core::diag::Diagnostic) -> LangError {
         LangError::Type(e)
     }
 }
@@ -71,13 +110,93 @@ impl From<EvalError> for LangError {
     }
 }
 
-/// Elaborates a whole module into a single core expression.
-pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
+/// A fully elaborated module: structured items, the span table, and any
+/// per-form syntax errors collected along the way.
+#[derive(Clone, Debug)]
+pub struct ElaboratedModule {
+    /// The module's forms in order (definitions and trailing
+    /// expressions).
+    pub items: Vec<ModuleItem>,
+    /// Spans for every elaborated expression node.
+    pub spans: SpanTable,
+    /// Syntax errors of skipped forms (empty for a well-formed module).
+    pub syntax_errors: Vec<ElabError>,
+    /// Warnings (currently: `W0001` signatures without a definition).
+    pub warnings: Vec<Diagnostic>,
+}
+
+impl ElaboratedModule {
+    /// The classic nested core encoding: every definition wraps the
+    /// trailing expressions as `letrec`/`let`, exactly as the paper's
+    /// driver built it. Used by the evaluator and the fail-fast shim.
+    /// Clones the items; callers done with the module use
+    /// [`ElaboratedModule::into_program`] instead.
+    pub fn program(&self) -> Expr {
+        nest_program(self.items.clone())
+    }
+
+    /// [`ElaboratedModule::program`] by move — no AST clone.
+    pub fn into_program(self) -> Expr {
+        nest_program(self.items)
+    }
+
+    /// Were all forms well-formed?
+    pub fn is_well_formed(&self) -> bool {
+        self.syntax_errors.is_empty()
+    }
+}
+
+/// Folds items into the nested `letrec`/`let` core encoding.
+fn nest_program(items: Vec<ModuleItem>) -> Expr {
+    let mut defines: Vec<ModuleItem> = Vec::with_capacity(items.len());
+    let mut trailing: Vec<Expr> = Vec::new();
+    for item in items {
+        match item {
+            ModuleItem::Expr { expr, .. } => trailing.push(expr),
+            // Opaque items only exist when elaboration failed; the
+            // strict callers below bail out before building a program
+            // in that case.
+            ModuleItem::Opaque { .. } => {}
+            define => defines.push(define),
+        }
+    }
+    let mut program = begin_form(trailing);
+    if matches!(program, Expr::Begin(ref es) if es.is_empty()) {
+        program = Expr::Bool(true);
+    }
+    for item in defines.into_iter().rev() {
+        match item {
+            ModuleItem::DefineRec { name, sig, lam, .. } => {
+                program = Expr::LetRec(name, sig, lam, Box::new(program));
+            }
+            ModuleItem::Define { name, rhs, .. } => {
+                program = Expr::let_(name, rhs, program);
+            }
+            ModuleItem::Opaque { .. } | ModuleItem::Expr { .. } => unreachable!("partitioned"),
+        }
+    }
+    program
+}
+
+/// Elaborates a module into structured items plus spans, recovering
+/// from per-form syntax errors (a malformed form is recorded and
+/// skipped; a malformed `define` still binds its name opaquely).
+///
+/// # Errors
+///
+/// Only lexical ([`ReadError`]) failures abort elaboration — without a
+/// datum stream there is nothing to recover.
+pub fn elaborate_module_items(src: &str) -> Result<ElaboratedModule, ReadError> {
     let forms = read_all(src)?;
     let mut elab = Elaborator::new();
-    let mut signatures: HashMap<Symbol, Ty> = HashMap::new();
-    let mut builders: Vec<Box<dyn FnOnce(Expr) -> Expr>> = Vec::new();
-    let mut trailing: Vec<Expr> = Vec::new();
+    let mut signatures: HashMap<Symbol, (Ty, rtr_core::diag::NodeId)> = HashMap::new();
+    let mut sig_order: Vec<Symbol> = Vec::new();
+    let mut items: Vec<ModuleItem> = Vec::new();
+    let mut syntax_errors: Vec<ElabError> = Vec::new();
+    // Names whose signature failed to elaborate: the matching define is
+    // bound opaquely and *not* checked (without its declared type, body
+    // diagnostics would be spurious).
+    let mut failed_sigs: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
 
     for form in &forms {
         let head = form
@@ -85,155 +204,335 @@ pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
             .and_then(|l| l.first())
             .and_then(Sexp::as_symbol)
             .unwrap_or("");
-        match head {
-            ":" => {
-                let items = form.as_list().expect("head checked");
-                // (: name T)  or the paper's (: name : dom … -> rng).
-                let Some(name) = items.get(1).and_then(Sexp::as_symbol) else {
-                    return Err(err::<()>(form.pos(), "(: name T)").unwrap_err().into());
-                };
-                let ty = if items.get(2).and_then(Sexp::as_symbol) == Some(":") {
-                    let arrow = Sexp::List(items[3..].to_vec(), form.pos());
-                    elab.ty(&arrow)?
-                } else if items.len() == 3 {
-                    elab.ty(&items[2])?
-                } else {
-                    let arrow = Sexp::List(items[2..].to_vec(), form.pos());
-                    elab.ty(&arrow)?
-                };
-                signatures.insert(Symbol::intern(name), ty);
-            }
-            "define" => {
-                let items = form.as_list().expect("head checked");
-                match items.get(1) {
-                    // (define (f params…) body…)
-                    Some(Sexp::List(header, _)) => {
-                        let Some(fname) = header.first().and_then(Sexp::as_symbol) else {
-                            return Err(err::<()>(form.pos(), "(define (f …) …)")
-                                .unwrap_err()
-                                .into());
-                        };
-                        let fsym = Symbol::intern(fname);
-                        let mut params = Vec::new();
-                        for p in &header[1..] {
-                            if let Some(name) = p.as_symbol() {
-                                params.push((Symbol::intern(name), Ty::Top));
-                            } else if let Some([x, colon, t]) = p
-                                .as_list()
-                                .filter(|l| l.len() == 3)
-                                .map(|l| [&l[0], &l[1], &l[2]])
-                            {
-                                if colon.as_symbol() != Some(":") {
-                                    return Err(err::<()>(
-                                        p.pos(),
-                                        "parameter must be x or [x : T]",
-                                    )
-                                    .unwrap_err()
-                                    .into());
-                                }
-                                let Some(name) = x.as_symbol() else {
-                                    return Err(err::<()>(
-                                        x.pos(),
-                                        "parameter name must be a symbol",
-                                    )
-                                    .unwrap_err()
-                                    .into());
-                                };
-                                params.push((Symbol::intern(name), elab.ty(t)?));
-                            } else {
-                                return Err(err::<()>(p.pos(), "parameter must be x or [x : T]")
-                                    .unwrap_err()
-                                    .into());
-                            }
-                        }
-                        let body = begin_form(elab.exprs(&items[2..])?);
-                        match signatures.remove(&fsym) {
-                            Some(sig) => {
-                                let lam = std::sync::Arc::new(Lambda { params, body });
-                                builders.push(Box::new(move |rest| {
-                                    Expr::LetRec(fsym, sig, lam, Box::new(rest))
-                                }));
-                            }
-                            None => {
-                                // No signature: all parameters need
-                                // annotations; bind non-recursively with a
-                                // synthesized function type.
-                                let lam = Expr::lam(params, body);
-                                builders.push(Box::new(move |rest| Expr::let_(fsym, lam, rest)));
-                            }
-                        }
-                    }
-                    // (define x e) / (define x : T e) / (define x) with a
-                    // prior signature.
-                    Some(Sexp::Symbol(name, _)) => {
-                        let xsym = Symbol::intern(name);
-                        let value = match &items[2..] {
-                            [e] => {
-                                let e = elab.expr(e)?;
-                                match signatures.remove(&xsym) {
-                                    // `define` of a lambda with a prior
-                                    // polymorphic/functional signature:
-                                    // still use letrec for recursion.
-                                    Some(sig) => {
-                                        if let Expr::Lam(lam) = e {
-                                            builders.push(Box::new(move |rest| {
-                                                Expr::LetRec(xsym, sig, lam, Box::new(rest))
-                                            }));
-                                            continue;
-                                        }
-                                        Expr::ann(e, sig)
-                                    }
-                                    None => e,
-                                }
-                            }
-                            [colon, t, e] if colon.as_symbol() == Some(":") => {
-                                let ty = elab.ty(t)?;
-                                Expr::ann(elab.expr(e)?, ty)
-                            }
-                            _ => {
-                                return Err(err::<()>(form.pos(), "(define x e)")
-                                    .unwrap_err()
-                                    .into())
-                            }
-                        };
-                        builders.push(Box::new(move |rest| Expr::let_(xsym, value, rest)));
-                    }
-                    _ => {
-                        return Err(err::<()>(form.pos(), "malformed define")
-                            .unwrap_err()
-                            .into())
-                    }
+        if head == "define" {
+            if let Some(name) = defined_name(form) {
+                if failed_sigs.remove(&name) {
+                    items.push(ModuleItem::Opaque { name, ty: Ty::Top });
+                    continue;
                 }
             }
-            _ => trailing.push(elab.expr(form)?),
+        }
+        let result = match head {
+            ":" => signature_form(&mut elab, form, &mut signatures, &mut sig_order).map(|()| None),
+            "define" => define_form(&mut elab, form, &mut signatures).map(Some),
+            _ => elab.expr(form).map(|e| {
+                Some(ModuleItem::Expr {
+                    node: e.span_node(),
+                    expr: e,
+                })
+            }),
+        };
+        match result {
+            Ok(Some(item)) => items.push(item),
+            Ok(None) => {}
+            Err(e) => {
+                match head {
+                    // A malformed define still shadows its name (at the
+                    // declared type if a signature exists) so later
+                    // forms don't cascade into unbound-variable errors.
+                    "define" => {
+                        if let Some(name) = defined_name(form) {
+                            let ty = signatures.remove(&name).map(|(t, _)| t).unwrap_or(Ty::Top);
+                            items.push(ModuleItem::Opaque { name, ty });
+                        }
+                    }
+                    // A malformed signature poisons its define the same
+                    // way: without the declared type, checking the body
+                    // would only manufacture spurious diagnostics.
+                    ":" => {
+                        if let Some(name) = form
+                            .as_list()
+                            .and_then(|l| l.get(1))
+                            .and_then(Sexp::as_symbol)
+                        {
+                            failed_sigs.insert(Symbol::intern(name));
+                        }
+                    }
+                    _ => {}
+                }
+                syntax_errors.push(e);
+            }
         }
     }
 
-    let mut program = begin_form(trailing);
-    if matches!(program, Expr::Begin(ref es) if es.is_empty()) {
-        program = Expr::Bool(true);
+    let warnings = sig_order
+        .iter()
+        .filter_map(|name| signatures.get(name).map(|(_, node)| (*name, *node)))
+        .map(|(name, node)| {
+            Diagnostic::new(
+                Code::UnusedSignature,
+                format!("the signature for {name} has no matching define"),
+            )
+            .or_node(node)
+        })
+        .collect();
+
+    Ok(ElaboratedModule {
+        items,
+        spans: elab.into_spans(),
+        syntax_errors,
+        warnings,
+    })
+}
+
+/// `(: name T)` or the paper's `(: name : dom … -> rng)`.
+fn signature_form(
+    elab: &mut Elaborator,
+    form: &Sexp,
+    signatures: &mut HashMap<Symbol, (Ty, rtr_core::diag::NodeId)>,
+    sig_order: &mut Vec<Symbol>,
+) -> Result<(), ElabError> {
+    let items = form.as_list().expect("head checked");
+    let Some(name) = items.get(1).and_then(Sexp::as_symbol) else {
+        return err(form.span(), "(: name T)");
+    };
+    let ty = if items.get(2).and_then(Sexp::as_symbol) == Some(":") {
+        let arrow = Sexp::List(items[3..].to_vec(), form.span());
+        elab.ty(&arrow)?
+    } else if items.len() == 3 {
+        elab.ty(&items[2])?
+    } else {
+        let arrow = Sexp::List(items[2..].to_vec(), form.span());
+        elab.ty(&arrow)?
+    };
+    let sym = Symbol::intern(name);
+    let node = elab.form_node(form.span());
+    signatures.insert(sym, (ty, node));
+    sig_order.push(sym);
+    Ok(())
+}
+
+/// The name a `define` form would bind, if it is recoverable from the
+/// shape alone (used to poison bindings of malformed defines).
+fn defined_name(form: &Sexp) -> Option<Symbol> {
+    let items = form.as_list()?;
+    match items.get(1) {
+        Some(Sexp::Symbol(name, _)) => Some(Symbol::intern(name)),
+        Some(Sexp::List(header, _)) => header.first().and_then(Sexp::as_symbol).map(Symbol::intern),
+        _ => None,
     }
-    for b in builders.into_iter().rev() {
-        program = b(program);
+}
+
+fn define_form(
+    elab: &mut Elaborator,
+    form: &Sexp,
+    signatures: &mut HashMap<Symbol, (Ty, rtr_core::diag::NodeId)>,
+) -> Result<ModuleItem, ElabError> {
+    let items = form.as_list().expect("head checked");
+    let node = Some(elab.form_node(form.span()));
+    match items.get(1) {
+        // (define (f params…) body…)
+        Some(Sexp::List(header, _)) => {
+            let Some(fname) = header.first().and_then(Sexp::as_symbol) else {
+                return err(form.span(), "(define (f …) …)");
+            };
+            let fsym = Symbol::intern(fname);
+            let mut params = Vec::new();
+            for p in &header[1..] {
+                if let Some(name) = p.as_symbol() {
+                    params.push((Symbol::intern(name), Ty::Top));
+                } else if let Some([x, colon, t]) = p
+                    .as_list()
+                    .filter(|l| l.len() == 3)
+                    .map(|l| [&l[0], &l[1], &l[2]])
+                {
+                    if colon.as_symbol() != Some(":") {
+                        return err(p.span(), "parameter must be x or [x : T]");
+                    }
+                    let Some(name) = x.as_symbol() else {
+                        return err(x.span(), "parameter name must be a symbol");
+                    };
+                    params.push((Symbol::intern(name), elab.ty(t)?));
+                } else {
+                    return err(p.span(), "parameter must be x or [x : T]");
+                }
+            }
+            let body = begin_form(elab.exprs(&items[2..])?);
+            match signatures.remove(&fsym) {
+                Some((sig, sig_node)) => Ok(ModuleItem::DefineRec {
+                    name: fsym,
+                    sig,
+                    lam: Arc::new(Lambda { params, body }),
+                    node,
+                    sig_node: Some(sig_node),
+                }),
+                None => {
+                    // No signature: all parameters need annotations;
+                    // bind non-recursively with a synthesized function
+                    // type.
+                    Ok(ModuleItem::Define {
+                        name: fsym,
+                        sig: None,
+                        rhs: Expr::lam(params, body),
+                        node,
+                        sig_node: None,
+                    })
+                }
+            }
+        }
+        // (define x e) / (define x : T e) / with a prior signature.
+        Some(Sexp::Symbol(name, _)) => {
+            let xsym = Symbol::intern(name);
+            match &items[2..] {
+                [e] => {
+                    let e = elab.expr(e)?;
+                    match signatures.remove(&xsym) {
+                        // `define` of a lambda with a prior
+                        // polymorphic/functional signature: still use
+                        // letrec for recursion.
+                        Some((sig, sig_node)) => {
+                            if let Expr::Lam(lam) = e.peel_spans() {
+                                return Ok(ModuleItem::DefineRec {
+                                    name: xsym,
+                                    sig,
+                                    lam: lam.clone(),
+                                    node,
+                                    sig_node: Some(sig_node),
+                                });
+                            }
+                            Ok(ModuleItem::Define {
+                                name: xsym,
+                                sig: Some(sig.clone()),
+                                rhs: Expr::ann(e, sig),
+                                node,
+                                sig_node: Some(sig_node),
+                            })
+                        }
+                        None => Ok(ModuleItem::Define {
+                            name: xsym,
+                            sig: None,
+                            rhs: e,
+                            node,
+                            sig_node: None,
+                        }),
+                    }
+                }
+                [colon, t, e] if colon.as_symbol() == Some(":") => {
+                    let ty = elab.ty(t)?;
+                    Ok(ModuleItem::Define {
+                        name: xsym,
+                        sig: Some(ty.clone()),
+                        rhs: Expr::ann(elab.expr(e)?, ty),
+                        node,
+                        sig_node: None,
+                    })
+                }
+                _ => err(form.span(), "(define x e)"),
+            }
+        }
+        _ => err(form.span(), "malformed define"),
     }
-    Ok(program)
+}
+
+/// Elaborates a whole module into a single core expression (the nested
+/// `letrec`/`let` encoding). Fail-fast: the first syntax error wins.
+#[allow(clippy::result_large_err)] // cold entry points; Diagnostic stays unboxed in the public shape
+pub fn elaborate_module(src: &str) -> Result<Expr, LangError> {
+    let m = elaborate_module_items(src)?;
+    if let Some(e) = m.syntax_errors.first() {
+        return Err(LangError::Syntax(e.clone()));
+    }
+    Ok(m.into_program())
 }
 
 /// Parses, elaborates and type checks a module; returns its type-result.
-pub fn check_source(src: &str, checker: &Checker) -> Result<rtr_core::syntax::TyResult, LangError> {
-    let e = elaborate_module(src)?;
-    Ok(checker.check_program(&e)?)
+///
+/// **Deprecated shim**: fail-fast — only the *first* error surfaces, as
+/// a [`LangError`]. New code should use [`check_module_source`] (or the
+/// facade's `Session`), which reports every diagnostic with spans.
+#[allow(clippy::result_large_err)] // cold entry points; Diagnostic stays unboxed in the public shape
+pub fn check_source(src: &str, checker: &Checker) -> Result<TyResult, LangError> {
+    let m = elaborate_module_items(src)?;
+    if let Some(e) = m.syntax_errors.first() {
+        return Err(LangError::Syntax(e.clone()));
+    }
+    let spans = m.spans;
+    let program = nest_program(m.items);
+    checker.check_program(&program).map_err(|mut d| {
+        d.resolve_spans(&spans);
+        LangError::Type(d)
+    })
+}
+
+/// Everything learned from checking one module's source: located
+/// diagnostics (reader, syntax, warnings and type errors — *all* of
+/// them, thanks to the recovering checker), per-item outcomes and the
+/// module's value type.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleReport {
+    /// All diagnostics in source-processing order, spans resolved.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-item outcomes (definitions first, then trailing expressions).
+    pub results: Vec<ItemSummary>,
+    /// The type-result of the module's final trailing expression.
+    pub value: Option<TyResult>,
+}
+
+impl ModuleReport {
+    /// No error-severity diagnostics (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        !self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+}
+
+/// Checks a module diagnostics-first: parses, elaborates (recovering
+/// per form) and checks every item (recovering per definition), so the
+/// report carries **all** of the module's diagnostics with resolved
+/// spans. Never fails — a module that cannot even be read produces a
+/// report with one `E0101` diagnostic.
+pub fn check_module_source(src: &str, checker: &Checker) -> ModuleReport {
+    let m = match elaborate_module_items(src) {
+        Err(e) => {
+            return ModuleReport {
+                diagnostics: vec![LangError::Read(e).to_diagnostic()],
+                results: Vec::new(),
+                value: None,
+            }
+        }
+        Ok(m) => m,
+    };
+    let mut diagnostics: Vec<Diagnostic> = m
+        .syntax_errors
+        .iter()
+        .map(ElabError::to_diagnostic)
+        .collect();
+    diagnostics.extend(m.warnings.iter().cloned());
+    let mc = checker.check_module(&m.items);
+    diagnostics.extend(mc.diagnostics);
+    for d in &mut diagnostics {
+        d.resolve_spans(&m.spans);
+    }
+    ModuleReport {
+        diagnostics,
+        results: mc.results,
+        value: mc.value,
+    }
 }
 
 /// Parses, elaborates, type checks and runs a module.
+#[allow(clippy::result_large_err)] // cold entry points; Diagnostic stays unboxed in the public shape
 pub fn run_source(src: &str, checker: &Checker, fuel: u64) -> Result<Value, LangError> {
-    let e = elaborate_module(src)?;
-    checker.check_program(&e)?;
-    Ok(eval_program(&e, fuel)?)
+    let m = elaborate_module_items(src)?;
+    if let Some(e) = m.syntax_errors.first() {
+        return Err(LangError::Syntax(e.clone()));
+    }
+    let spans = m.spans;
+    let program = nest_program(m.items);
+    checker.check_program(&program).map_err(|mut d| {
+        d.resolve_spans(&spans);
+        LangError::Type(d)
+    })?;
+    Ok(eval_program(&program, fuel)?)
 }
 
 /// Runs a module without type checking (used to demonstrate dynamic
 /// failures the checker would have prevented).
+#[allow(clippy::result_large_err)] // cold entry points; Diagnostic stays unboxed in the public shape
 pub fn run_source_unchecked(src: &str, fuel: u64) -> Result<Value, LangError> {
     let e = elaborate_module(src)?;
     Ok(eval_program(&e, fuel)?)
@@ -242,6 +541,7 @@ pub fn run_source_unchecked(src: &str, fuel: u64) -> Result<Value, LangError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_core::diag::Code;
 
     fn checker() -> Checker {
         Checker::default()
@@ -301,5 +601,143 @@ mod tests {
         "#;
         let v = run_source(src, &checker(), 10_000).unwrap();
         assert!(matches!(v, Value::Int(0)));
+    }
+
+    #[test]
+    fn recovery_reports_every_failing_define_with_spans() {
+        let src = "\
+(: f : [x : Int] -> Int)
+(define (f x) #t)
+(: g : [x : Int] -> Int)
+(define (g x) x)
+(: h : [x : Int] -> Int)
+(define (h x) (f (g #f)))
+";
+        let report = check_module_source(src, &checker());
+        assert_eq!(report.error_count(), 2, "{:#?}", report.diagnostics);
+        let spans: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.primary.expect("every diagnostic is located"))
+            .collect();
+        // First error: the body of f (line 2); second: the argument of g
+        // (line 6).
+        assert_eq!(spans[0].start.line, 2);
+        assert_eq!(spans[1].start.line, 6);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::TypeMismatch));
+    }
+
+    #[test]
+    fn recovery_agrees_with_the_fail_fast_shim() {
+        for src in [
+            "(define (f [x : Int]) (add1 x)) (f 1)",
+            "(define (f [x : Int]) (add1 x)) (f #t)",
+            "(define n 10) (define m : Int (+ n 1)) (+ n m)",
+            "(: f : [x : Int] -> Int) (define (f x) #t)",
+            "(+ 1 2) (+ 3 #t) (+ 4 5)",
+        ] {
+            let strict = check_source(src, &checker()).is_ok();
+            let report = check_module_source(src, &checker());
+            assert_eq!(strict, report.is_clean(), "disagreement on {src}");
+        }
+    }
+
+    #[test]
+    fn syntax_recovery_skips_the_form_and_poisons_the_name() {
+        let src = "\
+(: f : [x : Int] -> Int)
+(define (f x) (if))
+(define (g [y : Int]) y)
+(g 1)
+";
+        let report = check_module_source(src, &checker());
+        // One syntax error; no unbound-variable cascade for f.
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, Code::SyntaxError);
+        assert!(report.value.is_some());
+    }
+
+    #[test]
+    fn failed_signature_poisons_its_define_without_cascading() {
+        // The signature fails to elaborate (unknown type Bogus); the
+        // matching define must be bound opaquely and not checked, so the
+        // only *body* diagnostic is the E0102 itself (no spurious
+        // mismatches from checking f at the wrong type).
+        let src = "\
+(: f : [x : Int] -> Bogus)
+(define (f x) (if (= x 0) 0 (f (- x 1))))
+(define (g [y : Int]) (add1 y))
+(g 2)
+";
+        let report = check_module_source(src, &checker());
+        assert_eq!(report.error_count(), 1, "{:#?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].code, Code::SyntaxError);
+        assert!(report.value.is_some(), "g and (g 2) still check");
+    }
+
+    #[test]
+    fn module_value_is_lifted_out_of_local_scope() {
+        // The reported value must not mention module-local bindings —
+        // the same lifting substitution the nested encoding applies at
+        // every binder exit.
+        let src = "(define b #t) (if b 1 2)";
+        let report = check_module_source(src, &checker());
+        assert!(report.is_clean());
+        let value = report.value.expect("value");
+        let strict = check_source(src, &checker()).expect("checks");
+        // The existentialized binder is freshened per elaboration run
+        // (`b%24` vs `b%25`), so compare modulo the fresh suffix.
+        fn normalize(r: &TyResult) -> String {
+            let mut out = String::new();
+            let rendered = format!("{r:?}");
+            let mut chars = rendered.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '%' {
+                    while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                        chars.next();
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        assert_eq!(
+            normalize(&value),
+            normalize(&strict),
+            "session value must match the shim's up to fresh renaming"
+        );
+
+        // And a free-variable scan agrees: nothing module-local leaks.
+        let mut fv = std::collections::HashSet::new();
+        value.then_p.free_vars(&mut fv);
+        value.else_p.free_vars(&mut fv);
+        let locals: Vec<_> = value.existentials.iter().map(|(x, _)| *x).collect();
+        for x in fv {
+            assert!(
+                locals.contains(&x) || x != Symbol::intern("b"),
+                "module-local b leaked into the value"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_errors_map_to_their_own_code() {
+        let err = run_source("(add1 1)", &checker(), 1).unwrap_err();
+        assert_eq!(err.to_diagnostic().code, Code::RuntimeError);
+        assert_eq!(Code::RuntimeError.as_str(), "E0201");
+    }
+
+    #[test]
+    fn unused_signatures_warn_without_failing() {
+        let src = "(: ghost : [x : Int] -> Int) (+ 1 2)";
+        let report = check_module_source(src, &checker());
+        assert!(report.is_clean());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, Code::UnusedSignature);
+        assert!(report.diagnostics[0].primary.is_some());
     }
 }

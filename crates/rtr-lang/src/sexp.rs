@@ -1,63 +1,60 @@
 //! S-expression reader: the concrete syntax of RTR programs.
 //!
-//! A small, position-tracking reader for the Racket-like surface syntax
+//! A small, span-tracking reader for the Racket-like surface syntax
 //! used throughout the paper: parenthesized or bracketed lists, symbols,
 //! integers, `#t`/`#f`, hexadecimal bitvector literals (`#x1b`), strings,
 //! line comments (`;`), and the keywords (`#:where`) the annotation
-//! syntax needs.
+//! syntax needs. Every datum records the full [`Span`] it occupies, and
+//! the spans survive elaboration into [`rtr_core::diag`] diagnostics.
 
 use std::fmt;
 
-/// A source position (1-based line and column).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct Pos {
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
-}
+pub use rtr_core::diag::Span;
 
-impl fmt::Display for Pos {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
+/// A source position (1-based line and column) — the core
+/// [`rtr_core::diag::Loc`] under its traditional reader name.
+pub type Pos = rtr_core::diag::Loc;
 
 /// A parsed s-expression datum.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Sexp {
     /// A symbol (identifier or operator).
-    Symbol(String, Pos),
+    Symbol(String, Span),
     /// An integer literal.
-    Int(i64, Pos),
+    Int(i64, Span),
     /// A boolean literal `#t` / `#f`.
-    Bool(bool, Pos),
+    Bool(bool, Span),
     /// A bitvector literal `#xNN`.
-    BvHex(u64, Pos),
+    BvHex(u64, Span),
     /// A keyword such as `#:where`.
-    Keyword(String, Pos),
+    Keyword(String, Span),
     /// A string literal.
-    Str(String, Pos),
+    Str(String, Span),
     /// A regex literal `#rx"…"` (raw pattern text; validated during
     /// elaboration).
-    Regex(String, Pos),
+    Regex(String, Span),
     /// A parenthesized (or bracketed) list.
-    List(Vec<Sexp>, Pos),
+    List(Vec<Sexp>, Span),
 }
 
 impl Sexp {
-    /// The source position of the datum.
-    pub fn pos(&self) -> Pos {
+    /// The full source region of the datum.
+    pub fn span(&self) -> Span {
         match self {
-            Sexp::Symbol(_, p)
-            | Sexp::Int(_, p)
-            | Sexp::Bool(_, p)
-            | Sexp::BvHex(_, p)
-            | Sexp::Keyword(_, p)
-            | Sexp::Str(_, p)
-            | Sexp::Regex(_, p)
-            | Sexp::List(_, p) => *p,
+            Sexp::Symbol(_, s)
+            | Sexp::Int(_, s)
+            | Sexp::Bool(_, s)
+            | Sexp::BvHex(_, s)
+            | Sexp::Keyword(_, s)
+            | Sexp::Str(_, s)
+            | Sexp::Regex(_, s)
+            | Sexp::List(_, s) => *s,
         }
+    }
+
+    /// The source position where the datum starts.
+    pub fn pos(&self) -> Pos {
+        self.span().start
     }
 
     /// The symbol's name, if this is a symbol.
@@ -154,6 +151,12 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// The region from `start` to the reader's current position (just
+    /// past the last consumed character of the datum).
+    fn span(&self, start: Pos) -> Span {
+        Span::new(start, self.pos)
+    }
+
     fn skip_trivia(&mut self) {
         loop {
             match self.peek() {
@@ -200,7 +203,7 @@ impl<'a> Reader<'a> {
                         }
                         Some(c) if c == close => {
                             self.bump();
-                            return Ok(Sexp::List(items, pos));
+                            return Ok(Sexp::List(items, self.span(pos)));
                         }
                         Some(')') | Some(']') => {
                             return Err(
@@ -218,7 +221,7 @@ impl<'a> Reader<'a> {
                 loop {
                     match self.bump() {
                         None => return Err(self.error("unterminated string")),
-                        Some('"') => return Ok(Sexp::Str(s, pos)),
+                        Some('"') => return Ok(Sexp::Str(s, self.span(pos))),
                         Some('\\') => match self.bump() {
                             Some('n') => s.push('\n'),
                             Some('t') => s.push('\t'),
@@ -234,11 +237,11 @@ impl<'a> Reader<'a> {
                 match self.peek() {
                     Some('t') => {
                         self.bump();
-                        Ok(Sexp::Bool(true, pos))
+                        Ok(Sexp::Bool(true, self.span(pos)))
                     }
                     Some('f') => {
                         self.bump();
-                        Ok(Sexp::Bool(false, pos))
+                        Ok(Sexp::Bool(false, self.span(pos)))
                     }
                     Some('x') => {
                         self.bump();
@@ -255,7 +258,7 @@ impl<'a> Reader<'a> {
                             return Err(self.error("`#x` needs hex digits"));
                         }
                         u64::from_str_radix(&digits, 16)
-                            .map(|v| Sexp::BvHex(v, pos))
+                            .map(|v| Sexp::BvHex(v, self.span(pos)))
                             .map_err(|_| self.error("hex literal out of range"))
                     }
                     Some(':') => {
@@ -264,7 +267,7 @@ impl<'a> Reader<'a> {
                         if word.is_empty() {
                             return Err(self.error("`#:` needs a keyword name"));
                         }
-                        Ok(Sexp::Keyword(word, pos))
+                        Ok(Sexp::Keyword(word, self.span(pos)))
                     }
                     Some('r') => {
                         self.bump();
@@ -281,7 +284,7 @@ impl<'a> Reader<'a> {
                         loop {
                             match self.bump() {
                                 None => return Err(self.error("unterminated regex literal")),
-                                Some('"') => return Ok(Sexp::Regex(pat, pos)),
+                                Some('"') => return Ok(Sexp::Regex(pat, self.span(pos))),
                                 Some('\\') => match self.bump() {
                                     Some('"') => pat.push('"'),
                                     Some(c) => {
@@ -305,9 +308,9 @@ impl<'a> Reader<'a> {
                 // Integers (with optional sign).
                 if let Ok(n) = word.parse::<i64>() {
                     // Bare `-`/`+` are symbols, parse::<i64> rejects them.
-                    return Ok(Sexp::Int(n, pos));
+                    return Ok(Sexp::Int(n, self.span(pos)));
                 }
-                Ok(Sexp::Symbol(word, pos))
+                Ok(Sexp::Symbol(word, self.span(pos)))
             }
         }
     }

@@ -1,39 +1,62 @@
 //! `rtr` — the command-line driver: type check and run RTR programs.
 //!
 //! ```sh
-//! rtr check program.rtr          # type check, print the type-result
+//! rtr check program.rtr more.rtr  # check files, print every diagnostic
+//! rtr check --json program.rtr   # machine-readable rtr-check-v1 report
 //! rtr run program.rtr            # type check, then evaluate
 //! rtr expand program.rtr         # show the elaborated core expression
 //! rtr repl                       # interactive read-check-eval loop
+//! rtr --version                  # print the version
 //! ```
 //!
-//! Flags:
+//! `check` is a thin client over the [`rtr::session::Session`] API: each
+//! file yields *all* of its diagnostics (source snippets with caret
+//! underlines on stderr, or the documented JSON schema on stdout with
+//! `--json`). Exit codes: `0` clean, `1` at least one error-severity
+//! diagnostic (or a runtime error under `run`), `2` usage or I/O
+//! failure.
+//!
+//! Flags (each is rejected on subcommands that would ignore it):
 //!
 //! * `--lambda-tr` — use the λTR baseline (occurrence typing only, no
-//!   solver-backed theories), the paper's implicit comparison point.
-//! * `--unchecked` — with `run`, skip type checking (dynamically-typed
-//!   Racket semantics; unsafe primitives can get stuck).
-//! * `--fuel N` — evaluation step budget (default 1,000,000).
+//!   solver-backed theories); `check`, `run` and `repl`.
+//! * `--json` — with `check`, emit the `rtr-check-v1` report on stdout.
+//! * `--jobs N` — with `check`, shard multiple files over N worker
+//!   threads (default: serial).
 //! * `--stats` — with `check`, print memo-table hit/miss counters after
 //!   checking (requires a build with the `stats` Cargo feature).
+//! * `--unchecked` — with `run`, skip type checking (dynamically-typed
+//!   Racket semantics; unsafe primitives can get stuck).
+//! * `--fuel N` — with `run` and `repl`, the evaluation step budget
+//!   (default 1,000,000).
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 
+use rtr::json::reports_to_json;
 use rtr::prelude::*;
 
+const USAGE: &str = "\
+usage: rtr check [--lambda-tr] [--json] [--jobs N] [--stats] <file.rtr>...
+       rtr run   [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>
+       rtr expand <file.rtr>
+       rtr repl  [--lambda-tr] [--fuel N]
+       rtr --version
+exit codes: 0 clean, 1 diagnostics, 2 usage or I/O error";
+
+#[derive(Default)]
 struct Options {
     lambda_tr: bool,
     unchecked: bool,
-    fuel: u64,
+    json: bool,
     stats: bool,
+    jobs: usize,
+    fuel: u64,
+    files: Vec<String>,
 }
 
-const USAGE: &str =
-    "usage: rtr <check|run|expand> [--lambda-tr] [--unchecked] [--fuel N] [--stats] <file.rtr>\n\
-                     \x20      rtr repl [--lambda-tr]";
-
-fn usage() -> ExitCode {
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("rtr: {message}");
     eprintln!("{USAGE}");
     ExitCode::from(2)
 }
@@ -41,98 +64,206 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        return usage();
-    };
-    if matches!(command.as_str(), "--help" | "-h" | "help") {
-        println!("{USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    let mut opts = Options {
-        lambda_tr: false,
-        unchecked: false,
-        fuel: 1_000_000,
-        stats: false,
-    };
-    let mut file: Option<String> = None;
-    let mut args = args.peekable();
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--lambda-tr" => opts.lambda_tr = true,
-            "--unchecked" => opts.unchecked = true,
-            "--stats" => opts.stats = true,
-            "--fuel" => match args.next().and_then(|n| n.parse().ok()) {
-                Some(n) => opts.fuel = n,
-                None => return usage(),
-            },
-            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
-            _ => return usage(),
-        }
-    }
-    let checker = if opts.lambda_tr {
-        Checker::with_config(CheckerConfig::lambda_tr())
-    } else {
-        Checker::default()
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     };
     match command.as_str() {
-        "repl" => repl(&checker, &opts),
-        "check" | "run" | "expand" => {
-            let Some(path) = file else { return usage() };
-            let src = match std::fs::read_to_string(&path) {
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        "--version" | "-V" | "version" => {
+            println!("rtr {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        "check" | "run" | "expand" | "repl" => {}
+        other => return usage_error(&format!("unknown command `{other}`")),
+    }
+
+    let mut opts = Options {
+        fuel: 1_000_000,
+        ..Options::default()
+    };
+    let mut seen: Vec<&'static str> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--lambda-tr" => {
+                opts.lambda_tr = true;
+                seen.push("--lambda-tr");
+            }
+            "--unchecked" => {
+                opts.unchecked = true;
+                seen.push("--unchecked");
+            }
+            "--json" => {
+                opts.json = true;
+                seen.push("--json");
+            }
+            "--stats" => {
+                opts.stats = true;
+                seen.push("--stats");
+            }
+            "--jobs" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.jobs = n;
+                    seen.push("--jobs");
+                }
+                _ => return usage_error("--jobs needs a positive number"),
+            },
+            "--fuel" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => {
+                    opts.fuel = n;
+                    seen.push("--fuel");
+                }
+                None => return usage_error("--fuel needs a number"),
+            },
+            _ if !a.starts_with('-') => opts.files.push(a),
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    // Flags are rejected, not silently ignored, on subcommands that
+    // would do nothing with them.
+    let allowed: &[&str] = match command.as_str() {
+        "check" => &["--lambda-tr", "--json", "--jobs", "--stats"],
+        "run" => &["--lambda-tr", "--unchecked", "--fuel"],
+        "repl" => &["--lambda-tr", "--fuel"],
+        _ => &[], // expand takes no flags
+    };
+    if let Some(flag) = seen.iter().find(|f| !allowed.contains(f)) {
+        return usage_error(&format!("{flag} does not apply to `{command}`"));
+    }
+
+    match command.as_str() {
+        "repl" => {
+            if !opts.files.is_empty() {
+                return usage_error("repl takes no files");
+            }
+            repl(&opts)
+        }
+        "check" => check_command(&opts),
+        "run" | "expand" => {
+            let [path] = opts.files.as_slice() else {
+                return usage_error(&format!("{command} takes exactly one file"));
+            };
+            let src = match std::fs::read_to_string(path) {
                 Ok(src) => src,
                 Err(e) => {
                     eprintln!("rtr: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
             };
-            run_command(&command, &src, &checker, &opts)
+            if command == "expand" {
+                expand_command(&src)
+            } else {
+                run_command(&src, &opts)
+            }
         }
-        _ => usage(),
+        _ => unreachable!("validated above"),
     }
 }
 
-fn run_command(command: &str, src: &str, checker: &Checker, opts: &Options) -> ExitCode {
-    match command {
-        "expand" => match elaborate_module(src) {
-            Ok(core) => {
-                println!("{core}");
-                ExitCode::SUCCESS
-            }
+fn checker_config(opts: &Options) -> CheckerConfig {
+    if opts.lambda_tr {
+        CheckerConfig::lambda_tr()
+    } else {
+        CheckerConfig::default()
+    }
+}
+
+/// `rtr check`: a thin client over the session API. Every file is
+/// checked (recovering per definition); diagnostics render to stderr
+/// with source snippets, or the whole batch becomes one `rtr-check-v1`
+/// JSON document on stdout.
+fn check_command(opts: &Options) -> ExitCode {
+    if opts.files.is_empty() {
+        return usage_error("check needs at least one file");
+    }
+    let mut sources = Vec::with_capacity(opts.files.len());
+    for path in &opts.files {
+        match SourceFile::read(path) {
+            Ok(f) => sources.push(f),
             Err(e) => {
-                eprintln!("rtr: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "check" => match check_source(src, checker) {
-            Ok(r) => {
-                println!("{r}");
-                if opts.stats {
-                    print_cache_stats(checker);
-                }
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("rtr: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "run" => {
-            let outcome = if opts.unchecked {
-                rtr::lang::run_source_unchecked(src, opts.fuel)
-            } else {
-                run_source(src, checker, opts.fuel)
-            };
-            match outcome {
-                Ok(v) => {
-                    println!("{v}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("rtr: {e}");
-                    ExitCode::FAILURE
-                }
+                eprintln!("rtr: cannot read {path}: {e}");
+                return ExitCode::from(2);
             }
         }
-        _ => unreachable!("dispatched in main"),
+    }
+    let session = Session::new(SessionConfig {
+        checker: checker_config(opts),
+        jobs: if opts.jobs == 0 { 1 } else { opts.jobs },
+    });
+    let reports = session.check_all(&sources);
+
+    if opts.json {
+        print!("{}", reports_to_json(&reports));
+    } else {
+        let single = reports.len() == 1;
+        for (report, source) in reports.iter().zip(&sources) {
+            eprint!("{}", report.render_human(&source.text));
+            if report.is_clean() {
+                match (&report.value, single) {
+                    (Some(v), true) => println!("{v}"),
+                    _ => println!(
+                        "{}: ok ({} definition{})",
+                        report.file,
+                        report.stats.definitions,
+                        if report.stats.definitions == 1 {
+                            ""
+                        } else {
+                            "s"
+                        }
+                    ),
+                }
+            } else {
+                eprintln!(
+                    "{}: {} error{}",
+                    report.file,
+                    report.stats.errors,
+                    if report.stats.errors == 1 { "" } else { "s" }
+                );
+            }
+        }
+    }
+    if opts.stats {
+        print_cache_stats(session.checker());
+    }
+    if reports.iter().all(CheckReport::is_clean) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn expand_command(src: &str) -> ExitCode {
+    match elaborate_module(src) {
+        Ok(core) => {
+            println!("{core}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rtr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_command(src: &str, opts: &Options) -> ExitCode {
+    let checker = Checker::with_config(checker_config(opts));
+    let outcome = if opts.unchecked {
+        rtr::lang::run_source_unchecked(src, opts.fuel)
+    } else {
+        run_source(src, &checker, opts.fuel)
+    };
+    match outcome {
+        Ok(v) => {
+            println!("{v}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rtr: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -191,11 +322,24 @@ fn print_cache_stats(_checker: &Checker) {
     );
 }
 
-/// A line-oriented REPL: each line is checked in isolation and, when well
-/// typed, evaluated. Multi-line forms can be built up with trailing
-/// backslashes are not needed — unbalanced parentheses simply continue
-/// the form on the next line.
-fn repl(checker: &Checker, opts: &Options) -> ExitCode {
+/// How the delimiters of a pending REPL form stand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ParenBalance {
+    /// More opens than closes: keep reading lines.
+    Open,
+    /// Balanced: the form is complete.
+    Complete,
+    /// More closes than opens: no continuation can fix it — reject
+    /// instead of sending garbage to the reader.
+    OverClosed,
+}
+
+/// A line-oriented REPL: each form is checked in isolation and, when
+/// well typed, evaluated. Multi-line forms need no continuation marks —
+/// unbalanced parentheses simply continue the form on the next line.
+/// `:type <expr>` checks without evaluating; `:quit` exits.
+fn repl(opts: &Options) -> ExitCode {
+    let checker = Checker::with_config(checker_config(opts));
     println!(
         "rtr repl — occurrence typing modulo theories{}",
         if opts.lambda_tr {
@@ -204,29 +348,53 @@ fn repl(checker: &Checker, opts: &Options) -> ExitCode {
             ""
         }
     );
-    println!("enter a module form or expression; :quit exits\n");
+    println!("enter a module form or expression; :type <expr> checks only; :quit exits\n");
     let stdin = std::io::stdin();
     let mut pending = String::new();
     prompt(&pending);
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
-        if line.trim() == ":quit" || line.trim() == ":q" {
-            break;
+        let trimmed = line.trim();
+        if pending.is_empty() && trimmed.starts_with(':') {
+            let (command, rest) = match trimmed.split_once(char::is_whitespace) {
+                Some((c, r)) => (c, r.trim()),
+                None => (trimmed, ""),
+            };
+            match command {
+                ":quit" | ":q" => break,
+                ":type" if rest.is_empty() => eprintln!("error: usage `:type <expr>`"),
+                ":type" => match check_source(rest, &checker) {
+                    Ok(r) => println!("{}", r.ty),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                other => eprintln!("error: unknown repl command {other}"),
+            }
+            prompt(&pending);
+            continue;
         }
         pending.push_str(&line);
         pending.push('\n');
-        if !balanced(&pending) {
-            prompt(&pending);
-            continue;
+        match balance(&pending) {
+            ParenBalance::Open => {
+                prompt(&pending);
+                continue;
+            }
+            ParenBalance::OverClosed => {
+                eprintln!("error: unexpected closing delimiter");
+                pending.clear();
+                prompt(&pending);
+                continue;
+            }
+            ParenBalance::Complete => {}
         }
         let src = std::mem::take(&mut pending);
         if src.trim().is_empty() {
             prompt(&pending);
             continue;
         }
-        match check_source(&src, checker) {
+        match check_source(&src, &checker) {
             Err(e) => eprintln!("error: {e}"),
-            Ok(r) => match run_source(&src, checker, opts.fuel) {
+            Ok(r) => match run_source(&src, &checker, opts.fuel) {
                 Ok(v) => println!("{v} : {}", r.ty),
                 Err(e) => eprintln!("runtime error: {e}"),
             },
@@ -242,15 +410,22 @@ fn prompt(pending: &str) {
     let _ = std::io::stdout().flush();
 }
 
-/// Are the parentheses/brackets of `src` balanced (ignoring strings and
-/// comments)? Used to detect multi-line forms.
-fn balanced(src: &str) -> bool {
+/// Classifies the delimiter balance of `src` (ignoring strings and
+/// comments). Negative depth anywhere is reported as
+/// [`ParenBalance::OverClosed`]: `"))"` is *not* a completable form and
+/// must not reach the reader as one.
+fn balance(src: &str) -> ParenBalance {
     let mut depth: i64 = 0;
     let mut chars = src.chars().peekable();
     while let Some(c) = chars.next() {
         match c {
             '(' | '[' => depth += 1,
-            ')' | ']' => depth -= 1,
+            ')' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return ParenBalance::OverClosed;
+                }
+            }
             ';' => {
                 for c in chars.by_ref() {
                     if c == '\n' {
@@ -272,7 +447,11 @@ fn balanced(src: &str) -> bool {
             _ => {}
         }
     }
-    depth <= 0
+    if depth == 0 {
+        ParenBalance::Complete
+    } else {
+        ParenBalance::Open
+    }
 }
 
 #[cfg(test)]
@@ -287,54 +466,36 @@ mod tests {
 
     fn opts() -> Options {
         Options {
-            lambda_tr: false,
-            unchecked: false,
             fuel: 100_000,
-            stats: false,
+            ..Options::default()
         }
     }
 
     #[test]
-    fn check_accepts_the_quickstart_program() {
-        let checker = Checker::default();
-        assert_eq!(
-            run_command("check", QUICKSTART, &checker, &opts()),
-            ExitCode::SUCCESS
-        );
-    }
-
-    #[test]
     fn run_evaluates_the_quickstart_program() {
-        let checker = Checker::default();
-        assert_eq!(
-            run_command("run", QUICKSTART, &checker, &opts()),
-            ExitCode::SUCCESS
-        );
+        assert_eq!(run_command(QUICKSTART, &opts()), ExitCode::SUCCESS);
     }
 
     #[test]
     fn expand_elaborates_the_quickstart_program() {
-        let checker = Checker::default();
-        assert_eq!(
-            run_command("expand", QUICKSTART, &checker, &opts()),
-            ExitCode::SUCCESS
-        );
+        assert_eq!(expand_command(QUICKSTART), ExitCode::SUCCESS);
     }
 
     #[test]
-    fn check_rejects_an_ill_typed_program() {
-        let checker = Checker::default();
-        assert_eq!(
-            run_command("check", "(+ 1 #t)", &checker, &opts()),
-            ExitCode::FAILURE
-        );
+    fn run_rejects_an_ill_typed_program() {
+        assert_eq!(run_command("(+ 1 #t)", &opts()), ExitCode::FAILURE);
     }
 
     #[test]
-    fn balanced_tracks_parens_strings_and_comments() {
-        assert!(balanced("(+ 1 2)"));
-        assert!(!balanced("(let ([x 1])"));
-        assert!(balanced("\"(\" ; (((\n"));
-        assert!(balanced(""));
+    fn balance_tracks_parens_strings_comments_and_overclosing() {
+        assert_eq!(balance("(+ 1 2)"), ParenBalance::Complete);
+        assert_eq!(balance("(let ([x 1])"), ParenBalance::Open);
+        assert_eq!(balance("\"(\" ; (((\n"), ParenBalance::Complete);
+        assert_eq!(balance(""), ParenBalance::Complete);
+        // Over-closed input is rejected, not treated as complete.
+        assert_eq!(balance("))"), ParenBalance::OverClosed);
+        assert_eq!(balance("(a))"), ParenBalance::OverClosed);
+        // A negative prefix is over-closed even if later opens rebalance.
+        assert_eq!(balance(") ("), ParenBalance::OverClosed);
     }
 }

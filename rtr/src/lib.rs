@@ -23,6 +23,14 @@
 //!   shaped like the paper's `math`/`plot`/`pict3d` libraries and the
 //!   staged classification harness that regenerates Figure 9.
 //!
+//! On top of the layers sits the diagnostics-first service surface:
+//!
+//! * [`session`] — `Session::check`/`check_all`: every file yields *all*
+//!   of its located diagnostics (failing definitions are poisoned and
+//!   checking continues), per-item outcomes and stats.
+//! * [`json`] — the documented `rtr-check-v1` machine-readable schema
+//!   (emitter plus a validating parser).
+//!
 //! # Quick start
 //!
 //! ```
@@ -51,12 +59,20 @@ pub use rtr_corpus as corpus;
 pub use rtr_lang as lang;
 pub use rtr_solver as solver;
 
+pub mod json;
+pub mod session;
+
 /// The most common imports for working with RTR.
 pub mod prelude {
     pub use rtr_core::check::Checker;
     pub use rtr_core::config::CheckerConfig;
+    pub use rtr_core::diag::{Code, Diagnostic, Severity, Span};
     pub use rtr_core::errors::TypeError;
     pub use rtr_core::interp::{eval_program, EvalError, Value};
     pub use rtr_core::syntax::{Expr, Obj, Prim, Prop, Symbol, Ty, TyResult};
-    pub use rtr_lang::{check_source, elaborate_module, run_source, LangError};
+    pub use rtr_lang::{
+        check_module_source, check_source, elaborate_module, run_source, LangError, ModuleReport,
+    };
+
+    pub use crate::session::{CheckReport, Session, SessionConfig, SourceFile};
 }

@@ -1,0 +1,285 @@
+//! The diagnostics-first session API — the embeddable check service.
+//!
+//! A [`Session`] owns one configured checker (with its warm memo and
+//! solver caches) and checks any number of source files against it,
+//! producing structured [`CheckReport`]s instead of a fail-fast
+//! `Result`: every file yields *all* of its located diagnostics (the
+//! recovering module checker poisons failing definitions and keeps
+//! going), per-definition outcomes, and timing stats. This is the layer
+//! editors, CI gates and batch library checks build on; the `rtr check`
+//! CLI is a thin client over it, and [`crate::json`] renders reports
+//! against the documented machine-readable schema.
+//!
+//! ```
+//! use rtr::session::{Session, SessionConfig, SourceFile};
+//!
+//! let session = Session::new(SessionConfig::default());
+//! let report = session.check(&SourceFile::new(
+//!     "demo.rtr",
+//!     "(: f : [x : Int] -> Int)\n(define (f x) #t)\n(define (g [y : Int]) #t)\n",
+//! ));
+//! assert_eq!(report.stats.errors, 1); // f's body; g is fine
+//! let d = &report.diagnostics[0];
+//! assert_eq!(d.code.as_str(), "E0002");
+//! assert_eq!(d.primary.expect("located").start.line, 2);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_core::diag::{Diagnostic, Severity};
+use rtr_core::module::ItemSummary;
+use rtr_core::syntax::TyResult;
+use rtr_lang::check_module_source;
+
+/// Configuration for a [`Session`].
+#[derive(Clone, Debug, Default)]
+pub struct SessionConfig {
+    /// The checker configuration (theories, budgets, ablations).
+    pub checker: CheckerConfig,
+    /// Worker threads for [`Session::check_all`]; `0` means one per
+    /// available core. Reports are returned in input order regardless.
+    pub jobs: usize,
+}
+
+/// A named source file to check.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Display name (path) used in reports and rendered diagnostics.
+    pub name: String,
+    /// The full source text.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// A source file from a name and its text.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        SourceFile {
+            name: name.into(),
+            text: text.into(),
+        }
+    }
+
+    /// Reads a source file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn read(path: impl AsRef<std::path::Path>) -> std::io::Result<SourceFile> {
+        let path = path.as_ref();
+        Ok(SourceFile {
+            name: path.display().to_string(),
+            text: std::fs::read_to_string(path)?,
+        })
+    }
+}
+
+/// Timing and tallies for one checked file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Definitions processed (including poisoned ones).
+    pub definitions: usize,
+    /// Error-severity diagnostics.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Wall-clock time for the whole check (parse → diagnostics).
+    pub elapsed: Duration,
+}
+
+/// Everything learned from checking one [`SourceFile`].
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The file's display name.
+    pub file: String,
+    /// Per-item outcomes (definitions first, then trailing
+    /// expressions), including which bindings were poisoned.
+    pub results: Vec<ItemSummary>,
+    /// Every diagnostic, spans resolved into the surface source.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The type-result of the module's final trailing expression.
+    pub value: Option<TyResult>,
+    /// Tallies and timing.
+    pub stats: CheckStats,
+}
+
+impl CheckReport {
+    /// No error-severity diagnostics (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.stats.errors == 0
+    }
+
+    /// Renders every diagnostic in the human format (snippets with
+    /// caret underlines), given the file's source text.
+    pub fn render_human(&self, source: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&rtr_core::diag::render(d, &self.file, source));
+        }
+        out
+    }
+}
+
+/// A checking session: one configured checker, shared caches, any
+/// number of files.
+///
+/// Cloning a `Session` is cheap and shares the caches (the underlying
+/// memo tables are keyed on globally unique environment generations and
+/// interned ids, so sharing is sound — see `rtr_core::cache`).
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    checker: Checker,
+    jobs: usize,
+}
+
+impl Session {
+    /// A session with the given configuration.
+    pub fn new(config: SessionConfig) -> Session {
+        Session {
+            checker: Checker::with_config(config.checker),
+            jobs: config.jobs,
+        }
+    }
+
+    /// A session wrapping an existing checker (sharing its caches).
+    pub fn from_checker(checker: Checker) -> Session {
+        Session { checker, jobs: 0 }
+    }
+
+    /// The session's checker.
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// Checks one file, reporting every diagnostic. Never fails: reader
+    /// and syntax errors become located diagnostics too.
+    pub fn check(&self, file: &SourceFile) -> CheckReport {
+        let start = Instant::now();
+        let report = check_module_source(&file.text, &self.checker);
+        let elapsed = start.elapsed();
+        let stats = CheckStats {
+            definitions: report.results.iter().filter(|r| r.name.is_some()).count(),
+            errors: report.error_count(),
+            warnings: report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count(),
+            elapsed,
+        };
+        CheckReport {
+            file: file.name.clone(),
+            results: report.results,
+            diagnostics: report.diagnostics,
+            value: report.value,
+            stats,
+        }
+    }
+
+    /// Checks many files, sharding them across scoped worker threads
+    /// (PR 3's thread-scope pattern: the checker is shared by reference,
+    /// so workers transparently share memo and solver-cache verdicts).
+    /// Reports come back in input order.
+    pub fn check_all(&self, files: &[SourceFile]) -> Vec<CheckReport> {
+        let jobs = match self.jobs {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(files.len().max(1));
+        if jobs <= 1 {
+            return files.iter().map(|f| self.check(f)).collect();
+        }
+        let chunk = files.len().div_ceil(jobs);
+        let mut out: Vec<Vec<CheckReport>> = Vec::with_capacity(jobs);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = files
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move || shard.iter().map(|f| self.check(f)).collect()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("check worker must not panic"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::diag::Code;
+
+    #[test]
+    fn a_module_with_three_bad_defines_yields_three_located_diagnostics() {
+        let text = "\
+(: f : [x : Int] -> Int)
+(define (f x) #t)
+(: g : [x : Int] -> [z : Int #:where (>= z 0)])
+(define (g x) x)
+(define (h [v : (Vecof Int)] [i : Int]) (safe-vec-ref v i))
+(define (ok [x : Int]) (add1 x))
+";
+        let session = Session::new(SessionConfig::default());
+        let report = session.check(&SourceFile::new("three.rtr", text));
+        assert_eq!(report.stats.errors, 3, "{:#?}", report.diagnostics);
+        for d in &report.diagnostics {
+            assert_eq!(d.code, Code::TypeMismatch);
+            let span = d.primary.expect("located");
+            assert!((1..=5).contains(&span.start.line));
+        }
+        // The lines are distinct: one per failing definition.
+        let mut lines: Vec<u32> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.primary.unwrap().start.line)
+            .collect();
+        lines.dedup();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(report.stats.definitions, 4);
+        assert_eq!(report.results.iter().filter(|r| r.poisoned).count(), 3);
+    }
+
+    #[test]
+    fn check_all_is_order_preserving_and_parallel_equals_serial() {
+        let files: Vec<SourceFile> = (0..12)
+            .map(|k| {
+                let text = if k % 3 == 0 {
+                    format!("(define (f{k} [x : Int]) (add1 x)) (f{k} #t)")
+                } else {
+                    format!("(define (f{k} [x : Int]) (add1 x)) (f{k} {k})")
+                };
+                SourceFile::new(format!("m{k}.rtr"), text)
+            })
+            .collect();
+        let serial = Session::new(SessionConfig {
+            jobs: 1,
+            ..SessionConfig::default()
+        });
+        let parallel = Session::new(SessionConfig {
+            jobs: 4,
+            ..SessionConfig::default()
+        });
+        let a = serial.check_all(&files);
+        let b = parallel.check_all(&files);
+        assert_eq!(a.len(), files.len());
+        for ((ra, rb), f) in a.iter().zip(&b).zip(&files) {
+            assert_eq!(ra.file, f.name);
+            assert_eq!(ra.is_clean(), rb.is_clean());
+            assert_eq!(ra.stats.errors, rb.stats.errors);
+            assert_eq!(
+                ra.diagnostics.iter().map(|d| d.code).collect::<Vec<_>>(),
+                rb.diagnostics.iter().map(|d| d.code).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reader_errors_become_diagnostics() {
+        let session = Session::new(SessionConfig::default());
+        let report = session.check(&SourceFile::new("bad.rtr", "(define (f x"));
+        assert_eq!(report.stats.errors, 1);
+        assert_eq!(report.diagnostics[0].code, Code::ReadError);
+        assert!(report.diagnostics[0].primary.is_some());
+    }
+}

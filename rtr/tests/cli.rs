@@ -132,6 +132,153 @@ fn missing_file_and_bad_usage_fail_cleanly() {
 }
 
 #[test]
+fn version_flag_prints_the_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = rtr().arg(flag).output().expect("spawn");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.starts_with("rtr ") && stdout.trim().len() > 4,
+            "version expected: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn check_accepts_multiple_files_and_reports_each() {
+    let ok = fixture("multi_ok.rtr", "(define (id [x : Int]) x) (id 1)");
+    let bad = fixture("multi_bad.rtr", "(define (b [x : Int]) (add1 x)) (b #t)");
+    let out = rtr()
+        .args(["check"])
+        .arg(&ok)
+        .arg(&bad)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "one bad file fails the batch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "clean file reported: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("E0002") && stderr.contains("-->"),
+        "located diagnostic expected: {stderr}"
+    );
+    // All clean → exit 0.
+    let out = rtr()
+        .args(["check"])
+        .arg(&ok)
+        .arg(&ok)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn inapplicable_flags_are_rejected_with_usage_errors() {
+    let path = fixture("flags.rtr", "(+ 1 2)");
+    for (args, rejected) in [
+        (vec!["check", "--fuel", "9"], "--fuel"),
+        (vec!["check", "--unchecked"], "--unchecked"),
+        (vec!["run", "--json"], "--json"),
+        (vec!["run", "--jobs", "2"], "--jobs"),
+        (vec!["expand", "--lambda-tr"], "--lambda-tr"),
+        (vec!["repl", "--unchecked"], "--unchecked"),
+    ] {
+        let out = rtr().args(&args).arg(&path).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(rejected) && stderr.contains("does not apply"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn repl_type_command_checks_without_evaluating() {
+    let mut child = rtr()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        // `:type` on a diverging-if-evaluated expression must not hang:
+        // it only checks. (error : Bot, so the if types as Int.)
+        .write_all(b":type (if #t 1 (error \"boom\"))\n:type (add1 #f)\n:q\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Int"), "type expected: {stdout}");
+    assert!(
+        !stdout.contains("1 : "),
+        "no evaluation result expected: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error"),
+        "ill-typed :type reports: {stderr}"
+    );
+}
+
+#[test]
+fn repl_rejects_unknown_colon_commands() {
+    let mut child = rtr()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b":types (add1 1)\n:q\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown repl command :types"),
+        "a :type typo must not be parsed as an expression: {stderr}"
+    );
+}
+
+#[test]
+fn repl_rejects_over_closed_forms() {
+    let mut child = rtr()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"))\n(+ 1 2)\n:q\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unexpected closing delimiter"),
+        "over-closed input must be rejected: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("3 : Int"),
+        "the repl recovers afterwards: {stdout}"
+    );
+}
+
+#[test]
 fn repl_checks_and_evaluates_lines() {
     let mut child = rtr()
         .arg("repl")

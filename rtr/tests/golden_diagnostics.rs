@@ -1,0 +1,65 @@
+//! Golden-file tests for rendered diagnostics: the `rtr check` human
+//! output (source snippets with caret underlines, secondary labels,
+//! notes) is pinned byte-for-byte against committed golden files.
+//!
+//! Regenerate after an intentional rendering change with:
+//!
+//! ```sh
+//! RTR_BLESS=1 cargo test -p rtr --test golden_diagnostics
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs `rtr check` on the committed fixture and compares the full
+/// stderr stream to the committed golden file.
+fn check_golden(name: &str, expect_success: bool) {
+    let fixture = golden_dir().join(format!("{name}.rtr"));
+    let golden = golden_dir().join(format!("{name}.stderr"));
+    let out = Command::new(env!("CARGO_BIN_EXE_rtr"))
+        .arg("check")
+        .arg(&fixture)
+        .output()
+        .expect("spawn rtr");
+    assert_eq!(
+        out.status.success(),
+        expect_success,
+        "unexpected exit status; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The fixture path embedded in `--> file:line:col` markers varies
+    // with the checkout location; normalize it to the bare name.
+    let stderr = String::from_utf8_lossy(&out.stderr)
+        .replace(&fixture.display().to_string(), &format!("{name}.rtr"));
+    if std::env::var_os("RTR_BLESS").is_some() {
+        std::fs::write(&golden, stderr.as_bytes()).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden.display()));
+    assert_eq!(
+        stderr,
+        expected,
+        "rendered diagnostics drifted from {}; re-bless with RTR_BLESS=1 if intentional",
+        golden.display()
+    );
+}
+
+#[test]
+fn multi_error_module_renders_snippets_and_carets() {
+    check_golden("multi_error", false);
+}
+
+#[test]
+fn refinement_failure_names_the_theory() {
+    check_golden("refinement", false);
+}
+
+#[test]
+fn macro_expansion_provenance_points_at_the_surface_form() {
+    check_golden("expansion", false);
+}

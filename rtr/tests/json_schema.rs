@@ -1,0 +1,173 @@
+//! Schema validation for the machine-readable check service: the
+//! `rtr check --json` output (and the library emitter behind it)
+//! round-trips through the in-tree JSON parser and matches the
+//! documented `rtr-check-v1` shape, for a module producing three
+//! distinct error codes.
+
+use std::process::Command;
+
+use rtr::json::{parse, reports_to_json, Json};
+use rtr::prelude::*;
+
+/// Three distinct error codes: E0002 (mismatch), E0004 (arity),
+/// E0001 (unbound).
+const THREE_CODES_SRC: &str = "\
+(: f : [x : Int] -> Int)
+(define (f x) #t)
+(f 1 2)
+(+ 1 nope)
+";
+
+fn validate_span(span: &Json) {
+    for key in ["line", "col", "end_line", "end_col"] {
+        let n = span
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("span.{key} must be a number: {span:?}"));
+        assert!(n >= 1.0, "span.{key} is 1-based");
+    }
+}
+
+fn validate_document(doc: &Json, expect_files: usize) {
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("rtr-check-v1"));
+    let files = doc.get("files").unwrap().as_array().unwrap();
+    assert_eq!(files.len(), expect_files);
+    let summary = doc.get("summary").unwrap();
+    let mut total_errors = 0.0;
+    for file in files {
+        assert!(file.get("name").unwrap().as_str().is_some());
+        let clean = file.get("clean").unwrap().as_bool().unwrap();
+        let stats = file.get("stats").unwrap();
+        let errors = stats.get("errors").unwrap().as_f64().unwrap();
+        total_errors += errors;
+        assert_eq!(clean, errors == 0.0);
+        for key in ["definitions", "warnings", "elapsed_us"] {
+            assert!(stats.get(key).unwrap().as_f64().is_some());
+        }
+        for item in file.get("items").unwrap().as_array().unwrap() {
+            assert!(item.get("poisoned").unwrap().as_bool().is_some());
+        }
+        let diagnostics = file.get("diagnostics").unwrap().as_array().unwrap();
+        assert!(diagnostics.len() as f64 >= errors);
+        for d in diagnostics {
+            let code = d.get("code").unwrap().as_str().unwrap();
+            assert!(
+                code.len() == 5 && (code.starts_with('E') || code.starts_with('W')),
+                "malformed code {code}"
+            );
+            assert!(matches!(
+                d.get("severity").unwrap().as_str(),
+                Some("error" | "warning" | "note")
+            ));
+            assert!(d.get("message").unwrap().as_str().is_some());
+            match d.get("span").unwrap() {
+                Json::Null => {}
+                span => validate_span(span),
+            }
+            for label in d.get("labels").unwrap().as_array().unwrap() {
+                assert!(label.get("message").unwrap().as_str().is_some());
+            }
+            let payload = d.get("payload").unwrap();
+            let kind = payload.get("kind").unwrap().as_str().unwrap();
+            assert!(
+                [
+                    "none",
+                    "unbound",
+                    "mismatch",
+                    "not-a-function",
+                    "arity",
+                    "not-a-pair",
+                    "cannot-infer",
+                    "bad-assignment"
+                ]
+                .contains(&kind),
+                "unknown payload kind {kind}"
+            );
+            for note in d.get("notes").unwrap().as_array().unwrap() {
+                assert!(note.as_str().is_some());
+            }
+        }
+    }
+    assert_eq!(
+        summary.get("errors").unwrap().as_f64(),
+        Some(total_errors),
+        "summary must aggregate per-file errors"
+    );
+    assert_eq!(
+        summary.get("clean").unwrap().as_bool(),
+        Some(total_errors == 0.0)
+    );
+}
+
+#[test]
+fn library_emitter_round_trips_three_distinct_codes() {
+    let session = Session::new(SessionConfig::default());
+    let report = session.check(&SourceFile::new("three.rtr", THREE_CODES_SRC));
+    assert_eq!(report.stats.errors, 3);
+    let codes: std::collections::BTreeSet<&str> =
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+    assert_eq!(
+        codes.into_iter().collect::<Vec<_>>(),
+        vec!["E0001", "E0002", "E0004"],
+        "three distinct error codes"
+    );
+
+    let json = reports_to_json(&[report]);
+    let doc = parse(&json).expect("emitted JSON parses");
+    validate_document(&doc, 1);
+
+    // The three codes survive the round trip.
+    let diagnostics = doc.get("files").unwrap().as_array().unwrap()[0]
+        .get("diagnostics")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let parsed_codes: std::collections::BTreeSet<&str> = diagnostics
+        .iter()
+        .map(|d| d.get("code").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(
+        parsed_codes.into_iter().collect::<Vec<_>>(),
+        vec!["E0001", "E0002", "E0004"]
+    );
+    // Every diagnostic in this module is located.
+    for d in diagnostics {
+        assert_ne!(d.get("span").unwrap(), &Json::Null);
+    }
+}
+
+#[test]
+fn cli_json_output_matches_the_schema() {
+    let dir = std::env::temp_dir().join("rtr-json-schema-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("three.rtr");
+    let good = dir.join("ok.rtr");
+    std::fs::write(&bad, THREE_CODES_SRC).expect("fixture");
+    std::fs::write(&good, "(define (id [x : Int]) x) (id 4)").expect("fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rtr"))
+        .arg("check")
+        .arg("--json")
+        .arg(&bad)
+        .arg(&good)
+        .output()
+        .expect("spawn rtr");
+    assert_eq!(out.status.code(), Some(1), "errors exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let doc = parse(&stdout).expect("CLI JSON parses");
+    validate_document(&doc, 2);
+
+    // And a clean batch exits 0 with clean summary.
+    let out = Command::new(env!("CARGO_BIN_EXE_rtr"))
+        .arg("check")
+        .arg("--json")
+        .arg(&good)
+        .output()
+        .expect("spawn rtr");
+    assert_eq!(out.status.code(), Some(0));
+    let doc = parse(&String::from_utf8(out.stdout).expect("utf-8")).expect("parses");
+    assert_eq!(
+        doc.get("summary").unwrap().get("clean").unwrap().as_bool(),
+        Some(true)
+    );
+}
