@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use rtr_bench::{
     alias_chain_src, bv_chain_src, dot_prod_module_src, filler_module_src, many_errors_module_src,
-    narrowing_chain_src, xtime_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
+    narrowing_chain_src, string_module_src, xtime_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
 };
 use rtr_core::check::Checker;
 use rtr_lang::{check_module_source, check_source};
@@ -120,6 +120,8 @@ fn main() {
     let alias16 = alias_chain_src(16);
     let alias64 = alias_chain_src(64);
     let alias256 = alias_chain_src(256);
+    let alias512 = alias_chain_src(512);
+    let string8 = string_module_src(8);
     let narrow8 = narrowing_chain_src(8);
     let narrow32 = narrowing_chain_src(32);
     let filler50 = filler_module_src(50);
@@ -169,6 +171,15 @@ fn main() {
                 check_source(&alias256, &Checker::default()).expect("alias chain checks");
             }),
         ),
+        // PR 7: double the alias-chain depth again — the per-binder cost
+        // the zero-information let fast path removes grows linearly here,
+        // so regressions show up amplified.
+        (
+            "alias_chain/512",
+            Box::new(|| {
+                check_source(&alias512, &Checker::default()).expect("alias chain checks");
+            }),
+        ),
         (
             "narrowing_chain/8",
             Box::new(|| {
@@ -216,6 +227,14 @@ fn main() {
             "bv_chain/6",
             Box::new(|| {
                 check_source(&bv_chain6, &Checker::default()).expect("bv chain checks");
+            }),
+        ),
+        // String-theory module (PR 7): overlapping regex entailments that
+        // the persistent regex session answers from warm DFA caches.
+        (
+            "module/string_8",
+            Box::new(|| {
+                check_source(&string8, &Checker::default()).expect("string module checks");
             }),
         ),
     ];

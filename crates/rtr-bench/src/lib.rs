@@ -142,6 +142,33 @@ pub fn bv_chain_src(n: usize) -> String {
     )
 }
 
+/// A module of `n` regex-guarded string validators — the string-theory
+/// (§7 regex extension) workload at module scale. Every function nests
+/// two membership tests and calls a refinement-typed helper, so the
+/// checker keeps re-posing entailments over overlapping regex sets: the
+/// `[0-9]+` base literal recurs in every function (a persistent regex
+/// session compiles its DFA once), while the counted inner test cycles
+/// through four variants so queries don't all collapse into a single
+/// memoized fingerprint.
+pub fn string_module_src(n: usize) -> String {
+    let mut out = String::new();
+    for k in 0..n {
+        let m = k % 4 + 1;
+        out.push_str(&format!(
+            "(: digits{k} : [s : Str #:where (=~ s #rx\"[0-9]+\")] -> Int)\n\
+             (define (digits{k} s) (string-length s))\n\
+             (: parse{k} : Str -> Int)\n\
+             (define (parse{k} s)\n\
+             \x20 (if (regexp-match? #rx\"[0-9]+\" s)\n\
+             \x20     (if (regexp-match? #rx\"[0-9]{{{m},}}\" s)\n\
+             \x20         (digits{k} s)\n\
+             \x20         (digits{k} s))\n\
+             \x20     0))\n"
+        ));
+    }
+    out
+}
+
 /// A module of `n` simple well-typed definitions (checker throughput).
 pub fn filler_module_src(n: usize) -> String {
     let mut out = String::new();
@@ -203,6 +230,12 @@ mod tests {
         assert!(check_source(&dot_prod_module_src(2), &c).is_ok());
         assert!(check_source(&xtime_module_src(2), &c).is_ok());
         assert!(check_source(&bv_chain_src(4), &c).is_ok());
+        assert!(check_source(&string_module_src(5), &c).is_ok());
+        let one_shot = Checker::with_config(rtr_core::config::CheckerConfig {
+            solver_cache: false,
+            ..Default::default()
+        });
+        assert!(check_source(&string_module_src(5), &one_shot).is_ok());
     }
 
     #[test]

@@ -96,6 +96,80 @@ fn env_maps_share_structure_and_fresh_names_stay_out_of_the_permanent_arena() {
 }
 
 #[test]
+fn lazy_split_scheduler_defers_irrelevant_clauses() {
+    use rtr_core::env::Env;
+    use rtr_core::syntax::{BvCmp, LinCmp, Obj, Prop, Symbol, Ty};
+    const FUEL: u32 = 64;
+    let checker = Checker::default();
+    let mut env = Env::new();
+    let i = Symbol::intern("smoke_i");
+    let num = Symbol::intern("smoke_n");
+    checker.bind(&mut env, i, &Ty::Int, FUEL);
+    checker.bind(&mut env, num, &Ty::BitVec, FUEL);
+    // A bitvector clause (no variables or theory shared with the goal —
+    // the lazy scheduler must defer it) and a linear clause whose split
+    // decides the goal.
+    checker.assume(
+        &mut env,
+        &Prop::or(
+            Prop::bv(Obj::var(num), BvCmp::Eq, Obj::bv(0)),
+            Prop::bv(Obj::var(num), BvCmp::Eq, Obj::bv(1)),
+        ),
+        FUEL,
+    );
+    checker.assume(
+        &mut env,
+        &Prop::or(
+            Prop::lin(Obj::var(i), LinCmp::Eq, Obj::int(0)),
+            Prop::lin(Obj::var(i), LinCmp::Eq, Obj::int(1)),
+        ),
+        FUEL,
+    );
+    // 0 ≤ i ∧ i ≤ 1: not entailed directly, provable in both branches of
+    // the linear clause.
+    let goal = Prop::and(
+        Prop::lin(Obj::int(0), LinCmp::Le, Obj::var(i)),
+        Prop::lin(Obj::var(i), LinCmp::Le, Obj::int(1)),
+    );
+    assert!(
+        checker.proves(&env, &goal, FUEL),
+        "case split must decide the goal"
+    );
+    let stats = checker.cache_stats();
+    let (_, taken, deferred) = stats.splits;
+    assert!(taken > 0, "no case splits taken: {stats:?}");
+    assert!(
+        deferred > 0,
+        "goal-irrelevant clause was never deferred: {stats:?}"
+    );
+    assert!(
+        stats.clause_meta.0 + stats.clause_meta.1 > 0,
+        "clause-relevance metadata never consulted: {stats:?}"
+    );
+}
+
+#[test]
+fn string_module_hits_the_regex_session() {
+    let checker = Checker::default();
+    let src = rtr_bench::string_module_src(8);
+    check_source(&src, &checker).expect("string module checks");
+    let stats = checker.cache_stats();
+    assert!(
+        stats.re.0 + stats.re.1 > 0,
+        "regex verdict table never consulted: {stats:?}"
+    );
+    let re = stats.re_session;
+    assert!(
+        re.dfa_misses > 0,
+        "regex session never compiled a DFA: {stats:?}"
+    );
+    assert!(
+        re.dfa_hits > 0,
+        "regex session DFA cache never hit: {stats:?}"
+    );
+}
+
+#[test]
 fn theory_heavy_programs_hit_the_solver_caches() {
     // A scaled dot-prod module: every function re-poses alpha-renamed
     // copies of the same linear systems, so the canonical-fingerprint

@@ -190,9 +190,9 @@ impl<K, V> Default for VerdictMap<K, V> {
     }
 }
 
-impl<K: Eq + Hash, V: Copy> VerdictMap<K, V> {
+impl<K: Eq + Hash, V: Clone> VerdictMap<K, V> {
     pub(crate) fn lookup(&self, key: &K) -> Option<V> {
-        let verdict = self.map.lock().expect("cache poisoned").get(key).copied();
+        let verdict = self.map.lock().expect("cache poisoned").get(key).cloned();
         #[cfg(feature = "stats")]
         match verdict {
             Some(_) => self.counters.hit(),
@@ -248,6 +248,41 @@ pub(crate) fn path_fingerprint(fields: &[crate::syntax::Field]) -> Option<u64> {
     Some(fp)
 }
 
+/// Relevance metadata for a stored disjunction: the union of both
+/// literals' free variables (sorted) and their `THEORY_*` bits.
+pub(crate) type ClauseMeta = (std::sync::Arc<[crate::syntax::Symbol]>, u8);
+
+/// Counters for the lazy case-split scheduler (compiled only with
+/// `stats`; the scheduler itself runs identically without them).
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+pub(crate) struct SplitStats {
+    /// Clauses that collapsed to a unit literal at split time (one side
+    /// absurd under the current environment).
+    pub(crate) units: AtomicU64,
+    /// Case splits actually performed (both branches explored).
+    pub(crate) taken: AtomicU64,
+    /// Clauses scheduled behind the goal-relevant ones (pass 1). Each
+    /// deferral that never gets split is proof search the eager order
+    /// would have paid for.
+    pub(crate) deferred: AtomicU64,
+}
+
+#[cfg(feature = "stats")]
+impl SplitStats {
+    pub(crate) fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.units.load(Ordering::Relaxed),
+            self.taken.load(Ordering::Relaxed),
+            self.deferred.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn bump(c: &AtomicU64, by: u64) {
+        c.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
 /// The full cache set shared by a [`crate::check::Checker`] (and its
 /// clones — verdicts depend only on the immutable config, globally unique
 /// environment generations and interned ids, so sharing is sound).
@@ -284,6 +319,16 @@ pub(crate) struct Caches {
     /// The checker's persistent bitvector session (shared bit-blast
     /// encodings and learnt clauses), created lazily.
     pub(crate) bv_oracle: Mutex<Option<crate::solver_cache::BvOracle>>,
+    /// The checker's persistent regex session (shared compiled DFAs,
+    /// product automata and emptiness verdicts), created lazily.
+    pub(crate) re_oracle: Mutex<Option<crate::solver_cache::ReOracle>>,
+    /// Relevance metadata per stored disjunction, keyed by the literal
+    /// id pair — computed once per distinct clause, consulted by the
+    /// lazy split scheduler on every `proves` that reaches ∨-elimination.
+    pub(crate) clause_meta: VerdictMap<(PropId, PropId), ClauseMeta>,
+    /// Lazy split scheduler counters (`--stats`).
+    #[cfg(feature = "stats")]
+    pub(crate) splits: SplitStats,
     /// Instantiated polymorphic Δ-table types, keyed
     /// `(primitive, canonical argument type ids)` — local type inference
     /// is deterministic in its inputs, so the monomorphic function type
@@ -304,6 +349,7 @@ impl Caches {
             + self.lin.len()
             + self.bv.len()
             + self.re.len()
+            + self.clause_meta.len()
             + self.lin_stores.lock().expect("cache poisoned").len()
     }
 }

@@ -14,6 +14,75 @@ use crate::mutation::mutated_vars;
 use crate::prims::delta;
 use crate::syntax::{Expr, FunTy, Lambda, LinCmp, Obj, Prim, Prop, Symbol, Ty, TyResult};
 
+/// A process-wide, lazily spawned worker thread with a 256 MiB stack for
+/// checking deep programs.
+///
+/// Spawning a fresh big-stack thread per deep check is cheap to create
+/// but expensive to *use*: the recursion touches megabytes of brand-new
+/// stack, and every page is a minor fault. A single long-lived worker
+/// pays that cost once; subsequent deep checks run on warm pages.
+pub(crate) mod big_stack {
+    use std::sync::mpsc::{channel, Sender};
+    use std::sync::{Mutex, OnceLock};
+
+    type Job = Box<dyn FnOnce() + Send>;
+
+    fn spawn_worker() -> Sender<Job> {
+        let (tx, rx) = channel::<Job>();
+        std::thread::Builder::new()
+            .name("rtr-checker".into())
+            .stack_size(256 * 1024 * 1024)
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawning the checker worker thread");
+        tx
+    }
+
+    fn worker() -> &'static Mutex<Sender<Job>> {
+        static WORKER: OnceLock<Mutex<Sender<Job>>> = OnceLock::new();
+        WORKER.get_or_init(|| Mutex::new(spawn_worker()))
+    }
+
+    /// Runs `f` on the persistent big-stack worker, or returns `None`
+    /// when the worker is busy (a concurrent deep check holds it) so the
+    /// caller can fall back to a one-shot scoped thread. A worker killed
+    /// by an earlier panic is respawned transparently.
+    pub(crate) fn run<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> Option<R> {
+        try_run(f).ok()
+    }
+
+    /// Like [`run`], but hands the closure back when the worker is busy so
+    /// the caller can fall back to a one-shot thread without cloning the
+    /// captured state.
+    pub(crate) fn try_run<R, F>(f: F) -> Result<R, F>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let Ok(mut guard) = worker().try_lock() else {
+            return Err(f);
+        };
+        let (rtx, rrx) = channel();
+        let job: Job = Box::new(move || {
+            let _ = rtx.send(f());
+        });
+        if let Err(returned) = guard.send(job) {
+            // The worker died (a previous job panicked). Respawn and
+            // resubmit this job on the fresh worker.
+            *guard = spawn_worker();
+            guard
+                .send(returned.0)
+                .expect("fresh checker worker must accept jobs");
+        }
+        // A dropped sender without a result means the job panicked:
+        // mirror the scoped path's join().expect(..).
+        Ok(rrx.recv().expect("checker thread must not panic"))
+    }
+}
+
 /// Attaches `node` to a bubbling diagnostic unless an inner (more
 /// precise) node is already recorded. Diagnostics travel boxed through
 /// the judgments so the hot `Ok` path moves a thin pointer, not the
@@ -79,6 +148,18 @@ pub struct CacheStats {
     pub bv: (u64, u64),
     /// Regex-theory fingerprint verdict table.
     pub re: (u64, u64),
+    /// Clause-relevance metadata table (free variables + theory mask per
+    /// stored disjunction, consulted by the lazy split scheduler).
+    pub clause_meta: (u64, u64),
+    /// Case-split scheduler counters: `(unit_propagations, splits_taken,
+    /// splits_deferred)`. Units are split branches collapsed without
+    /// recursion because assuming one disjunct refuted the environment;
+    /// deferred counts clauses postponed to the second (goal-irrelevant)
+    /// pass of a lazy split round.
+    pub splits: (u64, u64, u64),
+    /// Persistent regex-session cache counters (DFA compilations,
+    /// intersection products, emptiness witnesses).
+    pub re_session: rtr_solver::re::ReSessionStats,
 }
 
 impl Checker {
@@ -123,6 +204,9 @@ impl Checker {
             lin: self.caches.lin.counters.snapshot(),
             bv: self.caches.bv.counters.snapshot(),
             re: self.caches.re.counters.snapshot(),
+            clause_meta: self.caches.clause_meta.counters.snapshot(),
+            splits: self.caches.splits.snapshot(),
+            re_session: self.re_session_stats(),
         }
     }
 
@@ -144,17 +228,48 @@ impl Checker {
         // judgments also recurse up to `logic_fuel` frames, so a raised
         // fuel budget forces the big-stack thread even for shallow
         // programs.
-        let run = || {
-            let mut env = Env::new();
-            for x in mutated_vars(e) {
-                env.mark_mutable(x);
-            }
-            self.synth(&env, e).map_err(|d| *d)
-        };
         if self.fits_inline_stack(e) {
-            return run();
+            return self.check_program_inner(e);
         }
-        self.on_big_stack(run)
+        // Deep programs: prefer the persistent worker — a freshly spawned
+        // thread faults in every stack page the deep recursion touches
+        // (hundreds of microseconds for a 256-binder chain), while the
+        // long-lived worker keeps those pages warm across checks. The
+        // worker needs owned inputs; a `Checker` clone is two `Arc`s and
+        // the program copy is linear in its size, both far below one
+        // cold-stack penalty. When the worker is busy (parallel deep
+        // checks), fall back to a scoped one-shot thread.
+        let this = self.clone();
+        let owned = e.clone();
+        match big_stack::run(move || this.check_program_inner(&owned)) {
+            Some(r) => r,
+            None => self.on_big_stack(|| self.check_program_inner(e)),
+        }
+    }
+
+    /// [`Checker::check_program`] by move: deep programs ship the owned
+    /// AST to the big-stack worker instead of cloning it (a 256-binder
+    /// chain costs a triple-digit-microsecond copy otherwise). Prefer
+    /// this whenever the caller is done with the expression.
+    #[allow(clippy::result_large_err)]
+    pub fn check_program_owned(&self, e: Expr) -> Result<TyResult, Diagnostic> {
+        if self.fits_inline_stack(&e) {
+            return self.check_program_inner(&e);
+        }
+        let this = self.clone();
+        match big_stack::try_run(move || this.check_program_inner(&e)) {
+            Ok(r) => r,
+            Err(job) => self.on_big_stack(job),
+        }
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn check_program_inner(&self, e: &Expr) -> Result<TyResult, Diagnostic> {
+        let mut env = Env::new();
+        for x in mutated_vars(e) {
+            env.mark_mutable(x);
+        }
+        self.synth(&env, e).map_err(|d| *d)
     }
 
     /// Whether `e` (at this checker's fuel budget) can be checked on the
@@ -168,6 +283,10 @@ impl Checker {
     /// Runs `f` on a dedicated thread with a 256 MiB stack — the
     /// judgments are deeply recursive and real modules nest `let`/`begin`
     /// chains hundreds of levels deep once macros expand.
+    ///
+    /// This is the borrowing one-shot path; callers with owned (`'static`)
+    /// work should prefer [`big_stack::run`], which reuses a persistent
+    /// worker whose stack pages stay warm.
     pub(crate) fn on_big_stack<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         std::thread::scope(|scope| {
             std::thread::Builder::new()
@@ -444,6 +563,37 @@ impl Checker {
         for (g, t) in &r1.existentials {
             self.bind(env2, *g, t, fuel);
         }
+        // `let x = y` fast path: when the right-hand side's object already
+        // resolves to a tracked representative whose recorded type equals
+        // the synthesized one, the binder adds *no* information — the
+        // type write-back is a guaranteed no-op, the alias copy copies
+        // facts the representative already carries, and ψ_x is the
+        // excluded middle over `o ∈ False`. Recording the alias alone is
+        // observationally equivalent and skips two environment writes and
+        // a proposition walk per binder — the dominant cost on deep
+        // binder chains.
+        if self.config.representative_objects
+            && self.config.hybrid_env
+            && !env2.is_bound(x)
+            && !env2.is_mutable(x)
+            && !matches!(r1.ty, Ty::Refine(_))
+            && !matches!(r1.obj, Obj::Pair(..) | Obj::Null)
+        {
+            let o1 = env2.resolve(&r1.obj);
+            let psi_trivial = matches!(
+                (&r1.then_p, &r1.else_p),
+                (Prop::IsNot(ot, tt_), Prop::Is(oe, te_))
+                    if ot == &o1 && oe == &o1 && **tt_ == Ty::False && **te_ == Ty::False
+            );
+            if psi_trivial
+                && !matches!(o1, Obj::Pair(..) | Obj::Null)
+                && o1.find_var(&mut |v| v == x).is_none()
+                && crate::intern::TyId::of(&r1.ty) == self.ty_of_obj_id(env2, &o1)
+            {
+                env2.add_alias(x, o1.clone());
+                return (o1, false);
+            }
+        }
         self.bind(env2, x, &r1.ty, fuel);
         let o1 = env2.resolve(&r1.obj);
         let mutable = env2.is_mutable(x);
@@ -456,10 +606,32 @@ impl Checker {
             o1.clone()
         };
         let ox = if mutable { Obj::Null } else { ox };
-        let psi_x = Prop::or(
-            Prop::and(Prop::is_not(ox.clone(), Ty::False), r1.then_p.clone()),
-            Prop::and(Prop::is(ox, Ty::False), r1.else_p.clone()),
-        );
+        // ψ_x = (ox ∉ False ∧ ψ₁⁺) ∨ (ox ∈ False ∧ ψ₁⁻), with statically
+        // decided disjuncts pruned at construction: an `ff` branch
+        // proposition makes its whole disjunct absurd, so the other side
+        // is a *unit* — assumed directly, no disjunction stored, no
+        // proposition interned. Truthy results (literals, applications)
+        // hit this on every `let`, which keeps deep binder chains off the
+        // case-split machinery entirely.
+        let disjunct = |guard: Prop, branch: &Prop| match branch {
+            Prop::TT => Some(guard),
+            Prop::FF => None,
+            p if *p == guard => Some(guard),
+            p => Some(Prop::and(guard, p.clone())),
+        };
+        let psi_then = disjunct(Prop::is_not(ox.clone(), Ty::False), &r1.then_p);
+        let psi_else = disjunct(Prop::is(ox, Ty::False), &r1.else_p);
+        let psi_x = match (psi_then, psi_else) {
+            // Both disjuncts collapsed to their guards: ψ_x is exactly
+            // the excluded middle over `ox ∈ False` — a tautology (the
+            // `let`-of-a-variable shape), nothing to learn.
+            (Some(Prop::IsNot(o1_, t1_)), Some(Prop::Is(o2_, t2_))) if o1_ == o2_ && t1_ == t2_ => {
+                Prop::TT
+            }
+            (Some(a), Some(b)) => Prop::or(a, b),
+            (Some(a), None) | (None, Some(a)) => a,
+            (None, None) => Prop::FF,
+        };
         self.assume(env2, &psi_x, fuel);
         (o1, mutable)
     }

@@ -51,6 +51,16 @@ pub struct CheckerConfig {
     /// Canonicalization preserves the solved constraint system up to
     /// variable renaming, so cached verdicts transfer soundly.
     pub solver_cache: bool,
+    /// Schedule disjunction case splits lazily: propagate unit-collapsed
+    /// clauses first, then split clauses whose literals share variables
+    /// (or a solver theory) with the goal, and only fall back to the
+    /// remaining clauses when the relevant ones fail to decide the
+    /// query. Same verdicts as eager in-order splitting — every clause
+    /// is still considered, only the order changes — but goal-irrelevant
+    /// disjunctions stop multiplying the proof search. Disable to get
+    /// the reference in-order behaviour the property tests compare
+    /// against.
+    pub lazy_splits: bool,
     /// Maximum depth of disjunction case splits during proving.
     pub case_split_budget: u32,
     /// Recursion fuel for the mutually recursive subtype/proof judgments.
@@ -74,6 +84,7 @@ impl Default for CheckerConfig {
             hybrid_env: true,
             memoize: true,
             solver_cache: true,
+            lazy_splits: true,
             case_split_budget: 6,
             logic_fuel: 128,
             fm: FmConfig::default(),

@@ -352,35 +352,21 @@ impl Env {
         }
     }
 
-    /// Does `o` mention any variable with an alias? Allocation-free
-    /// pre-check for [`Env::resolve`].
-    fn mentions_aliased(&self, o: &Obj) -> bool {
-        fn walk(env: &Env, o: &Obj) -> bool {
-            match o {
-                Obj::Null | Obj::Str(_) | Obj::Re(_) => false,
-                Obj::Path(p) => env.aliases.contains_key(p.base),
-                Obj::Pair(a, b) => walk(env, a) || walk(env, b),
-                Obj::Lin(l) => l
-                    .terms
-                    .iter()
-                    .any(|(_, p)| env.aliases.contains_key(p.base)),
-                Obj::Bv(_) => true, // rare; defer to the full resolution loop
-            }
-        }
-        walk(self, o)
-    }
-
     /// Resolves an object to its representative by applying aliases to a
-    /// fixpoint.
+    /// fixpoint. Allocation-free until a substitution is actually needed:
+    /// each round finds one aliased variable by direct walk
+    /// ([`Obj::find_var`]) instead of materializing a free-variable set.
     pub fn resolve(&self, o: &Obj) -> Obj {
-        if self.aliases.is_empty() || !self.mentions_aliased(o) {
+        if self.aliases.is_empty() {
+            return o.clone();
+        }
+        let mut aliased = |x: Symbol| self.aliases.contains_key(x);
+        if o.find_var(&mut aliased).is_none() {
             return o.clone();
         }
         let mut cur = o.clone();
         for _ in 0..64 {
-            let mut fv = HashSet::new();
-            cur.free_vars(&mut fv);
-            let Some(&x) = fv.iter().find(|x| self.aliases.contains_key(**x)) else {
+            let Some(x) = cur.find_var(&mut |x| self.aliases.contains_key(x)) else {
                 return cur;
             };
             let rep = self.aliases.get(x).expect("checked").get();

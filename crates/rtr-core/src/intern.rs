@@ -352,6 +352,28 @@ impl PropId {
             .binary_search(&x)
             .is_ok()
     }
+
+    /// Sorted free object-level variables, exactly [`Prop::free_vars`],
+    /// cached per id.
+    pub fn free_vars(self) -> Arc<[Symbol]> {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .prop_meta(self.0)
+            .free_vars
+            .clone()
+    }
+
+    /// Which solver theories does the proposition mention? A union of
+    /// [`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`] bits, precomputed at
+    /// intern time so relevance-gating is a bit test.
+    pub fn theory_mask(self) -> u8 {
+        store()
+            .lock()
+            .expect("interner poisoned")
+            .prop_meta(self.0)
+            .theory_mask
+    }
 }
 
 impl ObjId {
@@ -417,6 +439,33 @@ pub fn objs_mentioning(x: Symbol, ids: impl IntoIterator<Item = ObjId>) -> Vec<b
     ids.into_iter()
         .map(|id| s.obj_meta(id.0).free_vars.binary_search(&x).is_ok())
         .collect()
+}
+
+/// Batched [`PropId::free_vars`] + [`PropId::theory_mask`]: one interner
+/// lock for the whole id set. The lazy split scheduler uses these to
+/// build per-clause relevance metadata without a per-id lock round-trip.
+pub fn props_relevance(ids: impl IntoIterator<Item = PropId>) -> Vec<(Arc<[Symbol]>, u8)> {
+    let s = store().lock().expect("interner poisoned");
+    ids.into_iter()
+        .map(|id| {
+            let m = s.prop_meta(id.0);
+            (m.free_vars.clone(), m.theory_mask)
+        })
+        .collect()
+}
+
+/// Relevance metadata — sorted free object-level variables and
+/// `THEORY_*` bits — of a *goal* proposition, computed without
+/// interning it (goals are transient; forcing them into the arena just
+/// to read metadata would grow it for no reuse).
+pub fn prop_relevance(p: &Prop) -> (Vec<Symbol>, u8) {
+    let mut fv = HashSet::new();
+    p.free_vars(&mut fv);
+    let mut vars: Vec<Symbol> = fv.into_iter().collect();
+    vars.sort_unstable();
+    let mut scan = Scan::default();
+    scan.prop(p);
+    (vars, scan.mask)
 }
 
 /// Canonicalizes a type (flattened/deduped/sorted unions, collapsed
@@ -499,6 +548,9 @@ struct TyMeta {
 struct PropMeta {
     /// Sorted free object-level variables, exactly [`Prop::free_vars`].
     free_vars: Arc<[Symbol]>,
+    /// Union of `THEORY_*` bits mentioned anywhere in the proposition
+    /// (embedded refinement types included).
+    theory_mask: u8,
 }
 
 /// Intern-time metadata for an object.
@@ -1040,8 +1092,11 @@ impl Store {
             && !matches!(p, Prop::TT | Prop::FF);
         let mut sorted: Vec<Symbol> = fv.into_iter().collect();
         sorted.sort_unstable();
+        let mut scan = Scan::default();
+        scan.prop(&p);
         let meta = PropMeta {
             free_vars: sorted.into(),
+            theory_mask: scan.mask,
         };
         let arc = Arc::new(p);
         let idx = if fresh {

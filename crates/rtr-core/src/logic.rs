@@ -181,6 +181,25 @@ impl Checker {
         }
     }
 
+    /// `assume_is` for a type already in the interner. Path objects take
+    /// the `update⁺` write directly in id space (no tree re-interning);
+    /// everything else — refinement unfolding, pair forking, literal
+    /// objects — falls back to the tree walk.
+    fn assume_is_id(&self, env: &mut Env, o: &Obj, t: TyId, fuel: u32) {
+        if let (Obj::Path(p), Some(inner_fuel)) = (o, fuel.checked_sub(1)) {
+            if self.config.hybrid_env && !matches!(&*t.get(), Ty::Refine(_)) {
+                let current = env.raw_ty_id(p.base).unwrap_or_else(TyId::top);
+                let updated = self.update_ty_id(env, current, &p.fields, t, true, inner_fuel);
+                if self.is_empty_id(updated) {
+                    env.mark_absurd();
+                }
+                env.set_ty_id(p.base, updated);
+                return;
+            }
+        }
+        self.assume_is(env, o, &t.get(), fuel);
+    }
+
     fn assume_not(&self, env: &mut Env, o: &Obj, t: &Ty, fuel: u32) {
         let Some(fuel) = fuel.checked_sub(1) else {
             return;
@@ -266,9 +285,7 @@ impl Checker {
             }
             (Obj::Path(p), other) | (other, Obj::Path(p)) if p.fields.is_empty() => {
                 let x = p.base;
-                let mut fv = std::collections::HashSet::new();
-                other.free_vars(&mut fv);
-                if fv.contains(&x) || env.is_mutable(x) {
+                if other.find_var(&mut |v| v == x).is_some() || env.is_mutable(x) {
                     self.alias_as_theory_eq(env, o1, o2);
                     return;
                 }
@@ -277,8 +294,8 @@ impl Checker {
                     // Copy what we already know about x onto the
                     // representative before the alias shadows it.
                     if env.raw_ty_id(x).is_some() {
-                        let t = self.ty_of_path_id(env, &Path::var(x)).get();
-                        self.assume_is(env, other, &t, fuel);
+                        let t_id = self.ty_of_path_id(env, &Path::var(x));
+                        self.assume_is_id(env, other, t_id, fuel);
                     }
                     env.add_alias(x, other.clone());
                 } else {
@@ -384,8 +401,29 @@ impl Checker {
     }
 
     fn proves_with_splits(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32) -> bool {
-        if !self.config.memoize {
-            return self.proves_structural(env, goal, fuel, splits);
+        self.proves_with_splits_from(env, goal, fuel, splits, 0)
+    }
+
+    /// `proves` with a split *frontier*: stored disjunctions below `from`
+    /// have already been taken or tried on this proof path and are not
+    /// revisited (branch environments remove taken clauses by
+    /// `swap_remove`, so after taking index `i` the still-unconsidered
+    /// clauses occupy exactly the slots from `i` on). Threading the
+    /// frontier replaces the old full re-scan per ∨-elimination level —
+    /// quadratic in the clause count along one proof path — with one
+    /// in-order pass over the clause set.
+    fn proves_with_splits_from(
+        &self,
+        env: &Env,
+        goal: &Prop,
+        fuel: u32,
+        splits: u32,
+        from: usize,
+    ) -> bool {
+        // The memo key does not carry the frontier, so only frontier-free
+        // queries (every external entry point) consult or fill the table.
+        if !self.config.memoize || from != 0 {
+            return self.proves_structural(env, goal, fuel, splits, from);
         }
         if fuel == 0 {
             return false;
@@ -401,43 +439,75 @@ impl Checker {
         // call (`env_inconsistent`, case splits) stays memoized through
         // its own tables.
         if self.config.solver_cache && matches!(goal, Prop::Lin(_) | Prop::Bv(_) | Prop::Str(_)) {
-            return self.proves_structural(env, goal, fuel, splits);
+            return self.proves_structural(env, goal, fuel, splits, from);
         }
         let key = (env.generation(), PropId::of(goal), splits);
         if let Some(verdict) = self.caches().proves.lookup(key, fuel) {
             return verdict;
         }
-        let verdict = self.proves_structural(env, goal, fuel, splits);
+        let verdict = self.proves_structural(env, goal, fuel, splits, from);
         self.caches().proves.store(key, fuel, verdict);
         verdict
     }
 
-    fn proves_structural(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32) -> bool {
+    fn proves_structural(
+        &self,
+        env: &Env,
+        goal: &Prop,
+        fuel: u32,
+        splits: u32,
+        from: usize,
+    ) -> bool {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };
         if env.is_absurd() {
             return true; // L-Bot
         }
-        if self.prove_direct(env, goal, fuel, splits) {
+        if self.prove_direct(env, goal, fuel, splits, from) {
             return true;
         }
         if self.env_inconsistent(env, fuel) {
             return true; // L-Bot via detected contradiction
         }
-        // ∨-elimination over stored disjunctions.
-        if splits > 0 {
-            for i in 0..env.disjs().len() {
-                let mut left = env.clone();
-                let (p, q) = left.take_disj(i);
-                let (p, q) = (p.get(), q.get());
-                let mut right = left.clone();
-                self.assume(&mut left, &p, fuel);
-                if !self.proves_with_splits(&left, goal, fuel, splits - 1) {
-                    continue;
+        // ∨-elimination over the unconsidered stored disjunctions.
+        let n = env.disjs().len();
+        if splits == 0 || from >= n {
+            return false;
+        }
+        if self.config.lazy_splits && n - from > 1 {
+            // Lazy scheduling, two passes: split goal-relevant clauses
+            // (sharing a free variable or a solver theory with the goal)
+            // first, deferring the rest. Candidates are tried against the
+            // *same* environment in both passes and branch agendas depend
+            // only on the clause's position — never on the pass — so the
+            // verdict is exactly the eager in-order loop's; only the
+            // order in which successful splits are found changes.
+            let (goal_vars, goal_mask) = crate::intern::prop_relevance(goal);
+            let relevant: Vec<bool> = env.disjs()[from..]
+                .iter()
+                .map(|&(p, q)| {
+                    let (vars, mask) = self.clause_meta(p, q);
+                    mask & goal_mask != 0 || goal_vars.iter().any(|x| vars.binary_search(x).is_ok())
+                })
+                .collect();
+            #[cfg(feature = "stats")]
+            crate::cache::SplitStats::bump(
+                &self.caches().splits.deferred,
+                relevant.iter().filter(|r| !**r).count() as u64,
+            );
+            for pass in 0..2 {
+                for i in from..n {
+                    if relevant[i - from] == (pass == 0)
+                        && self.try_split(env, goal, fuel, splits, i)
+                    {
+                        return true;
+                    }
                 }
-                self.assume(&mut right, &q, fuel);
-                if self.proves_with_splits(&right, goal, fuel, splits - 1) {
+            }
+        } else {
+            for i in from..n {
+                if self.try_split(env, goal, fuel, splits, i) {
                     return true;
                 }
             }
@@ -445,17 +515,64 @@ impl Checker {
         false
     }
 
-    fn prove_direct(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32) -> bool {
+    /// One ∨-elimination attempt on the stored clause at slot `i`: prove
+    /// the goal under each literal in turn. A literal whose assumption
+    /// is immediately absurd collapses the clause to a *unit* — the goal
+    /// only needs proving under the other side (which the eager search
+    /// discovers too, after recursing into the absurd branch).
+    fn try_split(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32, i: usize) -> bool {
+        let mut left = env.clone();
+        let (p, q) = left.take_disj(i);
+        let (p, q) = (p.get(), q.get());
+        let mut right = left.clone();
+        #[cfg(feature = "stats")]
+        crate::cache::SplitStats::bump(&self.caches().splits.taken, 1);
+        self.assume(&mut left, &p, fuel);
+        if left.is_absurd() {
+            #[cfg(feature = "stats")]
+            crate::cache::SplitStats::bump(&self.caches().splits.units, 1);
+        } else if !self.proves_with_splits_from(&left, goal, fuel, splits - 1, i) {
+            return false;
+        }
+        self.assume(&mut right, &q, fuel);
+        self.proves_with_splits_from(&right, goal, fuel, splits - 1, i)
+    }
+
+    /// Relevance metadata for a stored clause — the union of both
+    /// literals' free variables and theory bits — memoized per literal
+    /// pair.
+    fn clause_meta(&self, p: PropId, q: PropId) -> crate::cache::ClauseMeta {
+        if let Some(meta) = self.caches().clause_meta.lookup(&(p, q)) {
+            return meta;
+        }
+        let lits = crate::intern::props_relevance([p, q]);
+        let (pv, pm) = &lits[0];
+        let (qv, qm) = &lits[1];
+        let meta: crate::cache::ClauseMeta = if qv.is_empty() {
+            (pv.clone(), pm | qm)
+        } else if pv.is_empty() {
+            (qv.clone(), pm | qm)
+        } else {
+            let mut vars: Vec<Symbol> = pv.iter().chain(qv.iter()).copied().collect();
+            vars.sort_unstable();
+            vars.dedup();
+            (vars.into(), pm | qm)
+        };
+        self.caches().clause_meta.store((p, q), meta.clone());
+        meta
+    }
+
+    fn prove_direct(&self, env: &Env, goal: &Prop, fuel: u32, splits: u32, from: usize) -> bool {
         match goal {
             Prop::TT => true,
             Prop::FF => false, // inconsistency is handled by the caller
             Prop::And(a, b) => {
-                self.proves_with_splits(env, a, fuel, splits)
-                    && self.proves_with_splits(env, b, fuel, splits)
+                self.proves_with_splits_from(env, a, fuel, splits, from)
+                    && self.proves_with_splits_from(env, b, fuel, splits, from)
             }
             Prop::Or(a, b) => {
-                self.proves_with_splits(env, a, fuel, splits)
-                    || self.proves_with_splits(env, b, fuel, splits)
+                self.proves_with_splits_from(env, a, fuel, splits, from)
+                    || self.proves_with_splits_from(env, b, fuel, splits, from)
             }
             Prop::Is(o, t) => {
                 let o = env.resolve(o);
@@ -742,7 +859,7 @@ impl Checker {
             if let Some(v) = self.caches().re.lookup(&fp) {
                 return v;
             }
-            let v = self.str_entails_structural(env, goal);
+            let v = self.str_entails_session(env, goal);
             self.caches().re.store(fp, v);
             return v;
         }
@@ -776,7 +893,7 @@ impl Checker {
             if let Some(v) = self.caches().re.lookup(&fp) {
                 return v;
             }
-            let v = self.str_check(env).is_unsat();
+            let v = self.str_check_session(env).is_unsat();
             self.caches().re.store(fp, v);
             return v;
         }
@@ -798,7 +915,7 @@ impl Checker {
 }
 
 /// Evaluates a regex atom whose subject is a literal; `None` if open.
-fn ground_str_atom(a: &StrAtomProp) -> Option<bool> {
+pub(crate) fn ground_str_atom(a: &StrAtomProp) -> Option<bool> {
     match &a.lhs {
         StrObj::Const(s) => Some(a.re.is_match(s) == a.positive),
         StrObj::Path(_) => None,

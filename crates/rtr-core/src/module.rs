@@ -159,10 +159,16 @@ impl Checker {
             .iter()
             .filter_map(ModuleItem::body)
             .any(|e| !self.fits_inline_stack(e));
-        if deep {
-            self.on_big_stack(|| self.check_module_inner(items))
-        } else {
-            self.check_module_inner(items)
+        if !deep {
+            return self.check_module_inner(items);
+        }
+        // Deep modules ride the persistent big-stack worker (warm stack
+        // pages) when it is free; see `check_program`.
+        let this = self.clone();
+        let owned = items.to_vec();
+        match crate::check::big_stack::run(move || this.check_module_inner(&owned)) {
+            Some(r) => r,
+            None => self.on_big_stack(|| self.check_module_inner(items)),
         }
     }
 

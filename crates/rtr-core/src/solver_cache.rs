@@ -40,7 +40,7 @@ use rtr_solver::fxhash::FxHashMap;
 use rtr_solver::bv::{BvLit, BvResult, BvSession, BvTerm};
 use rtr_solver::lin::{Constraint, FmTrace, FourierMotzkin, LinExpr, LinResult, SolverVar};
 use rtr_solver::rational::Rat;
-use rtr_solver::re::Regex;
+use rtr_solver::re::{ReConstraint, ReResult, ReSession, Regex};
 
 use crate::cache::SOLVER_TABLE_CAP;
 use crate::check::Checker;
@@ -57,6 +57,10 @@ const TRACE_MAX_PENDING: usize = 8;
 /// past that the blaster refuses new encodings, so a session allowed to
 /// reach it would answer `Unknown` forever instead of being retired.
 const SESSION_MAX_VARS: u32 = 1 << 19;
+
+/// Retire the regex session once its DFA caches hold this many states
+/// (a fresh session recompiles lazily; the fingerprint memos survive).
+const SESSION_MAX_STATES: usize = 1 << 16;
 
 // --- canonical fingerprints ---------------------------------------------
 
@@ -694,6 +698,117 @@ impl Checker {
             }
             None => false,
         }
+    }
+}
+
+// --- the persistent regex oracle ----------------------------------------
+
+/// The checker's long-lived regex solving state: a stable path→variable
+/// mapping (so identical atoms re-translate to identical constraints
+/// across queries) and the persistent [`ReSession`] whose literal-DFA,
+/// intersection-product, and emptiness-witness caches warm up across the
+/// checking run. Session verdicts are per-variable and invariant under
+/// variable renaming, so the stable mapping cannot change any verdict
+/// relative to the one-shot translator's per-query numbering.
+#[derive(Debug)]
+pub(crate) struct ReOracle {
+    vars: FxHashMap<Path, SolverVar>,
+    pub(crate) session: ReSession,
+}
+
+impl ReOracle {
+    fn new(config: &crate::config::CheckerConfig) -> ReOracle {
+        ReOracle {
+            vars: FxHashMap::default(),
+            session: ReSession::new(config.re),
+        }
+    }
+
+    fn var(&mut self, p: &Path) -> SolverVar {
+        if let Some(&v) = self.vars.get(p) {
+            return v;
+        }
+        let v = SolverVar(self.vars.len() as u32);
+        self.vars.insert(p.clone(), v);
+        v
+    }
+
+    fn constraint(&mut self, a: &StrAtomProp) -> ReConstraint {
+        let crate::syntax::StrObj::Path(p) = &a.lhs else {
+            unreachable!("ground atoms are filtered before translation")
+        };
+        ReConstraint {
+            var: self.var(p),
+            regex: a.re.clone(),
+            positive: a.positive,
+        }
+    }
+}
+
+impl Checker {
+    /// Runs `query` against the persistent regex session, retiring and
+    /// recreating the session when its DFA caches outgrow the budget.
+    fn with_re_oracle<R>(&self, query: impl FnOnce(&mut ReOracle) -> R) -> R {
+        let mut guard = self.caches().re_oracle.lock().expect("cache poisoned");
+        let oracle = guard.get_or_insert_with(|| ReOracle::new(&self.config));
+        if oracle.session.num_states() > SESSION_MAX_STATES {
+            *oracle = ReOracle::new(&self.config);
+        }
+        query(oracle)
+    }
+
+    /// Cache-effectiveness counters of the live regex session (zeroes
+    /// when no string-theory query has run yet).
+    #[cfg(feature = "stats")]
+    pub(crate) fn re_session_stats(&self) -> rtr_solver::re::ReSessionStats {
+        self.caches()
+            .re_oracle
+            .lock()
+            .expect("cache poisoned")
+            .as_ref()
+            .map(|o| o.session.stats())
+            .unwrap_or_default()
+    }
+
+    /// Entailment `facts ⊨ goal` in the regex theory via the persistent
+    /// session. Ground atoms are decided by the matcher first, exactly as
+    /// in the one-shot adapter, so verdicts agree with it everywhere.
+    pub(crate) fn str_entails_session(&self, env: &Env, goal: &StrAtomProp) -> bool {
+        let mut facts = Vec::new();
+        for a in env.str_facts() {
+            match crate::logic::ground_str_atom(a) {
+                // A false ground fact makes Γ inconsistent: entail anything.
+                Some(false) => return true,
+                Some(true) => {}
+                None => facts.push(a),
+            }
+        }
+        match crate::logic::ground_str_atom(goal) {
+            Some(truth) => truth,
+            None => self.with_re_oracle(|oracle| {
+                let facts: Vec<ReConstraint> =
+                    facts.into_iter().map(|a| oracle.constraint(a)).collect();
+                let goal = oracle.constraint(goal);
+                oracle.session.entails(&facts, &goal)
+            }),
+        }
+    }
+
+    /// Satisfiability of `env`'s regex facts via the persistent session.
+    pub(crate) fn str_check_session(&self, env: &Env) -> ReResult {
+        let mut facts = Vec::new();
+        for a in env.str_facts() {
+            match crate::logic::ground_str_atom(a) {
+                Some(false) => return ReResult::Unsat,
+                Some(true) => {}
+                None => facts.push(a),
+            }
+        }
+        self.with_re_oracle(|oracle| {
+            let facts: Vec<ReConstraint> =
+                facts.into_iter().map(|a| oracle.constraint(a)).collect();
+            oracle.session.check(&facts)
+        })
     }
 }
 

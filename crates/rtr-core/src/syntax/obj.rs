@@ -559,6 +559,19 @@ impl Obj {
         }
     }
 
+    /// The first free variable satisfying `pred` (pre-order), if any —
+    /// the allocation-free counterpart of [`Obj::free_vars`] for callers
+    /// that only need one witness (e.g. alias resolution).
+    pub fn find_var(&self, pred: &mut dyn FnMut(Symbol) -> bool) -> Option<Symbol> {
+        match self {
+            Obj::Null | Obj::Str(_) | Obj::Re(_) => None,
+            Obj::Path(p) => pred(p.base).then_some(p.base),
+            Obj::Pair(a, b) => a.find_var(pred).or_else(|| b.find_var(pred)),
+            Obj::Lin(l) => l.terms.iter().map(|(_, p)| p.base).find(|x| pred(*x)),
+            Obj::Bv(b) => bv_find_var(b, pred),
+        }
+    }
+
     /// Iterates over every path mentioned in the object.
     pub fn paths(&self, out: &mut Vec<Path>) {
         match self {
@@ -610,6 +623,20 @@ fn subst_bv(b: &BvObj, x: Symbol, rep: &Obj) -> Option<BvObj> {
             Box::new(subst_bv(c, x, rep)?),
         ),
     })
+}
+
+fn bv_find_var(b: &BvObj, pred: &mut dyn FnMut(Symbol) -> bool) -> Option<Symbol> {
+    match b {
+        BvObj::Const(_) => None,
+        BvObj::Path(p) => pred(p.base).then_some(p.base),
+        BvObj::Not(a) => bv_find_var(a, pred),
+        BvObj::And(a, b)
+        | BvObj::Or(a, b)
+        | BvObj::Xor(a, b)
+        | BvObj::Add(a, b)
+        | BvObj::Sub(a, b)
+        | BvObj::Mul(a, b) => bv_find_var(a, pred).or_else(|| bv_find_var(b, pred)),
+    }
 }
 
 fn bv_free_vars(b: &BvObj, out: &mut std::collections::HashSet<Symbol>) {

@@ -374,6 +374,24 @@ impl Prop {
         }
     }
 
+    /// Does `x` occur free (object level)? Early-exit, allocation-free
+    /// counterpart of [`Prop::free_vars`] — like it, looks only at
+    /// proposition-level objects, not at types embedded in atoms.
+    pub fn mentions_var(&self, x: Symbol) -> bool {
+        let mut is_x = |v: Symbol| v == x;
+        match self {
+            Prop::TT | Prop::FF => false,
+            Prop::Is(o, _) | Prop::IsNot(o, _) => o.find_var(&mut is_x).is_some(),
+            Prop::And(p, q) | Prop::Or(p, q) => p.mentions_var(x) || q.mentions_var(x),
+            Prop::Alias(o1, o2) => {
+                o1.find_var(&mut is_x).is_some() || o2.find_var(&mut is_x).is_some()
+            }
+            Prop::Lin(a) => a.mentions_var(x),
+            Prop::Bv(a) => a.mentions_var(x),
+            Prop::Str(a) => a.mentions_var(x),
+        }
+    }
+
     /// Collects free (object-level) variables.
     pub fn free_vars(&self, out: &mut std::collections::HashSet<Symbol>) {
         match self {

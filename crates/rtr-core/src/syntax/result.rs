@@ -101,17 +101,16 @@ impl TyResult {
     }
 
     /// Does `x` occur free anywhere substitution could reach? (A cheap
-    /// over-approximation used to skip identity substitutions.)
+    /// over-approximation used to skip identity substitutions —
+    /// early-exit and allocation-free, since `let` exits call this once
+    /// per binder and nearly always get `false` under representative
+    /// objects.)
     fn mentions_var(&self, x: Symbol) -> bool {
-        let mut fv = std::collections::HashSet::new();
-        for (_, t) in &self.existentials {
-            t.free_obj_vars(&mut fv);
-        }
-        self.ty.free_obj_vars(&mut fv);
-        self.then_p.free_vars(&mut fv);
-        self.else_p.free_vars(&mut fv);
-        self.obj.free_vars(&mut fv);
-        fv.contains(&x)
+        self.existentials.iter().any(|(_, t)| t.mentions_obj_var(x))
+            || self.ty.mentions_obj_var(x)
+            || self.then_p.mentions_var(x)
+            || self.else_p.mentions_var(x)
+            || self.obj.find_var(&mut |v| v == x).is_some()
     }
 
     /// Capture-avoiding object substitution through the whole result.

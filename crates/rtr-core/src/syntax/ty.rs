@@ -328,6 +328,37 @@ impl Ty {
         }
     }
 
+    /// Does `x` occur free as an *object-level* variable? Early-exit,
+    /// allocation-free counterpart of [`Ty::free_obj_vars`] (same binder
+    /// discipline: refinement variables and function parameters shadow).
+    pub fn mentions_obj_var(&self, x: Symbol) -> bool {
+        match self {
+            Ty::Top
+            | Ty::Int
+            | Ty::True
+            | Ty::False
+            | Ty::Unit
+            | Ty::BitVec
+            | Ty::Str
+            | Ty::Regex
+            | Ty::TVar(_) => false,
+            Ty::Pair(a, b) => a.mentions_obj_var(x) || b.mentions_obj_var(x),
+            Ty::Vec(e) => e.mentions_obj_var(x),
+            Ty::Union(ts) => ts.iter().any(|t| t.mentions_obj_var(x)),
+            Ty::Refine(r) => r.base.mentions_obj_var(x) || (r.var != x && r.prop.mentions_var(x)),
+            Ty::Fun(f) => {
+                if f.params.iter().any(|(p, _)| *p == x) {
+                    return false;
+                }
+                f.params.iter().any(|(_, d)| d.mentions_obj_var(x))
+                    || f.range.ty.mentions_obj_var(x)
+                    || f.range.then_p.mentions_var(x)
+                    || f.range.else_p.mentions_var(x)
+            }
+            Ty::Poly(p) => p.body.mentions_obj_var(x),
+        }
+    }
+
     /// Size of the type term (used to bound recursion in tests/fuzzing).
     pub fn size(&self) -> usize {
         match self {

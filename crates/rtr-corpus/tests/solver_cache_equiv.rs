@@ -50,6 +50,87 @@ fn solver_cached_checker_classifies_sites_like_the_one_shot_reference() {
     }
 }
 
+/// String-theory sites: regex-guarded modules — well-typed, ill-typed,
+/// ground-literal, subtyping-by-language-inclusion and mixed-theory —
+/// must produce identical verdicts and diagnostic codes with the
+/// persistent regex session (`solver_cache: true` routes entailments
+/// through warm DFA/product caches) and with the one-shot reference.
+#[test]
+fn string_theory_sites_agree_with_and_without_solver_cache() {
+    let digits_fn = r#"
+(: digits-only : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (digits-only s) (string-length s))
+"#;
+    let sites: Vec<String> = vec![
+        // Guarded call: verifies through the membership atom.
+        format!(
+            r#"{digits_fn}
+(: parse-port : Str -> Int)
+(define (parse-port s)
+  (if (regexp-match? #rx"[0-9]+" s) (digits-only s) 0))"#
+        ),
+        // Unguarded call: must fail identically.
+        format!(
+            r#"{digits_fn}
+(: broken : Str -> Int)
+(define (broken s) (digits-only s))"#
+        ),
+        // Ground literals, one passing and one failing.
+        format!("{digits_fn}(digits-only \"2016\")"),
+        format!("{digits_fn}(digits-only \"pldi\")"),
+        // Subtyping as language inclusion, both directions.
+        r#"
+(: any-digits : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (any-digits s) 1)
+(: use : [s : Str #:where (=~ s #rx"[0-9]{4}")] -> Int)
+(define (use s) (any-digits s))"#
+            .to_owned(),
+        r#"
+(: year-only : [s : Str #:where (=~ s #rx"[0-9]{4}")] -> Int)
+(define (year-only s) 1)
+(: use : [s : Str #:where (=~ s #rx"[0-9]+")] -> Int)
+(define (use s) (year-only s))"#
+            .to_owned(),
+        // Negated membership learned in the else branch.
+        r#"
+(: no-digits : [s : Str #:where (!~ s #rx"[0-9]+")] -> Int)
+(define (no-digits s) 0)
+(: classify : Str -> Int)
+(define (classify s)
+  (if (regexp-match? #rx"[0-9]+" s) 1 (no-digits s)))"#
+            .to_owned(),
+        // Union narrowing composed with the regex theory.
+        format!(
+            r#"{digits_fn}
+(: handle : (U Str Int) -> Int)
+(define (handle x)
+  (if (string? x)
+      (if (regexp-match? #rx"[0-9]+" x) (digits-only x) 0)
+      x))"#
+        ),
+    ];
+    let cached = Checker::default();
+    let one_shot = Checker::with_config(CheckerConfig {
+        solver_cache: false,
+        ..CheckerConfig::default()
+    });
+    for (i, src) in sites.iter().enumerate() {
+        let fast = rtr_lang::check_module_source(src, &cached);
+        let slow = rtr_lang::check_module_source(src, &one_shot);
+        let codes = |r: &rtr_lang::module::ModuleReport| {
+            r.diagnostics
+                .iter()
+                .map(|d| format!("{:?}", d.code))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            codes(&fast),
+            codes(&slow),
+            "string-theory site {i} diverged with solver caching:\n{src}"
+        );
+    }
+}
+
 /// The full §5 study, both configurations, all 1085 operations.
 #[test]
 fn full_corpus_classification_identical_with_and_without_solver_cache() {

@@ -448,7 +448,7 @@ pub fn check_source(src: &str, checker: &Checker) -> Result<TyResult, LangError>
     }
     let spans = m.spans;
     let program = nest_program(m.items);
-    checker.check_program(&program).map_err(|mut d| {
+    checker.check_program_owned(program).map_err(|mut d| {
         d.resolve_spans(&spans);
         LangError::Type(d)
     })

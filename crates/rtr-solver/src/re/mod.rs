@@ -37,10 +37,12 @@
 
 mod dfa;
 mod nfa;
+mod session;
 mod solver;
 mod syntax;
 
 pub use dfa::Dfa;
 pub use nfa::Nfa;
+pub use session::{ReSession, ReSessionStats};
 pub use solver::{ReConfig, ReConstraint, ReResult, ReSolver};
 pub use syntax::{ClassSet, ReParseError, Regex, ALPHABET};

@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use rtr_solver::lin::SolverVar;
-use rtr_solver::re::{ClassSet, Dfa, Nfa, ReConstraint, ReResult, ReSolver, Regex};
+use rtr_solver::re::{
+    ClassSet, Dfa, Nfa, ReConfig, ReConstraint, ReResult, ReSession, ReSolver, Regex,
+};
 
 const BUDGET: usize = 1 << 12;
 
@@ -186,6 +188,41 @@ proptest! {
         let printed = re.to_string();
         let back = Regex::parse(&printed);
         prop_assert_eq!(back.as_ref(), Ok(&re), "printed {:?}", printed);
+    }
+
+    /// A persistent session answers a random *sequence* of queries — its
+    /// caches progressively warm — exactly like a fresh one-shot solver
+    /// answers each query, at a generous budget and at a starved one
+    /// (where budget-blown intermediates must still agree).
+    #[test]
+    fn session_sequence_agrees_with_one_shot(
+        pool in prop::collection::vec(arb_regex(), 2..5),
+        picks in prop::collection::vec(
+            prop::collection::vec((0usize..4, 0usize..2, any::<bool>()), 1..4),
+            1..6,
+        ),
+    ) {
+        let pool: Vec<Arc<Regex>> = pool.into_iter().map(Arc::new).collect();
+        for budget in [1 << 12, 24] {
+            let config = ReConfig { max_dfa_states: budget };
+            let mut session = ReSession::new(config);
+            let one_shot = ReSolver::new(config);
+            for query in &picks {
+                let cs: Vec<ReConstraint> = query
+                    .iter()
+                    .map(|&(r, v, pos)| ReConstraint {
+                        var: SolverVar(v as u32),
+                        regex: pool[r % pool.len()].clone(),
+                        positive: pos,
+                    })
+                    .collect();
+                prop_assert_eq!(
+                    session.check(&cs),
+                    one_shot.check(&cs),
+                    "budget {} query {:?}", budget, cs
+                );
+            }
+        }
     }
 }
 

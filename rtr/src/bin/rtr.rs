@@ -283,6 +283,7 @@ fn print_cache_stats(checker: &Checker) {
         ("solver/lin", s.lin),
         ("solver/bv", s.bv),
         ("solver/re", s.re),
+        ("clause-meta", s.clause_meta),
     ] {
         let total = hits + misses;
         let rate = if total == 0 {
@@ -292,6 +293,20 @@ fn print_cache_stats(checker: &Checker) {
         };
         eprintln!("  {name:<14} {hits:>10} / {misses:<10} ({rate:.1}% hit)");
     }
+    let (units, taken, deferred) = s.splits;
+    eprintln!("case splits:");
+    eprintln!("  taken {taken}   unit-propagated {units}   deferred to 2nd pass {deferred}");
+    let re = s.re_session;
+    eprintln!("regex session (hits/misses):");
+    eprintln!(
+        "  dfa {} / {}   product {} / {}   witness {} / {}",
+        re.dfa_hits,
+        re.dfa_misses,
+        re.product_hits,
+        re.product_misses,
+        re.witness_hits,
+        re.witness_misses
+    );
     let e = rtr::core::env::env_stats();
     eprintln!("environment maps:");
     eprintln!(
