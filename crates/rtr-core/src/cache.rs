@@ -25,11 +25,27 @@
 use std::hash::Hash;
 
 use rtr_solver::fxhash::FxHashMap;
-#[cfg(feature = "stats")]
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::intern::{PropId, TyId};
+
+/// Poison-recovering lock: a memo table only ever holds *valid-if-present*
+/// entries (every store is sound to replay or to lose), so a panic while a
+/// lock was held cannot leave a table in a state worse than "some entries
+/// missing". Recovering from the poison flag keeps warm caches alive after
+/// an isolated item panic instead of cascading the abort to every later
+/// check.
+pub(crate) trait LockRecover<T> {
+    /// Locks, clearing a poison flag left by a panicked holder.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockRecover<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
 
 /// Entries above this count trigger a table flush (memory backstop).
 const TABLE_CAP: usize = 1 << 20;
@@ -91,7 +107,7 @@ impl<K> Default for Table<K> {
 
 impl<K: Eq + Hash + Copy> Table<K> {
     pub(crate) fn lookup(&self, key: K, fuel: u32) -> Option<bool> {
-        let verdict = match self.map.lock().expect("cache poisoned").get(&key) {
+        let verdict = match self.map.lock_recover().get(&key) {
             Some(Entry::True) => Some(true),
             Some(Entry::FalseAt(f)) if fuel <= *f => Some(false),
             _ => None,
@@ -105,7 +121,7 @@ impl<K: Eq + Hash + Copy> Table<K> {
     }
 
     pub(crate) fn store(&self, key: K, fuel: u32, verdict: bool) {
-        let mut map = self.map.lock().expect("cache poisoned");
+        let mut map = self.map.lock_recover();
         if map.len() >= TABLE_CAP {
             map.clear();
         }
@@ -123,7 +139,11 @@ impl<K: Eq + Hash + Copy> Table<K> {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.map.lock_recover().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock_recover().clear();
     }
 }
 
@@ -147,7 +167,7 @@ impl<K> Default for SimpleTable<K> {
 
 impl<K: Eq + Hash + Copy> SimpleTable<K> {
     pub(crate) fn lookup(&self, key: K) -> Option<bool> {
-        let verdict = self.map.lock().expect("cache poisoned").get(&key).copied();
+        let verdict = self.map.lock_recover().get(&key).copied();
         #[cfg(feature = "stats")]
         match verdict {
             Some(_) => self.counters.hit(),
@@ -157,7 +177,7 @@ impl<K: Eq + Hash + Copy> SimpleTable<K> {
     }
 
     pub(crate) fn store(&self, key: K, verdict: bool) {
-        let mut map = self.map.lock().expect("cache poisoned");
+        let mut map = self.map.lock_recover();
         if map.len() >= TABLE_CAP {
             map.clear();
         }
@@ -165,7 +185,11 @@ impl<K: Eq + Hash + Copy> SimpleTable<K> {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.map.lock_recover().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock_recover().clear();
     }
 }
 
@@ -192,7 +216,7 @@ impl<K, V> Default for VerdictMap<K, V> {
 
 impl<K: Eq + Hash, V: Clone> VerdictMap<K, V> {
     pub(crate) fn lookup(&self, key: &K) -> Option<V> {
-        let verdict = self.map.lock().expect("cache poisoned").get(key).cloned();
+        let verdict = self.map.lock_recover().get(key).cloned();
         #[cfg(feature = "stats")]
         match verdict {
             Some(_) => self.counters.hit(),
@@ -202,7 +226,7 @@ impl<K: Eq + Hash, V: Clone> VerdictMap<K, V> {
     }
 
     pub(crate) fn store(&self, key: K, verdict: V) {
-        let mut map = self.map.lock().expect("cache poisoned");
+        let mut map = self.map.lock_recover();
         if map.len() >= SOLVER_TABLE_CAP {
             map.clear();
         }
@@ -210,7 +234,11 @@ impl<K: Eq + Hash, V: Clone> VerdictMap<K, V> {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.map.lock_recover().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock_recover().clear();
     }
 }
 
@@ -335,6 +363,9 @@ pub(crate) struct Caches {
     /// can be replayed instead of re-derived at every application.
     pub(crate) instantiations:
         Mutex<FxHashMap<(crate::syntax::Prim, Vec<TyId>), crate::syntax::FunTy>>,
+    /// The interner evict-epoch this cache set has reconciled against
+    /// (see [`Caches::reconcile_evictions`]).
+    evict_seen: AtomicU64,
 }
 
 impl Caches {
@@ -350,6 +381,33 @@ impl Caches {
             + self.bv.len()
             + self.re.len()
             + self.clause_meta.len()
-            + self.lin_stores.lock().expect("cache poisoned").len()
+            + self.lin_stores.lock_recover().len()
+    }
+
+    /// Brings this cache set up to date with the interner's fresh-region
+    /// evictions (see [`crate::intern`]): if another session evicted the
+    /// fresh arena since our last check, drop the one table whose
+    /// *values* are type ids — a stale fresh id stored there would panic
+    /// on materialization. Keys are harmless: fresh indices are monotone
+    /// across evictions (never reused), so a stale key can only miss,
+    /// never alias a live entry.
+    pub(crate) fn reconcile_evictions(&self) {
+        let epoch = crate::intern::evict_epoch();
+        if self.evict_seen.swap(epoch, Ordering::Relaxed) != epoch {
+            self.update.clear();
+        }
+    }
+
+    /// Flushes the judgment-level memo tables (chaos `CacheFlush`
+    /// injection point; also usable as a memory release valve). Sound by
+    /// construction — every entry is a pure function of its key.
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    pub(crate) fn flush_judgment_tables(&self) {
+        self.subtype.clear();
+        self.proves.clear();
+        self.inconsistent.clear();
+        self.empty.clear();
+        self.update.clear();
+        self.overlap.clear();
     }
 }

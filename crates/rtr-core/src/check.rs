@@ -7,8 +7,10 @@
 //! propagated upward instead of eagerly simplified, and let-bound aliases
 //! are applied eagerly (representative objects).
 
+use crate::budget::{BudgetState, Judgment, LimitKind};
+use crate::cache::LockRecover;
 use crate::config::CheckerConfig;
-use crate::diag::{Diagnostic, NodeId};
+use crate::diag::{Code, Diagnostic, NodeId};
 use crate::env::Env;
 use crate::mutation::mutated_vars;
 use crate::prims::delta;
@@ -94,6 +96,21 @@ pub(crate) fn attach_node(mut d: Box<Diagnostic>, node: Option<NodeId>) -> Box<D
     d
 }
 
+/// Extracts the human-readable payload of a caught panic for an `E0203`
+/// internal-error diagnostic. `panic!("...")` payloads are `&str` or
+/// `String`; anything else gets a fixed placeholder.
+/// Extracts the human-readable message from a caught panic payload, for
+/// rendering an isolated internal error (`E0203`) diagnostic.
+pub fn panic_detail(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_owned()
+    }
+}
+
 /// The λ_RTR type checker.
 ///
 /// # Examples
@@ -121,6 +138,11 @@ pub struct Checker {
     /// Memo tables for the mutually recursive judgments; shared by clones
     /// (sound: keys embed globally unique environment generations).
     caches: std::sync::Arc<crate::cache::Caches>,
+    /// Resource-governance state (see [`crate::budget`]). The resident
+    /// state is shared by clones; `check_program`/`check_module` fork a
+    /// fresh one per check (and per module item) so one pathological
+    /// item cannot starve its neighbours.
+    budget: std::sync::Arc<BudgetState>,
 }
 
 /// Cache-effectiveness counters, per memo table (`hits`, `misses`).
@@ -170,9 +192,11 @@ impl Checker {
 
     /// A checker with an explicit configuration.
     pub fn with_config(config: CheckerConfig) -> Checker {
+        let budget = std::sync::Arc::new(BudgetState::from_config(&config, None));
         Checker {
             config,
             caches: Default::default(),
+            budget,
         }
     }
 
@@ -184,6 +208,118 @@ impl Checker {
 
     pub(crate) fn caches(&self) -> &crate::cache::Caches {
         &self.caches
+    }
+
+    /// The resource-governance state governing the current check.
+    pub(crate) fn budget(&self) -> &BudgetState {
+        &self.budget
+    }
+
+    /// A clone of this checker with a fresh per-check budget (deadline
+    /// computed now from `timeout_ms`, zeroed counters and trip flag).
+    pub(crate) fn fork_check(&self) -> Checker {
+        Checker {
+            config: self.config.clone(),
+            caches: std::sync::Arc::clone(&self.caches),
+            budget: std::sync::Arc::new(self.budget.fork_check(self.config.timeout_ms)),
+        }
+    }
+
+    /// A clone of this checker with a fresh per-item budget: same
+    /// limits and deadline as the current check, zeroed counters and
+    /// trip flag, chaos stream salted by `salt` (the item index).
+    pub(crate) fn fork_item(&self, salt: u64) -> Checker {
+        Checker {
+            config: self.config.clone(),
+            caches: std::sync::Arc::clone(&self.caches),
+            budget: std::sync::Arc::new(self.budget.fork_item(salt)),
+        }
+    }
+
+    /// Should the current judgment verdict be written to the shared
+    /// memo tables? Not once the budget tripped: post-trip verdicts are
+    /// conservative degradations, and the trip condition (steps,
+    /// deadline, injected faults) is not part of any cache key.
+    pub(crate) fn may_store(&self) -> bool {
+        self.budget.tripped().is_none()
+    }
+
+    /// Theory-solver entry gate: `true` means "skip the query and answer
+    /// conservatively". Fires when the wall-clock deadline has passed
+    /// (a single solver query can run long between step polls, so the
+    /// boundary is re-checked here) or when the chaos harness injects a
+    /// forced-unknown at this query.
+    pub(crate) fn solver_gate(&self) -> bool {
+        if self.budget.tripped().is_some() || self.budget.poll_deadline() {
+            return true;
+        }
+        #[cfg(feature = "chaos")]
+        if self
+            .budget
+            .chaos_roll(crate::budget::ChaosPoint::SolverEntry)
+        {
+            self.budget.trip(LimitKind::Chaos);
+            return true;
+        }
+        false
+    }
+
+    /// Replaces a conservative rejection obtained under a tripped
+    /// budget with the structured `E0202` diagnostic (keeping the
+    /// original location and recording the masked failure in a note).
+    /// Diagnostics that already carry a resource/ICE code pass through.
+    pub(crate) fn degrade_to_exhausted(
+        &self,
+        d: Diagnostic,
+        context: impl FnOnce() -> String,
+    ) -> Diagnostic {
+        let tripped = self.budget.tripped();
+        self.degrade_with(d, tripped, context)
+    }
+
+    /// [`Checker::degrade_to_exhausted`] with an explicit limit: the
+    /// module driver passes "this item's trip, or any earlier item's"
+    /// so downstream failures caused by a starved (and thus
+    /// coarsely-poisoned) earlier definition also surface as `E0202`.
+    pub(crate) fn degrade_with(
+        &self,
+        d: Diagnostic,
+        limit: Option<LimitKind>,
+        context: impl FnOnce() -> String,
+    ) -> Diagnostic {
+        if matches!(d.code, Code::ResourceExhausted | Code::InternalError) {
+            return d;
+        }
+        let Some(limit) = limit else {
+            return d;
+        };
+        let mut out = Diagnostic::exhausted(context(), limit)
+            .with_note(format!("the conservative failure was: {}", d.message));
+        out.node = d.node;
+        out.primary = d.primary;
+        out
+    }
+
+    /// Module-item entry hook for the chaos harness: may flush the
+    /// judgment memo tables (verdict-neutral — every entry is a pure
+    /// function of its key). No-op without the `chaos` feature.
+    pub(crate) fn chaos_item_entry(&self) {
+        #[cfg(feature = "chaos")]
+        if self
+            .budget
+            .chaos_roll(crate::budget::ChaosPoint::CacheFlush)
+        {
+            self.caches.flush_judgment_tables();
+        }
+    }
+
+    /// Module-item panic injection (exercises the `catch_unwind` → ICE
+    /// isolation path). No-op without the `chaos` feature.
+    pub(crate) fn chaos_item_panic(&self) {
+        #[cfg(feature = "chaos")]
+        if self.budget.chaos_roll(crate::budget::ChaosPoint::ItemPanic) {
+            panic!("{}", crate::budget::CHAOS_PANIC_MSG);
+        }
     }
 
     /// Total entries currently held across the memo tables.
@@ -210,6 +346,14 @@ impl Checker {
         }
     }
 
+    /// Budget-consumption counters accumulated by this checker's forks:
+    /// steps burned per judgment, the recursion-depth high-water mark,
+    /// the minimum wall-clock margin observed, and limit trips.
+    #[cfg(feature = "stats")]
+    pub fn budget_stats(&self) -> crate::budget::BudgetStats {
+        self.budget.stats()
+    }
+
     /// Type checks a whole program: runs the mutation pre-pass (§4.2) and
     /// synthesizes a type-result in the empty environment.
     ///
@@ -223,28 +367,35 @@ impl Checker {
     // ergonomic public shape, and the hot recursive judgments box it.
     #[allow(clippy::result_large_err)]
     pub fn check_program(&self, e: &Expr) -> Result<TyResult, Diagnostic> {
+        let this = self.fork_check();
+        let _live = crate::intern::check_guard();
+        this.caches.reconcile_evictions();
         // ~160 expression levels plus the (default-sized) logic fuel
         // bound stays well within a default 2 MiB test-thread stack. The
         // judgments also recurse up to `logic_fuel` frames, so a raised
         // fuel budget forces the big-stack thread even for shallow
         // programs.
-        if self.fits_inline_stack(e) {
-            return self.check_program_inner(e);
-        }
-        // Deep programs: prefer the persistent worker — a freshly spawned
-        // thread faults in every stack page the deep recursion touches
-        // (hundreds of microseconds for a 256-binder chain), while the
-        // long-lived worker keeps those pages warm across checks. The
-        // worker needs owned inputs; a `Checker` clone is two `Arc`s and
-        // the program copy is linear in its size, both far below one
-        // cold-stack penalty. When the worker is busy (parallel deep
-        // checks), fall back to a scoped one-shot thread.
-        let this = self.clone();
-        let owned = e.clone();
-        match big_stack::run(move || this.check_program_inner(&owned)) {
-            Some(r) => r,
-            None => self.on_big_stack(|| self.check_program_inner(e)),
-        }
+        let r = if this.fits_inline_stack(e) {
+            this.check_program_caught(e)
+        } else {
+            // Deep programs: prefer the persistent worker — a freshly
+            // spawned thread faults in every stack page the deep
+            // recursion touches (hundreds of microseconds for a
+            // 256-binder chain), while the long-lived worker keeps those
+            // pages warm across checks. The worker needs owned inputs; a
+            // `Checker` clone is two `Arc`s and the program copy is
+            // linear in its size, both far below one cold-stack penalty.
+            // When the worker is busy (parallel deep checks), fall back
+            // to a scoped one-shot thread.
+            let that = this.clone();
+            let owned = e.clone();
+            match big_stack::run(move || that.check_program_caught(&owned)) {
+                Some(r) => r,
+                None => this.on_big_stack(|| this.check_program_caught(e)),
+            }
+        };
+        this.budget.note_margin();
+        r.map_err(|d| this.degrade_to_exhausted(d, || "this program".to_owned()))
     }
 
     /// [`Checker::check_program`] by move: deep programs ship the owned
@@ -253,14 +404,30 @@ impl Checker {
     /// this whenever the caller is done with the expression.
     #[allow(clippy::result_large_err)]
     pub fn check_program_owned(&self, e: Expr) -> Result<TyResult, Diagnostic> {
-        if self.fits_inline_stack(&e) {
-            return self.check_program_inner(&e);
-        }
-        let this = self.clone();
-        match big_stack::try_run(move || this.check_program_inner(&e)) {
-            Ok(r) => r,
-            Err(job) => self.on_big_stack(job),
-        }
+        let this = self.fork_check();
+        let _live = crate::intern::check_guard();
+        this.caches.reconcile_evictions();
+        let r = if this.fits_inline_stack(&e) {
+            this.check_program_caught(&e)
+        } else {
+            let that = this.clone();
+            match big_stack::try_run(move || that.check_program_caught(&e)) {
+                Ok(r) => r,
+                Err(job) => this.on_big_stack(job),
+            }
+        };
+        this.budget.note_margin();
+        r.map_err(|d| this.degrade_to_exhausted(d, || "this program".to_owned()))
+    }
+
+    /// [`Checker::check_program_inner`] with panic isolation: an
+    /// internal checker bug yields an `E0203` diagnostic instead of
+    /// tearing down the caller (and, through the big-stack worker's
+    /// result channel, the whole process).
+    #[allow(clippy::result_large_err)]
+    fn check_program_caught(&self, e: &Expr) -> Result<TyResult, Diagnostic> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.check_program_inner(e)))
+            .unwrap_or_else(|p| Err(Diagnostic::ice("this program".to_owned(), panic_detail(&p))))
     }
 
     #[allow(clippy::result_large_err)]
@@ -272,12 +439,18 @@ impl Checker {
         self.synth(&env, e).map_err(|d| *d)
     }
 
-    /// Whether `e` (at this checker's fuel budget) can be checked on the
-    /// caller's stack, or needs the dedicated big-stack thread.
+    /// Whether `e` (at this checker's fuel and depth budgets) can be
+    /// checked on the caller's stack, or needs the dedicated big-stack
+    /// thread. The inline depth cap is clamped by the budget's
+    /// `max_depth`, so a lowered depth limit keeps shallow programs
+    /// inline and the runtime depth guard (see [`Checker::synth`])
+    /// turns overruns into `E0202` diagnostics on either path — a
+    /// raised limit can never silently overflow the inline stack.
     pub(crate) fn fits_inline_stack(&self, e: &Expr) -> bool {
         const INLINE_DEPTH: usize = 160;
         const INLINE_MAX_FUEL: u32 = 256;
-        self.config.logic_fuel <= INLINE_MAX_FUEL && e.depth_capped(INLINE_DEPTH) <= INLINE_DEPTH
+        let inline_depth = INLINE_DEPTH.min(self.config.max_depth as usize);
+        self.config.logic_fuel <= INLINE_MAX_FUEL && e.depth_capped(inline_depth) <= inline_depth
     }
 
     /// Runs `f` on a dedicated thread with a 256 MiB stack — the
@@ -308,12 +481,34 @@ impl Checker {
         // Peel span wrappers without a judgment frame; the innermost
         // wrapper is the most precise location for errors arising here.
         let (e, node) = e.peel_spans_with_node();
+        let _frame = self.enter_judgment(Judgment::Synth, node)?;
         match node {
             None => self.synth_peeled(env, e),
             Some(n) => self
                 .synth_peeled(env, e)
                 .map_err(|d| attach_node(d, Some(n))),
         }
+    }
+
+    /// The per-frame budget charge shared by [`Checker::synth`] and
+    /// [`Checker::check_result`]: burn one step, then take the recursion
+    /// depth guard. Either limit tripping turns into a located `E0202`
+    /// diagnostic; the trip is sticky, so every enclosing frame unwinds
+    /// with the same verdict.
+    #[inline]
+    fn enter_judgment(
+        &self,
+        j: Judgment,
+        node: Option<NodeId>,
+    ) -> Result<crate::budget::DepthGuard<'_>, Box<Diagnostic>> {
+        if let Some(k) = self.budget.burn(j) {
+            return Err(Box::new(
+                Diagnostic::exhausted("this expression".to_owned(), k).at(node),
+            ));
+        }
+        self.budget
+            .descend()
+            .map_err(|k| Box::new(Diagnostic::exhausted("this expression".to_owned(), k).at(node)))
     }
 
     fn synth_peeled(&self, env: &Env, e: &Expr) -> Result<TyResult, Box<Diagnostic>> {
@@ -653,6 +848,7 @@ impl Checker {
         // below still sees `if`/`let`/`begin`) and attach the location to
         // bubbling errors.
         let (e, node) = e.peel_spans_with_node();
+        let _frame = self.enter_judgment(Judgment::Synth, node)?;
         match node {
             None => self.check_result_peeled(env, e, expected),
             Some(n) => self
@@ -847,8 +1043,7 @@ impl Checker {
                     let hit = self
                         .caches()
                         .instantiations
-                        .lock()
-                        .expect("cache poisoned")
+                        .lock_recover()
                         .get(&key)
                         .cloned();
                     match hit {
@@ -857,12 +1052,15 @@ impl Checker {
                             let arg_tys: Vec<Ty> =
                                 arg_results.iter().map(|r| r.ty.clone()).collect();
                             let fun = self.instantiate_poly(p, &arg_tys, context)?;
-                            let mut memo =
-                                self.caches().instantiations.lock().expect("cache poisoned");
-                            if memo.len() >= crate::cache::SOLVER_TABLE_CAP {
-                                memo.clear();
+                            // A starved instantiation may be coarser than the
+                            // fault-free one; don't let it poison warm caches.
+                            if self.may_store() {
+                                let mut memo = self.caches().instantiations.lock_recover();
+                                if memo.len() >= crate::cache::SOLVER_TABLE_CAP {
+                                    memo.clear();
+                                }
+                                memo.insert(key, fun.clone());
                             }
-                            memo.insert(key, fun.clone());
                             fun
                         }
                     }

@@ -74,7 +74,30 @@ pub struct CheckerConfig {
     /// Bit width used by the bitvector theory adapter. 16 bits makes the
     /// paper's `Byte = {b:BV | 0 ≤ b ≤ #xff}` refinement non-trivial.
     pub bv_width: u32,
+    /// Resource governance: cap on judgment steps per checked item
+    /// (`None` = unlimited, the default). On exhaustion the item
+    /// degrades to an `E0202` diagnostic (see [`crate::budget`]).
+    pub max_steps: Option<u64>,
+    /// Resource governance: wall-clock budget per check call in
+    /// milliseconds (`None` = no deadline, the default). The deadline
+    /// spans all items of one `check_module` call and is threaded into
+    /// the theory-solver loops.
+    pub timeout_ms: Option<u64>,
+    /// Resource governance: maximum typing-judgment recursion depth.
+    /// Programs nesting deeper degrade to an `E0202` diagnostic instead
+    /// of overflowing the checker's (big) stack. The default comfortably
+    /// covers the 256 MiB big-stack worker.
+    pub max_depth: u32,
+    /// Seeded fault injection (`chaos` Cargo feature): `None` disables
+    /// injection even when compiled in.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<crate::budget::ChaosConfig>,
 }
+
+/// Default `max_depth`: ~2 KiB of stack per judgment frame × 50k frames
+/// stays far below the 256 MiB big-stack worker while exceeding any
+/// program a human (or macro expander) plausibly writes.
+pub const DEFAULT_MAX_DEPTH: u32 = 50_000;
 
 impl Default for CheckerConfig {
     fn default() -> CheckerConfig {
@@ -91,6 +114,11 @@ impl Default for CheckerConfig {
             sat: SolverConfig::default(),
             re: ReConfig::default(),
             bv_width: 16,
+            max_steps: None,
+            timeout_ms: None,
+            max_depth: DEFAULT_MAX_DEPTH,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }

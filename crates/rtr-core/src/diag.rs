@@ -11,9 +11,9 @@
 //!   through the [`SpanTable`] the elaborator builds, including
 //!   synthesized-from provenance for macro-expanded code),
 //! * secondary [`Label`]s,
-//! * a structured [`Payload`] (expected/got as interned [`TyId`]s, the
-//!   refinement proposition that failed as a [`PropId`], and the solver
-//!   theories it mentions), and
+//! * a structured [`Payload`] (expected/got as shared type trees, the
+//!   refinement proposition that failed, and the solver theories it
+//!   mentions), and
 //! * free-form notes.
 //!
 //! [`render`] turns a diagnostic into the human format (source snippet
@@ -21,9 +21,11 @@
 //! use the facade's JSON emitter.
 
 use std::fmt;
+use std::sync::Arc;
 
+use crate::budget::LimitKind;
 use crate::intern::{PropId, TyId, THEORY_BV, THEORY_LIN, THEORY_STR};
-use crate::syntax::{Symbol, Ty};
+use crate::syntax::{Prop, Symbol, Ty};
 
 // ---------------------------------------------------------------------------
 // Source locations
@@ -201,6 +203,15 @@ pub enum Code {
     /// `E0201` — runtime failure (evaluator error surfaced through a
     /// diagnostic-consuming driver).
     RuntimeError,
+    /// `E0202` — a resource-governance limit (steps, deadline, depth,
+    /// or an injected fault) tripped while checking this item; the
+    /// verdict is a *conservative degradation*, not a proof that the
+    /// item is ill-typed. See [`crate::budget`].
+    ResourceExhausted,
+    /// `E0203` — an internal checker error (a panic) was isolated to
+    /// this item; the rest of the module was checked normally. Always a
+    /// bug in the checker, never in the checked program.
+    InternalError,
     /// `W0001` — a `(: name T)` signature with no matching `define`.
     UnusedSignature,
 }
@@ -219,6 +230,8 @@ impl Code {
             Code::ReadError => "E0101",
             Code::SyntaxError => "E0102",
             Code::RuntimeError => "E0201",
+            Code::ResourceExhausted => "E0202",
+            Code::InternalError => "E0203",
             Code::UnusedSignature => "W0001",
         }
     }
@@ -244,6 +257,8 @@ impl Code {
             Code::ReadError,
             Code::SyntaxError,
             Code::RuntimeError,
+            Code::ResourceExhausted,
+            Code::InternalError,
             Code::UnusedSignature,
         ]
     }
@@ -287,10 +302,11 @@ impl fmt::Display for Severity {
 // Payloads and labels
 // ---------------------------------------------------------------------------
 
-/// The structured (machine-readable) part of a diagnostic. Types are
-/// carried as interned [`TyId`]s and failed refinement goals as
-/// [`PropId`]s, so tools can compare them without parsing rendered
-/// strings. Ids are process-local; the JSON emitter renders them.
+/// The structured (machine-readable) part of a diagnostic. Types and
+/// failed refinement goals are carried as shared trees (`Arc<Ty>` /
+/// `Arc<Prop>`), materialized from the interner at construction — a
+/// diagnostic outlives the check that produced it (and any interner
+/// eviction after it), so it must not hold arena ids.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub enum Payload {
     /// No structured payload.
@@ -304,12 +320,12 @@ pub enum Payload {
     /// A subtype check failed.
     Mismatch {
         /// The required type.
-        expected: TyId,
+        expected: Arc<Ty>,
         /// The synthesized type.
-        got: TyId,
+        got: Arc<Ty>,
         /// When the required type is a refinement: the proposition the
         /// proof system could not discharge.
-        failed_prop: Option<PropId>,
+        failed_prop: Option<Arc<Prop>>,
         /// Solver theories the required type mentions — a union of
         /// [`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`] bits. Zero when
         /// the failure is purely structural.
@@ -318,7 +334,7 @@ pub enum Payload {
     /// A non-function was applied.
     NotAFunction {
         /// The operator's synthesized type.
-        got: TyId,
+        got: Arc<Ty>,
     },
     /// Wrong number of arguments.
     Arity {
@@ -330,7 +346,7 @@ pub enum Payload {
     /// `fst`/`snd` on a non-pair.
     NotAPair {
         /// The argument's synthesized type.
-        got: TyId,
+        got: Arc<Ty>,
     },
     /// Local type inference failed.
     CannotInfer {
@@ -342,9 +358,20 @@ pub enum Payload {
         /// The assigned variable.
         var: Symbol,
         /// Its declared type.
-        expected: TyId,
+        expected: Arc<Ty>,
         /// The assigned expression's type.
-        got: TyId,
+        got: Arc<Ty>,
+    },
+    /// A resource-governance limit tripped (`E0202`); the verdict is a
+    /// conservative degradation (see [`crate::budget`]).
+    Exhausted {
+        /// Which limit tripped.
+        limit: LimitKind,
+    },
+    /// An internal checker error was isolated to this item (`E0203`).
+    Ice {
+        /// The panic payload, when it carried one.
+        detail: String,
     },
 }
 
@@ -360,6 +387,8 @@ impl Payload {
             Payload::NotAPair { .. } => "not-a-pair",
             Payload::CannotInfer { .. } => "cannot-infer",
             Payload::BadAssignment { .. } => "bad-assignment",
+            Payload::Exhausted { .. } => "exhausted",
+            Payload::Ice { .. } => "ice",
         }
     }
 }
@@ -453,9 +482,8 @@ impl Diagnostic {
     /// note names them.
     pub fn mismatch(context: String, expected: &Ty, got: &Ty) -> Diagnostic {
         let expected_id = TyId::of(expected);
-        let got_id = TyId::of(got);
         let failed_prop = match expected {
-            Ty::Refine(r) => Some(PropId::of(&r.prop)),
+            Ty::Refine(r) => Some(PropId::of(&r.prop).get()),
             _ => None,
         };
         let theories = expected_id.theory_mask();
@@ -464,9 +492,9 @@ impl Diagnostic {
             format!("type checker error in {context}: expected {expected} but given {got}"),
         )
         .with_payload(Payload::Mismatch {
-            expected: expected_id,
-            got: got_id,
-            failed_prop,
+            expected: expected_id.get(),
+            got: TyId::of(got).get(),
+            failed_prop: failed_prop.clone(),
             theories,
         });
         if let Some(p) = failed_prop {
@@ -477,8 +505,7 @@ impl Diagnostic {
                 format!(" (theories consulted: {})", names.join(", "))
             };
             d = d.with_note(format!(
-                "the refinement {} was not provable here{consulted}",
-                p.get()
+                "the refinement {p} was not provable here{consulted}"
             ));
         }
         d
@@ -490,7 +517,9 @@ impl Diagnostic {
             Code::NotAFunction,
             format!("type checker error in {context}: not a function (has type {got})"),
         )
-        .with_payload(Payload::NotAFunction { got: TyId::of(got) })
+        .with_payload(Payload::NotAFunction {
+            got: TyId::of(got).get(),
+        })
     }
 
     /// `E0004`: wrong number of arguments.
@@ -510,7 +539,9 @@ impl Diagnostic {
             Code::NotAPair,
             format!("type checker error in {context}: not a pair (has type {got})"),
         )
-        .with_payload(Payload::NotAPair { got: TyId::of(got) })
+        .with_payload(Payload::NotAPair {
+            got: TyId::of(got).get(),
+        })
     }
 
     /// `E0006`: polymorphic instantiation failed.
@@ -530,9 +561,39 @@ impl Diagnostic {
         )
         .with_payload(Payload::BadAssignment {
             var,
-            expected: TyId::of(expected),
-            got: TyId::of(got),
+            expected: TyId::of(expected).get(),
+            got: TyId::of(got).get(),
         })
+    }
+
+    /// `E0202`: a resource-governance limit tripped while checking
+    /// `context`. The diagnostic carries the limit in its payload and
+    /// explains the three-valued contract in a note.
+    pub fn exhausted(context: String, limit: LimitKind) -> Diagnostic {
+        Diagnostic::new(
+            Code::ResourceExhausted,
+            format!("resource limit exceeded in {context}: {}", limit.describe()),
+        )
+        .with_payload(Payload::Exhausted { limit })
+        .with_note(
+            "checking was cut short, so this is a conservative rejection, \
+             not a proof that the item is ill-typed; raise the limit to get \
+             a definite verdict",
+        )
+    }
+
+    /// `E0203`: an internal checker error (panic) was isolated to
+    /// `context`.
+    pub fn ice(context: String, detail: String) -> Diagnostic {
+        Diagnostic::new(
+            Code::InternalError,
+            format!("internal checker error in {context}: {detail}"),
+        )
+        .with_payload(Payload::Ice { detail })
+        .with_note(
+            "this is a bug in the checker, not in the checked program; \
+             the rest of the module was checked normally",
+        )
     }
 
     /// `E0101`: lexical error at `at`.
@@ -723,17 +784,39 @@ mod tests {
     }
 
     #[test]
-    fn mismatch_payload_carries_interned_types() {
+    fn mismatch_payload_carries_the_type_trees() {
         let d = Diagnostic::mismatch("(f x)".into(), &Ty::Int, &Ty::bool_ty());
         assert_eq!(d.code, Code::TypeMismatch);
         assert!(d.is_error());
         let Payload::Mismatch { expected, got, .. } = d.payload else {
             panic!("expected a mismatch payload");
         };
-        assert_eq!(expected, TyId::of(&Ty::Int));
-        assert_eq!(got, TyId::of(&Ty::bool_ty()));
+        assert_eq!(*expected, Ty::Int);
+        assert_eq!(*got, Ty::bool_ty());
         assert!(d.message.contains("expected Int"));
         assert!(d.message.contains("given Bool"));
+    }
+
+    #[test]
+    fn exhausted_and_ice_have_codes_payloads_and_notes() {
+        let d = Diagnostic::exhausted("(define (f …) …)".into(), LimitKind::Deadline);
+        assert_eq!(d.code, Code::ResourceExhausted);
+        assert_eq!(d.code.as_str(), "E0202");
+        assert!(d.is_error());
+        assert_eq!(
+            d.payload,
+            Payload::Exhausted {
+                limit: LimitKind::Deadline
+            }
+        );
+        assert_eq!(d.payload.kind(), "exhausted");
+        assert!(d.notes.iter().any(|n| n.contains("conservative")));
+
+        let d = Diagnostic::ice("(define (g …) …)".into(), "boom".into());
+        assert_eq!(d.code, Code::InternalError);
+        assert_eq!(d.code.as_str(), "E0203");
+        assert_eq!(d.payload.kind(), "ice");
+        assert!(d.notes.iter().any(|n| n.contains("bug in the checker")));
     }
 
     #[test]

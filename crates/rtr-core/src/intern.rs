@@ -60,6 +60,8 @@
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::cache::LockRecover;
+
 use rtr_solver::fxhash::FxHashMap;
 
 use crate::syntax::{Field, FunTy, Obj, PolyTy, Prop, RefineTy, Symbol, Ty, TyResult};
@@ -95,7 +97,7 @@ pub struct ObjId(u32);
 impl TyId {
     /// Interns (and canonicalizes) a type.
     pub fn of(t: &Ty) -> TyId {
-        TyId(store().lock().expect("interner poisoned").ty(t))
+        TyId(store().lock_recover().ty(t))
     }
 
     /// Interns `t` and reports whether its subtype verdicts are
@@ -107,11 +109,7 @@ impl TyId {
 
     /// The canonical type this id stands for.
     pub fn get(self) -> Arc<Ty> {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .ty_arc(self.0)
-            .clone()
+        store().lock_recover().ty_arc(self.0).clone()
     }
 
     /// The raw arena index (flag bits included).
@@ -173,42 +171,31 @@ impl TyId {
     /// canonically sorted; singletons collapse). Never materializes a
     /// tree when the union already exists.
     pub fn union_of(members: &[TyId]) -> TyId {
-        let mut s = store().lock().expect("interner poisoned");
+        let mut s = store().lock_recover();
         let ids: Vec<u32> = members.iter().map(|m| m.0).collect();
         TyId(s.make_union(ids))
     }
 
     /// The canonical pair type `a × b`.
     pub fn pair(a: TyId, b: TyId) -> TyId {
-        TyId(
-            store()
-                .lock()
-                .expect("interner poisoned")
-                .make_pair(a.0, b.0),
-        )
+        TyId(store().lock_recover().make_pair(a.0, b.0))
     }
 
     /// The canonical vector type `(Vecof elem)`.
     pub fn vec(elem: TyId) -> TyId {
-        TyId(store().lock().expect("interner poisoned").make_vec(elem.0))
+        TyId(store().lock_recover().make_vec(elem.0))
     }
 
     /// The canonical refinement `{var:base | prop}`; collapses to `base`
     /// when the proposition is trivial.
     pub fn refine(var: Symbol, base: TyId, prop: PropId) -> TyId {
-        TyId(
-            store()
-                .lock()
-                .expect("interner poisoned")
-                .make_refine(var, base.0, prop.0),
-        )
+        TyId(store().lock_recover().make_refine(var, base.0, prop.0))
     }
 
     /// The member ids of a union type (`None` for non-unions).
     pub fn union_members(self) -> Option<Vec<TyId>> {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .ty_unions
             .get(&self.0)
             .map(|ms| ms.iter().map(|&m| TyId(m)).collect())
@@ -217,8 +204,7 @@ impl TyId {
     /// The component ids of a pair type (`None` for non-pairs).
     pub fn pair_parts(self) -> Option<(TyId, TyId)> {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .ty_pairs
             .get(&self.0)
             .map(|&(a, b)| (TyId(a), TyId(b)))
@@ -227,8 +213,7 @@ impl TyId {
     /// The element id of a vector type (`None` for non-vectors).
     pub fn vec_elem(self) -> Option<TyId> {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .ty_vecs
             .get(&self.0)
             .copied()
@@ -239,8 +224,7 @@ impl TyId {
     /// for non-refinements).
     pub fn refine_parts(self) -> Option<(Symbol, TyId, PropId)> {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .ty_refines
             .get(&self.0)
             .map(|&(v, b, p)| (v, TyId(b), PropId(p)))
@@ -250,12 +234,7 @@ impl TyId {
     /// `len` projects to `Int`, pairs to their component, unions
     /// pointwise, refinements through their base, everything else to `⊤`.
     pub fn project(self, f: Field) -> TyId {
-        TyId(
-            store()
-                .lock()
-                .expect("interner poisoned")
-                .project(self.0, f),
-        )
+        TyId(store().lock_recover().project(self.0, f))
     }
 
     /// The object-level variables this type mentions — a conservative
@@ -264,20 +243,14 @@ impl TyId {
     /// substituting for `x` leaves the type unchanged, which is what lets
     /// `Env::unbind` skip whole-map rewrites.
     pub fn free_obj_vars(self) -> Arc<[Symbol]> {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .ty_meta(self.0)
-            .vars
-            .clone()
+        store().lock_recover().ty_meta(self.0).vars.clone()
     }
 
     /// Does the type mention variable `x` (conservatively)? See
     /// [`TyId::free_obj_vars`].
     pub fn mentions_var(self, x: Symbol) -> bool {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .ty_meta(self.0)
             .vars
             .binary_search(&x)
@@ -286,48 +259,31 @@ impl TyId {
 
     /// Does the type mention no object-level variables at all?
     pub fn is_closed(self) -> bool {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .ty_meta(self.0)
-            .vars
-            .is_empty()
+        store().lock_recover().ty_meta(self.0).vars.is_empty()
     }
 
     /// Does the type contain a refinement anywhere?
     pub fn has_refinement(self) -> bool {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .ty_meta(self.0)
-            .has_refinement
+        store().lock_recover().ty_meta(self.0).has_refinement
     }
 
     /// Which solver theories do the type's propositions mention? A union
     /// of [`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`] bits, precomputed
     /// at intern time so theory-gating is a bit test.
     pub fn theory_mask(self) -> u8 {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .ty_meta(self.0)
-            .theory_mask
+        store().lock_recover().ty_meta(self.0).theory_mask
     }
 }
 
 impl PropId {
     /// Interns (and canonicalizes) a proposition.
     pub fn of(p: &Prop) -> PropId {
-        PropId(store().lock().expect("interner poisoned").prop(p))
+        PropId(store().lock_recover().prop(p))
     }
 
     /// The canonical proposition this id stands for.
     pub fn get(self) -> Arc<Prop> {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .prop_arc(self.0)
-            .clone()
+        store().lock_recover().prop_arc(self.0).clone()
     }
 
     /// The raw arena index (flag bits included).
@@ -345,8 +301,7 @@ impl PropId {
     /// membership atoms are not consulted), cached per id.
     pub fn mentions_var(self, x: Symbol) -> bool {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .prop_meta(self.0)
             .free_vars
             .binary_search(&x)
@@ -356,39 +311,26 @@ impl PropId {
     /// Sorted free object-level variables, exactly [`Prop::free_vars`],
     /// cached per id.
     pub fn free_vars(self) -> Arc<[Symbol]> {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .prop_meta(self.0)
-            .free_vars
-            .clone()
+        store().lock_recover().prop_meta(self.0).free_vars.clone()
     }
 
     /// Which solver theories does the proposition mention? A union of
     /// [`THEORY_LIN`]/[`THEORY_BV`]/[`THEORY_STR`] bits, precomputed at
     /// intern time so relevance-gating is a bit test.
     pub fn theory_mask(self) -> u8 {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .prop_meta(self.0)
-            .theory_mask
+        store().lock_recover().prop_meta(self.0).theory_mask
     }
 }
 
 impl ObjId {
     /// Interns (and canonicalizes) a symbolic object.
     pub fn of(o: &Obj) -> ObjId {
-        ObjId(store().lock().expect("interner poisoned").obj(o))
+        ObjId(store().lock_recover().obj(o))
     }
 
     /// The canonical object this id stands for.
     pub fn get(self) -> Arc<Obj> {
-        store()
-            .lock()
-            .expect("interner poisoned")
-            .obj_arc(self.0)
-            .clone()
+        store().lock_recover().obj_arc(self.0).clone()
     }
 
     /// The raw arena index (flag bits included).
@@ -405,8 +347,7 @@ impl ObjId {
     /// [`Obj::free_vars`], cached per id.
     pub fn mentions_var(self, x: Symbol) -> bool {
         store()
-            .lock()
-            .expect("interner poisoned")
+            .lock_recover()
             .obj_meta(self.0)
             .free_vars
             .binary_search(&x)
@@ -419,7 +360,7 @@ impl ObjId {
 /// without a per-id lock round-trip (which would serialize parallel
 /// corpus checking on the global interner mutex).
 pub fn tys_mentioning(x: Symbol, ids: impl IntoIterator<Item = TyId>) -> Vec<bool> {
-    let s = store().lock().expect("interner poisoned");
+    let s = store().lock_recover();
     ids.into_iter()
         .map(|id| s.ty_meta(id.0).vars.binary_search(&x).is_ok())
         .collect()
@@ -427,7 +368,7 @@ pub fn tys_mentioning(x: Symbol, ids: impl IntoIterator<Item = TyId>) -> Vec<boo
 
 /// Batched [`PropId::mentions_var`]; see [`tys_mentioning`].
 pub fn props_mentioning(x: Symbol, ids: impl IntoIterator<Item = PropId>) -> Vec<bool> {
-    let s = store().lock().expect("interner poisoned");
+    let s = store().lock_recover();
     ids.into_iter()
         .map(|id| s.prop_meta(id.0).free_vars.binary_search(&x).is_ok())
         .collect()
@@ -435,7 +376,7 @@ pub fn props_mentioning(x: Symbol, ids: impl IntoIterator<Item = PropId>) -> Vec
 
 /// Batched [`ObjId::mentions_var`]; see [`tys_mentioning`].
 pub fn objs_mentioning(x: Symbol, ids: impl IntoIterator<Item = ObjId>) -> Vec<bool> {
-    let s = store().lock().expect("interner poisoned");
+    let s = store().lock_recover();
     ids.into_iter()
         .map(|id| s.obj_meta(id.0).free_vars.binary_search(&x).is_ok())
         .collect()
@@ -445,7 +386,7 @@ pub fn objs_mentioning(x: Symbol, ids: impl IntoIterator<Item = ObjId>) -> Vec<b
 /// lock for the whole id set. The lazy split scheduler uses these to
 /// build per-clause relevance metadata without a per-id lock round-trip.
 pub fn props_relevance(ids: impl IntoIterator<Item = PropId>) -> Vec<(Arc<[Symbol]>, u8)> {
-    let s = store().lock().expect("interner poisoned");
+    let s = store().lock_recover();
     ids.into_iter()
         .map(|id| {
             let m = s.prop_meta(id.0);
@@ -518,7 +459,7 @@ pub struct ArenaStats {
 
 /// Snapshot of the interner's per-region sizes.
 pub fn arena_stats() -> ArenaStats {
-    let s = store().lock().expect("interner poisoned");
+    let s = store().lock_recover();
     ArenaStats {
         tys: s.tys.len(),
         props: s.props.len(),
@@ -575,6 +516,13 @@ struct Store {
     fresh_prop_metas: Vec<PropMeta>,
     fresh_objs: Vec<Arc<Obj>>,
     fresh_obj_metas: Vec<ObjMeta>,
+    // Generational eviction offsets: a fresh id's index is
+    // `base + position`, and bases only ever advance (monotone), so an
+    // evicted id can never alias a live entry — a stale access panics in
+    // the region accessors instead (see `evict_fresh_region`).
+    fresh_ty_base: usize,
+    fresh_prop_base: usize,
+    fresh_obj_base: usize,
     // --- canonical lookup (both regions) ----------------------------------
     ty_canon: FxHashMap<Arc<Ty>, u32>,
     prop_canon: FxHashMap<Arc<Prop>, u32>,
@@ -607,6 +555,72 @@ struct Store {
 fn store() -> &'static Mutex<Store> {
     static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
     STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+/// Resolves a fresh-region index against its generational base,
+/// panicking on a stale (pre-eviction) id — loudly wrong beats silently
+/// aliased, and the per-item panic isolation turns it into one `E0203`
+/// diagnostic if it ever fires.
+fn fresh_slot(idx: usize, base: usize, what: &str) -> usize {
+    idx.checked_sub(base).unwrap_or_else(|| {
+        panic!("stale fresh {what}: its interner region was evicted while the id was held")
+    })
+}
+
+/// Checks currently running (interner ids live on their stacks/envs).
+/// Eviction only proceeds when this is zero.
+static ACTIVE_CHECKS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Bumped once per fresh-region eviction; caches compare against their
+/// last-seen value to drop id-valued entries (see
+/// `crate::cache::Caches::reconcile_evictions`).
+static EVICT_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// RAII marker for an in-flight check; created by the checking entry
+/// points before any interning so [`maybe_evict_fresh`] never pulls the
+/// fresh region out from under a live judgment.
+pub struct CheckGuard(());
+
+impl Drop for CheckGuard {
+    fn drop(&mut self) {
+        ACTIVE_CHECKS.fetch_sub(1, std::sync::atomic::Ordering::Release);
+    }
+}
+
+/// Marks a check as in-flight for the duration of the returned guard.
+pub fn check_guard() -> CheckGuard {
+    ACTIVE_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Acquire);
+    CheckGuard(())
+}
+
+/// The number of fresh-region evictions performed so far.
+pub fn evict_epoch() -> u64 {
+    EVICT_EPOCH.load(std::sync::atomic::Ordering::Acquire)
+}
+
+/// Evicts the fresh arena region if it holds more than `threshold`
+/// entries (types + propositions + objects) **and** no check is
+/// currently running. Returns whether an eviction happened.
+///
+/// Called between checks (e.g. by the session layer): fresh-named trees
+/// never recur across checked modules, so everything the region
+/// accumulated for the last module is garbage by now. The monotone id
+/// scheme makes this safe even against stragglers: an id minted before
+/// the eviction can never read a later entry — it panics instead.
+pub fn maybe_evict_fresh(threshold: usize) -> bool {
+    let mut s = store().lock_recover();
+    // Read under the store lock: a new check must intern through this
+    // same lock, so a guard registered after this load cannot have
+    // minted fresh ids before the eviction below.
+    if ACTIVE_CHECKS.load(std::sync::atomic::Ordering::Acquire) != 0 {
+        return false;
+    }
+    if s.fresh_tys.len() + s.fresh_props.len() + s.fresh_objs.len() <= threshold {
+        return false;
+    }
+    s.evict_fresh_region();
+    EVICT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Release);
+    true
 }
 
 /// Cap on the permanent raw-tree memo maps (`*_memo`). These maps clone
@@ -784,7 +798,7 @@ impl Store {
     fn ty_arc(&self, id: u32) -> &Arc<Ty> {
         let idx = (id & TY_IDX) as usize;
         if id & FRESH_BIT != 0 {
-            &self.fresh_tys[idx]
+            &self.fresh_tys[fresh_slot(idx, self.fresh_ty_base, "TyId")]
         } else {
             &self.tys[idx]
         }
@@ -793,7 +807,7 @@ impl Store {
     fn ty_meta(&self, id: u32) -> &TyMeta {
         let idx = (id & TY_IDX) as usize;
         if id & FRESH_BIT != 0 {
-            &self.fresh_ty_metas[idx]
+            &self.fresh_ty_metas[fresh_slot(idx, self.fresh_ty_base, "TyId")]
         } else {
             &self.ty_metas[idx]
         }
@@ -802,7 +816,7 @@ impl Store {
     fn prop_arc(&self, id: u32) -> &Arc<Prop> {
         let idx = (id & IDX) as usize;
         if id & FRESH_BIT != 0 {
-            &self.fresh_props[idx]
+            &self.fresh_props[fresh_slot(idx, self.fresh_prop_base, "PropId")]
         } else {
             &self.props[idx]
         }
@@ -811,7 +825,7 @@ impl Store {
     fn prop_meta(&self, id: u32) -> &PropMeta {
         let idx = (id & IDX) as usize;
         if id & FRESH_BIT != 0 {
-            &self.fresh_prop_metas[idx]
+            &self.fresh_prop_metas[fresh_slot(idx, self.fresh_prop_base, "PropId")]
         } else {
             &self.prop_metas[idx]
         }
@@ -820,7 +834,7 @@ impl Store {
     fn obj_arc(&self, id: u32) -> &Arc<Obj> {
         let idx = (id & IDX) as usize;
         if id & FRESH_BIT != 0 {
-            &self.fresh_objs[idx]
+            &self.fresh_objs[fresh_slot(idx, self.fresh_obj_base, "ObjId")]
         } else {
             &self.objs[idx]
         }
@@ -829,9 +843,64 @@ impl Store {
     fn obj_meta(&self, id: u32) -> &ObjMeta {
         let idx = (id & IDX) as usize;
         if id & FRESH_BIT != 0 {
-            &self.fresh_obj_metas[idx]
+            &self.fresh_obj_metas[fresh_slot(idx, self.fresh_obj_base, "ObjId")]
         } else {
             &self.obj_metas[idx]
+        }
+    }
+
+    /// Drops every fresh-region entry, advancing the region bases so the
+    /// ids handed out so far can never alias a later entry (stale ids
+    /// panic in the accessors above instead — loudly wrong, never
+    /// silently wrong). Canonical lookup maps and id-level structure
+    /// maps shed their fresh entries; fresh raw-tree memos are cleared
+    /// wholesale.
+    fn evict_fresh_region(&mut self) {
+        self.fresh_ty_base += self.fresh_tys.len();
+        self.fresh_tys.clear();
+        self.fresh_ty_metas.clear();
+        self.fresh_prop_base += self.fresh_props.len();
+        self.fresh_props.clear();
+        self.fresh_prop_metas.clear();
+        self.fresh_obj_base += self.fresh_objs.len();
+        self.fresh_objs.clear();
+        self.fresh_obj_metas.clear();
+        self.fresh_ty_memo.clear();
+        self.fresh_prop_memo.clear();
+        self.fresh_obj_memo.clear();
+        let live = |id: &u32| *id & FRESH_BIT == 0;
+        self.ty_canon.retain(|_, id| live(id));
+        self.prop_canon.retain(|_, id| live(id));
+        self.obj_canon.retain(|_, id| live(id));
+        // Whole-tree freshness means a structure over any fresh id is
+        // itself fresh, so retaining by the entry's own id (key for the
+        // id→parts maps, value for the parts→id maps) sheds exactly the
+        // evicted entries.
+        self.ty_unions.retain(|id, _| live(id));
+        self.ty_union_canon.retain(|_, id| live(id));
+        self.ty_pairs.retain(|id, _| live(id));
+        self.ty_pair_canon.retain(|_, id| live(id));
+        self.ty_vecs.retain(|id, _| live(id));
+        self.ty_vec_canon.retain(|_, id| live(id));
+        self.ty_refines.retain(|id, _| live(id));
+        self.ty_refine_canon.retain(|_, id| live(id));
+        self.ty_projections
+            .retain(|(id, _), out| live(id) && live(out));
+        self.prop_ands.retain(|id, _| live(id));
+        self.prop_ors.retain(|id, _| live(id));
+        // Best-effort wrap long before the index space runs out: once
+        // the base passes half the addressable range, restart it. After
+        // a wrap (billions of fresh entries later) staleness detection
+        // is best-effort rather than exact; ids still never alias within
+        // any realistic window.
+        if self.fresh_ty_base > (TY_IDX as usize) / 2 {
+            self.fresh_ty_base = 0;
+        }
+        if self.fresh_prop_base > (IDX as usize) / 2 {
+            self.fresh_prop_base = 0;
+        }
+        if self.fresh_obj_base > (IDX as usize) / 2 {
+            self.fresh_obj_base = 0;
         }
     }
 
@@ -873,7 +942,7 @@ impl Store {
             id_bits |= FRESH_BIT;
             self.fresh_tys.push(arc.clone());
             self.fresh_ty_metas.push(meta);
-            self.fresh_tys.len() - 1
+            self.fresh_ty_base + self.fresh_tys.len() - 1
         } else {
             self.tys.push(arc.clone());
             self.ty_metas.push(meta);
@@ -1102,7 +1171,7 @@ impl Store {
         let idx = if fresh {
             self.fresh_props.push(arc.clone());
             self.fresh_prop_metas.push(meta);
-            self.fresh_props.len() - 1
+            self.fresh_prop_base + self.fresh_props.len() - 1
         } else {
             self.props.push(arc.clone());
             self.prop_metas.push(meta);
@@ -1259,7 +1328,7 @@ impl Store {
         let idx = if fresh {
             self.fresh_objs.push(arc.clone());
             self.fresh_obj_metas.push(meta);
-            self.fresh_objs.len() - 1
+            self.fresh_obj_base + self.fresh_objs.len() - 1
         } else {
             self.objs.push(arc.clone());
             self.obj_metas.push(meta);

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 mod cache;
 pub mod check;
 pub mod config;

@@ -7,7 +7,7 @@
 //! inconsistency detection, bounded case-splitting over stored
 //! disjunctions, and L-Theory via the solvers in `rtr-solver`).
 
-use rtr_solver::lin::{Constraint, FourierMotzkin, LinExpr, LinResult, SolverVar};
+use rtr_solver::lin::{Constraint, LinExpr, LinResult, SolverVar};
 use rtr_solver::rational::Rat;
 
 use crate::check::Checker;
@@ -61,6 +61,12 @@ impl Checker {
         let Some(fuel) = fuel.checked_sub(1) else {
             return;
         };
+        // A tripped budget stops absorbing facts: a weaker environment
+        // only makes goals harder to prove (conservative), and the item
+        // driver reports the trip as E0202 anyway.
+        if self.budget().tripped().is_some() {
+            return;
+        }
         if env.is_absurd() {
             return;
         }
@@ -420,6 +426,16 @@ impl Checker {
         splits: u32,
         from: usize,
     ) -> bool {
+        // Resource governance: one step per proof-search node; on any
+        // trip the judgment answers "not provable", which only rejects
+        // more programs (see `crate::budget`).
+        if self
+            .budget()
+            .burn(crate::budget::Judgment::Proves)
+            .is_some()
+        {
+            return false;
+        }
         // The memo key does not carry the frontier, so only frontier-free
         // queries (every external entry point) consult or fill the table.
         if !self.config.memoize || from != 0 {
@@ -446,7 +462,11 @@ impl Checker {
             return verdict;
         }
         let verdict = self.proves_structural(env, goal, fuel, splits, from);
-        self.caches().proves.store(key, fuel, verdict);
+        // A verdict computed under a tripped budget may be artificially
+        // false; keep it out of the (budget-agnostic) memo tables.
+        if self.may_store() {
+            self.caches().proves.store(key, fuel, verdict);
+        }
         verdict
     }
 
@@ -598,6 +618,9 @@ impl Checker {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };
+        if self.budget().tripped().is_some() {
+            return false;
+        }
         // L-RefI: o ∈ {x:τ|ψ} ⇐ o ∈ τ ∧ ψ[x↦o].
         if let Ty::Refine(r) = t {
             return self.check_is(env, o, &r.base, fuel)
@@ -640,6 +663,9 @@ impl Checker {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };
+        if self.budget().tripped().is_some() {
+            return false;
+        }
         if let Ty::Refine(r) = t {
             if self.check_not(env, o, &r.base, fuel) {
                 return true;
@@ -718,6 +744,12 @@ impl Checker {
         if env.is_absurd() {
             return true;
         }
+        // Starved answer is "consistent": the caller then checks *more*
+        // conditional branches, each under the usual judgments —
+        // conservative, never accepting.
+        if self.budget().tripped().is_some() {
+            return false;
+        }
         if !self.config.memoize {
             return self.env_inconsistent_structural(env, fuel);
         }
@@ -729,7 +761,9 @@ impl Checker {
             return verdict;
         }
         let verdict = self.env_inconsistent_structural(env, fuel);
-        self.caches().inconsistent.store(key, fuel, verdict);
+        if self.may_store() {
+            self.caches().inconsistent.store(key, fuel, verdict);
+        }
         verdict
     }
 
@@ -761,7 +795,7 @@ impl Checker {
                 return true;
             }
         }
-        if self.config.theories {
+        if self.config.theories && !self.solver_gate() {
             if self.lin_check(env) == LinResult::Unsat {
                 return true;
             }
@@ -785,6 +819,9 @@ impl Checker {
 
     /// Does the linear theory entail `goal` under the environment's facts?
     fn lin_entails(&self, env: &Env, goal: &LinAtom) -> bool {
+        if self.solver_gate() {
+            return false;
+        }
         if self.config.solver_cache {
             return self.lin_entails_cached(env, goal);
         }
@@ -798,7 +835,7 @@ impl Checker {
         // One atom always lowers to exactly one constraint.
         let goal_c = goal_cs.pop().expect("atom lowers to a constraint");
         tx.add_len_nonneg(&mut constraints);
-        FourierMotzkin::new(self.config.fm).entails(&constraints, &goal_c)
+        self.fm_solver().entails(&constraints, &goal_c)
     }
 
     fn lin_check(&self, env: &Env) -> LinResult {
@@ -814,11 +851,14 @@ impl Checker {
             tx.atom(a, &mut constraints);
         }
         tx.add_len_nonneg(&mut constraints);
-        FourierMotzkin::new(self.config.fm).check(&constraints)
+        self.fm_solver().check(&constraints)
     }
 
     /// Does the bitvector theory entail `goal`?
     fn bv_entails(&self, env: &Env, goal: &BvAtomProp) -> bool {
+        if self.solver_gate() {
+            return false;
+        }
         if self.config.solver_cache {
             return self.bv_entails_cached(env, goal);
         }
@@ -832,7 +872,9 @@ impl Checker {
         let Some(goal) = tx.lit(goal) else {
             return false;
         };
-        rtr_solver::bv::BvSolver::new(self.config.sat).entails(&facts, &goal)
+        let mut solver = rtr_solver::bv::BvSolver::new(self.config.sat);
+        solver.set_deadline(self.budget().deadline());
+        solver.entails(&facts, &goal)
     }
 
     fn bv_check(&self, env: &Env) -> rtr_solver::bv::BvResult {
@@ -846,7 +888,9 @@ impl Checker {
                 facts.push(l);
             }
         }
-        rtr_solver::bv::BvSolver::new(self.config.sat).check(&facts)
+        let mut solver = rtr_solver::bv::BvSolver::new(self.config.sat);
+        solver.set_deadline(self.budget().deadline());
+        solver.check(&facts)
     }
 
     /// Does the regex theory entail `goal` under the environment's facts?
@@ -854,13 +898,18 @@ impl Checker {
     /// Ground atoms (literal string on the left) are decided by running
     /// the matcher; open atoms are delegated to the automata-based solver.
     fn str_entails(&self, env: &Env, goal: &StrAtomProp) -> bool {
+        if self.solver_gate() {
+            return false;
+        }
         if self.config.solver_cache {
             let fp = crate::solver_cache::str_fingerprint(env.str_facts(), Some(goal));
             if let Some(v) = self.caches().re.lookup(&fp) {
                 return v;
             }
             let v = self.str_entails_session(env, goal);
-            self.caches().re.store(fp, v);
+            if self.may_store() {
+                self.caches().re.store(fp, v);
+            }
             return v;
         }
         self.str_entails_structural(env, goal)
@@ -881,7 +930,9 @@ impl Checker {
             Some(truth) => truth,
             None => {
                 let goal = tx.constraint(goal);
-                rtr_solver::re::ReSolver::new(self.config.re).entails(&facts, &goal)
+                let mut solver = rtr_solver::re::ReSolver::new(self.config.re);
+                solver.set_deadline(self.budget().deadline());
+                solver.entails(&facts, &goal)
             }
         }
     }
@@ -894,7 +945,9 @@ impl Checker {
                 return v;
             }
             let v = self.str_check_session(env).is_unsat();
-            self.caches().re.store(fp, v);
+            if self.may_store() {
+                self.caches().re.store(fp, v);
+            }
             return v;
         }
         self.str_check(env).is_unsat()
@@ -910,7 +963,9 @@ impl Checker {
                 None => facts.push(tx.constraint(a)),
             }
         }
-        rtr_solver::re::ReSolver::new(self.config.re).check(&facts)
+        let mut solver = rtr_solver::re::ReSolver::new(self.config.re);
+        solver.set_deadline(self.budget().deadline());
+        solver.check(&facts)
     }
 }
 

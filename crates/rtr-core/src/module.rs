@@ -22,9 +22,11 @@
 //! `check_program` accepts its nested encoding (the corpus equivalence
 //! tests pin this).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use crate::check::{attach_node, Checker};
+use crate::budget::LimitKind;
+use crate::check::{attach_node, panic_detail, Checker};
 use crate::diag::{Diagnostic, NodeId};
 use crate::env::Env;
 use crate::mutation::mutated_vars;
@@ -155,20 +157,23 @@ impl Checker {
     /// span table resolve them with
     /// [`Diagnostic::resolve_spans`].
     pub fn check_module(&self, items: &[ModuleItem]) -> ModuleCheck {
+        let this = self.fork_check();
+        let _live = crate::intern::check_guard();
+        this.caches().reconcile_evictions();
         let deep = items
             .iter()
             .filter_map(ModuleItem::body)
-            .any(|e| !self.fits_inline_stack(e));
+            .any(|e| !this.fits_inline_stack(e));
         if !deep {
-            return self.check_module_inner(items);
+            return this.check_module_inner(items);
         }
         // Deep modules ride the persistent big-stack worker (warm stack
         // pages) when it is free; see `check_program`.
-        let this = self.clone();
+        let that = this.clone();
         let owned = items.to_vec();
-        match crate::check::big_stack::run(move || this.check_module_inner(&owned)) {
+        match crate::check::big_stack::run(move || that.check_module_inner(&owned)) {
             Some(r) => r,
-            None => self.on_big_stack(|| self.check_module_inner(items)),
+            None => this.on_big_stack(|| this.check_module_inner(items)),
         }
     }
 
@@ -184,6 +189,15 @@ impl Checker {
         }
 
         let mut out = ModuleCheck::default();
+        // The first governance limit that tripped in *any* earlier item.
+        // Once set, later items ran against possibly-coarser bindings
+        // (a starved definition poisons at its declared type, weakening
+        // everything downstream), so their conservative failures are
+        // reported as `E0202` too — a starved run's errors are exactly
+        // "identical to fault-free, or exhausted", never a different
+        // verdict. Item panics do *not* set it: the post-ICE environment
+        // equals the ordinary poison-path environment.
+        let mut degraded: Option<LimitKind> = None;
         // The binders opened along the way, innermost last. The nested
         // encoding existentializes every module-local binding out of
         // the final result at binder exit (T-Let's lifting
@@ -193,8 +207,14 @@ impl Checker {
         let mut binders: Vec<(Symbol, Ty, Obj)> = Vec::new();
 
         // Definitions first: every define scopes over all trailing
-        // expressions, exactly as in the nested encoding.
-        for item in items {
+        // expressions, exactly as in the nested encoding. Each item
+        // checks on its own budget fork (salted by the item index, so
+        // chaos schedules are independent of thread scheduling) and
+        // inside `catch_unwind`: an internal checker bug yields one
+        // `E0203` ICE for the item, the binding is poisoned at its
+        // declared type, and the rest of the module checks normally on
+        // the surviving warm caches.
+        for (idx, item) in items.iter().enumerate() {
             match item {
                 ModuleItem::DefineRec {
                     name,
@@ -203,19 +223,39 @@ impl Checker {
                     node,
                     sig_node,
                 } => {
-                    self.bind(&mut env, *name, sig, fuel);
-                    binders.push((*name, sig.clone(), Obj::Null));
+                    let c = self.fork_item(idx as u64);
+                    c.chaos_item_entry();
                     let ctx = || format!("(define ({name} …) …)");
-                    match self.check_lambda(&env, lam, sig, &ctx) {
-                        Ok(()) => out.results.push(ItemSummary {
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        c.chaos_item_panic();
+                        c.bind(&mut env, *name, sig, fuel);
+                        c.check_lambda(&env, lam, sig, &ctx)
+                    }));
+                    c.budget().note_margin();
+                    match caught {
+                        Ok(Ok(())) => out.results.push(ItemSummary {
                             name: Some(*name),
                             ty: Some(sig.clone()),
                             poisoned: false,
                         }),
-                        Err(d) => {
-                            self.poison(&mut out, *attach_node(d, *node), *name, sig, *sig_node);
+                        Ok(Err(d)) => {
+                            let d = c.degrade_with(
+                                *attach_node(d, *node),
+                                c.budget().tripped().or(degraded),
+                                ctx,
+                            );
+                            self.poison(&mut out, d, *name, sig, *sig_node);
+                        }
+                        Err(p) => {
+                            // Re-bind: the panic may have interrupted the
+                            // original bind half-way.
+                            c.bind(&mut env, *name, sig, fuel);
+                            let d = Diagnostic::ice(ctx(), panic_detail(&*p)).at(*node);
+                            self.poison(&mut out, d, *name, sig, *sig_node);
                         }
                     }
+                    binders.push((*name, sig.clone(), Obj::Null));
+                    degraded = degraded.or(c.budget().tripped());
                 }
                 ModuleItem::Define {
                     name,
@@ -223,24 +263,49 @@ impl Checker {
                     rhs,
                     node,
                     sig_node,
-                } => match self.synth(&env, rhs) {
-                    Ok(r1) => {
-                        let (o1, mutable) = self.open_let_binding(&mut env, *name, &r1);
-                        let lift_obj = if mutable { Obj::Null } else { o1 };
-                        binders.push((*name, r1.ty.clone(), lift_obj));
-                        out.results.push(ItemSummary {
-                            name: Some(*name),
-                            ty: Some(r1.ty),
-                            poisoned: false,
-                        });
+                } => {
+                    let c = self.fork_item(idx as u64);
+                    c.chaos_item_entry();
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        c.chaos_item_panic();
+                        let r1 = c.synth(&env, rhs)?;
+                        let (o1, mutable) = c.open_let_binding(&mut env, *name, &r1);
+                        Ok((r1, o1, mutable))
+                    }));
+                    c.budget().note_margin();
+                    match caught {
+                        Ok(Ok((r1, o1, mutable))) => {
+                            let lift_obj = if mutable { Obj::Null } else { o1 };
+                            binders.push((*name, r1.ty.clone(), lift_obj));
+                            out.results.push(ItemSummary {
+                                name: Some(*name),
+                                ty: Some(r1.ty),
+                                poisoned: false,
+                            });
+                        }
+                        Ok(Err(d)) => {
+                            let assumed = sig.clone().unwrap_or(Ty::Top);
+                            self.bind(&mut env, *name, &assumed, fuel);
+                            binders.push((*name, assumed.clone(), Obj::Null));
+                            let d = c.degrade_with(
+                                *attach_node(d, *node),
+                                c.budget().tripped().or(degraded),
+                                || format!("(define {name} …)"),
+                            );
+                            self.poison(&mut out, d, *name, &assumed, *sig_node);
+                        }
+                        Err(p) => {
+                            let assumed = sig.clone().unwrap_or(Ty::Top);
+                            self.bind(&mut env, *name, &assumed, fuel);
+                            binders.push((*name, assumed.clone(), Obj::Null));
+                            let d =
+                                Diagnostic::ice(format!("(define {name} …)"), panic_detail(&*p))
+                                    .at(*node);
+                            self.poison(&mut out, d, *name, &assumed, *sig_node);
+                        }
                     }
-                    Err(d) => {
-                        let assumed = sig.clone().unwrap_or(Ty::Top);
-                        self.bind(&mut env, *name, &assumed, fuel);
-                        binders.push((*name, assumed.clone(), Obj::Null));
-                        self.poison(&mut out, *attach_node(d, *node), *name, &assumed, *sig_node);
-                    }
-                },
+                    degraded = degraded.or(c.budget().tripped());
+                }
                 ModuleItem::Opaque { name, ty } => {
                     self.bind(&mut env, *name, ty, fuel);
                     binders.push((*name, ty.clone(), Obj::Null));
@@ -257,17 +322,25 @@ impl Checker {
         // Trailing expressions: all but the last are opened as
         // fresh-named `let` bindings (mirroring `begin_form`'s let
         // chain), the last one is the module's value.
-        let trailing: Vec<(&Expr, Option<NodeId>)> = items
+        let trailing: Vec<(usize, &Expr, Option<NodeId>)> = items
             .iter()
-            .filter_map(|item| match item {
-                ModuleItem::Expr { expr, node } => Some((expr, *node)),
+            .enumerate()
+            .filter_map(|(idx, item)| match item {
+                ModuleItem::Expr { expr, node } => Some((idx, expr, *node)),
                 _ => None,
             })
             .collect();
         let count = trailing.len();
-        for (i, (expr, node)) in trailing.into_iter().enumerate() {
-            match self.synth(&env, expr) {
-                Ok(r) => {
+        for (i, (idx, expr, node)) in trailing.into_iter().enumerate() {
+            let c = self.fork_item(idx as u64);
+            c.chaos_item_entry();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                c.chaos_item_panic();
+                c.synth(&env, expr)
+            }));
+            c.budget().note_margin();
+            match caught {
+                Ok(Ok(r)) => {
                     let last = i + 1 == count;
                     if last {
                         out.value = Some(r);
@@ -283,8 +356,23 @@ impl Checker {
                         poisoned: false,
                     });
                 }
-                Err(d) => {
-                    out.diagnostics.push(*attach_node(d, node));
+                Ok(Err(d)) => {
+                    let d = c.degrade_with(
+                        *attach_node(d, node),
+                        c.budget().tripped().or(degraded),
+                        || "this expression".to_owned(),
+                    );
+                    out.diagnostics.push(d);
+                    out.results.push(ItemSummary {
+                        name: None,
+                        ty: None,
+                        poisoned: false,
+                    });
+                }
+                Err(p) => {
+                    out.diagnostics.push(
+                        Diagnostic::ice("this expression".to_owned(), panic_detail(&*p)).at(node),
+                    );
                     out.results.push(ItemSummary {
                         name: None,
                         ty: None,
@@ -292,6 +380,7 @@ impl Checker {
                     });
                 }
             }
+            degraded = degraded.or(c.budget().tripped());
         }
         if count == 0 {
             // The empty module's value is `#t`, as in the nested

@@ -42,7 +42,7 @@ use rtr_solver::lin::{Constraint, FmTrace, FourierMotzkin, LinExpr, LinResult, S
 use rtr_solver::rational::Rat;
 use rtr_solver::re::{ReConstraint, ReResult, ReSession, Regex};
 
-use crate::cache::SOLVER_TABLE_CAP;
+use crate::cache::{LockRecover, SOLVER_TABLE_CAP};
 use crate::check::Checker;
 use crate::env::Env;
 use crate::syntax::{BvAtomProp, BvCmp, BvObj, Field, LinAtom, LinCmp, LinObj, Path, StrAtomProp};
@@ -442,36 +442,44 @@ impl Checker {
     fn lin_store_for(&self, env: &Env) -> Arc<LinStore> {
         let epoch = env.lin_epoch();
         {
-            let stores = self.caches().lin_stores.lock().expect("cache poisoned");
+            let stores = self.caches().lin_stores.lock_recover();
             if let Some(s) = stores.get(&epoch) {
                 return s.clone();
             }
         }
-        let parent = env.lin_parent().and_then(|p| {
-            self.caches()
-                .lin_stores
-                .lock()
-                .expect("cache poisoned")
-                .get(&p)
-                .cloned()
-        });
+        let parent = env
+            .lin_parent()
+            .and_then(|p| self.caches().lin_stores.lock_recover().get(&p).cloned());
         let facts = env.lin_facts();
         let store = match parent {
             Some(p) if p.num_atoms <= facts.len() => self.lin_store_extended(&p, facts),
             _ => self.lin_store_full(facts),
         };
         let store = Arc::new(store);
-        let mut stores = self.caches().lin_stores.lock().expect("cache poisoned");
-        if stores.len() >= SOLVER_TABLE_CAP {
-            stores.clear();
+        // A deadline-degraded verdict is transient: caching it would leave
+        // later, unhurried checks reading a starved `Unknown` forever.
+        self.budget().poll_deadline();
+        if self.may_store() {
+            let mut stores = self.caches().lin_stores.lock_recover();
+            if stores.len() >= SOLVER_TABLE_CAP {
+                stores.clear();
+            }
+            stores.insert(epoch, store.clone());
         }
-        stores.insert(epoch, store.clone());
         store
+    }
+
+    /// A Fourier–Motzkin instance carrying the budget's wall-clock
+    /// deadline, so long eliminations degrade to `Unknown` in time.
+    pub(crate) fn fm_solver(&self) -> FourierMotzkin {
+        let mut fm = FourierMotzkin::new(self.config.fm);
+        fm.set_deadline(self.budget().deadline());
+        fm
     }
 
     fn lin_store_full(&self, facts: &[LinAtom]) -> LinStore {
         let (vars, rows) = translate_all(facts);
-        let fm = FourierMotzkin::new(self.config.fm);
+        let fm = self.fm_solver();
         let (result, trace) = fm.check_traced(&rows);
         match trace {
             Some(t) => LinStore {
@@ -513,7 +521,7 @@ impl Checker {
         }
         if let Some(t) = &parent.trace {
             if pending.len() <= TRACE_MAX_PENDING {
-                let fm = FourierMotzkin::new(self.config.fm);
+                let fm = self.fm_solver();
                 // The trace covers everything but `pending`; replay it all.
                 if let Some(result) = fm.check_with_trace(t, &pending) {
                     return LinStore {
@@ -562,7 +570,7 @@ impl Checker {
             let mut delta = store.pending.clone();
             let mut vars = store.vars.clone();
             push_lin_atom(&neg, Arc::make_mut(&mut vars), &mut delta);
-            let fm = FourierMotzkin::new(self.config.fm);
+            let fm = self.fm_solver();
             let traced = store
                 .trace
                 .as_ref()
@@ -574,7 +582,10 @@ impl Checker {
                 fm.check(&all)
             })
         };
-        self.caches().lin.store(fp, result);
+        self.budget().poll_deadline();
+        if self.may_store() {
+            self.caches().lin.store(fp, result);
+        }
         result.is_unsat()
     }
 }
@@ -642,11 +653,12 @@ impl Checker {
     /// Runs `query` against the persistent session, retiring and
     /// recreating the session when it has grown past its budget.
     fn with_bv_oracle<R>(&self, query: impl FnOnce(&mut BvOracle, u32) -> R) -> R {
-        let mut guard = self.caches().bv_oracle.lock().expect("cache poisoned");
+        let mut guard = self.caches().bv_oracle.lock_recover();
         let oracle = guard.get_or_insert_with(|| BvOracle::new(&self.config));
         if oracle.session.num_vars() > SESSION_MAX_VARS {
             *oracle = BvOracle::new(&self.config);
         }
+        oracle.session.set_deadline(self.budget().deadline());
         query(oracle, self.config.bv_width)
     }
 
@@ -665,7 +677,10 @@ impl Checker {
                 .collect();
             oracle.session.check(&lits)
         });
-        self.caches().bv.store(fp, result);
+        self.budget().poll_deadline();
+        if self.may_store() {
+            self.caches().bv.store(fp, result);
+        }
         result
     }
 
@@ -693,7 +708,10 @@ impl Checker {
         });
         match result {
             Some(r) => {
-                self.caches().bv.store(fp, r);
+                self.budget().poll_deadline();
+                if self.may_store() {
+                    self.caches().bv.store(fp, r);
+                }
                 r.is_unsat()
             }
             None => false,
@@ -749,11 +767,12 @@ impl Checker {
     /// Runs `query` against the persistent regex session, retiring and
     /// recreating the session when its DFA caches outgrow the budget.
     fn with_re_oracle<R>(&self, query: impl FnOnce(&mut ReOracle) -> R) -> R {
-        let mut guard = self.caches().re_oracle.lock().expect("cache poisoned");
+        let mut guard = self.caches().re_oracle.lock_recover();
         let oracle = guard.get_or_insert_with(|| ReOracle::new(&self.config));
         if oracle.session.num_states() > SESSION_MAX_STATES {
             *oracle = ReOracle::new(&self.config);
         }
+        oracle.session.set_deadline(self.budget().deadline());
         query(oracle)
     }
 
@@ -763,8 +782,7 @@ impl Checker {
     pub(crate) fn re_session_stats(&self) -> rtr_solver::re::ReSessionStats {
         self.caches()
             .re_oracle
-            .lock()
-            .expect("cache poisoned")
+            .lock_recover()
             .as_ref()
             .map(|o| o.session.stats())
             .unwrap_or_default()

@@ -116,7 +116,11 @@ impl Checker {
             Some((t1, t2)) => self.subtype_structural(env, t1, t2, fuel),
             None => self.subtype_structural(env, &a.get(), &b.get(), fuel),
         };
-        self.caches().subtype.store(key, fuel, verdict);
+        // Post-trip verdicts are conservative degradations; keep them
+        // out of the budget-agnostic memo (see `crate::budget`).
+        if self.may_store() {
+            self.caches().subtype.store(key, fuel, verdict);
+        }
         verdict
     }
 
@@ -126,6 +130,15 @@ impl Checker {
         let Some(fuel) = fuel.checked_sub(1) else {
             return false;
         };
+        // Resource governance: one step per structural node; "not a
+        // subtype" on any trip only rejects more programs.
+        if self
+            .budget()
+            .burn(crate::budget::Judgment::Subtype)
+            .is_some()
+        {
+            return false;
+        }
         // S-Refl
         if t1 == t2 {
             return true;

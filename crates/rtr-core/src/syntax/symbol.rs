@@ -7,6 +7,8 @@
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
+use crate::cache::LockRecover;
+
 /// An interned identifier.
 ///
 /// # Examples
@@ -45,7 +47,7 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `name`, returning its unique symbol.
     pub fn intern(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("interner poisoned");
+        let mut i = interner().lock_recover();
         if let Some(&id) = i.lookup.get(name) {
             return Symbol(id);
         }
@@ -60,7 +62,7 @@ impl Symbol {
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        interner().lock().expect("interner poisoned").names[self.0 as usize]
+        interner().lock_recover().names[self.0 as usize]
     }
 
     /// The raw interner index. Stable for the process lifetime; used as a
@@ -88,7 +90,7 @@ impl Symbol {
             // debug builds.
             debug_assert!(n < u64::MAX, "Symbol::fresh counter overflowed");
             let name = format!("{base}%{n}");
-            let mut i = interner().lock().expect("interner poisoned");
+            let mut i = interner().lock_recover();
             if i.lookup.contains_key(name.as_str()) {
                 continue;
             }
@@ -106,13 +108,13 @@ impl Symbol {
     /// to the interner's evictable region rather than its permanent
     /// arena.
     pub fn is_fresh(self) -> bool {
-        interner().lock().expect("interner poisoned").fresh[self.0 as usize]
+        interner().lock_recover().fresh[self.0 as usize]
     }
 
     /// Is any of the given symbols fresh? One interner lock for the whole
     /// batch — the type interner calls this per arena insert.
     pub fn any_fresh(syms: impl IntoIterator<Item = Symbol>) -> bool {
-        let i = interner().lock().expect("interner poisoned");
+        let i = interner().lock_recover();
         syms.into_iter().any(|s| i.fresh[s.0 as usize])
     }
 }

@@ -46,6 +46,16 @@ impl Checker {
         let Some(next_fuel) = fuel.checked_sub(1) else {
             return t;
         };
+        // Resource governance: a tripped budget stops narrowing (the
+        // unrefined type is the sound identity degradation, exactly as
+        // at fuel 0).
+        if self
+            .budget()
+            .burn(crate::budget::Judgment::Update)
+            .is_some()
+        {
+            return t;
+        }
         // Memoize environment-free pairs only: their updates consult
         // nothing but the two types (subtype/overlap on env-free types
         // are generation-0 judgments), so entries transfer across every
@@ -103,7 +113,11 @@ impl Checker {
             }
         };
         if let Some(key) = key {
-            self.caches().update.store(key, result);
+            // Post-trip results may be fuel-identity degradations; keep
+            // them out of the budget-agnostic memo.
+            if self.may_store() {
+                self.caches().update.store(key, result);
+            }
         }
         result
     }
@@ -165,7 +179,9 @@ impl Checker {
             return verdict;
         }
         let verdict = self.overlap(&t.get(), &s.get());
-        self.caches().overlap.store(key, verdict);
+        if self.may_store() {
+            self.caches().overlap.store(key, verdict);
+        }
         verdict
     }
 
@@ -187,7 +203,9 @@ impl Checker {
                     return verdict;
                 }
                 let verdict = self.is_empty_structural(&tree);
-                self.caches().empty.store(t, verdict);
+                if self.may_store() {
+                    self.caches().empty.store(t, verdict);
+                }
                 verdict
             }
             _ => false,

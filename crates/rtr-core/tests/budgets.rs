@@ -6,9 +6,11 @@
 //! "proved". These tests starve each budget and assert that the checker
 //! (a) never panics and (b) only ever errs toward rejection.
 
+use proptest::prelude::*;
 use rtr_core::check::Checker;
 use rtr_core::config::CheckerConfig;
-use rtr_core::syntax::{Expr, LinCmp, Obj, Prim, Prop, Symbol, Ty};
+use rtr_core::diag::Code;
+use rtr_core::syntax::{BvCmp, Expr, LinCmp, Obj, Prim, Prop, Symbol, Ty};
 use rtr_solver::lin::FmConfig;
 use rtr_solver::sat::SolverConfig;
 
@@ -199,6 +201,183 @@ fn ill_typed_programs_error_not_panic() {
     for e in cases {
         let r = checker.check_program(&e);
         assert!(r.is_err(), "must reject {e}, got {r:?}");
+    }
+}
+
+// --- starved vs generous: the three-valued degradation contract --------------
+//
+// The hard-limit contract (`max_steps`): a checker whose step budget is
+// starved must either agree with the generous checker's verdict or
+// report `E0202` (resource exhausted). It must never flip a verdict —
+// accept what the generous checker rejects, or reject for a *reason
+// other than exhaustion* what the generous checker accepts.
+
+/// `λ(x : {v : Int | facts}). (ann x {z : Int | goal})` — the
+/// annotation forces a `proves` obligation through the lin theory.
+fn lin_fact_program(facts: &[(LinCmp, i64, bool)], goal: (LinCmp, i64, bool)) -> Expr {
+    let x = Symbol::fresh("svx");
+    let v = Symbol::fresh("svv");
+    let z = Symbol::fresh("svz");
+    let fact_prop = facts.iter().fold(Prop::TT, |acc, &(cmp, k, flip)| {
+        let atom = if flip {
+            Prop::lin(Obj::int(k), cmp, Obj::var(v))
+        } else {
+            Prop::lin(Obj::var(v), cmp, Obj::int(k))
+        };
+        Prop::and(acc, atom)
+    });
+    let (cmp, k, against_x) = goal;
+    let rhs = if against_x {
+        Obj::var(x).add(&Obj::int(k))
+    } else {
+        Obj::int(k)
+    };
+    Expr::lam(
+        vec![(x, Ty::refine(v, Ty::Int, fact_prop))],
+        Expr::ann(
+            Expr::Var(x),
+            Ty::refine(z, Ty::Int, Prop::lin(Obj::var(z), cmp, rhs)),
+        ),
+    )
+}
+
+/// Same shape over the bitvector theory.
+fn bv_fact_program(facts: &[(BvCmp, u64, bool)], goal: (BvCmp, u64, bool)) -> Expr {
+    let x = Symbol::fresh("svbx");
+    let v = Symbol::fresh("svbv");
+    let z = Symbol::fresh("svbz");
+    let fact_prop = facts.iter().fold(Prop::TT, |acc, &(cmp, k, masked)| {
+        let lhs = if masked {
+            Obj::var(v).bv_and(&Obj::bv(k))
+        } else {
+            Obj::var(v)
+        };
+        Prop::and(acc, Prop::bv(lhs, cmp, Obj::bv(k)))
+    });
+    let (cmp, k, against_x) = goal;
+    let lhs = if against_x {
+        Obj::var(z).bv_and(&Obj::var(x))
+    } else {
+        Obj::var(z)
+    };
+    Expr::lam(
+        vec![(x, Ty::refine(v, Ty::BitVec, fact_prop))],
+        Expr::ann(
+            Expr::Var(x),
+            Ty::refine(z, Ty::BitVec, Prop::bv(lhs, cmp, Obj::bv(k))),
+        ),
+    )
+}
+
+/// Same shape over the regex theory: facts and goal draw from a pool of
+/// partially-overlapping patterns so some inclusions genuinely hold.
+fn re_fact_program(facts: &[(usize, bool)], goal: usize) -> Expr {
+    let pool: Vec<std::sync::Arc<rtr_solver::re::Regex>> = ["a*", "[ab]+", "a{2}", "b?a", "c.*"]
+        .iter()
+        .map(|p| std::sync::Arc::new(rtr_solver::re::Regex::parse(p).expect("pool parses")))
+        .collect();
+    let x = Symbol::fresh("svrx");
+    let v = Symbol::fresh("svrv");
+    let z = Symbol::fresh("svrz");
+    let fact_prop = facts.iter().fold(Prop::TT, |acc, &(i, pos)| {
+        let atom = Prop::re_match(&Obj::var(v), &Obj::re(pool[i % pool.len()].clone()));
+        let atom = if pos {
+            atom
+        } else {
+            atom.negate().expect("re atoms negate")
+        };
+        Prop::and(acc, atom)
+    });
+    let goal_prop = Prop::re_match(&Obj::var(z), &Obj::re(pool[goal % pool.len()].clone()));
+    Expr::lam(
+        vec![(x, Ty::refine(v, Ty::Str, fact_prop))],
+        Expr::ann(Expr::Var(x), Ty::refine(z, Ty::Str, goal_prop)),
+    )
+}
+
+fn arb_lin_cmp() -> impl Strategy<Value = LinCmp> {
+    prop_oneof![
+        Just(LinCmp::Lt),
+        Just(LinCmp::Le),
+        Just(LinCmp::Eq),
+        Just(LinCmp::Ne)
+    ]
+}
+
+fn arb_bv_cmp() -> impl Strategy<Value = BvCmp> {
+    prop_oneof![Just(BvCmp::Eq), Just(BvCmp::Ule), Just(BvCmp::Ult)]
+}
+
+/// Programs whose typing obligations route through one of the three
+/// theories, with random fact sets.
+fn arb_governed_program() -> impl Strategy<Value = Expr> {
+    let lin = (
+        proptest::collection::vec((arb_lin_cmp(), -6i64..=6, any::<bool>()), 0..4),
+        (arb_lin_cmp(), -6i64..=6, any::<bool>()),
+    )
+        .prop_map(|(facts, goal)| lin_fact_program(&facts, goal));
+    let bv = (
+        proptest::collection::vec((arb_bv_cmp(), 0u64..=0xff, any::<bool>()), 0..3),
+        (arb_bv_cmp(), 0u64..=0xff, any::<bool>()),
+    )
+        .prop_map(|(facts, goal)| bv_fact_program(&facts, goal));
+    let re = (
+        proptest::collection::vec((0usize..5, any::<bool>()), 0..3),
+        0usize..5,
+    )
+        .prop_map(|(facts, goal)| re_fact_program(&facts, goal));
+    prop_oneof![lin, bv, re]
+}
+
+/// The hard step limit trips on a program the default budget accepts,
+/// and the trip surfaces as `E0202`, not as a plain type error.
+#[test]
+fn one_step_budget_reports_exhausted() {
+    let starved = Checker::with_config(CheckerConfig {
+        max_steps: Some(1),
+        ..CheckerConfig::default()
+    });
+    let d = starved
+        .check_program(&guarded_access())
+        .expect_err("one judgment step cannot check a lambda");
+    assert_eq!(d.code, Code::ResourceExhausted, "{d:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Under any step starvation, the verdict is the generous verdict or
+    /// `E0202` — never a flip in either direction.
+    #[test]
+    fn starved_budget_never_flips_a_verdict(
+        e in arb_governed_program(),
+        steps in 1u64..3_000,
+    ) {
+        let generous = Checker::default();
+        let starved = Checker::with_config(CheckerConfig {
+            max_steps: Some(steps),
+            ..CheckerConfig::default()
+        });
+        let g = generous.check_program(&e);
+        let s = starved.check_program(&e);
+        match (&s, &g) {
+            (Ok(_), Ok(_)) => {}
+            (Err(d), _) if d.code == Code::ResourceExhausted => {}
+            (Err(d), Err(gd)) => prop_assert_eq!(
+                d.code, gd.code,
+                "starved rejection changed its reason on {}", e
+            ),
+            (Ok(_), Err(gd)) => prop_assert!(
+                false,
+                "starved checker accepted what the generous one rejects ({}) on {}",
+                gd.code, e
+            ),
+            (Err(d), Ok(_)) => prop_assert!(
+                false,
+                "starved checker rejected with {} (not E0202) what the generous one accepts on {}",
+                d.code, e
+            ),
+        }
     }
 }
 

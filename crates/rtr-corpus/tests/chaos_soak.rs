@@ -1,0 +1,87 @@
+//! Differential chaos soak over the synthetic corpora (`--features
+//! chaos`): classifying §5 sites under a seeded fault schedule may only
+//! move outcomes *down* the staged ladder (toward `Unverified`) — an
+//! injected fault can starve a proof, never conjure one — and a chaos
+//! run is deterministic, serial vs sharded.
+
+#![cfg(feature = "chaos")]
+
+use rtr_core::budget::ChaosConfig;
+use rtr_core::check::Checker;
+use rtr_core::config::CheckerConfig;
+use rtr_corpus::classify::{classify_library, classify_library_jobs, classify_site, Outcome};
+use rtr_corpus::gen::{generate, Library};
+use rtr_corpus::profiles::libraries;
+
+/// Position on the staged ladder: lower verifies earlier.
+fn rank(o: Outcome) -> u8 {
+    match o {
+        Outcome::Auto => 0,
+        Outcome::WithAnnotations => 1,
+        Outcome::WithModifications => 2,
+        Outcome::Unverified => 3,
+    }
+}
+
+fn chaos_checker(seed: u64) -> Checker {
+    let cfg = CheckerConfig {
+        chaos: Some(ChaosConfig {
+            seed,
+            trip_per_mille: 10,
+            panic_per_mille: 10,
+            flush_per_mille: 10,
+            solver_per_mille: 10,
+        }),
+        ..CheckerConfig::default()
+    };
+    Checker::with_config(cfg)
+}
+
+/// A quick cross-library sample, as in `parallel_equiv.rs`.
+fn sample(profile_idx: usize) -> Library {
+    let profile = &libraries()[profile_idx];
+    let lib = generate(profile, 2016);
+    Library {
+        profile: lib.profile.clone(),
+        sites: lib.sites.iter().take(24).cloned().collect(),
+        filler: Vec::new(),
+    }
+}
+
+#[test]
+fn chaos_classification_only_degrades_outcomes() {
+    for idx in 0..libraries().len() {
+        let lib = sample(idx);
+        let fault_free = Checker::default();
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let chaotic = chaos_checker(seed);
+            for site in &lib.sites {
+                let base = classify_site(site, &fault_free);
+                let shaken = classify_site(site, &chaotic);
+                assert!(
+                    rank(shaken) >= rank(base),
+                    "{} site {} (seed {seed}): fault injection promoted {base:?} to {shaken:?}",
+                    lib.profile.name,
+                    site.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_soak_is_deterministic_serial_vs_sharded() {
+    let lib = sample(0);
+    let serial = classify_library(&lib, &chaos_checker(2016));
+    for jobs in [2, 4] {
+        // A fresh checker per run: shared warm caches are verdict-neutral
+        // but the chaos schedule is budget-fork-local, so this compares
+        // like with like.
+        let parallel = classify_library_jobs(&lib, &chaos_checker(2016), jobs);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "chaos tally diverged at jobs={jobs}"
+        );
+    }
+}

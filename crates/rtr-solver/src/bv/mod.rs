@@ -61,12 +61,23 @@ impl BvResult {
 #[derive(Clone, Debug, Default)]
 pub struct BvSolver {
     sat_config: SolverConfig,
+    /// Optional wall-clock cutoff, forwarded to the SAT search.
+    deadline: Option<std::time::Instant>,
 }
 
 impl BvSolver {
     /// Creates a solver with an explicit SAT budget.
     pub fn new(sat_config: SolverConfig) -> BvSolver {
-        BvSolver { sat_config }
+        BvSolver {
+            sat_config,
+            deadline: None,
+        }
+    }
+
+    /// Installs (or clears) a wall-clock deadline. Past it, queries degrade
+    /// to [`BvResult::Unknown`] rather than being cut off mid-verdict.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// Decides satisfiability of the conjunction of `lits`.
@@ -80,7 +91,9 @@ impl BvSolver {
                 Err(_) => return BvResult::Unknown,
             }
         }
-        match Solver::with_config(self.sat_config).solve(&cnf) {
+        let mut solver = Solver::with_config(self.sat_config);
+        solver.set_deadline(self.deadline);
+        match solver.solve(&cnf) {
             SatResult::Sat(_) => BvResult::Sat,
             SatResult::Unsat => BvResult::Unsat,
             SatResult::Unknown => BvResult::Unknown,

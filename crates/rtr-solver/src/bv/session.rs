@@ -50,6 +50,12 @@ impl BvSession {
         }
     }
 
+    /// Installs (or clears) a wall-clock deadline on the underlying SAT
+    /// solver. Past it, checks degrade to [`BvResult::Unknown`].
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.solver.set_deadline(deadline);
+    }
+
     /// The activation literal guarding `lit`, reifying and caching it on
     /// first use. `Err` when the blast budget is exceeded.
     fn activation(&mut self, lit: &BvLit) -> Result<Lit, ()> {

@@ -71,6 +71,10 @@ impl Default for FmConfig {
 #[derive(Clone, Debug, Default)]
 pub struct FourierMotzkin {
     config: FmConfig,
+    /// Optional wall-clock cutoff: once reached, in-flight eliminations
+    /// return [`LinResult::Unknown`] (the conservative verdict) instead of
+    /// running to their row budget.
+    deadline: Option<std::time::Instant>,
 }
 
 /// A replayable record of one satisfiable elimination run, enabling
@@ -113,7 +117,21 @@ struct FmStep {
 impl FourierMotzkin {
     /// Creates a solver with the given configuration.
     pub fn new(config: FmConfig) -> FourierMotzkin {
-        FourierMotzkin { config }
+        FourierMotzkin {
+            config,
+            deadline: None,
+        }
+    }
+
+    /// Installs (or clears) a wall-clock deadline. Past it, queries degrade
+    /// to [`LinResult::Unknown`] rather than being cut off mid-verdict.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// Decides satisfiability of the conjunction of `constraints` over the
@@ -231,6 +249,9 @@ impl FourierMotzkin {
         // at each step, only resolvents involving a new row are computed —
         // old×old ones are already folded into later steps of the trace.
         for step in &trace.steps {
+            if self.past_deadline() {
+                return Some(LinResult::Unknown);
+            }
             let mut lower = Vec::new();
             let mut upper = Vec::new();
             let mut rest = Vec::new();
@@ -352,6 +373,9 @@ impl FourierMotzkin {
         }
 
         loop {
+            if self.past_deadline() {
+                return LinResult::Unknown;
+            }
             // Gaussian elimination of equalities first: cheap and exact.
             if let Some(pos) = rows
                 .iter()

@@ -72,6 +72,11 @@ pub struct ReSession {
     /// Shortest accepted word per language; `None` = empty language.
     witnesses: FxHashMap<LangKey, Option<Vec<u8>>>,
     stats: ReSessionStats,
+    /// Optional wall-clock cutoff. Past it, remaining constraints are
+    /// skipped (verdict degrades to `Unknown`) *without* writing cache
+    /// entries — a deadline trip is transient, unlike a budget blow, so it
+    /// must not poison the warm caches for later, unhurried queries.
+    deadline: Option<std::time::Instant>,
 }
 
 impl ReSession {
@@ -81,6 +86,17 @@ impl ReSession {
             config,
             ..ReSession::default()
         }
+    }
+
+    /// Installs (or clears) a wall-clock deadline. Past it, checks degrade
+    /// to [`ReResult::Unknown`] rather than being cut off mid-verdict.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// The session-local id of `re`, interning on first use.
@@ -125,6 +141,10 @@ impl ReSession {
             let mut acc: Option<Arc<Dfa>> = None;
             let mut lang: LangKey = Vec::new();
             for c in cs {
+                if self.past_deadline() {
+                    unknown = true;
+                    break;
+                }
                 let lit = (self.regex_id(&c.regex), c.positive);
                 let Some(d) = self.literal_dfa(lit, &c.regex) else {
                     unknown = true;

@@ -117,12 +117,30 @@ impl Default for ReConfig {
 #[derive(Clone, Debug, Default)]
 pub struct ReSolver {
     config: ReConfig,
+    /// Optional wall-clock cutoff: past it, remaining constraints are
+    /// skipped exactly like budget-blown ones (verdict degrades to
+    /// [`ReResult::Unknown`], never flips).
+    deadline: Option<std::time::Instant>,
 }
 
 impl ReSolver {
     /// A solver with the given budget.
     pub fn new(config: ReConfig) -> ReSolver {
-        ReSolver { config }
+        ReSolver {
+            config,
+            deadline: None,
+        }
+    }
+
+    /// Installs (or clears) a wall-clock deadline. Past it, queries degrade
+    /// to [`ReResult::Unknown`] rather than being cut off mid-verdict.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// Is the conjunction of `constraints` satisfiable?
@@ -141,6 +159,10 @@ impl ReSolver {
             // Start from Σ* and intersect each literal's language.
             let mut acc: Option<Dfa> = None;
             for c in cs {
+                if self.past_deadline() {
+                    unknown = true;
+                    break;
+                }
                 let Some(mut d) = Dfa::compile(&c.regex, budget) else {
                     unknown = true;
                     continue;

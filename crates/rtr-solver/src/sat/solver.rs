@@ -109,6 +109,9 @@ pub struct Solver {
     /// Latched once the clause set is unsatisfiable at level 0 —
     /// independent of any assumptions, so every later query is `Unsat`.
     root_unsat: bool,
+    /// Optional wall-clock cutoff: past it, `search` degrades to
+    /// [`SatResult::Unknown`] at the next conflict.
+    deadline: Option<std::time::Instant>,
 }
 
 impl Solver {
@@ -126,9 +129,22 @@ impl Solver {
         }
     }
 
+    /// Installs (or clears) a wall-clock deadline. Past it, queries degrade
+    /// to [`SatResult::Unknown`] rather than being cut off mid-verdict.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
     /// Decides satisfiability of `cnf` from scratch (one-shot).
     pub fn solve(&mut self, cnf: &Cnf) -> SatResult {
+        let deadline = self.deadline;
         *self = Solver::with_config(self.config);
+        self.deadline = deadline;
         self.solve_assuming(cnf, &[])
     }
 
@@ -182,7 +198,7 @@ impl Solver {
                     self.root_unsat = true;
                     return SatResult::Unsat;
                 }
-                if conflicts > self.config.max_conflicts {
+                if conflicts > self.config.max_conflicts || self.past_deadline() {
                     self.cancel_until(0);
                     return SatResult::Unknown;
                 }

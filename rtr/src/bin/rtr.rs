@@ -23,12 +23,24 @@
 //! * `--json` — with `check`, emit the `rtr-check-v1` report on stdout.
 //! * `--jobs N` — with `check`, shard multiple files over N worker
 //!   threads (default: serial).
-//! * `--stats` — with `check`, print memo-table hit/miss counters after
-//!   checking (requires a build with the `stats` Cargo feature).
+//! * `--stats` — with `check`, print memo-table hit/miss counters and
+//!   budget-consumption gauges after checking (requires a build with
+//!   the `stats` Cargo feature).
+//! * `--timeout-ms N` — with `check`, a wall-clock budget per file;
+//!   items past the deadline degrade to `E0202` diagnostics instead of
+//!   running forever (see the README's Robustness section).
+//! * `--max-depth N` — with `check`, cap the typing-judgment recursion
+//!   depth (default 50,000); deeper programs degrade to `E0202`.
 //! * `--unchecked` — with `run`, skip type checking (dynamically-typed
 //!   Racket semantics; unsafe primitives can get stuck).
 //! * `--fuel N` — with `run` and `repl`, the evaluation step budget
 //!   (default 1,000,000).
+//!
+//! `check` exits `3` when an internal checker error was isolated to an
+//! item (`E0203`): the other items' verdicts are still reported, but
+//! the run is suspect. Builds with the `chaos` feature read the
+//! `RTR_CHAOS` environment variable (`seed[,trip,panic,flush,solver]`
+//! per-mille rates) to inject deterministic faults for harness testing.
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -37,12 +49,14 @@ use rtr::json::reports_to_json;
 use rtr::prelude::*;
 
 const USAGE: &str = "\
-usage: rtr check [--lambda-tr] [--json] [--jobs N] [--stats] <file.rtr>...
+usage: rtr check [--lambda-tr] [--json] [--jobs N] [--stats]
+                 [--timeout-ms N] [--max-depth N] <file.rtr>...
        rtr run   [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>
        rtr expand <file.rtr>
        rtr repl  [--lambda-tr] [--fuel N]
        rtr --version
-exit codes: 0 clean, 1 diagnostics, 2 usage or I/O error";
+exit codes: 0 clean, 1 diagnostics, 2 usage or I/O error,
+            3 isolated internal checker error (E0203)";
 
 #[derive(Default)]
 struct Options {
@@ -52,6 +66,8 @@ struct Options {
     stats: bool,
     jobs: usize,
     fuel: u64,
+    timeout_ms: Option<u64>,
+    max_depth: Option<u32>,
     files: Vec<String>,
 }
 
@@ -117,6 +133,20 @@ fn main() -> ExitCode {
                 }
                 None => return usage_error("--fuel needs a number"),
             },
+            "--timeout-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.timeout_ms = Some(n);
+                    seen.push("--timeout-ms");
+                }
+                _ => return usage_error("--timeout-ms needs a positive number"),
+            },
+            "--max-depth" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.max_depth = Some(n);
+                    seen.push("--max-depth");
+                }
+                _ => return usage_error("--max-depth needs a positive number"),
+            },
             _ if !a.starts_with('-') => opts.files.push(a),
             other => return usage_error(&format!("unknown flag `{other}`")),
         }
@@ -125,7 +155,14 @@ fn main() -> ExitCode {
     // Flags are rejected, not silently ignored, on subcommands that
     // would do nothing with them.
     let allowed: &[&str] = match command.as_str() {
-        "check" => &["--lambda-tr", "--json", "--jobs", "--stats"],
+        "check" => &[
+            "--lambda-tr",
+            "--json",
+            "--jobs",
+            "--stats",
+            "--timeout-ms",
+            "--max-depth",
+        ],
         "run" => &["--lambda-tr", "--unchecked", "--fuel"],
         "repl" => &["--lambda-tr", "--fuel"],
         _ => &[], // expand takes no flags
@@ -164,11 +201,43 @@ fn main() -> ExitCode {
 }
 
 fn checker_config(opts: &Options) -> CheckerConfig {
-    if opts.lambda_tr {
+    let mut config = if opts.lambda_tr {
         CheckerConfig::lambda_tr()
     } else {
         CheckerConfig::default()
+    };
+    config.timeout_ms = opts.timeout_ms;
+    if let Some(d) = opts.max_depth {
+        config.max_depth = d;
     }
+    #[cfg(feature = "chaos")]
+    {
+        config.chaos = chaos_from_env();
+    }
+    config
+}
+
+/// Parses the `RTR_CHAOS` environment variable into a fault-injection
+/// schedule: `seed[,trip,panic,flush,solver]` (per-mille rates, each
+/// defaulting to 10 when omitted). Unset or malformed = no injection.
+#[cfg(feature = "chaos")]
+fn chaos_from_env() -> Option<rtr::core::budget::ChaosConfig> {
+    let spec = std::env::var("RTR_CHAOS").ok()?;
+    let mut parts = spec.split(',').map(str::trim);
+    let seed = parts.next()?.parse().ok()?;
+    let mut rate = |default: u16| -> Option<u16> {
+        match parts.next() {
+            None => Some(default),
+            Some(p) => p.parse().ok(),
+        }
+    };
+    Some(rtr::core::budget::ChaosConfig {
+        seed,
+        trip_per_mille: rate(10)?,
+        panic_per_mille: rate(10)?,
+        flush_per_mille: rate(10)?,
+        solver_per_mille: rate(10)?,
+    })
 }
 
 /// `rtr check`: a thin client over the session API. Every file is
@@ -228,7 +297,15 @@ fn check_command(opts: &Options) -> ExitCode {
     if opts.stats {
         print_cache_stats(session.checker());
     }
-    if reports.iter().all(CheckReport::is_clean) {
+    let any_ice = reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .any(|d| d.code == rtr::core::diag::Code::InternalError);
+    if any_ice {
+        // An isolated internal error: every other item's verdict was
+        // still reported, but the run is suspect.
+        ExitCode::from(3)
+    } else if reports.iter().all(CheckReport::is_clean) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -327,6 +404,20 @@ fn print_cache_stats(checker: &Checker) {
     eprintln!(
         "  types {} / {}   props {} / {}   objects {} / {}",
         a.tys, a.fresh_tys, a.props, a.fresh_props, a.objs, a.fresh_objs
+    );
+    let b = checker.budget_stats();
+    eprintln!("budget (steps per judgment):");
+    eprintln!(
+        "  synth {}   proves {}   subtype {}   update {}",
+        b.steps_synth, b.steps_proves, b.steps_subtype, b.steps_update
+    );
+    let margin = match b.deadline_margin_us {
+        None => "no deadline".to_owned(),
+        Some(us) => format!("{us} µs min margin"),
+    };
+    eprintln!(
+        "  depth high-water {}   deadline {margin}   limit trips {}",
+        b.depth_high_water, b.trips
     );
 }
 

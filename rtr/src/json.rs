@@ -43,11 +43,18 @@
 //!   `end_line`/`end_col` (exclusive end) into the file's text.
 //! * `payload.kind` is one of `none`, `unbound`, `mismatch`,
 //!   `not-a-function`, `arity`, `not-a-pair`, `cannot-infer`,
-//!   `bad-assignment`; types and propositions are rendered in the
-//!   surface syntax, `theories` lists the solver theories a failed
-//!   refinement mentions.
+//!   `bad-assignment`, `exhausted`, `ice`; types and propositions are
+//!   rendered in the surface syntax, `theories` lists the solver
+//!   theories a failed refinement mentions.
+//! * An `exhausted` payload (code `E0202`) carries `limit`: which
+//!   resource-governance limit tripped (`steps`, `deadline`, `depth`,
+//!   or `injected-fault` under the chaos harness). An `ice` payload
+//!   (code `E0203`) carries `detail`: the isolated internal error. Both
+//!   are additive — consumers unaware of them still parse every report.
 //! * Exit-code contract of `rtr check --json`: `0` clean, `1` at least
-//!   one error-severity diagnostic, `2` usage or I/O failure.
+//!   one error-severity diagnostic, `2` usage or I/O failure, `3` at
+//!   least one internal checker error (`E0203`) was isolated — results
+//!   for other items are still reported but the run is suspect.
 
 use rtr_core::diag::{theory_names, Diagnostic, Payload, Span};
 
@@ -113,19 +120,19 @@ fn payload_json(p: &Payload) -> String {
                 .join(", ");
             format!(
                 "{{{kind}, \"expected\": {}, \"got\": {}, \"failed_prop\": {}, \"theories\": [{theory_list}]}}",
-                str_lit(&expected.get().to_string()),
-                str_lit(&got.get().to_string()),
-                opt_str(failed_prop.map(|p| p.get().to_string())),
+                str_lit(&expected.to_string()),
+                str_lit(&got.to_string()),
+                opt_str(failed_prop.as_ref().map(|p| p.to_string())),
             )
         }
         Payload::NotAFunction { got } => {
-            format!("{{{kind}, \"got\": {}}}", str_lit(&got.get().to_string()))
+            format!("{{{kind}, \"got\": {}}}", str_lit(&got.to_string()))
         }
         Payload::Arity { expected, got } => {
             format!("{{{kind}, \"expected\": {expected}, \"got\": {got}}}")
         }
         Payload::NotAPair { got } => {
-            format!("{{{kind}, \"got\": {}}}", str_lit(&got.get().to_string()))
+            format!("{{{kind}, \"got\": {}}}", str_lit(&got.to_string()))
         }
         Payload::CannotInfer { reason } => {
             format!("{{{kind}, \"reason\": {}}}", str_lit(reason))
@@ -133,9 +140,15 @@ fn payload_json(p: &Payload) -> String {
         Payload::BadAssignment { var, expected, got } => format!(
             "{{{kind}, \"var\": {}, \"expected\": {}, \"got\": {}}}",
             str_lit(var.as_str()),
-            str_lit(&expected.get().to_string()),
-            str_lit(&got.get().to_string()),
+            str_lit(&expected.to_string()),
+            str_lit(&got.to_string()),
         ),
+        Payload::Exhausted { limit } => {
+            format!("{{{kind}, \"limit\": {}}}", str_lit(limit.as_str()))
+        }
+        Payload::Ice { detail } => {
+            format!("{{{kind}, \"detail\": {}}}", str_lit(detail))
+        }
     }
 }
 

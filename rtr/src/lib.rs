@@ -64,6 +64,7 @@ pub mod session;
 
 /// The most common imports for working with RTR.
 pub mod prelude {
+    pub use rtr_core::budget::LimitKind;
     pub use rtr_core::check::Checker;
     pub use rtr_core::config::CheckerConfig;
     pub use rtr_core::diag::{Code, Diagnostic, Severity, Span};

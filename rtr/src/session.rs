@@ -33,6 +33,12 @@ use rtr_core::module::ItemSummary;
 use rtr_core::syntax::TyResult;
 use rtr_lang::check_module_source;
 
+/// Retire the interner's fresh-id region once it holds this many entries
+/// and no check is in flight. Fresh names never recur across modules, so
+/// the region is garbage between checks; evicting it bounds arena growth
+/// in a long-lived session (memo tables reconcile via the eviction epoch).
+const FRESH_ARENA_BUDGET: usize = 1 << 14;
+
 /// Configuration for a [`Session`].
 #[derive(Clone, Debug, Default)]
 pub struct SessionConfig {
@@ -153,10 +159,25 @@ impl Session {
     }
 
     /// Checks one file, reporting every diagnostic. Never fails: reader
-    /// and syntax errors become located diagnostics too.
+    /// and syntax errors become located diagnostics too, and an internal
+    /// checker panic that escapes the per-item isolation in
+    /// `check_module` is caught here as a file-level `E0203`.
     pub fn check(&self, file: &SourceFile) -> CheckReport {
         let start = Instant::now();
-        let report = check_module_source(&file.text, &self.checker);
+        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_module_source(&file.text, &self.checker)
+        }))
+        .unwrap_or_else(|p| rtr_lang::ModuleReport {
+            diagnostics: vec![Diagnostic::ice(
+                format!("the module {}", file.name),
+                rtr_core::check::panic_detail(&*p),
+            )],
+            ..rtr_lang::ModuleReport::default()
+        });
+        // Reports hold owned trees, never interned ids, so retiring the
+        // fresh interner region between checks cannot invalidate them.
+        // The eviction is skipped while any other check is in flight.
+        rtr_core::intern::maybe_evict_fresh(FRESH_ARENA_BUDGET);
         let elapsed = start.elapsed();
         let stats = CheckStats {
             definitions: report.results.iter().filter(|r| r.name.is_some()).count(),

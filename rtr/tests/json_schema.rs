@@ -78,11 +78,22 @@ fn validate_document(doc: &Json, expect_files: usize) {
                     "arity",
                     "not-a-pair",
                     "cannot-infer",
-                    "bad-assignment"
+                    "bad-assignment",
+                    "exhausted",
+                    "ice"
                 ]
                 .contains(&kind),
                 "unknown payload kind {kind}"
             );
+            if kind == "exhausted" {
+                assert!(matches!(
+                    payload.get("limit").unwrap().as_str(),
+                    Some("steps" | "deadline" | "depth" | "injected-fault")
+                ));
+            }
+            if kind == "ice" {
+                assert!(payload.get("detail").unwrap().as_str().is_some());
+            }
             for note in d.get("notes").unwrap().as_array().unwrap() {
                 assert!(note.as_str().is_some());
             }
