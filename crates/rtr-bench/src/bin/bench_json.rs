@@ -16,6 +16,14 @@
 //! tables start cold — the reported times are one-shot module checks,
 //! not warm steady state. (The global `Ty`/`Prop`/`Obj` interner is
 //! process-wide and stays warm, as it would in any long-lived tool.)
+//!
+//! The `warm_edit/*` workloads are the deliberate exception: they model
+//! an editor session, alternating a one-definition body edit against a
+//! **warm** incremental cache (one long-lived checker, one
+//! `ModuleCache`), so each iteration is a one-item re-check plus cache
+//! splicing rather than a from-scratch pass. Compare them against the
+//! same-module cold workloads (`module/filler_50`, `module/string_8`)
+//! for the incremental speedup.
 
 use std::time::{Duration, Instant};
 
@@ -24,7 +32,7 @@ use rtr_bench::{
     narrowing_chain_src, string_module_src, xtime_module_src, DOT_PROD_SRC, MAX_SRC, XTIME_SRC,
 };
 use rtr_core::check::Checker;
-use rtr_lang::{check_module_source, check_source};
+use rtr_lang::{check_module_source, check_module_source_incremental, check_source, ModuleCache};
 
 struct Opts {
     out: String,
@@ -129,6 +137,26 @@ fn main() {
     let dot_prod8 = dot_prod_module_src(8);
     let xtime4 = xtime_module_src(4);
     let bv_chain6 = bv_chain_src(6);
+
+    // Warm-edit pairs: the same module with one definition's body
+    // constant flipped (signatures untouched, so dependents splice via
+    // the early cutoff).
+    let filler50_a = filler_module_src(50);
+    let filler50_b = filler50_a.replace(
+        "(define (u25 x y) (+ (* 2 x) (- y 4)))",
+        "(define (u25 x y) (+ (* 3 x) (- y 4)))",
+    );
+    assert_ne!(filler50_a, filler50_b, "the warm filler edit must land");
+    let string8_a = string_module_src(8);
+    let string8_b = string8_a.replace(
+        "(define (digits3 s) (string-length s))",
+        "(define (digits3 s) (+ (string-length s) 0))",
+    );
+    assert_ne!(string8_a, string8_b, "the warm string edit must land");
+    let warm_checker = Checker::default();
+    let (mut filler_cache, mut string_cache): (Option<ModuleCache>, Option<ModuleCache>) =
+        (None, None);
+    let (mut filler_flip, mut string_flip) = (false, false);
 
     let workloads: Vec<Workload> = vec![
         (
@@ -235,6 +263,46 @@ fn main() {
             "module/string_8",
             Box::new(|| {
                 check_source(&string8, &Checker::default()).expect("string module checks");
+            }),
+        ),
+        // Incremental warm edits (PR 9): each iteration flips one body
+        // constant and re-checks against the previous iteration's
+        // cache — the editor-loop latency the incremental driver is
+        // built for. Compare against the cold module workloads above.
+        (
+            "warm_edit/filler_50",
+            Box::new(|| {
+                filler_flip = !filler_flip;
+                let src = if filler_flip {
+                    &filler50_b
+                } else {
+                    &filler50_a
+                };
+                let was_warm = filler_cache.is_some();
+                let (report, cache, stats) =
+                    check_module_source_incremental(src, &warm_checker, filler_cache.as_ref());
+                assert!(report.is_clean(), "warm filler checks");
+                if was_warm {
+                    let s = stats.expect("the incremental path must engage");
+                    assert_eq!(s.rechecked, 1, "exactly the edited definition re-checks");
+                }
+                filler_cache = cache;
+            }),
+        ),
+        (
+            "warm_edit/string_8",
+            Box::new(|| {
+                string_flip = !string_flip;
+                let src = if string_flip { &string8_b } else { &string8_a };
+                let was_warm = string_cache.is_some();
+                let (report, cache, stats) =
+                    check_module_source_incremental(src, &warm_checker, string_cache.as_ref());
+                assert!(report.is_clean(), "warm string module checks");
+                if was_warm {
+                    let s = stats.expect("the incremental path must engage");
+                    assert_eq!(s.rechecked, 1, "exactly the edited definition re-checks");
+                }
+                string_cache = cache;
             }),
         ),
     ];

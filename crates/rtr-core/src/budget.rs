@@ -240,7 +240,9 @@ impl BudgetState {
     /// Forks a fresh budget for one module item: same limits and
     /// deadline, zeroed counters and trip flag, shared `--stats`
     /// totals. `salt` makes the chaos stream deterministic per item
-    /// (independent of thread scheduling).
+    /// (independent of thread scheduling); callers key it by the item's
+    /// *name*, keeping the stream stable across edits that insert or
+    /// reorder neighbouring items.
     pub(crate) fn fork_item(&self, salt: u64) -> BudgetState {
         #[cfg(not(feature = "chaos"))]
         let _ = salt;

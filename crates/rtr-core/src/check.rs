@@ -227,7 +227,9 @@ impl Checker {
 
     /// A clone of this checker with a fresh per-item budget: same
     /// limits and deadline as the current check, zeroed counters and
-    /// trip flag, chaos stream salted by `salt` (the item index).
+    /// trip flag, chaos stream salted by `salt` (the item's name-keyed
+    /// salt, [`crate::fingerprint::item_salt`], so the stream is stable
+    /// when an edit inserts or reorders neighbouring items).
     pub(crate) fn fork_item(&self, salt: u64) -> Checker {
         Checker {
             config: self.config.clone(),

@@ -194,6 +194,39 @@ impl Env {
         self.generation = next_generation();
     }
 
+    /// Do two environments hold exactly the same facts?
+    ///
+    /// Compares the *semantic* fields only — the stored types, aliases,
+    /// negative facts, theory literals, disjunctions, pending atoms,
+    /// mutability set and absurdity flag. The `generation`/`lin_epoch`
+    /// identity stamps are deliberately ignored: they key memo tables,
+    /// so two value-equal environments with different stamps behave
+    /// identically in every judgment (at worst a cache miss recomputes
+    /// the same verdict). The incremental module driver uses this as its
+    /// splice guard: a cached item verdict may be replayed exactly when
+    /// the environment it would be re-checked in holds the same facts as
+    /// the one it was recorded under.
+    ///
+    /// Every `Arc`-shared field gets a pointer-equality fast path, so
+    /// comparing an environment against the snapshot it was cloned from
+    /// is `O(fields)`.
+    pub fn same_contents(&self, other: &Env) -> bool {
+        fn arc_eq<T: PartialEq + ?Sized>(a: &Arc<T>, b: &Arc<T>) -> bool {
+            Arc::ptr_eq(a, b) || **a == **b
+        }
+        (self.generation == other.generation)
+            || (self.absurd == other.absurd
+                && self.types.same_entries(&other.types)
+                && self.aliases.same_entries(&other.aliases)
+                && arc_eq(&self.negs, &other.negs)
+                && arc_eq(&self.disjs, &other.disjs)
+                && arc_eq(&self.lin_facts, &other.lin_facts)
+                && arc_eq(&self.bv_facts, &other.bv_facts)
+                && arc_eq(&self.str_facts, &other.str_facts)
+                && arc_eq(&self.pending, &other.pending)
+                && arc_eq(&self.mutables, &other.mutables))
+    }
+
     /// Marks `x` as mutable (no symbolic object, §4.2).
     pub fn mark_mutable(&mut self, x: Symbol) {
         self.touch();
@@ -587,6 +620,27 @@ mod tests {
         let mut env = Env::new();
         env.mark_mutable(s("gen_bump"));
         assert_ne!(env.generation(), 0);
+    }
+
+    #[test]
+    fn same_contents_ignores_identity_stamps() {
+        let mut a = Env::new();
+        a.set_ty(s("sc_x"), Ty::Int);
+        a.mark_mutable(s("sc_m"));
+        let mut b = Env::new();
+        b.mark_mutable(s("sc_m"));
+        b.set_ty(s("sc_x"), Ty::Int);
+        // Different generations (each mutation stamps a fresh one), same
+        // facts.
+        assert_ne!(a.generation(), b.generation());
+        assert!(a.same_contents(&b));
+        assert!(a.same_contents(&a.clone()), "snapshot fast path");
+        b.set_ty(s("sc_x"), Ty::bool_ty());
+        assert!(!a.same_contents(&b));
+        b.set_ty(s("sc_x"), Ty::Int);
+        assert!(a.same_contents(&b));
+        b.mark_absurd();
+        assert!(!a.same_contents(&b));
     }
 
     #[test]

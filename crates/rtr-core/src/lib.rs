@@ -59,6 +59,8 @@ pub mod config;
 pub mod diag;
 pub mod env;
 pub mod errors;
+pub mod fingerprint;
+pub mod incremental;
 pub mod infer;
 pub mod intern;
 pub mod interp;

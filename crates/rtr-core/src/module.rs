@@ -85,7 +85,7 @@ pub enum ModuleItem {
 impl ModuleItem {
     /// The expression checked for this item, if any (used for the
     /// mutation pre-pass and the stack-depth probe).
-    fn body(&self) -> Option<&Expr> {
+    pub(crate) fn body(&self) -> Option<&Expr> {
         match self {
             ModuleItem::DefineRec { lam, .. } => Some(&lam.body),
             ModuleItem::Define { rhs, .. } => Some(rhs),
@@ -208,13 +208,14 @@ impl Checker {
 
         // Definitions first: every define scopes over all trailing
         // expressions, exactly as in the nested encoding. Each item
-        // checks on its own budget fork (salted by the item index, so
-        // chaos schedules are independent of thread scheduling) and
+        // checks on its own budget fork (salted by the item's *name*,
+        // so chaos schedules are independent of thread scheduling and
+        // stable when an edit inserts or reorders definitions) and
         // inside `catch_unwind`: an internal checker bug yields one
         // `E0203` ICE for the item, the binding is poisoned at its
         // declared type, and the rest of the module checks normally on
         // the surviving warm caches.
-        for (idx, item) in items.iter().enumerate() {
+        for item in items {
             match item {
                 ModuleItem::DefineRec {
                     name,
@@ -223,7 +224,7 @@ impl Checker {
                     node,
                     sig_node,
                 } => {
-                    let c = self.fork_item(idx as u64);
+                    let c = self.fork_item(crate::fingerprint::item_salt(item));
                     c.chaos_item_entry();
                     let ctx = || format!("(define ({name} …) …)");
                     let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -264,7 +265,7 @@ impl Checker {
                     node,
                     sig_node,
                 } => {
-                    let c = self.fork_item(idx as u64);
+                    let c = self.fork_item(crate::fingerprint::item_salt(item));
                     c.chaos_item_entry();
                     let caught = catch_unwind(AssertUnwindSafe(|| {
                         c.chaos_item_panic();
@@ -322,17 +323,18 @@ impl Checker {
         // Trailing expressions: all but the last are opened as
         // fresh-named `let` bindings (mirroring `begin_form`'s let
         // chain), the last one is the module's value.
-        let trailing: Vec<(usize, &Expr, Option<NodeId>)> = items
+        let trailing: Vec<(u64, &Expr, Option<NodeId>)> = items
             .iter()
-            .enumerate()
-            .filter_map(|(idx, item)| match item {
-                ModuleItem::Expr { expr, node } => Some((idx, expr, *node)),
+            .filter_map(|item| match item {
+                ModuleItem::Expr { expr, node } => {
+                    Some((crate::fingerprint::item_salt(item), expr, *node))
+                }
                 _ => None,
             })
             .collect();
         let count = trailing.len();
-        for (i, (idx, expr, node)) in trailing.into_iter().enumerate() {
-            let c = self.fork_item(idx as u64);
+        for (i, (salt, expr, node)) in trailing.into_iter().enumerate() {
+            let c = self.fork_item(salt);
             c.chaos_item_entry();
             let caught = catch_unwind(AssertUnwindSafe(|| {
                 c.chaos_item_panic();
@@ -387,16 +389,13 @@ impl Checker {
             // encoding.
             out.value = Some(TyResult::new(Ty::True, Prop::TT, Prop::FF, Obj::Null));
         }
-        if let Some(mut v) = out.value.take() {
-            for (x, ty, obj) in binders.iter().rev() {
-                v = v.lift_subst(*x, ty, obj);
-            }
-            out.value = Some(v);
+        if let Some(v) = out.value.take() {
+            out.value = Some(v.lift_subst_all(&binders));
         }
         out
     }
 
-    fn poison(
+    pub(crate) fn poison(
         &self,
         out: &mut ModuleCheck,
         d: Diagnostic,

@@ -212,6 +212,27 @@ impl<V: Copy> PMap<V> {
     }
 }
 
+impl<V: Copy + PartialEq> PMap<V> {
+    /// Structural equality: the same key set mapped to equal values.
+    ///
+    /// A shared root is an `O(1)` yes (snapshots that were never written
+    /// to compare in one pointer check — the incremental module driver's
+    /// common case). Otherwise the entry sequences are compared: because
+    /// the key hash is a bijection, iteration order is a function of the
+    /// key *set* alone, independent of insertion/removal history, so two
+    /// maps with equal contents always enumerate identically.
+    pub fn same_entries(&self, other: &PMap<V>) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        match (&self.root, &other.root) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b) || self.iter().eq(other.iter()),
+            _ => false,
+        }
+    }
+}
+
 /// Clones-on-write access to a node, counting shared-node copies.
 fn make_mut<V: Copy>(node: &mut Arc<Node<V>>) -> &mut Node<V> {
     #[cfg(feature = "stats")]
@@ -413,6 +434,36 @@ mod tests {
         let a: Vec<Symbol> = m.iter().map(|(k, _)| k).collect();
         let b: Vec<Symbol> = m.clone().iter().map(|(k, _)| k).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_entries_is_history_independent() {
+        let mut a: PMap<u32> = PMap::new();
+        for i in 0..64 {
+            a.insert(s(i), i);
+        }
+        // Same final contents by a different history (extra inserts and
+        // removes leave a structurally different, equal trie).
+        let mut b: PMap<u32> = PMap::new();
+        for i in (0..64).rev() {
+            b.insert(s(i), 0);
+        }
+        for i in 64..90 {
+            b.insert(s(i), i);
+        }
+        for i in 64..90 {
+            b.remove(s(i));
+        }
+        for i in 0..64 {
+            b.insert(s(i), i);
+        }
+        assert!(a.same_entries(&b));
+        assert!(a.same_entries(&a.clone()), "shared-root fast path");
+        b.insert(s(3), 999);
+        assert!(!a.same_entries(&b));
+        b.insert(s(3), 3);
+        b.remove(s(63));
+        assert!(!a.same_entries(&b), "missing key must be detected");
     }
 
     #[test]

@@ -29,9 +29,11 @@
 pub mod base_env;
 pub mod elab;
 pub mod expand;
+pub mod incremental;
 pub mod module;
 pub mod sexp;
 
+pub use incremental::{check_module_source_incremental, ModuleCache};
 pub use module::{
     check_module_source, check_source, elaborate_module, elaborate_module_items, run_source,
     run_source_unchecked, ElaboratedModule, LangError, ModuleReport,

@@ -276,7 +276,7 @@ pub fn elaborate_module_items(src: &str) -> Result<ElaboratedModule, ReadError> 
 }
 
 /// `(: name T)` or the paper's `(: name : dom … -> rng)`.
-fn signature_form(
+pub(crate) fn signature_form(
     elab: &mut Elaborator,
     form: &Sexp,
     signatures: &mut HashMap<Symbol, (Ty, rtr_core::diag::NodeId)>,
@@ -313,7 +313,7 @@ fn defined_name(form: &Sexp) -> Option<Symbol> {
     }
 }
 
-fn define_form(
+pub(crate) fn define_form(
     elab: &mut Elaborator,
     form: &Sexp,
     signatures: &mut HashMap<Symbol, (Ty, rtr_core::diag::NodeId)>,

@@ -346,6 +346,31 @@ pub fn read_all(src: &str) -> Result<Vec<Sexp>, ReadError> {
     Reader::new(src).read_all()
 }
 
+/// Reads every datum in `src`, reporting positions as if `src` started
+/// at `start` in some larger source. Used by the incremental module
+/// pipeline to re-elaborate a single changed form *slice* with spans
+/// that stay absolute in the full file — re-reading only the changed
+/// text, not the whole module.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] (with absolute position) on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_lang::sexp::{read_all_from, Pos};
+///
+/// // The slice "(a b)" starts at line 3, column 5 of its file.
+/// let data = read_all_from("(a b)", Pos { line: 3, col: 5 }).unwrap();
+/// assert_eq!(data[0].pos(), Pos { line: 3, col: 5 });
+/// ```
+pub fn read_all_from(src: &str, start: Pos) -> Result<Vec<Sexp>, ReadError> {
+    let mut r = Reader::new(src);
+    r.pos = start;
+    r.read_all()
+}
+
 /// Reads exactly one datum.
 ///
 /// # Errors

@@ -3,6 +3,7 @@
 //! ```sh
 //! rtr check program.rtr more.rtr  # check files, print every diagnostic
 //! rtr check --json program.rtr   # machine-readable rtr-check-v1 report
+//! rtr watch program.rtr          # re-check on change, incrementally
 //! rtr run program.rtr            # type check, then evaluate
 //! rtr expand program.rtr         # show the elaborated core expression
 //! rtr repl                       # interactive read-check-eval loop
@@ -35,6 +36,18 @@
 //!   Racket semantics; unsafe primitives can get stuck).
 //! * `--fuel N` — with `run` and `repl`, the evaluation step budget
 //!   (default 1,000,000).
+//! * `--once` — with `watch`, run a single (cold) pass and exit with
+//!   `check`'s exit-code contract; for scripting and CI smoke tests.
+//! * `--poll-ms N` — with `watch`, the change-detection polling
+//!   interval (default 200 ms).
+//!
+//! `watch` holds one incremental [`rtr::session::Session`] and polls
+//! the files (mtime, then a content hash — no OS watcher dependency);
+//! each time a file changes it is re-checked *incrementally* (only
+//! edited definitions and their dependents are re-judged) and a fresh
+//! report delta is streamed: human renderings on stderr, or one
+//! `rtr-check-v1` JSON document per batch on stdout with `--json`, each
+//! carrying the additive `rechecked_items`/`unchanged_items` stats.
 //!
 //! `check` exits `3` when an internal checker error was isolated to an
 //! item (`E0203`): the other items' verdicts are still reported, but
@@ -51,6 +64,8 @@ use rtr::prelude::*;
 const USAGE: &str = "\
 usage: rtr check [--lambda-tr] [--json] [--jobs N] [--stats]
                  [--timeout-ms N] [--max-depth N] <file.rtr>...
+       rtr watch [--lambda-tr] [--json] [--once] [--poll-ms N] [--stats]
+                 [--timeout-ms N] [--max-depth N] <file.rtr>...
        rtr run   [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>
        rtr expand <file.rtr>
        rtr repl  [--lambda-tr] [--fuel N]
@@ -64,8 +79,10 @@ struct Options {
     unchecked: bool,
     json: bool,
     stats: bool,
+    once: bool,
     jobs: usize,
     fuel: u64,
+    poll_ms: u64,
     timeout_ms: Option<u64>,
     max_depth: Option<u32>,
     files: Vec<String>,
@@ -92,12 +109,13 @@ fn main() -> ExitCode {
             println!("rtr {}", env!("CARGO_PKG_VERSION"));
             return ExitCode::SUCCESS;
         }
-        "check" | "run" | "expand" | "repl" => {}
+        "check" | "watch" | "run" | "expand" | "repl" => {}
         other => return usage_error(&format!("unknown command `{other}`")),
     }
 
     let mut opts = Options {
         fuel: 1_000_000,
+        poll_ms: 200,
         ..Options::default()
     };
     let mut seen: Vec<&'static str> = Vec::new();
@@ -119,6 +137,17 @@ fn main() -> ExitCode {
                 opts.stats = true;
                 seen.push("--stats");
             }
+            "--once" => {
+                opts.once = true;
+                seen.push("--once");
+            }
+            "--poll-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.poll_ms = n;
+                    seen.push("--poll-ms");
+                }
+                _ => return usage_error("--poll-ms needs a positive number"),
+            },
             "--jobs" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n >= 1 => {
                     opts.jobs = n;
@@ -163,6 +192,15 @@ fn main() -> ExitCode {
             "--timeout-ms",
             "--max-depth",
         ],
+        "watch" => &[
+            "--lambda-tr",
+            "--json",
+            "--once",
+            "--poll-ms",
+            "--stats",
+            "--timeout-ms",
+            "--max-depth",
+        ],
         "run" => &["--lambda-tr", "--unchecked", "--fuel"],
         "repl" => &["--lambda-tr", "--fuel"],
         _ => &[], // expand takes no flags
@@ -179,6 +217,7 @@ fn main() -> ExitCode {
             repl(&opts)
         }
         "check" => check_command(&opts),
+        "watch" => watch_command(&opts),
         "run" | "expand" => {
             let [path] = opts.files.as_slice() else {
                 return usage_error(&format!("{command} takes exactly one file"));
@@ -258,9 +297,13 @@ fn check_command(opts: &Options) -> ExitCode {
             }
         }
     }
+    // A one-shot `check` has no prior run to reuse: stay on the
+    // from-scratch path (incremental reports would only add the
+    // additive stats fields to the JSON without reusing anything).
     let session = Session::new(SessionConfig {
         checker: checker_config(opts),
         jobs: if opts.jobs == 0 { 1 } else { opts.jobs },
+        incremental: false,
     });
     let reports = session.check_all(&sources);
 
@@ -297,6 +340,13 @@ fn check_command(opts: &Options) -> ExitCode {
     if opts.stats {
         print_cache_stats(session.checker());
     }
+    batch_exit_code(&reports)
+}
+
+/// The `check`/`watch --once` exit-code contract for a batch of
+/// reports: `3` when an internal error was isolated (the run is
+/// suspect), `0` clean, `1` otherwise.
+fn batch_exit_code(reports: &[CheckReport]) -> ExitCode {
     let any_ice = reports
         .iter()
         .flat_map(|r| &r.diagnostics)
@@ -309,6 +359,145 @@ fn check_command(opts: &Options) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// FNV-1a over the file contents: confirms that an mtime change
+/// actually changed the text, so touch-without-edit saves (common
+/// editor behaviour) do not re-emit a report.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The one-line verdict for a `watch` delta, with the incremental
+/// counters when the re-check spliced from a cache.
+fn watch_summary(report: &CheckReport) -> String {
+    let delta = match (report.stats.rechecked_items, report.stats.unchanged_items) {
+        (Some(r), Some(u)) => format!("; {r} rechecked, {u} unchanged"),
+        _ => String::new(),
+    };
+    if report.is_clean() {
+        format!(
+            "{}: ok ({} definition{}{delta})",
+            report.file,
+            report.stats.definitions,
+            if report.stats.definitions == 1 {
+                ""
+            } else {
+                "s"
+            },
+        )
+    } else {
+        format!(
+            "{}: {} error{}{delta}",
+            report.file,
+            report.stats.errors,
+            if report.stats.errors == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// `rtr watch`: one incremental [`Session`] plus a dependency-free
+/// polling watcher. Each poll probes mtimes and confirms real changes
+/// with a content hash; changed files are re-checked incrementally
+/// (only edited definitions and their dependents are re-judged) and
+/// the batch streams as a delta — human renderings on stderr, or one
+/// `rtr-check-v1` document on stdout with `--json`, whose `stats`
+/// carry the additive `rechecked_items`/`unchanged_items` fields.
+/// `--once` stops after the initial (cold) pass and exits with
+/// `check`'s code, for scripting and CI smoke tests.
+fn watch_command(opts: &Options) -> ExitCode {
+    if opts.files.is_empty() {
+        return usage_error("watch needs at least one file");
+    }
+    struct Watched {
+        path: String,
+        mtime: Option<std::time::SystemTime>,
+        hash: u64,
+        /// Whether an unchanged mtime proves the content unchanged.
+        /// File timestamps tick on the kernel's coarse clock, so an
+        /// edit landing in the same tick as the version we hashed
+        /// keeps the old mtime — the racy-timestamp hazard git's
+        /// index also handles. A hash recorded while the mtime was
+        /// still inside that window never trusts the mtime gate;
+        /// every poll re-reads until the mtime ages out.
+        trusted: bool,
+    }
+    /// Comfortably past any coarse-clock tick (jiffies: 1–10 ms).
+    const RACY_WINDOW: std::time::Duration = std::time::Duration::from_secs(1);
+    let session = Session::new(SessionConfig {
+        checker: checker_config(opts),
+        jobs: 1,
+        incremental: true,
+    });
+    let mut watched: Vec<Watched> = opts
+        .files
+        .iter()
+        .map(|p| Watched {
+            path: p.clone(),
+            mtime: None,
+            hash: 0,
+            trusted: false,
+        })
+        .collect();
+    let mut first = true;
+    loop {
+        let mut batch: Vec<SourceFile> = Vec::new();
+        for w in &mut watched {
+            let mtime = std::fs::metadata(&w.path).and_then(|m| m.modified()).ok();
+            if !first && w.trusted && mtime == w.mtime {
+                continue;
+            }
+            match SourceFile::read(&w.path) {
+                Ok(f) => {
+                    let hash = fnv1a(f.text.as_bytes());
+                    // The age is measured after the read: a same-tick
+                    // edit racing the read keeps `trusted` false, so
+                    // the next poll re-reads and catches it.
+                    w.trusted = mtime
+                        .and_then(|m| std::time::SystemTime::now().duration_since(m).ok())
+                        .is_some_and(|age| age >= RACY_WINDOW);
+                    if first || hash != w.hash {
+                        w.hash = hash;
+                        batch.push(f);
+                    }
+                    w.mtime = mtime;
+                }
+                Err(e) => {
+                    if first {
+                        eprintln!("rtr: cannot read {}: {e}", w.path);
+                        return ExitCode::from(2);
+                    }
+                    // Mid-watch read failures are usually an editor's
+                    // save dance (rename-over); retry on the next poll.
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let reports: Vec<CheckReport> = batch.iter().map(|f| session.check(f)).collect();
+            if opts.json {
+                print!("{}", reports_to_json(&reports));
+                let _ = std::io::stdout().flush();
+            } else {
+                for (report, source) in reports.iter().zip(&batch) {
+                    eprint!("{}", report.render_human(&source.text));
+                    eprintln!("{}", watch_summary(report));
+                }
+            }
+            if opts.stats {
+                print_cache_stats(session.checker());
+            }
+            if opts.once {
+                return batch_exit_code(&reports);
+            }
+        }
+        first = false;
+        std::thread::sleep(std::time::Duration::from_millis(opts.poll_ms));
     }
 }
 
@@ -418,6 +607,16 @@ fn print_cache_stats(checker: &Checker) {
     eprintln!(
         "  depth high-water {}   deadline {margin}   limit trips {}",
         b.depth_high_water, b.trips
+    );
+    let i = rtr::core::incremental::stats::incr_stats();
+    eprintln!("incremental re-checking (per-item fingerprints):");
+    eprintln!(
+        "  cache lookups  {:>10} usable / {:<10} missing",
+        i.fp_hits, i.fp_misses
+    );
+    eprintln!(
+        "  items          rechecked {}   spliced {}   early-cutoff stops {}",
+        i.rechecked, i.skipped, i.cutoff_stopped
     );
 }
 
@@ -590,6 +789,31 @@ mod tests {
     #[test]
     fn run_rejects_an_ill_typed_program() {
         assert_eq!(run_command("(+ 1 #t)", &opts()), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn watch_summary_carries_the_incremental_delta_counters() {
+        let session = Session::new(SessionConfig::default());
+        let file = SourceFile::new("m.rtr", QUICKSTART);
+        session.check(&file);
+        let warm = session.check(&file);
+        let line = watch_summary(&warm);
+        assert!(line.starts_with("m.rtr: ok ("), "got {line:?}");
+        assert!(line.contains("rechecked") && line.contains("unchanged"));
+
+        // From-scratch reports keep the plain summary shape.
+        let scratch = Session::new(SessionConfig {
+            incremental: false,
+            ..SessionConfig::default()
+        });
+        let cold = watch_summary(&scratch.check(&file));
+        assert!(!cold.contains("rechecked"), "got {cold:?}");
+    }
+
+    #[test]
+    fn content_hash_distinguishes_text_not_touches() {
+        assert_eq!(fnv1a(b"(+ 1 2)"), fnv1a(b"(+ 1 2)"));
+        assert_ne!(fnv1a(b"(+ 1 2)"), fnv1a(b"(+ 1 3)"));
     }
 
     #[test]

@@ -51,6 +51,12 @@
 //!   or `injected-fault` under the chaos harness). An `ice` payload
 //!   (code `E0203`) carries `detail`: the isolated internal error. Both
 //!   are additive — consumers unaware of them still parse every report.
+//! * When a report comes from an incremental re-check (sessions with
+//!   [`crate::session::SessionConfig::incremental`], including `rtr
+//!   watch`), `stats` additionally carries `rechecked_items` and
+//!   `unchanged_items`: how many definitions were actually re-judged
+//!   versus spliced from the per-item fingerprint cache. Both fields
+//!   are additive and absent on from-scratch runs.
 //! * Exit-code contract of `rtr check --json`: `0` clean, `1` at least
 //!   one error-severity diagnostic, `2` usage or I/O failure, `3` at
 //!   least one internal checker error (`E0203`) was isolated — results
@@ -202,8 +208,17 @@ fn report_json(r: &CheckReport) -> String {
         .map(diagnostic_json)
         .collect::<Vec<_>>()
         .join(",\n        ");
+    // Incremental counters are additive: absent on from-scratch runs,
+    // so `rtr-check-v1` consumers unaware of them keep parsing.
+    let mut incr = String::new();
+    if let Some(n) = r.stats.rechecked_items {
+        incr.push_str(&format!(", \"rechecked_items\": {n}"));
+    }
+    if let Some(n) = r.stats.unchanged_items {
+        incr.push_str(&format!(", \"unchanged_items\": {n}"));
+    }
     format!(
-        "{{\n      \"name\": {},\n      \"clean\": {},\n      \"items\": [{items}],\n      \"value_type\": {},\n      \"diagnostics\": [\n        {diagnostics}\n      ],\n      \"stats\": {{\"definitions\": {}, \"errors\": {}, \"warnings\": {}, \"elapsed_us\": {}}}\n    }}",
+        "{{\n      \"name\": {},\n      \"clean\": {},\n      \"items\": [{items}],\n      \"value_type\": {},\n      \"diagnostics\": [\n        {diagnostics}\n      ],\n      \"stats\": {{\"definitions\": {}, \"errors\": {}, \"warnings\": {}, \"elapsed_us\": {}{incr}}}\n    }}",
         str_lit(&r.file),
         r.is_clean(),
         opt_str(r.value.as_ref().map(|v| v.ty.to_string())),
@@ -468,6 +483,43 @@ mod tests {
         );
         assert!(parse("[1,]").is_err());
         assert!(parse("{\"a\": 1} extra").is_err());
+    }
+
+    #[test]
+    fn incremental_counters_are_additive_stats_fields() {
+        let session = Session::new(SessionConfig::default());
+        let file = SourceFile::new(
+            "ok.rtr",
+            "(: f : [x : Int] -> Int)\n(define (f x) x)\n(f 2)",
+        );
+        session.check(&file);
+        let warm = session.check(&file);
+        let json = reports_to_json(&[warm]);
+        let doc = parse(&json).expect("emitted JSON must parse");
+        let stats = doc.get("files").unwrap().as_array().unwrap()[0]
+            .get("stats")
+            .expect("stats object");
+        assert!(stats
+            .get("rechecked_items")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(
+            stats.get("unchanged_items").and_then(Json::as_f64).unwrap() >= 1.0,
+            "a warm identical re-check must splice at least one item"
+        );
+
+        // From-scratch sessions must not grow the fields.
+        let scratch = Session::new(SessionConfig {
+            incremental: false,
+            ..SessionConfig::default()
+        });
+        let report = scratch.check(&file);
+        let doc = parse(&reports_to_json(&[report])).unwrap();
+        let stats = doc.get("files").unwrap().as_array().unwrap()[0]
+            .get("stats")
+            .unwrap();
+        assert!(stats.get("rechecked_items").is_none());
+        assert!(stats.get("unchanged_items").is_none());
     }
 
     #[test]

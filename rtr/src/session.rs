@@ -24,6 +24,8 @@
 //! assert_eq!(d.primary.expect("located").start.line, 2);
 //! ```
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rtr_core::check::Checker;
@@ -31,7 +33,7 @@ use rtr_core::config::CheckerConfig;
 use rtr_core::diag::{Diagnostic, Severity};
 use rtr_core::module::ItemSummary;
 use rtr_core::syntax::TyResult;
-use rtr_lang::check_module_source;
+use rtr_lang::{check_module_source, check_module_source_incremental, ModuleCache};
 
 /// Retire the interner's fresh-id region once it holds this many entries
 /// and no check is in flight. Fresh names never recur across modules, so
@@ -40,13 +42,28 @@ use rtr_lang::check_module_source;
 const FRESH_ARENA_BUDGET: usize = 1 << 14;
 
 /// Configuration for a [`Session`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SessionConfig {
     /// The checker configuration (theories, budgets, ablations).
     pub checker: CheckerConfig,
     /// Worker threads for [`Session::check_all`]; `0` means one per
     /// available core. Reports are returned in input order regardless.
     pub jobs: usize,
+    /// Re-check edited files incrementally (the default): the session
+    /// keeps a per-file item cache and only re-checks changed
+    /// definitions and the dependents the early cutoff cannot clear.
+    /// `false` keeps the from-scratch reference path.
+    pub incremental: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            checker: CheckerConfig::default(),
+            jobs: 0,
+            incremental: true,
+        }
+    }
 }
 
 /// A named source file to check.
@@ -92,6 +109,12 @@ pub struct CheckStats {
     pub warnings: usize,
     /// Wall-clock time for the whole check (parse → diagnostics).
     pub elapsed: Duration,
+    /// Items re-checked by the incremental path (`None` when the check
+    /// ran from scratch).
+    pub rechecked_items: Option<u32>,
+    /// Items the incremental path reused without re-checking (`None`
+    /// when the check ran from scratch).
+    pub unchanged_items: Option<u32>,
 }
 
 /// Everything learned from checking one [`SourceFile`].
@@ -133,10 +156,22 @@ impl CheckReport {
 /// Cloning a `Session` is cheap and shares the caches (the underlying
 /// memo tables are keyed on globally unique environment generations and
 /// interned ids, so sharing is sound — see `rtr_core::cache`).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Session {
     checker: Checker,
     jobs: usize,
+    incremental: bool,
+    /// Per-file incremental caches, keyed by file name. Shared across
+    /// clones (like the checker's memo tables); a file's cache is taken
+    /// out while it is being checked, so concurrent checks of the same
+    /// name simply miss rather than conflict.
+    caches: Arc<Mutex<HashMap<String, ModuleCache>>>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new(SessionConfig::default())
+    }
 }
 
 impl Session {
@@ -145,17 +180,32 @@ impl Session {
         Session {
             checker: Checker::with_config(config.checker),
             jobs: config.jobs,
+            incremental: config.incremental,
+            caches: Arc::default(),
         }
     }
 
     /// A session wrapping an existing checker (sharing its caches).
     pub fn from_checker(checker: Checker) -> Session {
-        Session { checker, jobs: 0 }
+        Session {
+            checker,
+            jobs: 0,
+            incremental: true,
+            caches: Arc::default(),
+        }
     }
 
     /// The session's checker.
     pub fn checker(&self) -> &Checker {
         &self.checker
+    }
+
+    fn lock_caches(&self) -> std::sync::MutexGuard<'_, HashMap<String, ModuleCache>> {
+        // A poisoned lock only means another check panicked mid-insert;
+        // the map itself is always in a consistent state.
+        self.caches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Checks one file, reporting every diagnostic. Never fails: reader
@@ -164,19 +214,47 @@ impl Session {
     /// `check_module` is caught here as a file-level `E0203`.
     pub fn check(&self, file: &SourceFile) -> CheckReport {
         let start = Instant::now();
-        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            check_module_source(&file.text, &self.checker)
-        }))
-        .unwrap_or_else(|p| rtr_lang::ModuleReport {
-            diagnostics: vec![Diagnostic::ice(
-                format!("the module {}", file.name),
-                rtr_core::check::panic_detail(&*p),
-            )],
-            ..rtr_lang::ModuleReport::default()
-        });
+        // Take the file's cache out for the duration of the check: a
+        // panic leaves it dropped (next check runs cold), concurrent
+        // checks of the same name just miss.
+        let old_cache = self
+            .incremental
+            .then(|| self.lock_caches().remove(&file.name))
+            .flatten();
+        let (report, new_cache, incr_stats) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if self.incremental {
+                    check_module_source_incremental(&file.text, &self.checker, old_cache.as_ref())
+                } else {
+                    (check_module_source(&file.text, &self.checker), None, None)
+                }
+            }))
+            .unwrap_or_else(|p| {
+                (
+                    rtr_lang::ModuleReport {
+                        diagnostics: vec![Diagnostic::ice(
+                            format!("the module {}", file.name),
+                            rtr_core::check::panic_detail(&*p),
+                        )],
+                        ..rtr_lang::ModuleReport::default()
+                    },
+                    None,
+                    None,
+                )
+            });
+        if self.incremental {
+            // A fallback run (`new_cache` = None) keeps the previous
+            // cache: textual matching re-validates it against whatever
+            // the file looks like next time.
+            if let Some(cache) = new_cache.or(old_cache) {
+                self.lock_caches().insert(file.name.clone(), cache);
+            }
+        }
         // Reports hold owned trees, never interned ids, so retiring the
         // fresh interner region between checks cannot invalidate them.
-        // The eviction is skipped while any other check is in flight.
+        // The eviction is skipped while any other check is in flight —
+        // and the item caches stored above carry the eviction epoch, so
+        // a retirement here just makes the next run rebuild them.
         rtr_core::intern::maybe_evict_fresh(FRESH_ARENA_BUDGET);
         let elapsed = start.elapsed();
         let stats = CheckStats {
@@ -188,6 +266,8 @@ impl Session {
                 .filter(|d| d.severity == Severity::Warning)
                 .count(),
             elapsed,
+            rechecked_items: incr_stats.map(|s| s.rechecked),
+            unchanged_items: incr_stats.map(|s| s.skipped),
         };
         CheckReport {
             file: file.name.clone(),

@@ -34,7 +34,15 @@ fn fresh_hungry_module() -> SourceFile {
 
 #[test]
 fn repeated_session_checks_keep_the_fresh_arena_bounded() {
-    let session = Session::new(SessionConfig::default());
+    // From-scratch sessions re-mint every ghost existential per check —
+    // the workload this bound is about. (An incremental session splices
+    // unchanged items instead, so the fresh region barely grows and the
+    // eviction epoch never needs to advance; cache invalidation across
+    // evictions is covered by the epoch-guard tests in rtr-core.)
+    let session = Session::new(SessionConfig {
+        incremental: false,
+        ..SessionConfig::default()
+    });
     let file = fresh_hungry_module();
     let epoch_before = intern::evict_epoch();
 

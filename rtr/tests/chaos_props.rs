@@ -54,7 +54,14 @@ fn session_with(chaos: Option<ChaosConfig>, jobs: usize) -> Session {
         chaos,
         ..CheckerConfig::default()
     };
-    Session::new(SessionConfig { checker, jobs })
+    // From-scratch checking: this suite compares verdicts across seeds
+    // and job counts, so every check must run the full module, not a
+    // cache splice from an earlier check of the same path.
+    Session::new(SessionConfig {
+        checker,
+        jobs,
+        incremental: false,
+    })
 }
 
 /// A deterministic fingerprint of everything verdict-relevant in a

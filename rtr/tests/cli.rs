@@ -193,6 +193,118 @@ fn inapplicable_flags_are_rejected_with_usage_errors() {
     }
 }
 
+const WATCH_SRC: &str = "\
+(: f : [x : Int] -> Int)
+(define (f x) (+ x 1))
+(: g : [x : Int] -> Int)
+(define (g x) (f x))
+(g 1)
+";
+
+#[test]
+fn watch_once_emits_one_extended_json_report() {
+    let path = fixture("watch_once.rtr", WATCH_SRC);
+    let out = rtr()
+        .args(["watch", "--once", "--json"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "clean file exits 0");
+    let doc = rtr::json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("rtr-check-v1"));
+    let stats = doc.get("files").unwrap().as_array().unwrap()[0]
+        .get("stats")
+        .expect("stats object");
+    // A cold incremental pass re-checks everything and reuses nothing.
+    assert!(
+        stats
+            .get("rechecked_items")
+            .and_then(|v| v.as_f64())
+            .unwrap()
+            >= 3.0,
+        "cold pass re-checks every item"
+    );
+    assert_eq!(
+        stats.get("unchanged_items").and_then(|v| v.as_f64()),
+        Some(0.0)
+    );
+
+    // Exit-code contract matches `check`.
+    let bad = fixture("watch_once_bad.rtr", "(add1 #t)");
+    let out = rtr()
+        .args(["watch", "--once"])
+        .arg(&bad)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let out = rtr()
+        .args(["watch", "--once", "/nonexistent/x.rtr"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn watch_streams_a_delta_after_an_edit() {
+    let path = fixture("watch_live.rtr", WATCH_SRC);
+    let mut child = rtr()
+        .args(["watch", "--json", "--poll-ms", "25"])
+        .arg(&path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn watch");
+    let stdout = child.stdout.take().expect("stdout");
+    // Each rtr-check-v1 document ends with an unindented `}` line; a
+    // reader thread splits the stream there and forwards whole docs.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        let mut doc = String::new();
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            doc.push_str(&line);
+            doc.push('\n');
+            if line == "}" && tx.send(std::mem::take(&mut doc)).is_err() {
+                break;
+            }
+        }
+    });
+    let timeout = std::time::Duration::from_secs(60);
+    let first = rx.recv_timeout(timeout).expect("initial report");
+    let doc = rtr::json::parse(&first).expect("valid JSON");
+    assert_eq!(
+        doc.get("summary").unwrap().get("clean").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // Edit one body via atomic rename (no partially-written polls) and
+    // wait for the delta: only `f` re-checks, the rest splices.
+    let tmp = path.with_extension("rtr.tmp");
+    std::fs::write(&tmp, WATCH_SRC.replace("(+ x 1)", "(+ x 2)")).expect("write tmp");
+    std::fs::rename(&tmp, &path).expect("rename over");
+    let second = rx.recv_timeout(timeout).expect("delta after edit");
+    let doc = rtr::json::parse(&second).expect("valid JSON");
+    let stats = doc.get("files").unwrap().as_array().unwrap()[0]
+        .get("stats")
+        .expect("stats object");
+    assert_eq!(
+        stats.get("rechecked_items").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "only the edited definition re-checks: {second}"
+    );
+    assert!(
+        stats
+            .get("unchanged_items")
+            .and_then(|v| v.as_f64())
+            .unwrap()
+            >= 2.0,
+        "the dependent and the call splice: {second}"
+    );
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
 #[test]
 fn repl_type_command_checks_without_evaluating() {
     let mut child = rtr()
