@@ -44,8 +44,7 @@
 //! [`CheckerConfig::timeout_ms`]: crate::config::CheckerConfig::timeout_ms
 //! [`CheckerConfig::max_depth`]: crate::config::CheckerConfig::max_depth
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
-#[cfg(feature = "stats")]
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,6 +63,9 @@ pub enum LimitKind {
     /// A fault injected by the seeded chaos harness (`chaos` feature).
     #[cfg(feature = "chaos")]
     Chaos,
+    /// An external client revoked the check mid-flight through a
+    /// [`CancelToken`] (an editor superseded the document version).
+    Cancelled,
 }
 
 impl LimitKind {
@@ -75,6 +77,7 @@ impl LimitKind {
             LimitKind::Depth => "depth",
             #[cfg(feature = "chaos")]
             LimitKind::Chaos => "injected-fault",
+            LimitKind::Cancelled => "cancelled",
         }
     }
 
@@ -86,6 +89,7 @@ impl LimitKind {
             LimitKind::Depth => "the recursion depth limit (max_depth) was reached",
             #[cfg(feature = "chaos")]
             LimitKind::Chaos => "a fault was injected by the chaos harness",
+            LimitKind::Cancelled => "the check was cancelled by the client",
         }
     }
 
@@ -96,6 +100,7 @@ impl LimitKind {
             3 => Some(LimitKind::Depth),
             #[cfg(feature = "chaos")]
             4 => Some(LimitKind::Chaos),
+            5 => Some(LimitKind::Cancelled),
             _ => None,
         }
     }
@@ -107,6 +112,7 @@ impl LimitKind {
             LimitKind::Depth => 3,
             #[cfg(feature = "chaos")]
             LimitKind::Chaos => 4,
+            LimitKind::Cancelled => 5,
         }
     }
 }
@@ -114,6 +120,38 @@ impl LimitKind {
 impl std::fmt::Display for LimitKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.as_str())
+    }
+}
+
+/// A handle for revoking an in-flight check from another thread.
+///
+/// Cancellation rides the same governance machinery as the wall-clock
+/// deadline: the token is polled at the deadline-poll step cadence
+/// (every 256 steps) and at solver-adapter boundaries, and a cancelled
+/// check trips
+/// [`LimitKind::Cancelled`], degrading every remaining judgment
+/// conservatively — the check returns quickly with `E0202` verdicts
+/// that (like all exhaustion verdicts) are never written to caches.
+///
+/// Tokens are one-shot: once cancelled they stay cancelled, so a fresh
+/// token is minted per check (`rtr lsp` mints one per document version).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Revokes every check holding this token. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -206,6 +244,8 @@ pub struct BudgetState {
     /// rest of the item so every later judgment short-circuits
     /// conservatively.
     tripped: AtomicU8,
+    /// External revocation handle, polled alongside the deadline.
+    cancel: Option<CancelToken>,
     #[cfg(feature = "stats")]
     totals: Arc<BudgetTotals>,
     #[cfg(feature = "chaos")]
@@ -230,6 +270,7 @@ impl BudgetState {
             max_depth: config.max_depth,
             depth: AtomicU32::new(0),
             tripped: AtomicU8::new(0),
+            cancel: None,
             #[cfg(feature = "stats")]
             totals: Arc::default(),
             #[cfg(feature = "chaos")]
@@ -246,18 +287,26 @@ impl BudgetState {
     pub(crate) fn fork_item(&self, salt: u64) -> BudgetState {
         #[cfg(not(feature = "chaos"))]
         let _ = salt;
-        BudgetState {
+        let b = BudgetState {
             max_steps: self.max_steps,
             steps: AtomicU64::new(0),
             deadline: self.deadline,
             max_depth: self.max_depth,
             depth: AtomicU32::new(0),
             tripped: AtomicU8::new(0),
+            cancel: self.cancel.clone(),
             #[cfg(feature = "stats")]
             totals: Arc::clone(&self.totals),
             #[cfg(feature = "chaos")]
             chaos: self.chaos.as_ref().map(|c| ChaosState::new(c.config, salt)),
+        };
+        // An already-revoked token trips the fork at entry, so even an
+        // item too small to reach the step-poll cadence degrades rather
+        // than checking a superseded document version.
+        if b.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            b.trip(LimitKind::Cancelled);
         }
+        b
     }
 
     /// Forks a fresh budget for one whole check call: zeroed counters,
@@ -266,6 +315,18 @@ impl BudgetState {
     pub(crate) fn fork_check(&self, timeout_ms: Option<u64>) -> BudgetState {
         let mut b = self.fork_item(0);
         b.deadline = timeout_ms.map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        b
+    }
+
+    /// Like [`BudgetState::fork_check`], but additionally armed with an
+    /// external [`CancelToken`] (replacing any token the parent held).
+    pub(crate) fn fork_check_cancellable(
+        &self,
+        timeout_ms: Option<u64>,
+        token: CancelToken,
+    ) -> BudgetState {
+        let mut b = self.fork_check(timeout_ms);
+        b.cancel = Some(token);
         b
     }
 
@@ -318,8 +379,11 @@ impl BudgetState {
                 return Some(LimitKind::Steps);
             }
         }
-        if self.deadline.is_some() && n & DEADLINE_POLL_MASK == 0 && self.poll_deadline() {
-            return Some(LimitKind::Deadline);
+        if (self.deadline.is_some() || self.cancel.is_some())
+            && n & DEADLINE_POLL_MASK == 0
+            && self.poll_deadline()
+        {
+            return Some(self.tripped().unwrap_or(LimitKind::Deadline));
         }
         #[cfg(feature = "chaos")]
         if let Some(chaos) = &self.chaos {
@@ -331,10 +395,18 @@ impl BudgetState {
         None
     }
 
-    /// Checks the wall clock against the deadline right now (used at
+    /// Checks the external stop conditions — the cancel token, then the
+    /// wall clock against the deadline — right now (used at
     /// solver-adapter boundaries, where a single query can run long
-    /// between step polls). Records and returns `true` on expiry.
+    /// between step polls). Records and returns `true` on expiry or
+    /// revocation.
     pub(crate) fn poll_deadline(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.trip(LimitKind::Cancelled);
+                return true;
+            }
+        }
         match self.deadline {
             Some(d) if Instant::now() >= d => {
                 self.trip(LimitKind::Deadline);
@@ -580,6 +652,46 @@ mod tests {
         let fork = b.fork_item(1);
         assert_eq!(fork.tripped(), None);
         assert_eq!(fork.burn(Judgment::Proves), Some(LimitKind::Steps));
+    }
+
+    #[test]
+    fn a_cancelled_token_trips_at_the_step_poll_cadence() {
+        let token = CancelToken::new();
+        let b = BudgetState::default().fork_check_cancellable(None, token.clone());
+        for _ in 0..=DEADLINE_POLL_MASK {
+            assert_eq!(b.burn(Judgment::Synth), None, "un-cancelled polls pass");
+        }
+        token.cancel();
+        let mut tripped = None;
+        for _ in 0..=DEADLINE_POLL_MASK {
+            if let Some(k) = b.burn(Judgment::Proves) {
+                tripped = Some(k);
+                break;
+            }
+        }
+        assert_eq!(tripped, Some(LimitKind::Cancelled));
+        // Sticky, like every other governance trip.
+        assert_eq!(b.burn(Judgment::Synth), Some(LimitKind::Cancelled));
+    }
+
+    #[test]
+    fn a_cancelled_token_trips_immediately_at_solver_gates() {
+        let token = CancelToken::new();
+        let b = BudgetState::default().fork_check_cancellable(None, token.clone());
+        assert!(!b.poll_deadline());
+        token.cancel();
+        assert!(b.poll_deadline());
+        assert_eq!(b.tripped(), Some(LimitKind::Cancelled));
+    }
+
+    #[test]
+    fn item_forks_inherit_the_cancel_token() {
+        let token = CancelToken::new();
+        let b = BudgetState::default().fork_check_cancellable(None, token.clone());
+        let item = b.fork_item(1);
+        token.cancel();
+        assert!(item.poll_deadline());
+        assert_eq!(item.tripped(), Some(LimitKind::Cancelled));
     }
 
     #[cfg(feature = "chaos")]

@@ -7,7 +7,7 @@
 //! propagated upward instead of eagerly simplified, and let-bound aliases
 //! are applied eagerly (representative objects).
 
-use crate::budget::{BudgetState, Judgment, LimitKind};
+use crate::budget::{BudgetState, CancelToken, Judgment, LimitKind};
 use crate::cache::LockRecover;
 use crate::config::CheckerConfig;
 use crate::diag::{Code, Diagnostic, NodeId};
@@ -204,6 +204,23 @@ impl Checker {
     /// verdicts depend on it, so it cannot change after construction).
     pub fn config(&self) -> &CheckerConfig {
         &self.config
+    }
+
+    /// A clone of this checker whose checks can be revoked externally:
+    /// every check forked from the returned checker polls `token` at
+    /// the deadline cadence (and at solver-adapter boundaries) and
+    /// degrades to `E0202` (`limit: "cancelled"`) once
+    /// [`CancelToken::cancel`] is called. Cancellation-degraded
+    /// verdicts follow the usual exhaustion contract — conservative,
+    /// never cached — so a long-lived service (`rtr lsp`) can abandon
+    /// the check of a superseded document version and immediately
+    /// re-check the new one against the same warm caches.
+    pub fn with_cancel_token(&self, token: CancelToken) -> Checker {
+        Checker {
+            config: self.config.clone(),
+            caches: std::sync::Arc::clone(&self.caches),
+            budget: std::sync::Arc::new(self.budget.fork_check_cancellable(None, token)),
+        }
     }
 
     pub(crate) fn caches(&self) -> &crate::cache::Caches {

@@ -81,6 +81,191 @@ impl fmt::Display for Span {
 }
 
 // ---------------------------------------------------------------------------
+// Line index: byte offsets ⇄ Locs ⇄ UTF-16 positions
+// ---------------------------------------------------------------------------
+
+/// A position in the UTF-16 code-unit coordinate system the Language
+/// Server Protocol mandates: 0-based line, 0-based column counted in
+/// UTF-16 code units (an astral-plane character is *two* units).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Utf16Pos {
+    /// 0-based line.
+    pub line: u32,
+    /// 0-based UTF-16 code-unit offset within the line.
+    pub character: u32,
+}
+
+/// Precomputed line starts for one source text, supporting conversions
+/// between the three position systems in play:
+///
+/// * **byte offsets** — what [`crate::incremental`]'s textual slicing and
+///   the incremental form scanner use,
+/// * **[`Loc`]s** — the reader's 1-based line / 1-based *character*
+///   columns carried by every [`Span`], and
+/// * **[`Utf16Pos`]** — the 0-based UTF-16 positions LSP clients speak.
+///
+/// The index stores only line-start byte offsets; conversions re-walk the
+/// one line involved, so building it is a single O(n) pass and the index
+/// stays valid as long as the text it was built from is unchanged.
+///
+/// All conversions clamp out-of-range inputs to the nearest valid
+/// position (end of line, end of text), per the LSP specification's
+/// lenient position handling, and byte offsets landing inside a UTF-8
+/// sequence round down to the character boundary.
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    /// Total text length in bytes.
+    len: u32,
+}
+
+impl LineIndex {
+    /// Build the index for `text`. Lines are separated by `\n` (a `\r\n`
+    /// sequence therefore leaves the `\r` at the end of the prior line,
+    /// matching the reader's column accounting).
+    pub fn new(text: &str) -> LineIndex {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: text.len() as u32,
+        }
+    }
+
+    /// Number of lines (always ≥ 1; an empty text has one empty line).
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+
+    /// The byte range of 0-based line `line` (exclusive of its `\n`),
+    /// clamped to the last line if out of range.
+    fn line_bytes(&self, line: u32) -> (u32, u32) {
+        let line = (line as usize).min(self.line_starts.len() - 1);
+        let start = self.line_starts[line];
+        let end = match self.line_starts.get(line + 1) {
+            Some(&next) => next - 1,
+            None => self.len,
+        };
+        (start, end)
+    }
+
+    /// 0-based line containing byte offset `byte` (clamped to the text).
+    fn line_of_byte(&self, byte: u32) -> u32 {
+        let byte = byte.min(self.len);
+        match self.line_starts.binary_search(&byte) {
+            Ok(i) => i as u32,
+            Err(i) => (i - 1) as u32,
+        }
+    }
+
+    /// Convert a byte offset into the reader's 1-based [`Loc`]. Offsets
+    /// past the end clamp to the end of text; offsets inside a UTF-8
+    /// sequence round down to the character they fall in.
+    pub fn byte_to_loc(&self, text: &str, byte: u32) -> Loc {
+        let byte = byte.min(self.len);
+        let line = self.line_of_byte(byte);
+        let (start, end) = self.line_bytes(line);
+        let target = byte.min(end);
+        let mut col = 1u32;
+        for (off, ch) in text[start as usize..end as usize].char_indices() {
+            if start + off as u32 + ch.len_utf8() as u32 <= target {
+                col += 1;
+            } else {
+                break;
+            }
+        }
+        Loc {
+            line: line + 1,
+            col,
+        }
+    }
+
+    /// Convert a 1-based [`Loc`] into a byte offset, clamping columns
+    /// past the end of the line to just past its last character.
+    pub fn loc_to_byte(&self, text: &str, loc: Loc) -> u32 {
+        let line = loc.line.saturating_sub(1);
+        let (start, end) = self.line_bytes(line);
+        let mut remaining = loc.col.saturating_sub(1);
+        for (off, _) in text[start as usize..end as usize].char_indices() {
+            if remaining == 0 {
+                return start + off as u32;
+            }
+            remaining -= 1;
+        }
+        end
+    }
+
+    /// Convert a 1-based, character-counted [`Loc`] into a 0-based
+    /// UTF-16 position. Columns past the end of the line clamp to the
+    /// line end.
+    pub fn loc_to_utf16(&self, text: &str, loc: Loc) -> Utf16Pos {
+        let line = loc.line.saturating_sub(1).min(self.line_count() - 1);
+        let (start, end) = self.line_bytes(line);
+        let mut remaining = loc.col.saturating_sub(1);
+        let mut units = 0u32;
+        for ch in text[start as usize..end as usize].chars() {
+            if remaining == 0 {
+                break;
+            }
+            remaining -= 1;
+            units += ch.len_utf16() as u32;
+        }
+        Utf16Pos {
+            line,
+            character: units,
+        }
+    }
+
+    /// Convert a 0-based UTF-16 position into a 1-based [`Loc`]. A
+    /// `character` landing between the two units of a surrogate pair
+    /// resolves to the character containing it; positions past the line
+    /// end clamp to just past its last character.
+    pub fn utf16_to_loc(&self, text: &str, pos: Utf16Pos) -> Loc {
+        let line = pos.line.min(self.line_count() - 1);
+        let (start, end) = self.line_bytes(line);
+        let mut units = 0u32;
+        let mut col = 1u32;
+        for ch in text[start as usize..end as usize].chars() {
+            let w = ch.len_utf16() as u32;
+            if units + w <= pos.character {
+                units += w;
+                col += 1;
+            } else {
+                break;
+            }
+        }
+        Loc {
+            line: line + 1,
+            col,
+        }
+    }
+
+    /// Convert a 0-based UTF-16 position into a byte offset.
+    pub fn utf16_to_byte(&self, text: &str, pos: Utf16Pos) -> u32 {
+        self.loc_to_byte(text, self.utf16_to_loc(text, pos))
+    }
+
+    /// Convert a byte offset into a 0-based UTF-16 position.
+    pub fn byte_to_utf16(&self, text: &str, byte: u32) -> Utf16Pos {
+        self.loc_to_utf16(text, self.byte_to_loc(text, byte))
+    }
+
+    /// Convert a [`Span`] (1-based, character columns) into a pair of
+    /// UTF-16 positions `(start, end)`.
+    pub fn span_to_utf16(&self, text: &str, span: Span) -> (Utf16Pos, Utf16Pos) {
+        (
+            self.loc_to_utf16(text, span.start),
+            self.loc_to_utf16(text, span.end),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The span table
 // ---------------------------------------------------------------------------
 
@@ -882,5 +1067,75 @@ mod tests {
         assert_eq!(d.to_string(), "unbound variable zz");
         d.primary = Some(Span::point(Loc { line: 4, col: 2 }));
         assert!(d.to_string().ends_with("(at 4:2)"));
+    }
+
+    #[test]
+    fn line_index_converts_between_all_three_position_systems() {
+        // "ké" is 1 char/1 byte + 1 char/2 bytes; "𝒳" is an astral
+        // char: 4 bytes, 2 UTF-16 units, 1 reader column.
+        let text = "ké\n𝒳 x\n";
+        let ix = LineIndex::new(text);
+        assert_eq!(ix.line_count(), 3);
+
+        // 'é' starts at byte 1, line 1 col 2.
+        assert_eq!(ix.byte_to_loc(text, 1), Loc { line: 1, col: 2 });
+        assert_eq!(ix.loc_to_byte(text, Loc { line: 1, col: 2 }), 1);
+        // 'x' on line 2: after "𝒳 " = 5 bytes into the line (line
+        // starts at byte 4), reader col 3, UTF-16 character 3.
+        let x_loc = Loc { line: 2, col: 3 };
+        assert_eq!(ix.loc_to_byte(text, x_loc), 9);
+        assert_eq!(
+            ix.loc_to_utf16(text, x_loc),
+            Utf16Pos {
+                line: 1,
+                character: 3
+            }
+        );
+        assert_eq!(
+            ix.utf16_to_loc(
+                text,
+                Utf16Pos {
+                    line: 1,
+                    character: 3
+                }
+            ),
+            x_loc
+        );
+        // A position inside the surrogate pair resolves to 𝒳 itself.
+        assert_eq!(
+            ix.utf16_to_loc(
+                text,
+                Utf16Pos {
+                    line: 1,
+                    character: 1
+                }
+            ),
+            Loc { line: 2, col: 1 }
+        );
+        // A byte inside 𝒳's UTF-8 sequence rounds down to it.
+        assert_eq!(ix.byte_to_loc(text, 6), Loc { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn line_index_clamps_out_of_range_positions() {
+        let text = "ab\ncd";
+        let ix = LineIndex::new(text);
+        assert_eq!(ix.byte_to_loc(text, 99), Loc { line: 2, col: 3 });
+        assert_eq!(ix.loc_to_byte(text, Loc { line: 1, col: 99 }), 2);
+        assert_eq!(ix.loc_to_byte(text, Loc { line: 99, col: 1 }), 3);
+        assert_eq!(
+            ix.utf16_to_loc(
+                text,
+                Utf16Pos {
+                    line: 9,
+                    character: 9
+                }
+            ),
+            Loc { line: 2, col: 3 }
+        );
+        let empty = "";
+        let eix = LineIndex::new(empty);
+        assert_eq!(eix.line_count(), 1);
+        assert_eq!(eix.byte_to_loc(empty, 0), Loc { line: 1, col: 1 });
     }
 }

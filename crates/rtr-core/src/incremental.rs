@@ -466,6 +466,7 @@ impl Checker {
                     c.budget().note_margin();
                     match caught {
                         Ok(Ok(())) => out.results.push(ItemSummary {
+                            span: None,
                             name: Some(*name),
                             ty: Some(sig.clone()),
                             poisoned: false,
@@ -506,6 +507,7 @@ impl Checker {
                             let lift_obj = if mutable { Obj::Null } else { o1 };
                             binders.push((*name, r1.ty.clone(), lift_obj));
                             out.results.push(ItemSummary {
+                                span: None,
                                 name: Some(*name),
                                 ty: Some(r1.ty),
                                 poisoned: false,
@@ -537,6 +539,7 @@ impl Checker {
                     this.bind(&mut env, *name, ty, fuel);
                     binders.push((*name, ty.clone(), Obj::Null));
                     out.results.push(ItemSummary {
+                        span: None,
                         name: Some(*name),
                         ty: Some(ty.clone()),
                         poisoned: true,
@@ -561,6 +564,7 @@ impl Checker {
                                 binders.push((tmp, r.ty.clone(), lift_obj));
                             }
                             out.results.push(ItemSummary {
+                                span: None,
                                 name: None,
                                 ty: value_here.as_ref().map(|r| r.ty.clone()),
                                 poisoned: false,
@@ -574,6 +578,7 @@ impl Checker {
                             );
                             out.diagnostics.push(d);
                             out.results.push(ItemSummary {
+                                span: None,
                                 name: None,
                                 ty: None,
                                 poisoned: false,
@@ -585,6 +590,7 @@ impl Checker {
                                     .at(*node),
                             );
                             out.results.push(ItemSummary {
+                                span: None,
                                 name: None,
                                 ty: None,
                                 poisoned: false,

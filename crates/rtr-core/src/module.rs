@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use crate::budget::LimitKind;
 use crate::check::{attach_node, panic_detail, Checker};
-use crate::diag::{Diagnostic, NodeId};
+use crate::diag::{Diagnostic, NodeId, Span};
 use crate::env::Env;
 use crate::mutation::mutated_vars;
 use crate::syntax::{Expr, Lambda, Obj, Prop, Symbol, Ty, TyResult};
@@ -116,6 +116,15 @@ pub struct ItemSummary {
     /// Did this item fail to check, leaving its binding assumed at its
     /// declared type?
     pub poisoned: bool,
+    /// The surface extent of the item's form, when the caller knows it.
+    ///
+    /// The core checker works on elaborated items and leaves this
+    /// `None`; the surface layer (`rtr-lang`) stamps it *after* the
+    /// check from the current parse — never from a cached summary, whose
+    /// recorded positions would be stale after an incremental splice
+    /// shifted its form. Hover-style consumers resolve a cursor to the
+    /// enclosing item through this field.
+    pub span: Option<Span>,
 }
 
 /// Everything `check_module` learned about a module.
@@ -235,6 +244,7 @@ impl Checker {
                     c.budget().note_margin();
                     match caught {
                         Ok(Ok(())) => out.results.push(ItemSummary {
+                            span: None,
                             name: Some(*name),
                             ty: Some(sig.clone()),
                             poisoned: false,
@@ -279,6 +289,7 @@ impl Checker {
                             let lift_obj = if mutable { Obj::Null } else { o1 };
                             binders.push((*name, r1.ty.clone(), lift_obj));
                             out.results.push(ItemSummary {
+                                span: None,
                                 name: Some(*name),
                                 ty: Some(r1.ty),
                                 poisoned: false,
@@ -311,6 +322,7 @@ impl Checker {
                     self.bind(&mut env, *name, ty, fuel);
                     binders.push((*name, ty.clone(), Obj::Null));
                     out.results.push(ItemSummary {
+                        span: None,
                         name: Some(*name),
                         ty: Some(ty.clone()),
                         poisoned: true,
@@ -353,6 +365,7 @@ impl Checker {
                         binders.push((tmp, r.ty.clone(), lift_obj));
                     }
                     out.results.push(ItemSummary {
+                        span: None,
                         name: None,
                         ty: out.value.as_ref().map(|r| r.ty.clone()).filter(|_| last),
                         poisoned: false,
@@ -366,6 +379,7 @@ impl Checker {
                     );
                     out.diagnostics.push(d);
                     out.results.push(ItemSummary {
+                        span: None,
                         name: None,
                         ty: None,
                         poisoned: false,
@@ -376,6 +390,7 @@ impl Checker {
                         Diagnostic::ice("this expression".to_owned(), panic_detail(&*p)).at(node),
                     );
                     out.results.push(ItemSummary {
+                        span: None,
                         name: None,
                         ty: None,
                         poisoned: false,
@@ -411,6 +426,7 @@ impl Checker {
         }
         out.diagnostics.push(d);
         out.results.push(ItemSummary {
+            span: None,
             name: Some(name),
             ty: Some(assumed.clone()),
             poisoned: true,

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 
 use rtr_core::check::Checker;
-use rtr_core::diag::NodeId;
+use rtr_core::diag::{NodeId, Span};
 use rtr_core::incremental::{IncrSlot, ItemCache, RecheckStats};
 use rtr_core::module::ModuleItem;
 use rtr_core::syntax::{Symbol, Ty};
@@ -66,6 +66,21 @@ struct FormSlice {
 impl FormSlice {
     fn text<'a>(&self, src: &'a str) -> &'a str {
         &src[self.start..self.end]
+    }
+
+    /// The form's surface extent as a half-open [`Span`], walking the
+    /// slice once to find the position just past its last character.
+    fn span(&self, src: &str) -> Span {
+        let mut end = self.pos;
+        for ch in self.text(src).chars() {
+            if ch == '\n' {
+                end.line += 1;
+                end.col = 1;
+            } else {
+                end.col += 1;
+            }
+        }
+        Span::new(self.pos, end)
     }
 }
 
@@ -533,9 +548,17 @@ pub fn check_module_source_incremental(
     for d in &mut diagnostics {
         d.resolve_spans(&spans);
     }
+    // Stamp every summary's extent from the *current* scan: spliced
+    // summaries carry the previous run's span, which an edit above them
+    // may have shifted. Results and descs share check order.
+    let mut results = mc.results;
+    debug_assert_eq!(results.len(), descs.len());
+    for (summary, desc) in results.iter_mut().zip(&descs) {
+        summary.span = Some(forms[desc.form].span(src));
+    }
     let report = ModuleReport {
         diagnostics,
-        results: mc.results,
+        results,
         value: mc.value,
     };
     let cache = ModuleCache {

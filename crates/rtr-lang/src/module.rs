@@ -507,10 +507,36 @@ pub fn check_module_source(src: &str, checker: &Checker) -> ModuleReport {
     for d in &mut diagnostics {
         d.resolve_spans(&m.spans);
     }
+    let mut results = mc.results;
+    stamp_item_spans(&mut results, &m.items, &m.spans);
     ModuleReport {
         diagnostics,
-        results: mc.results,
+        results,
         value: mc.value,
+    }
+}
+
+/// Stamps each [`ItemSummary`] with its item's surface extent from the
+/// *current* parse. Summaries arrive from the core checker span-less
+/// (and, on the incremental path, spliced summaries carry whatever the
+/// previous run recorded), so positions are always re-derived here,
+/// after the check. Results are ordered definitions first then trailing
+/// expressions; `items` is in source order, so the zip re-applies the
+/// same partition.
+fn stamp_item_spans(results: &mut [ItemSummary], items: &[ModuleItem], spans: &SpanTable) {
+    let node_of = |item: &ModuleItem| match item {
+        ModuleItem::DefineRec { node, .. }
+        | ModuleItem::Define { node, .. }
+        | ModuleItem::Expr { node, .. } => *node,
+        ModuleItem::Opaque { .. } => None,
+    };
+    let is_expr = |item: &&ModuleItem| matches!(item, ModuleItem::Expr { .. });
+    let ordered = items
+        .iter()
+        .filter(|i| !is_expr(i))
+        .chain(items.iter().filter(is_expr));
+    for (summary, item) in results.iter_mut().zip(ordered) {
+        summary.span = node_of(item).map(|n| spans.get(n));
     }
 }
 

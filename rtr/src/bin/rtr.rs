@@ -4,6 +4,7 @@
 //! rtr check program.rtr more.rtr  # check files, print every diagnostic
 //! rtr check --json program.rtr   # machine-readable rtr-check-v1 report
 //! rtr watch program.rtr          # re-check on change, incrementally
+//! rtr lsp                        # language server over stdio
 //! rtr run program.rtr            # type check, then evaluate
 //! rtr expand program.rtr         # show the elaborated core expression
 //! rtr repl                       # interactive read-check-eval loop
@@ -39,7 +40,16 @@
 //! * `--once` — with `watch`, run a single (cold) pass and exit with
 //!   `check`'s exit-code contract; for scripting and CI smoke tests.
 //! * `--poll-ms N` — with `watch`, the change-detection polling
-//!   interval (default 200 ms).
+//!   interval (default 200 ms); rejected together with `--once`, which
+//!   never polls.
+//!
+//! `lsp` serves the Language Server Protocol over stdio (see
+//! [`rtr::lsp`] and the README's Editor integration section): live
+//! diagnostics on every keystroke through the same incremental session
+//! `watch` uses, hover types, and version-aware cancellation. It takes
+//! no files — documents arrive over the protocol. `--stats` additionally
+//! accounts requests served, checks cancelled and overlay hits on
+//! stderr.
 //!
 //! `watch` holds one incremental [`rtr::session::Session`] and polls
 //! the files (mtime, then a content hash — no OS watcher dependency);
@@ -66,6 +76,7 @@ usage: rtr check [--lambda-tr] [--json] [--jobs N] [--stats]
                  [--timeout-ms N] [--max-depth N] <file.rtr>...
        rtr watch [--lambda-tr] [--json] [--once] [--poll-ms N] [--stats]
                  [--timeout-ms N] [--max-depth N] <file.rtr>...
+       rtr lsp   [--lambda-tr] [--stats] [--timeout-ms N] [--max-depth N]
        rtr run   [--lambda-tr] [--unchecked] [--fuel N] <file.rtr>
        rtr expand <file.rtr>
        rtr repl  [--lambda-tr] [--fuel N]
@@ -109,7 +120,7 @@ fn main() -> ExitCode {
             println!("rtr {}", env!("CARGO_PKG_VERSION"));
             return ExitCode::SUCCESS;
         }
-        "check" | "watch" | "run" | "expand" | "repl" => {}
+        "check" | "watch" | "lsp" | "run" | "expand" | "repl" => {}
         other => return usage_error(&format!("unknown command `{other}`")),
     }
 
@@ -201,12 +212,16 @@ fn main() -> ExitCode {
             "--timeout-ms",
             "--max-depth",
         ],
+        "lsp" => &["--lambda-tr", "--stats", "--timeout-ms", "--max-depth"],
         "run" => &["--lambda-tr", "--unchecked", "--fuel"],
         "repl" => &["--lambda-tr", "--fuel"],
         _ => &[], // expand takes no flags
     };
     if let Some(flag) = seen.iter().find(|f| !allowed.contains(f)) {
         return usage_error(&format!("{flag} does not apply to `{command}`"));
+    }
+    if opts.once && seen.contains(&"--poll-ms") {
+        return usage_error("--poll-ms does nothing with --once (a single cold pass never polls)");
     }
 
     match command.as_str() {
@@ -218,6 +233,12 @@ fn main() -> ExitCode {
         }
         "check" => check_command(&opts),
         "watch" => watch_command(&opts),
+        "lsp" => {
+            if !opts.files.is_empty() {
+                return usage_error("lsp takes no files (documents arrive over the protocol)");
+            }
+            lsp_command(&opts)
+        }
         "run" | "expand" => {
             let [path] = opts.files.as_slice() else {
                 return usage_error(&format!("{command} takes exactly one file"));
@@ -304,6 +325,7 @@ fn check_command(opts: &Options) -> ExitCode {
         checker: checker_config(opts),
         jobs: if opts.jobs == 0 { 1 } else { opts.jobs },
         incremental: false,
+        ..SessionConfig::default()
     });
     let reports = session.check_all(&sources);
 
@@ -409,6 +431,23 @@ fn watch_summary(report: &CheckReport) -> String {
 /// the batch streams as a delta — human renderings on stderr, or one
 /// `rtr-check-v1` document on stdout with `--json`, whose `stats`
 /// carry the additive `rechecked_items`/`unchanged_items` fields.
+/// `rtr lsp`: a Language Server over stdio. Holds one incremental
+/// [`Session`] and serves editor buffers from an in-memory overlay, so
+/// every keystroke is an incremental re-check of just the edited item.
+/// `--stats` logs one line per check and a summary of served requests /
+/// cancelled checks / overlay hits on stderr at exit.
+fn lsp_command(opts: &Options) -> ExitCode {
+    let session = Session::new(SessionConfig {
+        checker: checker_config(opts),
+        jobs: 1,
+        incremental: true,
+        ..SessionConfig::default()
+    });
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let code = rtr::lsp::run(stdin, std::io::stdout().lock(), session, opts.stats);
+    ExitCode::from(u8::try_from(code).unwrap_or(1))
+}
+
 /// `--once` stops after the initial (cold) pass and exits with
 /// `check`'s code, for scripting and CI smoke tests.
 fn watch_command(opts: &Options) -> ExitCode {
@@ -434,6 +473,7 @@ fn watch_command(opts: &Options) -> ExitCode {
         checker: checker_config(opts),
         jobs: 1,
         incremental: true,
+        ..SessionConfig::default()
     });
     let mut watched: Vec<Watched> = opts
         .files

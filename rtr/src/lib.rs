@@ -60,6 +60,7 @@ pub use rtr_lang as lang;
 pub use rtr_solver as solver;
 
 pub mod json;
+pub mod lsp;
 pub mod session;
 
 /// The most common imports for working with RTR.

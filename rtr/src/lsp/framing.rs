@@ -1,0 +1,119 @@
+//! `Content-Length` framing: the base-protocol transport LSP runs over.
+//!
+//! Every message in either direction is a MIME-ish header block — at
+//! minimum `Content-Length: <bytes>` — a blank line, then exactly that
+//! many bytes of JSON-RPC payload. Headers are ASCII, `\r\n`-separated;
+//! unknown headers (`Content-Type`, …) are skipped. The reader is
+//! lenient about a bare `\n` separator (some clients under test
+//! harnesses emit it); the writer always emits the canonical `\r\n`.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest header block we accept before declaring the stream corrupt
+/// (a well-formed block is two short lines).
+const MAX_HEADER_BYTES: usize = 4 * 1024;
+
+/// Largest single message we accept (a whole editor buffer fits many
+/// times over; anything larger is a corrupt or hostile length).
+const MAX_CONTENT_BYTES: usize = 64 * 1024 * 1024;
+
+/// Reads one framed message body. Returns `Ok(None)` on a clean EOF at
+/// a message boundary.
+///
+/// # Errors
+///
+/// An [`io::Error`] on transport failure, a malformed or oversized
+/// header block, a missing `Content-Length`, or a truncated payload.
+pub fn read_message(input: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut content_length: Option<usize> = None;
+    let mut header = String::new();
+    let mut read_any = false;
+    loop {
+        header.clear();
+        let n = input.read_line(&mut header)?;
+        if n == 0 {
+            return if read_any {
+                Err(corrupt("eof inside a header block"))
+            } else {
+                Ok(None)
+            };
+        }
+        read_any = true;
+        if header.len() > MAX_HEADER_BYTES {
+            return Err(corrupt("oversized header line"));
+        }
+        let line = header.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break; // end of headers
+        }
+        if let Some(v) = line
+            .split_once(':')
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.trim())
+        {
+            let len: usize = v
+                .parse()
+                .map_err(|_| corrupt("unparseable Content-Length"))?;
+            if len > MAX_CONTENT_BYTES {
+                return Err(corrupt("Content-Length exceeds the message cap"));
+            }
+            content_length = Some(len);
+        }
+        // Other headers (Content-Type, …) are ignored.
+    }
+    let len = content_length.ok_or_else(|| corrupt("missing Content-Length header"))?;
+    let mut body = vec![0u8; len];
+    input.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| corrupt("message body is not UTF-8"))
+}
+
+/// Writes one framed message and flushes (clients block on partial
+/// messages, so every write must reach the transport whole).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_message(out: &mut impl Write, body: &str) -> io::Result<()> {
+    write!(out, "Content-Length: {}\r\n\r\n{}", body.len(), body)?;
+    out.flush()
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("lsp framing: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, r#"{"jsonrpc":"2.0"}"#).unwrap();
+        write_message(&mut wire, "☃").unwrap();
+        let mut input = io::BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_message(&mut input).unwrap().as_deref(),
+            Some(r#"{"jsonrpc":"2.0"}"#)
+        );
+        assert_eq!(read_message(&mut input).unwrap().as_deref(), Some("☃"));
+        assert_eq!(read_message(&mut input).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn unknown_headers_and_bare_newlines_are_tolerated() {
+        let wire = "Content-Type: application/vscode-jsonrpc\nContent-Length: 2\n\nhi";
+        let mut input = io::BufReader::new(wire.as_bytes());
+        assert_eq!(read_message(&mut input).unwrap().as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn missing_length_and_truncated_payloads_error() {
+        let mut input = io::BufReader::new("X-Header: 1\r\n\r\nbody".as_bytes());
+        assert!(read_message(&mut input).is_err());
+        let mut input = io::BufReader::new("Content-Length: 99\r\n\r\nshort".as_bytes());
+        assert!(read_message(&mut input).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! A Language Server Protocol front end over the incremental
+//! [`Session`](crate::session::Session).
+//!
+//! `rtr lsp` speaks JSON-RPC 2.0 over stdio with the standard
+//! `Content-Length` framing ([`framing`]), using the in-tree
+//! [`crate::json`] parser — no external dependencies. The server keeps
+//! an in-memory overlay of every open buffer and runs each
+//! `didOpen`/`didChange`/`didSave` through the session's per-document
+//! item cache, so a keystroke re-judges only the item that changed
+//! ([`protocol`] maps the resulting diagnostics to LSP shapes).
+//!
+//! Supported requests: `initialize`, `shutdown`, `textDocument/hover`
+//! (the checked type of the item enclosing the cursor). Notifications:
+//! `initialized`, `exit`, `textDocument/didOpen`, `didChange` (full
+//! sync), `didSave`, `didClose`, `$/cancelRequest` (accepted, no-op —
+//! cancellation is version-driven, see [`server`]).
+//!
+//! Diagnostics published here carry exactly the codes and spans
+//! `rtr check --json` reports for the same text (an equivalence test
+//! pins this), translated into 0-based UTF-16 ranges.
+
+pub mod framing;
+pub mod protocol;
+pub mod server;
+
+pub use server::{run, LspStats};

@@ -1,0 +1,259 @@
+//! JSON-RPC 2.0 message shapes and the `Diagnostic` → LSP mapping.
+//!
+//! Parsing reuses the in-tree [`crate::json`] parser; emission is
+//! hand-rendered like the `rtr-check-v1` emitter, so field order (and
+//! therefore the golden transcripts) is deterministic.
+//!
+//! Positions: the checker's [`Span`]s are 1-based line/*character*
+//! columns, LSP wants 0-based line/UTF-16 code-unit columns. Every
+//! conversion goes through [`rtr_core::diag::LineIndex`] against the
+//! exact document text the diagnostics were produced from.
+
+use rtr_core::diag::{Diagnostic, LineIndex, Loc, Severity, Span, Utf16Pos};
+
+use crate::json::{escape, parse, Json};
+
+/// JSON-RPC error code: method not found.
+pub const METHOD_NOT_FOUND: i64 = -32601;
+/// JSON-RPC error code: invalid params.
+pub const INVALID_PARAMS: i64 = -32602;
+/// JSON-RPC error code: parse error.
+pub const PARSE_ERROR: i64 = -32700;
+/// LSP error code: the server received a request before `initialize`.
+pub const SERVER_NOT_INITIALIZED: i64 = -32002;
+
+/// One incoming JSON-RPC message: a request (`id` present) or a
+/// notification (`id` absent).
+#[derive(Clone, Debug)]
+pub struct Incoming {
+    /// The request id (`Json::Num` or `Json::Str`); `None` for
+    /// notifications.
+    pub id: Option<Json>,
+    /// The method name.
+    pub method: String,
+    /// The `params` member (`Json::Null` when absent).
+    pub params: Json,
+}
+
+/// Parses one message body.
+///
+/// # Errors
+///
+/// A human-readable message on malformed JSON or a missing `method`.
+pub fn parse_message(body: &str) -> Result<Incoming, String> {
+    let doc = parse(body)?;
+    let method = doc
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or("message has no method")?
+        .to_owned();
+    let id = doc.get("id").filter(|v| !matches!(v, Json::Null)).cloned();
+    let params = doc.get("params").cloned().unwrap_or(Json::Null);
+    Ok(Incoming { id, method, params })
+}
+
+/// Renders a request id back out (numbers stay integral, strings are
+/// re-escaped; anything else — which [`parse_message`] filters — maps
+/// to `null`).
+pub fn id_json(id: &Json) -> String {
+    match id {
+        Json::Num(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+        Json::Num(n) => format!("{n}"),
+        Json::Str(s) => format!("\"{}\"", escape(s)),
+        _ => "null".to_owned(),
+    }
+}
+
+/// A successful response envelope. `result` must already be rendered
+/// JSON.
+pub fn response(id: &Json, result: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":{},\"result\":{result}}}",
+        id_json(id)
+    )
+}
+
+/// An error response envelope.
+pub fn error_response(id: Option<&Json>, code: i64, message: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":{},\"error\":{{\"code\":{code},\"message\":\"{}\"}}}}",
+        id.map_or_else(|| "null".to_owned(), id_json),
+        escape(message)
+    )
+}
+
+/// A server-to-client notification envelope. `params` must already be
+/// rendered JSON.
+pub fn notification(method: &str, params: &str) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"method\":\"{method}\",\"params\":{params}}}")
+}
+
+/// Renders an LSP `Position` from a checker [`Loc`].
+fn position_json(pos: Utf16Pos) -> String {
+    format!("{{\"line\":{},\"character\":{}}}", pos.line, pos.character)
+}
+
+/// Renders an LSP `Range` from a checker [`Span`].
+pub fn range_json(ix: &LineIndex, text: &str, span: Span) -> String {
+    let (start, end) = ix.span_to_utf16(text, span);
+    format!(
+        "{{\"start\":{},\"end\":{}}}",
+        position_json(start),
+        position_json(end)
+    )
+}
+
+/// The LSP `DiagnosticSeverity` for a checker [`Severity`]
+/// (1 = Error, 2 = Warning, 3 = Information).
+pub fn lsp_severity(s: Severity) -> u8 {
+    match s {
+        Severity::Error => 1,
+        Severity::Warning => 2,
+        Severity::Note => 3,
+    }
+}
+
+/// Renders one checker [`Diagnostic`] as an LSP `Diagnostic` object.
+///
+/// * `range` — the primary span through the UTF-16 index (diagnostics
+///   without a located primary anchor at the top of the file),
+/// * `severity`/`code`/`source` — [`lsp_severity`], the stable `E0xxx`
+///   string, `"rtr"`,
+/// * `message` — the rendered message, with the diagnostic's notes
+///   appended on their own lines,
+/// * labels become `relatedInformation` entries pointing back into the
+///   same document.
+pub fn diagnostic_json(uri: &str, ix: &LineIndex, text: &str, d: &Diagnostic) -> String {
+    let range = d
+        .primary
+        .unwrap_or_else(|| Span::point(Loc { line: 1, col: 1 }));
+    let mut message = d.message.clone();
+    for note in &d.notes {
+        message.push('\n');
+        message.push_str("note: ");
+        message.push_str(note);
+    }
+    let related: Vec<String> = d
+        .labels
+        .iter()
+        .filter_map(|l| {
+            let span = l.span?;
+            Some(format!(
+                "{{\"location\":{{\"uri\":\"{}\",\"range\":{}}},\"message\":\"{}\"}}",
+                escape(uri),
+                range_json(ix, text, span),
+                escape(&l.message)
+            ))
+        })
+        .collect();
+    let related = if related.is_empty() {
+        String::new()
+    } else {
+        format!(",\"relatedInformation\":[{}]", related.join(","))
+    };
+    format!(
+        "{{\"range\":{},\"severity\":{},\"code\":\"{}\",\"source\":\"rtr\",\"message\":\"{}\"{related}}}",
+        range_json(ix, text, range),
+        lsp_severity(d.severity),
+        d.code.as_str(),
+        escape(&message)
+    )
+}
+
+/// Renders the `textDocument/publishDiagnostics` params for one
+/// document version.
+pub fn publish_diagnostics_params(
+    uri: &str,
+    version: i64,
+    ix: &LineIndex,
+    text: &str,
+    diagnostics: &[Diagnostic],
+) -> String {
+    let list: Vec<String> = diagnostics
+        .iter()
+        .map(|d| diagnostic_json(uri, ix, text, d))
+        .collect();
+    format!(
+        "{{\"uri\":\"{}\",\"version\":{version},\"diagnostics\":[{}]}}",
+        escape(uri),
+        list.join(",")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Param extraction helpers
+// ---------------------------------------------------------------------------
+
+/// `params.textDocument.uri`.
+pub fn text_document_uri(params: &Json) -> Option<&str> {
+    params.get("textDocument")?.get("uri")?.as_str()
+}
+
+/// `params.textDocument.version` (an integer in the protocol).
+pub fn text_document_version(params: &Json) -> Option<i64> {
+    let v = params.get("textDocument")?.get("version")?.as_f64()?;
+    Some(v as i64)
+}
+
+/// `params.position` as a [`Utf16Pos`].
+pub fn position(params: &Json) -> Option<Utf16Pos> {
+    let p = params.get("position")?;
+    Some(Utf16Pos {
+        line: p.get("line")?.as_f64()? as u32,
+        character: p.get("character")?.as_f64()? as u32,
+    })
+}
+
+/// The full text carried by `didOpen` (`textDocument.text`).
+pub fn text_document_text(params: &Json) -> Option<&str> {
+    params.get("textDocument")?.get("text")?.as_str()
+}
+
+/// The last full-sync text of a `didChange` (`contentChanges[-1].text`
+/// — with full-document sync every change carries the whole buffer, so
+/// the final element wins).
+pub fn last_content_change(params: &Json) -> Option<&str> {
+    params
+        .get("contentChanges")?
+        .as_array()?
+        .last()?
+        .get("text")?
+        .as_str()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_notifications_parse() {
+        let req =
+            parse_message(r#"{"jsonrpc":"2.0","id":3,"method":"initialize","params":{"a":1}}"#)
+                .unwrap();
+        assert_eq!(req.method, "initialize");
+        assert_eq!(req.id.as_ref().map(id_json).as_deref(), Some("3"));
+        let note = parse_message(r#"{"jsonrpc":"2.0","method":"exit"}"#).unwrap();
+        assert!(note.id.is_none());
+        assert!(parse_message(r#"{"jsonrpc":"2.0"}"#).is_err());
+    }
+
+    #[test]
+    fn ranges_are_utf16_zero_based() {
+        let text = "(define x 1)\n(𝒳 #t)\n";
+        let ix = LineIndex::new(text);
+        // The second line's form spans the whole line: chars 1..=7.
+        let span = Span::new(Loc { line: 2, col: 1 }, Loc { line: 2, col: 7 });
+        let range = range_json(&ix, text, span);
+        // 𝒳 is two UTF-16 units, so the end lands at character 7.
+        assert_eq!(
+            range,
+            "{\"start\":{\"line\":1,\"character\":0},\"end\":{\"line\":1,\"character\":7}}"
+        );
+    }
+
+    #[test]
+    fn string_ids_round_trip() {
+        assert_eq!(id_json(&Json::Str("a\"b".into())), "\"a\\\"b\"");
+        assert_eq!(id_json(&Json::Num(7.0)), "7");
+    }
+}

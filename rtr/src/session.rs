@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rtr_core::budget::CancelToken;
 use rtr_core::check::Checker;
 use rtr_core::config::CheckerConfig;
 use rtr_core::diag::{Diagnostic, Severity};
@@ -54,6 +55,17 @@ pub struct SessionConfig {
     /// definitions and the dependents the early cutoff cannot clear.
     /// `false` keeps the from-scratch reference path.
     pub incremental: bool,
+    /// Most distinct files the session keeps incremental caches for;
+    /// past the cap the least-recently-checked file's cache is dropped
+    /// (it simply re-checks from scratch next time). Keeps a long-lived
+    /// server's memory flat when clients wander across a large tree.
+    /// `0` means unbounded.
+    pub max_cached_files: usize,
+}
+
+impl SessionConfig {
+    /// The default [`SessionConfig::max_cached_files`].
+    pub const DEFAULT_MAX_CACHED_FILES: usize = 64;
 }
 
 impl Default for SessionConfig {
@@ -62,6 +74,7 @@ impl Default for SessionConfig {
             checker: CheckerConfig::default(),
             jobs: 0,
             incremental: true,
+            max_cached_files: SessionConfig::DEFAULT_MAX_CACHED_FILES,
         }
     }
 }
@@ -165,7 +178,39 @@ pub struct Session {
     /// clones (like the checker's memo tables); a file's cache is taken
     /// out while it is being checked, so concurrent checks of the same
     /// name simply miss rather than conflict.
-    caches: Arc<Mutex<HashMap<String, ModuleCache>>>,
+    caches: Arc<Mutex<CacheMap>>,
+}
+
+/// The per-file cache store with least-recently-checked eviction: each
+/// entry remembers the logical tick of its last use, and inserts past
+/// the cap evict the stalest entry.
+#[derive(Debug, Default)]
+struct CacheMap {
+    /// `0` means unbounded.
+    cap: usize,
+    tick: u64,
+    entries: HashMap<String, (u64, ModuleCache)>,
+}
+
+impl CacheMap {
+    fn take(&mut self, name: &str) -> Option<ModuleCache> {
+        self.entries.remove(name).map(|(_, c)| c)
+    }
+
+    fn insert(&mut self, name: String, cache: ModuleCache) {
+        self.tick += 1;
+        self.entries.insert(name, (self.tick, cache));
+        if self.cap != 0 && self.entries.len() > self.cap {
+            if let Some(stalest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&stalest);
+            }
+        }
+    }
 }
 
 impl Default for Session {
@@ -181,7 +226,10 @@ impl Session {
             checker: Checker::with_config(config.checker),
             jobs: config.jobs,
             incremental: config.incremental,
-            caches: Arc::default(),
+            caches: Arc::new(Mutex::new(CacheMap {
+                cap: config.max_cached_files,
+                ..CacheMap::default()
+            })),
         }
     }
 
@@ -191,7 +239,10 @@ impl Session {
             checker,
             jobs: 0,
             incremental: true,
-            caches: Arc::default(),
+            caches: Arc::new(Mutex::new(CacheMap {
+                cap: SessionConfig::DEFAULT_MAX_CACHED_FILES,
+                ..CacheMap::default()
+            })),
         }
     }
 
@@ -200,7 +251,7 @@ impl Session {
         &self.checker
     }
 
-    fn lock_caches(&self) -> std::sync::MutexGuard<'_, HashMap<String, ModuleCache>> {
+    fn lock_caches(&self) -> std::sync::MutexGuard<'_, CacheMap> {
         // A poisoned lock only means another check panicked mid-insert;
         // the map itself is always in a consistent state.
         self.caches
@@ -208,25 +259,61 @@ impl Session {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Number of files the session currently holds incremental caches
+    /// for (bounded by [`SessionConfig::max_cached_files`]).
+    pub fn cached_file_count(&self) -> usize {
+        self.lock_caches().entries.len()
+    }
+
+    /// Drops the incremental cache for `name` (e.g. when an editor
+    /// closes the document). The next check of that file runs from
+    /// scratch; harmless if no cache exists.
+    pub fn forget(&self, name: &str) {
+        self.lock_caches().take(name);
+    }
+
     /// Checks one file, reporting every diagnostic. Never fails: reader
     /// and syntax errors become located diagnostics too, and an internal
     /// checker panic that escapes the per-item isolation in
     /// `check_module` is caught here as a file-level `E0203`.
     pub fn check(&self, file: &SourceFile) -> CheckReport {
+        self.check_inner(file, &self.checker)
+    }
+
+    /// Like [`Session::check`], but revocable: once `token` is
+    /// cancelled (from any thread), the in-flight check trips
+    /// [`rtr_core::budget::LimitKind::Cancelled`] at the next budget
+    /// poll and degrades immediately — remaining items come back as
+    /// `E0202` (`limit: "cancelled"`) verdicts, which are never written
+    /// to the persistent caches, so the next check of the same file
+    /// re-checks them against the still-warm cache.
+    ///
+    /// This is the overlay entry point for editor servers: pass the
+    /// unsaved buffer contents as [`SourceFile::text`] under the
+    /// document's path and the session's per-path item cache carries
+    /// between keystrokes, making each `didChange` an incremental
+    /// re-check; cancel the token when a newer document version arrives
+    /// and discard the stale report.
+    pub fn check_cancellable(&self, file: &SourceFile, token: &CancelToken) -> CheckReport {
+        let checker = self.checker.with_cancel_token(token.clone());
+        self.check_inner(file, &checker)
+    }
+
+    fn check_inner(&self, file: &SourceFile, checker: &Checker) -> CheckReport {
         let start = Instant::now();
         // Take the file's cache out for the duration of the check: a
         // panic leaves it dropped (next check runs cold), concurrent
         // checks of the same name just miss.
         let old_cache = self
             .incremental
-            .then(|| self.lock_caches().remove(&file.name))
+            .then(|| self.lock_caches().take(&file.name))
             .flatten();
         let (report, new_cache, incr_stats) =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if self.incremental {
-                    check_module_source_incremental(&file.text, &self.checker, old_cache.as_ref())
+                    check_module_source_incremental(&file.text, checker, old_cache.as_ref())
                 } else {
-                    (check_module_source(&file.text, &self.checker), None, None)
+                    (check_module_source(&file.text, checker), None, None)
                 }
             }))
             .unwrap_or_else(|p| {
@@ -382,5 +469,73 @@ mod tests {
         assert_eq!(report.stats.errors, 1);
         assert_eq!(report.diagnostics[0].code, Code::ReadError);
         assert!(report.diagnostics[0].primary.is_some());
+    }
+
+    #[test]
+    fn item_summaries_carry_surface_spans_on_both_paths() {
+        let text = "(define (f [x : Int]) (add1 x))\n(f 3)\n";
+        for incremental in [false, true] {
+            let session = Session::new(SessionConfig {
+                incremental,
+                ..SessionConfig::default()
+            });
+            // Two checks: the second exercises the warm splice path.
+            session.check(&SourceFile::new("s.rtr", text));
+            let report = session.check(&SourceFile::new("s.rtr", text));
+            let f = &report.results[0];
+            let span = f.span.expect("definition span");
+            assert_eq!(span.start.line, 1);
+            assert_eq!(span.start.col, 1);
+            assert_eq!(span.end.col, 32, "just past the closing paren");
+            let trailing = &report.results[1];
+            assert_eq!(trailing.span.expect("expr span").start.line, 2);
+        }
+    }
+
+    #[test]
+    fn the_cache_map_caps_at_max_cached_files() {
+        let session = Session::new(SessionConfig {
+            max_cached_files: 3,
+            ..SessionConfig::default()
+        });
+        for k in 0..10 {
+            let file = SourceFile::new(format!("m{k}.rtr"), "(define x 1)".to_string());
+            session.check(&file);
+        }
+        assert_eq!(session.cached_file_count(), 3);
+        // The surviving caches are the most recently checked ones.
+        let warm = session.check(&SourceFile::new("m9.rtr", "(define x 1)".to_string()));
+        assert_eq!(warm.stats.rechecked_items, Some(0), "m9 stayed cached");
+        let cold = session.check(&SourceFile::new("m0.rtr", "(define x 1)".to_string()));
+        assert!(
+            cold.stats.rechecked_items.is_none() || cold.stats.rechecked_items == Some(1),
+            "m0 was evicted and re-checks"
+        );
+        session.forget("m9.rtr");
+        assert!(session.cached_file_count() <= 3);
+    }
+
+    #[test]
+    fn a_pre_cancelled_check_degrades_to_e0202_and_is_not_cached() {
+        let session = Session::new(SessionConfig::default());
+        let file = SourceFile::new(
+            "c.rtr",
+            "(define (f [x : Int]) (add1 x))\n(define (g [y : Int]) (f y))\n",
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let report = session.check_cancellable(&file, &token);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::ResourceExhausted),
+            "{:#?}",
+            report.diagnostics
+        );
+        // The degraded verdicts must not persist: a fresh (un-cancelled)
+        // check of the same file comes back clean.
+        let clean = session.check(&file);
+        assert!(clean.is_clean(), "{:#?}", clean.diagnostics);
     }
 }

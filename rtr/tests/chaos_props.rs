@@ -61,6 +61,7 @@ fn session_with(chaos: Option<ChaosConfig>, jobs: usize) -> Session {
         checker,
         jobs,
         incremental: false,
+        ..SessionConfig::default()
     })
 }
 

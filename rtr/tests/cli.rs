@@ -182,6 +182,9 @@ fn inapplicable_flags_are_rejected_with_usage_errors() {
         (vec!["run", "--jobs", "2"], "--jobs"),
         (vec!["expand", "--lambda-tr"], "--lambda-tr"),
         (vec!["repl", "--unchecked"], "--unchecked"),
+        (vec!["lsp", "--json"], "--json"),
+        (vec!["lsp", "--jobs", "2"], "--jobs"),
+        (vec!["lsp", "--once"], "--once"),
     ] {
         let out = rtr().args(&args).arg(&path).output().expect("spawn");
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
@@ -191,6 +194,32 @@ fn inapplicable_flags_are_rejected_with_usage_errors() {
             "{args:?}: {stderr}"
         );
     }
+}
+
+/// Combinations where each flag is individually valid but together one
+/// of them would be silently ignored are rejected too, as are file
+/// operands on `lsp` (its documents arrive over the protocol).
+#[test]
+fn contradictory_and_misplaced_operands_are_usage_errors() {
+    let path = fixture("flags2.rtr", "(+ 1 2)");
+    let once = rtr()
+        .args(["watch", "--once", "--poll-ms", "50"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert_eq!(once.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&once.stderr).contains("--poll-ms does nothing with --once"),
+        "stderr: {}",
+        String::from_utf8_lossy(&once.stderr)
+    );
+    let lsp = rtr().arg("lsp").arg(&path).output().expect("spawn");
+    assert_eq!(lsp.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&lsp.stderr).contains("lsp takes no files"),
+        "stderr: {}",
+        String::from_utf8_lossy(&lsp.stderr)
+    );
 }
 
 const WATCH_SRC: &str = "\

@@ -1,0 +1,520 @@
+//! End-to-end tests for `rtr lsp`: the binary is spawned and spoken to
+//! over real stdio with `Content-Length` framing (reusing
+//! [`rtr::lsp::framing`] as the client side).
+//!
+//! * A **golden transcript** pins the whole dialogue byte-for-byte —
+//!   initialize, an ill-typed `didOpen`, the fixing `didChange` delta, a
+//!   hover on a definition and on a trailing expression, the
+//!   unknown-method error path, `didClose` clearing, shutdown/exit.
+//!   Regenerate after an intentional change with:
+//!
+//!   ```sh
+//!   RTR_BLESS=1 cargo test -p rtr --test lsp_transcript
+//!   ```
+//!
+//! * An **equivalence** suite asserts the LSP diagnostics carry exactly
+//!   the codes and spans `rtr check --json` reports for the same text —
+//!   over the committed golden fixtures and a seeded randomized edit
+//!   script.
+//!
+//! * A **stale-version** test floods `didOpen` v1 + `didChange` v2
+//!   without reading, and asserts v1's diagnostics are never published.
+
+use std::io::{BufReader, Read, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use rtr::core::diag::{LineIndex, Loc, Span};
+use rtr::json::{escape, parse, Json};
+use rtr::lsp::framing;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// A spawned `rtr lsp` child plus the client side of its transport.
+struct Server {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Server {
+    fn spawn(extra_args: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rtr"))
+            .arg("lsp")
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn rtr lsp");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Server {
+            child,
+            stdin: Some(stdin),
+            stdout,
+        }
+    }
+
+    fn send(&mut self, body: &str) {
+        framing::write_message(self.stdin.as_mut().expect("stdin open"), body)
+            .expect("write to server");
+    }
+
+    /// Frames several messages into one buffer and writes it in a
+    /// single call, so they land in the server's input in one chunk
+    /// (its reader thread then parses the later ones from its buffer —
+    /// no pipe round trip — while the first is still being dispatched).
+    fn send_batch(&mut self, bodies: &[&str]) {
+        let mut wire = Vec::new();
+        for body in bodies {
+            framing::write_message(&mut wire, body).expect("frame message");
+        }
+        self.stdin
+            .as_mut()
+            .expect("stdin open")
+            .write_all(&wire)
+            .expect("write batch to server");
+    }
+
+    fn recv(&mut self) -> String {
+        framing::read_message(&mut self.stdout)
+            .expect("read from server")
+            .expect("server closed the stream early")
+    }
+
+    /// Closes stdin, drains any remaining output, and reaps the child.
+    /// Returns `(exit_code, remaining_bodies, stderr)`.
+    fn finish(mut self) -> (i32, Vec<String>, String) {
+        drop(self.stdin.take());
+        let mut rest = Vec::new();
+        while let Ok(Some(body)) = framing::read_message(&mut self.stdout) {
+            rest.push(body);
+        }
+        let status = self.child.wait().expect("wait for server");
+        let mut stderr = String::new();
+        self.child
+            .stderr
+            .take()
+            .unwrap()
+            .read_to_string(&mut stderr)
+            .expect("read server stderr");
+        (status.code().unwrap_or(-1), rest, stderr)
+    }
+}
+
+const URI: &str = "file:///test/main.rtr";
+
+fn initialize_msg() -> String {
+    r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{"capabilities":{}}}"#.to_owned()
+}
+
+fn did_open(uri: &str, version: i64, text: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didOpen\",\"params\":{{\"textDocument\":{{\"uri\":\"{}\",\"languageId\":\"rtr\",\"version\":{version},\"text\":\"{}\"}}}}}}",
+        escape(uri),
+        escape(text)
+    )
+}
+
+fn did_change(uri: &str, version: i64, text: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didChange\",\"params\":{{\"textDocument\":{{\"uri\":\"{}\",\"version\":{version}}},\"contentChanges\":[{{\"text\":\"{}\"}}]}}}}",
+        escape(uri),
+        escape(text)
+    )
+}
+
+fn hover(id: i64, uri: &str, line: u32, character: u32) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"textDocument/hover\",\"params\":{{\"textDocument\":{{\"uri\":\"{}\"}},\"position\":{{\"line\":{line},\"character\":{character}}}}}}}",
+        escape(uri)
+    )
+}
+
+fn did_close(uri: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didClose\",\"params\":{{\"textDocument\":{{\"uri\":\"{}\"}}}}}}",
+        escape(uri)
+    )
+}
+
+fn shutdown_msg(id: i64) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"shutdown\",\"params\":null}}")
+}
+
+const EXIT: &str = r#"{"jsonrpc":"2.0","method":"exit"}"#;
+
+/// The full paced dialogue, pinned against a committed golden file.
+#[test]
+fn golden_lsp_transcript() {
+    let ill = "(define x : Int 1)\n(add1 #t)\n";
+    let fixed = "(define x : Int 1)\n(add1 x)\n";
+    let mut server = Server::spawn(&["--stats"]);
+    let mut transcript = String::new();
+    let mut exchange = |server: &mut Server, msg: &str, responses: usize| {
+        transcript.push_str("<<< ");
+        transcript.push_str(msg);
+        transcript.push('\n');
+        server.send(msg);
+        for _ in 0..responses {
+            transcript.push_str(">>> ");
+            transcript.push_str(&server.recv());
+            transcript.push('\n');
+        }
+    };
+    exchange(&mut server, &initialize_msg(), 1);
+    exchange(
+        &mut server,
+        r#"{"jsonrpc":"2.0","method":"initialized","params":{}}"#,
+        0,
+    );
+    exchange(&mut server, &did_open(URI, 1, ill), 1);
+    exchange(&mut server, &did_change(URI, 2, fixed), 1);
+    exchange(&mut server, &hover(2, URI, 0, 9), 1); // on `x`
+    exchange(&mut server, &hover(3, URI, 1, 2), 1); // in the trailing expr
+    exchange(&mut server, &hover(4, URI, 5, 0), 1); // past the last item
+    exchange(
+        &mut server,
+        &format!(
+            "{{\"jsonrpc\":\"2.0\",\"id\":5,\"method\":\"textDocument/definition\",\"params\":{{\"textDocument\":{{\"uri\":\"{URI}\"}}}}}}"
+        ),
+        1,
+    );
+    exchange(&mut server, &did_close(URI), 1);
+    exchange(&mut server, &shutdown_msg(6), 1);
+    exchange(&mut server, EXIT, 0);
+    let (code, rest, stderr) = server.finish();
+    assert_eq!(code, 0, "exit after shutdown must be 0; stderr:\n{stderr}");
+    assert!(rest.is_empty(), "unexpected trailing messages: {rest:?}");
+
+    // The fixing didChange must have gone through the incremental
+    // overlay: only the edited trailing expression re-judged.
+    let warm = stderr
+        .lines()
+        .filter(|l| l.starts_with("lsp check:"))
+        .nth(1)
+        .expect("two check lines under --stats");
+    assert!(
+        warm.contains("rechecked=1") && warm.contains("unchanged=1"),
+        "didChange was not an incremental re-check: {warm}"
+    );
+
+    let golden = golden_dir().join("lsp_transcript.golden");
+    if std::env::var_os("RTR_BLESS").is_some() {
+        std::fs::write(&golden, transcript.as_bytes()).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden.display()));
+    assert_eq!(
+        transcript,
+        expected,
+        "LSP dialogue drifted from {}; re-bless with RTR_BLESS=1 if intentional",
+        golden.display()
+    );
+}
+
+/// `exit` without a preceding `shutdown` exits 1 per the protocol.
+#[test]
+fn exit_without_shutdown_is_nonzero() {
+    let mut server = Server::spawn(&[]);
+    server.send(&initialize_msg());
+    let _ = server.recv();
+    server.send(EXIT);
+    let (code, _, _) = server.finish();
+    assert_eq!(code, 1);
+}
+
+/// A `didChange` racing a `didOpen` check supersedes it: version 1's
+/// diagnostics are never published, only version 2's.
+#[test]
+fn superseded_versions_are_never_published() {
+    // Solver-hitting items make v1's check take milliseconds, while
+    // the batched didChange reaches the reader thread's buffer in the
+    // same chunk as the didOpen — the reader notes version 2 (and
+    // revokes v1's token) several orders of magnitude before v1's
+    // check can complete.
+    let mut ill = String::from("(define v : (U Int Bool) #t)\n");
+    for i in 0..150 {
+        ill.push_str(&format!("(define s{i} (if (int? v) (+ v {i}) {i}))\n"));
+    }
+    ill.push_str("(add1 #t)\n");
+    let fixed = ill.replace("(add1 #t)", "(add1 7)");
+
+    let mut server = Server::spawn(&["--stats"]);
+    server.send_batch(&[
+        &initialize_msg(),
+        &did_open(URI, 1, &ill),
+        &did_change(URI, 2, &fixed),
+        &shutdown_msg(2),
+        EXIT,
+    ]);
+    let (code, bodies, stderr) = server.finish();
+    assert_eq!(code, 0, "stderr:\n{stderr}");
+    let publishes: Vec<&String> = bodies
+        .iter()
+        .filter(|b| b.contains("publishDiagnostics"))
+        .collect();
+    assert!(
+        publishes.iter().all(|b| b.contains("\"version\":2")),
+        "a superseded version was published: {publishes:?}"
+    );
+    assert_eq!(publishes.len(), 1, "exactly the newest version publishes");
+    assert!(
+        publishes[0].contains("\"diagnostics\":[]"),
+        "v2 is clean: {}",
+        publishes[0]
+    );
+    let summary = stderr
+        .lines()
+        .find(|l| l.starts_with("lsp stats:"))
+        .expect("a stats summary line");
+    assert!(
+        !summary.contains("cancelled=0"),
+        "the v1 check was neither skipped nor cancelled: {summary}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with `rtr check --json`
+// ---------------------------------------------------------------------------
+
+/// A diagnostic reduced to what both channels must agree on. `None`
+/// span = the checker had no primary location (LSP renders it as a
+/// zero-width range at 1:1).
+type Key = (String, Option<Span>);
+
+fn span_from_loc_pair(start: Loc, end: Loc) -> Option<Span> {
+    if (start, end) == (Loc { line: 1, col: 1 }, Loc { line: 1, col: 1 }) {
+        None
+    } else {
+        Some(Span::new(start, end))
+    }
+}
+
+/// What `rtr lsp` publishes for `text` (one paced didOpen), reduced to
+/// code/span keys.
+fn lsp_keys(text: &str, extra_args: &[&str]) -> Vec<Key> {
+    let mut server = Server::spawn(extra_args);
+    server.send(&initialize_msg());
+    let _ = server.recv();
+    server.send(&did_open(URI, 1, text));
+    let publish = server.recv();
+    server.send(&shutdown_msg(9));
+    let _ = server.recv();
+    server.send(EXIT);
+    let (code, _, stderr) = server.finish();
+    assert_eq!(code, 0, "stderr:\n{stderr}");
+    let doc = parse(&publish).expect("publish parses");
+    let params = doc.get("params").expect("params");
+    assert_eq!(
+        params.get("uri").and_then(Json::as_str),
+        Some(URI),
+        "publish targets the opened document"
+    );
+    let ix = LineIndex::new(text);
+    let mut keys: Vec<Key> = params
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("diagnostics array")
+        .iter()
+        .map(|d| {
+            let code = d
+                .get("code")
+                .and_then(Json::as_str)
+                .expect("code")
+                .to_owned();
+            let pos = |which: &str, field: &str| -> f64 {
+                d.get("range")
+                    .and_then(|r| r.get(which))
+                    .and_then(|p| p.get(field))
+                    .and_then(Json::as_f64)
+                    .expect("range member")
+            };
+            let loc = |which: &str| {
+                ix.utf16_to_loc(
+                    text,
+                    rtr::core::diag::Utf16Pos {
+                        line: pos(which, "line") as u32,
+                        character: pos(which, "character") as u32,
+                    },
+                )
+            };
+            (code, span_from_loc_pair(loc("start"), loc("end")))
+        })
+        .collect();
+    keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    keys
+}
+
+/// What `rtr check --json` reports for the file at `path`, reduced to
+/// code/span keys.
+fn check_keys(path: &std::path::Path, extra_args: &[&str]) -> Vec<Key> {
+    let out = Command::new(env!("CARGO_BIN_EXE_rtr"))
+        .arg("check")
+        .arg("--json")
+        .args(extra_args)
+        .arg(path)
+        .output()
+        .expect("spawn rtr check");
+    let doc = parse(&String::from_utf8(out.stdout).expect("utf-8 report")).expect("report parses");
+    let files = doc.get("files").and_then(Json::as_array).expect("files");
+    assert_eq!(files.len(), 1);
+    let mut keys: Vec<Key> = files[0]
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("diagnostics")
+        .iter()
+        .map(|d| {
+            let code = d
+                .get("code")
+                .and_then(Json::as_str)
+                .expect("code")
+                .to_owned();
+            let span = d.get("span").and_then(|s| {
+                let f = |k: &str| s.get(k).and_then(Json::as_f64).map(|n| n as u32);
+                Some(Span::new(
+                    Loc {
+                        line: f("line")?,
+                        col: f("col")?,
+                    },
+                    Loc {
+                        line: f("end_line")?,
+                        col: f("end_col")?,
+                    },
+                ))
+            });
+            (code, span)
+        })
+        .collect();
+    keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    keys
+}
+
+/// One document's worth of equivalence: check the text through both
+/// channels and compare the reduced keys.
+fn assert_equivalent(text: &str, scratch: &std::path::Path, extra_args: &[&str], what: &str) {
+    std::fs::write(scratch, text).expect("write scratch fixture");
+    let lsp = lsp_keys(text, extra_args);
+    let check = check_keys(scratch, extra_args);
+    assert_eq!(
+        lsp, check,
+        "LSP and `check --json` disagree on {what}:\n{text}"
+    );
+}
+
+/// A scratch path unique to this test process.
+fn scratch_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rtr-lsp-eq-{}-{tag}.rtr", std::process::id()))
+}
+
+/// LSP diagnostics ≡ `rtr check --json` over the committed golden
+/// fixtures (including the degraded-`E0202` one, which needs the same
+/// budget flags on both sides).
+#[test]
+fn lsp_diagnostics_match_check_json_on_golden_fixtures() {
+    let scratch = scratch_path("fixture");
+    for (fixture, extra_args) in [
+        ("multi_error", &[][..]),
+        ("refinement", &[][..]),
+        ("expansion", &[][..]),
+        ("exhausted", &["--max-depth", "16"][..]),
+    ] {
+        let text = std::fs::read_to_string(golden_dir().join(format!("{fixture}.rtr")))
+            .expect("read fixture");
+        assert_equivalent(&text, &scratch, extra_args, fixture);
+    }
+    let _ = std::fs::remove_file(&scratch);
+}
+
+/// LSP diagnostics ≡ `rtr check --json` along a seeded random edit
+/// script: each step rewrites one slot of a template module (sometimes
+/// ill-typed), replays it as a `didChange`, and compares both channels.
+#[test]
+fn lsp_diagnostics_match_check_json_along_an_edit_script() {
+    // Statement pool: index chooses the body of each slot; half are
+    // type-correct, half are not, so the script crosses clean↔dirty.
+    let bodies = [
+        "(add1 n)",
+        "(add1 #t)",
+        "(if (int? v) (add1 v) 0)",
+        "(if (int? v) v #t)",
+        "(+ n nope)",
+        "(+ n 2)",
+    ];
+    let render = |slots: &[usize]| -> String {
+        let mut text = String::from("(define n : Int 4)\n(define v : (U Int Bool) #t)\n");
+        for (i, &b) in slots.iter().enumerate() {
+            text.push_str(&format!("(define s{i} {})\n", bodies[b]));
+        }
+        text
+    };
+    // A fixed-seed LCG stands in for a random source (the script must
+    // be reproducible across runs and platforms).
+    let mut state: u64 = 0x00c0_ffee;
+    let mut next = |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound
+    };
+    let scratch = scratch_path("edits");
+    let mut slots = vec![0usize; 4];
+    let mut server = Server::spawn(&[]);
+    server.send(&initialize_msg());
+    let _ = server.recv();
+    server.send(&did_open(URI, 1, &render(&slots)));
+    for step in 0..8 {
+        let publish = server.recv();
+        let text = render(&slots);
+        // Reduce the publish we just read and compare to a fresh
+        // `check --json` of the identical text.
+        let doc = parse(&publish).expect("publish parses");
+        let ix = LineIndex::new(&text);
+        let mut lsp: Vec<Key> = doc
+            .get("params")
+            .and_then(|p| p.get("diagnostics"))
+            .and_then(Json::as_array)
+            .expect("diagnostics")
+            .iter()
+            .map(|d| {
+                let code = d
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .expect("code")
+                    .to_owned();
+                let at = |which: &str| {
+                    let p = d.get("range").and_then(|r| r.get(which)).expect("pos");
+                    ix.utf16_to_loc(
+                        &text,
+                        rtr::core::diag::Utf16Pos {
+                            line: p.get("line").and_then(Json::as_f64).expect("line") as u32,
+                            character: p.get("character").and_then(Json::as_f64).expect("char")
+                                as u32,
+                        },
+                    )
+                };
+                (code, span_from_loc_pair(at("start"), at("end")))
+            })
+            .collect();
+        lsp.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        std::fs::write(&scratch, &text).expect("write scratch");
+        let check = check_keys(&scratch, &[]);
+        assert_eq!(lsp, check, "step {step} disagrees on:\n{text}");
+        // Mutate one slot and send the next version (paced: we already
+        // consumed this version's publish, so nothing is superseded).
+        let slot = next(slots.len());
+        slots[slot] = next(bodies.len());
+        server.send(&did_change(URI, 2 + step, &render(&slots)));
+    }
+    let _ = server.recv(); // the final edit's publish
+    server.send(&shutdown_msg(99));
+    let _ = server.recv();
+    server.send(EXIT);
+    let (code, _, stderr) = server.finish();
+    assert_eq!(code, 0, "stderr:\n{stderr}");
+    let _ = std::fs::remove_file(&scratch);
+}
